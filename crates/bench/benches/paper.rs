@@ -1,0 +1,202 @@
+//! Criterion benchmarks wrapping the paper's experiments.
+//!
+//! Every table/figure has a corresponding benchmark group so `cargo bench`
+//! regenerates statistically sound timings for the hot paths; the
+//! `experiments` binary prints the full matrices (including storage sizes,
+//! which are not timings). Scales are kept small so the whole suite runs in
+//! minutes on a laptop.
+
+use bench::{build_dataset, default_records, queries_for};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use datagen::{generate, DatasetKind, DatasetSpec};
+use docmodel::{Path, Value};
+use lsm::{DatasetConfig, LsmDataset};
+use query::{run, run_with_secondary_index, ExecMode, Query};
+use storage::LayoutKind;
+
+const BENCH_SCALE: f64 = 0.25;
+
+fn scaled_records(kind: DatasetKind) -> usize {
+    ((default_records(kind) as f64) * BENCH_SCALE).max(200.0) as usize
+}
+
+/// Figure 13a: ingestion throughput per layout (sensors as the representative
+/// insert-only dataset).
+fn bench_ingestion(c: &mut Criterion) {
+    let kind = DatasetKind::Sensors;
+    let records = scaled_records(kind);
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let mut group = c.benchmark_group("fig13_ingestion_sensors");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in LayoutKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(layout.name()), &layout, |b, &layout| {
+            b.iter(|| {
+                let mut dataset = LsmDataset::new(
+                    DatasetConfig::new("bench", layout)
+                        .with_memtable_budget(256 * 1024)
+                        .with_page_size(32 * 1024),
+                );
+                for doc in docs.clone() {
+                    dataset.insert(doc).unwrap();
+                }
+                dataset.flush().unwrap();
+                dataset.component_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 14: the query suites per dataset and layout (compiled engine).
+fn bench_queries(c: &mut Criterion) {
+    for kind in [
+        DatasetKind::Cell,
+        DatasetKind::Sensors,
+        DatasetKind::Tweet1,
+        DatasetKind::Wos,
+    ] {
+        let records = scaled_records(kind);
+        let mut group = c.benchmark_group(format!("fig14_queries_{}", kind.name()));
+        group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+        for layout in LayoutKind::ALL {
+            let (dataset, _) = build_dataset(kind, layout, records, false);
+            for (name, query) in queries_for(kind) {
+                group.bench_function(BenchmarkId::new(name, layout.name()), |b| {
+                    b.iter(|| run(&dataset, &query, ExecMode::Compiled).unwrap())
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+/// Figure 10: interpreted vs compiled execution of the group-by query.
+fn bench_codegen(c: &mut Criterion) {
+    let kind = DatasetKind::Sensors;
+    let records = scaled_records(kind);
+    let q2 = {
+        use query::Aggregate;
+        Query::count_star()
+            .with_unnest(Path::parse("readings"))
+            .group_by(Path::parse("sensor_id"))
+            .aggregate_element(Aggregate::Max(Path::parse("temp")))
+            .top_k(10)
+    };
+    let mut group = c.benchmark_group("fig10_codegen_sensors_q2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in LayoutKind::ALL {
+        let (dataset, _) = build_dataset(kind, layout, records, false);
+        group.bench_function(BenchmarkId::new("interpreted", layout.name()), |b| {
+            b.iter(|| run(&dataset, &q2, ExecMode::Interpreted).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("compiled", layout.name()), |b| {
+            b.iter(|| run(&dataset, &q2, ExecMode::Compiled).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 15: secondary-index range queries at low and high selectivity.
+fn bench_secondary_index(c: &mut Criterion) {
+    let kind = DatasetKind::Tweet2;
+    let records = scaled_records(kind);
+    let base_ts = 1_450_000_000_000i64;
+    let mut group = c.benchmark_group("fig15_secondary_index_tweet2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in LayoutKind::ALL {
+        let (dataset, _) = build_dataset(kind, layout, records, true);
+        for selectivity in [0.001, 1.0] {
+            let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;
+            group.bench_function(
+                BenchmarkId::new(format!("sel_{selectivity}pct"), layout.name()),
+                |b| {
+                    b.iter(|| {
+                        run_with_secondary_index(
+                            &dataset,
+                            &Value::Int(base_ts),
+                            &Value::Int(base_ts + span - 1),
+                            &Query::count_star(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 16: scans reading a varying number of columns (APAX vs AMAX).
+fn bench_column_count(c: &mut Criterion) {
+    let kind = DatasetKind::Tweet2;
+    let records = scaled_records(kind);
+    let columns = ["text", "user.name", "retweet_count", "lang", "favorite_count"];
+    let mut group = c.benchmark_group("fig16_column_count_tweet2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+        let (dataset, _) = build_dataset(kind, layout, records, false);
+        for n in [1usize, 3, 5] {
+            group.bench_function(BenchmarkId::new(format!("{n}_columns"), layout.name()), |b| {
+                b.iter(|| {
+                    for col in &columns[..n] {
+                        let mut q = Query::count_star();
+                        q.agg = query::Aggregate::CountNonNull(Path::parse(col));
+                        run(&dataset, &q, ExecMode::Compiled).unwrap();
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 12a is a storage-size measurement rather than a timing; the bench
+/// measures the flush (component write) path that produces those sizes.
+fn bench_flush_write(c: &mut Criterion) {
+    let kind = DatasetKind::Tweet1;
+    let records = scaled_records(kind);
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let mut group = c.benchmark_group("fig12_component_write_tweet1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in LayoutKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(layout.name()), &layout, |b, &layout| {
+            b.iter(|| {
+                let mut dataset = LsmDataset::new(
+                    DatasetConfig::new("bench", layout)
+                        .with_memtable_budget(usize::MAX)
+                        .with_page_size(32 * 1024),
+                );
+                for doc in docs.clone() {
+                    dataset.insert(doc).unwrap();
+                }
+                dataset.flush().unwrap();
+                dataset.primary_stored_bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingestion,
+    bench_queries,
+    bench_codegen,
+    bench_secondary_index,
+    bench_column_count,
+    bench_flush_write
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # everything, default scale
+//! cargo run --release -p bench --bin experiments -- --scale 0.5 --only fig12,fig14
+//! ```
+//!
+//! Output is a set of aligned matrices, one per table/figure, with the same
+//! rows and columns the paper reports. See EXPERIMENTS.md for the comparison
+//! against the paper's numbers.
+
+use bench::*;
+use datagen::DatasetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut only: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a number");
+                i += 2;
+            }
+            "--only" => {
+                only = Some(
+                    args.get(i + 1)
+                        .expect("--only needs a list")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let wanted = |name: &str| only.as_ref().map(|o| o.iter().any(|x| x == name)).unwrap_or(true);
+
+    println!("Columnar Formats for Schemaless LSM-based Document Stores — reproduction harness");
+    println!("scale factor: {scale}");
+
+    if wanted("table1") {
+        print_matrix("Table 1: dataset summary", &table1(scale));
+    }
+    if wanted("fig10") {
+        print_matrix(
+            "Figure 10: interpreted vs code-generated execution (sensors)",
+            &fig10_codegen(scale),
+        );
+    }
+    if wanted("fig12") {
+        print_matrix("Figure 12a: on-disk storage size", &fig12_storage(scale));
+    }
+    if wanted("fig13") {
+        print_matrix("Figure 13a: ingestion time", &fig13_ingestion(scale));
+    }
+    if wanted("fig14") {
+        for kind in [
+            DatasetKind::Cell,
+            DatasetKind::Sensors,
+            DatasetKind::Tweet1,
+            DatasetKind::Wos,
+        ] {
+            print_matrix(
+                &format!("Figure 14: query times ({})", kind.name()),
+                &fig14_queries(kind, scale),
+            );
+        }
+    }
+    if wanted("fig15") {
+        print_matrix(
+            "Figure 15: secondary-index range queries (tweet_2)",
+            &fig15_secondary(scale),
+        );
+    }
+    if wanted("fig16") {
+        print_matrix(
+            "Figure 16: impact of number of columns accessed (tweet_2)",
+            &fig16_column_count(scale),
+        );
+    }
+    if wanted("ablations") {
+        print_matrix(
+            "Ablation: AMAX empty-page tolerance",
+            &ablation_empty_page_tolerance(scale),
+        );
+        print_matrix(
+            "Ablation: page compression on/off (sensors)",
+            &ablation_compression(scale),
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! The record-assembly automaton: columns back to documents.
+//!
+//! Assembly is schema-driven, mirrors the shredder's walk, and supports
+//! *projection push-down*: the assembler only touches the cursors it was
+//! given, so a query that needs two columns never decodes (or, for AMAX,
+//! never even reads) the other hundreds of columns.
+//!
+//! Array reconstruction uses the delimiter semantics of §3.2.1:
+//!
+//! * at the position of an array, the next definition level of any descendant
+//!   column tells whether the array is absent (`def < array level`), empty
+//!   (`def == array level`) or has elements (`def > array level`);
+//! * while iterating elements, an entry whose value is `<=` the array's
+//!   nesting depth is a delimiter: equal means "this array ends here",
+//!   smaller means an enclosing array ends at the same point (the subsumed
+//!   delimiter is consumed by that enclosing array's loop).
+
+use std::collections::HashMap;
+
+use docmodel::Value;
+use schema::node::SchemaNode;
+use schema::{ColumnId, NodeId, Schema};
+
+use crate::cursor::ColumnCursor;
+use crate::{ColumnarError, Result};
+
+/// Assembles records from a set of column cursors.
+pub struct Assembler<'s> {
+    schema: &'s Schema,
+    cursors: HashMap<ColumnId, ColumnCursor>,
+    /// For every schema node, the included leaf columns in its subtree.
+    leaves_under: HashMap<NodeId, Vec<ColumnId>>,
+    records_remaining: usize,
+}
+
+impl<'s> Assembler<'s> {
+    /// Create an assembler over the given cursors. Only the columns present
+    /// in `cursors` are assembled (projection push-down); `record_count` is
+    /// the number of records the cursors cover.
+    pub fn new(schema: &'s Schema, cursors: Vec<ColumnCursor>, record_count: usize) -> Self {
+        let cursors: HashMap<ColumnId, ColumnCursor> =
+            cursors.into_iter().map(|c| (c.spec().id, c)).collect();
+        let mut leaves_under = HashMap::new();
+        collect_included_leaves(schema, schema.root(), &cursors, &mut leaves_under);
+        Assembler {
+            schema,
+            cursors,
+            leaves_under,
+            records_remaining: record_count,
+        }
+    }
+
+    /// Number of records still to be assembled.
+    pub fn records_remaining(&self) -> usize {
+        self.records_remaining
+    }
+
+    /// Assemble the next record, or `None` when all records were consumed.
+    /// The result contains only the projected fields; records whose projected
+    /// fields are all absent assemble to an empty object.
+    pub fn next_record(&mut self) -> Option<Result<Value>> {
+        if self.records_remaining == 0 {
+            return None;
+        }
+        self.records_remaining -= 1;
+        Some(self.assemble_record())
+    }
+
+    /// Skip `n` records without assembling them (batched reconciliation).
+    pub fn skip_records(&mut self, n: usize) {
+        let n = n.min(self.records_remaining);
+        for cursor in self.cursors.values_mut() {
+            cursor.skip_records(n);
+        }
+        self.records_remaining -= n;
+    }
+
+    fn assemble_record(&mut self) -> Result<Value> {
+        let root = self.schema.root();
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let root_fields: Vec<(String, NodeId)> = match self.schema.node(root) {
+            SchemaNode::Object { fields } => fields.clone(),
+            _ => unreachable!("schema root is always an object"),
+        };
+        for (name, child) in root_fields {
+            if !self.has_included_leaves(child) {
+                continue;
+            }
+            if let Some(value) = self.assemble_value(child, 1, 0)? {
+                fields.push((name, value));
+            }
+        }
+        Ok(Value::Object(fields))
+    }
+
+    fn has_included_leaves(&self, node: NodeId) -> bool {
+        self.leaves_under
+            .get(&node)
+            .map(|l| !l.is_empty())
+            .unwrap_or(false)
+    }
+
+    fn representative_leaf(&self, node: NodeId) -> Option<ColumnId> {
+        self.leaves_under.get(&node).and_then(|l| l.first().copied())
+    }
+
+    /// Assemble the value at `node` for the current structural position,
+    /// consuming exactly this position's entries from every included leaf
+    /// beneath it. Returns `None` when the value is absent.
+    fn assemble_value(
+        &mut self,
+        node: NodeId,
+        level: u16,
+        array_depth: u16,
+    ) -> Result<Option<Value>> {
+        match self.schema.node(node) {
+            SchemaNode::Atomic { .. } => {
+                let cursor = self
+                    .cursors
+                    .get_mut(&node)
+                    .expect("included leaf has a cursor");
+                let (def, value) = cursor
+                    .next_entry()
+                    .ok_or_else(|| ColumnarError::new("column exhausted mid-record"))?;
+                let spec_max = cursor.spec().max_def;
+                if def == spec_max {
+                    Ok(value)
+                } else {
+                    Ok(None)
+                }
+            }
+            SchemaNode::Object { fields } => {
+                let fields: Vec<(String, NodeId)> = fields.clone();
+                let mut out: Vec<(String, Value)> = Vec::new();
+                let mut any_present = false;
+                for (name, child) in fields {
+                    if !self.has_included_leaves(child) {
+                        continue;
+                    }
+                    if let Some(v) = self.assemble_value(child, level + 1, array_depth)? {
+                        any_present = true;
+                        out.push((name, v));
+                    }
+                }
+                if any_present {
+                    Ok(Some(Value::Object(out)))
+                } else {
+                    Ok(None)
+                }
+            }
+            SchemaNode::Union { branches } => {
+                let branches: Vec<NodeId> = branches.iter().map(|(_, c)| *c).collect();
+                let mut result: Option<Value> = None;
+                for child in branches {
+                    if !self.has_included_leaves(child) {
+                        continue;
+                    }
+                    // Every branch consumes its entries; at most one yields a
+                    // value (§3.2.2: a single alternative is present).
+                    let v = self.assemble_value(child, level, array_depth)?;
+                    if result.is_none() {
+                        result = v;
+                    }
+                }
+                Ok(result)
+            }
+            SchemaNode::Array { item } => {
+                let Some(item) = *item else { return Ok(None) };
+                if !self.has_included_leaves(item) {
+                    return Ok(None);
+                }
+                let repr = self
+                    .representative_leaf(item)
+                    .expect("non-empty leaf set has a representative");
+                // Classify the array from the *maximum* next definition level
+                // across the included leaves: a single leaf is not enough when
+                // the array's items are a union, because the absent-branch
+                // marker of one branch coincides with the empty-array level.
+                let next_def = self.max_peek_under(node)?;
+                if next_def < level {
+                    // Array absent (or something above it absent).
+                    self.consume_one_entry_under(node);
+                    return Ok(None);
+                }
+                if next_def == level {
+                    // Array present but empty (or, under a projection that
+                    // excludes some union branches, an array none of whose
+                    // elements belong to the projected branches). The
+                    // outermost array's record segment always ends with the
+                    // delimiter 0, so consume up to and including it to keep
+                    // every column aligned.
+                    if array_depth == 0 {
+                        self.consume_until_record_end_under(node);
+                    } else {
+                        self.consume_one_entry_under(node);
+                    }
+                    return Ok(Some(Value::Array(Vec::new())));
+                }
+                // Non-empty: iterate elements.
+                let mut elems = Vec::new();
+                loop {
+                    let elem = self.assemble_value(item, level + 1, array_depth + 1)?;
+                    elems.push(elem.unwrap_or_else(|| absent_element_placeholder(self.schema, item)));
+                    match self
+                        .cursors
+                        .get(&repr)
+                        .and_then(ColumnCursor::peek_def)
+                    {
+                        None => break, // stream ends with the record
+                        Some(v) if v < array_depth => {
+                            // An enclosing array ends here; it will consume
+                            // the (subsumed) delimiter.
+                            break;
+                        }
+                        Some(v) if v == array_depth => {
+                            // This array's end delimiter: consume it from
+                            // every leaf beneath this array.
+                            self.consume_one_entry_under(node);
+                            break;
+                        }
+                        Some(_) => {
+                            // Next element of this array.
+                        }
+                    }
+                }
+                Ok(Some(Value::Array(elems)))
+            }
+        }
+    }
+
+    /// Consume exactly one entry (an absent marker, an empty-array marker or
+    /// a delimiter) from every included leaf column beneath `node`.
+    fn consume_one_entry_under(&mut self, node: NodeId) {
+        if let Some(leaves) = self.leaves_under.get(&node) {
+            for leaf in leaves {
+                if let Some(cursor) = self.cursors.get_mut(leaf) {
+                    cursor.skip_entry();
+                }
+            }
+        }
+    }
+
+    /// Consume every remaining entry of the current record segment (up to and
+    /// including the terminating delimiter 0) from every included leaf
+    /// beneath `node`. Only used at the outermost array depth, where the
+    /// shredder guarantees the terminator exists whenever the array is present.
+    fn consume_until_record_end_under(&mut self, node: NodeId) {
+        if let Some(leaves) = self.leaves_under.get(&node) {
+            for leaf in leaves {
+                if let Some(cursor) = self.cursors.get_mut(leaf) {
+                    while let Some(def) = cursor.peek_def() {
+                        cursor.skip_entry();
+                        if def == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum next definition level across the included leaves under `node`.
+    fn max_peek_under(&self, node: NodeId) -> Result<u16> {
+        let leaves = self
+            .leaves_under
+            .get(&node)
+            .ok_or_else(|| ColumnarError::new("unknown schema node during assembly"))?;
+        let mut max = None;
+        for leaf in leaves {
+            if let Some(cursor) = self.cursors.get(leaf) {
+                let def = cursor
+                    .peek_def()
+                    .ok_or_else(|| ColumnarError::new("column exhausted at array position"))?;
+                max = Some(max.map_or(def, |m: u16| m.max(def)));
+            }
+        }
+        max.ok_or_else(|| ColumnarError::new("array node has no projected columns"))
+    }
+}
+
+/// Placeholder for an array element whose projected subtree is entirely
+/// absent: an empty object when the element is an object, `null` otherwise
+/// (the shredder never emits elements that were `null`, so this only shows up
+/// under projections or for elements whose only fields were null).
+fn absent_element_placeholder(schema: &Schema, item: NodeId) -> Value {
+    match schema.node(item) {
+        SchemaNode::Object { .. } => Value::Object(Vec::new()),
+        _ => Value::Null,
+    }
+}
+
+fn collect_included_leaves(
+    schema: &Schema,
+    node: NodeId,
+    cursors: &HashMap<ColumnId, ColumnCursor>,
+    out: &mut HashMap<NodeId, Vec<ColumnId>>,
+) -> Vec<ColumnId> {
+    let leaves: Vec<ColumnId> = match schema.node(node) {
+        SchemaNode::Atomic { .. } => {
+            if cursors.contains_key(&node) {
+                vec![node]
+            } else {
+                Vec::new()
+            }
+        }
+        SchemaNode::Object { fields } => fields
+            .iter()
+            .flat_map(|(_, c)| collect_included_leaves(schema, *c, cursors, out))
+            .collect(),
+        SchemaNode::Array { item } => item
+            .map(|c| collect_included_leaves(schema, c, cursors, out))
+            .unwrap_or_default(),
+        SchemaNode::Union { branches } => branches
+            .iter()
+            .flat_map(|(_, c)| collect_included_leaves(schema, *c, cursors, out))
+            .collect(),
+    };
+    out.insert(node, leaves.clone());
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shred::{shred_records, ShreddedBatch};
+    use docmodel::{doc, Path};
+    use schema::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn build(records: &[Value], key: Option<&str>) -> (Schema, ShreddedBatch) {
+        let mut b = SchemaBuilder::new(key.map(str::to_string));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let batch = shred_records(&schema, records);
+        (schema, batch)
+    }
+
+    fn all_cursors(batch: &ShreddedBatch) -> Vec<ColumnCursor> {
+        batch
+            .columns
+            .iter()
+            .map(|c| ColumnCursor::new(Arc::new(c.clone())))
+            .collect()
+    }
+
+    fn assemble_all(schema: &Schema, batch: &ShreddedBatch) -> Vec<Value> {
+        let mut asm = Assembler::new(schema, all_cursors(batch), batch.record_count);
+        let mut out = Vec::new();
+        while let Some(r) = asm.next_record() {
+            out.push(r.unwrap());
+        }
+        out
+    }
+
+    /// Order-insensitive comparison of documents (assembly restores fields in
+    /// schema order, which may differ from the input order).
+    fn assert_equivalent(a: &Value, b: &Value) {
+        fn normalize(v: &Value) -> Value {
+            match v {
+                Value::Object(fields) => {
+                    let mut fs: Vec<(String, Value)> = fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), normalize(v)))
+                        .collect();
+                    fs.sort_by(|x, y| x.0.cmp(&y.0));
+                    Value::Object(fs)
+                }
+                Value::Array(elems) => Value::Array(elems.iter().map(normalize).collect()),
+                other => other.clone(),
+            }
+        }
+        assert_eq!(normalize(a), normalize(b), "\nleft:  {a}\nright: {b}");
+    }
+
+    #[test]
+    fn roundtrip_figure4_records() {
+        let records = vec![
+            doc!({"id": 0, "games": [{"title": "NFL"}]}),
+            doc!({
+                "id": 1,
+                "name": {"last": "Brown"},
+                "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]
+            }),
+            doc!({
+                "id": 2,
+                "name": {"first": "John", "last": "Smith"},
+                "games": [
+                    {"title": "NBA", "consoles": ["PS4", "PC"]},
+                    {"title": "NFL", "consoles": ["XBOX"]}
+                ]
+            }),
+            doc!({"id": 3}),
+        ];
+        let (schema, batch) = build(&records, Some("id"));
+        let assembled = assemble_all(&schema, &batch);
+        assert_eq!(assembled.len(), 4);
+        for (orig, back) in records.iter().zip(&assembled) {
+            assert_equivalent(orig, back);
+        }
+    }
+
+    #[test]
+    fn roundtrip_figure6_heterogeneous_records() {
+        let records = vec![
+            doc!({"name": "John", "games": ["NBA", ["FIFA", "PES"], "NFL"]}),
+            doc!({"name": {"first": "Ann", "last": "Brown"}, "games": ["NFL", "NBA"]}),
+        ];
+        let (schema, batch) = build(&records, None);
+        let assembled = assemble_all(&schema, &batch);
+        for (orig, back) in records.iter().zip(&assembled) {
+            assert_equivalent(orig, back);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_nested_arrays() {
+        let records = vec![
+            doc!({"id": 1, "xs": []}),
+            doc!({"id": 2, "xs": [[1, 2], [3]]}),
+            doc!({"id": 3, "xs": [[]]}),
+            doc!({"id": 4}),
+            doc!({"id": 5, "xs": [[4]]}),
+        ];
+        let (schema, batch) = build(&records, Some("id"));
+        let assembled = assemble_all(&schema, &batch);
+        for (orig, back) in records.iter().zip(&assembled) {
+            assert_equivalent(orig, back);
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_types_and_scalars() {
+        let records = vec![
+            doc!({"id": 1, "v": 10, "meta": {"tag": "a", "score": 1.5, "ok": true}}),
+            doc!({"id": 2, "v": "ten", "meta": {"tag": "b", "score": 2.5, "ok": false}}),
+            doc!({"id": 3, "v": [1, 2], "extra": "only here"}),
+            doc!({"id": 4, "v": {"nested": 1}}),
+        ];
+        let (schema, batch) = build(&records, Some("id"));
+        let assembled = assemble_all(&schema, &batch);
+        for (orig, back) in records.iter().zip(&assembled) {
+            assert_equivalent(orig, back);
+        }
+    }
+
+    #[test]
+    fn nulls_and_missing_fields_assemble_as_absent() {
+        let records = vec![
+            doc!({"id": 1, "a": null, "b": 2}),
+            doc!({"id": 2, "b": null}),
+        ];
+        let (schema, batch) = build(&records, Some("id"));
+        let assembled = assemble_all(&schema, &batch);
+        assert_equivalent(&assembled[0], &doc!({"id": 1, "b": 2}));
+        assert_equivalent(&assembled[1], &doc!({"id": 2}));
+    }
+
+    #[test]
+    fn projection_only_touches_requested_columns() {
+        let records = vec![
+            doc!({"id": 0, "games": [{"title": "NFL"}]}),
+            doc!({
+                "id": 1,
+                "name": {"last": "Brown"},
+                "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]
+            }),
+            doc!({"id": 3}),
+        ];
+        let (schema, batch) = build(&records, Some("id"));
+        // Project only games[*].title (plus nothing else).
+        let title_cursor = batch
+            .columns
+            .iter()
+            .find(|c| c.spec.path == Path::parse("games[*].title"))
+            .map(|c| ColumnCursor::new(Arc::new(c.clone())))
+            .unwrap();
+        let mut asm = Assembler::new(&schema, vec![title_cursor], batch.record_count);
+        let r0 = asm.next_record().unwrap().unwrap();
+        assert_equivalent(&r0, &doc!({"games": [{"title": "NFL"}]}));
+        let r1 = asm.next_record().unwrap().unwrap();
+        assert_equivalent(&r1, &doc!({"games": [{"title": "FIFA"}]}));
+        let r2 = asm.next_record().unwrap().unwrap();
+        assert_equivalent(&r2, &doc!({}));
+        assert!(asm.next_record().is_none());
+    }
+
+    #[test]
+    fn skip_records_keeps_alignment() {
+        let records = vec![
+            doc!({"id": 0, "games": [{"title": "A"}, {"title": "B"}]}),
+            doc!({"id": 1, "games": [{"title": "C"}]}),
+            doc!({"id": 2, "games": [{"title": "D"}, {"title": "E"}, {"title": "F"}]}),
+        ];
+        let (schema, batch) = build(&records, Some("id"));
+        let mut asm = Assembler::new(&schema, all_cursors(&batch), batch.record_count);
+        asm.skip_records(2);
+        assert_eq!(asm.records_remaining(), 1);
+        let r2 = asm.next_record().unwrap().unwrap();
+        assert_equivalent(&r2, &records[2]);
+        assert!(asm.next_record().is_none());
+    }
+
+    #[test]
+    fn antimatter_records_assemble_empty() {
+        let records = vec![doc!({"id": 1, "x": "a"})];
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let mut shredder = crate::shred::Shredder::new(&schema);
+        shredder.shred(&records[0]);
+        shredder.shred_antimatter(&Value::Int(42));
+        let batch = shredder.finish();
+        let mut asm = Assembler::new(&schema, all_cursors(&batch), batch.record_count);
+        let first = asm.next_record().unwrap().unwrap();
+        assert_equivalent(&first, &records[0]);
+        // Anti-matter: the key column's def is 0, so the record assembles to
+        // an empty object (the LSM layer uses the key cursor to recognise the
+        // tombstone and never surfaces it to queries).
+        let tomb = asm.next_record().unwrap().unwrap();
+        assert_equivalent(&tomb, &doc!({}));
+    }
+}

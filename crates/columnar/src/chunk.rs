@@ -1,0 +1,394 @@
+//! Column chunks: one column's definition levels and values.
+//!
+//! A [`ColumnChunk`] is the unit that page writers place into APAX minipages
+//! or AMAX megapages: the encoded definition levels followed by the encoded
+//! values, matching the minipage layout of Figure 8 (size, value count,
+//! encoded definition levels, encoded values).
+
+use docmodel::Value;
+use encoding::{bitpack, bytesenc, delta, plain, rle, varint, DecodeError, Encoding};
+use schema::{AtomicType, ColumnSpec};
+
+use crate::Result;
+
+/// Typed value storage for one column chunk. Only entries whose definition
+/// level equals the column's maximum carry a value — except for the
+/// primary-key column, where every entry carries the key (anti-matter
+/// entries store the deleted key with definition level 0, §3.2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnValues {
+    /// Boolean values.
+    Bool(Vec<bool>),
+    /// Integer values.
+    Int(Vec<i64>),
+    /// Double values.
+    Double(Vec<f64>),
+    /// String values.
+    String(Vec<String>),
+}
+
+impl ColumnValues {
+    /// An empty value vector of the given type.
+    pub fn empty(ty: AtomicType) -> ColumnValues {
+        match ty {
+            AtomicType::Bool => ColumnValues::Bool(Vec::new()),
+            AtomicType::Int => ColumnValues::Int(Vec::new()),
+            AtomicType::Double => ColumnValues::Double(Vec::new()),
+            AtomicType::String => ColumnValues::String(Vec::new()),
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnValues::Bool(v) => v.len(),
+            ColumnValues::Int(v) => v.len(),
+            ColumnValues::Double(v) => v.len(),
+            ColumnValues::String(v) => v.len(),
+        }
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The type of the stored values.
+    pub fn ty(&self) -> AtomicType {
+        match self {
+            ColumnValues::Bool(_) => AtomicType::Bool,
+            ColumnValues::Int(_) => AtomicType::Int,
+            ColumnValues::Double(_) => AtomicType::Double,
+            ColumnValues::String(_) => AtomicType::String,
+        }
+    }
+
+    /// Append a value; the value must match the column type (the shredder
+    /// guarantees this because it routes through the schema).
+    pub fn push(&mut self, value: &Value) {
+        match (self, value) {
+            (ColumnValues::Bool(v), Value::Bool(b)) => v.push(*b),
+            (ColumnValues::Int(v), Value::Int(i)) => v.push(*i),
+            (ColumnValues::Double(v), Value::Double(d)) => v.push(*d),
+            (ColumnValues::String(v), Value::String(s)) => v.push(s.clone()),
+            (this, other) => panic!(
+                "column of type {:?} cannot store value of kind {:?}",
+                this.ty(),
+                other.kind()
+            ),
+        }
+    }
+
+    /// Read the value at `index` as a [`Value`].
+    pub fn get(&self, index: usize) -> Value {
+        match self {
+            ColumnValues::Bool(v) => Value::Bool(v[index]),
+            ColumnValues::Int(v) => Value::Int(v[index]),
+            ColumnValues::Double(v) => Value::Double(v[index]),
+            ColumnValues::String(v) => Value::String(v[index].clone()),
+        }
+    }
+
+    /// Rough in-memory footprint in bytes, used by the flush writers to size
+    /// temporary buffers.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            ColumnValues::Bool(v) => v.len(),
+            ColumnValues::Int(v) => v.len() * 8,
+            ColumnValues::Double(v) => v.len() * 8,
+            ColumnValues::String(v) => v.iter().map(|s| s.len() + 4).sum(),
+        }
+    }
+
+    /// Minimum and maximum stored value (as [`Value`]s), used for the AMAX
+    /// Page-0 zone maps. `None` when the chunk has no values.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        fn mm<T: PartialOrd + Clone>(v: &[T]) -> Option<(T, T)> {
+            let mut it = v.iter();
+            let first = it.next()?.clone();
+            let mut min = first.clone();
+            let mut max = first;
+            for x in it {
+                if *x < min {
+                    min = x.clone();
+                }
+                if *x > max {
+                    max = x.clone();
+                }
+            }
+            Some((min, max))
+        }
+        match self {
+            ColumnValues::Bool(v) => mm(v).map(|(a, b)| (Value::Bool(a), Value::Bool(b))),
+            ColumnValues::Int(v) => mm(v).map(|(a, b)| (Value::Int(a), Value::Int(b))),
+            ColumnValues::Double(v) => mm(v).map(|(a, b)| (Value::Double(a), Value::Double(b))),
+            ColumnValues::String(v) => {
+                mm(v).map(|(a, b)| (Value::String(a), Value::String(b)))
+            }
+        }
+    }
+}
+
+/// One column's data for a batch of records: the definition-level stream
+/// (including delimiters) and the values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChunk {
+    /// The column's schema-derived metadata.
+    pub spec: ColumnSpec,
+    /// Definition-level stream (content entries and delimiters).
+    pub defs: Vec<u16>,
+    /// Values for entries at the maximum definition level (every entry for
+    /// the primary-key column).
+    pub values: ColumnValues,
+}
+
+impl ColumnChunk {
+    /// An empty chunk for the given column.
+    pub fn new(spec: ColumnSpec) -> ColumnChunk {
+        let values = ColumnValues::empty(spec.ty);
+        ColumnChunk {
+            spec,
+            defs: Vec::new(),
+            values,
+        }
+    }
+
+    /// Number of (definition level) entries.
+    pub fn entry_count(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Rough in-memory footprint (defs + values).
+    pub fn approx_bytes(&self) -> usize {
+        self.defs.len() * 2 + self.values.approx_bytes()
+    }
+
+    /// Encode the chunk into `out` using the paper's encoding set:
+    /// RLE/bit-packed definition levels, delta-packed integers, adaptive
+    /// delta strings, plain doubles and bit-vector booleans.
+    ///
+    /// Layout:
+    /// ```text
+    /// varint entry_count
+    /// varint value_count
+    /// u8     def bit width
+    /// varint encoded-defs length | defs bytes
+    /// u8     value encoding tag  | values bytes
+    /// ```
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.defs.len() as u64);
+        varint::write_u64(out, self.values.len() as u64);
+        let width = bitpack::bit_width(u64::from(self.spec.max_def.max(1)));
+        out.push(width as u8);
+
+        let mut def_bytes = Vec::with_capacity(self.defs.len() / 4 + 8);
+        let defs_u64: Vec<u64> = self.defs.iter().map(|&d| u64::from(d)).collect();
+        rle::encode(&defs_u64, width, &mut def_bytes);
+        varint::write_u64(out, def_bytes.len() as u64);
+        out.extend_from_slice(&def_bytes);
+
+        match &self.values {
+            ColumnValues::Bool(v) => {
+                out.push(Encoding::Plain.tag());
+                plain::encode_bool_column(v, out);
+            }
+            ColumnValues::Int(v) => {
+                out.push(Encoding::DeltaBinaryPacked.tag());
+                delta::encode(v, out);
+            }
+            ColumnValues::Double(v) => {
+                out.push(Encoding::Plain.tag());
+                plain::encode_f64_column(v, out);
+            }
+            ColumnValues::String(v) => {
+                let (enc, bytes) = bytesenc::encode_adaptive(v);
+                out.push(enc.tag());
+                out.extend_from_slice(&bytes);
+            }
+        }
+    }
+
+    /// Encoded size without keeping the buffer (used by page writers to
+    /// decide when a page is full).
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Decode a chunk previously produced by [`ColumnChunk::encode`]. The
+    /// caller supplies the [`ColumnSpec`] (persisted in the component's
+    /// schema) so the right value decoder is used.
+    pub fn decode(spec: ColumnSpec, buf: &[u8], pos: &mut usize) -> Result<ColumnChunk> {
+        let entry_count = varint::read_u64(buf, pos)? as usize;
+        let value_count = varint::read_u64(buf, pos)? as usize;
+        let width = u32::from(*buf.get(*pos).ok_or_else(|| DecodeError::new("truncated chunk"))?);
+        *pos += 1;
+        let def_len = varint::read_u64(buf, pos)? as usize;
+        let def_end = pos
+            .checked_add(def_len)
+            .ok_or_else(|| DecodeError::new("def length overflow"))?;
+        if def_end > buf.len() {
+            return Err(DecodeError::new("truncated definition levels"));
+        }
+        let mut def_pos = *pos;
+        let defs_u64 = rle::decode(&buf[..def_end], &mut def_pos, entry_count, width)?;
+        let defs: Vec<u16> = defs_u64.iter().map(|&d| d as u16).collect();
+        *pos = def_end;
+
+        let enc = Encoding::from_tag(*buf.get(*pos).ok_or_else(|| DecodeError::new("truncated chunk"))?)?;
+        *pos += 1;
+        let values = match spec.ty {
+            AtomicType::Bool => ColumnValues::Bool(plain::decode_bool_column(buf, pos)?),
+            AtomicType::Int => ColumnValues::Int(delta::decode(buf, pos)?),
+            AtomicType::Double => ColumnValues::Double(plain::decode_f64_column(buf, pos)?),
+            AtomicType::String => {
+                let raw = bytesenc::decode_adaptive(enc, buf, pos)?;
+                let mut strings = Vec::with_capacity(raw.len());
+                for b in raw {
+                    strings.push(
+                        String::from_utf8(b)
+                            .map_err(|_| DecodeError::new("invalid utf-8 in string column"))?,
+                    );
+                }
+                ColumnValues::String(strings)
+            }
+        };
+        if values.len() != value_count {
+            return Err(DecodeError::new(format!(
+                "value count mismatch: header {value_count}, decoded {}",
+                values.len()
+            )));
+        }
+        Ok(ColumnChunk { spec, defs, values })
+    }
+
+    /// Min/max of the stored values for zone-map filtering.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        self.values.min_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::Path;
+    use schema::AtomicType;
+
+    fn spec(ty: AtomicType, max_def: u16) -> ColumnSpec {
+        ColumnSpec {
+            id: 7,
+            path: Path::parse("x"),
+            ty,
+            max_def,
+            array_levels: vec![],
+            is_key: false,
+        }
+    }
+
+    #[test]
+    fn int_chunk_roundtrip() {
+        let mut chunk = ColumnChunk::new(spec(AtomicType::Int, 1));
+        for i in 0..1000i64 {
+            if i % 7 == 0 {
+                chunk.defs.push(0);
+            } else {
+                chunk.defs.push(1);
+                chunk.values.push(&Value::Int(i * 3));
+            }
+        }
+        let mut buf = Vec::new();
+        chunk.encode(&mut buf);
+        let mut pos = 0;
+        let back = ColumnChunk::decode(chunk.spec.clone(), &buf, &mut pos).unwrap();
+        assert_eq!(back, chunk);
+        assert_eq!(pos, buf.len());
+        assert_eq!(chunk.encoded_len(), buf.len());
+    }
+
+    #[test]
+    fn string_chunk_roundtrip() {
+        let mut chunk = ColumnChunk::new(spec(AtomicType::String, 3));
+        let words = ["NBA", "NFL", "FIFA", "PES"];
+        for i in 0..500 {
+            chunk.defs.push(3);
+            chunk.values.push(&Value::from(words[i % words.len()]));
+            if i % 10 == 0 {
+                chunk.defs.push(0); // delimiter entries carry no value
+            }
+        }
+        let mut buf = Vec::new();
+        chunk.encode(&mut buf);
+        let mut pos = 0;
+        let back = ColumnChunk::decode(chunk.spec.clone(), &buf, &mut pos).unwrap();
+        assert_eq!(back, chunk);
+    }
+
+    #[test]
+    fn double_and_bool_chunks_roundtrip() {
+        let mut d = ColumnChunk::new(spec(AtomicType::Double, 2));
+        let mut b = ColumnChunk::new(spec(AtomicType::Bool, 1));
+        for i in 0..300 {
+            d.defs.push(2);
+            d.values.push(&Value::Double(i as f64 * 0.5));
+            b.defs.push(1);
+            b.values.push(&Value::Bool(i % 3 == 0));
+        }
+        for chunk in [&d, &b] {
+            let mut buf = Vec::new();
+            chunk.encode(&mut buf);
+            let mut pos = 0;
+            let back = ColumnChunk::decode(chunk.spec.clone(), &buf, &mut pos).unwrap();
+            assert_eq!(&back, chunk);
+        }
+    }
+
+    #[test]
+    fn min_max_statistics() {
+        let mut chunk = ColumnChunk::new(spec(AtomicType::Int, 1));
+        for v in [5i64, -3, 12, 7] {
+            chunk.defs.push(1);
+            chunk.values.push(&Value::Int(v));
+        }
+        let (min, max) = chunk.min_max().unwrap();
+        assert_eq!(min, Value::Int(-3));
+        assert_eq!(max, Value::Int(12));
+
+        let empty = ColumnChunk::new(spec(AtomicType::String, 1));
+        assert!(empty.min_max().is_none());
+    }
+
+    #[test]
+    fn corrupted_chunk_is_an_error() {
+        let mut chunk = ColumnChunk::new(spec(AtomicType::Int, 1));
+        for i in 0..50 {
+            chunk.defs.push(1);
+            chunk.values.push(&Value::Int(i));
+        }
+        let mut buf = Vec::new();
+        chunk.encode(&mut buf);
+        for cut in [1usize, 3, buf.len() / 2] {
+            let mut pos = 0;
+            assert!(ColumnChunk::decode(chunk.spec.clone(), &buf[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot store value")]
+    fn pushing_wrong_type_panics() {
+        let mut values = ColumnValues::empty(AtomicType::Int);
+        values.push(&Value::from("not an int"));
+    }
+
+    #[test]
+    fn values_accessors() {
+        let mut v = ColumnValues::empty(AtomicType::String);
+        assert!(v.is_empty());
+        v.push(&Value::from("a"));
+        v.push(&Value::from("b"));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(1), Value::from("b"));
+        assert_eq!(v.ty(), AtomicType::String);
+        assert!(v.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! The shredder: schema-driven decomposition of records into columns.
+//!
+//! The shredder walks a record and the inferred schema *together* and emits,
+//! for every atomic leaf (column), a stream of definition-level entries plus
+//! values. The walk implements the paper's extended Dremel semantics:
+//!
+//! * a leaf whose path is fully present records its maximum definition level
+//!   and a value;
+//! * a leaf whose path is cut short (missing field, `null`, absent union
+//!   branch) records the definition level of the deepest present ancestor —
+//!   for an absent union branch that is the level *above* the union, because
+//!   union nodes are logical guides that do not count (§3.2.2);
+//! * when a non-empty array instance at nesting depth `k` ends, a delimiter
+//!   entry with value `k` is appended to every column beneath it; if an
+//!   enclosing array ends at the same point the inner delimiter is replaced
+//!   by the outer one ("the delimiter 0 also encompasses the inner delimiter
+//!   1", §3.2.1);
+//! * `null` array elements are dropped (they carry no type and the flexible
+//!   data model gives them no column to live in);
+//! * anti-matter entries record the deleted key with definition level 0 on
+//!   the primary-key column and an "absent" entry on every other column
+//!   (§3.2.3), keeping all columns aligned record-by-record.
+
+use std::collections::HashMap;
+
+use docmodel::Value;
+use schema::node::{BranchKind, SchemaNode};
+use schema::{columns_of, ColumnId, NodeId, Schema};
+
+use crate::chunk::ColumnChunk;
+
+/// The result of shredding a batch of records: one chunk per column plus the
+/// number of records covered.
+#[derive(Debug, Clone)]
+pub struct ShreddedBatch {
+    /// Column chunks, in the order produced by [`schema::columns_of`] (the
+    /// primary-key column first).
+    pub columns: Vec<ColumnChunk>,
+    /// Number of records (including anti-matter entries) in the batch.
+    pub record_count: usize,
+}
+
+impl ShreddedBatch {
+    /// Find a chunk by column id.
+    pub fn column(&self, id: ColumnId) -> Option<&ColumnChunk> {
+        self.columns.iter().find(|c| c.spec.id == id)
+    }
+
+    /// Total in-memory footprint of all chunks.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(ColumnChunk::approx_bytes).sum()
+    }
+}
+
+/// What the walk passes down for each schema node while shredding a record.
+#[derive(Clone, Copy)]
+enum Slot<'v> {
+    /// The value at this position is present (and is not `null`).
+    Present(&'v Value),
+    /// Nothing is present at or below this position; every leaf beneath
+    /// records the given definition level.
+    Absent(u16),
+}
+
+/// Schema-driven shredder. Create one per flush (or per page batch), feed it
+/// records, then call [`Shredder::finish`].
+pub struct Shredder<'s> {
+    schema: &'s Schema,
+    columns: Vec<ColumnChunk>,
+    index_of: HashMap<ColumnId, usize>,
+    /// For every schema node, the indexes (into `columns`) of the atomic
+    /// leaves in its subtree. Used to broadcast absent entries and delimiters.
+    leaves_under: HashMap<NodeId, Vec<usize>>,
+    /// Per column: whether the last entry appended for the current record was
+    /// a delimiter (needed for the subsumption rule).
+    last_was_delim: Vec<bool>,
+    record_count: usize,
+}
+
+impl<'s> Shredder<'s> {
+    /// Create a shredder for the given (already inferred) schema.
+    pub fn new(schema: &'s Schema) -> Shredder<'s> {
+        let specs = columns_of(schema);
+        let mut index_of = HashMap::with_capacity(specs.len());
+        let mut columns = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            index_of.insert(spec.id, i);
+            columns.push(ColumnChunk::new(spec));
+        }
+        let mut leaves_under = HashMap::new();
+        collect_leaves(schema, schema.root(), &index_of, &mut leaves_under);
+        let n = columns.len();
+        Shredder {
+            schema,
+            columns,
+            index_of,
+            leaves_under,
+            last_was_delim: vec![false; n],
+            record_count: 0,
+        }
+    }
+
+    /// Number of records shredded so far.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Current in-memory footprint of the accumulated chunks.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(ColumnChunk::approx_bytes).sum()
+    }
+
+    /// Shred one record. The record must be an object; its fields must be
+    /// covered by the schema (which is guaranteed when the schema was
+    /// inferred from the same records, as the tuple compactor does).
+    pub fn shred(&mut self, record: &Value) {
+        self.record_count += 1;
+        self.last_was_delim.iter_mut().for_each(|b| *b = false);
+        self.walk(self.schema.root(), 0, 0, Slot::Present(record));
+    }
+
+    /// Shred an anti-matter (delete) entry for `key`: the primary-key column
+    /// records the key with definition level 0, every other column records an
+    /// absent entry so that record alignment is preserved.
+    pub fn shred_antimatter(&mut self, key: &Value) {
+        self.record_count += 1;
+        self.last_was_delim.iter_mut().for_each(|b| *b = false);
+        for chunk in &mut self.columns {
+            chunk.defs.push(0);
+            if chunk.spec.is_key {
+                chunk.values.push(key);
+            }
+        }
+    }
+
+    /// Finish shredding and return the accumulated batch.
+    pub fn finish(self) -> ShreddedBatch {
+        ShreddedBatch {
+            columns: self.columns,
+            record_count: self.record_count,
+        }
+    }
+
+    /// Take the accumulated chunks, leaving the shredder empty and ready for
+    /// the next page's worth of records (APAX writers reuse their temporary
+    /// buffers this way, §4.5.1).
+    pub fn take_batch(&mut self) -> ShreddedBatch {
+        let specs: Vec<_> = self.columns.iter().map(|c| c.spec.clone()).collect();
+        let columns = std::mem::replace(
+            &mut self.columns,
+            specs.into_iter().map(ColumnChunk::new).collect(),
+        );
+        let record_count = self.record_count;
+        self.record_count = 0;
+        self.last_was_delim.iter_mut().for_each(|b| *b = false);
+        ShreddedBatch {
+            columns,
+            record_count,
+        }
+    }
+
+    fn walk(&mut self, node_id: NodeId, level: u16, array_depth: u16, slot: Slot<'_>) {
+        match self.schema.node(node_id) {
+            SchemaNode::Atomic { ty } => {
+                let Some(&idx) = self.index_of.get(&node_id) else {
+                    return;
+                };
+                let chunk = &mut self.columns[idx];
+                match slot {
+                    Slot::Present(v) if ty.matches(v) => {
+                        chunk.defs.push(chunk.spec.max_def);
+                        chunk.values.push(v);
+                    }
+                    Slot::Present(_) => {
+                        // Type mismatch without a union: only possible when a
+                        // record not covered by the schema is shredded; treat
+                        // the value as absent at its parent's level.
+                        chunk.defs.push(level.saturating_sub(1));
+                        if chunk.spec.is_key {
+                            chunk.values.push(&Value::Int(0));
+                        }
+                    }
+                    Slot::Absent(def) => {
+                        chunk.defs.push(def);
+                        if chunk.spec.is_key {
+                            // The key column stores a value for every entry;
+                            // an absent key only arises for malformed input.
+                            chunk.values.push(&Value::Int(0));
+                        }
+                    }
+                }
+                self.last_was_delim[idx] = false;
+            }
+            SchemaNode::Object { fields } => {
+                // Clone the field list (names + ids) to release the borrow on
+                // the schema; field lists are short.
+                let fields: Vec<(String, NodeId)> = fields.clone();
+                match slot {
+                    Slot::Present(Value::Object(record_fields)) => {
+                        for (name, child) in &fields {
+                            let child_value = record_fields
+                                .iter()
+                                .find(|(k, _)| k == name)
+                                .map(|(_, v)| v)
+                                .filter(|v| !v.is_null());
+                            let child_slot = match child_value {
+                                Some(v) => Slot::Present(v),
+                                None => Slot::Absent(level),
+                            };
+                            self.walk(*child, level + 1, array_depth, child_slot);
+                        }
+                    }
+                    Slot::Present(_) => {
+                        // Kind mismatch without a union (see Atomic case).
+                        for (_, child) in &fields {
+                            self.walk(
+                                *child,
+                                level + 1,
+                                array_depth,
+                                Slot::Absent(level.saturating_sub(1)),
+                            );
+                        }
+                    }
+                    Slot::Absent(def) => {
+                        for (_, child) in &fields {
+                            self.walk(*child, level + 1, array_depth, Slot::Absent(def));
+                        }
+                    }
+                }
+            }
+            SchemaNode::Array { item } => {
+                let Some(item) = *item else { return };
+                match slot {
+                    Slot::Present(Value::Array(elems)) => {
+                        // Null elements carry no type information and are dropped.
+                        let elems: Vec<&Value> = elems.iter().filter(|e| !e.is_null()).collect();
+                        if elems.is_empty() {
+                            // Present but empty: one entry at the array's own level.
+                            self.walk(item, level + 1, array_depth + 1, Slot::Absent(level));
+                            // The outermost array always terminates its record
+                            // segment with delimiter 0 when it is present, so
+                            // that a single column's record boundary is
+                            // unambiguous (see ColumnCursor::skip_record).
+                            if array_depth == 0 {
+                                self.emit_delimiter(node_id, 0);
+                            }
+                        } else {
+                            for elem in elems {
+                                self.walk(item, level + 1, array_depth + 1, Slot::Present(elem));
+                            }
+                            self.emit_delimiter(node_id, array_depth);
+                        }
+                    }
+                    Slot::Present(_) => {
+                        self.walk(
+                            item,
+                            level + 1,
+                            array_depth + 1,
+                            Slot::Absent(level.saturating_sub(1)),
+                        );
+                    }
+                    Slot::Absent(def) => {
+                        self.walk(item, level + 1, array_depth + 1, Slot::Absent(def));
+                    }
+                }
+            }
+            SchemaNode::Union { branches } => {
+                let branches: Vec<(BranchKind, NodeId)> = branches.clone();
+                match slot {
+                    Slot::Present(v) => {
+                        let value_kind = BranchKind::of(v);
+                        for (kind, child) in &branches {
+                            if Some(*kind) == value_kind {
+                                self.walk(*child, level, array_depth, Slot::Present(v));
+                            } else {
+                                // Absent branch: the level above the union,
+                                // because unions are logical guides (§3.2.2).
+                                self.walk(
+                                    *child,
+                                    level,
+                                    array_depth,
+                                    Slot::Absent(level.saturating_sub(1)),
+                                );
+                            }
+                        }
+                    }
+                    Slot::Absent(def) => {
+                        for (_, child) in &branches {
+                            self.walk(*child, level, array_depth, Slot::Absent(def));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A non-empty array instance at nesting depth `k` just ended: append
+    /// delimiter `k` to every column beneath it, replacing a deeper delimiter
+    /// that was just emitted (the subsumption rule).
+    fn emit_delimiter(&mut self, array_node: NodeId, k: u16) {
+        let Some(leaf_indexes) = self.leaves_under.get(&array_node) else {
+            return;
+        };
+        for &idx in leaf_indexes {
+            let chunk = &mut self.columns[idx];
+            if self.last_was_delim[idx] {
+                let last = chunk
+                    .defs
+                    .last_mut()
+                    .expect("delimiter flag implies at least one entry");
+                debug_assert!(*last > k, "delimiters must close outward");
+                *last = k;
+            } else {
+                chunk.defs.push(k);
+                self.last_was_delim[idx] = true;
+            }
+        }
+    }
+}
+
+/// Convenience: shred a batch of records against a schema in one call.
+pub fn shred_records(schema: &Schema, records: &[Value]) -> ShreddedBatch {
+    let mut shredder = Shredder::new(schema);
+    for r in records {
+        shredder.shred(r);
+    }
+    shredder.finish()
+}
+
+fn collect_leaves(
+    schema: &Schema,
+    node: NodeId,
+    index_of: &HashMap<ColumnId, usize>,
+    out: &mut HashMap<NodeId, Vec<usize>>,
+) -> Vec<usize> {
+    let leaves: Vec<usize> = match schema.node(node) {
+        SchemaNode::Atomic { .. } => index_of.get(&node).copied().into_iter().collect(),
+        SchemaNode::Object { fields } => fields
+            .iter()
+            .flat_map(|(_, c)| collect_leaves(schema, *c, index_of, out))
+            .collect(),
+        SchemaNode::Array { item } => item
+            .map(|c| collect_leaves(schema, c, index_of, out))
+            .unwrap_or_default(),
+        SchemaNode::Union { branches } => branches
+            .iter()
+            .flat_map(|(_, c)| collect_leaves(schema, *c, index_of, out))
+            .collect(),
+    };
+    out.insert(node, leaves.clone());
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::doc;
+    use schema::SchemaBuilder;
+
+    /// The four records of Figure 4a.
+    fn gamer_records() -> Vec<Value> {
+        vec![
+            doc!({"id": 0, "games": [{"title": "NFL"}]}),
+            doc!({
+                "id": 1,
+                "name": {"last": "Brown"},
+                "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]
+            }),
+            doc!({
+                "id": 2,
+                "name": {"first": "John", "last": "Smith"},
+                "games": [
+                    {"title": "NBA", "consoles": ["PS4", "PC"]},
+                    {"title": "NFL", "consoles": ["XBOX"]}
+                ]
+            }),
+            doc!({"id": 3}),
+        ]
+    }
+
+    fn shred_gamers() -> (Schema, ShreddedBatch) {
+        let records = gamer_records();
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let batch = shred_records(&schema, &records);
+        (schema, batch)
+    }
+
+    fn chunk_by_path<'a>(batch: &'a ShreddedBatch, path: &str) -> &'a ColumnChunk {
+        batch
+            .columns
+            .iter()
+            .find(|c| c.spec.path.to_string() == path)
+            .unwrap_or_else(|| panic!("no column {path}"))
+    }
+
+    #[test]
+    fn figure5_titles_stream() {
+        // games[*].title: 3 NFL | 0 -- | 3 FIFA | 0 -- | 3 NBA | 3 NFL | 0 -- | 0 NULL
+        let (_, batch) = shred_gamers();
+        let titles = chunk_by_path(&batch, "games[*].title");
+        assert_eq!(titles.defs, vec![3, 0, 3, 0, 3, 3, 0, 0]);
+        assert_eq!(
+            titles.values,
+            crate::chunk::ColumnValues::String(vec![
+                "NFL".into(),
+                "FIFA".into(),
+                "NBA".into(),
+                "NFL".into()
+            ])
+        );
+    }
+
+    #[test]
+    fn figure5_consoles_stream() {
+        // games[*].consoles[*]:
+        // 2 NULL | 0 -- | 4 PC | 4 PS4 | 0 -- | 4 PS4 | 4 PC | 1 -- | 4 XBOX | 0 -- | 0 NULL
+        let (_, batch) = shred_gamers();
+        let consoles = chunk_by_path(&batch, "games[*].consoles[*]");
+        assert_eq!(consoles.defs, vec![2, 0, 4, 4, 0, 4, 4, 1, 4, 0, 0]);
+        assert_eq!(
+            consoles.values,
+            crate::chunk::ColumnValues::String(vec![
+                "PC".into(),
+                "PS4".into(),
+                "PS4".into(),
+                "PC".into(),
+                "XBOX".into()
+            ])
+        );
+    }
+
+    #[test]
+    fn figure4_name_columns() {
+        // name.first: 0 NULL | 1 NULL | 2 John | 0 NULL
+        // name.last:  0 NULL | 2 Brown | 2 Smith | 0 NULL
+        let (_, batch) = shred_gamers();
+        let first = chunk_by_path(&batch, "name.first");
+        assert_eq!(first.defs, vec![0, 1, 2, 0]);
+        let last = chunk_by_path(&batch, "name.last");
+        assert_eq!(last.defs, vec![0, 2, 2, 0]);
+        assert_eq!(
+            last.values,
+            crate::chunk::ColumnValues::String(vec!["Brown".into(), "Smith".into()])
+        );
+    }
+
+    #[test]
+    fn key_column_stores_every_record() {
+        let (_, batch) = shred_gamers();
+        let id = chunk_by_path(&batch, "id");
+        assert!(id.spec.is_key);
+        assert_eq!(id.defs, vec![1, 1, 1, 1]);
+        assert_eq!(
+            id.values,
+            crate::chunk::ColumnValues::Int(vec![0, 1, 2, 3])
+        );
+        assert_eq!(batch.record_count, 4);
+    }
+
+    #[test]
+    fn figure7_union_columns() {
+        // The two records of Figure 6 and their columnar representation in
+        // Figure 7.
+        let records = vec![
+            doc!({"name": "John", "games": ["NBA", ["FIFA", "PES"], "NFL"]}),
+            doc!({"name": {"first": "Ann", "last": "Brown"}, "games": ["NFL", "NBA"]}),
+        ];
+        let mut b = SchemaBuilder::new(None);
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let batch = shred_records(&schema, &records);
+
+        // Column 1: name<string> — 1 John | 0 NULL
+        let name_str = chunk_by_path(&batch, "name<string>");
+        assert_eq!(name_str.defs, vec![1, 0]);
+        // Column 2: name<object>.first — 0 NULL | 2 Ann
+        let first = chunk_by_path(&batch, "name<object>.first");
+        assert_eq!(first.defs, vec![0, 2]);
+        // Column 3: name<object>.last — 0 NULL | 2 Brown
+        let last = chunk_by_path(&batch, "name<object>.last");
+        assert_eq!(last.defs, vec![0, 2]);
+        // Column 4: games[*]<string> — 2 NBA | 1 NULL | 2 NFL | 0 -- | 2 NFL | 2 NBA | 0 --
+        let games_str = chunk_by_path(&batch, "games[*]<string>");
+        assert_eq!(games_str.defs, vec![2, 1, 2, 0, 2, 2, 0]);
+        assert_eq!(
+            games_str.values,
+            crate::chunk::ColumnValues::String(vec![
+                "NBA".into(),
+                "NFL".into(),
+                "NFL".into(),
+                "NBA".into()
+            ])
+        );
+        // Column 5: games[*]<array>[*] —
+        // 1 NULL | 3 FIFA | 3 PES | 1 -- | 1 NULL | 0 -- | 1 NULL | 1 NULL | 0 --
+        let games_arr = chunk_by_path(&batch, "games[*]<array>[*]");
+        assert_eq!(games_arr.defs, vec![1, 3, 3, 1, 1, 0, 1, 1, 0]);
+        assert_eq!(
+            games_arr.values,
+            crate::chunk::ColumnValues::String(vec!["FIFA".into(), "PES".into()])
+        );
+    }
+
+    #[test]
+    fn antimatter_entries_align_all_columns() {
+        let records = gamer_records();
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let mut shredder = Shredder::new(&schema);
+        shredder.shred(&records[0]);
+        shredder.shred_antimatter(&Value::Int(7));
+        shredder.shred(&records[3]);
+        let batch = shredder.finish();
+        assert_eq!(batch.record_count, 3);
+
+        let id = chunk_by_path(&batch, "id");
+        assert_eq!(id.defs, vec![1, 0, 1]);
+        assert_eq!(id.values, crate::chunk::ColumnValues::Int(vec![0, 7, 3]));
+
+        // Every non-key column has exactly one entry per record.
+        let first = chunk_by_path(&batch, "name.first");
+        assert_eq!(first.defs.len(), 3);
+        let titles = chunk_by_path(&batch, "games[*].title");
+        // Record 0 contributes 2 entries (value + delimiter); the anti-matter
+        // and the empty record contribute 1 each.
+        assert_eq!(titles.defs, vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_and_nested_arrays() {
+        let records = vec![
+            doc!({"id": 1, "xs": []}),
+            doc!({"id": 2, "xs": [[1, 2], [3]]}),
+            doc!({"id": 3, "xs": [[]]}),
+            doc!({"id": 4}),
+            doc!({"id": 5, "xs": [[4]]}),
+        ];
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let batch = shred_records(&schema, &records);
+        let xs = chunk_by_path(&batch, "xs[*][*]");
+        // Record 1: xs empty -> def 1 then the record-terminating <0>.
+        // Record 2: 3,3,<1>,3,<0>. Record 3: inner empty -> def 2, then <0>.
+        // Record 4: missing -> 0. Record 5: 3,<0>.
+        assert_eq!(
+            xs.defs,
+            vec![1, 0, 3, 3, 1, 3, 0, 2, 0, 0, 3, 0]
+        );
+        assert_eq!(
+            xs.values,
+            crate::chunk::ColumnValues::Int(vec![1, 2, 3, 4])
+        );
+    }
+
+    #[test]
+    fn null_array_elements_are_dropped() {
+        let records = vec![doc!({"id": 1, "xs": [1, null, 2]}), doc!({"id": 2, "xs": [null]})];
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let batch = shred_records(&schema, &records);
+        let xs = chunk_by_path(&batch, "xs[*]");
+        // Record 1: 2 values then delimiter; record 2: all elements null ->
+        // behaves like an empty array (def 1 followed by the terminator).
+        assert_eq!(xs.defs, vec![2, 2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn take_batch_resets_the_shredder() {
+        let records = gamer_records();
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe_all(records.iter());
+        let schema = b.into_schema();
+        let mut shredder = Shredder::new(&schema);
+        shredder.shred(&records[0]);
+        let first = shredder.take_batch();
+        assert_eq!(first.record_count, 1);
+        assert_eq!(shredder.record_count(), 0);
+        shredder.shred(&records[1]);
+        shredder.shred(&records[2]);
+        let second = shredder.take_batch();
+        assert_eq!(second.record_count, 2);
+        // The chunks of the two batches are independent.
+        assert_eq!(chunk_by_path(&first, "id").defs.len(), 1);
+        assert_eq!(chunk_by_path(&second, "id").defs.len(), 2);
+    }
+
+    #[test]
+    fn shredded_batch_lookup_and_size() {
+        let (schema, batch) = shred_gamers();
+        let key = schema::key_column(&schema).unwrap();
+        assert!(batch.column(key.id).is_some());
+        assert!(batch.column(9999).is_none());
+        assert!(batch.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests: shredding then assembling arbitrary "clean"
+//! documents is the identity (up to object field order), and encoded chunks
+//! round-trip byte-exactly.
+
+use std::sync::Arc;
+
+use columnar::{Assembler, ColumnChunk, ColumnCursor, Shredder};
+use docmodel::Value;
+use proptest::prelude::*;
+use schema::SchemaBuilder;
+
+/// Arbitrary documents with no nulls, no empty containers and consistent
+/// key field: exactly the fragment for which shred→assemble is lossless
+/// (nulls and empty objects intentionally assemble as absent — see the
+/// targeted unit tests for those semantics).
+fn arb_clean_value(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9f64).prop_map(Value::Double),
+        "[a-z0-9]{0,12}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(depth, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Value::Array),
+            prop::collection::vec(("[a-e]{1,3}", inner), 1..4).prop_map(|fields| {
+                let mut out: Vec<(String, Value)> = Vec::new();
+                for (k, v) in fields {
+                    if !out.iter().any(|(ek, _)| *ek == k) {
+                        out.push((k, v));
+                    }
+                }
+                Value::Object(out)
+            }),
+        ]
+    })
+}
+
+fn arb_record() -> impl Strategy<Value = Value> {
+    (1i64..1_000_000, prop::collection::vec(("[a-e]{1,3}", arb_clean_value(3)), 0..5)).prop_map(
+        |(id, fields)| {
+            let mut obj = vec![("id".to_string(), Value::Int(id))];
+            for (k, v) in fields {
+                if k != "id" && !obj.iter().any(|(ek, _)| *ek == k) {
+                    obj.push((k, v));
+                }
+            }
+            Value::Object(obj)
+        },
+    )
+}
+
+fn sort_fields(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut fs: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, v)| (k.clone(), sort_fields(v)))
+                .collect();
+            fs.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(fs)
+        }
+        Value::Array(elems) => Value::Array(elems.iter().map(sort_fields).collect()),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shred_assemble_is_identity_on_clean_documents(records in prop::collection::vec(arb_record(), 1..12)) {
+        let mut builder = SchemaBuilder::new(Some("id".to_string()));
+        builder.observe_all(records.iter());
+        let schema = builder.into_schema();
+
+        let mut shredder = Shredder::new(&schema);
+        for r in &records {
+            shredder.shred(r);
+        }
+        let batch = shredder.finish();
+
+        // Encode and decode every chunk (the on-disk byte path) before
+        // assembling, so the whole pipeline is covered.
+        let mut cursors = Vec::new();
+        for chunk in &batch.columns {
+            let mut buf = Vec::new();
+            chunk.encode(&mut buf);
+            let mut pos = 0;
+            let decoded = ColumnChunk::decode(chunk.spec.clone(), &buf, &mut pos).unwrap();
+            prop_assert_eq!(&decoded, chunk);
+            cursors.push(ColumnCursor::new(Arc::new(decoded)));
+        }
+
+        let mut assembler = Assembler::new(&schema, cursors, batch.record_count);
+        for original in &records {
+            let assembled = assembler.next_record().unwrap().unwrap();
+            prop_assert_eq!(sort_fields(&assembled), sort_fields(original));
+        }
+        prop_assert!(assembler.next_record().is_none());
+    }
+
+    #[test]
+    fn skip_then_assemble_matches_direct_assembly(records in prop::collection::vec(arb_record(), 2..10), skip in 1usize..8) {
+        let mut builder = SchemaBuilder::new(Some("id".to_string()));
+        builder.observe_all(records.iter());
+        let schema = builder.into_schema();
+        let mut shredder = Shredder::new(&schema);
+        for r in &records {
+            shredder.shred(r);
+        }
+        let batch = shredder.finish();
+        let skip = skip.min(records.len() - 1);
+
+        let cursors: Vec<_> = batch
+            .columns
+            .iter()
+            .map(|c| ColumnCursor::new(Arc::new(c.clone())))
+            .collect();
+        let mut assembler = Assembler::new(&schema, cursors, batch.record_count);
+        assembler.skip_records(skip);
+        let next = assembler.next_record().unwrap().unwrap();
+        prop_assert_eq!(sort_fields(&next), sort_fields(&records[skip]));
+    }
+}

@@ -1,0 +1,302 @@
+//! # docstore — the public facade
+//!
+//! A small, user-facing API over the whole stack: create a [`Datastore`],
+//! declare datasets with a storage layout, feed them JSON documents, and run
+//! analytical queries in either execution mode. This is the surface a
+//! downstream user of the reproduction would program against; the examples
+//! in the repository root use nothing else.
+//!
+//! ```
+//! use docstore::{Datastore, DatasetOptions, Layout};
+//! use query::{ExecMode, Query};
+//!
+//! let mut store = Datastore::new();
+//! store
+//!     .create_dataset("gamers", DatasetOptions::new(Layout::Amax).key("id"))
+//!     .unwrap();
+//! store
+//!     .ingest_json("gamers", r#"{"id": 1, "name": {"first": "Ann"}, "games": [{"title": "NBA"}]}"#)
+//!     .unwrap();
+//! store.flush("gamers").unwrap();
+//! let rows = store
+//!     .query("gamers", &Query::count_star(), ExecMode::Compiled)
+//!     .unwrap();
+//! assert_eq!(rows[0].agg, docstore::Value::Int(1));
+//! ```
+
+use std::collections::HashMap;
+
+use docmodel::parse_json;
+use lsm::{DatasetConfig, IngestStats, LsmDataset};
+use query::{ExecMode, Query, QueryRow};
+use storage::pagestore::IoStats;
+
+pub use docmodel::{doc, Path, Value};
+pub use lsm::TieringPolicy;
+pub use storage::LayoutKind as Layout;
+
+/// Error type of the facade.
+pub type Error = encoding::DecodeError;
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Options for creating a dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetOptions {
+    /// Storage layout for on-disk components.
+    pub layout: Layout,
+    /// Primary-key field name (default `"id"`).
+    pub key_field: String,
+    /// Memtable budget in bytes before a flush is triggered.
+    pub memtable_budget: usize,
+    /// Simulated disk page size.
+    pub page_size: usize,
+    /// Optional secondary index path.
+    pub secondary_index: Option<Path>,
+    /// Page-level compression.
+    pub compress_pages: bool,
+}
+
+impl DatasetOptions {
+    /// Defaults mirroring the paper's setup, scaled down.
+    pub fn new(layout: Layout) -> DatasetOptions {
+        DatasetOptions {
+            layout,
+            key_field: "id".to_string(),
+            memtable_budget: 4 << 20,
+            page_size: 128 * 1024,
+            secondary_index: None,
+            compress_pages: true,
+        }
+    }
+
+    /// Set the primary-key field.
+    pub fn key(mut self, key: impl Into<String>) -> Self {
+        self.key_field = key.into();
+        self
+    }
+
+    /// Set the memtable budget.
+    pub fn memtable_budget(mut self, bytes: usize) -> Self {
+        self.memtable_budget = bytes;
+        self
+    }
+
+    /// Set the page size.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Declare a secondary index on a path.
+    pub fn secondary_index(mut self, path: impl Into<Path>) -> Self {
+        self.secondary_index = Some(path.into());
+        self
+    }
+
+    fn to_config(&self, name: &str) -> DatasetConfig {
+        let mut config = DatasetConfig::new(name, self.layout)
+            .with_key_field(self.key_field.clone())
+            .with_memtable_budget(self.memtable_budget)
+            .with_page_size(self.page_size);
+        config.compress_pages = self.compress_pages;
+        if let Some(p) = &self.secondary_index {
+            config = config.with_secondary_index(p.clone());
+        }
+        config
+    }
+}
+
+/// A collection of named datasets — the facade over the LSM engine.
+#[derive(Default)]
+pub struct Datastore {
+    datasets: HashMap<String, LsmDataset>,
+}
+
+impl Datastore {
+    /// Create an empty datastore.
+    pub fn new() -> Datastore {
+        Datastore::default()
+    }
+
+    /// Create a dataset. Fails if the name is taken.
+    pub fn create_dataset(&mut self, name: &str, options: DatasetOptions) -> Result<()> {
+        if self.datasets.contains_key(name) {
+            return Err(Error::new(format!("dataset '{name}' already exists")));
+        }
+        let dataset = LsmDataset::new(options.to_config(name));
+        self.datasets.insert(name.to_string(), dataset);
+        Ok(())
+    }
+
+    /// Borrow a dataset.
+    pub fn dataset(&self, name: &str) -> Result<&LsmDataset> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| Error::new(format!("unknown dataset '{name}'")))
+    }
+
+    /// Mutably borrow a dataset.
+    pub fn dataset_mut(&mut self, name: &str) -> Result<&mut LsmDataset> {
+        self.datasets
+            .get_mut(name)
+            .ok_or_else(|| Error::new(format!("unknown dataset '{name}'")))
+    }
+
+    /// Names of all datasets.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.datasets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Insert one document (as a [`Value`]).
+    pub fn ingest(&mut self, dataset: &str, doc: Value) -> Result<()> {
+        self.dataset_mut(dataset)?.insert(doc)
+    }
+
+    /// Parse and insert one JSON document (or a whitespace-separated stream).
+    pub fn ingest_json(&mut self, dataset: &str, json: &str) -> Result<usize> {
+        let docs = docmodel::parse_json_stream(json)
+            .map_err(|e| Error::new(format!("invalid JSON: {e}")))?;
+        let n = docs.len();
+        let ds = self.dataset_mut(dataset)?;
+        for doc in docs {
+            ds.insert(doc)?;
+        }
+        Ok(n)
+    }
+
+    /// Insert many documents.
+    pub fn ingest_all(&mut self, dataset: &str, docs: impl IntoIterator<Item = Value>) -> Result<usize> {
+        let ds = self.dataset_mut(dataset)?;
+        let mut n = 0;
+        for doc in docs {
+            ds.insert(doc)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Delete a record by key.
+    pub fn delete(&mut self, dataset: &str, key: Value) -> Result<()> {
+        self.dataset_mut(dataset)?.delete(key)
+    }
+
+    /// Force-flush the in-memory component.
+    pub fn flush(&mut self, dataset: &str) -> Result<()> {
+        self.dataset_mut(dataset)?.flush()
+    }
+
+    /// Flush and merge everything down to one component.
+    pub fn compact(&mut self, dataset: &str) -> Result<()> {
+        self.dataset_mut(dataset)?.compact_fully()
+    }
+
+    /// Run a query.
+    pub fn query(&self, dataset: &str, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
+        query::run(self.dataset(dataset)?, query, mode)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, dataset: &str, key: &Value) -> Result<Option<Value>> {
+        self.dataset(dataset)?.lookup(key, None)
+    }
+
+    /// Parse a single JSON document into a [`Value`] (re-export convenience).
+    pub fn parse(json: &str) -> Result<Value> {
+        parse_json(json).map_err(|e| Error::new(format!("invalid JSON: {e}")))
+    }
+
+    /// Ingestion statistics of a dataset.
+    pub fn ingest_stats(&self, dataset: &str) -> Result<IngestStats> {
+        Ok(self.dataset(dataset)?.stats())
+    }
+
+    /// I/O statistics of a dataset's simulated disk.
+    pub fn io_stats(&self, dataset: &str) -> Result<IoStats> {
+        Ok(self.dataset(dataset)?.io_stats())
+    }
+
+    /// On-disk footprint of a dataset (primary index plus index structures).
+    pub fn stored_bytes(&self, dataset: &str) -> Result<u64> {
+        Ok(self.dataset(dataset)?.total_stored_bytes())
+    }
+
+    /// The inferred schema of a dataset, pretty-printed.
+    pub fn describe_schema(&self, dataset: &str) -> Result<String> {
+        Ok(self.dataset(dataset)?.schema().describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::Aggregate;
+
+    #[test]
+    fn end_to_end_facade_roundtrip() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "tweets",
+                DatasetOptions::new(Layout::Amax)
+                    .key("id")
+                    .memtable_budget(32 * 1024)
+                    .page_size(8 * 1024),
+            )
+            .unwrap();
+        assert!(store.create_dataset("tweets", DatasetOptions::new(Layout::Vb)).is_err());
+
+        for i in 0..200i64 {
+            store
+                .ingest(
+                    "tweets",
+                    doc!({"id": i, "likes": (i % 10), "user": {"name": (format!("u{}", i % 5))}}),
+                )
+                .unwrap();
+        }
+        store.flush("tweets").unwrap();
+
+        let count = store
+            .query("tweets", &Query::count_star(), ExecMode::Compiled)
+            .unwrap();
+        assert_eq!(count[0].agg, Value::Int(200));
+
+        let top = store
+            .query(
+                "tweets",
+                &Query::count_star()
+                    .group_by(Path::parse("user.name"))
+                    .aggregate(Aggregate::Max(Path::parse("likes")))
+                    .top_k(3),
+                ExecMode::Interpreted,
+            )
+            .unwrap();
+        assert_eq!(top.len(), 3);
+
+        let rec = store.get("tweets", &Value::Int(42)).unwrap().unwrap();
+        assert_eq!(rec.get_field("likes"), Some(&Value::Int(2)));
+        assert!(store.stored_bytes("tweets").unwrap() > 0);
+        assert!(store.describe_schema("tweets").unwrap().contains("user"));
+        assert_eq!(store.dataset_names(), vec!["tweets".to_string()]);
+    }
+
+    #[test]
+    fn json_ingestion_and_deletes() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset("d", DatasetOptions::new(Layout::Apax).page_size(8 * 1024))
+            .unwrap();
+        let n = store
+            .ingest_json("d", "{\"id\": 1, \"v\": 1}\n{\"id\": 2, \"v\": \"two\"}")
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(store.ingest_json("d", "not json").is_err());
+        store.delete("d", Value::Int(1)).unwrap();
+        store.compact("d").unwrap();
+        assert!(store.get("d", &Value::Int(1)).unwrap().is_none());
+        assert!(store.get("d", &Value::Int(2)).unwrap().is_some());
+        assert!(store.query("nope", &Query::count_star(), ExecMode::Compiled).is_err());
+    }
+}

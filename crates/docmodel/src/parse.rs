@@ -1,0 +1,410 @@
+//! A small, dependency-free JSON parser producing [`Value`]s.
+//!
+//! The parser is a straightforward recursive-descent scanner over the input
+//! bytes. It supports the full JSON grammar (RFC 8259) with two pragmatic
+//! extensions that show up in real document-store feeds:
+//!
+//! * integers that fit in `i64` parse to [`Value::Int`]; everything else
+//!   (fractions, exponents, overflow) parses to [`Value::Double`], matching
+//!   how AsterixDB's feed adapter types numbers;
+//! * [`parse_json_stream`] accepts newline- or whitespace-delimited streams
+//!   of documents ("JSON lines"), the usual shape of ingestion feeds.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Error produced when the input is not valid JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which the error was detected.
+    pub offset: usize,
+    /// Human readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a single JSON document into a [`Value`].
+///
+/// Trailing whitespace is allowed; trailing non-whitespace content is an
+/// error (use [`parse_json_stream`] for feeds).
+pub fn parse_json(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Parse a stream of whitespace-separated JSON documents (JSON lines).
+pub fn parse_json_stream(input: &str) -> Result<Vec<Value>, ParseError> {
+    let mut p = Parser::new(input);
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            break;
+        }
+        out.push(p.parse_value()?);
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            Some(b'n') => self.parse_null(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.err(format!("unexpected character '{}'", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            // Last binding wins for duplicate keys, as in most JSON readers.
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                fields.push((key, value));
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+        Ok(Value::Object(fields))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(elems));
+        }
+        loop {
+            elems.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+        Ok(Value::Array(elems))
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(self.err("invalid literal (expected true/false)"))
+        }
+    }
+
+    fn parse_null(&mut self) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            Ok(Value::Null)
+        } else {
+            Err(self.err("invalid literal (expected null)"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Double)
+            .map_err(|_| self.err(format!("invalid number literal '{text}'")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.bump().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => break,
+                b'\\' => {
+                    let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Handle surrogate pairs for characters outside the BMP.
+                            if (0xD800..=0xDBFF).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                    );
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..=0xDFFF).contains(&cp) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid unicode escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume a full UTF-8 sequence starting at `b`.
+                    let len = utf8_len(b);
+                    if len == 1 {
+                        out.push(b as char);
+                    } else {
+                        let end = self.pos - 1 + len;
+                        if end > self.bytes.len() {
+                            return Err(self.err("truncated utf-8 sequence"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[self.pos - 1..end])
+                            .map_err(|_| self.err("invalid utf-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            cp = cp * 16 + digit;
+        }
+        Ok(cp)
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    if first_byte < 0x80 {
+        1
+    } else if first_byte >> 5 == 0b110 {
+        2
+    } else if first_byte >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::to_json;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_json("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_json("3.25").unwrap(), Value::Double(3.25));
+        assert_eq!(parse_json("1e3").unwrap(), Value::Double(1000.0));
+        assert_eq!(parse_json("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("\"hi\"").unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn integer_overflow_falls_back_to_double() {
+        let v = parse_json("99999999999999999999999").unwrap();
+        assert!(matches!(v, Value::Double(_)));
+    }
+
+    #[test]
+    fn parses_paper_figure4_record() {
+        let text = r#"{
+            "id": 2,
+            "name": {"first": "John", "last": "Smith"},
+            "games": [
+                {"title": "NBA", "consoles": ["PS4", "PC"]},
+                {"title": "NFL", "consoles": ["XBOX"]}
+            ]
+        }"#;
+        let v = parse_json(text).unwrap();
+        assert_eq!(v.get_field("id"), Some(&Value::Int(2)));
+        let games = v.get_field("games").unwrap().as_array().unwrap();
+        assert_eq!(games.len(), 2);
+        assert_eq!(
+            games[1].get_field("consoles").unwrap().as_array().unwrap()[0],
+            Value::from("XBOX")
+        );
+    }
+
+    #[test]
+    fn handles_escapes_and_unicode() {
+        let v = parse_json(r#""a\nb\t\"q\" é 😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\nb\t\"q\" é 😀");
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse_json(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get_field("a"), Some(&Value::Int(2)));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("tru").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("").is_err());
+        assert!(parse_json("-").is_err());
+    }
+
+    #[test]
+    fn stream_parsing() {
+        let docs = parse_json_stream("{\"a\":1}\n{\"a\":2}\n  {\"a\":3}").unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[2].get_field("a"), Some(&Value::Int(3)));
+        assert!(parse_json_stream("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let text = r#"{"id":1,"xs":[1,2.5,"s",null,true,{"k":[]}],"o":{}}"#;
+        let v = parse_json(text).unwrap();
+        let printed = to_json(&v);
+        let reparsed = parse_json(&printed).unwrap();
+        assert_eq!(v, reparsed);
+    }
+}

@@ -1,0 +1,171 @@
+//! JSON serialization of [`Value`]s.
+//!
+//! Two printers are provided: a compact one ([`to_json`]) used when measuring
+//! raw input sizes and writing feed files, and a pretty printer
+//! ([`to_json_pretty`]) for examples and debugging output.
+
+use crate::value::Value;
+
+/// Serialize a value to compact JSON (no extra whitespace).
+pub fn to_json(value: &Value) -> String {
+    let mut out = String::with_capacity(value.approx_size() * 2);
+    write_value(value, &mut out);
+    out
+}
+
+/// Serialize a value to indented, human-readable JSON.
+pub fn to_json_pretty(value: &Value) -> String {
+    let mut out = String::with_capacity(value.approx_size() * 2);
+    write_pretty(value, &mut out, 0);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Double(d) => write_double(*d, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(elems) => {
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(e, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Value, out: &mut String, indent: usize) {
+    match value {
+        Value::Array(elems) if !elems.is_empty() => {
+            out.push_str("[\n");
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(e, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_double(d: f64, out: &mut String) {
+    if d.is_nan() || d.is_infinite() {
+        // JSON has no NaN/Inf; document stores typically store them as null.
+        out.push_str("null");
+    } else if d == d.trunc() && d.abs() < 1e15 {
+        // Keep a trailing ".0" so the value re-parses as a double, not an int.
+        out.push_str(&format!("{d:.1}"));
+    } else {
+        out.push_str(&format!("{d}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_json;
+
+    #[test]
+    fn compact_output() {
+        let v = parse_json(r#"{"a": [1, 2.5, "x"], "b": null}"#).unwrap();
+        assert_eq!(to_json(&v), r#"{"a":[1,2.5,"x"],"b":null}"#);
+    }
+
+    #[test]
+    fn doubles_keep_fraction_marker() {
+        assert_eq!(to_json(&Value::Double(3.0)), "3.0");
+        let reparsed = parse_json("3.0").unwrap();
+        assert_eq!(reparsed, Value::Double(3.0));
+    }
+
+    #[test]
+    fn non_finite_doubles_become_null() {
+        assert_eq!(to_json(&Value::Double(f64::NAN)), "null");
+        assert_eq!(to_json(&Value::Double(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::from("line\nbreak \"quoted\" \\ tab\t end\u{0001}");
+        let printed = to_json(&v);
+        assert_eq!(parse_json(&printed).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = parse_json(r#"{"a": [1, {"b": [true, null]}], "c": {}}"#).unwrap();
+        let pretty = to_json_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse_json(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_json(&Value::Array(vec![])), "[]");
+        assert_eq!(to_json(&Value::empty_object()), "{}");
+        assert_eq!(to_json_pretty(&Value::Array(vec![])), "[]");
+    }
+}

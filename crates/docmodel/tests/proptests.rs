@@ -1,0 +1,84 @@
+//! Property-based tests for the document model: arbitrary values survive a
+//! print → parse round trip, and the total order really is a total order.
+
+use docmodel::{parse_json, to_json, to_json_pretty, total_cmp, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// Strategy producing arbitrary documents of bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only: NaN/Inf intentionally do not round-trip
+        // through JSON (they serialize as null).
+        (-1e12f64..1e12f64).prop_map(Value::Double),
+        "[a-zA-Z0-9 _\\-\u{00e9}\u{4e16}]{0,24}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|fields| {
+                // Deduplicate keys: objects keep one binding per key.
+                let mut out: Vec<(String, Value)> = Vec::new();
+                for (k, v) in fields {
+                    if let Some(slot) = out.iter_mut().find(|(ek, _)| *ek == k) {
+                        slot.1 = v;
+                    } else {
+                        out.push((k, v));
+                    }
+                }
+                Value::Object(out)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(v in arb_value()) {
+        let text = to_json(&v);
+        let reparsed = parse_json(&text).expect("printed JSON must reparse");
+        prop_assert_eq!(&reparsed, &v);
+        let pretty = to_json_pretty(&v);
+        let reparsed_pretty = parse_json(&pretty).expect("pretty JSON must reparse");
+        prop_assert_eq!(&reparsed_pretty, &v);
+    }
+
+    #[test]
+    fn total_order_is_reflexive_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(total_cmp(&a, &a), Ordering::Equal);
+        let ab = total_cmp(&a, &b);
+        let ba = total_cmp(&b, &a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_order_is_transitive(mut vals in prop::collection::vec(arb_value(), 3)) {
+        vals.sort_by(|x, y| total_cmp(x, y));
+        prop_assert!(total_cmp(&vals[0], &vals[1]) != Ordering::Greater);
+        prop_assert!(total_cmp(&vals[1], &vals[2]) != Ordering::Greater);
+        prop_assert!(total_cmp(&vals[0], &vals[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn atomic_count_matches_path_free_leaf_walk(v in arb_value()) {
+        fn count(v: &Value) -> usize {
+            match v {
+                Value::Array(a) => a.iter().map(count).sum(),
+                Value::Object(o) => o.iter().map(|(_, v)| count(v)).sum(),
+                _ => 1,
+            }
+        }
+        prop_assert_eq!(v.atomic_count(), count(&v));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        // Errors are fine; panics are not.
+        let _ = parse_json(&s);
+    }
+}

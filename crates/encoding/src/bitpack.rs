@@ -1,0 +1,195 @@
+//! Fixed-width bit packing of small unsigned integers.
+//!
+//! Definition levels are tiny integers (bounded by the schema depth), and the
+//! extended Dremel format stores one per atomic value, so packing them at
+//! `ceil(log2(max_level + 1))` bits per value — instead of a byte or more —
+//! is one of the main storage wins of the columnar layouts over row formats.
+
+use crate::{DecodeError, DecodeResult};
+
+/// Number of bits needed to represent `max_value` (at least 1 so that a
+/// column whose only level is 0 still advances the reader).
+pub fn bit_width(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+/// Pack `values` at `width` bits each (LSB-first within each byte), appending
+/// to `out`. Values must fit in `width` bits; this is a programming error and
+/// is checked with a debug assertion. A width of 0 is legal and writes no
+/// bytes at all (used when every value in a block is zero).
+pub fn pack(values: &[u64], width: u32, out: &mut Vec<u8>) {
+    assert!(width <= 64, "bit width out of range");
+    if width == 0 {
+        debug_assert!(values.iter().all(|&v| v == 0), "non-zero value at width 0");
+        return;
+    }
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
+    out.reserve((values.len() * width as usize).div_ceil(8));
+    for &v in values {
+        debug_assert!(width == 64 || v < (1u64 << width), "value does not fit bit width");
+        acc |= u128::from(v) << acc_bits;
+        acc_bits += width;
+        while acc_bits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Unpack `count` values of `width` bits each from `buf`, starting at byte
+/// offset `*pos`. Advances `*pos` past the consumed bytes.
+pub fn unpack(buf: &[u8], pos: &mut usize, count: usize, width: u32) -> DecodeResult<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    unpack_into(buf, pos, count, width, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`unpack`] but appends into a caller-provided vector (used by readers
+/// that reuse scratch buffers across pages).
+pub fn unpack_into(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    width: u32,
+    out: &mut Vec<u64>,
+) -> DecodeResult<()> {
+    if width > 64 {
+        return Err(DecodeError::new("bit width out of range"));
+    }
+    if width == 0 {
+        out.extend(std::iter::repeat(0u64).take(count));
+        return Ok(());
+    }
+    let total_bits = count
+        .checked_mul(width as usize)
+        .ok_or_else(|| DecodeError::new("bitpack length overflow"))?;
+    let nbytes = total_bits.div_ceil(8);
+    let end = *pos + nbytes;
+    if end > buf.len() {
+        return Err(DecodeError::new("truncated bit-packed run"));
+    }
+    let data = &buf[*pos..end];
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut byte_idx = 0usize;
+    out.reserve(count);
+    for _ in 0..count {
+        while acc_bits < width {
+            let byte = u128::from(data[byte_idx]);
+            byte_idx += 1;
+            acc |= byte << acc_bits;
+            acc_bits += 8;
+        }
+        out.push((acc & u128::from(mask(width))) as u64);
+        acc >>= width;
+        acc_bits -= width;
+    }
+    *pos = end;
+    Ok(())
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64], width: u32) {
+        let mut buf = Vec::new();
+        pack(values, width, &mut buf);
+        let mut pos = 0;
+        let decoded = unpack(&buf, &mut pos, values.len(), width).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn bit_width_of_common_maxima() {
+        assert_eq!(bit_width(0), 1);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(2), 2);
+        assert_eq!(bit_width(3), 2);
+        assert_eq!(bit_width(4), 3);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
+        assert_eq!(bit_width(u64::MAX), 64);
+    }
+
+    #[test]
+    fn roundtrip_small_widths() {
+        roundtrip(&[0, 1, 1, 0, 1, 0, 0, 1, 1], 1);
+        roundtrip(&[0, 1, 2, 3, 3, 2, 1, 0, 2], 2);
+        roundtrip(&[5, 0, 7, 3, 6, 1, 2, 4], 3);
+        roundtrip(&(0..100).map(|i| i % 13).collect::<Vec<_>>(), 4);
+    }
+
+    #[test]
+    fn roundtrip_wide_and_awkward_widths() {
+        roundtrip(&[1000, 0, 12345, 999], 14);
+        roundtrip(&[u32::MAX as u64, 0, 17], 32);
+        roundtrip(&[(1u64 << 57) - 1, 3, 1 << 40], 57);
+        roundtrip(&[u64::MAX, 0, 42, u64::MAX - 1], 64);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        roundtrip(&[], 5);
+    }
+
+    #[test]
+    fn packed_size_matches_expectation() {
+        let values = vec![1u64; 16];
+        let mut buf = Vec::new();
+        pack(&values, 3, &mut buf);
+        assert_eq!(buf.len(), 6); // 48 bits = 6 bytes
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let mut buf = Vec::new();
+        pack(&[7; 100], 3, &mut buf);
+        buf.truncate(buf.len() / 2);
+        let mut pos = 0;
+        assert!(unpack(&buf, &mut pos, 100, 3).is_err());
+    }
+
+    #[test]
+    fn invalid_width_is_an_error() {
+        let buf = vec![0u8; 8];
+        let mut pos = 0;
+        assert!(unpack(&buf, &mut pos, 4, 65).is_err());
+    }
+
+    #[test]
+    fn zero_width_encodes_nothing_and_decodes_zeros() {
+        let mut buf = Vec::new();
+        pack(&[0, 0, 0, 0], 0, &mut buf);
+        assert!(buf.is_empty());
+        let mut pos = 0;
+        assert_eq!(unpack(&buf, &mut pos, 4, 0).unwrap(), vec![0, 0, 0, 0]);
+        assert_eq!(pos, 0);
+    }
+
+    #[test]
+    fn consecutive_runs_share_a_buffer() {
+        let mut buf = Vec::new();
+        pack(&[1, 2, 3], 2, &mut buf);
+        let first_len = buf.len();
+        pack(&[9, 8, 7, 6], 4, &mut buf);
+        let mut pos = 0;
+        assert_eq!(unpack(&buf, &mut pos, 3, 2).unwrap(), vec![1, 2, 3]);
+        assert_eq!(pos, first_len);
+        assert_eq!(unpack(&buf, &mut pos, 4, 4).unwrap(), vec![9, 8, 7, 6]);
+    }
+}

@@ -1,0 +1,132 @@
+//! # encoding — columnar value encodings and page compression
+//!
+//! The extended-Dremel columnar format encodes every column (its definition
+//! levels and its values) before writing it into APAX minipages or AMAX
+//! megapages. The paper adopts Apache Parquet's encoding toolbox — except
+//! dictionary encoding, which it explicitly leaves for future work — and
+//! additionally applies page-level compression (Snappy in the paper).
+//!
+//! This crate provides that toolbox:
+//!
+//! * [`varint`] — unsigned LEB128 varints and zigzag transforms, the building
+//!   block of several encodings and of the row formats in `storage`;
+//! * [`bitpack`] — fixed-width bit-packing of small unsigned integers
+//!   (definition levels, booleans, dictionary-free enums);
+//! * [`rle`] — the Parquet RLE / bit-packed *hybrid* used for definition
+//!   levels, where long runs of the same level (all values present, or all
+//!   missing) collapse to a few bytes;
+//! * [`delta`] — delta binary packing for integer columns (timestamps,
+//!   counters, monotone keys);
+//! * [`bytesenc`] — delta-length byte arrays and incremental (prefix-sharing)
+//!   delta strings for textual columns;
+//! * [`plain`] — plain little-endian encodings for every scalar type;
+//! * [`compress`] — an LZ-style block compressor standing in for Snappy
+//!   page-level compression (see DESIGN.md §2 for the substitution note).
+//!
+//! Every encoder writes into a caller-supplied `Vec<u8>` so the columnar
+//! writers can reuse temporary buffers across pages, and every decoder reads
+//! from a byte slice without copying the payload.
+
+pub mod bitpack;
+pub mod bytesenc;
+pub mod compress;
+pub mod delta;
+pub mod plain;
+pub mod rle;
+pub mod varint;
+
+use std::fmt;
+
+/// Error returned by decoders when the byte stream is corrupt or truncated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// Construct a new decode error.
+    pub fn new(message: impl Into<String>) -> Self {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Result alias for decoders.
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+/// Identifies the encoding used for a column chunk. Persisted in page headers
+/// so readers can pick the right decoder; mirrors Parquet's encoding enum
+/// restricted to what the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Fixed-width little-endian values, or length-prefixed byte arrays.
+    Plain,
+    /// RLE / bit-packed hybrid (definition levels, booleans).
+    RleBitPacked,
+    /// Delta binary packed integers.
+    DeltaBinaryPacked,
+    /// Delta-length byte arrays (lengths delta packed, bytes concatenated).
+    DeltaLengthByteArray,
+    /// Incremental ("delta strings"): shared-prefix length + suffix.
+    DeltaByteArray,
+}
+
+impl Encoding {
+    /// Stable numeric tag used when persisting page headers.
+    pub fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::RleBitPacked => 1,
+            Encoding::DeltaBinaryPacked => 2,
+            Encoding::DeltaLengthByteArray => 3,
+            Encoding::DeltaByteArray => 4,
+        }
+    }
+
+    /// Inverse of [`Encoding::tag`].
+    pub fn from_tag(tag: u8) -> DecodeResult<Encoding> {
+        Ok(match tag {
+            0 => Encoding::Plain,
+            1 => Encoding::RleBitPacked,
+            2 => Encoding::DeltaBinaryPacked,
+            3 => Encoding::DeltaLengthByteArray,
+            4 => Encoding::DeltaByteArray,
+            other => return Err(DecodeError::new(format!("unknown encoding tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_tags_roundtrip() {
+        for enc in [
+            Encoding::Plain,
+            Encoding::RleBitPacked,
+            Encoding::DeltaBinaryPacked,
+            Encoding::DeltaLengthByteArray,
+            Encoding::DeltaByteArray,
+        ] {
+            assert_eq!(Encoding::from_tag(enc.tag()).unwrap(), enc);
+        }
+        assert!(Encoding::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::new("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

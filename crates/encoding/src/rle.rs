@@ -1,0 +1,332 @@
+//! RLE / bit-packed hybrid encoding for small integers.
+//!
+//! This is the encoding Parquet (and therefore the paper) uses for definition
+//! levels and booleans. The value stream is split into runs:
+//!
+//! * an *RLE run* `(count << 1) | 0`, followed by the repeated value packed
+//!   into `ceil(width/8)` bytes — chosen when the same value repeats;
+//! * a *bit-packed run* `(groups << 1) | 1`, followed by `groups * 8` values
+//!   packed at `width` bits — chosen for irregular stretches.
+//!
+//! Definition-level streams of real documents are dominated by long runs
+//! (every record has the field, or almost none do), which is exactly the case
+//! this hybrid compresses to almost nothing.
+
+use crate::bitpack;
+use crate::varint;
+use crate::{DecodeError, DecodeResult};
+
+/// Minimum repeat length at which the encoder switches to an RLE run.
+const MIN_RLE_RUN: usize = 8;
+
+/// Encode `values` at the given bit `width`, appending to `out`.
+///
+/// The encoding is self-delimiting given the value count, which readers know
+/// from the page header; the width is likewise stored by the caller.
+pub fn encode(values: &[u64], width: u32, out: &mut Vec<u8>) {
+    let mut i = 0usize;
+    let mut pending: Vec<u64> = Vec::with_capacity(64);
+    while i < values.len() {
+        // Measure the run of identical values starting at i.
+        let v = values[i];
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == v {
+            run += 1;
+        }
+        if run >= MIN_RLE_RUN {
+            flush_bitpacked(&mut pending, width, out);
+            varint::write_u64(out, (run as u64) << 1);
+            write_fixed(v, width, out);
+            i += run;
+        } else {
+            pending.extend(std::iter::repeat(v).take(run));
+            i += run;
+        }
+    }
+    flush_bitpacked(&mut pending, width, out);
+}
+
+fn flush_bitpacked(pending: &mut Vec<u64>, width: u32, out: &mut Vec<u8>) {
+    if pending.is_empty() {
+        return;
+    }
+    // Bit-packed runs cover a multiple of 8 values; pad with zeros. The
+    // decoder truncates to the requested count, so padding is harmless.
+    let groups = pending.len().div_ceil(8);
+    varint::write_u64(out, ((groups as u64) << 1) | 1);
+    varint::write_u64(out, pending.len() as u64);
+    pending.resize(groups * 8, 0);
+    bitpack::pack(pending, width, out);
+    pending.clear();
+}
+
+fn write_fixed(value: u64, width: u32, out: &mut Vec<u8>) {
+    let nbytes = (width as usize).div_ceil(8);
+    out.extend_from_slice(&value.to_le_bytes()[..nbytes]);
+}
+
+fn read_fixed(buf: &[u8], pos: &mut usize, width: u32) -> DecodeResult<u64> {
+    let nbytes = (width as usize).div_ceil(8);
+    if *pos + nbytes > buf.len() {
+        return Err(DecodeError::new("truncated RLE literal"));
+    }
+    let mut bytes = [0u8; 8];
+    bytes[..nbytes].copy_from_slice(&buf[*pos..*pos + nbytes]);
+    *pos += nbytes;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Decode exactly `count` values of the given `width` from `buf`, advancing
+/// `*pos`.
+pub fn decode(buf: &[u8], pos: &mut usize, count: usize, width: u32) -> DecodeResult<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    decode_into(buf, pos, count, width, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode`] but appends into a caller-provided buffer.
+pub fn decode_into(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    width: u32,
+    out: &mut Vec<u64>,
+) -> DecodeResult<()> {
+    let target = out.len() + count;
+    while out.len() < target {
+        let header = varint::read_u64(buf, pos)?;
+        if header & 1 == 0 {
+            // RLE run.
+            let run = (header >> 1) as usize;
+            if run == 0 {
+                return Err(DecodeError::new("zero-length RLE run"));
+            }
+            let value = read_fixed(buf, pos, width)?;
+            if out.len() + run > target {
+                return Err(DecodeError::new("RLE run exceeds requested count"));
+            }
+            out.extend(std::iter::repeat(value).take(run));
+        } else {
+            // Bit-packed run.
+            let groups = (header >> 1) as usize;
+            let packed = groups
+                .checked_mul(8)
+                .ok_or_else(|| DecodeError::new("bit-packed run size overflow"))?;
+            let logical = varint::read_u64(buf, pos)? as usize;
+            if logical > packed {
+                return Err(DecodeError::new("bit-packed run length inconsistent"));
+            }
+            let mut scratch = Vec::new();
+            bitpack::unpack_into(buf, pos, packed, width, &mut scratch)?;
+            scratch.truncate(logical);
+            if out.len() + scratch.len() > target {
+                return Err(DecodeError::new("bit-packed run exceeds requested count"));
+            }
+            out.extend_from_slice(&scratch);
+        }
+    }
+    Ok(())
+}
+
+/// An incremental reader over an RLE/bit-packed stream that yields values one
+/// at a time without materializing the whole column — used by column
+/// iterators that skip batches of records during LSM reconciliation.
+#[derive(Debug)]
+pub struct RleReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    width: u32,
+    remaining: usize,
+    /// Current run: either a repeated value or a buffer of unpacked literals.
+    run: Run,
+}
+
+#[derive(Debug)]
+enum Run {
+    Empty,
+    Repeat { value: u64, left: usize },
+    Literals { values: Vec<u64>, next: usize },
+}
+
+impl<'a> RleReader<'a> {
+    /// Create a reader that will yield exactly `count` values.
+    pub fn new(buf: &'a [u8], width: u32, count: usize) -> Self {
+        RleReader {
+            buf,
+            pos: 0,
+            width,
+            remaining: count,
+            run: Run::Empty,
+        }
+    }
+
+    /// Number of values not yet returned.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Byte offset just past the last consumed run (only meaningful once the
+    /// reader is exhausted).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn refill(&mut self) -> DecodeResult<()> {
+        let header = varint::read_u64(self.buf, &mut self.pos)?;
+        if header & 1 == 0 {
+            let run = (header >> 1) as usize;
+            let value = read_fixed(self.buf, &mut self.pos, self.width)?;
+            self.run = Run::Repeat { value, left: run };
+        } else {
+            let groups = (header >> 1) as usize;
+            let packed = groups
+                .checked_mul(8)
+                .ok_or_else(|| DecodeError::new("bit-packed run size overflow"))?;
+            let logical = varint::read_u64(self.buf, &mut self.pos)? as usize;
+            let mut values = Vec::new();
+            bitpack::unpack_into(self.buf, &mut self.pos, packed, self.width, &mut values)?;
+            values.truncate(logical);
+            self.run = Run::Literals { values, next: 0 };
+        }
+        Ok(())
+    }
+
+    /// Next value, or an error on truncation. Returns `None` once `count`
+    /// values have been produced.
+    pub fn next_value(&mut self) -> DecodeResult<Option<u64>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        loop {
+            match &mut self.run {
+                Run::Repeat { value, left } if *left > 0 => {
+                    *left -= 1;
+                    self.remaining -= 1;
+                    return Ok(Some(*value));
+                }
+                Run::Literals { values, next } if *next < values.len() => {
+                    let v = values[*next];
+                    *next += 1;
+                    self.remaining -= 1;
+                    return Ok(Some(v));
+                }
+                _ => self.refill()?,
+            }
+        }
+    }
+
+    /// Skip `n` values without returning them (cheaper than `next_value` in a
+    /// loop because repeated runs are skipped arithmetically).
+    pub fn skip(&mut self, mut n: usize) -> DecodeResult<()> {
+        n = n.min(self.remaining);
+        while n > 0 {
+            match &mut self.run {
+                Run::Repeat { left, .. } if *left > 0 => {
+                    let take = (*left).min(n);
+                    *left -= take;
+                    self.remaining -= take;
+                    n -= take;
+                }
+                Run::Literals { values, next } if *next < values.len() => {
+                    let take = (values.len() - *next).min(n);
+                    *next += take;
+                    self.remaining -= take;
+                    n -= take;
+                }
+                _ => self.refill()?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64], width: u32) -> usize {
+        let mut buf = Vec::new();
+        encode(values, width, &mut buf);
+        let mut pos = 0;
+        let decoded = decode(&buf, &mut pos, values.len(), width).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(pos, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_mixed_runs() {
+        let mut values = vec![2u64; 100];
+        values.extend([0, 1, 2, 3, 0, 1, 2, 3, 1, 0]);
+        values.extend(vec![0u64; 50]);
+        roundtrip(&values, 2);
+    }
+
+    #[test]
+    fn long_runs_compress_well() {
+        let values = vec![1u64; 10_000];
+        let size = roundtrip(&values, 1);
+        assert!(size < 16, "10k identical levels should take a few bytes, got {size}");
+    }
+
+    #[test]
+    fn irregular_values_roundtrip() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * 7) % 5).collect();
+        roundtrip(&values, 3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(&[], 1);
+        roundtrip(&[3], 2);
+        roundtrip(&[0], 1);
+    }
+
+    #[test]
+    fn wide_values() {
+        let values: Vec<u64> = (0..100).map(|i| i * 1_000_003).collect();
+        roundtrip(&values, 27);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let values = vec![3u64; 100];
+        let mut buf = Vec::new();
+        encode(&values, 2, &mut buf);
+        buf.truncate(1);
+        let mut pos = 0;
+        assert!(decode(&buf, &mut pos, 100, 2).is_err());
+    }
+
+    #[test]
+    fn reader_yields_same_sequence_as_bulk_decode() {
+        let values: Vec<u64> = (0..500)
+            .map(|i| if i % 37 < 30 { 2 } else { (i % 4) as u64 })
+            .collect();
+        let mut buf = Vec::new();
+        encode(&values, 2, &mut buf);
+        let mut reader = RleReader::new(&buf, 2, values.len());
+        let mut seen = Vec::new();
+        while let Some(v) = reader.next_value().unwrap() {
+            seen.push(v);
+        }
+        assert_eq!(seen, values);
+        assert_eq!(reader.remaining(), 0);
+        assert!(reader.next_value().unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_skip_is_equivalent_to_reading() {
+        let values: Vec<u64> = (0..1000).map(|i| (i / 100) % 4).collect();
+        let mut buf = Vec::new();
+        encode(&values, 2, &mut buf);
+
+        let mut reader = RleReader::new(&buf, 2, values.len());
+        reader.skip(250).unwrap();
+        assert_eq!(reader.next_value().unwrap(), Some(values[250]));
+        reader.skip(500).unwrap();
+        assert_eq!(reader.next_value().unwrap(), Some(values[751]));
+        reader.skip(10_000).unwrap(); // over-skip clamps
+        assert!(reader.next_value().unwrap().is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Unsigned LEB128 varints and the zigzag transform.
+//!
+//! Varints are the low-level primitive shared by the RLE hybrid, the delta
+//! encoders, the vector-based row format and the page headers: most of the
+//! integers we persist (lengths, counts, levels, deltas) are small, so a
+//! variable-length representation saves a large fraction of the bytes.
+
+use crate::{DecodeError, DecodeResult};
+
+/// Append `value` as an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append `value` as a zigzag-encoded signed varint.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag_encode(value));
+}
+
+/// Read an unsigned LEB128 varint from `buf` starting at `*pos`, advancing
+/// `*pos` past it.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> DecodeResult<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| DecodeError::new("truncated varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DecodeError::new("varint overflows u64"));
+        }
+        result |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Read a zigzag-encoded signed varint.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> DecodeResult<i64> {
+    Ok(zigzag_decode(read_u64(buf, pos)?))
+}
+
+/// Map a signed integer onto an unsigned one so that values of small
+/// magnitude (positive *or* negative) get small encodings.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Number of bytes [`write_u64`] would use for `value`.
+pub fn encoded_len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unsigned_edge_cases() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), encoded_len_u64(v));
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_signed_edge_cases() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123456789, -987654321] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1_000_000);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+        let mut pos = 0;
+        assert!(read_u64(&[], &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn sequences_decode_in_order() {
+        let mut buf = Vec::new();
+        for v in 0..200u64 {
+            write_u64(&mut buf, v * 31);
+        }
+        let mut pos = 0;
+        for v in 0..200u64 {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v * 31);
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based round-trip tests for every encoder in the crate.
+
+use encoding::{bitpack, bytesenc, compress, delta, plain, rle, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_signed_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_i64(&buf, &mut pos).unwrap(), v);
+    }
+
+    #[test]
+    fn bitpack_roundtrip(width in 1u32..=64, values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let masked: Vec<u64> = values
+            .iter()
+            .map(|v| if width == 64 { *v } else { v & ((1u64 << width) - 1) })
+            .collect();
+        let mut buf = Vec::new();
+        bitpack::pack(&masked, width, &mut buf);
+        let mut pos = 0;
+        let decoded = bitpack::unpack(&buf, &mut pos, masked.len(), width).unwrap();
+        prop_assert_eq!(decoded, masked);
+    }
+
+    #[test]
+    fn rle_roundtrip(width in 1u32..=8, values in prop::collection::vec(0u64..200, 0..500)) {
+        let masked: Vec<u64> = values.iter().map(|v| v & ((1u64 << width) - 1)).collect();
+        let mut buf = Vec::new();
+        rle::encode(&masked, width, &mut buf);
+        let mut pos = 0;
+        let decoded = rle::decode(&buf, &mut pos, masked.len(), width).unwrap();
+        prop_assert_eq!(&decoded, &masked);
+
+        // Incremental reader must agree with bulk decode.
+        let mut reader = rle::RleReader::new(&buf, width, masked.len());
+        let mut streamed = Vec::new();
+        while let Some(v) = reader.next_value().unwrap() {
+            streamed.push(v);
+        }
+        prop_assert_eq!(streamed, masked);
+    }
+
+    #[test]
+    fn rle_skip_equals_read(values in prop::collection::vec(0u64..4, 1..300), split in 0usize..300) {
+        let mut buf = Vec::new();
+        rle::encode(&values, 2, &mut buf);
+        let split = split.min(values.len());
+        let mut reader = rle::RleReader::new(&buf, 2, values.len());
+        reader.skip(split).unwrap();
+        let mut rest = Vec::new();
+        while let Some(v) = reader.next_value().unwrap() {
+            rest.push(v);
+        }
+        prop_assert_eq!(rest, values[split..].to_vec());
+    }
+
+    #[test]
+    fn delta_roundtrip(values in prop::collection::vec(any::<i64>(), 0..400)) {
+        let mut buf = Vec::new();
+        delta::encode(&values, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(delta::decode(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn delta_length_bytes_roundtrip(values in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 0..60)) {
+        let mut buf = Vec::new();
+        bytesenc::delta_length::encode(&values, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(bytesenc::delta_length::decode(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn delta_strings_roundtrip(values in prop::collection::vec("[a-z#@ ]{0,32}", 0..60)) {
+        let mut buf = Vec::new();
+        bytesenc::delta_strings::encode(&values, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(bytesenc::delta_strings::decode_strings(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn adaptive_bytes_roundtrip(values in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..60)) {
+        let (enc, buf) = bytesenc::encode_adaptive(&values);
+        let mut pos = 0;
+        prop_assert_eq!(bytesenc::decode_adaptive(enc, &buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn compression_roundtrip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = compress::compress(&data);
+        prop_assert_eq!(compress::decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn compression_roundtrip_repetitive(unit in prop::collection::vec(any::<u8>(), 1..32), reps in 1usize..200) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let compressed = compress::compress(&data);
+        prop_assert_eq!(compress::decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn bool_column_roundtrip(values in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut buf = Vec::new();
+        plain::encode_bool_column(&values, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(plain::decode_bool_column(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn f64_column_roundtrip(values in prop::collection::vec(any::<f64>(), 0..200)) {
+        let mut buf = Vec::new();
+        plain::encode_f64_column(&values, &mut buf);
+        let mut pos = 0;
+        let decoded = plain::decode_f64_column(&buf, &mut pos).unwrap();
+        prop_assert_eq!(decoded.len(), values.len());
+        for (a, b) in decoded.iter().zip(values.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut pos = 0;
+        let _ = varint::read_u64(&data, &mut pos);
+        let mut pos = 0;
+        let _ = delta::decode(&data, &mut pos);
+        let mut pos = 0;
+        let _ = rle::decode(&data, &mut pos, 64, 3);
+        let mut pos = 0;
+        let _ = bytesenc::delta_strings::decode(&data, &mut pos);
+        let mut pos = 0;
+        let _ = bytesenc::delta_length::decode(&data, &mut pos);
+        let _ = compress::decompress(&data);
+        let mut pos = 0;
+        let _ = plain::decode_bool_column(&data, &mut pos);
+    }
+}

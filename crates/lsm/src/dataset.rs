@@ -1,0 +1,651 @@
+//! One LSM-backed dataset partition.
+//!
+//! [`LsmDataset`] is the unit the facade crate and the benchmarks work with:
+//! it owns the in-memory component, the stack of on-disk components (in the
+//! configured layout), the cumulative inferred schema, the merge policy and
+//! the optional primary-key / secondary indexes.
+//!
+//! Lifecycle, as in the paper:
+//!
+//! * inserts/upserts/deletes go to the memtable; the secondary index is kept
+//!   correct by fetching the old record first (a point lookup — cheap for row
+//!   layouts, linear-search-plus-decode for columnar ones, §4.6);
+//! * when the memtable exceeds its budget it is *flushed*: the tuple
+//!   compactor observes the flushed records to grow the inferred schema and
+//!   the records are written as an on-disk component in the dataset's layout;
+//! * the tiering merge policy may then schedule a *merge*, which reconciles
+//!   the chosen components (newest version of each key wins, anti-matter
+//!   annihilates older records) into a new component and frees the old pages.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use docmodel::cmp::OrderedValue;
+use docmodel::{Path, Value};
+use schema::{Schema, SchemaBuilder};
+use storage::amax::AmaxConfig;
+use storage::component::{Component, ComponentConfig, ComponentReader, Entry};
+use storage::pagestore::{BufferCache, IoStats, PageStore};
+use storage::LayoutKind;
+
+use crate::index::{PrimaryKeyIndex, SecondaryIndex};
+use crate::memtable::Memtable;
+use crate::policy::{MergeDecision, TieringPolicy};
+use crate::Result;
+
+/// Configuration of one dataset partition.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Dataset name (used in experiment output).
+    pub name: String,
+    /// Storage layout of on-disk components.
+    pub layout: LayoutKind,
+    /// Name of the primary-key field (must be present in every record).
+    pub key_field: String,
+    /// Flush the memtable once it holds roughly this many bytes.
+    pub memtable_budget: usize,
+    /// Page size of the simulated disk.
+    pub page_size: usize,
+    /// Buffer-cache capacity in pages.
+    pub cache_pages: usize,
+    /// Merge policy.
+    pub policy: TieringPolicy,
+    /// Maintain a primary-key index to avoid point lookups for new keys.
+    pub primary_key_index: bool,
+    /// Maintain a secondary index on this path (e.g. `timestamp`).
+    pub secondary_index_on: Option<Path>,
+    /// Apply page-level compression.
+    pub compress_pages: bool,
+    /// AMAX-specific knobs.
+    pub amax: AmaxConfig,
+}
+
+impl DatasetConfig {
+    /// A reasonable laptop-scale default for the given layout.
+    pub fn new(name: impl Into<String>, layout: LayoutKind) -> DatasetConfig {
+        DatasetConfig {
+            name: name.into(),
+            layout,
+            key_field: "id".to_string(),
+            memtable_budget: 4 << 20,
+            page_size: 128 * 1024,
+            cache_pages: 256,
+            policy: TieringPolicy::default(),
+            primary_key_index: true,
+            secondary_index_on: None,
+            compress_pages: true,
+            amax: AmaxConfig::default(),
+        }
+    }
+
+    /// Builder-style: set the primary-key field name.
+    pub fn with_key_field(mut self, key: impl Into<String>) -> Self {
+        self.key_field = key.into();
+        self
+    }
+
+    /// Builder-style: set the memtable budget in bytes.
+    pub fn with_memtable_budget(mut self, bytes: usize) -> Self {
+        self.memtable_budget = bytes;
+        self
+    }
+
+    /// Builder-style: set the page size in bytes.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Builder-style: declare a secondary index.
+    pub fn with_secondary_index(mut self, path: Path) -> Self {
+        self.secondary_index_on = Some(path);
+        self
+    }
+}
+
+/// Counters describing ingestion activity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IngestStats {
+    /// Records inserted or upserted.
+    pub records_ingested: u64,
+    /// Deletes issued.
+    pub deletes: u64,
+    /// Number of flush operations.
+    pub flushes: u64,
+    /// Number of merge operations.
+    pub merges: u64,
+    /// Point lookups performed to maintain the secondary index.
+    pub maintenance_lookups: u64,
+    /// Wall-clock time spent in flushes.
+    pub flush_time: Duration,
+    /// Wall-clock time spent in merges.
+    pub merge_time: Duration,
+}
+
+/// One LSM dataset partition.
+pub struct LsmDataset {
+    config: DatasetConfig,
+    cache: BufferCache,
+    memtable: Memtable,
+    components: Vec<Component>,
+    schema_builder: SchemaBuilder,
+    pk_index: PrimaryKeyIndex,
+    secondary: Option<SecondaryIndex>,
+    next_component_id: u64,
+    stats: IngestStats,
+}
+
+impl LsmDataset {
+    /// Create an empty dataset with its own simulated disk.
+    pub fn new(config: DatasetConfig) -> LsmDataset {
+        let store = PageStore::with_page_size(config.page_size);
+        let cache = BufferCache::new(store, config.cache_pages);
+        LsmDataset::with_cache(config, cache)
+    }
+
+    /// Create an empty dataset on an existing store/cache (used when several
+    /// datasets share one simulated disk, as partitions share an NC's cache).
+    pub fn with_cache(config: DatasetConfig, cache: BufferCache) -> LsmDataset {
+        let secondary = config.secondary_index_on.as_ref().map(|_| SecondaryIndex::new());
+        let schema_builder = SchemaBuilder::new(Some(config.key_field.clone()));
+        LsmDataset {
+            config,
+            cache,
+            memtable: Memtable::new(),
+            components: Vec::new(),
+            schema_builder,
+            pk_index: PrimaryKeyIndex::new(),
+            secondary,
+            next_component_id: 0,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// The dataset's configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The buffer cache (shared with the query engine for I/O accounting).
+    pub fn cache(&self) -> &BufferCache {
+        &self.cache
+    }
+
+    /// The cumulative inferred schema.
+    pub fn schema(&self) -> &Schema {
+        self.schema_builder.schema()
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// I/O counters of the underlying simulated disk.
+    pub fn io_stats(&self) -> IoStats {
+        self.cache.store().stats()
+    }
+
+    /// Number of on-disk components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total bytes stored on disk for the primary index.
+    pub fn primary_stored_bytes(&self) -> u64 {
+        self.components.iter().map(|c| c.meta().stored_bytes).sum()
+    }
+
+    /// Total bytes including the (approximated) secondary structures.
+    pub fn total_stored_bytes(&self) -> u64 {
+        let pk = if self.config.primary_key_index {
+            self.pk_index.approx_bytes()
+        } else {
+            0
+        };
+        let sec = self.secondary.as_ref().map(SecondaryIndex::approx_bytes).unwrap_or(0);
+        self.primary_stored_bytes() + pk + sec
+    }
+
+    fn extract_key(&self, record: &Value) -> Result<Value> {
+        record
+            .get_field(&self.config.key_field)
+            .filter(|v| v.is_atomic() && !v.is_null())
+            .cloned()
+            .ok_or_else(|| {
+                crate::LsmError::new(format!(
+                    "record lacks an atomic primary key field '{}'",
+                    self.config.key_field
+                ))
+            })
+    }
+
+    /// Insert (or upsert) a record.
+    pub fn insert(&mut self, record: Value) -> Result<()> {
+        let key = self.extract_key(&record)?;
+        self.maintain_secondary_for_upsert(&key, Some(&record))?;
+        self.pk_index.insert(&key);
+        self.memtable.insert(key, record);
+        self.stats.records_ingested += 1;
+        self.maybe_flush()
+    }
+
+    /// Delete the record with the given key (an anti-matter entry is added).
+    pub fn delete(&mut self, key: Value) -> Result<()> {
+        self.maintain_secondary_for_upsert(&key, None)?;
+        self.memtable.delete(key);
+        self.stats.deletes += 1;
+        self.maybe_flush()
+    }
+
+    /// Secondary-index maintenance: fetch the old record (if the key may
+    /// exist) to remove its stale entry, then add the new entry.
+    fn maintain_secondary_for_upsert(
+        &mut self,
+        key: &Value,
+        new_record: Option<&Value>,
+    ) -> Result<()> {
+        let Some(index_path) = self.config.secondary_index_on.clone() else {
+            return Ok(());
+        };
+        let may_exist = if self.config.primary_key_index {
+            self.pk_index.contains(key)
+        } else {
+            true
+        };
+        if may_exist {
+            self.stats.maintenance_lookups += 1;
+            if let Some(old) = self.lookup(key, None)? {
+                let old_values: Vec<Value> =
+                    index_path.evaluate(&old).into_iter().cloned().collect();
+                if let Some(secondary) = self.secondary.as_mut() {
+                    for v in old_values {
+                        secondary.remove(&v, key);
+                    }
+                }
+            }
+        }
+        if let (Some(secondary), Some(record)) = (self.secondary.as_mut(), new_record) {
+            for v in index_path.evaluate(record) {
+                secondary.insert(v, key);
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.memtable.approx_bytes() >= self.config.memtable_budget {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the in-memory component to disk (no-op when it is empty).
+    pub fn flush(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let entries = self.memtable.drain_sorted();
+        // Tuple compactor: infer the schema from the flushed records (§2.2).
+        for (_, record) in &entries {
+            if let Some(record) = record {
+                self.schema_builder.observe(record);
+            }
+        }
+        let schema = self.schema_builder.schema().clone();
+        let config = self.component_config();
+        let component = Component::write(
+            &self.cache,
+            &config,
+            schema,
+            &entries,
+            self.next_component_id,
+        )?;
+        self.next_component_id += 1;
+        self.components.push(component);
+        self.stats.flushes += 1;
+        self.stats.flush_time += started.elapsed();
+        self.maybe_merge()
+    }
+
+    fn component_config(&self) -> ComponentConfig {
+        ComponentConfig {
+            layout: self.config.layout,
+            amax: self.config.amax,
+            compress_pages: self.config.compress_pages,
+        }
+    }
+
+    fn maybe_merge(&mut self) -> Result<()> {
+        // Sizes newest-first for the policy.
+        let sizes: Vec<u64> = self
+            .components
+            .iter()
+            .rev()
+            .map(|c| c.meta().stored_bytes)
+            .collect();
+        match self.config.policy.decide(&sizes) {
+            MergeDecision::None => Ok(()),
+            MergeDecision::Merge(newest_first) => {
+                // Translate newest-first indexes into positions in
+                // `self.components` (which is oldest-first).
+                let n = self.components.len();
+                let mut positions: Vec<usize> = newest_first.iter().map(|i| n - 1 - i).collect();
+                positions.sort_unstable();
+                self.merge_components(&positions)
+            }
+        }
+    }
+
+    /// Merge the components at the given (oldest-first) positions.
+    fn merge_components(&mut self, positions: &[usize]) -> Result<()> {
+        if positions.len() < 2 {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let includes_oldest = positions.first() == Some(&0);
+        // Reconcile newest-first so the most recent version of each key wins.
+        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
+        for &pos in positions.iter().rev() {
+            let component = &self.components[pos];
+            for entry in component.scan(None)? {
+                let (key, doc) = entry?;
+                merged.entry(OrderedValue(key)).or_insert(doc);
+            }
+        }
+        let entries: Vec<Entry> = merged
+            .into_iter()
+            .filter(|(_, doc)| {
+                // Anti-matter annihilates older records; it can itself be
+                // dropped once the merge includes the oldest component.
+                doc.is_some() || !includes_oldest
+            })
+            .map(|(k, v)| (k.0, v))
+            .collect();
+
+        let schema = self.schema_builder.schema().clone();
+        let config = self.component_config();
+        let new_component = Component::write(
+            &self.cache,
+            &config,
+            schema,
+            &entries,
+            self.next_component_id,
+        )?;
+        self.next_component_id += 1;
+
+        // Free and remove the merged components (back to front to keep
+        // positions valid), then insert the new one at the first position.
+        let first = positions[0];
+        for &pos in positions.iter().rev() {
+            let old = self.components.remove(pos);
+            self.cache.store().free_pages(&old.meta().pages);
+        }
+        self.components.insert(first, new_component);
+        self.stats.merges += 1;
+        self.stats.merge_time += started.elapsed();
+        Ok(())
+    }
+
+    /// Force-flush and merge everything down to a single component (used at
+    /// the end of ingestion so query experiments run against a settled tree).
+    pub fn compact_fully(&mut self) -> Result<()> {
+        self.flush()?;
+        while self.components.len() > 1 {
+            let positions: Vec<usize> = (0..self.components.len()).collect();
+            self.merge_components(&positions)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: newest version of `key`, reconciling the memtable and
+    /// every component (newest first). `None` when the key does not exist or
+    /// was deleted.
+    pub fn lookup(&self, key: &Value, projection: Option<&[Path]>) -> Result<Option<Value>> {
+        if let Some(entry) = self.memtable.get(key) {
+            return Ok(entry.cloned());
+        }
+        for component in self.components.iter().rev() {
+            if let Some(entry) = component.lookup(key, projection)? {
+                return Ok(entry);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Batched point lookups for the (sorted) keys produced by a secondary
+    /// index probe (§4.6).
+    pub fn lookup_sorted_keys(
+        &self,
+        keys: &mut [Value],
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<Value>> {
+        keys.sort_by(docmodel::total_cmp);
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys.iter() {
+            if let Some(doc) = self.lookup(key, projection)? {
+                out.push(doc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scan the dataset, reconciling duplicates and dropping anti-matter.
+    /// Only the projected paths are assembled from columnar components.
+    pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
+        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
+        for (key, doc) in self.memtable.iter() {
+            merged
+                .entry(OrderedValue(key.clone()))
+                .or_insert_with(|| doc.cloned());
+        }
+        for component in self.components.iter().rev() {
+            for entry in component.scan(projection)? {
+                let (key, doc) = entry?;
+                merged.entry(OrderedValue(key)).or_insert(doc);
+            }
+        }
+        Ok(merged.into_values().flatten().collect())
+    }
+
+    /// Number of live records (COUNT(*)): only primary keys are read, which
+    /// for AMAX means Page 0 alone.
+    pub fn count(&self) -> Result<usize> {
+        let mut merged: BTreeMap<OrderedValue, bool> = BTreeMap::new();
+        for (key, doc) in self.memtable.iter() {
+            merged
+                .entry(OrderedValue(key.clone()))
+                .or_insert(doc.is_some());
+        }
+        for component in self.components.iter().rev() {
+            for entry in component.scan(Some(&[]))? {
+                let (key, doc) = entry?;
+                merged.entry(OrderedValue(key)).or_insert(doc.is_some());
+            }
+        }
+        Ok(merged.values().filter(|live| **live).count())
+    }
+
+    /// Answer a range query on the secondary index: probe the index, sort the
+    /// resulting primary keys, and perform batched point lookups.
+    pub fn secondary_range(
+        &self,
+        lo: &Value,
+        hi: &Value,
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<Value>> {
+        let secondary = self
+            .secondary
+            .as_ref()
+            .ok_or_else(|| crate::LsmError::new("dataset has no secondary index"))?;
+        let mut keys = secondary.range(lo, hi);
+        self.lookup_sorted_keys(&mut keys, projection)
+    }
+
+    /// Direct access to the on-disk components (used by the query engine).
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Entries still in the in-memory component (used by the query engine).
+    pub fn memtable_entries(&self) -> Vec<(Value, Option<Value>)> {
+        self.memtable
+            .iter()
+            .map(|(k, v)| (k.clone(), v.cloned()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::doc;
+
+    fn tiny_config(layout: LayoutKind) -> DatasetConfig {
+        DatasetConfig::new("test", layout)
+            .with_memtable_budget(8 * 1024)
+            .with_page_size(4 * 1024)
+    }
+
+    fn sample_record(i: i64) -> Value {
+        doc!({
+            "id": i,
+            "user": {"name": (format!("user{}", i % 13)), "followers": (i % 997)},
+            "text": (format!("record {i} body text with characters")),
+            "timestamp": (1_000_000 + i),
+            "tags": [(format!("tag{}", i % 5))]
+        })
+    }
+
+    #[test]
+    fn ingest_flush_merge_scan_all_layouts() {
+        for layout in LayoutKind::ALL {
+            let mut ds = LsmDataset::new(tiny_config(layout));
+            for i in 0..500 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+            ds.flush().unwrap();
+            assert!(ds.stats().flushes > 1, "{layout:?} should have flushed repeatedly");
+            assert!(ds.component_count() >= 1);
+
+            let docs = ds.scan(None).unwrap();
+            assert_eq!(docs.len(), 500, "{layout:?}");
+            assert_eq!(ds.count().unwrap(), 500, "{layout:?}");
+            // Keys come back in order and records are intact.
+            assert_eq!(docs[7].get_field("id"), Some(&Value::Int(7)));
+            assert!(docs[7].get_path_str("user.name").is_some());
+        }
+    }
+
+    #[test]
+    fn updates_and_deletes_reconcile() {
+        for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+            let mut ds = LsmDataset::new(tiny_config(layout));
+            for i in 0..200 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+            // Update half of the records and delete a few.
+            for i in (0..200).step_by(2) {
+                let mut updated = sample_record(i);
+                updated.set_field("text", Value::from("updated"));
+                ds.insert(updated).unwrap();
+            }
+            for i in [3i64, 77, 199] {
+                ds.delete(Value::Int(i)).unwrap();
+            }
+            ds.compact_fully().unwrap();
+            assert_eq!(ds.component_count(), 1);
+
+            assert_eq!(ds.count().unwrap(), 197, "{layout:?}");
+            let doc = ds.lookup(&Value::Int(10), None).unwrap().unwrap();
+            assert_eq!(doc.get_field("text"), Some(&Value::from("updated")));
+            let doc = ds.lookup(&Value::Int(11), None).unwrap().unwrap();
+            assert_ne!(doc.get_field("text"), Some(&Value::from("updated")));
+            assert!(ds.lookup(&Value::Int(77), None).unwrap().is_none());
+            assert!(ds.lookup(&Value::Int(100_000), None).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn projection_scans_only_requested_fields() {
+        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
+        for i in 0..100 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        let projected = ds.scan(Some(&[Path::parse("user.followers")])).unwrap();
+        assert_eq!(projected.len(), 100);
+        assert!(projected[0].get_path_str("user.followers").is_some());
+        assert!(projected[0].get_field("text").is_none());
+    }
+
+    #[test]
+    fn secondary_index_range_matches_full_scan_filter() {
+        let config = tiny_config(LayoutKind::Apax).with_secondary_index(Path::parse("timestamp"));
+        let mut ds = LsmDataset::new(config);
+        for i in 0..300 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        // Update some records so maintenance lookups happen.
+        for i in 0..50 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        assert!(ds.stats().maintenance_lookups > 0);
+
+        let lo = Value::Int(1_000_100);
+        let hi = Value::Int(1_000_149);
+        let via_index = ds.secondary_range(&lo, &hi, None).unwrap();
+        assert_eq!(via_index.len(), 50);
+        let via_scan: Vec<Value> = ds
+            .scan(None)
+            .unwrap()
+            .into_iter()
+            .filter(|d| {
+                let ts = d.get_field("timestamp").and_then(Value::as_int).unwrap();
+                (1_000_100..=1_000_149).contains(&ts)
+            })
+            .collect();
+        assert_eq!(via_index.len(), via_scan.len());
+    }
+
+    #[test]
+    fn schema_grows_across_flushes_and_is_a_superset() {
+        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
+        for i in 0..50 {
+            ds.insert(doc!({"id": i, "a": 1})).unwrap();
+        }
+        ds.flush().unwrap();
+        let cols_before = schema::columns_of(ds.schema()).len();
+        for i in 50..100 {
+            ds.insert(doc!({"id": i, "a": "heterogeneous now", "b": {"c": 2.5}})).unwrap();
+        }
+        ds.flush().unwrap();
+        let cols_after = schema::columns_of(ds.schema()).len();
+        assert!(cols_after > cols_before);
+        // Old and new records both survive scans despite the schema change.
+        assert_eq!(ds.count().unwrap(), 100);
+        let docs = ds.scan(None).unwrap();
+        assert_eq!(docs.len(), 100);
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Vb));
+        assert!(ds.insert(doc!({"no_key": 1})).is_err());
+        assert!(ds.insert(doc!({"id": null})).is_err());
+    }
+
+    #[test]
+    fn stored_bytes_accounting() {
+        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Apax));
+        for i in 0..200 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        assert!(ds.primary_stored_bytes() > 0);
+        assert!(ds.total_stored_bytes() >= ds.primary_stored_bytes());
+        assert!(ds.io_stats().pages_written > 0);
+    }
+}

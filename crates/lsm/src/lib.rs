@@ -1,0 +1,39 @@
+//! # lsm — the LSM-tree storage engine substrate
+//!
+//! Document stores adopt Log-Structured Merge trees for their write path:
+//! inserts go to an in-memory component; when it fills up it is *flushed* to
+//! an immutable on-disk component; background *merges* compact components.
+//! The paper piggy-backs on exactly these lifecycle events: the flush is
+//! where the tuple compactor infers the schema and where records are turned
+//! into columns (§2.2, §4.5), and the merge is where columns from several
+//! components are stitched back together (§4.5.3).
+//!
+//! This crate provides that engine:
+//!
+//! * [`memtable`] — the in-memory component (rows, in the VB format's logical
+//!   form), with delete support via anti-matter markers;
+//! * [`policy`] — the tiering merge policy and its size-ratio/trigger knobs
+//!   (the paper uses a tiering policy with ratio 1.2 and a maximum of 5
+//!   mergeable components, §6.3);
+//! * [`index`] — the primary-key index used to cheapen point lookups during
+//!   update-intensive ingestion, and the secondary (e.g. timestamp) index
+//!   whose maintenance cost §6.3.2 measures;
+//! * [`dataset`] — [`LsmDataset`]: one dataset partition tying everything
+//!   together: insert/upsert/delete, flush with schema inference, merges,
+//!   reconciled scans with projection push-down, point lookups, and
+//!   secondary-index range queries answered by sorted batched lookups (§4.6).
+
+pub mod dataset;
+pub mod index;
+pub mod memtable;
+pub mod policy;
+
+pub use dataset::{DatasetConfig, IngestStats, LsmDataset};
+pub use index::{PrimaryKeyIndex, SecondaryIndex};
+pub use memtable::Memtable;
+pub use policy::{MergeDecision, TieringPolicy};
+
+/// Error type shared by the LSM layer.
+pub type LsmError = encoding::DecodeError;
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LsmError>;

@@ -1,0 +1,131 @@
+//! The in-memory component.
+//!
+//! Records live in a key-ordered map; deletes are recorded as anti-matter
+//! markers (`None`). The memtable tracks its approximate byte footprint so
+//! the dataset can trigger a flush when the configured in-memory budget is
+//! exceeded — the same trigger the paper's experiments use (a 2 GB budget in
+//! their setup; a few megabytes at our scale).
+
+use std::collections::BTreeMap;
+
+use docmodel::cmp::OrderedValue;
+use docmodel::Value;
+
+/// The LSM in-memory component: key-ordered records and anti-matter markers.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    entries: BTreeMap<OrderedValue, Option<Value>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Create an empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Insert (or replace) a record under `key`. Returns the previous entry
+    /// if one existed (`Some(None)` = an anti-matter marker was replaced).
+    pub fn insert(&mut self, key: Value, record: Value) -> Option<Option<Value>> {
+        let size = key.approx_size() + record.approx_size() + 16;
+        let prev = self.entries.insert(OrderedValue(key), Some(record));
+        self.approx_bytes += size;
+        if let Some(prev) = &prev {
+            self.approx_bytes = self
+                .approx_bytes
+                .saturating_sub(prev.as_ref().map(Value::approx_size).unwrap_or(1) + 16);
+        }
+        prev
+    }
+
+    /// Record a delete (anti-matter) for `key`.
+    pub fn delete(&mut self, key: Value) -> Option<Option<Value>> {
+        self.approx_bytes += key.approx_size() + 16;
+        self.entries.insert(OrderedValue(key), None)
+    }
+
+    /// Look up the newest in-memory entry for `key`:
+    /// `None` = not present, `Some(None)` = deleted, `Some(Some(_))` = record.
+    pub fn get(&self, key: &Value) -> Option<Option<&Value>> {
+        self.entries
+            .get(&OrderedValue(key.clone()))
+            .map(|v| v.as_ref())
+    }
+
+    /// Number of entries (records plus anti-matter markers).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the memtable holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, Option<&Value>)> {
+        self.entries.iter().map(|(k, v)| (&k.0, v.as_ref()))
+    }
+
+    /// Drain the memtable into a sorted entry list for a flush.
+    pub fn drain_sorted(&mut self) -> Vec<(Value, Option<Value>)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries)
+            .into_iter()
+            .map(|(k, v)| (k.0, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::doc;
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut m = Memtable::new();
+        assert!(m.is_empty());
+        m.insert(Value::Int(2), doc!({"id": 2}));
+        m.insert(Value::Int(1), doc!({"id": 1}));
+        assert_eq!(m.len(), 2);
+        assert!(m.approx_bytes() > 0);
+        assert_eq!(m.get(&Value::Int(1)).unwrap().unwrap().get_field("id"), Some(&Value::Int(1)));
+        m.delete(Value::Int(1));
+        assert_eq!(m.get(&Value::Int(1)), Some(None));
+        assert_eq!(m.get(&Value::Int(9)), None);
+    }
+
+    #[test]
+    fn upsert_replaces_and_keeps_single_entry() {
+        let mut m = Memtable::new();
+        m.insert(Value::Int(1), doc!({"v": 1}));
+        let prev = m.insert(Value::Int(1), doc!({"v": 2}));
+        assert!(prev.unwrap().is_some());
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.get(&Value::Int(1)).unwrap().unwrap().get_field("v"),
+            Some(&Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn drain_returns_sorted_entries_and_resets() {
+        let mut m = Memtable::new();
+        for i in [5i64, 1, 3, 2, 4] {
+            m.insert(Value::Int(i), doc!({"id": i}));
+        }
+        m.delete(Value::Int(3));
+        let entries = m.drain_sorted();
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+        let keys: Vec<i64> = entries.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+        assert!(entries[2].1.is_none(), "key 3 is anti-matter");
+    }
+}

@@ -1,0 +1,108 @@
+//! Merge policies.
+//!
+//! The experiments use AsterixDB's *tiering* merge policy (size ratio 1.2)
+//! with a fair, first-come-first-served scheduler and a maximum of five
+//! mergeable components (§6.3). The policy looks at the on-disk components
+//! from newest to oldest and schedules a merge of a prefix of them when the
+//! total size of the younger components exceeds `size_ratio` times the size
+//! of the oldest component in that prefix, or when the number of components
+//! exceeds the configured maximum.
+
+/// What the policy decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeDecision {
+    /// Nothing to do.
+    None,
+    /// Merge the components at the given indexes (newest-first ordering of
+    /// the input slice).
+    Merge(Vec<usize>),
+}
+
+/// Tiering merge policy with a size ratio and a component-count trigger.
+#[derive(Debug, Clone, Copy)]
+pub struct TieringPolicy {
+    /// A merge is scheduled when the cumulative size of younger components
+    /// exceeds `size_ratio` × the size of the oldest component considered.
+    pub size_ratio: f64,
+    /// Maximum tolerated number of on-disk components before a merge is
+    /// forced.
+    pub max_components: usize,
+}
+
+impl Default for TieringPolicy {
+    fn default() -> Self {
+        TieringPolicy {
+            size_ratio: 1.2,
+            max_components: 5,
+        }
+    }
+}
+
+impl TieringPolicy {
+    /// Decide whether to merge. `sizes` lists component sizes in bytes,
+    /// newest first.
+    pub fn decide(&self, sizes: &[u64]) -> MergeDecision {
+        if sizes.len() < 2 {
+            return MergeDecision::None;
+        }
+        // Size-ratio rule: find the longest prefix (newest components) whose
+        // cumulative size exceeds ratio × the next (older) component.
+        let mut younger_total = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            if i + 1 < sizes.len() {
+                younger_total += size;
+                let older = sizes[i + 1];
+                if younger_total as f64 > self.size_ratio * older as f64 {
+                    return MergeDecision::Merge((0..=i + 1).collect());
+                }
+            }
+        }
+        // Component-count rule.
+        if sizes.len() > self.max_components {
+            return MergeDecision::Merge((0..sizes.len()).collect());
+        }
+        MergeDecision::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_merge_for_single_component() {
+        let p = TieringPolicy::default();
+        assert_eq!(p.decide(&[]), MergeDecision::None);
+        assert_eq!(p.decide(&[100]), MergeDecision::None);
+    }
+
+    #[test]
+    fn size_ratio_triggers_merge_of_prefix() {
+        let p = TieringPolicy {
+            size_ratio: 1.2,
+            max_components: 10,
+        };
+        // Newest 100 vs older 50: 100 > 1.2 * 50 -> merge the two.
+        assert_eq!(p.decide(&[100, 50]), MergeDecision::Merge(vec![0, 1]));
+        // Balanced tier: 10 vs 100 then 110 vs 1000 — no merge.
+        assert_eq!(p.decide(&[10, 100, 1000]), MergeDecision::None);
+        // Cumulative young size eventually exceeds an older component.
+        assert_eq!(
+            p.decide(&[60, 60, 90, 1000]),
+            MergeDecision::Merge(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn component_count_forces_merge() {
+        let p = TieringPolicy {
+            size_ratio: 100.0,
+            max_components: 3,
+        };
+        assert_eq!(p.decide(&[1, 10, 100]), MergeDecision::None);
+        assert_eq!(
+            p.decide(&[1, 10, 100, 1000]),
+            MergeDecision::Merge(vec![0, 1, 2, 3])
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! The interpreted engine: operator-at-a-time with materialisation.
+//!
+//! Every operator is a boxed trait object processing a fully materialised
+//! batch of [`Value`] rows and producing a new, fully materialised batch —
+//! the behaviour the paper attributes to the Hyracks batch model (tuples are
+//! materialised between operators and nested values are re-assembled into
+//! row form before operators can touch them). The per-tuple costs are
+//! dynamic dispatch, repeated path resolution against schemaless values and
+//! the intermediate allocations; these are precisely the overheads the
+//! compiled mode removes.
+
+use std::collections::BTreeMap;
+
+use docmodel::cmp::OrderedValue;
+use docmodel::{Path, Value};
+use lsm::LsmDataset;
+
+use crate::plan::{Aggregate, Query, QueryRow};
+use crate::Result;
+
+/// A batch-at-a-time operator.
+trait Operator {
+    /// Consume an input batch, produce an output batch.
+    fn execute(&self, input: Vec<Value>) -> Vec<Value>;
+}
+
+/// Filter operator: keeps rows matching the predicate.
+struct FilterOp {
+    predicate: crate::plan::Predicate,
+}
+
+impl Operator for FilterOp {
+    fn execute(&self, input: Vec<Value>) -> Vec<Value> {
+        let mut out = Vec::with_capacity(input.len());
+        for row in input {
+            if self.predicate.matches(&row) {
+                out.push(row);
+            }
+        }
+        out
+    }
+}
+
+/// Unnest operator: produces one row per array element, carrying both the
+/// original record (under `$record`) and the element (under `$element`) —
+/// the row-major re-materialisation the interpreted engine pays for.
+struct UnnestOp {
+    path: Path,
+}
+
+impl Operator for UnnestOp {
+    fn execute(&self, input: Vec<Value>) -> Vec<Value> {
+        let mut out = Vec::new();
+        for row in input {
+            let elements: Vec<Value> = self
+                .path
+                .evaluate(&row)
+                .into_iter()
+                .flat_map(|v| match v {
+                    Value::Array(elems) => elems.clone(),
+                    other => vec![other.clone()],
+                })
+                .collect();
+            for element in elements {
+                out.push(Value::Object(vec![
+                    ("$record".to_string(), row.clone()),
+                    ("$element".to_string(), element),
+                ]));
+            }
+        }
+        out
+    }
+}
+
+/// Identity projection: rebuilds each row keeping only the referenced paths
+/// (simulating the PROJECT operator's copy).
+struct ProjectOp {
+    paths: Vec<Path>,
+}
+
+impl Operator for ProjectOp {
+    fn execute(&self, input: Vec<Value>) -> Vec<Value> {
+        input
+            .into_iter()
+            .map(|row| {
+                let mut projected = Value::empty_object();
+                for (i, path) in self.paths.iter().enumerate() {
+                    if let Some(v) = path.evaluate(&row).first() {
+                        projected.set_field(format!("${i}"), (*v).clone());
+                    }
+                }
+                // Keep the original row alongside the projection so the
+                // aggregation stage can still resolve arbitrary paths.
+                projected.set_field("$row", row);
+                projected
+            })
+            .collect()
+    }
+}
+
+fn wrapped_path(on_element: bool, path: &Path) -> (bool, Path) {
+    (on_element, path.clone())
+}
+
+fn resolve<'a>(row: &'a Value, on_element: bool, path: &Path, unnested: bool) -> Vec<&'a Value> {
+    if !unnested {
+        return path.evaluate(row);
+    }
+    let root = if on_element { "$element" } else { "$record" };
+    match row.get_field("$row").and_then(|r| r.get_field(root)).or_else(|| row.get_field(root)) {
+        Some(base) => {
+            if path.is_empty() {
+                vec![base]
+            } else {
+                path.evaluate(base)
+            }
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Execute a query with the interpreted engine.
+pub fn run_interpreted(dataset: &LsmDataset, query: &Query) -> Result<Vec<QueryRow>> {
+    // SCAN: assemble the projected columns into row-major records.
+    let projection = query.projection_paths();
+    let mut batch = dataset.scan(Some(&projection))?;
+
+    // Build the operator pipeline (dynamic dispatch per operator).
+    let mut pipeline: Vec<Box<dyn Operator>> = Vec::new();
+    if let Some(p) = &query.filter {
+        pipeline.push(Box::new(FilterOp {
+            predicate: p.clone(),
+        }));
+    }
+    let unnested = query.unnest.is_some();
+    if let Some(u) = &query.unnest {
+        pipeline.push(Box::new(UnnestOp { path: u.clone() }));
+    }
+    if unnested {
+        pipeline.push(Box::new(ProjectOp {
+            paths: vec![Path::parse("$record"), Path::parse("$element")],
+        }));
+    }
+    for op in &pipeline {
+        batch = op.execute(batch);
+    }
+
+    // GROUP BY / aggregate (the pipeline breaker, shared with compiled mode
+    // in spirit, but here it re-resolves paths per tuple).
+    let group_key = query
+        .group_by
+        .as_ref()
+        .map(|p| wrapped_path(query.group_on_element, p));
+    let agg_input = query
+        .agg
+        .path()
+        .map(|p| wrapped_path(query.agg_on_element, p));
+
+    let mut groups: BTreeMap<Option<OrderedValue>, AggState> = BTreeMap::new();
+    for row in &batch {
+        let key = group_key.as_ref().and_then(|(on_element, path)| {
+            resolve(row, *on_element, path, unnested)
+                .first()
+                .map(|v| OrderedValue((*v).clone()))
+        });
+        if group_key.is_some() && key.is_none() {
+            continue; // grouping key absent: the record contributes no group
+        }
+        let input = agg_input
+            .as_ref()
+            .and_then(|(on_element, path)| {
+                resolve(row, *on_element, path, unnested).first().copied().cloned()
+            });
+        groups
+            .entry(key)
+            .or_insert_with(|| AggState::new(&query.agg))
+            .update(input.as_ref());
+    }
+    finalize(groups, query)
+}
+
+/// Shared aggregation state.
+pub(crate) struct AggState {
+    kind: Aggregate,
+    count: u64,
+    best: Option<Value>,
+}
+
+impl AggState {
+    pub(crate) fn new(kind: &Aggregate) -> AggState {
+        AggState {
+            kind: kind.clone(),
+            count: 0,
+            best: None,
+        }
+    }
+
+    pub(crate) fn update(&mut self, input: Option<&Value>) {
+        match &self.kind {
+            Aggregate::Count => self.count += 1,
+            Aggregate::CountNonNull(_) => {
+                if input.is_some() {
+                    self.count += 1;
+                }
+            }
+            Aggregate::Max(_) => {
+                if let Some(v) = input {
+                    if self
+                        .best
+                        .as_ref()
+                        .map(|b| docmodel::total_cmp(v, b) == std::cmp::Ordering::Greater)
+                        .unwrap_or(true)
+                    {
+                        self.best = Some(v.clone());
+                    }
+                }
+            }
+            Aggregate::Min(_) => {
+                if let Some(v) = input {
+                    if self
+                        .best
+                        .as_ref()
+                        .map(|b| docmodel::total_cmp(v, b) == std::cmp::Ordering::Less)
+                        .unwrap_or(true)
+                    {
+                        self.best = Some(v.clone());
+                    }
+                }
+            }
+            Aggregate::MaxLength(_) => {
+                if let Some(Value::String(s)) = input {
+                    let len = s.chars().count() as i64;
+                    if self
+                        .best
+                        .as_ref()
+                        .and_then(Value::as_int)
+                        .map(|b| len > b)
+                        .unwrap_or(true)
+                    {
+                        self.best = Some(Value::Int(len));
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> Value {
+        match self.kind {
+            Aggregate::Count | Aggregate::CountNonNull(_) => Value::Int(self.count as i64),
+            _ => self.best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Turn grouped aggregation state into ordered, limited output rows.
+pub(crate) fn finalize(
+    groups: BTreeMap<Option<OrderedValue>, AggState>,
+    query: &Query,
+) -> Result<Vec<QueryRow>> {
+    let mut rows: Vec<QueryRow> = groups
+        .into_iter()
+        .map(|(k, state)| QueryRow {
+            group: k.map(|k| k.0),
+            agg: state.finish(),
+        })
+        .collect();
+    if query.group_by.is_none() && rows.is_empty() {
+        rows.push(QueryRow {
+            group: None,
+            agg: AggState::new(&query.agg).finish(),
+        });
+    }
+    if query.order_desc_by_agg {
+        rows.sort_by(|a, b| docmodel::total_cmp(&b.agg, &a.agg));
+    }
+    if let Some(k) = query.limit {
+        rows.truncate(k);
+    }
+    Ok(rows)
+}

@@ -1,0 +1,326 @@
+//! The logical query plan.
+//!
+//! The evaluation's queries (Appendix A of the paper) all fit one shape:
+//!
+//! ```sql
+//! SELECT   g, AGG(x)
+//! FROM     dataset d [UNNEST d.p AS e]
+//! [WHERE   predicate]
+//! [GROUP BY g]
+//! [ORDER BY AGG(x) DESC LIMIT k]
+//! ```
+//!
+//! [`Query`] captures exactly that shape as data, which keeps the two
+//! execution engines comparable: they run the *same* plan, only the execution
+//! model differs. A SQL++ parser is out of scope for the reproduction (the
+//! substitution is documented in DESIGN.md); the builder API mirrors the
+//! paper's queries one-to-one and the benchmark harness constructs them.
+
+use docmodel::{Path, Value};
+
+/// Which execution engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Operator-at-a-time with materialisation between operators.
+    Interpreted,
+    /// Fused, pre-resolved single-pass pipeline ("code generation").
+    Compiled,
+}
+
+/// A filter predicate over a record (or over an unnested element when
+/// `on_element` is set).
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// `lo <= path <= hi` (numeric or string range).
+    Range {
+        /// Path to the tested value.
+        path: Path,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// `path >= value`.
+    GreaterEq {
+        /// Path to the tested value.
+        path: Path,
+        /// Inclusive lower bound.
+        value: Value,
+    },
+    /// `SOME x IN path SATISFIES x = value` (array containment, used by the
+    /// hashtag query).
+    Contains {
+        /// Path to the array (or repeated value).
+        path: Path,
+        /// Value at least one element must equal.
+        value: Value,
+    },
+}
+
+impl Predicate {
+    /// Evaluate the predicate against a document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Predicate::Range { path, lo, hi } => path.evaluate(doc).iter().any(|v| {
+                docmodel::total_cmp(v, lo) != std::cmp::Ordering::Less
+                    && docmodel::total_cmp(v, hi) != std::cmp::Ordering::Greater
+            }),
+            Predicate::GreaterEq { path, value } => path
+                .evaluate(doc)
+                .iter()
+                .any(|v| docmodel::total_cmp(v, value) != std::cmp::Ordering::Less),
+            Predicate::Contains { path, value } => path
+                .evaluate(doc)
+                .iter()
+                .any(|v| docmodel::total_cmp(v, value) == std::cmp::Ordering::Equal),
+        }
+    }
+
+    /// The record-rooted path the predicate reads.
+    pub fn path(&self) -> &Path {
+        match self {
+            Predicate::Range { path, .. }
+            | Predicate::GreaterEq { path, .. }
+            | Predicate::Contains { path, .. } => path,
+        }
+    }
+}
+
+/// The aggregate computed per group (or over the whole input).
+#[derive(Debug, Clone)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    Count,
+    /// `COUNT(path)` — counts records (or elements) where the path is present.
+    CountNonNull(Path),
+    /// `MAX(path)`.
+    Max(Path),
+    /// `MIN(path)`.
+    Min(Path),
+    /// `MAX(LENGTH(path))` — used by the "longest tweet" query.
+    MaxLength(Path),
+}
+
+impl Aggregate {
+    /// The path the aggregate reads, if any.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            Aggregate::Count => None,
+            Aggregate::CountNonNull(p)
+            | Aggregate::Max(p)
+            | Aggregate::Min(p)
+            | Aggregate::MaxLength(p) => Some(p),
+        }
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Optional filter, evaluated on records.
+    pub filter: Option<Predicate>,
+    /// Optional array path to unnest; group/aggregate paths flagged
+    /// `on_element` are then evaluated on each unnested element.
+    pub unnest: Option<Path>,
+    /// Optional grouping key path.
+    pub group_by: Option<Path>,
+    /// Whether the grouping key is evaluated on the unnested element (`true`)
+    /// or on the record (`false`).
+    pub group_on_element: bool,
+    /// The aggregate.
+    pub agg: Aggregate,
+    /// Whether the aggregate input is evaluated on the unnested element.
+    pub agg_on_element: bool,
+    /// Sort groups by the aggregate, descending (the paper's top-k queries).
+    pub order_desc_by_agg: bool,
+    /// Keep only the first `k` groups after sorting.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// `SELECT COUNT(*) FROM dataset`.
+    pub fn count_star() -> Query {
+        Query {
+            filter: None,
+            unnest: None,
+            group_by: None,
+            group_on_element: false,
+            agg: Aggregate::Count,
+            agg_on_element: false,
+            order_desc_by_agg: false,
+            limit: None,
+        }
+    }
+
+    /// Builder: set the filter.
+    pub fn with_filter(mut self, p: Predicate) -> Query {
+        self.filter = Some(p);
+        self
+    }
+
+    /// Builder: unnest an array path.
+    pub fn with_unnest(mut self, p: Path) -> Query {
+        self.unnest = Some(p);
+        self
+    }
+
+    /// Builder: group by a record-rooted path.
+    pub fn group_by(mut self, p: Path) -> Query {
+        self.group_by = Some(p);
+        self.group_on_element = false;
+        self
+    }
+
+    /// Builder: group by a path evaluated on the unnested element (pass the
+    /// empty path to group by the element itself).
+    pub fn group_by_element(mut self, p: Path) -> Query {
+        self.group_by = Some(p);
+        self.group_on_element = true;
+        self
+    }
+
+    /// Builder: set the aggregate (evaluated on records).
+    pub fn aggregate(mut self, agg: Aggregate) -> Query {
+        self.agg = agg;
+        self.agg_on_element = false;
+        self
+    }
+
+    /// Builder: set the aggregate, evaluated on the unnested element.
+    pub fn aggregate_element(mut self, agg: Aggregate) -> Query {
+        self.agg = agg;
+        self.agg_on_element = true;
+        self
+    }
+
+    /// Builder: order by the aggregate descending and keep the top `k`.
+    pub fn top_k(mut self, k: usize) -> Query {
+        self.order_desc_by_agg = true;
+        self.limit = Some(k);
+        self
+    }
+
+    /// The record-rooted paths this query needs — the projection pushed down
+    /// to the storage layer (so AMAX reads only these columns' megapages).
+    pub fn projection_paths(&self) -> Vec<Path> {
+        let mut paths = Vec::new();
+        let mut add = |p: &Path| {
+            if !paths.contains(p) {
+                paths.push(p.clone());
+            }
+        };
+        if let Some(f) = &self.filter {
+            add(f.path());
+        }
+        if let Some(u) = &self.unnest {
+            add(u);
+        }
+        if let Some(g) = &self.group_by {
+            if self.group_on_element {
+                if let Some(u) = &self.unnest {
+                    add(&join_paths(u, g));
+                }
+            } else {
+                add(g);
+            }
+        }
+        if let Some(a) = self.agg.path() {
+            if self.agg_on_element {
+                if let Some(u) = &self.unnest {
+                    add(&join_paths(u, a));
+                }
+            } else {
+                add(a);
+            }
+        }
+        paths
+    }
+}
+
+/// Concatenate an unnest path and an element-relative path into one
+/// record-rooted path (for projection purposes): `u[*] . rel`.
+pub fn join_paths(unnest: &Path, relative: &Path) -> Path {
+    let mut joined = unnest.elements();
+    for step in relative.steps() {
+        joined = match step {
+            docmodel::PathStep::Field(name) => joined.child(name),
+            docmodel::PathStep::AllElements => joined.elements(),
+            docmodel::PathStep::Union(t) => joined.union_branch(t),
+        };
+    }
+    joined
+}
+
+/// One output row: the group key (absent for global aggregates) and the
+/// aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Group key, `None` for a global aggregate.
+    pub group: Option<Value>,
+    /// Aggregate value.
+    pub agg: Value,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::doc;
+
+    #[test]
+    fn predicates_evaluate_against_documents() {
+        let doc = doc!({"age": 30, "tags": ["jobs", "rust"], "d": 599});
+        assert!(Predicate::GreaterEq {
+            path: Path::parse("age"),
+            value: Value::Int(30)
+        }
+        .matches(&doc));
+        assert!(!Predicate::GreaterEq {
+            path: Path::parse("d"),
+            value: Value::Int(600)
+        }
+        .matches(&doc));
+        assert!(Predicate::Range {
+            path: Path::parse("age"),
+            lo: Value::Int(20),
+            hi: Value::Int(40)
+        }
+        .matches(&doc));
+        assert!(Predicate::Contains {
+            path: Path::parse("tags[*]"),
+            value: Value::from("jobs")
+        }
+        .matches(&doc));
+        assert!(!Predicate::Contains {
+            path: Path::parse("tags[*]"),
+            value: Value::from("none")
+        }
+        .matches(&doc));
+    }
+
+    #[test]
+    fn projection_paths_cover_all_referenced_columns() {
+        let q = Query::count_star()
+            .with_filter(Predicate::GreaterEq {
+                path: Path::parse("duration"),
+                value: Value::Int(600),
+            })
+            .with_unnest(Path::parse("readings"))
+            .group_by(Path::parse("sensor_id"))
+            .aggregate_element(Aggregate::Max(Path::parse("temp")))
+            .top_k(10);
+        let paths: Vec<String> = q.projection_paths().iter().map(|p| p.to_string()).collect();
+        assert!(paths.contains(&"duration".to_string()));
+        assert!(paths.contains(&"readings".to_string()));
+        assert!(paths.contains(&"sensor_id".to_string()));
+        assert!(paths.contains(&"readings[*].temp".to_string()));
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn join_paths_concatenates() {
+        let joined = join_paths(&Path::parse("games"), &Path::parse("consoles[*]"));
+        assert_eq!(joined.to_string(), "games[*].consoles[*]");
+        let identity = join_paths(&Path::parse("games"), &Path::root());
+        assert_eq!(identity.to_string(), "games[*]");
+    }
+}

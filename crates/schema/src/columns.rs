@@ -1,0 +1,311 @@
+//! Flattening the schema tree into per-column metadata.
+//!
+//! Every atomic leaf of the schema is one column of the extended Dremel
+//! format. The shredder, the page writers (APAX minipages / AMAX megapages)
+//! and the readers need, per column:
+//!
+//! * a stable identifier ([`ColumnId`] — the leaf's `NodeId`),
+//! * the value type (which picks the encoder/decoder),
+//! * the column's *maximum definition level*,
+//! * the definition levels of its enclosing array nodes (which determine the
+//!   delimiter values, §3.2.1), and
+//! * whether it is the primary-key column (whose definition level encodes
+//!   anti-matter rather than nullability, §3.2.3).
+
+use crate::node::{NodeId, Schema, SchemaNode};
+use crate::types::AtomicType;
+use docmodel::Path;
+
+/// Identifier of a column: the `NodeId` of its atomic leaf. Stable across
+/// schema evolution.
+pub type ColumnId = NodeId;
+
+/// Metadata of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Stable identifier (the leaf node id).
+    pub id: ColumnId,
+    /// Path from the record root to the leaf, including `[*]` and union
+    /// steps, e.g. `games[*].consoles[*]` or `name<string>`.
+    pub path: Path,
+    /// Value type.
+    pub ty: AtomicType,
+    /// Maximum definition level: the leaf's level (number of field and
+    /// array-item steps from the root). For the primary-key column this is 1
+    /// and the level means record (1) vs anti-matter (0).
+    pub max_def: u16,
+    /// Definition levels of the enclosing array nodes, outermost first. The
+    /// `k`-th entry is the level of the array whose end is signalled by
+    /// delimiter value `k`; `max_delimiter = array_levels.len() - 1`.
+    pub array_levels: Vec<u16>,
+    /// `true` for the primary-key column.
+    pub is_key: bool,
+}
+
+impl ColumnSpec {
+    /// Maximum delimiter value, or `None` for non-repeated columns.
+    pub fn max_delimiter(&self) -> Option<u16> {
+        if self.array_levels.is_empty() {
+            None
+        } else {
+            Some(self.array_levels.len() as u16 - 1)
+        }
+    }
+
+    /// `true` if the column lies under at least one array.
+    pub fn is_repeated(&self) -> bool {
+        !self.array_levels.is_empty()
+    }
+
+    /// Number of bits needed for one definition-level entry of this column.
+    pub fn def_bit_width(&self) -> u32 {
+        encoding_bit_width(self.max_def)
+    }
+}
+
+fn encoding_bit_width(max: u16) -> u32 {
+    (16 - u16::leading_zeros(max.max(1))).max(1)
+}
+
+/// Extract the columns of `schema` in a deterministic order: the primary-key
+/// column first (if declared and observed), then the remaining leaves in
+/// depth-first, first-observation order.
+pub fn columns_of(schema: &Schema) -> Vec<ColumnSpec> {
+    let mut out = Vec::with_capacity(schema.column_count());
+    let key_field = schema.key_field().map(str::to_string);
+    walk(
+        schema,
+        schema.root(),
+        &Path::root(),
+        0,
+        &mut Vec::new(),
+        key_field.as_deref(),
+        &mut out,
+    );
+    // Stable sort: key column first, everything else keeps DFS order.
+    out.sort_by_key(|c| !c.is_key as u8);
+    out
+}
+
+/// Find the primary-key column, if the schema has observed it.
+pub fn key_column(schema: &Schema) -> Option<ColumnSpec> {
+    columns_of(schema).into_iter().find(|c| c.is_key)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    schema: &Schema,
+    id: NodeId,
+    path: &Path,
+    level: u16,
+    array_levels: &mut Vec<u16>,
+    key_field: Option<&str>,
+    out: &mut Vec<ColumnSpec>,
+) {
+    match schema.node(id) {
+        SchemaNode::Object { fields } => {
+            for (name, child) in fields {
+                let child_path = path.child(name);
+                let is_key_field =
+                    level == 0 && key_field.is_some_and(|k| k == name.as_str());
+                walk_child(
+                    schema,
+                    *child,
+                    &child_path,
+                    level + 1,
+                    array_levels,
+                    key_field,
+                    is_key_field,
+                    out,
+                );
+            }
+        }
+        SchemaNode::Array { item } => {
+            if let Some(item) = item {
+                array_levels.push(level);
+                let child_path = path.elements();
+                walk_child(
+                    schema,
+                    *item,
+                    &child_path,
+                    level + 1,
+                    array_levels,
+                    key_field,
+                    false,
+                    out,
+                );
+                array_levels.pop();
+            }
+        }
+        SchemaNode::Union { branches } => {
+            for (kind, child) in branches {
+                let child_path = path.union_branch(kind.name());
+                // Union steps do not change the level or the array stack.
+                walk_child(
+                    schema, *child, &child_path, level, array_levels, key_field, false, out,
+                );
+            }
+        }
+        SchemaNode::Atomic { ty } => {
+            out.push(ColumnSpec {
+                id,
+                path: path.clone(),
+                ty: *ty,
+                max_def: level,
+                array_levels: array_levels.clone(),
+                is_key: false,
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_child(
+    schema: &Schema,
+    id: NodeId,
+    path: &Path,
+    level: u16,
+    array_levels: &mut Vec<u16>,
+    key_field: Option<&str>,
+    is_key_field: bool,
+    out: &mut Vec<ColumnSpec>,
+) {
+    if is_key_field {
+        // The primary key must be an atomic root field; its definition level
+        // encodes anti-matter (0) vs record (1), per §3.2.3.
+        if let SchemaNode::Atomic { ty } = schema.node(id) {
+            out.push(ColumnSpec {
+                id,
+                path: path.clone(),
+                ty: *ty,
+                max_def: 1,
+                array_levels: Vec::new(),
+                is_key: true,
+            });
+            return;
+        }
+    }
+    walk(schema, id, path, level, array_levels, key_field, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::SchemaBuilder;
+    use docmodel::doc;
+
+    fn gamer_schema() -> Schema {
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe(&doc!({"id": 0, "games": [{"title": "NFL"}]}));
+        b.observe(&doc!({
+            "id": 1,
+            "name": {"last": "Brown"},
+            "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]
+        }));
+        b.observe(&doc!({
+            "id": 2,
+            "name": {"first": "John", "last": "Smith"},
+            "games": [
+                {"title": "NBA", "consoles": ["PS4", "PC"]},
+                {"title": "NFL", "consoles": ["XBOX"]}
+            ]
+        }));
+        b.observe(&doc!({"id": 3}));
+        b.into_schema()
+    }
+
+    #[test]
+    fn columns_match_figure_4b() {
+        let cols = columns_of(&gamer_schema());
+        let by_path: std::collections::HashMap<String, &ColumnSpec> =
+            cols.iter().map(|c| (c.path.to_string(), c)).collect();
+
+        let id = by_path["id"];
+        assert!(id.is_key);
+        assert_eq!(id.max_def, 1);
+        assert_eq!(id.ty, AtomicType::Int);
+        assert!(!id.is_repeated());
+
+        let title = by_path["games[*].title"];
+        assert_eq!(title.max_def, 3);
+        assert_eq!(title.array_levels, vec![1]);
+        assert_eq!(title.max_delimiter(), Some(0));
+
+        let consoles = by_path["games[*].consoles[*]"];
+        assert_eq!(consoles.max_def, 4);
+        assert_eq!(consoles.array_levels, vec![1, 3]);
+        assert_eq!(consoles.max_delimiter(), Some(1));
+
+        let first = by_path["name.first"];
+        assert_eq!(first.max_def, 2);
+        assert!(!first.is_key);
+        assert_eq!(first.max_delimiter(), None);
+    }
+
+    #[test]
+    fn key_column_is_first_and_unique() {
+        let cols = columns_of(&gamer_schema());
+        assert!(cols[0].is_key);
+        assert_eq!(cols.iter().filter(|c| c.is_key).count(), 1);
+        assert_eq!(cols.len(), 5);
+        let key = key_column(&gamer_schema()).unwrap();
+        assert_eq!(key.path.to_string(), "id");
+    }
+
+    #[test]
+    fn union_columns_from_figure_6() {
+        let mut b = SchemaBuilder::new(None);
+        b.observe(&doc!({"name": "John", "games": ["NBA", ["FIFA", "PES"], "NFL"]}));
+        b.observe(&doc!({"name": {"first": "Ann", "last": "Brown"}, "games": ["NFL", "NBA"]}));
+        let cols = columns_of(&b.into_schema());
+        let by_path: std::collections::HashMap<String, &ColumnSpec> =
+            cols.iter().map(|c| (c.path.to_string(), c)).collect();
+
+        // Column 1 in Figure 7: name<string> with max def 1.
+        let name_str = by_path["name<string>"];
+        assert_eq!(name_str.max_def, 1);
+        // Columns 2/3: name.first / name.last at def 2 (union ignored).
+        assert_eq!(by_path["name<object>.first"].max_def, 2);
+        // Column 4: games[*]<string>, max def 2, one enclosing array.
+        let games_str = by_path["games[*]<string>"];
+        assert_eq!(games_str.max_def, 2);
+        assert_eq!(games_str.array_levels, vec![1]);
+        // Column 5: games[*]<array>[*], max def 3, two enclosing arrays.
+        let games_arr = by_path["games[*]<array>[*]"];
+        assert_eq!(games_arr.max_def, 3);
+        assert_eq!(games_arr.array_levels, vec![1, 2]);
+        assert_eq!(games_arr.max_delimiter(), Some(1));
+    }
+
+    #[test]
+    fn column_ids_are_stable_across_growth() {
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        b.observe(&doc!({"id": 1, "age": 25}));
+        let before = columns_of(b.schema());
+        let age_before = before.iter().find(|c| c.path.to_string() == "age").unwrap();
+
+        b.observe(&doc!({"id": 2, "age": "old", "extra": true}));
+        let after = columns_of(b.schema());
+        let age_after = after
+            .iter()
+            .find(|c| c.path.to_string() == "age<int>")
+            .unwrap();
+        assert_eq!(age_before.id, age_after.id);
+        assert_eq!(age_after.max_def, 1);
+    }
+
+    #[test]
+    fn def_bit_width_is_sane() {
+        let cols = columns_of(&gamer_schema());
+        for c in &cols {
+            assert!(c.def_bit_width() >= 1 && c.def_bit_width() <= 3);
+        }
+    }
+
+    #[test]
+    fn empty_schema_has_no_columns() {
+        let s = Schema::new(Some("id".into()));
+        assert!(columns_of(&s).is_empty());
+        assert!(key_column(&s).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Atomic (leaf) types of the inferred schema.
+
+use docmodel::{Value, ValueKind};
+
+/// The type of an atomic schema leaf, i.e. of one column.
+///
+/// `Null` values carry no type information during inference, so there is no
+/// `Null` variant here — a field observed only as `null` simply never gets a
+/// column (the standard Dremel behaviour the paper inherits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomicType {
+    /// Boolean values.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// 64-bit IEEE-754 doubles.
+    Double,
+    /// UTF-8 strings.
+    String,
+}
+
+impl AtomicType {
+    /// The atomic type of a value, or `None` for nulls and nested values.
+    pub fn of(value: &Value) -> Option<AtomicType> {
+        match value.kind() {
+            ValueKind::Bool => Some(AtomicType::Bool),
+            ValueKind::Int => Some(AtomicType::Int),
+            ValueKind::Double => Some(AtomicType::Double),
+            ValueKind::String => Some(AtomicType::String),
+            ValueKind::Null | ValueKind::Array | ValueKind::Object => None,
+        }
+    }
+
+    /// Short name, used as the key of a union branch (paper Figure 6 keys
+    /// union children by their type name).
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicType::Bool => "boolean",
+            AtomicType::Int => "int",
+            AtomicType::Double => "double",
+            AtomicType::String => "string",
+        }
+    }
+
+    /// Stable numeric tag for persistence.
+    pub fn tag(self) -> u8 {
+        match self {
+            AtomicType::Bool => 0,
+            AtomicType::Int => 1,
+            AtomicType::Double => 2,
+            AtomicType::String => 3,
+        }
+    }
+
+    /// Inverse of [`AtomicType::tag`].
+    pub fn from_tag(tag: u8) -> Option<AtomicType> {
+        Some(match tag {
+            0 => AtomicType::Bool,
+            1 => AtomicType::Int,
+            2 => AtomicType::Double,
+            3 => AtomicType::String,
+            _ => return None,
+        })
+    }
+
+    /// `true` if `value` has exactly this atomic type.
+    pub fn matches(self, value: &Value) -> bool {
+        AtomicType::of(value) == Some(self)
+    }
+}
+
+impl std::fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::doc;
+
+    #[test]
+    fn atomic_type_of_values() {
+        assert_eq!(AtomicType::of(&Value::Bool(true)), Some(AtomicType::Bool));
+        assert_eq!(AtomicType::of(&Value::Int(3)), Some(AtomicType::Int));
+        assert_eq!(AtomicType::of(&Value::Double(3.5)), Some(AtomicType::Double));
+        assert_eq!(AtomicType::of(&Value::from("s")), Some(AtomicType::String));
+        assert_eq!(AtomicType::of(&Value::Null), None);
+        assert_eq!(AtomicType::of(&doc!([1])), None);
+        assert_eq!(AtomicType::of(&doc!({"a": 1})), None);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for t in [
+            AtomicType::Bool,
+            AtomicType::Int,
+            AtomicType::Double,
+            AtomicType::String,
+        ] {
+            assert_eq!(AtomicType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(AtomicType::from_tag(9), None);
+    }
+
+    #[test]
+    fn matches_checks_exact_type() {
+        assert!(AtomicType::Int.matches(&Value::Int(1)));
+        assert!(!AtomicType::Int.matches(&Value::Double(1.0)));
+        assert!(!AtomicType::String.matches(&Value::Null));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = [
+            AtomicType::Bool,
+            AtomicType::Int,
+            AtomicType::Double,
+            AtomicType::String,
+        ]
+        .iter()
+        .map(|t| t.name())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,809 @@
+//! Immutable on-disk components in the four layouts, behind one interface.
+//!
+//! An LSM flush (or merge) produces a *component*: a sorted, immutable run of
+//! `(key, record-or-anti-matter)` entries together with the schema inferred
+//! up to that point (persisted, in the real system, on the component's
+//! metadata page). This module writes and reads components in the four
+//! layouts the paper evaluates:
+//!
+//! * `Open` and `Vb` — row-major slotted pages ([`crate::rowpage`]);
+//! * `Apax` — one APAX page per batch of records ([`crate::apax`]);
+//! * `Amax` — mega leaf nodes ([`crate::amax`]).
+//!
+//! All layouts apply page-level compression (the stand-in for Snappy) and are
+//! read through the shared [`BufferCache`], so the experiments can compare
+//! page I/O across layouts directly. The per-page (or per-leaf) minimum and
+//! maximum keys kept in [`Component`] play the role of the B+-tree interior
+//! nodes: point lookups and merges locate leaves through them without
+//! touching data pages.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use columnar::{Assembler, ColumnCursor, ShreddedBatch, Shredder};
+use docmodel::{total_cmp, Path, Value};
+use encoding::{compress, DecodeError};
+use schema::{columns_of, ColumnId, ColumnSpec, Schema};
+
+use crate::amax::{self, AmaxConfig};
+use crate::apax;
+use crate::pagestore::{BufferCache, PageId};
+use crate::rowformat::RowFormat;
+use crate::rowpage;
+use crate::Result;
+
+/// The four storage layouts of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// AsterixDB's schemaless row format.
+    Open,
+    /// The vector-based row format.
+    Vb,
+    /// APAX: columns as minipages inside each leaf page.
+    Apax,
+    /// AMAX: columns as megapages inside mega leaf nodes.
+    Amax,
+}
+
+impl LayoutKind {
+    /// All four layouts, in the order the paper's figures list them.
+    pub const ALL: [LayoutKind; 4] = [
+        LayoutKind::Open,
+        LayoutKind::Vb,
+        LayoutKind::Apax,
+        LayoutKind::Amax,
+    ];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Open => "Open",
+            LayoutKind::Vb => "VB",
+            LayoutKind::Apax => "APAX",
+            LayoutKind::Amax => "AMAX",
+        }
+    }
+
+    /// `true` for the two columnar layouts.
+    pub fn is_columnar(self) -> bool {
+        matches!(self, LayoutKind::Apax | LayoutKind::Amax)
+    }
+}
+
+/// Configuration shared by component writers.
+#[derive(Debug, Clone)]
+pub struct ComponentConfig {
+    /// Storage layout.
+    pub layout: LayoutKind,
+    /// AMAX-specific knobs.
+    pub amax: AmaxConfig,
+    /// Apply page-level compression (on by default, as in the paper's setup).
+    pub compress_pages: bool,
+}
+
+impl ComponentConfig {
+    /// Default configuration for a layout.
+    pub fn new(layout: LayoutKind) -> ComponentConfig {
+        ComponentConfig {
+            layout,
+            amax: AmaxConfig::default(),
+            compress_pages: true,
+        }
+    }
+}
+
+/// One entry of a component: primary key plus record, or anti-matter (`None`).
+pub type Entry = (Value, Option<Value>);
+
+#[derive(Debug, Clone)]
+struct LeafRef {
+    /// Page id of the leaf page (row or APAX) or of Page 0 (AMAX).
+    page: PageId,
+    /// Data pages of an AMAX mega leaf (empty for other layouts).
+    data_pages: Vec<PageId>,
+    min_key: Value,
+    max_key: Value,
+    record_count: usize,
+}
+
+/// Summary information about a component.
+#[derive(Debug, Clone)]
+pub struct ComponentMeta {
+    /// Monotonic component identifier (newer components have larger ids).
+    pub id: u64,
+    /// Storage layout of this component.
+    pub layout: LayoutKind,
+    /// Number of entries (records plus anti-matter).
+    pub record_count: usize,
+    /// Smallest key in the component.
+    pub min_key: Option<Value>,
+    /// Largest key in the component.
+    pub max_key: Option<Value>,
+    /// Bytes stored on the simulated disk (after page compression).
+    pub stored_bytes: u64,
+    /// Every page belonging to the component (for freeing after a merge).
+    pub pages: Vec<PageId>,
+}
+
+/// An immutable on-disk component.
+pub struct Component {
+    meta: ComponentMeta,
+    schema: Schema,
+    specs: HashMap<ColumnId, ColumnSpec>,
+    key_spec: Option<ColumnSpec>,
+    leaves: Vec<LeafRef>,
+    config: ComponentConfig,
+    cache: BufferCache,
+}
+
+/// Read-side interface shared by every layout (used by the LSM tree and the
+/// query engine).
+pub trait ComponentReader {
+    /// Component summary.
+    fn meta(&self) -> &ComponentMeta;
+    /// The schema persisted with the component.
+    fn schema(&self) -> &Schema;
+    /// Scan all entries in key order, assembling only the projected paths
+    /// (`None` = every column, `Some(&[])` = keys only).
+    fn scan(&self, projection: Option<&[Path]>) -> Result<ComponentScan<'_>>;
+    /// Point lookup. `Ok(None)` = key not in this component,
+    /// `Ok(Some(None))` = anti-matter entry, `Ok(Some(Some(doc)))` = record.
+    fn lookup(&self, key: &Value, projection: Option<&[Path]>) -> Result<Option<Option<Value>>>;
+}
+
+impl Component {
+    /// Write a component from sorted entries.
+    ///
+    /// `entries` must be sorted by key with unique keys (the memtable and the
+    /// merge both guarantee this); `schema` is the inferred schema snapshot
+    /// to persist with the component.
+    pub fn write(
+        cache: &BufferCache,
+        config: &ComponentConfig,
+        schema: Schema,
+        entries: &[Entry],
+        id: u64,
+    ) -> Result<Component> {
+        let page_budget = cache.store().page_size() - 64;
+        let mut leaves = Vec::new();
+        let mut pages = Vec::new();
+        let mut stored_bytes = 0u64;
+
+        match config.layout {
+            LayoutKind::Open | LayoutKind::Vb => {
+                let format = if config.layout == LayoutKind::Open {
+                    RowFormat::Open
+                } else {
+                    RowFormat::Vb
+                };
+                let mut batch: Vec<Entry> = Vec::new();
+                let mut batch_size = 0usize;
+                for entry in entries {
+                    batch_size += rowpage::entry_size_estimate(format, entry);
+                    batch.push(entry.clone());
+                    if batch_size >= page_budget {
+                        write_row_leaf(
+                            cache, config, format, &mut batch, page_budget, &mut leaves, &mut pages,
+                            &mut stored_bytes,
+                        )?;
+                        batch_size = 0;
+                    }
+                }
+                if !batch.is_empty() {
+                    write_row_leaf(
+                        cache, config, format, &mut batch, page_budget, &mut leaves, &mut pages,
+                        &mut stored_bytes,
+                    )?;
+                }
+            }
+            LayoutKind::Apax => {
+                let mut batch: Vec<Entry> = Vec::new();
+                let mut batch_size = 0usize;
+                for entry in entries {
+                    batch_size += rowpage::entry_size_estimate(RowFormat::Vb, entry);
+                    batch.push(entry.clone());
+                    if batch_size >= page_budget {
+                        write_apax_leaves(
+                            cache, config, &schema, &batch, page_budget, &mut leaves, &mut pages,
+                            &mut stored_bytes,
+                        )?;
+                        batch.clear();
+                        batch_size = 0;
+                    }
+                }
+                if !batch.is_empty() {
+                    write_apax_leaves(
+                        cache, config, &schema, &batch, page_budget, &mut leaves, &mut pages,
+                        &mut stored_bytes,
+                    )?;
+                }
+            }
+            LayoutKind::Amax => {
+                for batch in entries.chunks(config.amax.record_limit.max(1)) {
+                    write_amax_leaf(
+                        cache, config, &schema, batch, page_budget, &mut leaves, &mut pages,
+                        &mut stored_bytes,
+                    )?;
+                }
+            }
+        }
+
+        let specs: HashMap<ColumnId, ColumnSpec> =
+            columns_of(&schema).into_iter().map(|s| (s.id, s)).collect();
+        let key_spec = specs.values().find(|s| s.is_key).cloned();
+        let meta = ComponentMeta {
+            id,
+            layout: config.layout,
+            record_count: entries.len(),
+            min_key: entries.first().map(|(k, _)| k.clone()),
+            max_key: entries.last().map(|(k, _)| k.clone()),
+            stored_bytes,
+            pages,
+        };
+        Ok(Component {
+            meta,
+            schema,
+            specs,
+            key_spec,
+            leaves,
+            config: config.clone(),
+            cache: cache.clone(),
+        })
+    }
+
+    /// Number of leaves (pages for row/APAX, mega leaf nodes for AMAX).
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Resolve a projection (list of paths) into the set of column ids to
+    /// read, always including the primary-key column. `None` means all.
+    pub fn projection_columns(&self, projection: Option<&[Path]>) -> Option<Vec<ColumnId>> {
+        let paths = projection?;
+        let mut ids: Vec<ColumnId> = Vec::new();
+        if let Some(key) = &self.key_spec {
+            ids.push(key.id);
+        }
+        for path in paths {
+            if let Some(node) = self.schema.resolve_path(path) {
+                for spec in self.specs.values() {
+                    if is_descendant_column(&self.schema, node, spec.id) && !ids.contains(&spec.id)
+                    {
+                        ids.push(spec.id);
+                    }
+                }
+            }
+        }
+        Some(ids)
+    }
+
+    fn read_payload(&self, id: PageId) -> Result<Arc<Vec<u8>>> {
+        read_page_payload(&self.cache, id)
+    }
+
+    /// Locate the leaf that may contain `key`.
+    fn leaf_for_key(&self, key: &Value) -> Option<usize> {
+        self.leaves.iter().position(|leaf| {
+            total_cmp(key, &leaf.min_key) != std::cmp::Ordering::Less
+                && total_cmp(key, &leaf.max_key) != std::cmp::Ordering::Greater
+        })
+    }
+
+    fn assemble_leaf(
+        &self,
+        leaf: &LeafRef,
+        columns: Option<&[ColumnId]>,
+    ) -> Result<Vec<Entry>> {
+        match self.config.layout {
+            LayoutKind::Open | LayoutKind::Vb => {
+                let payload = self.read_payload(leaf.page)?;
+                rowpage::decode_row_page(&payload)
+            }
+            LayoutKind::Apax => {
+                let payload = self.read_payload(leaf.page)?;
+                let (_, chunks) = apax::decode_apax_columns(&payload, &self.specs, columns)?;
+                self.assemble_chunks(chunks, leaf.record_count)
+            }
+            LayoutKind::Amax => {
+                let page0 = self.read_payload(leaf.page)?;
+                let header = amax::decode_amax_header(&page0)?;
+                let key_spec = self
+                    .key_spec
+                    .as_ref()
+                    .ok_or_else(|| DecodeError::new("AMAX component lacks a key column"))?;
+                let key_chunk = amax::decode_amax_keys(&page0, &header, key_spec)?;
+                let page_budget = self.cache.store().page_size() - 64;
+                let mut chunks = vec![key_chunk];
+                for loc in &header.columns {
+                    let wanted = match columns {
+                        Some(ids) => ids.contains(&loc.column_id),
+                        None => true,
+                    };
+                    if !wanted {
+                        continue;
+                    }
+                    let Some(spec) = self.specs.get(&loc.column_id) else {
+                        continue;
+                    };
+                    let chunk = amax::read_amax_column(loc, page_budget, spec, |i| {
+                        self.read_payload(leaf.data_pages[i])
+                    })?;
+                    chunks.push(chunk);
+                }
+                self.assemble_chunks(chunks, leaf.record_count)
+            }
+        }
+    }
+
+    /// Turn decoded chunks into `(key, record-or-anti-matter)` entries.
+    fn assemble_chunks(&self, chunks: Vec<columnar::ColumnChunk>, count: usize) -> Result<Vec<Entry>> {
+        let key_chunk = chunks
+            .iter()
+            .find(|c| c.spec.is_key)
+            .cloned()
+            .ok_or_else(|| DecodeError::new("component page lacks the key column"))?;
+        let cursors: Vec<ColumnCursor> = chunks
+            .into_iter()
+            .map(|c| ColumnCursor::new(Arc::new(c)))
+            .collect();
+        let mut assembler = Assembler::new(&self.schema, cursors, count);
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let doc = assembler
+                .next_record()
+                .ok_or_else(|| DecodeError::new("assembler ended early"))??;
+            let key = key_chunk.values.get(i);
+            let is_antimatter = key_chunk.defs[i] == 0;
+            out.push((key, if is_antimatter { None } else { Some(doc) }));
+        }
+        Ok(out)
+    }
+}
+
+impl ComponentReader for Component {
+    fn meta(&self) -> &ComponentMeta {
+        &self.meta
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn scan(&self, projection: Option<&[Path]>) -> Result<ComponentScan<'_>> {
+        let columns = self.projection_columns(projection);
+        Ok(ComponentScan {
+            component: self,
+            columns,
+            next_leaf: 0,
+            buffer: VecDeque::new(),
+        })
+    }
+
+    fn lookup(&self, key: &Value, projection: Option<&[Path]>) -> Result<Option<Option<Value>>> {
+        let Some(leaf_idx) = self.leaf_for_key(key) else {
+            return Ok(None);
+        };
+        let columns = self.projection_columns(projection);
+        let entries = self.assemble_leaf(&self.leaves[leaf_idx], columns.as_deref())?;
+        // Row pages are sorted, so a binary search would do; columnar pages
+        // require the linear scan over decoded keys the paper describes
+        // (§4.6). The entries are materialised either way at this point, so a
+        // linear find keeps the code paths identical.
+        Ok(entries
+            .into_iter()
+            .find(|(k, _)| total_cmp(k, key) == std::cmp::Ordering::Equal)
+            .map(|(_, doc)| doc))
+    }
+}
+
+/// Streaming scan over a component, loading one leaf at a time.
+pub struct ComponentScan<'a> {
+    component: &'a Component,
+    columns: Option<Vec<ColumnId>>,
+    next_leaf: usize,
+    buffer: VecDeque<Entry>,
+}
+
+impl Iterator for ComponentScan<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(entry) = self.buffer.pop_front() {
+                return Some(Ok(entry));
+            }
+            if self.next_leaf >= self.component.leaves.len() {
+                return None;
+            }
+            let leaf = &self.component.leaves[self.next_leaf];
+            self.next_leaf += 1;
+            match self
+                .component
+                .assemble_leaf(leaf, self.columns.as_deref())
+            {
+                Ok(entries) => self.buffer.extend(entries),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+fn is_descendant_column(schema: &Schema, ancestor: schema::NodeId, column: ColumnId) -> bool {
+    use schema::node::SchemaNode;
+    if ancestor == column {
+        return matches!(schema.node(ancestor), SchemaNode::Atomic { .. });
+    }
+    match schema.node(ancestor) {
+        SchemaNode::Atomic { .. } => false,
+        SchemaNode::Object { fields } => fields
+            .iter()
+            .any(|(_, c)| is_descendant_column(schema, *c, column)),
+        SchemaNode::Array { item } => item
+            .map(|c| is_descendant_column(schema, c, column))
+            .unwrap_or(false),
+        SchemaNode::Union { branches } => branches
+            .iter()
+            .any(|(_, c)| is_descendant_column(schema, *c, column)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page helpers (compression wrapper).
+// ---------------------------------------------------------------------------
+
+/// Write one page payload, applying page-level compression when configured.
+/// Returns the page id and the stored size.
+pub fn write_page(cache: &BufferCache, payload: &[u8], compress_pages: bool) -> (PageId, usize) {
+    let mut stored = Vec::with_capacity(payload.len() + 1);
+    if compress_pages {
+        let (compressed, bytes) = compress::compress_if_smaller(payload);
+        stored.push(u8::from(compressed));
+        stored.extend_from_slice(&bytes);
+    } else {
+        stored.push(0);
+        stored.extend_from_slice(payload);
+    }
+    let len = stored.len();
+    (cache.append_page(stored), len)
+}
+
+/// Read a page payload written by [`write_page`].
+pub fn read_page_payload(cache: &BufferCache, id: PageId) -> Result<Arc<Vec<u8>>> {
+    let raw = cache.read_page(id);
+    let Some((&flag, rest)) = raw.split_first() else {
+        return Err(DecodeError::new("empty page"));
+    };
+    if flag == 1 {
+        Ok(Arc::new(compress::decompress(rest)?))
+    } else {
+        Ok(Arc::new(rest.to_vec()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout-specific leaf writers.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn write_row_leaf(
+    cache: &BufferCache,
+    config: &ComponentConfig,
+    format: RowFormat,
+    batch: &mut Vec<Entry>,
+    page_budget: usize,
+    leaves: &mut Vec<LeafRef>,
+    pages: &mut Vec<PageId>,
+    stored_bytes: &mut u64,
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let mut payload = Vec::with_capacity(page_budget);
+    rowpage::encode_row_page(format, batch, &mut payload);
+    if payload.len() > page_budget && batch.len() > 1 {
+        // Page overflow: split the batch and retry each half.
+        let rest = batch.split_off(batch.len() / 2);
+        write_row_leaf(cache, config, format, batch, page_budget, leaves, pages, stored_bytes)?;
+        let mut rest = rest;
+        write_row_leaf(cache, config, format, &mut rest, page_budget, leaves, pages, stored_bytes)?;
+        batch.clear();
+        return Ok(());
+    }
+    let (page, stored) = write_page(cache, &payload, config.compress_pages);
+    pages.push(page);
+    *stored_bytes += stored as u64;
+    leaves.push(LeafRef {
+        page,
+        data_pages: Vec::new(),
+        min_key: batch.first().unwrap().0.clone(),
+        max_key: batch.last().unwrap().0.clone(),
+        record_count: batch.len(),
+    });
+    batch.clear();
+    Ok(())
+}
+
+fn shred_entries(schema: &Schema, entries: &[Entry]) -> ShreddedBatch {
+    let mut shredder = Shredder::new(schema);
+    for (key, doc) in entries {
+        match doc {
+            Some(doc) => shredder.shred(doc),
+            None => shredder.shred_antimatter(key),
+        }
+    }
+    shredder.finish()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_apax_leaves(
+    cache: &BufferCache,
+    config: &ComponentConfig,
+    schema: &Schema,
+    entries: &[Entry],
+    page_budget: usize,
+    leaves: &mut Vec<LeafRef>,
+    pages: &mut Vec<PageId>,
+    stored_bytes: &mut u64,
+) -> Result<()> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let batch = shred_entries(schema, entries);
+    let min_key = entries.first().unwrap().0.clone();
+    let max_key = entries.last().unwrap().0.clone();
+    let payload = apax::encode_apax_page(&batch, &min_key, &max_key);
+    if payload.len() > page_budget && entries.len() > 1 {
+        let mid = entries.len() / 2;
+        write_apax_leaves(cache, config, schema, &entries[..mid], page_budget, leaves, pages, stored_bytes)?;
+        write_apax_leaves(cache, config, schema, &entries[mid..], page_budget, leaves, pages, stored_bytes)?;
+        return Ok(());
+    }
+    let (page, stored) = write_page(cache, &payload, config.compress_pages);
+    pages.push(page);
+    *stored_bytes += stored as u64;
+    leaves.push(LeafRef {
+        page,
+        data_pages: Vec::new(),
+        min_key,
+        max_key,
+        record_count: entries.len(),
+    });
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_amax_leaf(
+    cache: &BufferCache,
+    config: &ComponentConfig,
+    schema: &Schema,
+    entries: &[Entry],
+    page_budget: usize,
+    leaves: &mut Vec<LeafRef>,
+    pages: &mut Vec<PageId>,
+    stored_bytes: &mut u64,
+) -> Result<()> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let batch = shred_entries(schema, entries);
+    let (page0, data) = amax::encode_amax_leaf(&batch, page_budget, &config.amax);
+    if page0.len() > page_budget && entries.len() > 1 {
+        // Page 0 (keys + directory) must fit in one physical page; halve the
+        // batch until it does.
+        let mid = entries.len() / 2;
+        write_amax_leaf(cache, config, schema, &entries[..mid], page_budget, leaves, pages, stored_bytes)?;
+        write_amax_leaf(cache, config, schema, &entries[mid..], page_budget, leaves, pages, stored_bytes)?;
+        return Ok(());
+    }
+    let (page0_id, stored0) = write_page(cache, &page0, config.compress_pages);
+    *stored_bytes += stored0 as u64;
+    pages.push(page0_id);
+    let mut data_pages = Vec::with_capacity(data.len());
+    for payload in &data {
+        let (id, stored) = write_page(cache, payload, config.compress_pages);
+        *stored_bytes += stored as u64;
+        pages.push(id);
+        data_pages.push(id);
+    }
+    leaves.push(LeafRef {
+        page: page0_id,
+        data_pages,
+        min_key: entries.first().unwrap().0.clone(),
+        max_key: entries.last().unwrap().0.clone(),
+        record_count: entries.len(),
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::PageStore;
+    use docmodel::doc;
+    use schema::SchemaBuilder;
+
+    fn records(n: i64) -> Vec<Entry> {
+        (0..n)
+            .map(|i| {
+                let doc = doc!({
+                    "id": i,
+                    "user": {"name": (format!("user{}", i % 17)), "verified": (i % 3 == 0)},
+                    "text": (format!("message number {i} with a reasonable amount of text content")),
+                    "likes": (i * 13 % 100),
+                    "tags": [(format!("t{}", i % 5)), (format!("t{}", i % 7))]
+                });
+                (Value::Int(i), Some(doc))
+            })
+            .collect()
+    }
+
+    fn schema_for(entries: &[Entry]) -> Schema {
+        let mut b = SchemaBuilder::new(Some("id".to_string()));
+        for (_, doc) in entries {
+            if let Some(doc) = doc {
+                b.observe(doc);
+            }
+        }
+        b.into_schema()
+    }
+
+    fn small_cache() -> BufferCache {
+        BufferCache::new(PageStore::with_page_size(4096), 64)
+    }
+
+    #[test]
+    fn write_and_scan_all_layouts() {
+        let entries = records(300);
+        let schema = schema_for(&entries);
+        for layout in LayoutKind::ALL {
+            let cache = small_cache();
+            let config = ComponentConfig::new(layout);
+            let comp = Component::write(&cache, &config, schema.clone(), &entries, 1).unwrap();
+            assert_eq!(comp.meta().record_count, 300, "{layout:?}");
+            assert!(comp.leaf_count() > 0);
+            assert!(comp.meta().stored_bytes > 0);
+
+            let scanned: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+            assert_eq!(scanned.len(), 300, "{layout:?}");
+            for (i, (key, doc)) in scanned.iter().enumerate() {
+                assert_eq!(key, &Value::Int(i as i64), "{layout:?}");
+                let doc = doc.as_ref().unwrap();
+                assert_eq!(doc.get_field("id"), Some(&Value::Int(i as i64)));
+                assert!(doc.get_path_str("user.name").is_some(), "{layout:?}");
+                assert_eq!(doc.get_field("tags").unwrap().as_array().unwrap().len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_and_antimatter_roundtrip() {
+        let mut entries = records(100);
+        entries[50].1 = None; // anti-matter for key 50
+        let schema = schema_for(&entries);
+        for layout in LayoutKind::ALL {
+            let cache = small_cache();
+            let comp =
+                Component::write(&cache, &ComponentConfig::new(layout), schema.clone(), &entries, 1)
+                    .unwrap();
+            let hit = comp.lookup(&Value::Int(10), None).unwrap().unwrap();
+            assert_eq!(hit.unwrap().get_field("id"), Some(&Value::Int(10)));
+            let tomb = comp.lookup(&Value::Int(50), None).unwrap();
+            assert_eq!(tomb, Some(None), "{layout:?}");
+            assert_eq!(comp.lookup(&Value::Int(5000), None).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn amax_projection_reads_fewer_pages_than_full_scan() {
+        let entries = records(2000);
+        let schema = schema_for(&entries);
+        let cache = small_cache();
+        let comp = Component::write(
+            &cache,
+            &ComponentConfig::new(LayoutKind::Amax),
+            schema.clone(),
+            &entries,
+            1,
+        )
+        .unwrap();
+
+        cache.clear();
+        cache.store().reset_stats();
+        let keys_only: Vec<_> = comp.scan(Some(&[])).unwrap().collect();
+        assert_eq!(keys_only.len(), 2000);
+        let count_reads = cache.store().stats().pages_read;
+
+        cache.clear();
+        cache.store().reset_stats();
+        let full: Vec<_> = comp.scan(None).unwrap().collect();
+        assert_eq!(full.len(), 2000);
+        let full_reads = cache.store().stats().pages_read;
+
+        assert!(
+            count_reads < full_reads,
+            "keys-only scan ({count_reads} pages) should read fewer pages than full scan ({full_reads})"
+        );
+    }
+
+    #[test]
+    fn apax_projection_reads_same_pages_but_decodes_less() {
+        let entries = records(2000);
+        let schema = schema_for(&entries);
+        let cache = small_cache();
+        let comp = Component::write(
+            &cache,
+            &ComponentConfig::new(LayoutKind::Apax),
+            schema.clone(),
+            &entries,
+            1,
+        )
+        .unwrap();
+        cache.clear();
+        cache.store().reset_stats();
+        let keys_only: Vec<_> = comp.scan(Some(&[])).unwrap().collect();
+        let count_reads = cache.store().stats().pages_read;
+        cache.clear();
+        cache.store().reset_stats();
+        let full: Vec<_> = comp.scan(None).unwrap().collect();
+        let full_reads = cache.store().stats().pages_read;
+        assert_eq!(keys_only.len(), full.len());
+        // APAX reads every page either way: columns share the leaf pages.
+        assert_eq!(count_reads, full_reads);
+    }
+
+    #[test]
+    fn columnar_layouts_are_smaller_on_numeric_data() {
+        // Mirrors the sensors result (Figure 12a): encoded numeric columns
+        // beat row formats by a wide margin.
+        let entries: Vec<Entry> = (0..4000i64)
+            .map(|i| {
+                (
+                    Value::Int(i),
+                    Some(doc!({
+                        "id": i,
+                        "sensor_id": (i % 50),
+                        "ts": (1_600_000_000_000i64 + i * 1000),
+                        "temp": (((i % 40) as f64) * 0.5),
+                        "battery": (i % 100)
+                    })),
+                )
+            })
+            .collect();
+        let schema = schema_for(&entries);
+        let mut sizes = HashMap::new();
+        for layout in LayoutKind::ALL {
+            let cache = small_cache();
+            let comp =
+                Component::write(&cache, &ComponentConfig::new(layout), schema.clone(), &entries, 1)
+                    .unwrap();
+            sizes.insert(layout, comp.meta().stored_bytes);
+        }
+        assert!(sizes[&LayoutKind::Amax] < sizes[&LayoutKind::Vb]);
+        assert!(sizes[&LayoutKind::Apax] < sizes[&LayoutKind::Open]);
+        assert!(sizes[&LayoutKind::Vb] <= sizes[&LayoutKind::Open]);
+    }
+
+    #[test]
+    fn projection_columns_resolve_paths() {
+        let entries = records(10);
+        let schema = schema_for(&entries);
+        let cache = small_cache();
+        let comp = Component::write(
+            &cache,
+            &ComponentConfig::new(LayoutKind::Amax),
+            schema,
+            &entries,
+            7,
+        )
+        .unwrap();
+        let cols = comp
+            .projection_columns(Some(&[Path::parse("user.name"), Path::parse("likes")]))
+            .unwrap();
+        // key + user.name + likes
+        assert_eq!(cols.len(), 3);
+        assert!(comp.projection_columns(None).is_none());
+        let empty = comp.projection_columns(Some(&[])).unwrap();
+        assert_eq!(empty.len(), 1); // just the key
+    }
+}

@@ -1,0 +1,41 @@
+//! # storage — pages, row formats, and the APAX / AMAX columnar layouts
+//!
+//! This crate is the on-disk half of the document store substrate:
+//!
+//! * [`pagestore`] — a simulated disk of fixed-size pages with read/write
+//!   accounting (the experiments report page I/O alongside wall time, since
+//!   the paper's I/O savings are the mechanism behind its speedups) and a
+//!   [`pagestore::BufferCache`] with the page-confiscation behaviour the
+//!   AMAX writer relies on (§4.5.2);
+//! * [`rowformat`] — the two row-major baselines: AsterixDB's schemaless
+//!   recursive **Open** format (field names embedded in every record, nested
+//!   values behind per-level offsets) and the **Vector-Based (VB)** format of
+//!   the tuple-compactor paper (structure separated from values, written in
+//!   one pass);
+//! * [`rowpage`] — slotted leaf pages holding row-format records;
+//! * [`apax`] — the APAX leaf-page layout (Figure 8): every column occupies a
+//!   minipage inside one B+-tree leaf page, reachable through header offsets,
+//!   with the page-level min/max keys stored in the header;
+//! * [`amax`] — the AMAX mega-leaf layout (Figure 9): Page 0 carries the
+//!   header, per-column min/max prefixes and the encoded primary keys; each
+//!   column becomes a megapage spanning physical pages, written largest to
+//!   smallest under an `empty-page-tolerance`;
+//! * [`component`] — immutable sorted runs ("on-disk components") in any of
+//!   the four layouts behind one [`component::ComponentReader`] interface:
+//!   full scans with projection, ranged scans, and point lookups.
+
+pub mod amax;
+pub mod apax;
+pub mod component;
+pub mod pagestore;
+pub mod rowformat;
+pub mod rowpage;
+
+pub use component::{ComponentReader, LayoutKind};
+pub use pagestore::{BufferCache, IoStats, PageId, PageStore, PAGE_SIZE_DEFAULT};
+pub use rowformat::RowFormat;
+
+/// Error type shared by the storage readers (decode failures, corrupt pages).
+pub type StorageError = encoding::DecodeError;
+/// Result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,384 @@
+//! Simulated disk and buffer cache.
+//!
+//! The reproduction runs on a laptop-scale, in-process "disk": a vector of
+//! fixed-size pages guarded by a lock, with atomic counters for pages read,
+//! pages written and bytes moved. All experiments report these counters next
+//! to wall-clock time because the paper's query speedups are, at heart, I/O
+//! reductions (read fewer columns, read fewer bytes per column) while its
+//! ingestion slowdowns are CPU effects (encode/decode, page construction).
+//!
+//! The [`BufferCache`] models the part of AsterixDB's buffer cache that the
+//! AMAX writer interacts with: writers *confiscate* pages from the cache to
+//! use as temporary buffers for growing megapages instead of reserving a
+//! dedicated memory budget (§4.5.2), and readers cache recently used pages
+//! with an LRU policy sized by the configured memory budget.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default on-disk page size: 128 KiB, the value used in the paper's
+/// experiment setup (§6).
+pub const PAGE_SIZE_DEFAULT: usize = 128 * 1024;
+
+/// Identifier of a page within a [`PageStore`].
+pub type PageId = u64;
+
+/// Counters describing the I/O a workload performed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read from the simulated disk (cache misses only).
+    pub pages_read: u64,
+    /// Pages written to the simulated disk.
+    pub pages_written: u64,
+    /// Bytes read from the simulated disk.
+    pub bytes_read: u64,
+    /// Bytes written to the simulated disk.
+    pub bytes_written: u64,
+    /// Reads satisfied by the buffer cache.
+    pub cache_hits: u64,
+}
+
+/// A simulated disk: fixed-size pages, explicit read/write calls, atomic
+/// accounting. Cloning shares the underlying storage.
+#[derive(Clone)]
+pub struct PageStore {
+    inner: Arc<PageStoreInner>,
+}
+
+struct PageStoreInner {
+    page_size: usize,
+    pages: Mutex<Vec<Arc<Vec<u8>>>>,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl PageStore {
+    /// Create a store with the default page size.
+    pub fn new() -> PageStore {
+        PageStore::with_page_size(PAGE_SIZE_DEFAULT)
+    }
+
+    /// Create a store with a custom page size (tests use small pages so that
+    /// multi-page behaviour shows up with little data).
+    pub fn with_page_size(page_size: usize) -> PageStore {
+        PageStore {
+            inner: Arc::new(PageStoreInner {
+                page_size,
+                pages: Mutex::new(Vec::new()),
+                pages_read: AtomicU64::new(0),
+                pages_written: AtomicU64::new(0),
+                bytes_read: AtomicU64::new(0),
+                bytes_written: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    /// Number of pages allocated so far.
+    pub fn page_count(&self) -> u64 {
+        self.inner.pages.lock().len() as u64
+    }
+
+    /// Total allocated bytes (pages × page size).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.page_count() * self.inner.page_size as u64
+    }
+
+    /// Append a new page with the given contents, returning its id. Contents
+    /// longer than the page size are a programming error.
+    pub fn append_page(&self, data: Vec<u8>) -> PageId {
+        assert!(
+            data.len() <= self.inner.page_size,
+            "page payload {} exceeds page size {}",
+            data.len(),
+            self.inner.page_size
+        );
+        self.inner.pages_written.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        let mut pages = self.inner.pages.lock();
+        pages.push(Arc::new(data));
+        (pages.len() - 1) as PageId
+    }
+
+    /// Read a page (counted as disk I/O). Panics on an unknown id — page ids
+    /// are only ever produced by `append_page`, so an unknown id is a bug,
+    /// not a data error.
+    pub fn read_page(&self, id: PageId) -> Arc<Vec<u8>> {
+        let pages = self.inner.pages.lock();
+        let page = pages[id as usize].clone();
+        drop(pages);
+        self.inner.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_read
+            .fetch_add(page.len() as u64, Ordering::Relaxed);
+        page
+    }
+
+    /// Drop the contents of the given pages (used when an LSM merge deletes
+    /// its input components). Freed pages keep their ids but release memory.
+    pub fn free_pages(&self, ids: &[PageId]) {
+        let mut pages = self.inner.pages.lock();
+        for &id in ids {
+            if let Some(slot) = pages.get_mut(id as usize) {
+                *slot = Arc::new(Vec::new());
+            }
+        }
+    }
+
+    fn note_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            pages_read: self.inner.pages_read.load(Ordering::Relaxed),
+            pages_written: self.inner.pages_written.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the accounting counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.inner.pages_read.store(0, Ordering::Relaxed);
+        self.inner.pages_written.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.bytes_written.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for PageStore {
+    fn default() -> Self {
+        PageStore::new()
+    }
+}
+
+/// A shared LRU buffer cache in front of a [`PageStore`].
+///
+/// The cache is sized in pages (memory budget ÷ page size). Reads first
+/// consult the cache; misses go to the store and are inserted. Writers can
+/// *confiscate* capacity: confiscated pages reduce the cache's usable size
+/// until they are returned, modelling how the AMAX writer borrows buffer
+/// cache pages as temporary megapage buffers instead of allocating its own
+/// budget (§4.5.2).
+#[derive(Clone)]
+pub struct BufferCache {
+    store: PageStore,
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+struct CacheInner {
+    capacity: usize,
+    confiscated: usize,
+    /// Page id → (data, last-use tick).
+    entries: HashMap<PageId, (Arc<Vec<u8>>, u64)>,
+    tick: u64,
+}
+
+impl BufferCache {
+    /// Create a cache holding at most `capacity_pages` pages.
+    pub fn new(store: PageStore, capacity_pages: usize) -> BufferCache {
+        BufferCache {
+            store,
+            inner: Arc::new(Mutex::new(CacheInner {
+                capacity: capacity_pages.max(1),
+                confiscated: 0,
+                entries: HashMap::new(),
+                tick: 0,
+            })),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Read a page through the cache.
+    pub fn read_page(&self, id: PageId) -> Arc<Vec<u8>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((data, last)) = inner.entries.get_mut(&id) {
+                *last = tick;
+                let data = data.clone();
+                drop(inner);
+                self.store.note_cache_hit();
+                return data;
+            }
+        }
+        let data = self.store.read_page(id);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(id, (data.clone(), tick));
+        Self::evict_if_needed(&mut inner);
+        data
+    }
+
+    /// Write a fresh page through the cache (it is immediately cached, as
+    /// flushes produce pages that are often read back by the next merge).
+    pub fn append_page(&self, data: Vec<u8>) -> PageId {
+        let id = self.store.append_page(data.clone());
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(id, (Arc::new(data), tick));
+        Self::evict_if_needed(&mut inner);
+        id
+    }
+
+    /// Confiscate `n` pages' worth of capacity for use as temporary write
+    /// buffers. Returns the number actually confiscated (never more than the
+    /// currently usable capacity minus one, so readers always keep a page).
+    pub fn confiscate(&self, n: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let usable = inner.capacity.saturating_sub(inner.confiscated);
+        let granted = n.min(usable.saturating_sub(1));
+        inner.confiscated += granted;
+        Self::evict_if_needed(&mut inner);
+        granted
+    }
+
+    /// Return previously confiscated capacity.
+    pub fn return_confiscated(&self, n: usize) {
+        let mut inner = self.inner.lock();
+        inner.confiscated = inner.confiscated.saturating_sub(n);
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Currently confiscated capacity, in pages.
+    pub fn confiscated_pages(&self) -> usize {
+        self.inner.lock().confiscated
+    }
+
+    /// Drop every cached page (used between experiment runs to measure cold
+    /// reads).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    fn evict_if_needed(inner: &mut CacheInner) {
+        let usable = inner.capacity.saturating_sub(inner.confiscated).max(1);
+        while inner.entries.len() > usable {
+            // Evict the least recently used entry.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    inner.entries.remove(&id);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_accounting() {
+        let store = PageStore::with_page_size(1024);
+        let a = store.append_page(vec![1u8; 100]);
+        let b = store.append_page(vec![2u8; 200]);
+        assert_eq!(store.page_count(), 2);
+        assert_eq!(store.read_page(a)[0], 1);
+        assert_eq!(store.read_page(b).len(), 200);
+        let stats = store.stats();
+        assert_eq!(stats.pages_written, 2);
+        assert_eq!(stats.pages_read, 2);
+        assert_eq!(stats.bytes_written, 300);
+        assert_eq!(stats.bytes_read, 300);
+        store.reset_stats();
+        assert_eq!(store.stats(), IoStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_page_panics() {
+        let store = PageStore::with_page_size(64);
+        store.append_page(vec![0u8; 65]);
+    }
+
+    #[test]
+    fn free_pages_releases_contents() {
+        let store = PageStore::with_page_size(1024);
+        let a = store.append_page(vec![7u8; 500]);
+        store.free_pages(&[a]);
+        assert!(store.read_page(a).is_empty());
+    }
+
+    #[test]
+    fn cache_hits_avoid_disk_reads() {
+        let store = PageStore::with_page_size(1024);
+        let cache = BufferCache::new(store.clone(), 4);
+        let id = cache.append_page(vec![9u8; 10]);
+        store.reset_stats();
+        for _ in 0..5 {
+            assert_eq!(cache.read_page(id)[0], 9);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.pages_read, 0, "all reads should hit the cache");
+        assert_eq!(stats.cache_hits, 5);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let store = PageStore::with_page_size(256);
+        let cache = BufferCache::new(store.clone(), 2);
+        let ids: Vec<_> = (0..4).map(|i| store.append_page(vec![i as u8; 16])).collect();
+        for &id in &ids {
+            cache.read_page(id);
+        }
+        assert!(cache.cached_pages() <= 2);
+        // The most recently used page is still cached.
+        store.reset_stats();
+        cache.read_page(ids[3]);
+        assert_eq!(store.stats().pages_read, 0);
+    }
+
+    #[test]
+    fn confiscation_shrinks_usable_capacity() {
+        let store = PageStore::with_page_size(256);
+        let cache = BufferCache::new(store.clone(), 4);
+        let granted = cache.confiscate(3);
+        assert_eq!(granted, 3);
+        assert_eq!(cache.confiscated_pages(), 3);
+        // Only one usable slot remains.
+        let ids: Vec<_> = (0..3).map(|i| store.append_page(vec![i as u8; 16])).collect();
+        for &id in &ids {
+            cache.read_page(id);
+        }
+        assert!(cache.cached_pages() <= 1);
+        cache.return_confiscated(3);
+        assert_eq!(cache.confiscated_pages(), 0);
+        // Cannot confiscate everything: at least one page stays usable.
+        assert!(cache.confiscate(100) < 100);
+    }
+}

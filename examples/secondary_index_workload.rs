@@ -1,0 +1,82 @@
+//! The update-intensive secondary-index workload of §6.3.2 / §6.4.5.
+//!
+//! Ingests the synthetic `tweet_2` dataset with a timestamp secondary index
+//! and a primary-key index, applies a 50% uniform update stream, and then
+//! answers range COUNT queries at several selectivities both through the
+//! index (sorted batched point lookups) and by scanning.
+//!
+//! ```text
+//! cargo run --release --example secondary_index_workload
+//! ```
+
+use std::time::Instant;
+
+use lsm_columnar::datagen::{generate, generate_updates, DatasetKind, DatasetSpec};
+use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
+use lsm_columnar::query::{run, run_with_secondary_index, ExecMode, Predicate, Query};
+use lsm_columnar::storage::LayoutKind;
+use lsm_columnar::{Path, Value};
+
+fn main() {
+    let records = 3_000;
+    let spec = DatasetSpec::new(DatasetKind::Tweet2, records);
+    let docs = generate(&spec);
+    let updates = generate_updates(&spec, 0.5);
+    let base_ts = 1_450_000_000_000i64;
+
+    for layout in [LayoutKind::Vb, LayoutKind::Apax, LayoutKind::Amax] {
+        let mut dataset = LsmDataset::new(
+            DatasetConfig::new("tweet_2", layout)
+                .with_memtable_budget(256 * 1024)
+                .with_page_size(32 * 1024)
+                .with_secondary_index(Path::parse("timestamp")),
+        );
+
+        let started = Instant::now();
+        for doc in docs.clone() {
+            dataset.insert(doc).unwrap();
+        }
+        let insert_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+        let started = Instant::now();
+        for doc in updates.clone() {
+            dataset.insert(doc).unwrap();
+        }
+        dataset.flush().unwrap();
+        let update_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+        println!(
+            "\n[{}] insert {insert_ms:.1} ms, 50% updates {update_ms:.1} ms, \
+             maintenance lookups {}, stored {:.1} KiB",
+            layout.name(),
+            dataset.stats().maintenance_lookups,
+            dataset.total_stored_bytes() as f64 / 1024.0
+        );
+
+        for selectivity in [0.01, 0.1, 1.0] {
+            let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;
+            let lo = Value::Int(base_ts);
+            let hi = Value::Int(base_ts + span - 1);
+
+            let started = Instant::now();
+            let via_index =
+                run_with_secondary_index(&dataset, &lo, &hi, &Query::count_star()).unwrap();
+            let index_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+            let scan_query = Query::count_star().with_filter(Predicate::Range {
+                path: Path::parse("timestamp"),
+                lo: lo.clone(),
+                hi: hi.clone(),
+            });
+            let started = Instant::now();
+            let via_scan = run(&dataset, &scan_query, ExecMode::Compiled).unwrap();
+            let scan_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+            assert_eq!(via_index[0].agg, via_scan[0].agg, "index and scan must agree");
+            println!(
+                "  selectivity {selectivity:>5}%: count={:<6} index {index_ms:>7.2} ms | scan {scan_ms:>7.2} ms",
+                via_index[0].agg
+            );
+        }
+    }
+}

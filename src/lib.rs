@@ -1,0 +1,21 @@
+//! # lsm-columnar — reproduction facade
+//!
+//! Top-level crate of the workspace. It re-exports the public API of every
+//! sub-crate so that the examples under `examples/` and the integration tests
+//! under `tests/` can depend on a single crate, mirroring how a downstream
+//! user would consume the project.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+pub use columnar;
+pub use datagen;
+pub use docmodel;
+pub use docstore;
+pub use encoding;
+pub use lsm;
+pub use query;
+pub use schema;
+pub use storage;
+
+pub use docmodel::{doc, parse_json, to_json, Path, Value};

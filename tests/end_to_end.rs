@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full pipeline from JSON text through
+//! schema inference, shredding, LSM storage in every layout, and both query
+//! engines, checked for mutual consistency.
+
+use lsm_columnar::datagen::{generate, generate_updates, DatasetKind, DatasetSpec};
+use lsm_columnar::docstore::{Datastore, DatasetOptions, Layout};
+use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
+use lsm_columnar::query::{run, run_with_secondary_index, Aggregate, ExecMode, Predicate, Query};
+use lsm_columnar::storage::LayoutKind;
+use lsm_columnar::{Path, Value};
+
+fn build(kind: DatasetKind, layout: LayoutKind, records: usize, secondary: bool) -> LsmDataset {
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let mut config = DatasetConfig::new(kind.name(), layout)
+        .with_memtable_budget(128 * 1024)
+        .with_page_size(16 * 1024);
+    if secondary {
+        config = config.with_secondary_index(Path::parse("timestamp"));
+    }
+    let mut dataset = LsmDataset::new(config);
+    for doc in docs {
+        dataset.insert(doc).unwrap();
+    }
+    dataset.flush().unwrap();
+    dataset
+}
+
+#[test]
+fn all_layouts_agree_on_every_paper_query() {
+    // For each dataset and each of the paper's queries, all four layouts and
+    // both execution engines must return identical results.
+    for kind in [DatasetKind::Cell, DatasetKind::Sensors, DatasetKind::Wos] {
+        let records = 600;
+        let reference = build(kind, LayoutKind::Open, records, false);
+        let others: Vec<LsmDataset> = [LayoutKind::Vb, LayoutKind::Apax, LayoutKind::Amax]
+            .into_iter()
+            .map(|layout| build(kind, layout, records, false))
+            .collect();
+        for (name, query) in bench::queries_for(kind) {
+            let expected = run(&reference, &query, ExecMode::Compiled).unwrap();
+            let interpreted = run(&reference, &query, ExecMode::Interpreted).unwrap();
+            assert_eq!(expected, interpreted, "{kind:?} {name} interpreted vs compiled");
+            for other in &others {
+                let got = run(other, &query, ExecMode::Compiled).unwrap();
+                assert_eq!(
+                    expected, got,
+                    "{kind:?} {name}: {:?} disagrees with Open",
+                    other.config().layout
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn update_intensive_workload_stays_consistent() {
+    let records = 800;
+    let spec = DatasetSpec::new(DatasetKind::Tweet2, records);
+    for layout in LayoutKind::ALL {
+        let mut dataset = build(DatasetKind::Tweet2, layout, records, true);
+        for doc in generate_updates(&spec, 0.5) {
+            dataset.insert(doc).unwrap();
+        }
+        for key in [3i64, 99, 500] {
+            dataset.delete(Value::Int(key)).unwrap();
+        }
+        dataset.compact_fully().unwrap();
+
+        assert_eq!(dataset.count().unwrap(), records - 3, "{layout:?}");
+        assert!(dataset.lookup(&Value::Int(99), None).unwrap().is_none());
+        let doc = dataset.lookup(&Value::Int(100), None).unwrap().unwrap();
+        assert_eq!(doc.get_field("id"), Some(&Value::Int(100)));
+
+        // Secondary-index answers match scan-based answers after updates.
+        let base_ts = 1_450_000_000_000i64;
+        let lo = Value::Int(base_ts);
+        let hi = Value::Int(base_ts + 200);
+        let via_index =
+            run_with_secondary_index(&dataset, &lo, &hi, &Query::count_star()).unwrap();
+        let via_scan = run(
+            &dataset,
+            &Query::count_star().with_filter(Predicate::Range {
+                path: Path::parse("timestamp"),
+                lo: lo.clone(),
+                hi: hi.clone(),
+            }),
+            ExecMode::Compiled,
+        )
+        .unwrap();
+        assert_eq!(via_index[0].agg, via_scan[0].agg, "{layout:?}");
+    }
+}
+
+#[test]
+fn amax_count_star_reads_far_fewer_pages_than_row_scan() {
+    let records = 2_000;
+    let amax = build(DatasetKind::Tweet1, LayoutKind::Amax, records, false);
+    let open = build(DatasetKind::Tweet1, LayoutKind::Open, records, false);
+
+    amax.cache().clear();
+    amax.cache().store().reset_stats();
+    let count = run(&amax, &Query::count_star(), ExecMode::Compiled).unwrap();
+    assert_eq!(count[0].agg, Value::Int(records as i64));
+    let amax_pages = amax.io_stats().pages_read;
+
+    open.cache().clear();
+    open.cache().store().reset_stats();
+    let count = run(&open, &Query::count_star(), ExecMode::Compiled).unwrap();
+    assert_eq!(count[0].agg, Value::Int(records as i64));
+    let open_pages = open.io_stats().pages_read;
+
+    assert!(
+        amax_pages * 3 < open_pages,
+        "AMAX COUNT(*) should read far fewer pages ({amax_pages}) than Open ({open_pages})"
+    );
+}
+
+#[test]
+fn heterogeneous_wos_records_roundtrip_through_all_layouts() {
+    let records = 300;
+    for layout in LayoutKind::ALL {
+        let dataset = build(DatasetKind::Wos, layout, records, false);
+        let docs = dataset.scan(None).unwrap();
+        assert_eq!(docs.len(), records);
+        // The union-typed address field survives: some records have an
+        // object, others an array of objects.
+        let mut saw_object = false;
+        let mut saw_array = false;
+        for doc in &docs {
+            let addr = doc
+                .get_path_str("static_data.fullrecord_metadata.addresses.address_name")
+                .expect("address_name present");
+            match addr {
+                Value::Array(_) => saw_array = true,
+                Value::Object(_) => saw_object = true,
+                other => panic!("unexpected address_name type: {other}"),
+            }
+        }
+        assert!(saw_object && saw_array, "{layout:?} lost the union typing");
+    }
+}
+
+#[test]
+fn facade_end_to_end_with_json_feed() {
+    let mut store = Datastore::new();
+    store
+        .create_dataset(
+            "events",
+            DatasetOptions::new(Layout::Amax)
+                .key("id")
+                .memtable_budget(64 * 1024)
+                .page_size(16 * 1024),
+        )
+        .unwrap();
+    let mut feed = String::new();
+    for i in 0..500 {
+        feed.push_str(&format!(
+            "{{\"id\": {i}, \"kind\": \"k{}\", \"payload\": {{\"n\": {}}}}}\n",
+            i % 7,
+            i * 3
+        ));
+    }
+    assert_eq!(store.ingest_json("events", &feed).unwrap(), 500);
+    store.compact("events").unwrap();
+
+    let rows = store
+        .query(
+            "events",
+            &Query::count_star()
+                .group_by(Path::parse("kind"))
+                .aggregate(Aggregate::Max(Path::parse("payload.n")))
+                .top_k(3),
+            ExecMode::Compiled,
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].agg, Value::Int(499 * 3));
+    assert!(store.stored_bytes("events").unwrap() > 0);
+}
