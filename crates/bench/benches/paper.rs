@@ -190,6 +190,61 @@ fn bench_flush_write(c: &mut Criterion) {
     group.finish();
 }
 
+/// Durability on/off: the same ingest workload against an in-memory dataset
+/// and a directory-backed one (WAL append per insert, page-file sync and
+/// manifest commit per flush).
+fn bench_durability(c: &mut Criterion) {
+    let kind = DatasetKind::Sensors;
+    let records = scaled_records(kind);
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let dir = std::env::temp_dir().join(format!("paper-bench-durability-{}", std::process::id()));
+    let mut group = c.benchmark_group("durability_ingestion_sensors");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let config = || {
+            DatasetConfig::new("bench", layout)
+                .with_memtable_budget(256 * 1024)
+                .with_page_size(32 * 1024)
+        };
+        // iter_batched so directory cleanup and dataset construction happen
+        // outside the measured region — both arms time only ingest + flush.
+        group.bench_function(BenchmarkId::new("in_memory", layout.name()), |b| {
+            b.iter_batched(
+                || LsmDataset::new(config()),
+                |mut dataset| {
+                    for doc in docs.clone() {
+                        dataset.insert(doc).unwrap();
+                    }
+                    dataset.flush().unwrap();
+                    dataset.component_count()
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(BenchmarkId::new("durable", layout.name()), |b| {
+            b.iter_batched(
+                || {
+                    let subdir = dir.join(layout.name());
+                    let _ = std::fs::remove_dir_all(&subdir);
+                    LsmDataset::open(&subdir, config()).unwrap()
+                },
+                |mut dataset| {
+                    for doc in docs.clone() {
+                        dataset.insert(doc).unwrap();
+                    }
+                    dataset.flush().unwrap();
+                    dataset.component_count()
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_ingestion,
@@ -197,6 +252,7 @@ criterion_group!(
     bench_codegen,
     bench_secondary_index,
     bench_column_count,
-    bench_flush_write
+    bench_flush_write,
+    bench_durability
 );
 criterion_main!(benches);

@@ -84,6 +84,13 @@ fn main() {
             &fig16_column_count(scale),
         );
     }
+    if wanted("durability") {
+        let records = (3_000_f64 * scale).max(200.0) as usize;
+        print_matrix(
+            "Durability: ingest wall time with WAL+manifest off vs on (sensors)",
+            &run_durability_comparison(DatasetKind::Sensors, records),
+        );
+    }
     if wanted("ablations") {
         print_matrix(
             "Ablation: AMAX empty-page tolerance",

@@ -61,6 +61,60 @@ pub fn build_dataset(
     (dataset, started.elapsed())
 }
 
+/// Like [`build_dataset`], but with durability enabled: the dataset is
+/// opened in (a fresh subdirectory of) `dir`, so every insert pays the WAL
+/// append and every flush pays the page-file sync + manifest commit. Used by
+/// the durability on/off ingest comparison.
+pub fn build_durable_dataset(
+    kind: DatasetKind,
+    layout: LayoutKind,
+    records: usize,
+    dir: &std::path::Path,
+) -> (LsmDataset, Duration) {
+    let spec = DatasetSpec::new(kind, records);
+    let docs = generate(&spec);
+    let config = DatasetConfig::new(kind.name(), layout)
+        .with_key_field(kind.key_field())
+        .with_memtable_budget(256 * 1024)
+        .with_page_size(32 * 1024);
+    let subdir = dir.join(format!("{}-{}", kind.name(), layout.name()));
+    let _ = std::fs::remove_dir_all(&subdir);
+    let mut dataset = LsmDataset::open(&subdir, config).expect("open durable dataset");
+    let started = Instant::now();
+    for doc in docs {
+        dataset.insert(doc).expect("ingest");
+    }
+    dataset.flush().expect("flush");
+    let elapsed = started.elapsed();
+    (dataset, elapsed)
+}
+
+/// Measure ingest wall time with durability off vs on (per layout), the
+/// overhead of the WAL + manifest + file-backed pages on the write path.
+pub fn run_durability_comparison(kind: DatasetKind, records: usize) -> Vec<Measurement> {
+    let dir = std::env::temp_dir().join(format!("bench-durability-{}", std::process::id()));
+    let mut out = Vec::new();
+    for layout in LayoutKind::ALL {
+        let (_, in_memory) = build_dataset(kind, layout, records, false);
+        let (durable_ds, durable) = build_durable_dataset(kind, layout, records, &dir);
+        drop(durable_ds);
+        out.push(Measurement {
+            row: "in-memory".to_string(),
+            column: layout.name().to_string(),
+            value: in_memory.as_secs_f64() * 1e3,
+            unit: "ms",
+        });
+        out.push(Measurement {
+            row: "durable".to_string(),
+            column: layout.name().to_string(),
+            value: durable.as_secs_f64() * 1e3,
+            unit: "ms",
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 /// One measured cell of a figure: a labelled value.
 #[derive(Debug, Clone)]
 pub struct Measurement {

@@ -502,7 +502,7 @@ mod tests {
 
     #[test]
     fn antimatter_records_assemble_empty() {
-        let records = vec![doc!({"id": 1, "x": "a"})];
+        let records = [doc!({"id": 1, "x": "a"})];
         let mut b = SchemaBuilder::new(Some("id".to_string()));
         b.observe_all(records.iter());
         let schema = b.into_schema();

@@ -164,7 +164,7 @@ mod tests {
             .collect()
     }
 
-    fn cursor_for<'a>(cursors: &'a [ColumnCursor], path: &str) -> ColumnCursor {
+    fn cursor_for(cursors: &[ColumnCursor], path: &str) -> ColumnCursor {
         cursors
             .iter()
             .find(|c| c.spec().path == Path::parse(path))
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn key_cursor_returns_values_at_def_zero() {
-        let records = vec![doc!({"id": 10})];
+        let records = [doc!({"id": 10})];
         let mut b = SchemaBuilder::new(Some("id".to_string()));
         b.observe_all(records.iter());
         let schema = b.into_schema();

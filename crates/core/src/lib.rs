@@ -129,6 +129,44 @@ impl Datastore {
         Ok(())
     }
 
+    /// Open a **durable** dataset rooted at `dir`, creating the directory on
+    /// first use and recovering it (manifest + WAL replay) on every later
+    /// one. Acknowledged writes to this dataset survive restarts.
+    pub fn open_dataset(
+        &mut self,
+        name: &str,
+        dir: impl AsRef<std::path::Path>,
+        options: DatasetOptions,
+    ) -> Result<()> {
+        if self.datasets.contains_key(name) {
+            return Err(Error::new(format!("dataset '{name}' already exists")));
+        }
+        let dataset = LsmDataset::open(dir, options.to_config(name))?;
+        self.datasets.insert(name.to_string(), dataset);
+        Ok(())
+    }
+
+    /// Reopen a durable dataset from its directory alone, using the
+    /// configuration persisted in its manifest.
+    pub fn reopen_dataset(
+        &mut self,
+        name: &str,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<()> {
+        if self.datasets.contains_key(name) {
+            return Err(Error::new(format!("dataset '{name}' already exists")));
+        }
+        let dataset = LsmDataset::reopen(dir)?;
+        self.datasets.insert(name.to_string(), dataset);
+        Ok(())
+    }
+
+    /// Force a dataset's acknowledged WAL records to the device (group
+    /// commit). No-op for in-memory datasets.
+    pub fn sync(&mut self, dataset: &str) -> Result<()> {
+        self.dataset_mut(dataset)?.sync()
+    }
+
     /// Borrow a dataset.
     pub fn dataset(&self, name: &str) -> Result<&LsmDataset> {
         self.datasets
@@ -280,6 +318,44 @@ mod tests {
         assert!(store.stored_bytes("tweets").unwrap() > 0);
         assert!(store.describe_schema("tweets").unwrap().contains("user"));
         assert_eq!(store.dataset_names(), vec!["tweets".to_string()]);
+    }
+
+    #[test]
+    fn durable_dataset_survives_reopen_through_facade() {
+        let dir = std::env::temp_dir()
+            .join(format!("docstore-facade-tests-{}", std::process::id()))
+            .join("durable");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = Datastore::new();
+            store
+                .open_dataset(
+                    "events",
+                    &dir,
+                    DatasetOptions::new(Layout::Amax).page_size(8 * 1024),
+                )
+                .unwrap();
+            store
+                .ingest_json("events", "{\"id\": 1, \"kind\": \"created\"}\n{\"id\": 2, \"kind\": \"deleted\"}")
+                .unwrap();
+            store.delete("events", Value::Int(2)).unwrap();
+            store.flush("events").unwrap();
+            store
+                .ingest_json("events", "{\"id\": 3, \"kind\": \"unflushed\"}")
+                .unwrap();
+            store.sync("events").unwrap();
+            // Dropped without a final flush: id 3 lives only in the WAL.
+        }
+        let mut store = Datastore::new();
+        store.reopen_dataset("events", &dir).unwrap();
+        assert!(store.create_dataset("events", DatasetOptions::new(Layout::Vb)).is_err());
+        let count = store
+            .query("events", &Query::count_star(), ExecMode::Compiled)
+            .unwrap();
+        assert_eq!(count[0].agg, Value::Int(2));
+        assert!(store.get("events", &Value::Int(2)).unwrap().is_none());
+        let recovered = store.get("events", &Value::Int(3)).unwrap().unwrap();
+        assert_eq!(recovered.get_field("kind"), Some(&Value::from("unflushed")));
     }
 
     #[test]

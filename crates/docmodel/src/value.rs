@@ -64,8 +64,10 @@ impl fmt::Display for ValueKind {
 /// tuple compactor turns records into the vector-based physical format) and
 /// at query time (after record assembly from columns).
 #[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
 pub enum Value {
     /// Explicit `null`.
+    #[default]
     Null,
     /// Boolean.
     Bool(bool),
@@ -271,11 +273,6 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
 
 impl From<bool> for Value {
     fn from(b: bool) -> Self {

@@ -58,7 +58,7 @@ proptest! {
 
     #[test]
     fn total_order_is_transitive(mut vals in prop::collection::vec(arb_value(), 3)) {
-        vals.sort_by(|x, y| total_cmp(x, y));
+        vals.sort_by(total_cmp);
         prop_assert!(total_cmp(&vals[0], &vals[1]) != Ordering::Greater);
         prop_assert!(total_cmp(&vals[1], &vals[2]) != Ordering::Greater);
         prop_assert!(total_cmp(&vals[0], &vals[2]) != Ordering::Greater);

@@ -62,7 +62,7 @@ pub fn unpack_into(
         return Err(DecodeError::new("bit width out of range"));
     }
     if width == 0 {
-        out.extend(std::iter::repeat(0u64).take(count));
+        out.extend(std::iter::repeat_n(0u64, count));
         return Ok(());
     }
     let total_bits = count

@@ -21,7 +21,9 @@
 //!   delta strings for textual columns;
 //! * [`plain`] — plain little-endian encodings for every scalar type;
 //! * [`compress`] — an LZ-style block compressor standing in for Snappy
-//!   page-level compression (see DESIGN.md §2 for the substitution note).
+//!   page-level compression (see DESIGN.md §2 for the substitution note);
+//! * [`crc`] — CRC-32 checksums guarding the durable structures (WAL frames,
+//!   manifests and file-backed page headers) of the `persist` subsystem.
 //!
 //! Every encoder writes into a caller-supplied `Vec<u8>` so the columnar
 //! writers can reuse temporary buffers across pages, and every decoder reads
@@ -30,6 +32,7 @@
 pub mod bitpack;
 pub mod bytesenc;
 pub mod compress;
+pub mod crc;
 pub mod delta;
 pub mod plain;
 pub mod rle;

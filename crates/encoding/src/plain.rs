@@ -149,7 +149,7 @@ pub fn encode_bool_column(values: &[bool], out: &mut Vec<u8>) {
             byte = 0;
         }
     }
-    if values.len() % 8 != 0 {
+    if !values.len().is_multiple_of(8) {
         out.push(byte);
     }
 }

@@ -39,7 +39,7 @@ pub fn encode(values: &[u64], width: u32, out: &mut Vec<u8>) {
             write_fixed(v, width, out);
             i += run;
         } else {
-            pending.extend(std::iter::repeat(v).take(run));
+            pending.extend(std::iter::repeat_n(v, run));
             i += run;
         }
     }
@@ -105,7 +105,7 @@ pub fn decode_into(
             if out.len() + run > target {
                 return Err(DecodeError::new("RLE run exceeds requested count"));
             }
-            out.extend(std::iter::repeat(value).take(run));
+            out.extend(std::iter::repeat_n(value, run));
         } else {
             // Bit-packed run.
             let groups = (header >> 1) as usize;

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
+use persist::{CrashPoint, DurableStore, ManifestData, ManifestStore, PersistedConfig, WalRecord};
 use schema::{Schema, SchemaBuilder};
 use storage::amax::AmaxConfig;
 use storage::component::{Component, ComponentConfig, ComponentReader, Entry};
@@ -101,6 +102,52 @@ impl DatasetConfig {
         self.secondary_index_on = Some(path);
         self
     }
+
+    /// The durable subset of this configuration, as recorded in manifests.
+    pub fn to_persisted(&self) -> PersistedConfig {
+        PersistedConfig {
+            name: self.name.clone(),
+            layout: self.layout,
+            key_field: self.key_field.clone(),
+            memtable_budget: self.memtable_budget as u64,
+            page_size: self.page_size as u64,
+            cache_pages: self.cache_pages as u64,
+            primary_key_index: self.primary_key_index,
+            secondary_index_on: self.secondary_index_on.as_ref().map(|p| p.to_string()),
+            compress_pages: self.compress_pages,
+            amax_record_limit: self.amax.record_limit as u64,
+            amax_empty_page_tolerance: self.amax.empty_page_tolerance,
+            policy_size_ratio: self.policy.size_ratio,
+            policy_max_components: self.policy.max_components as u64,
+        }
+    }
+
+    /// Reconstruct a configuration from a manifest (the inverse of
+    /// [`DatasetConfig::to_persisted`]).
+    pub fn from_persisted(persisted: &PersistedConfig) -> DatasetConfig {
+        DatasetConfig {
+            name: persisted.name.clone(),
+            layout: persisted.layout,
+            key_field: persisted.key_field.clone(),
+            memtable_budget: persisted.memtable_budget as usize,
+            page_size: persisted.page_size as usize,
+            cache_pages: persisted.cache_pages as usize,
+            policy: TieringPolicy {
+                size_ratio: persisted.policy_size_ratio,
+                max_components: persisted.policy_max_components as usize,
+            },
+            primary_key_index: persisted.primary_key_index,
+            secondary_index_on: persisted
+                .secondary_index_on
+                .as_deref()
+                .map(Path::parse),
+            compress_pages: persisted.compress_pages,
+            amax: AmaxConfig {
+                record_limit: persisted.amax_record_limit as usize,
+                empty_page_tolerance: persisted.amax_empty_page_tolerance,
+            },
+        }
+    }
 }
 
 /// Counters describing ingestion activity.
@@ -133,6 +180,9 @@ pub struct LsmDataset {
     secondary: Option<SecondaryIndex>,
     next_component_id: u64,
     stats: IngestStats,
+    /// WAL + manifest + file-backed pages, for datasets opened from a
+    /// directory; `None` for in-memory datasets.
+    durable: Option<DurableStore>,
 }
 
 impl LsmDataset {
@@ -158,6 +208,155 @@ impl LsmDataset {
             secondary,
             next_component_id: 0,
             stats: IngestStats::default(),
+            durable: None,
+        }
+    }
+
+    /// Open a **durable** dataset rooted at the directory `dir`, creating it
+    /// if needed and recovering it if it already exists.
+    ///
+    /// Recovery follows the protocol documented in the `persist` crate: the
+    /// manifest defines the on-disk components and the schema snapshot; the
+    /// WAL is replayed into the memtable; the primary-key and secondary
+    /// indexes are rebuilt from the recovered state. Runtime knobs
+    /// (memtable budget, cache size, merge policy) come from `config`;
+    /// `config.key_field` must match the persisted dataset.
+    pub fn open(dir: impl AsRef<std::path::Path>, config: DatasetConfig) -> Result<LsmDataset> {
+        let (durable, recovered) = DurableStore::open(dir.as_ref(), config.page_size)?;
+        let cache = BufferCache::new(durable.page_store().clone(), config.cache_pages);
+        let mut dataset = LsmDataset::with_cache(config, cache);
+
+        if let Some(manifest) = recovered.manifest {
+            if manifest.config.key_field != dataset.config.key_field {
+                return Err(crate::LsmError::new(format!(
+                    "dataset at {} has key field '{}', config says '{}'",
+                    dir.as_ref().display(),
+                    manifest.config.key_field,
+                    dataset.config.key_field
+                )));
+            }
+            dataset.schema_builder = SchemaBuilder::from_schema(manifest.schema.clone());
+            dataset.next_component_id = manifest.next_component_id;
+            let component_config = dataset.component_config();
+            for desc in manifest.components {
+                dataset.components.push(Component::open(
+                    &dataset.cache,
+                    &component_config,
+                    manifest.schema.clone(),
+                    desc,
+                ));
+            }
+        }
+        for record in recovered.wal_records {
+            match record {
+                WalRecord::Insert { key, record } => {
+                    dataset.memtable.insert(key, record);
+                }
+                WalRecord::Delete { key } => {
+                    dataset.memtable.delete(key);
+                }
+            }
+        }
+        dataset.durable = Some(durable);
+        dataset.rebuild_indexes()?;
+        Ok(dataset)
+    }
+
+    /// Reopen a durable dataset from its directory alone: the persisted
+    /// configuration in the manifest is used (a dataset directory is
+    /// self-describing). Fails if the directory has no manifest yet.
+    pub fn reopen(dir: impl AsRef<std::path::Path>) -> Result<LsmDataset> {
+        let (_, manifest) = ManifestStore::open(dir.as_ref())?;
+        let Some(manifest) = manifest else {
+            return Err(crate::LsmError::new(format!(
+                "no manifest in {} — reopen only works on a flushed dataset (use LsmDataset::open with a config to create one)",
+                dir.as_ref().display()
+            )));
+        };
+        LsmDataset::open(dir, DatasetConfig::from_persisted(&manifest.config))
+    }
+
+    /// Rebuild the in-memory indexes (primary-key filter and the optional
+    /// secondary index) from the recovered components and memtable.
+    fn rebuild_indexes(&mut self) -> Result<()> {
+        let index_path = self.config.secondary_index_on.clone();
+        if !self.config.primary_key_index && index_path.is_none() {
+            return Ok(());
+        }
+        // Reconcile newest-first so each key contributes its live version.
+        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
+        for (key, doc) in self.memtable.iter() {
+            merged
+                .entry(OrderedValue(key.clone()))
+                .or_insert_with(|| doc.cloned());
+        }
+        let projection: Vec<Path> = index_path.iter().cloned().collect();
+        for component in self.components.iter().rev() {
+            for entry in component.scan(Some(&projection))? {
+                let (key, doc) = entry?;
+                merged.entry(OrderedValue(key)).or_insert(doc);
+            }
+        }
+        for (key, doc) in &merged {
+            if self.config.primary_key_index {
+                // Every key ever written may exist on disk, so the filter
+                // includes deleted keys too (it only answers "may exist").
+                self.pk_index.insert(&key.0);
+            }
+            if let (Some(path), Some(secondary), Some(doc)) =
+                (index_path.as_ref(), self.secondary.as_mut(), doc.as_ref())
+            {
+                for value in path.evaluate(doc) {
+                    secondary.insert(value, &key.0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when the dataset is backed by a directory (WAL + manifest).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Force acknowledged WAL records to the device (group commit). No-op
+    /// for in-memory datasets.
+    pub fn sync(&mut self) -> Result<()> {
+        match self.durable.as_mut() {
+            Some(durable) => durable.sync_wal(),
+            None => Ok(()),
+        }
+    }
+
+    /// Bytes currently in the WAL (0 for in-memory datasets).
+    pub fn wal_bytes(&self) -> u64 {
+        self.durable.as_ref().map(DurableStore::wal_bytes).unwrap_or(0)
+    }
+
+    /// Version of the last committed manifest (0 for in-memory datasets or
+    /// before the first flush).
+    pub fn manifest_version(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map(DurableStore::manifest_version)
+            .unwrap_or(0)
+    }
+
+    /// Arm a crash point in the durability layer (recovery tests). No-op for
+    /// in-memory datasets.
+    pub fn set_crash_point(&mut self, point: CrashPoint) {
+        if let Some(durable) = self.durable.as_mut() {
+            durable.set_crash_point(point);
+        }
+    }
+
+    fn manifest_data(&self) -> ManifestData {
+        ManifestData {
+            version: 0, // assigned by the manifest store at commit
+            config: self.config.to_persisted(),
+            next_component_id: self.next_component_id,
+            schema: self.schema_builder.schema().clone(),
+            components: self.components.iter().map(Component::describe).collect(),
         }
     }
 
@@ -220,10 +419,20 @@ impl LsmDataset {
             })
     }
 
-    /// Insert (or upsert) a record.
+    /// Insert (or upsert) a record. For durable datasets the record is
+    /// appended to the WAL before it is applied, so once `insert` returns it
+    /// survives a process crash. The WAL is flushed to the OS immediately
+    /// but fsynced lazily — call [`LsmDataset::sync`] where device-level
+    /// durability (power loss) is required.
     pub fn insert(&mut self, record: Value) -> Result<()> {
         let key = self.extract_key(&record)?;
+        // Fallible work (index-maintenance lookups can hit I/O errors)
+        // happens before the WAL append: a failed insert must not leave a
+        // logged record behind for recovery to resurrect.
         self.maintain_secondary_for_upsert(&key, Some(&record))?;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.log_insert(&key, &record)?;
+        }
         self.pk_index.insert(&key);
         self.memtable.insert(key, record);
         self.stats.records_ingested += 1;
@@ -231,8 +440,13 @@ impl LsmDataset {
     }
 
     /// Delete the record with the given key (an anti-matter entry is added).
+    /// Logged to the WAL like [`LsmDataset::insert`], with the same
+    /// crash-durability caveats.
     pub fn delete(&mut self, key: Value) -> Result<()> {
         self.maintain_secondary_for_upsert(&key, None)?;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.log_delete(&key)?;
+        }
         self.memtable.delete(key);
         self.stats.deletes += 1;
         self.maybe_flush()
@@ -304,6 +518,14 @@ impl LsmDataset {
         )?;
         self.next_component_id += 1;
         self.components.push(component);
+        // Durable flush: sync pages, commit the manifest recording the new
+        // component (and the schema snapshot), then truncate the WAL.
+        if self.durable.is_some() {
+            let data = self.manifest_data();
+            if let Some(durable) = self.durable.as_mut() {
+                durable.commit_flush(data)?;
+            }
+        }
         self.stats.flushes += 1;
         self.stats.flush_time += started.elapsed();
         self.maybe_merge()
@@ -375,14 +597,25 @@ impl LsmDataset {
         )?;
         self.next_component_id += 1;
 
-        // Free and remove the merged components (back to front to keep
-        // positions valid), then insert the new one at the first position.
+        // Remove the merged components (back to front to keep positions
+        // valid) and insert the new one at the first position.
         let first = positions[0];
+        let mut freed_pages: Vec<storage::PageId> = Vec::new();
         for &pos in positions.iter().rev() {
             let old = self.components.remove(pos);
-            self.cache.store().free_pages(&old.meta().pages);
+            freed_pages.extend_from_slice(&old.meta().pages);
         }
         self.components.insert(first, new_component);
+        // Durable merge: the manifest swap makes the merged component
+        // visible; the inputs' pages are freed only after the swap commits,
+        // so a crash before the commit leaves the old components intact.
+        if self.durable.is_some() {
+            let data = self.manifest_data();
+            if let Some(durable) = self.durable.as_mut() {
+                durable.commit_merge(data)?;
+            }
+        }
+        self.cache.store().free_pages(&freed_pages);
         self.stats.merges += 1;
         self.stats.merge_time += started.elapsed();
         Ok(())

@@ -22,6 +22,31 @@
 //!   together: insert/upsert/delete, flush with schema inference, merges,
 //!   reconciled scans with projection push-down, point lookups, and
 //!   secondary-index range queries answered by sorted batched lookups (§4.6).
+//!
+//! ## Durability
+//!
+//! A dataset created with [`LsmDataset::new`] lives entirely in memory — the
+//! original simulation mode, still the default for experiments. A dataset
+//! opened with [`dataset::LsmDataset::open`] (or reopened with
+//! [`dataset::LsmDataset::reopen`]) is backed by a directory managed by the
+//! `persist` crate and survives restarts:
+//!
+//! * inserts and deletes are appended to a CRC-framed **write-ahead log**
+//!   before they are applied to the memtable, so every acknowledged
+//!   mutation is recoverable;
+//! * a **flush** writes the component into the dataset's page file, commits
+//!   a new **manifest** version (component lineage plus the inferred-schema
+//!   snapshot the tuple compactor produced, §2.2), and only then truncates
+//!   the WAL;
+//! * a **merge** commits the manifest swap *before* freeing the input
+//!   components' pages, so no crash window can lose data (§4.5.3's merge
+//!   piggy-backing, extended with recovery semantics);
+//! * **recovery** (`open`/`reopen`) reloads components from the manifest,
+//!   replays the WAL into the memtable, and rebuilds the in-memory indexes.
+//!
+//! The full protocol, its crash windows and the injected
+//! [`persist::CrashPoint`]s used by the recovery tests are documented in the
+//! `persist` crate.
 
 pub mod dataset;
 pub mod index;
@@ -31,6 +56,7 @@ pub mod policy;
 pub use dataset::{DatasetConfig, IngestStats, LsmDataset};
 pub use index::{PrimaryKeyIndex, SecondaryIndex};
 pub use memtable::Memtable;
+pub use persist::CrashPoint;
 pub use policy::{MergeDecision, TieringPolicy};
 
 /// Error type shared by the LSM layer.

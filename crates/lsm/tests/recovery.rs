@@ -1,0 +1,363 @@
+//! Crash-recovery tests for durable datasets.
+//!
+//! Each test ingests into a directory-backed dataset, "kills" it at a chosen
+//! point (by dropping it mid-protocol, with `CrashPoint` injections forcing
+//! the interesting windows), reopens the directory, and asserts that exactly
+//! the acknowledged inserts and deletes are visible — no lost records, no
+//! resurrected deletes, no duplicates.
+
+use docmodel::{doc, Value};
+use lsm::{CrashPoint, DatasetConfig, LsmDataset};
+use storage::LayoutKind;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("lsm-recovery-tests-{}", std::process::id()))
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small budgets so flushes and merges happen with little data.
+fn tiny_config(layout: LayoutKind) -> DatasetConfig {
+    DatasetConfig::new("recovery", layout)
+        .with_memtable_budget(8 * 1024)
+        .with_page_size(4 * 1024)
+}
+
+/// A big budget so nothing flushes until we say so.
+fn unflushed_config(layout: LayoutKind) -> DatasetConfig {
+    DatasetConfig::new("recovery", layout)
+        .with_memtable_budget(usize::MAX)
+        .with_page_size(4 * 1024)
+}
+
+fn sample_record(i: i64) -> Value {
+    doc!({
+        "id": i,
+        "user": {"name": (format!("user{}", i % 13)), "followers": (i % 997)},
+        "text": (format!("record {i} body text with characters")),
+        "timestamp": (1_000_000 + i),
+        "tags": [(format!("tag{}", i % 5))]
+    })
+}
+
+/// The state every test drives the dataset into: keys 0..N inserted, the
+/// even keys under 20 updated, keys 3/7/11 deleted.
+const N: i64 = 120;
+
+fn apply_workload(ds: &mut LsmDataset) {
+    for i in 0..N {
+        ds.insert(sample_record(i)).unwrap();
+    }
+    for i in (0..20).step_by(2) {
+        let mut updated = sample_record(i);
+        updated.set_field("text", Value::from("updated"));
+        ds.insert(updated).unwrap();
+    }
+    for i in [3i64, 7, 11] {
+        ds.delete(Value::Int(i)).unwrap();
+    }
+}
+
+/// Assert the reopened dataset holds exactly the acknowledged state.
+fn assert_workload_recovered(ds: &LsmDataset) {
+    assert_eq!(ds.count().unwrap(), (N - 3) as usize);
+    let docs = ds.scan(None).unwrap();
+    assert_eq!(docs.len(), (N - 3) as usize);
+    // Deletes stay deleted.
+    for i in [3i64, 7, 11] {
+        assert!(ds.lookup(&Value::Int(i), None).unwrap().is_none(), "key {i}");
+    }
+    // Updates stay updated; originals stay original.
+    let updated = ds.lookup(&Value::Int(2), None).unwrap().unwrap();
+    assert_eq!(updated.get_field("text"), Some(&Value::from("updated")));
+    let original = ds.lookup(&Value::Int(1), None).unwrap().unwrap();
+    assert_ne!(original.get_field("text"), Some(&Value::from("updated")));
+    // Nested structure survives the WAL/component round trip.
+    let nested = ds.lookup(&Value::Int(50), None).unwrap().unwrap();
+    assert_eq!(
+        nested.get_path_str("user.name"),
+        Some(&Value::from("user11"))
+    );
+    assert_eq!(
+        nested.get_field("tags").unwrap().as_array().unwrap().len(),
+        1
+    );
+}
+
+#[test]
+fn kill_before_any_flush_recovers_from_wal_alone() {
+    for layout in LayoutKind::ALL {
+        let dir = temp_dir(&format!("before-flush-{}", layout.name()));
+        {
+            let mut ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            assert_eq!(ds.component_count(), 0, "nothing may have flushed");
+            assert!(ds.wal_bytes() > 0);
+            assert_eq!(ds.manifest_version(), 0);
+            // Dropped here without flush: the WAL is the only durable copy.
+        }
+        let ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+        assert_eq!(ds.component_count(), 0, "{layout:?}");
+        assert_workload_recovered(&ds);
+    }
+}
+
+#[test]
+fn kill_after_component_write_before_manifest_commit() {
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let dir = temp_dir(&format!("pre-manifest-{}", layout.name()));
+        {
+            let mut ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            ds.set_crash_point(CrashPoint::AfterFlushComponentWrite);
+            let err = ds.flush().expect_err("injected crash must surface");
+            assert!(err.message.contains("injected crash"), "{err}");
+            // On disk: component pages written but unreferenced; no
+            // manifest; the full WAL.
+            assert_eq!(ds.manifest_version(), 0);
+            assert!(ds.wal_bytes() > 0);
+        }
+        let ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+        assert_eq!(
+            ds.manifest_version(),
+            0,
+            "{layout:?}: the aborted flush must not be visible"
+        );
+        assert_eq!(ds.component_count(), 0, "{layout:?}");
+        assert_workload_recovered(&ds);
+
+        // The recovered dataset keeps working: flush it for real this time.
+        let mut ds = ds;
+        ds.flush().unwrap();
+        assert!(ds.manifest_version() > 0);
+        assert_eq!(ds.wal_bytes(), 0);
+        assert_workload_recovered(&ds);
+    }
+}
+
+#[test]
+fn kill_after_manifest_commit_before_wal_truncate() {
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let dir = temp_dir(&format!("pre-truncate-{}", layout.name()));
+        {
+            let mut ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            ds.set_crash_point(CrashPoint::AfterFlushManifestCommit);
+            let err = ds.flush().expect_err("injected crash must surface");
+            assert!(err.message.contains("injected crash"), "{err}");
+            // On disk: manifest committed AND the WAL still present — the
+            // records exist twice.
+            assert_eq!(ds.manifest_version(), 1);
+            assert!(ds.wal_bytes() > 0);
+        }
+        let ds = LsmDataset::reopen(&dir).unwrap();
+        assert_eq!(ds.component_count(), 1, "{layout:?}");
+        // Replaying the WAL over the flushed component must reconcile, not
+        // duplicate: count() deduplicates by key.
+        assert_workload_recovered(&ds);
+    }
+}
+
+#[test]
+fn kill_during_merge_before_manifest_commit_keeps_inputs() {
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let dir = temp_dir(&format!("pre-merge-commit-{}", layout.name()));
+        {
+            let mut ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            ds.flush().unwrap();
+            // Second batch so a multi-component merge is possible.
+            for i in N..N + 40 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+            ds.flush().unwrap();
+            let components_before = ds.component_count();
+            assert!(components_before >= 2, "{layout:?}");
+            let version_before = ds.manifest_version();
+
+            ds.set_crash_point(CrashPoint::BeforeMergeManifestCommit);
+            let err = ds.compact_fully().expect_err("injected crash must surface");
+            assert!(err.message.contains("injected crash"), "{err}");
+            assert_eq!(ds.manifest_version(), version_before);
+        }
+        let ds = LsmDataset::reopen(&dir).unwrap();
+        // The manifest still lists the pre-merge components, whose pages
+        // were never freed; the merged orphan pages are invisible.
+        assert!(ds.component_count() >= 2, "{layout:?}");
+        assert_eq!(ds.count().unwrap(), (N - 3 + 40) as usize, "{layout:?}");
+        for i in [3i64, 7, 11] {
+            assert!(ds.lookup(&Value::Int(i), None).unwrap().is_none());
+        }
+        assert!(ds.lookup(&Value::Int(N + 39), None).unwrap().is_some());
+
+        // And a rerun of the merge completes.
+        let mut ds = ds;
+        ds.compact_fully().unwrap();
+        assert_eq!(ds.component_count(), 1, "{layout:?}");
+        assert_eq!(ds.count().unwrap(), (N - 3 + 40) as usize);
+    }
+}
+
+#[test]
+fn flush_truncates_wal_and_restart_uses_components() {
+    for layout in LayoutKind::ALL {
+        let dir = temp_dir(&format!("flushed-{}", layout.name()));
+        let schema_description;
+        {
+            let mut ds = LsmDataset::open(&dir, tiny_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            ds.flush().unwrap();
+            assert!(ds.stats().flushes > 1, "{layout:?}: tiny budget must flush repeatedly");
+            assert_eq!(ds.wal_bytes(), 0, "{layout:?}: flush truncates the WAL");
+            assert!(ds.manifest_version() >= 1);
+            schema_description = ds.schema().describe();
+        }
+        let ds = LsmDataset::reopen(&dir).unwrap();
+        assert!(ds.component_count() >= 1, "{layout:?}");
+        assert_eq!(
+            ds.schema().describe(),
+            schema_description,
+            "{layout:?}: the inferred schema must survive restarts"
+        );
+        assert_workload_recovered(&ds);
+    }
+}
+
+#[test]
+fn repeated_restarts_and_mixed_batches_converge() {
+    let dir = temp_dir("repeated-restarts");
+    // Session 1: a first batch, flushed.
+    {
+        let mut ds = LsmDataset::open(&dir, tiny_config(LayoutKind::Amax)).unwrap();
+        for i in 0..60 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+    }
+    // Session 2: updates and deletes, left unflushed in the WAL.
+    {
+        let mut ds = LsmDataset::reopen(&dir).unwrap();
+        assert_eq!(ds.count().unwrap(), 60);
+        for i in 0..10 {
+            let mut updated = sample_record(i);
+            updated.set_field("text", Value::from("second session"));
+            ds.insert(updated).unwrap();
+        }
+        ds.delete(Value::Int(59)).unwrap();
+        ds.sync().unwrap();
+    }
+    // Session 3: heterogeneous records widening the schema, then a flush.
+    {
+        let mut ds = LsmDataset::reopen(&dir).unwrap();
+        assert_eq!(ds.count().unwrap(), 59);
+        let doc = ds.lookup(&Value::Int(4), None).unwrap().unwrap();
+        assert_eq!(doc.get_field("text"), Some(&Value::from("second session")));
+        for i in 100..130 {
+            ds.insert(doc!({"id": i, "brand_new_field": {"nested": (i * 2)}}))
+                .unwrap();
+        }
+        ds.flush().unwrap();
+    }
+    // Session 4: everything visible, schema is the superset.
+    let ds = LsmDataset::reopen(&dir).unwrap();
+    assert_eq!(ds.count().unwrap(), 89);
+    let wide = ds.lookup(&Value::Int(110), None).unwrap().unwrap();
+    assert_eq!(
+        wide.get_path_str("brand_new_field.nested"),
+        Some(&Value::Int(220))
+    );
+    assert!(ds.schema().describe().contains("brand_new_field"));
+    assert!(ds.lookup(&Value::Int(59), None).unwrap().is_none());
+}
+
+#[test]
+fn secondary_index_is_rebuilt_on_recovery() {
+    let dir = temp_dir("secondary-rebuild");
+    let config = || {
+        tiny_config(LayoutKind::Apax)
+            .with_secondary_index(docmodel::Path::parse("timestamp"))
+    };
+    {
+        let mut ds = LsmDataset::open(&dir, config()).unwrap();
+        for i in 0..150 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        // A few unflushed updates so recovery covers WAL + components.
+        for i in 0..5 {
+            let mut updated = sample_record(i);
+            updated.set_field("timestamp", Value::Int(5_000_000 + i));
+            ds.insert(updated).unwrap();
+        }
+    }
+    // reopen() restores the secondary index config from the manifest.
+    let ds = LsmDataset::reopen(&dir).unwrap();
+    let hits = ds
+        .secondary_range(&Value::Int(1_000_100), &Value::Int(1_000_149), None)
+        .unwrap();
+    assert_eq!(hits.len(), 50);
+    // The updated records moved out of the old timestamp range...
+    let stale = ds
+        .secondary_range(&Value::Int(1_000_000), &Value::Int(1_000_004), None)
+        .unwrap();
+    assert!(stale.is_empty(), "moved entries must not linger, got {stale:?}");
+    // ...and into the new one.
+    let moved = ds
+        .secondary_range(&Value::Int(5_000_000), &Value::Int(5_000_004), None)
+        .unwrap();
+    assert_eq!(moved.len(), 5);
+}
+
+#[test]
+fn reopen_without_manifest_is_an_error_but_open_works() {
+    let dir = temp_dir("no-manifest");
+    assert!(LsmDataset::reopen(&dir).is_err(), "nothing there yet");
+    {
+        let mut ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+        ds.insert(sample_record(1)).unwrap();
+        // No flush: still no manifest, only a WAL.
+    }
+    assert!(LsmDataset::reopen(&dir).is_err(), "reopen needs a manifest");
+    let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+    assert_eq!(ds.count().unwrap(), 1);
+}
+
+#[test]
+fn torn_wal_tail_loses_only_the_unacknowledged_record() {
+    let dir = temp_dir("torn-tail");
+    {
+        let mut ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+        for i in 0..20 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.sync().unwrap();
+    }
+    // Tear the last frame in half, as a crash mid-write would.
+    let wal_path = dir.join("wal.log");
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+    assert_eq!(ds.count().unwrap(), 19, "only the torn record may be lost");
+    assert!(ds.lookup(&Value::Int(18), None).unwrap().is_some());
+    assert!(ds.lookup(&Value::Int(19), None).unwrap().is_none());
+}
+
+#[test]
+fn durable_and_in_memory_datasets_agree() {
+    let dir = temp_dir("parity");
+    let mut mem = LsmDataset::new(tiny_config(LayoutKind::Amax));
+    let mut dur = LsmDataset::open(&dir, tiny_config(LayoutKind::Amax)).unwrap();
+    for ds in [&mut mem, &mut dur] {
+        apply_workload(ds);
+        ds.flush().unwrap();
+    }
+    let mem_docs = mem.scan(None).unwrap();
+    let dur_docs = dur.scan(None).unwrap();
+    assert_eq!(mem_docs, dur_docs);
+    drop(dur);
+    let dur = LsmDataset::reopen(&dir).unwrap();
+    assert_eq!(dur.scan(None).unwrap(), mem_docs);
+}

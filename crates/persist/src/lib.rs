@@ -1,0 +1,348 @@
+//! # persist — the durability subsystem
+//!
+//! The paper's columnar LSM design assumes components live on disk and
+//! survive restarts; this crate supplies that layer for the reproduction. A
+//! durable dataset is a directory:
+//!
+//! ```text
+//! <dataset>/
+//!   pages.dat   one file of page-aligned slots (storage::FileBackend)
+//!   wal.log     CRC-framed insert/delete records (wal::Wal)
+//!   MANIFEST    versioned, CRC-guarded root: config + schema + components
+//! ```
+//!
+//! ## The protocol, mapped onto the LSM lifecycle
+//!
+//! The paper piggy-backs schema inference and columnar conversion on the
+//! flush and merge events (§2.2, §4.5); durability piggy-backs on exactly the
+//! same events:
+//!
+//! * **Ingest** — every insert/upsert/delete is appended to the WAL *before*
+//!   it is applied to the memtable. The memtable is the only volatile state;
+//!   the WAL is its durable twin.
+//! * **Flush** — the memtable is written as a new component into the page
+//!   file, the page file is synced, and a new manifest version is committed
+//!   recording the component (with the inferred schema snapshot the tuple
+//!   compactor produced for it, §2.2). Only after the manifest commit is the
+//!   WAL truncated: a crash anywhere in between replays the still-present
+//!   WAL records over the (possibly already committed) component, which is
+//!   idempotent because replay reapplies the same keys.
+//! * **Merge** — the merged component is written and synced, then a manifest
+//!   version is committed that swaps the input components for the output;
+//!   only *after* that commit are the input pages freed. A crash before the
+//!   commit leaves the old manifest pointing at the old, still-intact
+//!   components (the merged pages are orphaned, never referenced).
+//! * **Recovery** — [`DurableStore::open`] loads the manifest, reopens every
+//!   listed component against the page file, and replays the WAL into the
+//!   memtable. The WAL's torn tail (an unacknowledged partial frame) is
+//!   detected by CRC and dropped.
+//!
+//! Orphaned pages (from crashes between component write and manifest commit)
+//! leak space until a future page-file compaction; they are never visible to
+//! readers because visibility is defined solely by the manifest.
+//!
+//! ## Crash points
+//!
+//! [`CrashPoint`] injects failures at the protocol's interesting boundaries
+//! (after component write, after manifest commit / before WAL truncation,
+//! before a merge's manifest commit) so recovery tests can exercise each
+//! window deterministically.
+
+pub mod manifest;
+pub mod wal;
+
+use std::path::{Path, PathBuf};
+
+use storage::PageStore;
+
+pub use manifest::{ManifestData, ManifestStore, PersistedConfig};
+pub use wal::{Wal, WalRecord};
+
+/// Error type of the durability layer (shared with the storage stack so
+/// `?` composes across crates).
+pub type PersistError = encoding::DecodeError;
+/// Result alias.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// File name of the page file within a dataset directory.
+pub const PAGE_FILE_NAME: &str = "pages.dat";
+/// File name of the write-ahead log within a dataset directory.
+pub const WAL_FILE_NAME: &str = "wal.log";
+
+/// Injected failure points for recovery tests. Each fires once (the
+/// injection is consumed) and makes the surrounding operation return an
+/// error after the earlier protocol steps have already reached the disk —
+/// exactly what a crash at that boundary leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Flush: component pages are written and synced, but no manifest was
+    /// committed. Recovery must serve the records from the WAL alone.
+    AfterFlushComponentWrite,
+    /// Flush: the manifest was committed, but the WAL was not truncated.
+    /// Recovery sees the records twice (component + WAL) and must reconcile.
+    AfterFlushManifestCommit,
+    /// Merge: the merged component's pages are written and synced, but the
+    /// manifest still lists the inputs. Recovery must serve the old
+    /// components; the merged pages are orphans.
+    BeforeMergeManifestCommit,
+}
+
+/// The durable state of one dataset directory: page file, WAL and manifest,
+/// plus the commit protocol tying them together.
+pub struct DurableStore {
+    dir: PathBuf,
+    store: PageStore,
+    wal: Wal,
+    manifest: ManifestStore,
+    crash_point: Option<CrashPoint>,
+    wal_appends_since_sync: u64,
+}
+
+/// What [`DurableStore::open`] recovered from the directory.
+pub struct Recovered {
+    /// The manifest, if the directory holds a committed one.
+    pub manifest: Option<ManifestData>,
+    /// Acknowledged mutations not yet covered by a component, oldest first.
+    pub wal_records: Vec<WalRecord>,
+}
+
+impl DurableStore {
+    /// Open (or create) the dataset directory, returning the durable store
+    /// and everything recovery needs.
+    pub fn open(dir: &Path, page_size: usize) -> Result<(DurableStore, Recovered)> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| PersistError::new(format!("create dataset dir {}: {e}", dir.display())))?;
+        let (manifest, manifest_data) = ManifestStore::open(dir)?;
+        if let Some(data) = &manifest_data {
+            if data.config.page_size != page_size as u64 {
+                return Err(PersistError::new(format!(
+                    "dataset was created with page size {}, reopened with {page_size}",
+                    data.config.page_size
+                )));
+            }
+        }
+        let store = PageStore::file_backed(&dir.join(PAGE_FILE_NAME), page_size)?;
+        let (wal, wal_records) = Wal::open(&dir.join(WAL_FILE_NAME))?;
+        Ok((
+            DurableStore {
+                dir: dir.to_path_buf(),
+                store,
+                wal,
+                manifest,
+                crash_point: None,
+                wal_appends_since_sync: 0,
+            },
+            Recovered {
+                manifest: manifest_data,
+                wal_records,
+            },
+        ))
+    }
+
+    /// The dataset directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file-backed page store components are written to.
+    pub fn page_store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Version of the last committed manifest (0 before the first commit).
+    pub fn manifest_version(&self) -> u64 {
+        self.manifest.version()
+    }
+
+    /// Bytes currently in the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Arm a crash point (used by recovery tests).
+    pub fn set_crash_point(&mut self, point: CrashPoint) {
+        self.crash_point = Some(point);
+    }
+
+    fn trip(&mut self, point: CrashPoint) -> Result<()> {
+        if self.crash_point == Some(point) {
+            self.crash_point = None;
+            return Err(PersistError::new(format!(
+                "injected crash at {point:?} (recovery test)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Log one acknowledged mutation. The record reaches the OS immediately;
+    /// call [`DurableStore::sync_wal`] to force it to the device.
+    pub fn log(&mut self, record: &WalRecord) -> Result<()> {
+        self.wal.append(record)?;
+        self.wal_appends_since_sync += 1;
+        Ok(())
+    }
+
+    /// Log an insert without materialising a [`WalRecord`].
+    pub fn log_insert(&mut self, key: &docmodel::Value, record: &docmodel::Value) -> Result<()> {
+        self.wal.append_insert(key, record)?;
+        self.wal_appends_since_sync += 1;
+        Ok(())
+    }
+
+    /// Log a delete without materialising a [`WalRecord`].
+    pub fn log_delete(&mut self, key: &docmodel::Value) -> Result<()> {
+        self.wal.append_delete(key)?;
+        self.wal_appends_since_sync += 1;
+        Ok(())
+    }
+
+    /// Fsync the WAL (group-commit point for callers that need device-level
+    /// durability of every acknowledged record).
+    pub fn sync_wal(&mut self) -> Result<()> {
+        if self.wal_appends_since_sync > 0 {
+            self.wal.sync()?;
+            self.wal_appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Commit a flush: the new component's pages are already in the page
+    /// store. Syncs pages, commits the manifest, then truncates the WAL — in
+    /// that order, so every crash window is recoverable.
+    pub fn commit_flush(&mut self, data: ManifestData) -> Result<u64> {
+        self.store.sync()?;
+        self.trip(CrashPoint::AfterFlushComponentWrite)?;
+        let version = self.manifest.commit(data)?;
+        self.trip(CrashPoint::AfterFlushManifestCommit)?;
+        self.wal.truncate()?;
+        self.wal_appends_since_sync = 0;
+        Ok(version)
+    }
+
+    /// Commit a merge: the merged component's pages are already in the page
+    /// store; the manifest swap makes it visible. The caller frees the input
+    /// components' pages only after this returns.
+    pub fn commit_merge(&mut self, data: ManifestData) -> Result<u64> {
+        self.store.sync()?;
+        self.trip(CrashPoint::BeforeMergeManifestCommit)?;
+        self.manifest.commit(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::{doc, Value};
+    use schema::SchemaBuilder;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("persist-store-tests-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn empty_manifest(page_size: u64) -> ManifestData {
+        ManifestData {
+            version: 0,
+            config: PersistedConfig {
+                name: "t".to_string(),
+                layout: storage::LayoutKind::Vb,
+                key_field: "id".to_string(),
+                memtable_budget: 1024,
+                page_size,
+                cache_pages: 8,
+                primary_key_index: true,
+                secondary_index_on: None,
+                compress_pages: true,
+                amax_record_limit: 100,
+                amax_empty_page_tolerance: 0.2,
+                policy_size_ratio: 1.2,
+                policy_max_components: 5,
+            },
+            next_component_id: 0,
+            schema: SchemaBuilder::new(Some("id".to_string())).into_schema(),
+            components: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn open_log_reopen_replays() {
+        let dir = temp_dir("replay");
+        {
+            let (mut ds, recovered) = DurableStore::open(&dir, 4096).unwrap();
+            assert!(recovered.manifest.is_none());
+            assert!(recovered.wal_records.is_empty());
+            ds.log(&WalRecord::Insert {
+                key: Value::Int(1),
+                record: doc!({"id": 1}),
+            })
+            .unwrap();
+            ds.log(&WalRecord::Delete { key: Value::Int(1) }).unwrap();
+            ds.sync_wal().unwrap();
+        }
+        let (ds, recovered) = DurableStore::open(&dir, 4096).unwrap();
+        assert_eq!(recovered.wal_records.len(), 2);
+        assert!(ds.wal_bytes() > 0);
+    }
+
+    #[test]
+    fn commit_flush_truncates_wal_and_bumps_version() {
+        let dir = temp_dir("flush");
+        let (mut ds, _) = DurableStore::open(&dir, 4096).unwrap();
+        ds.log(&WalRecord::Insert {
+            key: Value::Int(1),
+            record: doc!({"id": 1}),
+        })
+        .unwrap();
+        let v = ds.commit_flush(empty_manifest(4096)).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(ds.wal_bytes(), 0);
+        assert_eq!(ds.manifest_version(), 1);
+    }
+
+    #[test]
+    fn mismatched_page_size_is_rejected() {
+        let dir = temp_dir("pagesize");
+        {
+            let (mut ds, _) = DurableStore::open(&dir, 4096).unwrap();
+            ds.commit_flush(empty_manifest(4096)).unwrap();
+        }
+        let err = DurableStore::open(&dir, 8192).err().unwrap();
+        assert!(err.message.contains("page size"), "{err}");
+    }
+
+    #[test]
+    fn crash_points_fire_once_at_their_boundary() {
+        let dir = temp_dir("crashpoints");
+        let (mut ds, _) = DurableStore::open(&dir, 4096).unwrap();
+        ds.log(&WalRecord::Insert {
+            key: Value::Int(1),
+            record: doc!({"id": 1}),
+        })
+        .unwrap();
+
+        // Before the manifest commit: version unchanged, WAL intact.
+        ds.set_crash_point(CrashPoint::AfterFlushComponentWrite);
+        assert!(ds.commit_flush(empty_manifest(4096)).is_err());
+        assert_eq!(ds.manifest_version(), 0);
+        assert!(ds.wal_bytes() > 0);
+
+        // After the manifest commit: version bumped, WAL still intact.
+        ds.set_crash_point(CrashPoint::AfterFlushManifestCommit);
+        assert!(ds.commit_flush(empty_manifest(4096)).is_err());
+        assert_eq!(ds.manifest_version(), 1);
+        assert!(ds.wal_bytes() > 0);
+
+        // The injection is consumed: the next commit succeeds.
+        assert_eq!(ds.commit_flush(empty_manifest(4096)).unwrap(), 2);
+        assert_eq!(ds.wal_bytes(), 0);
+
+        // Merge crash point blocks the manifest swap.
+        ds.set_crash_point(CrashPoint::BeforeMergeManifestCommit);
+        assert!(ds.commit_merge(empty_manifest(4096)).is_err());
+        assert_eq!(ds.manifest_version(), 2);
+        assert_eq!(ds.commit_merge(empty_manifest(4096)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,458 @@
+//! The versioned manifest.
+//!
+//! The manifest is the dataset's durable root: one small file describing the
+//! dataset configuration, the latest inferred [`Schema`], the lineage of
+//! on-disk components (ids, layouts, page extents, per-leaf key ranges) and
+//! the next component id. A dataset directory is *defined* by its manifest:
+//! recovery reads it, reopens every listed component against the page file,
+//! and replays the WAL on top.
+//!
+//! ## Atomicity
+//!
+//! Each commit writes a complete manifest to `MANIFEST.tmp`, syncs it, and
+//! atomically renames it over `MANIFEST`. A crash before the rename leaves
+//! the previous manifest intact (new component pages become unreferenced
+//! orphans in the page file — leaked space, never corruption); a crash after
+//! the rename leaves the new manifest fully in place. The version counter
+//! increases with every commit, and the body is CRC-guarded so a damaged
+//! manifest is rejected rather than half-loaded.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use docmodel::Value;
+use encoding::crc::crc32;
+use encoding::{plain, varint};
+use schema::{serial, Schema};
+use storage::component::{ComponentDescriptor, LeafDescriptor};
+use storage::{LayoutKind, PageId, RowFormat};
+
+use crate::{PersistError, Result};
+
+/// Magic bytes opening every manifest file.
+const MAGIC: &[u8; 8] = b"LSMMAN01";
+
+/// The durable subset of the dataset configuration. Enough to reconstruct a
+/// working `DatasetConfig` on [`reopen`](crate::DurableStore), so a dataset
+/// directory is self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Storage layout of on-disk components.
+    pub layout: LayoutKind,
+    /// Primary-key field name.
+    pub key_field: String,
+    /// Memtable budget in bytes.
+    pub memtable_budget: u64,
+    /// Page size of the page file (must match on reopen).
+    pub page_size: u64,
+    /// Buffer-cache capacity in pages.
+    pub cache_pages: u64,
+    /// Whether a primary-key index is maintained.
+    pub primary_key_index: bool,
+    /// Secondary index path (rendered with `Path`'s display syntax).
+    pub secondary_index_on: Option<String>,
+    /// Page-level compression.
+    pub compress_pages: bool,
+    /// AMAX: records per mega leaf.
+    pub amax_record_limit: u64,
+    /// AMAX: empty-page tolerance.
+    pub amax_empty_page_tolerance: f64,
+    /// Tiering policy: size ratio.
+    pub policy_size_ratio: f64,
+    /// Tiering policy: max mergeable components.
+    pub policy_max_components: u64,
+}
+
+/// Everything one manifest commit records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestData {
+    /// Monotonic commit version (assigned by [`ManifestStore::commit`]).
+    pub version: u64,
+    /// Durable dataset configuration.
+    pub config: PersistedConfig,
+    /// Id the next flushed/merged component will receive.
+    pub next_component_id: u64,
+    /// The cumulative inferred schema (column ids are positions, so every
+    /// component written under any earlier schema stays readable).
+    pub schema: Schema,
+    /// Live components, oldest first.
+    pub components: Vec<ComponentDescriptor>,
+}
+
+fn write_value(out: &mut Vec<u8>, value: &Value) {
+    RowFormat::Vb.serialize(value, out);
+}
+
+fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    RowFormat::Vb.deserialize(buf, pos)
+}
+
+fn write_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn read_bool(buf: &[u8], pos: &mut usize) -> Result<bool> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| PersistError::new("truncated manifest"))?;
+    *pos += 1;
+    Ok(b != 0)
+}
+
+fn encode_body(data: &ManifestData) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, data.version);
+
+    let c = &data.config;
+    plain::write_str(&mut out, &c.name);
+    out.push(c.layout.tag());
+    plain::write_str(&mut out, &c.key_field);
+    varint::write_u64(&mut out, c.memtable_budget);
+    varint::write_u64(&mut out, c.page_size);
+    varint::write_u64(&mut out, c.cache_pages);
+    write_bool(&mut out, c.primary_key_index);
+    match &c.secondary_index_on {
+        Some(path) => {
+            write_bool(&mut out, true);
+            plain::write_str(&mut out, path);
+        }
+        None => write_bool(&mut out, false),
+    }
+    write_bool(&mut out, c.compress_pages);
+    varint::write_u64(&mut out, c.amax_record_limit);
+    plain::write_f64(&mut out, c.amax_empty_page_tolerance);
+    plain::write_f64(&mut out, c.policy_size_ratio);
+    varint::write_u64(&mut out, c.policy_max_components);
+
+    varint::write_u64(&mut out, data.next_component_id);
+    serial::write_schema(&data.schema, &mut out);
+
+    varint::write_u64(&mut out, data.components.len() as u64);
+    for comp in &data.components {
+        varint::write_u64(&mut out, comp.id);
+        out.push(comp.layout.tag());
+        varint::write_u64(&mut out, comp.record_count as u64);
+        varint::write_u64(&mut out, comp.stored_bytes);
+        varint::write_u64(&mut out, comp.pages.len() as u64);
+        for &page in &comp.pages {
+            varint::write_u64(&mut out, page);
+        }
+        varint::write_u64(&mut out, comp.leaves.len() as u64);
+        for leaf in &comp.leaves {
+            varint::write_u64(&mut out, leaf.page);
+            varint::write_u64(&mut out, leaf.data_pages.len() as u64);
+            for &page in &leaf.data_pages {
+                varint::write_u64(&mut out, page);
+            }
+            write_value(&mut out, &leaf.min_key);
+            write_value(&mut out, &leaf.max_key);
+            varint::write_u64(&mut out, leaf.record_count as u64);
+        }
+    }
+    out
+}
+
+fn decode_body(buf: &[u8]) -> Result<ManifestData> {
+    let pos = &mut 0usize;
+    let version = varint::read_u64(buf, pos)?;
+
+    let name = plain::read_str(buf, pos)?.to_string();
+    let layout = LayoutKind::from_tag(read_u8(buf, pos)?)?;
+    let key_field = plain::read_str(buf, pos)?.to_string();
+    let memtable_budget = varint::read_u64(buf, pos)?;
+    let page_size = varint::read_u64(buf, pos)?;
+    let cache_pages = varint::read_u64(buf, pos)?;
+    let primary_key_index = read_bool(buf, pos)?;
+    let secondary_index_on = if read_bool(buf, pos)? {
+        Some(plain::read_str(buf, pos)?.to_string())
+    } else {
+        None
+    };
+    let compress_pages = read_bool(buf, pos)?;
+    let amax_record_limit = varint::read_u64(buf, pos)?;
+    let amax_empty_page_tolerance = plain::read_f64(buf, pos)?;
+    let policy_size_ratio = plain::read_f64(buf, pos)?;
+    let policy_max_components = varint::read_u64(buf, pos)?;
+
+    let next_component_id = varint::read_u64(buf, pos)?;
+    let schema = serial::read_schema(buf, pos)?;
+
+    let component_count = varint::read_u64(buf, pos)? as usize;
+    let mut components = Vec::with_capacity(component_count.min(1 << 16));
+    for _ in 0..component_count {
+        let id = varint::read_u64(buf, pos)?;
+        let layout = LayoutKind::from_tag(read_u8(buf, pos)?)?;
+        let record_count = varint::read_u64(buf, pos)? as usize;
+        let stored_bytes = varint::read_u64(buf, pos)?;
+        let page_count = varint::read_u64(buf, pos)? as usize;
+        let mut pages: Vec<PageId> = Vec::with_capacity(page_count.min(1 << 20));
+        for _ in 0..page_count {
+            pages.push(varint::read_u64(buf, pos)?);
+        }
+        let leaf_count = varint::read_u64(buf, pos)? as usize;
+        let mut leaves = Vec::with_capacity(leaf_count.min(1 << 20));
+        for _ in 0..leaf_count {
+            let page = varint::read_u64(buf, pos)?;
+            let data_page_count = varint::read_u64(buf, pos)? as usize;
+            let mut data_pages: Vec<PageId> = Vec::with_capacity(data_page_count.min(1 << 20));
+            for _ in 0..data_page_count {
+                data_pages.push(varint::read_u64(buf, pos)?);
+            }
+            let min_key = read_value(buf, pos)?;
+            let max_key = read_value(buf, pos)?;
+            let record_count = varint::read_u64(buf, pos)? as usize;
+            leaves.push(LeafDescriptor {
+                page,
+                data_pages,
+                min_key,
+                max_key,
+                record_count,
+            });
+        }
+        components.push(ComponentDescriptor {
+            id,
+            layout,
+            record_count,
+            stored_bytes,
+            pages,
+            leaves,
+        });
+    }
+
+    Ok(ManifestData {
+        version,
+        config: PersistedConfig {
+            name,
+            layout,
+            key_field,
+            memtable_budget,
+            page_size,
+            cache_pages,
+            primary_key_index,
+            secondary_index_on,
+            compress_pages,
+            amax_record_limit,
+            amax_empty_page_tolerance,
+            policy_size_ratio,
+            policy_max_components,
+        },
+        next_component_id,
+        schema,
+        components,
+    })
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| PersistError::new("truncated manifest"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Reads and atomically commits manifests in a dataset directory.
+pub struct ManifestStore {
+    path: PathBuf,
+    tmp_path: PathBuf,
+    dir: PathBuf,
+    /// Version of the last loaded or committed manifest.
+    version: u64,
+}
+
+impl ManifestStore {
+    /// File name of the manifest within a dataset directory.
+    pub const FILE_NAME: &'static str = "MANIFEST";
+
+    /// Open the manifest location in `dir` and load the current manifest if
+    /// one exists.
+    pub fn open(dir: &Path) -> Result<(ManifestStore, Option<ManifestData>)> {
+        let path = dir.join(Self::FILE_NAME);
+        let tmp_path = dir.join(format!("{}.tmp", Self::FILE_NAME));
+        // A crash may have left a stale temp file; it was never the truth.
+        let _ = std::fs::remove_file(&tmp_path);
+        let mut store = ManifestStore {
+            path,
+            tmp_path,
+            dir: dir.to_path_buf(),
+            version: 0,
+        };
+        let data = store.load()?;
+        if let Some(data) = &data {
+            store.version = data.version;
+        }
+        Ok((store, data))
+    }
+
+    fn load(&self) -> Result<Option<ManifestData>> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(PersistError::new(format!(
+                    "open manifest {}: {e}",
+                    self.path.display()
+                )))
+            }
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| PersistError::new(format!("read manifest: {e}")))?;
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(PersistError::new("manifest too short"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::new("manifest magic mismatch"));
+        }
+        let crc_end = MAGIC.len() + 4;
+        let expected_crc = u32::from_le_bytes(bytes[MAGIC.len()..crc_end].try_into().unwrap());
+        let body = &bytes[crc_end..];
+        if crc32(body) != expected_crc {
+            return Err(PersistError::new(
+                "manifest failed its CRC check — corrupt manifest",
+            ));
+        }
+        decode_body(body).map(Some)
+    }
+
+    /// The version of the most recently loaded or committed manifest.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Atomically commit `data` as the next manifest version. On success the
+    /// new manifest is durable; on failure (or crash) the previous manifest
+    /// is still intact.
+    pub fn commit(&mut self, mut data: ManifestData) -> Result<u64> {
+        data.version = self.version + 1;
+        let body = encode_body(&data);
+        let mut bytes = Vec::with_capacity(MAGIC.len() + 4 + body.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.tmp_path)
+            .map_err(|e| PersistError::new(format!("open manifest temp: {e}")))?;
+        tmp.write_all(&bytes)
+            .map_err(|e| PersistError::new(format!("write manifest temp: {e}")))?;
+        tmp.sync_data()
+            .map_err(|e| PersistError::new(format!("sync manifest temp: {e}")))?;
+        drop(tmp);
+        std::fs::rename(&self.tmp_path, &self.path)
+            .map_err(|e| PersistError::new(format!("rename manifest into place: {e}")))?;
+        // Make the rename itself durable.
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        self.version = data.version;
+        Ok(self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::doc;
+    use schema::SchemaBuilder;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("persist-manifest-tests-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_data() -> ManifestData {
+        let mut builder = SchemaBuilder::new(Some("id".to_string()));
+        builder.observe(&doc!({"id": 1, "user": {"name": "a"}, "tags": [1, 2]}));
+        builder.observe(&doc!({"id": 2, "user": "heterogeneous"}));
+        ManifestData {
+            version: 0,
+            config: PersistedConfig {
+                name: "tweets".to_string(),
+                layout: LayoutKind::Amax,
+                key_field: "id".to_string(),
+                memtable_budget: 1 << 20,
+                page_size: 4096,
+                cache_pages: 64,
+                primary_key_index: true,
+                secondary_index_on: Some("timestamp".to_string()),
+                compress_pages: true,
+                amax_record_limit: 15_000,
+                amax_empty_page_tolerance: 0.2,
+                policy_size_ratio: 1.2,
+                policy_max_components: 5,
+            },
+            next_component_id: 7,
+            schema: builder.into_schema(),
+            components: vec![ComponentDescriptor {
+                id: 3,
+                layout: LayoutKind::Amax,
+                record_count: 123,
+                stored_bytes: 4567,
+                pages: vec![0, 1, 2, 5],
+                leaves: vec![LeafDescriptor {
+                    page: 0,
+                    data_pages: vec![1, 2, 5],
+                    min_key: Value::Int(0),
+                    max_key: Value::Int(122),
+                    record_count: 123,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn commit_load_roundtrip_bumps_versions() {
+        let dir = temp_dir("roundtrip");
+        let (mut store, loaded) = ManifestStore::open(&dir).unwrap();
+        assert!(loaded.is_none());
+
+        let data = sample_data();
+        assert_eq!(store.commit(data.clone()).unwrap(), 1);
+        assert_eq!(store.commit(data.clone()).unwrap(), 2);
+
+        let (store2, loaded) = ManifestStore::open(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(store2.version(), 2);
+        assert_eq!(loaded.version, 2);
+        assert_eq!(loaded.config, data.config);
+        assert_eq!(loaded.next_component_id, 7);
+        assert_eq!(loaded.schema, data.schema);
+        assert_eq!(loaded.components, data.components);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = temp_dir("corrupt");
+        let (mut store, _) = ManifestStore::open(&dir).unwrap();
+        store.commit(sample_data()).unwrap();
+        let path = dir.join(ManifestStore::FILE_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ManifestStore::open(&dir).err().unwrap();
+        assert!(err.message.contains("CRC") || err.message.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn stale_temp_file_is_ignored() {
+        let dir = temp_dir("staletmp");
+        let (mut store, _) = ManifestStore::open(&dir).unwrap();
+        store.commit(sample_data()).unwrap();
+        // Crash simulation: a half-written temp manifest left behind.
+        std::fs::write(dir.join("MANIFEST.tmp"), b"half written garbage").unwrap();
+        let (_, loaded) = ManifestStore::open(&dir).unwrap();
+        assert!(loaded.is_some(), "temp file must not shadow the manifest");
+        assert!(!dir.join("MANIFEST.tmp").exists());
+    }
+}

@@ -59,7 +59,7 @@ pub fn aggregate_docs<'a>(
     let agg_on_element = query.agg_on_element;
 
     let mut groups: BTreeMap<Option<OrderedValue>, AggState> = BTreeMap::new();
-    let mut update = |record: &Value, element: Option<&Value>, groups: &mut BTreeMap<Option<OrderedValue>, AggState>| {
+    let update = |record: &Value, element: Option<&Value>, groups: &mut BTreeMap<Option<OrderedValue>, AggState>| {
         let resolve_one = |on_element: bool, path: &Path| -> Option<Value> {
             let base = if on_element { element? } else { record };
             if path.is_empty() {

@@ -203,16 +203,13 @@ impl Schema {
                         return Some(*child);
                     }
                 }
-                (PathStep::AllElements, SchemaNode::Array { item }) => {
-                    if let Some(item) = item {
-                        return Some(*item);
-                    }
+                (PathStep::AllElements, SchemaNode::Array { item: Some(item) }) => {
+                    return Some(*item);
                 }
-                (PathStep::Union(type_name), node) => {
-                    if node.branch_kind().name() == *type_name {
+                (PathStep::Union(type_name), node)
+                    if node.branch_kind().name() == *type_name => {
                         return Some(cand);
                     }
-                }
                 _ => {}
             }
         }

@@ -120,7 +120,7 @@ pub fn encode_amax_leaf(
             (c, bytes)
         })
         .collect();
-    encoded.sort_by(|a, b| b.1.len().cmp(&a.1.len()));
+    encoded.sort_by_key(|column| std::cmp::Reverse(column.1.len()));
 
     // Pack megapages into data pages.
     let mut data_pages: Vec<Vec<u8>> = vec![Vec::with_capacity(page_budget)];

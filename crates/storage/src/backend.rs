@@ -1,0 +1,349 @@
+//! Storage backends behind [`crate::pagestore::PageStore`].
+//!
+//! The reproduction originally ran on a purely in-memory "simulated disk".
+//! The durability subsystem (`persist`) needs real files, so the page store
+//! is now split in two layers: [`PageStore`](crate::pagestore::PageStore)
+//! keeps the I/O accounting and the API every layout writer/reader uses,
+//! while the actual byte storage lives behind this [`StorageBackend`] trait:
+//!
+//! * [`MemoryBackend`] — the original vector of pages; fast, volatile, and
+//!   the default for experiments that only measure I/O counters;
+//! * [`FileBackend`] — one file per dataset, with every page stored in a
+//!   page-aligned slot at `id * page_size`. Each slot carries a small header
+//!   (payload length + CRC-32) so variable-length payloads round-trip
+//!   exactly and torn or corrupt slots are detected instead of decoded.
+//!
+//! Backends store *whole pages*: compression, layout encoding and caching
+//! all happen above this interface.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use encoding::crc::crc32;
+use parking_lot::Mutex;
+
+use crate::pagestore::PageId;
+use crate::{Result, StorageError};
+
+/// Byte storage for fixed-size pages. Implementations must be safe to share
+/// across threads (the buffer cache clones its store handle freely).
+pub trait StorageBackend: Send + Sync {
+    /// The fixed page size in bytes. Payloads may be shorter (they are
+    /// length-delimited) but never longer than [`StorageBackend::max_payload`].
+    fn page_size(&self) -> usize;
+
+    /// Largest payload `append_page` accepts. The file backend reserves a
+    /// few header bytes inside each slot, so this can be slightly smaller
+    /// than `page_size`.
+    fn max_payload(&self) -> usize;
+
+    /// Number of pages allocated so far (freed pages keep their slots).
+    fn page_count(&self) -> u64;
+
+    /// Store `data` in a fresh page and return its id.
+    fn append_page(&self, data: Vec<u8>) -> Result<PageId>;
+
+    /// Read a page's payload. Freed pages read back empty.
+    fn read_page(&self, id: PageId) -> Result<Arc<Vec<u8>>>;
+
+    /// Release the contents of the given pages (after an LSM merge deletes
+    /// its input components). Ids stay allocated; reads return empty.
+    fn free_pages(&self, ids: &[PageId]) -> Result<()>;
+
+    /// Flush all written pages to durable storage (no-op in memory).
+    fn sync(&self) -> Result<()>;
+}
+
+/// The original in-process backend: a vector of pages under a lock.
+pub struct MemoryBackend {
+    page_size: usize,
+    pages: Mutex<Vec<Arc<Vec<u8>>>>,
+}
+
+impl MemoryBackend {
+    /// Create an empty in-memory backend.
+    pub fn new(page_size: usize) -> MemoryBackend {
+        MemoryBackend {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn max_payload(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn append_page(&self, data: Vec<u8>) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(Arc::new(data));
+        Ok((pages.len() - 1) as PageId)
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Arc<Vec<u8>>> {
+        let pages = self.pages.lock();
+        pages
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| StorageError::new(format!("unknown page id {id}")))
+    }
+
+    fn free_pages(&self, ids: &[PageId]) -> Result<()> {
+        let mut pages = self.pages.lock();
+        for &id in ids {
+            if let Some(slot) = pages.get_mut(id as usize) {
+                *slot = Arc::new(Vec::new());
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Per-slot header of the file backend: payload length + CRC-32.
+const SLOT_HEADER: usize = 8;
+
+/// File-backed pages: one file per dataset, page `id` in the page-aligned
+/// slot at byte offset `id * page_size`.
+pub struct FileBackend {
+    file: File,
+    page_size: usize,
+    next_id: AtomicU64,
+    /// Serialises slot allocation; reads go through `pread` without it.
+    append_lock: Mutex<()>,
+}
+
+impl FileBackend {
+    /// Open (or create) the page file at `path`. An existing file must hold
+    /// a whole number of `page_size` slots; its pages become readable again.
+    pub fn open(path: &Path, page_size: usize) -> Result<FileBackend> {
+        assert!(
+            page_size > SLOT_HEADER + 1,
+            "page size {page_size} cannot hold the slot header"
+        );
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_error("open page file", path, &e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_error("stat page file", path, &e))?
+            .len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::new(format!(
+                "page file {} has length {len}, not a multiple of the page size {page_size} \
+                 (wrong page size, or a truncated file)",
+                path.display()
+            )));
+        }
+        Ok(FileBackend {
+            file,
+            page_size,
+            next_id: AtomicU64::new(len / page_size as u64),
+            append_lock: Mutex::new(()),
+        })
+    }
+}
+
+fn io_error(op: &str, path: &Path, e: &io::Error) -> StorageError {
+    StorageError::new(format!("{op} {}: {e}", path.display()))
+}
+
+impl StorageBackend for FileBackend {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn max_payload(&self) -> usize {
+        self.page_size - SLOT_HEADER
+    }
+
+    fn page_count(&self) -> u64 {
+        self.next_id.load(Ordering::SeqCst)
+    }
+
+    fn append_page(&self, data: Vec<u8>) -> Result<PageId> {
+        assert!(
+            data.len() <= self.max_payload(),
+            "payload {} exceeds file-backed page capacity {} ({} bytes are the slot header)",
+            data.len(),
+            self.max_payload(),
+            SLOT_HEADER
+        );
+        let mut slot = Vec::with_capacity(self.page_size);
+        slot.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        slot.extend_from_slice(&crc32(&data).to_le_bytes());
+        slot.extend_from_slice(&data);
+        slot.resize(self.page_size, 0);
+
+        let _guard = self.append_lock.lock();
+        let id = self.next_id.load(Ordering::SeqCst);
+        self.file
+            .write_all_at(&slot, id * self.page_size as u64)
+            .map_err(|e| StorageError::new(format!("write page {id}: {e}")))?;
+        self.next_id.store(id + 1, Ordering::SeqCst);
+        Ok(id)
+    }
+
+    fn read_page(&self, id: PageId) -> Result<Arc<Vec<u8>>> {
+        if id >= self.page_count() {
+            return Err(StorageError::new(format!("unknown page id {id}")));
+        }
+        let mut slot = vec![0u8; self.page_size];
+        self.file
+            .read_exact_at(&mut slot, id * self.page_size as u64)
+            .map_err(|e| StorageError::new(format!("read page {id}: {e}")))?;
+        let len = u32::from_le_bytes(slot[0..4].try_into().unwrap()) as usize;
+        let expected_crc = u32::from_le_bytes(slot[4..8].try_into().unwrap());
+        if len > self.max_payload() {
+            return Err(StorageError::new(format!(
+                "page {id} header claims {len} bytes, beyond the slot capacity — corrupt page"
+            )));
+        }
+        let payload = &slot[SLOT_HEADER..SLOT_HEADER + len];
+        if crc32(payload) != expected_crc {
+            return Err(StorageError::new(format!(
+                "page {id} failed its CRC check — corrupt page"
+            )));
+        }
+        Ok(Arc::new(payload.to_vec()))
+    }
+
+    fn free_pages(&self, ids: &[PageId]) -> Result<()> {
+        // Rewrite the slot header as an empty payload. The space is not
+        // reclaimed (components are immutable and merges free whole runs;
+        // compaction of the page file itself is future work).
+        let mut header = [0u8; SLOT_HEADER];
+        header[4..8].copy_from_slice(&crc32(&[]).to_le_bytes());
+        for &id in ids {
+            if id >= self.page_count() {
+                continue;
+            }
+            self.file
+                .write_all_at(&header, id * self.page_size as u64)
+                .map_err(|e| StorageError::new(format!("free page {id}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::new(format!("sync page file: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "storage-backend-tests-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn memory_backend_roundtrip() {
+        let backend = MemoryBackend::new(256);
+        let a = backend.append_page(vec![1, 2, 3]).unwrap();
+        let b = backend.append_page(Vec::new()).unwrap();
+        assert_eq!(backend.page_count(), 2);
+        assert_eq!(*backend.read_page(a).unwrap(), vec![1, 2, 3]);
+        assert_eq!(*backend.read_page(b).unwrap(), Vec::<u8>::new());
+        backend.free_pages(&[a]).unwrap();
+        assert_eq!(*backend.read_page(a).unwrap(), Vec::<u8>::new());
+        assert!(backend.read_page(99).is_err());
+    }
+
+    #[test]
+    fn file_backend_roundtrip_and_reopen() {
+        let path = temp_path("roundtrip.pages");
+        let _ = std::fs::remove_file(&path);
+        let payloads: Vec<Vec<u8>> = vec![vec![7u8; 100], Vec::new(), vec![42u8; 248]];
+        {
+            let backend = FileBackend::open(&path, 256).unwrap();
+            for p in &payloads {
+                backend.append_page(p.clone()).unwrap();
+            }
+            backend.sync().unwrap();
+        }
+        // A fresh handle (a "restart") sees the same pages.
+        let backend = FileBackend::open(&path, 256).unwrap();
+        assert_eq!(backend.page_count(), 3);
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(&*backend.read_page(i as u64).unwrap(), p, "page {i}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_detects_corruption() {
+        let path = temp_path("corrupt.pages");
+        let _ = std::fs::remove_file(&path);
+        let backend = FileBackend::open(&path, 128).unwrap();
+        let id = backend.append_page(vec![9u8; 64]).unwrap();
+        // Flip one payload byte behind the backend's back.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.write_all_at(&[0xFF], SLOT_HEADER as u64 + 10).unwrap();
+        let err = backend.read_page(id).unwrap_err();
+        assert!(err.message.contains("CRC"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_frees_pages() {
+        let path = temp_path("free.pages");
+        let _ = std::fs::remove_file(&path);
+        let backend = FileBackend::open(&path, 128).unwrap();
+        let id = backend.append_page(vec![1u8; 32]).unwrap();
+        backend.free_pages(&[id]).unwrap();
+        assert_eq!(*backend.read_page(id).unwrap(), Vec::<u8>::new());
+        // Freeing unknown ids is a no-op, not an error.
+        backend.free_pages(&[55]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_rejects_bad_geometry() {
+        let path = temp_path("geometry.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let backend = FileBackend::open(&path, 128).unwrap();
+            backend.append_page(vec![1u8; 16]).unwrap();
+        }
+        assert!(FileBackend::open(&path, 96).is_err(), "mismatched page size");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds file-backed page capacity")]
+    fn file_backend_rejects_oversized_payload() {
+        let path = temp_path("oversize.pages");
+        let _ = std::fs::remove_file(&path);
+        let backend = FileBackend::open(&path, 128).unwrap();
+        let _ = backend.append_page(vec![0u8; 128]);
+    }
+}

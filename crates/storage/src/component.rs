@@ -69,6 +69,27 @@ impl LayoutKind {
     pub fn is_columnar(self) -> bool {
         matches!(self, LayoutKind::Apax | LayoutKind::Amax)
     }
+
+    /// Stable numeric tag used when persisting the layout (manifests).
+    pub fn tag(self) -> u8 {
+        match self {
+            LayoutKind::Open => 0,
+            LayoutKind::Vb => 1,
+            LayoutKind::Apax => 2,
+            LayoutKind::Amax => 3,
+        }
+    }
+
+    /// Inverse of [`LayoutKind::tag`].
+    pub fn from_tag(tag: u8) -> Result<LayoutKind> {
+        Ok(match tag {
+            0 => LayoutKind::Open,
+            1 => LayoutKind::Vb,
+            2 => LayoutKind::Apax,
+            3 => LayoutKind::Amax,
+            other => return Err(DecodeError::new(format!("unknown layout tag {other}"))),
+        })
+    }
 }
 
 /// Configuration shared by component writers.
@@ -124,6 +145,40 @@ pub struct ComponentMeta {
     pub stored_bytes: u64,
     /// Every page belonging to the component (for freeing after a merge).
     pub pages: Vec<PageId>,
+}
+
+/// Description of one leaf, sufficient to reopen it from a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafDescriptor {
+    /// Page id of the leaf page (row or APAX) or of Page 0 (AMAX).
+    pub page: PageId,
+    /// Data pages of an AMAX mega leaf (empty for other layouts).
+    pub data_pages: Vec<PageId>,
+    /// Smallest key in the leaf.
+    pub min_key: Value,
+    /// Largest key in the leaf.
+    pub max_key: Value,
+    /// Number of entries in the leaf.
+    pub record_count: usize,
+}
+
+/// Serializable description of a whole component: everything a manifest must
+/// record so [`Component::open`] can rebuild the in-memory handle after a
+/// restart (the schema is persisted separately, once per manifest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDescriptor {
+    /// Monotonic component identifier.
+    pub id: u64,
+    /// Storage layout of the component.
+    pub layout: LayoutKind,
+    /// Number of entries (records plus anti-matter).
+    pub record_count: usize,
+    /// Bytes stored on disk (after page compression).
+    pub stored_bytes: u64,
+    /// Every page belonging to the component.
+    pub pages: Vec<PageId>,
+    /// The component's leaves, in key order.
+    pub leaves: Vec<LeafDescriptor>,
 }
 
 /// An immutable on-disk component.
@@ -250,6 +305,73 @@ impl Component {
             config: config.clone(),
             cache: cache.clone(),
         })
+    }
+
+    /// Describe the component for persistence in a manifest.
+    pub fn describe(&self) -> ComponentDescriptor {
+        ComponentDescriptor {
+            id: self.meta.id,
+            layout: self.meta.layout,
+            record_count: self.meta.record_count,
+            stored_bytes: self.meta.stored_bytes,
+            pages: self.meta.pages.clone(),
+            leaves: self
+                .leaves
+                .iter()
+                .map(|leaf| LeafDescriptor {
+                    page: leaf.page,
+                    data_pages: leaf.data_pages.clone(),
+                    min_key: leaf.min_key.clone(),
+                    max_key: leaf.max_key.clone(),
+                    record_count: leaf.record_count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reopen a component from its manifest description. The pages referenced
+    /// by the descriptor must exist in `cache`'s store (a file-backed store
+    /// reopened from the same dataset directory).
+    pub fn open(
+        cache: &BufferCache,
+        config: &ComponentConfig,
+        schema: Schema,
+        desc: ComponentDescriptor,
+    ) -> Component {
+        let specs: HashMap<ColumnId, ColumnSpec> =
+            columns_of(&schema).into_iter().map(|s| (s.id, s)).collect();
+        let key_spec = specs.values().find(|s| s.is_key).cloned();
+        let leaves: Vec<LeafRef> = desc
+            .leaves
+            .into_iter()
+            .map(|leaf| LeafRef {
+                page: leaf.page,
+                data_pages: leaf.data_pages,
+                min_key: leaf.min_key,
+                max_key: leaf.max_key,
+                record_count: leaf.record_count,
+            })
+            .collect();
+        let meta = ComponentMeta {
+            id: desc.id,
+            layout: desc.layout,
+            record_count: desc.record_count,
+            min_key: leaves.first().map(|l| l.min_key.clone()),
+            max_key: leaves.last().map(|l| l.max_key.clone()),
+            stored_bytes: desc.stored_bytes,
+            pages: desc.pages,
+        };
+        let mut config = config.clone();
+        config.layout = meta.layout;
+        Component {
+            meta,
+            schema,
+            specs,
+            key_spec,
+            leaves,
+            config,
+            cache: cache.clone(),
+        }
     }
 
     /// Number of leaves (pages for row/APAX, mega leaf nodes for AMAX).
@@ -470,7 +592,7 @@ pub fn write_page(cache: &BufferCache, payload: &[u8], compress_pages: bool) -> 
 
 /// Read a page payload written by [`write_page`].
 pub fn read_page_payload(cache: &BufferCache, id: PageId) -> Result<Arc<Vec<u8>>> {
-    let raw = cache.read_page(id);
+    let raw = cache.try_read_page(id)?;
     let Some((&flag, rest)) = raw.split_first() else {
         return Err(DecodeError::new("empty page"));
     };
@@ -782,6 +904,41 @@ mod tests {
         assert!(sizes[&LayoutKind::Amax] < sizes[&LayoutKind::Vb]);
         assert!(sizes[&LayoutKind::Apax] < sizes[&LayoutKind::Open]);
         assert!(sizes[&LayoutKind::Vb] <= sizes[&LayoutKind::Open]);
+    }
+
+    #[test]
+    fn describe_open_roundtrip_preserves_reads() {
+        let mut entries = records(200);
+        entries[13].1 = None; // include anti-matter
+        let schema = schema_for(&entries);
+        for layout in LayoutKind::ALL {
+            let cache = small_cache();
+            let config = ComponentConfig::new(layout);
+            let comp = Component::write(&cache, &config, schema.clone(), &entries, 3).unwrap();
+            let desc = comp.describe();
+            assert_eq!(desc.layout, layout);
+            assert_eq!(desc.record_count, 200);
+            drop(comp);
+
+            // Reopen from the descriptor (as recovery does from a manifest).
+            let reopened = Component::open(&cache, &config, schema.clone(), desc.clone());
+            assert_eq!(reopened.describe(), desc, "{layout:?}");
+            assert_eq!(reopened.meta().min_key, Some(Value::Int(0)));
+            assert_eq!(reopened.meta().max_key, Some(Value::Int(199)));
+            let scanned: Vec<Entry> =
+                reopened.scan(None).unwrap().map(|e| e.unwrap()).collect();
+            assert_eq!(scanned.len(), 200, "{layout:?}");
+            assert_eq!(scanned, entries, "{layout:?}");
+            assert_eq!(reopened.lookup(&Value::Int(13), None).unwrap(), Some(None));
+        }
+    }
+
+    #[test]
+    fn layout_tags_roundtrip() {
+        for layout in LayoutKind::ALL {
+            assert_eq!(LayoutKind::from_tag(layout.tag()).unwrap(), layout);
+        }
+        assert!(LayoutKind::from_tag(9).is_err());
     }
 
     #[test]

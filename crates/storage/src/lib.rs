@@ -2,11 +2,14 @@
 //!
 //! This crate is the on-disk half of the document store substrate:
 //!
-//! * [`pagestore`] — a simulated disk of fixed-size pages with read/write
-//!   accounting (the experiments report page I/O alongside wall time, since
-//!   the paper's I/O savings are the mechanism behind its speedups) and a
+//! * [`pagestore`] — fixed-size pages with read/write accounting (the
+//!   experiments report page I/O alongside wall time, since the paper's I/O
+//!   savings are the mechanism behind its speedups) and a
 //!   [`pagestore::BufferCache`] with the page-confiscation behaviour the
 //!   AMAX writer relies on (§4.5.2);
+//! * [`backend`] — the byte storage behind the page store: the in-memory
+//!   simulated disk, and the file-backed backend (one page file per
+//!   dataset, CRC-guarded page slots) the `persist` subsystem builds on;
 //! * [`rowformat`] — the two row-major baselines: AsterixDB's schemaless
 //!   recursive **Open** format (field names embedded in every record, nested
 //!   values behind per-level offsets) and the **Vector-Based (VB)** format of
@@ -26,12 +29,14 @@
 
 pub mod amax;
 pub mod apax;
+pub mod backend;
 pub mod component;
 pub mod pagestore;
 pub mod rowformat;
 pub mod rowpage;
 
-pub use component::{ComponentReader, LayoutKind};
+pub use backend::{FileBackend, MemoryBackend, StorageBackend};
+pub use component::{ComponentDescriptor, ComponentReader, LayoutKind, LeafDescriptor};
 pub use pagestore::{BufferCache, IoStats, PageId, PageStore, PAGE_SIZE_DEFAULT};
 pub use rowformat::RowFormat;
 

@@ -1,11 +1,18 @@
-//! Simulated disk and buffer cache.
+//! Pages, I/O accounting and the buffer cache.
 //!
-//! The reproduction runs on a laptop-scale, in-process "disk": a vector of
-//! fixed-size pages guarded by a lock, with atomic counters for pages read,
-//! pages written and bytes moved. All experiments report these counters next
-//! to wall-clock time because the paper's query speedups are, at heart, I/O
+//! [`PageStore`] is the disk every component writer and reader talks to: a
+//! store of fixed-size pages with atomic counters for pages read, pages
+//! written and bytes moved. All experiments report these counters next to
+//! wall-clock time because the paper's query speedups are, at heart, I/O
 //! reductions (read fewer columns, read fewer bytes per column) while its
 //! ingestion slowdowns are CPU effects (encode/decode, page construction).
+//!
+//! The bytes themselves live behind a [`crate::backend::StorageBackend`]:
+//! the default [`crate::backend::MemoryBackend`] keeps the original
+//! simulated in-process disk, while [`PageStore::file_backed`] opens the
+//! [`crate::backend::FileBackend`] the durability subsystem (`persist`)
+//! builds on. The accounting layer is identical for both, so durable and
+//! in-memory runs report comparable I/O counters.
 //!
 //! The [`BufferCache`] models the part of AsterixDB's buffer cache that the
 //! AMAX writer interacts with: writers *confiscate* pages from the cache to
@@ -14,10 +21,14 @@
 //! with an LRU policy sized by the configured memory budget.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::backend::{FileBackend, MemoryBackend, StorageBackend};
+use crate::Result;
 
 /// Default on-disk page size: 128 KiB, the value used in the paper's
 /// experiment setup (§6).
@@ -41,16 +52,16 @@ pub struct IoStats {
     pub cache_hits: u64,
 }
 
-/// A simulated disk: fixed-size pages, explicit read/write calls, atomic
-/// accounting. Cloning shares the underlying storage.
+/// A store of fixed-size pages: explicit read/write calls, atomic
+/// accounting, bytes held by a [`StorageBackend`]. Cloning shares the
+/// underlying storage.
 #[derive(Clone)]
 pub struct PageStore {
     inner: Arc<PageStoreInner>,
 }
 
 struct PageStoreInner {
-    page_size: usize,
-    pages: Mutex<Vec<Arc<Vec<u8>>>>,
+    backend: Box<dyn StorageBackend>,
     pages_read: AtomicU64,
     pages_written: AtomicU64,
     bytes_read: AtomicU64,
@@ -59,18 +70,22 @@ struct PageStoreInner {
 }
 
 impl PageStore {
-    /// Create a store with the default page size.
+    /// Create an in-memory store with the default page size.
     pub fn new() -> PageStore {
         PageStore::with_page_size(PAGE_SIZE_DEFAULT)
     }
 
-    /// Create a store with a custom page size (tests use small pages so that
-    /// multi-page behaviour shows up with little data).
+    /// Create an in-memory store with a custom page size (tests use small
+    /// pages so that multi-page behaviour shows up with little data).
     pub fn with_page_size(page_size: usize) -> PageStore {
+        PageStore::with_backend(Box::new(MemoryBackend::new(page_size)))
+    }
+
+    /// Create a store over an explicit backend.
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> PageStore {
         PageStore {
             inner: Arc::new(PageStoreInner {
-                page_size,
-                pages: Mutex::new(Vec::new()),
+                backend,
                 pages_read: AtomicU64::new(0),
                 pages_written: AtomicU64::new(0),
                 bytes_read: AtomicU64::new(0),
@@ -80,62 +95,89 @@ impl PageStore {
         }
     }
 
+    /// Open (or create) a file-backed store: pages live in page-aligned
+    /// slots of the file at `path` and survive restarts.
+    pub fn file_backed(path: &Path, page_size: usize) -> Result<PageStore> {
+        Ok(PageStore::with_backend(Box::new(FileBackend::open(
+            path, page_size,
+        )?)))
+    }
+
     /// The configured page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.inner.page_size
+        self.inner.backend.page_size()
+    }
+
+    /// Largest payload [`PageStore::append_page`] accepts (the file backend
+    /// reserves a few bytes per page for its slot header).
+    pub fn max_payload(&self) -> usize {
+        self.inner.backend.max_payload()
     }
 
     /// Number of pages allocated so far.
     pub fn page_count(&self) -> u64 {
-        self.inner.pages.lock().len() as u64
+        self.inner.backend.page_count()
     }
 
     /// Total allocated bytes (pages × page size).
     pub fn allocated_bytes(&self) -> u64 {
-        self.page_count() * self.inner.page_size as u64
+        self.page_count() * self.page_size() as u64
     }
 
     /// Append a new page with the given contents, returning its id. Contents
-    /// longer than the page size are a programming error.
+    /// longer than the page size are a programming error; backend I/O errors
+    /// surface as [`StorageError`](crate::StorageError) from
+    /// [`PageStore::try_append_page`].
     pub fn append_page(&self, data: Vec<u8>) -> PageId {
+        self.try_append_page(data).expect("page append failed")
+    }
+
+    /// Append a new page, surfacing backend I/O errors.
+    pub fn try_append_page(&self, data: Vec<u8>) -> Result<PageId> {
         assert!(
-            data.len() <= self.inner.page_size,
+            data.len() <= self.inner.backend.max_payload(),
             "page payload {} exceeds page size {}",
             data.len(),
-            self.inner.page_size
+            self.inner.backend.max_payload()
         );
+        let len = data.len() as u64;
+        let id = self.inner.backend.append_page(data)?;
         self.inner.pages_written.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        let mut pages = self.inner.pages.lock();
-        pages.push(Arc::new(data));
-        (pages.len() - 1) as PageId
+        self.inner.bytes_written.fetch_add(len, Ordering::Relaxed);
+        Ok(id)
     }
 
     /// Read a page (counted as disk I/O). Panics on an unknown id — page ids
     /// are only ever produced by `append_page`, so an unknown id is a bug,
-    /// not a data error.
+    /// not a data error. I/O and corruption errors surface through
+    /// [`PageStore::try_read_page`].
     pub fn read_page(&self, id: PageId) -> Arc<Vec<u8>> {
-        let pages = self.inner.pages.lock();
-        let page = pages[id as usize].clone();
-        drop(pages);
+        self.try_read_page(id).expect("page read failed")
+    }
+
+    /// Read a page, surfacing backend I/O and corruption errors.
+    pub fn try_read_page(&self, id: PageId) -> Result<Arc<Vec<u8>>> {
+        let page = self.inner.backend.read_page(id)?;
         self.inner.pages_read.fetch_add(1, Ordering::Relaxed);
         self.inner
             .bytes_read
             .fetch_add(page.len() as u64, Ordering::Relaxed);
-        page
+        Ok(page)
     }
 
     /// Drop the contents of the given pages (used when an LSM merge deletes
-    /// its input components). Freed pages keep their ids but release memory.
+    /// its input components). Freed pages keep their ids but release their
+    /// bytes.
     pub fn free_pages(&self, ids: &[PageId]) {
-        let mut pages = self.inner.pages.lock();
-        for &id in ids {
-            if let Some(slot) = pages.get_mut(id as usize) {
-                *slot = Arc::new(Vec::new());
-            }
-        }
+        self.inner
+            .backend
+            .free_pages(ids)
+            .expect("freeing pages failed");
+    }
+
+    /// Flush written pages to durable storage (no-op for memory backends).
+    pub fn sync(&self) -> Result<()> {
+        self.inner.backend.sync()
     }
 
     fn note_cache_hit(&self) {
@@ -210,8 +252,14 @@ impl BufferCache {
         &self.store
     }
 
-    /// Read a page through the cache.
+    /// Read a page through the cache. Panics on I/O errors; see
+    /// [`BufferCache::try_read_page`].
     pub fn read_page(&self, id: PageId) -> Arc<Vec<u8>> {
+        self.try_read_page(id).expect("page read failed")
+    }
+
+    /// Read a page through the cache, surfacing I/O and corruption errors.
+    pub fn try_read_page(&self, id: PageId) -> crate::Result<Arc<Vec<u8>>> {
         {
             let mut inner = self.inner.lock();
             inner.tick += 1;
@@ -221,16 +269,16 @@ impl BufferCache {
                 let data = data.clone();
                 drop(inner);
                 self.store.note_cache_hit();
-                return data;
+                return Ok(data);
             }
         }
-        let data = self.store.read_page(id);
+        let data = self.store.try_read_page(id)?;
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         inner.entries.insert(id, (data.clone(), tick));
         Self::evict_if_needed(&mut inner);
-        data
+        Ok(data)
     }
 
     /// Write a fresh page through the cache (it is immediately cached, as

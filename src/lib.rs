@@ -14,6 +14,7 @@ pub use docmodel;
 pub use docstore;
 pub use encoding;
 pub use lsm;
+pub use persist;
 pub use query;
 pub use schema;
 pub use storage;

@@ -1,0 +1,126 @@
+//! `any::<T>()` — strategies for primitive types, with a bias toward the
+//! edge values that most often expose bugs.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Full-domain strategy for a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // 1-in-8 cases draw from the edge set; otherwise random bits.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 5] = [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX - 1];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        if rng.below(8) == 0 {
+            const EDGES: [f64; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MAX,
+                f64::MIN_POSITIVE,
+            ];
+            let pick = rng.below(EDGES.len() as u64 + 1) as usize;
+            if pick == EDGES.len() {
+                f64::NAN
+            } else {
+                EDGES[pick]
+            }
+        } else {
+            // Arbitrary bit patterns cover subnormals, NaN payloads, etc.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> f32 {
+        f64::arbitrary_value(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_cover_edges_and_bulk() {
+        let mut rng = TestRng::from_seed(8);
+        let s = any::<u64>();
+        let values: Vec<u64> = (0..400).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.contains(&0));
+        assert!(values.contains(&u64::MAX));
+        assert!(values.iter().any(|v| !matches!(*v, 0 | 1 | u64::MAX)));
+    }
+
+    #[test]
+    fn floats_include_specials() {
+        let mut rng = TestRng::from_seed(9);
+        let s = any::<f64>();
+        let values: Vec<f64> = (0..600).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_nan()));
+        assert!(values.iter().any(|v| v.is_infinite()));
+        assert!(values.iter().any(|v| v.is_finite()));
+    }
+}

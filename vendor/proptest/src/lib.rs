@@ -1,0 +1,171 @@
+//! Minimal vendored stand-in for the subset of `proptest` this workspace
+//! uses. The build environment has no registry access, so the real crate
+//! cannot be fetched.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `pattern in strategy` parameters;
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive` and `boxed`;
+//! * [`prop_oneof!`], [`strategy::Just`], [`arbitrary::any`], ranges and
+//!   string-literal (regex-lite) strategies, tuple strategies, and
+//!   [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! The one deliberate simplification: failing cases are *not shrunk*. The
+//! runner reports the failing case's seed so a failure is reproducible (set
+//! `PROPTEST_SEED` to replay), which preserves the tests' bug-finding role
+//! without reimplementing proptest's shrinking machinery.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced re-exports, so `prop::collection::vec(..)` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Declare property tests. Accepts an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// `#[test] fn name(pattern in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( #[test] fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base_seed = $crate::test_runner::seed_for(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(
+                        base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let case_seed = rng.seed();
+                    let run = || {
+                        $( let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case} of {} failed (replay with PROPTEST_SEED={case_seed})",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Assert within a property (maps to `assert!`; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, String)> {
+        (0i64..100, "[a-c]{1,4}")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_strings(v in 0usize..10, s in "[a-z]{2,5}", (n, t) in arb_pair()) {
+            prop_assert!(v < 10);
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((0..100).contains(&n));
+            prop_assert!(!t.is_empty() && t.len() <= 4);
+        }
+
+        #[test]
+        fn oneof_maps_and_vectors(values in prop::collection::vec(prop_oneof![
+            Just(-1i64),
+            (0i64..10).prop_map(|v| v * 2),
+        ], 0..8)) {
+            prop_assert!(values.len() < 8);
+            for v in values {
+                prop_assert!(v == -1 || (v % 2 == 0 && (0..20).contains(&v)));
+            }
+        }
+
+        #[test]
+        fn recursive_strategies_bottom_out(v in (0i64..5).prop_map(Count::Leaf).boxed()
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Count::Node)
+            }))
+        {
+            prop_assert!(v.depth() <= 4);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Count {
+        Leaf(#[allow(dead_code)] i64),
+        Node(Vec<Count>),
+    }
+
+    impl Count {
+        fn depth(&self) -> usize {
+            match self {
+                Count::Leaf(_) => 1,
+                Count::Node(children) => {
+                    1 + children.iter().map(Count::depth).max().unwrap_or(0)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Regex-lite string generation for string-literal strategies.
+//!
+//! Supports the fragment of regex syntax the workspace's tests use: a
+//! sequence of atoms, where an atom is a character class (`[a-z0-9 _\-é]`),
+//! the "printable" category escape `\PC` (anything outside Unicode category
+//! C, i.e. non-control), an escaped literal (`\#`), or a literal character —
+//! each optionally followed by a `{n}` or `{m,n}` repetition.
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+use crate::test_runner::TestRng;
+
+/// Inclusive codepoint ranges a character is drawn from.
+type CharSet = Vec<(u32, u32)>;
+
+/// Generate one string matching `pattern`.
+pub fn from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let set: CharSet = match c {
+            '[' => parse_class(pattern, &mut chars),
+            '\\' => parse_escape(pattern, &mut chars),
+            literal => vec![(literal as u32, literal as u32)],
+        };
+        let (lo, hi) = parse_quantifier(pattern, &mut chars);
+        let len = rng.usize_inclusive(lo, hi);
+        for _ in 0..len {
+            out.push(sample_char(&set, rng));
+        }
+    }
+    out
+}
+
+fn parse_escape(pattern: &str, chars: &mut Peekable<Chars>) -> CharSet {
+    match chars.next() {
+        Some('P') | Some('p') => {
+            // Only the category used by the tests is supported: `\PC`
+            // ("not a control character" — printable text).
+            let category = chars.next();
+            assert_eq!(
+                category,
+                Some('C'),
+                "unsupported regex category in pattern {pattern:?}"
+            );
+            printable_ranges()
+        }
+        Some(escaped) => vec![(escaped as u32, escaped as u32)],
+        None => panic!("dangling backslash in pattern {pattern:?}"),
+    }
+}
+
+/// `\PC`: printable characters. ASCII is repeated to weight the set toward
+/// the common case while still exercising multi-byte UTF-8.
+fn printable_ranges() -> CharSet {
+    vec![
+        (0x20, 0x7E),
+        (0x20, 0x7E),
+        (0x20, 0x7E),
+        (0xA1, 0x24F),   // Latin-1 supplement and extensions
+        (0x391, 0x3C9),  // Greek
+        (0x4E00, 0x4EFF) // CJK
+    ]
+}
+
+fn parse_class(pattern: &str, chars: &mut Peekable<Chars>) -> CharSet {
+    let mut out: CharSet = Vec::new();
+    let mut pending: Option<char> = None;
+    let flush = |pending: &mut Option<char>, out: &mut CharSet| {
+        if let Some(p) = pending.take() {
+            out.push((p as u32, p as u32));
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                flush(&mut pending, &mut out);
+                assert!(!out.is_empty(), "empty character class in {pattern:?}");
+                return out;
+            }
+            '\\' => {
+                flush(&mut pending, &mut out);
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling backslash in {pattern:?}"));
+                pending = Some(escaped);
+            }
+            '-' => match pending.take() {
+                // `a-z` range — unless `-` is last, then it is a literal.
+                Some(lo) => match chars.peek() {
+                    Some(']') | None => {
+                        out.push((lo as u32, lo as u32));
+                        pending = Some('-');
+                    }
+                    Some(_) => {
+                        let mut hi = chars.next().unwrap();
+                        if hi == '\\' {
+                            hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling backslash in {pattern:?}"));
+                        }
+                        assert!(
+                            lo as u32 <= hi as u32,
+                            "inverted range {lo}-{hi} in {pattern:?}"
+                        );
+                        out.push((lo as u32, hi as u32));
+                    }
+                },
+                None => pending = Some('-'),
+            },
+            literal => {
+                flush(&mut pending, &mut out);
+                pending = Some(literal);
+            }
+        }
+    }
+    panic!("unterminated character class in pattern {pattern:?}");
+}
+
+fn parse_quantifier(pattern: &str, chars: &mut Peekable<Chars>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo_text, hi_text) = match body.split_once(',') {
+                Some((lo, hi)) => (lo.to_string(), hi.to_string()),
+                None => (body.clone(), body.clone()),
+            };
+            let lo: usize = lo_text
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}"));
+            let hi: usize = hi_text
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}"));
+            assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+            return (lo, hi);
+        }
+        body.push(c);
+    }
+    panic!("unterminated repetition in pattern {pattern:?}");
+}
+
+fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+    let (lo, hi) = set[rng.below(set.len() as u64) as usize];
+    let code = lo + rng.below((hi - lo + 1) as u64) as u32;
+    char::from_u32(code).expect("character sets contain only valid codepoints")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(77)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut rng = rng();
+        for _ in 0..300 {
+            let s = from_pattern("[a-zA-Z0-9 _\\-é世]{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric()
+                        || c == ' '
+                        || c == '_'
+                        || c == '-'
+                        || c == 'é'
+                        || c == '世',
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simple_classes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = from_pattern("[a-e]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+
+            let t = from_pattern("[a-z#@ ]{0,32}", &mut rng);
+            assert!(t.chars().all(|c| c.is_ascii_lowercase() || "#@ ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_category() {
+        let mut rng = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = from_pattern("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            for c in s.chars() {
+                assert!(!c.is_control(), "control char generated: {c:?}");
+                saw_non_ascii |= !c.is_ascii();
+            }
+        }
+        assert!(saw_non_ascii, "\\PC should exercise multi-byte UTF-8");
+    }
+
+    #[test]
+    fn literals_and_exact_repetition() {
+        let mut rng = rng();
+        assert_eq!(from_pattern("abc", &mut rng), "abc");
+        assert_eq!(from_pattern("x{3}", &mut rng), "xxx");
+        assert_eq!(from_pattern("\\[x\\]", &mut rng), "[x]");
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal vendored stand-in for the subset of `rand` 0.8 this workspace
+//! uses: `StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! integer and float ranges, and `Rng::gen_bool`. The build environment has
+//! no registry access, so the real crate cannot be fetched.
+//!
+//! The generator is a xoshiro256** seeded through splitmix64 — not
+//! cryptographic, but statistically solid for synthetic data generation, and
+//! deterministic given a seed (which is all `datagen` requires).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// The standard generator: xoshiro256**.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Expand the seed with splitmix64, as rand does.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u: usize = rng.gen_range(0..3usize);
+            assert!(u < 3);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let w: u32 = rng.gen_range(1u32..=64);
+            assert!((1..=64).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let _: i64 = rng.gen_range(i64::MIN..i64::MAX);
+            let _: u64 = rng.gen_range(0u64..u64::MAX);
+        }
+    }
+}
