@@ -34,7 +34,7 @@ fn bench_ingestion(c: &mut Criterion) {
     for layout in LayoutKind::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(layout.name()), &layout, |b, &layout| {
             b.iter(|| {
-                let mut dataset = LsmDataset::new(
+                let dataset = LsmDataset::new(
                     DatasetConfig::new("bench", layout)
                         .with_memtable_budget(256 * 1024)
                         .with_page_size(32 * 1024),
@@ -174,7 +174,7 @@ fn bench_flush_write(c: &mut Criterion) {
     for layout in LayoutKind::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(layout.name()), &layout, |b, &layout| {
             b.iter(|| {
-                let mut dataset = LsmDataset::new(
+                let dataset = LsmDataset::new(
                     DatasetConfig::new("bench", layout)
                         .with_memtable_budget(usize::MAX)
                         .with_page_size(32 * 1024),
@@ -213,7 +213,7 @@ fn bench_durability(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("in_memory", layout.name()), |b| {
             b.iter_batched(
                 || LsmDataset::new(config()),
-                |mut dataset| {
+                |dataset| {
                     for doc in docs.clone() {
                         dataset.insert(doc).unwrap();
                     }
@@ -230,7 +230,7 @@ fn bench_durability(c: &mut Criterion) {
                     let _ = std::fs::remove_dir_all(&subdir);
                     LsmDataset::open(&subdir, config()).unwrap()
                 },
-                |mut dataset| {
+                |dataset| {
                     for doc in docs.clone() {
                         dataset.insert(doc).unwrap();
                     }

@@ -84,6 +84,16 @@ fn main() {
             &fig16_column_count(scale),
         );
     }
+    if wanted("concurrency") {
+        let records = (8_000_f64 * scale).max(500.0) as usize;
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get().clamp(2, 8))
+            .unwrap_or(4);
+        print_matrix(
+            "Concurrency: blocking vs background flush/merge vs sharded parallel ingest (cell)",
+            &run_concurrency_comparison(DatasetKind::Cell, records, shards),
+        );
+    }
     if wanted("durability") {
         let records = (3_000_f64 * scale).max(200.0) as usize;
         print_matrix(

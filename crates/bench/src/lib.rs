@@ -52,7 +52,7 @@ pub fn build_dataset(
     if secondary_index {
         config = config.with_secondary_index(Path::parse("timestamp"));
     }
-    let mut dataset = LsmDataset::new(config);
+    let dataset = LsmDataset::new(config);
     let started = Instant::now();
     for doc in docs {
         dataset.insert(doc).expect("ingest");
@@ -79,7 +79,7 @@ pub fn build_durable_dataset(
         .with_page_size(32 * 1024);
     let subdir = dir.join(format!("{}-{}", kind.name(), layout.name()));
     let _ = std::fs::remove_dir_all(&subdir);
-    let mut dataset = LsmDataset::open(&subdir, config).expect("open durable dataset");
+    let dataset = LsmDataset::open(&subdir, config).expect("open durable dataset");
     let started = Instant::now();
     for doc in docs {
         dataset.insert(doc).expect("ingest");
@@ -110,6 +110,147 @@ pub fn run_durability_comparison(kind: DatasetKind, records: usize) -> Vec<Measu
             value: durable.as_secs_f64() * 1e3,
             unit: "ms",
         });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Acknowledged-ingest group-commit cadence of the concurrency experiment:
+/// the WAL is fsynced every this many records, as a durable service
+/// acknowledging client batches would.
+const CONCURRENCY_GROUP_COMMIT: usize = 64;
+
+/// Concurrency experiment: the same durable, group-committed, insert-only
+/// workload (WAL fsync every [`CONCURRENCY_GROUP_COMMIT`] records) ingested
+/// three ways on identical LSM settings —
+///
+/// * **blocking**: the seed behaviour, flushes and merges (including their
+///   page-file and manifest fsyncs) run inside `insert()` on the writer
+///   thread, serialising with the group-commit fsyncs;
+/// * **background**: one writer thread, flushes/merges on the dataset's
+///   background worker (the paper's background-job LSM lifecycle) — the
+///   worker's encode/compress/fsync work overlaps with ingestion and with
+///   the writer's group-commit waits;
+/// * **sharded xN**: N hash partitions, one writer thread and one
+///   background worker per shard, partitioned with
+///   `ShardedDataset::shard_index_for` — N independent WAL/flush streams
+///   whose I/O waits overlap each other even on a single core.
+///
+/// Reported as wall time and throughput. The background gain is bounded by
+/// the overlap between the writer's fsync waits and the worker's flush work
+/// on one core, and grows with core count; sharding adds scaling on top.
+pub fn run_concurrency_comparison(
+    kind: DatasetKind,
+    records: usize,
+    shards: usize,
+) -> Vec<Measurement> {
+    use docstore::{DatasetOptions, Datastore};
+
+    let dir = std::env::temp_dir().join(format!(
+        "bench-concurrency-{}-{}",
+        std::process::id(),
+        kind.name()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let layout = LayoutKind::Amax;
+    let budget = 64 * 1024;
+    let mut out = Vec::new();
+    let mut report = |row: &str, elapsed: Duration| {
+        out.push(Measurement {
+            row: row.to_string(),
+            column: "wall".to_string(),
+            value: elapsed.as_secs_f64() * 1e3,
+            unit: "ms",
+        });
+        out.push(Measurement {
+            row: row.to_string(),
+            column: "krec/s".to_string(),
+            value: records as f64 / elapsed.as_secs_f64() / 1e3,
+            unit: "krec/s",
+        });
+    };
+    fn ingest_group_committed(dataset: &LsmDataset, batch: Vec<docmodel::Value>) {
+        for (i, doc) in batch.into_iter().enumerate() {
+            dataset.insert(doc).expect("ingest");
+            if (i + 1) % CONCURRENCY_GROUP_COMMIT == 0 {
+                dataset.sync().expect("group commit");
+            }
+        }
+    }
+
+    // Blocking baseline: flush/merge latency is ingest latency.
+    {
+        let dataset = LsmDataset::open(
+            dir.join("blocking"),
+            DatasetConfig::new("blocking", layout)
+                .with_key_field(kind.key_field())
+                .with_memtable_budget(budget)
+                .with_page_size(32 * 1024),
+        )
+        .expect("open blocking dataset");
+        let started = Instant::now();
+        ingest_group_committed(&dataset, docs.clone());
+        dataset.flush().expect("flush");
+        report("blocking", started.elapsed());
+    }
+
+    // Background worker: the writer keeps inserting while flushes run.
+    {
+        let dataset = LsmDataset::open(
+            dir.join("background"),
+            DatasetConfig::new("background", layout)
+                .with_key_field(kind.key_field())
+                .with_memtable_budget(budget)
+                .with_page_size(32 * 1024)
+                .with_background(true)
+                .with_max_sealed(8),
+        )
+        .expect("open background dataset");
+        let started = Instant::now();
+        ingest_group_committed(&dataset, docs.clone());
+        dataset.flush().expect("flush");
+        report("background", started.elapsed());
+    }
+
+    // Sharded parallel ingest: N writers + N workers.
+    {
+        let mut store = Datastore::new();
+        store
+            .open_dataset(
+                "sharded",
+                dir.join("sharded"),
+                DatasetOptions::new(layout)
+                    .key(kind.key_field())
+                    .memtable_budget(budget)
+                    .page_size(32 * 1024)
+                    .shards(shards)
+                    .background(true),
+            )
+            .expect("open sharded dataset");
+        let sharded = store.dataset("sharded").expect("dataset");
+        let mut partitions: Vec<Vec<docmodel::Value>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for doc in docs.clone() {
+            let key = doc
+                .get_field(kind.key_field())
+                .expect("record has its key field")
+                .clone();
+            partitions[sharded.shard_index_for(&key)].push(doc);
+        }
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for (batch, shard) in partitions.into_iter().zip(sharded.shards()) {
+                scope.spawn(move || ingest_group_committed(shard, batch));
+            }
+        });
+        sharded.flush().expect("flush");
+        report(&format!("sharded x{shards}"), started.elapsed());
+
+        let count = store
+            .query("sharded", &Query::count_star(), query::ExecMode::Compiled)
+            .expect("fan-out count");
+        assert_eq!(count[0].agg, docmodel::Value::Int(records as i64));
     }
     let _ = std::fs::remove_dir_all(&dir);
     out
@@ -273,7 +414,7 @@ pub fn fig13_ingestion(scale: f64) -> Vec<Measurement> {
     let records = ((default_records(DatasetKind::Tweet2) as f64) * scale).max(100.0) as usize;
     let spec = DatasetSpec::new(DatasetKind::Tweet2, records);
     for layout in LayoutKind::ALL {
-        let (mut dataset, base) = build_dataset(DatasetKind::Tweet2, layout, records, true);
+        let (dataset, base) = build_dataset(DatasetKind::Tweet2, layout, records, true);
         let updates = generate_updates(&spec, 0.5);
         let started = Instant::now();
         for doc in updates {
@@ -560,7 +701,7 @@ pub fn ablation_empty_page_tolerance(scale: f64) -> Vec<Measurement> {
             .with_memtable_budget(256 * 1024)
             .with_page_size(32 * 1024);
         config.amax.empty_page_tolerance = tolerance;
-        let mut dataset = LsmDataset::new(config);
+        let dataset = LsmDataset::new(config);
         for doc in docs.clone() {
             dataset.insert(doc).unwrap();
         }
@@ -587,7 +728,7 @@ pub fn ablation_compression(scale: f64) -> Vec<Measurement> {
                 .with_memtable_budget(256 * 1024)
                 .with_page_size(32 * 1024);
             config.compress_pages = compress;
-            let mut dataset = LsmDataset::new(config);
+            let dataset = LsmDataset::new(config);
             for doc in docs.clone() {
                 dataset.insert(doc).unwrap();
             }
@@ -619,6 +760,20 @@ mod tests {
         assert_eq!(cell.len(), 3 * LayoutKind::ALL.len());
         assert!(!fig15_secondary(0.05).is_empty());
         assert!(!ablation_compression(0.05).is_empty());
+    }
+
+    #[test]
+    fn concurrency_comparison_runs_and_reports_all_modes() {
+        let rows = run_concurrency_comparison(DatasetKind::Cell, 600, 4);
+        // Three ingest modes x (wall, throughput).
+        assert_eq!(rows.len(), 6);
+        for mode in ["blocking", "background", "sharded x4"] {
+            let wall = rows
+                .iter()
+                .find(|m| m.row == mode && m.column == "wall")
+                .unwrap_or_else(|| panic!("missing wall measurement for {mode}"));
+            assert!(wall.value > 0.0);
+        }
     }
 
     #[test]

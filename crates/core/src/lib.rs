@@ -6,6 +6,15 @@
 //! downstream user of the reproduction would program against; the examples
 //! in the repository root use nothing else.
 //!
+//! Every dataset is a [`ShardedDataset`]: one or more [`LsmDataset`]
+//! partitions, hash-partitioned by primary key. With `shards(1)` (the
+//! default) it behaves exactly like a single LSM dataset; with more shards,
+//! ingestion can run in parallel across partitions
+//! ([`Datastore::ingest_parallel`]) and queries fan out over per-shard
+//! snapshots and merge partial aggregates ([`query::run_sharded`]).
+//! Combined with [`DatasetOptions::background`] (background flush/merge
+//! workers per shard), this is the facade's path to multi-core ingest.
+//!
 //! ```
 //! use docstore::{Datastore, DatasetOptions, Layout};
 //! use query::{ExecMode, Query};
@@ -27,7 +36,7 @@
 use std::collections::HashMap;
 
 use docmodel::parse_json;
-use lsm::{DatasetConfig, IngestStats, LsmDataset};
+use lsm::{DatasetConfig, IngestStats, LsmDataset, Snapshot};
 use query::{ExecMode, Query, QueryRow};
 use storage::pagestore::IoStats;
 
@@ -47,7 +56,7 @@ pub struct DatasetOptions {
     pub layout: Layout,
     /// Primary-key field name (default `"id"`).
     pub key_field: String,
-    /// Memtable budget in bytes before a flush is triggered.
+    /// Memtable budget in bytes before a flush is triggered (per shard).
     pub memtable_budget: usize,
     /// Simulated disk page size.
     pub page_size: usize,
@@ -55,6 +64,10 @@ pub struct DatasetOptions {
     pub secondary_index: Option<Path>,
     /// Page-level compression.
     pub compress_pages: bool,
+    /// Number of hash partitions (default 1).
+    pub shards: usize,
+    /// Run flushes/merges on a background worker per shard.
+    pub background: bool,
 }
 
 impl DatasetOptions {
@@ -67,6 +80,8 @@ impl DatasetOptions {
             page_size: 128 * 1024,
             secondary_index: None,
             compress_pages: true,
+            shards: 1,
+            background: false,
         }
     }
 
@@ -94,11 +109,24 @@ impl DatasetOptions {
         self
     }
 
+    /// Hash-partition the dataset by primary key across `n` shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Run flushes and merges on background workers (one per shard).
+    pub fn background(mut self, on: bool) -> Self {
+        self.background = on;
+        self
+    }
+
     fn to_config(&self, name: &str) -> DatasetConfig {
         let mut config = DatasetConfig::new(name, self.layout)
             .with_key_field(self.key_field.clone())
             .with_memtable_budget(self.memtable_budget)
-            .with_page_size(self.page_size);
+            .with_page_size(self.page_size)
+            .with_background(self.background);
         config.compress_pages = self.compress_pages;
         if let Some(p) = &self.secondary_index {
             config = config.with_secondary_index(p.clone());
@@ -107,10 +135,214 @@ impl DatasetOptions {
     }
 }
 
+/// Stable FNV-1a hash of a primary key's canonical rendering, used to route
+/// records to shards. Keys are atomic values, so the rendering is unique.
+fn key_hash(key: &Value) -> u64 {
+    let rendered = key.to_string();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in rendered.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A dataset hash-partitioned by primary key across N [`LsmDataset`] shards.
+///
+/// Every record lives on exactly one shard (determined by its key), so
+/// point operations touch one partition, parallel ingest partitions the
+/// batch, and fan-out queries merge disjoint partial aggregates.
+pub struct ShardedDataset {
+    key_field: String,
+    shards: Vec<LsmDataset>,
+}
+
+impl ShardedDataset {
+    fn from_shards(key_field: String, shards: Vec<LsmDataset>) -> ShardedDataset {
+        assert!(!shards.is_empty(), "a dataset needs at least one shard");
+        ShardedDataset { key_field, shards }
+    }
+
+    /// Number of hash partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The underlying partitions, in shard order.
+    pub fn shards(&self) -> &[LsmDataset] {
+        &self.shards
+    }
+
+    /// Index of the shard that owns `key`.
+    pub fn shard_index_for(&self, key: &Value) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (key_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard that owns `key`.
+    pub fn shard_for(&self, key: &Value) -> &LsmDataset {
+        &self.shards[self.shard_index_for(key)]
+    }
+
+    fn extract_key(&self, record: &Value) -> Result<Value> {
+        record
+            .get_field(&self.key_field)
+            .filter(|v| v.is_atomic() && !v.is_null())
+            .cloned()
+            .ok_or_else(|| {
+                Error::new(format!(
+                    "record lacks an atomic primary key field '{}'",
+                    self.key_field
+                ))
+            })
+    }
+
+    /// Insert one record into the shard owning its key.
+    pub fn insert(&self, record: Value) -> Result<()> {
+        let key = self.extract_key(&record)?;
+        self.shard_for(&key).insert(record)
+    }
+
+    /// Insert a batch, partitioning it by shard and ingesting every
+    /// partition on its own thread. With background workers enabled this is
+    /// the fully parallel ingest path: N writer threads, N flush workers.
+    pub fn ingest_parallel(&self, docs: Vec<Value>) -> Result<usize> {
+        if self.shards.len() == 1 {
+            let n = docs.len();
+            for doc in docs {
+                self.shards[0].insert(doc)?;
+            }
+            return Ok(n);
+        }
+        let mut partitions: Vec<Vec<Value>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut n = 0usize;
+        for doc in docs {
+            let key = self.extract_key(&doc)?;
+            partitions[self.shard_index_for(&key)].push(doc);
+            n += 1;
+        }
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .zip(self.shards.iter())
+                .map(|(batch, shard)| {
+                    scope.spawn(move || {
+                        for doc in batch {
+                            shard.insert(doc)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard ingest thread panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        Ok(n)
+    }
+
+    /// Delete the record with the given key.
+    pub fn delete(&self, key: Value) -> Result<()> {
+        self.shard_for(&key).delete(key)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &Value) -> Result<Option<Value>> {
+        self.shard_for(key).lookup(key, None)
+    }
+
+    /// Consistent per-shard snapshots for fan-out query execution.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.shards.iter().map(LsmDataset::snapshot).collect()
+    }
+
+    /// Run a query: fan out over per-shard snapshots (one thread each) and
+    /// merge the partial aggregates.
+    pub fn query(&self, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
+        query::run_sharded(&self.snapshots(), query, mode)
+    }
+
+    /// Flush every shard (drains background workers).
+    pub fn flush(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush and merge every shard down to one component.
+    pub fn compact(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.compact_fully()?;
+        }
+        Ok(())
+    }
+
+    /// Force acknowledged WAL records to the device on every shard.
+    pub fn sync(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Combined ingestion counters across shards.
+    pub fn stats(&self) -> IngestStats {
+        self.shards
+            .iter()
+            .fold(IngestStats::default(), |acc, s| acc.merged_with(&s.stats()))
+    }
+
+    /// Combined I/O counters across shards.
+    pub fn io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for shard in &self.shards {
+            let s = shard.io_stats();
+            total.pages_read += s.pages_read;
+            total.pages_written += s.pages_written;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+            total.cache_hits += s.cache_hits;
+        }
+        total
+    }
+
+    /// Combined on-disk footprint across shards.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.shards.iter().map(LsmDataset::total_stored_bytes).sum()
+    }
+
+    /// Total live records across shards.
+    pub fn count(&self) -> Result<usize> {
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard.count()?;
+        }
+        Ok(total)
+    }
+
+    /// The inferred schema, taken from the shard that has observed the most
+    /// columns (shards see disjoint key ranges of the same document stream,
+    /// so their schemas converge as ingestion proceeds).
+    pub fn schema(&self) -> schema::Schema {
+        self.shards
+            .iter()
+            .map(LsmDataset::schema)
+            .max_by_key(schema::Schema::column_count)
+            .expect("a dataset has at least one shard")
+    }
+}
+
 /// A collection of named datasets — the facade over the LSM engine.
 #[derive(Default)]
 pub struct Datastore {
-    datasets: HashMap<String, LsmDataset>,
+    datasets: HashMap<String, ShardedDataset>,
 }
 
 impl Datastore {
@@ -124,14 +356,27 @@ impl Datastore {
         if self.datasets.contains_key(name) {
             return Err(Error::new(format!("dataset '{name}' already exists")));
         }
-        let dataset = LsmDataset::new(options.to_config(name));
-        self.datasets.insert(name.to_string(), dataset);
+        let shards: Vec<LsmDataset> = (0..options.shards)
+            .map(|i| {
+                let shard_name = if options.shards == 1 {
+                    name.to_string()
+                } else {
+                    format!("{name}/shard-{i:03}")
+                };
+                LsmDataset::new(options.to_config(&shard_name))
+            })
+            .collect();
+        self.datasets.insert(
+            name.to_string(),
+            ShardedDataset::from_shards(options.key_field.clone(), shards),
+        );
         Ok(())
     }
 
     /// Open a **durable** dataset rooted at `dir`, creating the directory on
     /// first use and recovering it (manifest + WAL replay) on every later
-    /// one. Acknowledged writes to this dataset survive restarts.
+    /// one. Acknowledged writes to this dataset survive restarts. With
+    /// `shards(n > 1)` every shard lives in its own `shard-NNN` subdirectory.
     pub fn open_dataset(
         &mut self,
         name: &str,
@@ -141,13 +386,29 @@ impl Datastore {
         if self.datasets.contains_key(name) {
             return Err(Error::new(format!("dataset '{name}' already exists")));
         }
-        let dataset = LsmDataset::open(dir, options.to_config(name))?;
-        self.datasets.insert(name.to_string(), dataset);
+        let dir = dir.as_ref();
+        let mut shards = Vec::with_capacity(options.shards);
+        for i in 0..options.shards {
+            let (shard_name, shard_dir) = if options.shards == 1 {
+                (name.to_string(), dir.to_path_buf())
+            } else {
+                (
+                    format!("{name}/shard-{i:03}"),
+                    dir.join(format!("shard-{i:03}")),
+                )
+            };
+            shards.push(LsmDataset::open(shard_dir, options.to_config(&shard_name))?);
+        }
+        self.datasets.insert(
+            name.to_string(),
+            ShardedDataset::from_shards(options.key_field.clone(), shards),
+        );
         Ok(())
     }
 
     /// Reopen a durable dataset from its directory alone, using the
-    /// configuration persisted in its manifest.
+    /// configuration persisted in its manifests. Detects the sharded layout
+    /// (`shard-NNN` subdirectories) automatically.
     pub fn reopen_dataset(
         &mut self,
         name: &str,
@@ -156,26 +417,64 @@ impl Datastore {
         if self.datasets.contains_key(name) {
             return Err(Error::new(format!("dataset '{name}' already exists")));
         }
-        let dataset = LsmDataset::reopen(dir)?;
-        self.datasets.insert(name.to_string(), dataset);
+        let dir = dir.as_ref();
+        let mut shard_dirs: Vec<std::path::PathBuf> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir()
+                    && entry
+                        .file_name()
+                        .to_str()
+                        .map(|n| n.starts_with("shard-"))
+                        .unwrap_or(false)
+                {
+                    shard_dirs.push(path);
+                }
+            }
+        }
+        // Sort by the parsed shard index, not the path string: lexicographic
+        // order diverges from numeric order once ids outgrow the zero
+        // padding (shard-1000 would sort before shard-101), and shard order
+        // must match creation order for hash routing to find records.
+        shard_dirs.sort_by_key(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("shard-"))
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(u64::MAX)
+        });
+        let shards = if shard_dirs.is_empty() {
+            vec![LsmDataset::reopen(dir)?]
+        } else {
+            shard_dirs
+                .into_iter()
+                .map(LsmDataset::reopen)
+                .collect::<lsm::Result<Vec<_>>>()?
+        };
+        let key_field = shards[0].config().key_field.clone();
+        self.datasets.insert(
+            name.to_string(),
+            ShardedDataset::from_shards(key_field, shards),
+        );
         Ok(())
     }
 
     /// Force a dataset's acknowledged WAL records to the device (group
     /// commit). No-op for in-memory datasets.
-    pub fn sync(&mut self, dataset: &str) -> Result<()> {
-        self.dataset_mut(dataset)?.sync()
+    pub fn sync(&self, dataset: &str) -> Result<()> {
+        self.dataset(dataset)?.sync()
     }
 
     /// Borrow a dataset.
-    pub fn dataset(&self, name: &str) -> Result<&LsmDataset> {
+    pub fn dataset(&self, name: &str) -> Result<&ShardedDataset> {
         self.datasets
             .get(name)
             .ok_or_else(|| Error::new(format!("unknown dataset '{name}'")))
     }
 
     /// Mutably borrow a dataset.
-    pub fn dataset_mut(&mut self, name: &str) -> Result<&mut LsmDataset> {
+    pub fn dataset_mut(&mut self, name: &str) -> Result<&mut ShardedDataset> {
         self.datasets
             .get_mut(name)
             .ok_or_else(|| Error::new(format!("unknown dataset '{name}'")))
@@ -189,16 +488,16 @@ impl Datastore {
     }
 
     /// Insert one document (as a [`Value`]).
-    pub fn ingest(&mut self, dataset: &str, doc: Value) -> Result<()> {
-        self.dataset_mut(dataset)?.insert(doc)
+    pub fn ingest(&self, dataset: &str, doc: Value) -> Result<()> {
+        self.dataset(dataset)?.insert(doc)
     }
 
     /// Parse and insert one JSON document (or a whitespace-separated stream).
-    pub fn ingest_json(&mut self, dataset: &str, json: &str) -> Result<usize> {
+    pub fn ingest_json(&self, dataset: &str, json: &str) -> Result<usize> {
         let docs = docmodel::parse_json_stream(json)
             .map_err(|e| Error::new(format!("invalid JSON: {e}")))?;
         let n = docs.len();
-        let ds = self.dataset_mut(dataset)?;
+        let ds = self.dataset(dataset)?;
         for doc in docs {
             ds.insert(doc)?;
         }
@@ -206,8 +505,8 @@ impl Datastore {
     }
 
     /// Insert many documents.
-    pub fn ingest_all(&mut self, dataset: &str, docs: impl IntoIterator<Item = Value>) -> Result<usize> {
-        let ds = self.dataset_mut(dataset)?;
+    pub fn ingest_all(&self, dataset: &str, docs: impl IntoIterator<Item = Value>) -> Result<usize> {
+        let ds = self.dataset(dataset)?;
         let mut n = 0;
         for doc in docs {
             ds.insert(doc)?;
@@ -216,29 +515,34 @@ impl Datastore {
         Ok(n)
     }
 
+    /// Insert a batch through the parallel, per-shard ingest path.
+    pub fn ingest_parallel(&self, dataset: &str, docs: Vec<Value>) -> Result<usize> {
+        self.dataset(dataset)?.ingest_parallel(docs)
+    }
+
     /// Delete a record by key.
-    pub fn delete(&mut self, dataset: &str, key: Value) -> Result<()> {
-        self.dataset_mut(dataset)?.delete(key)
+    pub fn delete(&self, dataset: &str, key: Value) -> Result<()> {
+        self.dataset(dataset)?.delete(key)
     }
 
-    /// Force-flush the in-memory component.
-    pub fn flush(&mut self, dataset: &str) -> Result<()> {
-        self.dataset_mut(dataset)?.flush()
+    /// Force-flush the in-memory component(s), draining background workers.
+    pub fn flush(&self, dataset: &str) -> Result<()> {
+        self.dataset(dataset)?.flush()
     }
 
-    /// Flush and merge everything down to one component.
-    pub fn compact(&mut self, dataset: &str) -> Result<()> {
-        self.dataset_mut(dataset)?.compact_fully()
+    /// Flush and merge everything down to one component per shard.
+    pub fn compact(&self, dataset: &str) -> Result<()> {
+        self.dataset(dataset)?.compact()
     }
 
-    /// Run a query.
+    /// Run a query (fan-out over shards, partial-aggregate merge).
     pub fn query(&self, dataset: &str, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
-        query::run(self.dataset(dataset)?, query, mode)
+        self.dataset(dataset)?.query(query, mode)
     }
 
     /// Point lookup by primary key.
     pub fn get(&self, dataset: &str, key: &Value) -> Result<Option<Value>> {
-        self.dataset(dataset)?.lookup(key, None)
+        self.dataset(dataset)?.get(key)
     }
 
     /// Parse a single JSON document into a [`Value`] (re-export convenience).
@@ -246,12 +550,12 @@ impl Datastore {
         parse_json(json).map_err(|e| Error::new(format!("invalid JSON: {e}")))
     }
 
-    /// Ingestion statistics of a dataset.
+    /// Ingestion statistics of a dataset (summed over shards).
     pub fn ingest_stats(&self, dataset: &str) -> Result<IngestStats> {
         Ok(self.dataset(dataset)?.stats())
     }
 
-    /// I/O statistics of a dataset's simulated disk.
+    /// I/O statistics of a dataset's simulated disk(s).
     pub fn io_stats(&self, dataset: &str) -> Result<IoStats> {
         Ok(self.dataset(dataset)?.io_stats())
     }
@@ -321,6 +625,66 @@ mod tests {
     }
 
     #[test]
+    fn sharded_dataset_partitions_and_agrees_with_single_shard() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "sharded",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(4)
+                    .background(true),
+            )
+            .unwrap();
+        store
+            .create_dataset(
+                "single",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024),
+            )
+            .unwrap();
+
+        let docs: Vec<Value> = (0..500i64)
+            .map(|i| doc!({"id": i, "grp": (format!("g{}", i % 9)), "score": (i % 100)}))
+            .collect();
+        store.ingest_parallel("sharded", docs.clone()).unwrap();
+        store.ingest_all("single", docs).unwrap();
+        store.flush("sharded").unwrap();
+        store.flush("single").unwrap();
+
+        // Records are spread across shards (with 500 keys and 4 shards every
+        // shard must own some).
+        let sharded = store.dataset("sharded").unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        for shard in sharded.shards() {
+            assert!(shard.count().unwrap() > 0, "every shard owns records");
+        }
+        assert_eq!(sharded.count().unwrap(), 500);
+
+        // Fan-out queries agree with the unsharded reference.
+        for q in [
+            Query::count_star(),
+            Query::count_star()
+                .group_by(Path::parse("grp"))
+                .aggregate(Aggregate::Max(Path::parse("score")))
+                .top_k(4),
+        ] {
+            let a = store.query("sharded", &q, ExecMode::Compiled).unwrap();
+            let b = store.query("single", &q, ExecMode::Compiled).unwrap();
+            assert_eq!(a, b);
+        }
+
+        // Point operations route to the owning shard.
+        assert!(store.get("sharded", &Value::Int(123)).unwrap().is_some());
+        store.delete("sharded", Value::Int(123)).unwrap();
+        store.flush("sharded").unwrap();
+        assert!(store.get("sharded", &Value::Int(123)).unwrap().is_none());
+        assert_eq!(sharded.count().unwrap(), 499);
+    }
+
+    #[test]
     fn durable_dataset_survives_reopen_through_facade() {
         let dir = std::env::temp_dir()
             .join(format!("docstore-facade-tests-{}", std::process::id()))
@@ -356,6 +720,40 @@ mod tests {
         assert!(store.get("events", &Value::Int(2)).unwrap().is_none());
         let recovered = store.get("events", &Value::Int(3)).unwrap().unwrap();
         assert_eq!(recovered.get_field("kind"), Some(&Value::from("unflushed")));
+    }
+
+    #[test]
+    fn durable_sharded_dataset_reopens_every_shard() {
+        let dir = std::env::temp_dir()
+            .join(format!("docstore-facade-tests-{}", std::process::id()))
+            .join("durable-sharded");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = Datastore::new();
+            store
+                .open_dataset(
+                    "events",
+                    &dir,
+                    DatasetOptions::new(Layout::Amax)
+                        .page_size(8 * 1024)
+                        .memtable_budget(16 * 1024)
+                        .shards(3)
+                        .background(true),
+                )
+                .unwrap();
+            let docs: Vec<Value> = (0..300i64).map(|i| doc!({"id": i, "v": (i * 2)})).collect();
+            store.ingest_parallel("events", docs).unwrap();
+            store.flush("events").unwrap();
+        }
+        let mut store = Datastore::new();
+        store.reopen_dataset("events", &dir).unwrap();
+        assert_eq!(store.dataset("events").unwrap().shard_count(), 3);
+        let count = store
+            .query("events", &Query::count_star(), ExecMode::Compiled)
+            .unwrap();
+        assert_eq!(count[0].agg, Value::Int(300));
+        let rec = store.get("events", &Value::Int(217)).unwrap().unwrap();
+        assert_eq!(rec.get_field("v"), Some(&Value::Int(434)));
     }
 
     #[test]

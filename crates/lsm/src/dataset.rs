@@ -10,18 +10,40 @@
 //! * inserts/upserts/deletes go to the memtable; the secondary index is kept
 //!   correct by fetching the old record first (a point lookup — cheap for row
 //!   layouts, linear-search-plus-decode for columnar ones, §4.6);
-//! * when the memtable exceeds its budget it is *flushed*: the tuple
-//!   compactor observes the flushed records to grow the inferred schema and
-//!   the records are written as an on-disk component in the dataset's layout;
+//! * when the memtable exceeds its budget it is *sealed* and flushed: the
+//!   tuple compactor observes the flushed records to grow the inferred
+//!   schema and the records are written as an on-disk component in the
+//!   dataset's layout;
 //! * the tiering merge policy may then schedule a *merge*, which reconciles
 //!   the chosen components (newest version of each key wins, anti-matter
 //!   annihilates older records) into a new component and frees the old pages.
+//!
+//! ## Concurrency
+//!
+//! All operations take `&self`; the dataset can be shared across threads
+//! (writers, readers, and — with [`DatasetConfig::background`] — its own
+//! flush/merge worker). The mutable state is split so readers never wait on
+//! flushes or merges:
+//!
+//! * a small **write lock** guards the active memtable and the in-memory
+//!   indexes — held only for the duration of one insert/delete (or a brief
+//!   snapshot clone);
+//! * the rest of the tree (sealed memtables + on-disk components) is an
+//!   immutable [`TreeState`], swapped atomically behind an `RwLock<Arc<_>>`;
+//!   readers grab the `Arc` and are done;
+//! * a **maintenance lock** serialises flushes and merges (the fair FCFS
+//!   scheduling of the paper's setup) and owns the schema builder and
+//!   component id counter;
+//! * the [`Scheduler`](crate::scheduler) coordinates the optional background
+//!   worker and applies ingest backpressure when sealed memtables pile up.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
+use parking_lot::{Mutex, RwLock};
 use persist::{CrashPoint, DurableStore, ManifestData, ManifestStore, PersistedConfig, WalRecord};
 use schema::{Schema, SchemaBuilder};
 use storage::amax::AmaxConfig;
@@ -32,6 +54,8 @@ use storage::LayoutKind;
 use crate::index::{PrimaryKeyIndex, SecondaryIndex};
 use crate::memtable::Memtable;
 use crate::policy::{MergeDecision, TieringPolicy};
+use crate::scheduler::Scheduler;
+use crate::snapshot::{SealedMemtable, Snapshot, TreeState};
 use crate::Result;
 
 /// Configuration of one dataset partition.
@@ -59,6 +83,14 @@ pub struct DatasetConfig {
     pub compress_pages: bool,
     /// AMAX-specific knobs.
     pub amax: AmaxConfig,
+    /// Run flushes and merges on a background worker thread instead of
+    /// blocking the inserting thread (the paper's background-job LSM
+    /// lifecycle, §2.1/§6.3). Off by default: synchronous mode keeps
+    /// single-threaded experiments deterministic.
+    pub background: bool,
+    /// With `background`: how many sealed memtables may queue before
+    /// ingestion is backpressured (blocks until a flush retires one).
+    pub max_sealed_memtables: usize,
 }
 
 impl DatasetConfig {
@@ -76,6 +108,8 @@ impl DatasetConfig {
             secondary_index_on: None,
             compress_pages: true,
             amax: AmaxConfig::default(),
+            background: false,
+            max_sealed_memtables: 2,
         }
     }
 
@@ -103,7 +137,20 @@ impl DatasetConfig {
         self
     }
 
+    /// Builder-style: run flushes and merges on a background worker.
+    pub fn with_background(mut self, background: bool) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Builder-style: bound the sealed-memtable queue (backpressure point).
+    pub fn with_max_sealed(mut self, max: usize) -> Self {
+        self.max_sealed_memtables = max.max(1);
+        self
+    }
+
     /// The durable subset of this configuration, as recorded in manifests.
+    /// Background-worker knobs are runtime-only and not persisted.
     pub fn to_persisted(&self) -> PersistedConfig {
         PersistedConfig {
             name: self.name.clone(),
@@ -146,6 +193,8 @@ impl DatasetConfig {
                 record_limit: persisted.amax_record_limit as usize,
                 empty_page_tolerance: persisted.amax_empty_page_tolerance,
             },
+            background: false,
+            max_sealed_memtables: 2,
         }
     }
 }
@@ -169,20 +218,61 @@ pub struct IngestStats {
     pub merge_time: Duration,
 }
 
-/// One LSM dataset partition.
-pub struct LsmDataset {
-    config: DatasetConfig,
-    cache: BufferCache,
+impl IngestStats {
+    /// Combine counters from several shards/partitions.
+    pub fn merged_with(mut self, other: &IngestStats) -> IngestStats {
+        self.records_ingested += other.records_ingested;
+        self.deletes += other.deletes;
+        self.flushes += other.flushes;
+        self.merges += other.merges;
+        self.maintenance_lookups += other.maintenance_lookups;
+        self.flush_time += other.flush_time;
+        self.merge_time += other.merge_time;
+        self
+    }
+}
+
+/// State guarded by the write lock: the active memtable and the in-memory
+/// indexes maintained on the ingest path.
+struct WriteState {
     memtable: Memtable,
-    components: Vec<Component>,
-    schema_builder: SchemaBuilder,
     pk_index: PrimaryKeyIndex,
     secondary: Option<SecondaryIndex>,
+}
+
+/// State guarded by the maintenance lock: everything a flush or merge
+/// mutates besides the published tree.
+struct MaintState {
+    schema_builder: SchemaBuilder,
     next_component_id: u64,
-    stats: IngestStats,
-    /// WAL + manifest + file-backed pages, for datasets opened from a
-    /// directory; `None` for in-memory datasets.
-    durable: Option<DurableStore>,
+}
+
+/// The shared core of a dataset (everything except the worker handle).
+struct DatasetCore {
+    config: DatasetConfig,
+    cache: BufferCache,
+    durable: Option<Arc<DurableStore>>,
+    write: Mutex<WriteState>,
+    tree: RwLock<Arc<TreeState>>,
+    maint: Mutex<MaintState>,
+    stats: Mutex<IngestStats>,
+    sched: Scheduler,
+}
+
+/// One LSM dataset partition. All operations take `&self`; share it across
+/// threads directly (scoped threads) or behind an `Arc`.
+pub struct LsmDataset {
+    core: Arc<DatasetCore>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for LsmDataset {
+    fn drop(&mut self) {
+        self.core.sched.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 impl LsmDataset {
@@ -196,20 +286,64 @@ impl LsmDataset {
     /// Create an empty dataset on an existing store/cache (used when several
     /// datasets share one simulated disk, as partitions share an NC's cache).
     pub fn with_cache(config: DatasetConfig, cache: BufferCache) -> LsmDataset {
+        LsmDataset::assemble(config, cache, None)
+    }
+
+    fn assemble(
+        config: DatasetConfig,
+        cache: BufferCache,
+        durable: Option<Arc<DurableStore>>,
+    ) -> LsmDataset {
         let secondary = config.secondary_index_on.as_ref().map(|_| SecondaryIndex::new());
         let schema_builder = SchemaBuilder::new(Some(config.key_field.clone()));
-        LsmDataset {
+        let core = Arc::new(DatasetCore {
             config,
             cache,
-            memtable: Memtable::new(),
-            components: Vec::new(),
-            schema_builder,
-            pk_index: PrimaryKeyIndex::new(),
-            secondary,
-            next_component_id: 0,
-            stats: IngestStats::default(),
-            durable: None,
-        }
+            durable,
+            write: Mutex::new(WriteState {
+                memtable: Memtable::new(),
+                pk_index: PrimaryKeyIndex::new(),
+                secondary,
+            }),
+            tree: RwLock::new(Arc::new(TreeState::default())),
+            maint: Mutex::new(MaintState {
+                schema_builder,
+                next_component_id: 0,
+            }),
+            stats: Mutex::new(IngestStats::default()),
+            sched: Scheduler::new(),
+        });
+        let worker = if core.config.background {
+            let worker_core = core.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("lsm-flush-{}", core.config.name))
+                    .spawn(move || {
+                        while worker_core.sched.next_work() {
+                            // A panic in flush/merge must not strand waiters
+                            // on a dead worker: park it as a failure instead.
+                            let result = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| worker_core.process_pending()),
+                            )
+                            .unwrap_or_else(|panic| {
+                                let msg = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                                Err(crate::LsmError::new(format!(
+                                    "background flush/merge worker panicked: {msg}"
+                                )))
+                            });
+                            worker_core.sched.work_done(result);
+                        }
+                    })
+                    .expect("spawn flush/merge worker"),
+            )
+        } else {
+            None
+        };
+        LsmDataset { core, worker }
     }
 
     /// Open a **durable** dataset rooted at the directory `dir`, creating it
@@ -217,48 +351,57 @@ impl LsmDataset {
     ///
     /// Recovery follows the protocol documented in the `persist` crate: the
     /// manifest defines the on-disk components and the schema snapshot; the
-    /// WAL is replayed into the memtable; the primary-key and secondary
-    /// indexes are rebuilt from the recovered state. Runtime knobs
-    /// (memtable budget, cache size, merge policy) come from `config`;
-    /// `config.key_field` must match the persisted dataset.
+    /// WAL segments are replayed into the memtable; the primary-key and
+    /// secondary indexes are rebuilt from the recovered state. Runtime knobs
+    /// (memtable budget, cache size, merge policy, background workers) come
+    /// from `config`; `config.key_field` must match the persisted dataset.
     pub fn open(dir: impl AsRef<std::path::Path>, config: DatasetConfig) -> Result<LsmDataset> {
         let (durable, recovered) = DurableStore::open(dir.as_ref(), config.page_size)?;
         let cache = BufferCache::new(durable.page_store().clone(), config.cache_pages);
-        let mut dataset = LsmDataset::with_cache(config, cache);
+        let dataset = LsmDataset::assemble(config, cache, Some(Arc::new(durable)));
+        let core = &dataset.core;
 
         if let Some(manifest) = recovered.manifest {
-            if manifest.config.key_field != dataset.config.key_field {
+            if manifest.config.key_field != core.config.key_field {
                 return Err(crate::LsmError::new(format!(
                     "dataset at {} has key field '{}', config says '{}'",
                     dir.as_ref().display(),
                     manifest.config.key_field,
-                    dataset.config.key_field
+                    core.config.key_field
                 )));
             }
-            dataset.schema_builder = SchemaBuilder::from_schema(manifest.schema.clone());
-            dataset.next_component_id = manifest.next_component_id;
-            let component_config = dataset.component_config();
+            let mut maint = core.maint.lock();
+            maint.schema_builder = SchemaBuilder::from_schema(manifest.schema.clone());
+            maint.next_component_id = manifest.next_component_id;
+            let component_config = core.component_config();
+            let mut components = Vec::new();
             for desc in manifest.components {
-                dataset.components.push(Component::open(
-                    &dataset.cache,
+                components.push(Arc::new(Component::open(
+                    &core.cache,
                     &component_config,
                     manifest.schema.clone(),
                     desc,
-                ));
+                )));
+            }
+            *core.tree.write() = Arc::new(TreeState {
+                sealed: Vec::new(),
+                components,
+            });
+        }
+        {
+            let mut write = core.write.lock();
+            for record in recovered.wal_records {
+                match record {
+                    WalRecord::Insert { key, record } => {
+                        write.memtable.insert(key, record);
+                    }
+                    WalRecord::Delete { key } => {
+                        write.memtable.delete(key);
+                    }
+                }
             }
         }
-        for record in recovered.wal_records {
-            match record {
-                WalRecord::Insert { key, record } => {
-                    dataset.memtable.insert(key, record);
-                }
-                WalRecord::Delete { key } => {
-                    dataset.memtable.delete(key);
-                }
-            }
-        }
-        dataset.durable = Some(durable);
-        dataset.rebuild_indexes()?;
+        core.rebuild_indexes()?;
         Ok(dataset)
     }
 
@@ -276,53 +419,15 @@ impl LsmDataset {
         LsmDataset::open(dir, DatasetConfig::from_persisted(&manifest.config))
     }
 
-    /// Rebuild the in-memory indexes (primary-key filter and the optional
-    /// secondary index) from the recovered components and memtable.
-    fn rebuild_indexes(&mut self) -> Result<()> {
-        let index_path = self.config.secondary_index_on.clone();
-        if !self.config.primary_key_index && index_path.is_none() {
-            return Ok(());
-        }
-        // Reconcile newest-first so each key contributes its live version.
-        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
-        for (key, doc) in self.memtable.iter() {
-            merged
-                .entry(OrderedValue(key.clone()))
-                .or_insert_with(|| doc.cloned());
-        }
-        let projection: Vec<Path> = index_path.iter().cloned().collect();
-        for component in self.components.iter().rev() {
-            for entry in component.scan(Some(&projection))? {
-                let (key, doc) = entry?;
-                merged.entry(OrderedValue(key)).or_insert(doc);
-            }
-        }
-        for (key, doc) in &merged {
-            if self.config.primary_key_index {
-                // Every key ever written may exist on disk, so the filter
-                // includes deleted keys too (it only answers "may exist").
-                self.pk_index.insert(&key.0);
-            }
-            if let (Some(path), Some(secondary), Some(doc)) =
-                (index_path.as_ref(), self.secondary.as_mut(), doc.as_ref())
-            {
-                for value in path.evaluate(doc) {
-                    secondary.insert(value, &key.0);
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// `true` when the dataset is backed by a directory (WAL + manifest).
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        self.core.durable.is_some()
     }
 
     /// Force acknowledged WAL records to the device (group commit). No-op
     /// for in-memory datasets.
-    pub fn sync(&mut self) -> Result<()> {
-        match self.durable.as_mut() {
+    pub fn sync(&self) -> Result<()> {
+        match self.core.durable.as_ref() {
             Some(durable) => durable.sync_wal(),
             None => Ok(()),
         }
@@ -330,80 +435,227 @@ impl LsmDataset {
 
     /// Bytes currently in the WAL (0 for in-memory datasets).
     pub fn wal_bytes(&self) -> u64 {
-        self.durable.as_ref().map(DurableStore::wal_bytes).unwrap_or(0)
+        self.core
+            .durable
+            .as_ref()
+            .map(|d| d.wal_bytes())
+            .unwrap_or(0)
     }
 
     /// Version of the last committed manifest (0 for in-memory datasets or
     /// before the first flush).
     pub fn manifest_version(&self) -> u64 {
-        self.durable
+        self.core
+            .durable
             .as_ref()
-            .map(DurableStore::manifest_version)
+            .map(|d| d.manifest_version())
             .unwrap_or(0)
     }
 
     /// Arm a crash point in the durability layer (recovery tests). No-op for
     /// in-memory datasets.
-    pub fn set_crash_point(&mut self, point: CrashPoint) {
-        if let Some(durable) = self.durable.as_mut() {
+    pub fn set_crash_point(&self, point: CrashPoint) {
+        if let Some(durable) = self.core.durable.as_ref() {
             durable.set_crash_point(point);
-        }
-    }
-
-    fn manifest_data(&self) -> ManifestData {
-        ManifestData {
-            version: 0, // assigned by the manifest store at commit
-            config: self.config.to_persisted(),
-            next_component_id: self.next_component_id,
-            schema: self.schema_builder.schema().clone(),
-            components: self.components.iter().map(Component::describe).collect(),
         }
     }
 
     /// The dataset's configuration.
     pub fn config(&self) -> &DatasetConfig {
-        &self.config
+        &self.core.config
     }
 
     /// The buffer cache (shared with the query engine for I/O accounting).
     pub fn cache(&self) -> &BufferCache {
-        &self.cache
+        &self.core.cache
     }
 
-    /// The cumulative inferred schema.
-    pub fn schema(&self) -> &Schema {
-        self.schema_builder.schema()
+    /// A copy of the cumulative inferred schema.
+    pub fn schema(&self) -> Schema {
+        self.core.maint.lock().schema_builder.schema().clone()
     }
 
     /// Ingestion counters.
     pub fn stats(&self) -> IngestStats {
-        self.stats
+        *self.core.stats.lock()
     }
 
     /// I/O counters of the underlying simulated disk.
     pub fn io_stats(&self) -> IoStats {
-        self.cache.store().stats()
+        self.core.cache.store().stats()
     }
 
     /// Number of on-disk components.
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.core.tree.read().components.len()
+    }
+
+    /// Number of sealed memtables currently queued for flushing.
+    pub fn sealed_count(&self) -> usize {
+        self.core.tree.read().sealed.len()
     }
 
     /// Total bytes stored on disk for the primary index.
     pub fn primary_stored_bytes(&self) -> u64 {
-        self.components.iter().map(|c| c.meta().stored_bytes).sum()
+        self.core
+            .tree
+            .read()
+            .components
+            .iter()
+            .map(|c| c.meta().stored_bytes)
+            .sum()
     }
 
     /// Total bytes including the (approximated) secondary structures.
     pub fn total_stored_bytes(&self) -> u64 {
-        let pk = if self.config.primary_key_index {
-            self.pk_index.approx_bytes()
+        let write = self.core.write.lock();
+        let pk = if self.core.config.primary_key_index {
+            write.pk_index.approx_bytes()
         } else {
             0
         };
-        let sec = self.secondary.as_ref().map(SecondaryIndex::approx_bytes).unwrap_or(0);
+        let sec = write
+            .secondary
+            .as_ref()
+            .map(SecondaryIndex::approx_bytes)
+            .unwrap_or(0);
+        drop(write);
         self.primary_stored_bytes() + pk + sec
+    }
+
+    /// Take a consistent point-in-time [`Snapshot`] for reads. The write
+    /// lock is held only long enough to clone the active memtable; flushes
+    /// and merges never invalidate a snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let write = self.core.write.lock();
+        let active: Vec<(Value, Option<Value>)> = write
+            .memtable
+            .iter()
+            .map(|(k, v)| (k.clone(), v.cloned()))
+            .collect();
+        let tree = self.core.tree.read().clone();
+        drop(write);
+        Snapshot { active, tree }
+    }
+
+    /// Insert (or upsert) a record. For durable datasets the record is
+    /// appended to the WAL before it is applied, so once `insert` returns it
+    /// survives a process crash. The WAL is flushed to the OS immediately
+    /// but fsynced lazily — call [`LsmDataset::sync`] where device-level
+    /// durability (power loss) is required.
+    ///
+    /// With [`DatasetConfig::background`], a full memtable is sealed and
+    /// handed to the worker; this call blocks only when
+    /// `max_sealed_memtables` seals are already queued (backpressure), and
+    /// surfaces any error a previous background flush/merge hit.
+    pub fn insert(&self, record: Value) -> Result<()> {
+        self.core.apply(Some(record), None)
+    }
+
+    /// Delete the record with the given key (an anti-matter entry is added).
+    /// Logged to the WAL like [`LsmDataset::insert`], with the same
+    /// crash-durability caveats.
+    pub fn delete(&self, key: Value) -> Result<()> {
+        self.core.apply(None, Some(key))
+    }
+
+    /// Flush everything in memory to disk: seals the active memtable and
+    /// waits until every sealed memtable is flushed (and triggered merges
+    /// completed). Surfaces parked background errors; calling again retries.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let mut write = self.core.write.lock();
+            self.core.seal_locked(&mut write)?;
+        }
+        if self.core.config.background {
+            self.core.sched.drain()
+        } else {
+            self.core.process_pending()
+        }
+    }
+
+    /// Force-flush and merge everything down to a single component (used at
+    /// the end of ingestion so query experiments run against a settled tree).
+    pub fn compact_fully(&self) -> Result<()> {
+        self.flush()?;
+        loop {
+            let mut maint = self.core.maint.lock();
+            let n = self.core.tree.read().components.len();
+            if n <= 1 {
+                return Ok(());
+            }
+            let positions: Vec<usize> = (0..n).collect();
+            self.core.merge_components_locked(&mut maint, &positions)?;
+        }
+    }
+
+    /// Point lookup: newest version of `key`, reconciling the memtable and
+    /// every component (newest first). `None` when the key does not exist or
+    /// was deleted.
+    pub fn lookup(&self, key: &Value, projection: Option<&[Path]>) -> Result<Option<Value>> {
+        let tree = {
+            let write = self.core.write.lock();
+            if let Some(entry) = write.memtable.get(key) {
+                return Ok(entry.cloned());
+            }
+            self.core.tree.read().clone()
+        };
+        Snapshot {
+            active: Vec::new(),
+            tree,
+        }
+        .lookup(key, projection)
+    }
+
+    /// Batched point lookups for the (sorted) keys produced by a secondary
+    /// index probe (§4.6).
+    pub fn lookup_sorted_keys(
+        &self,
+        keys: &mut [Value],
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<Value>> {
+        self.snapshot().lookup_sorted_keys(keys, projection)
+    }
+
+    /// Scan the dataset, reconciling duplicates and dropping anti-matter.
+    /// Only the projected paths are assembled from columnar components.
+    pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
+        self.snapshot().scan(projection)
+    }
+
+    /// Number of live records (COUNT(*)): only primary keys are read, which
+    /// for AMAX means Page 0 alone.
+    pub fn count(&self) -> Result<usize> {
+        self.snapshot().count()
+    }
+
+    /// Answer a range query on the secondary index: probe the index, sort the
+    /// resulting primary keys, and perform batched point lookups.
+    pub fn secondary_range(
+        &self,
+        lo: &Value,
+        hi: &Value,
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<Value>> {
+        let mut keys = {
+            let write = self.core.write.lock();
+            let secondary = write
+                .secondary
+                .as_ref()
+                .ok_or_else(|| crate::LsmError::new("dataset has no secondary index"))?;
+            secondary.range(lo, hi)
+        };
+        self.lookup_sorted_keys(&mut keys, projection)
+    }
+}
+
+impl DatasetCore {
+    fn component_config(&self) -> ComponentConfig {
+        ComponentConfig {
+            layout: self.config.layout,
+            amax: self.config.amax,
+            compress_pages: self.config.compress_pages,
+        }
     }
 
     fn extract_key(&self, record: &Value) -> Result<Value> {
@@ -419,158 +671,202 @@ impl LsmDataset {
             })
     }
 
-    /// Insert (or upsert) a record. For durable datasets the record is
-    /// appended to the WAL before it is applied, so once `insert` returns it
-    /// survives a process crash. The WAL is flushed to the OS immediately
-    /// but fsynced lazily — call [`LsmDataset::sync`] where device-level
-    /// durability (power loss) is required.
-    pub fn insert(&mut self, record: Value) -> Result<()> {
-        let key = self.extract_key(&record)?;
-        // Fallible work (index-maintenance lookups can hit I/O errors)
-        // happens before the WAL append: a failed insert must not leave a
-        // logged record behind for recovery to resurrect.
-        self.maintain_secondary_for_upsert(&key, Some(&record))?;
-        if let Some(durable) = self.durable.as_mut() {
-            durable.log_insert(&key, &record)?;
+    /// One insert (`record = Some`) or delete (`key = Some`) through the
+    /// write lock, with sealing and (synchronous-mode) inline flushing.
+    fn apply(&self, record: Option<Value>, delete_key: Option<Value>) -> Result<()> {
+        if self.config.background {
+            // Backpressure gate — taken *before* the write lock so stalled
+            // writers never block readers or the worker.
+            self.sched.admit(self.config.max_sealed_memtables)?;
         }
-        self.pk_index.insert(&key);
-        self.memtable.insert(key, record);
-        self.stats.records_ingested += 1;
-        self.maybe_flush()
-    }
-
-    /// Delete the record with the given key (an anti-matter entry is added).
-    /// Logged to the WAL like [`LsmDataset::insert`], with the same
-    /// crash-durability caveats.
-    pub fn delete(&mut self, key: Value) -> Result<()> {
-        self.maintain_secondary_for_upsert(&key, None)?;
-        if let Some(durable) = self.durable.as_mut() {
-            durable.log_delete(&key)?;
-        }
-        self.memtable.delete(key);
-        self.stats.deletes += 1;
-        self.maybe_flush()
-    }
-
-    /// Secondary-index maintenance: fetch the old record (if the key may
-    /// exist) to remove its stale entry, then add the new entry.
-    fn maintain_secondary_for_upsert(
-        &mut self,
-        key: &Value,
-        new_record: Option<&Value>,
-    ) -> Result<()> {
-        let Some(index_path) = self.config.secondary_index_on.clone() else {
-            return Ok(());
-        };
-        let may_exist = if self.config.primary_key_index {
-            self.pk_index.contains(key)
-        } else {
-            true
-        };
-        if may_exist {
-            self.stats.maintenance_lookups += 1;
-            if let Some(old) = self.lookup(key, None)? {
-                let old_values: Vec<Value> =
-                    index_path.evaluate(&old).into_iter().cloned().collect();
-                if let Some(secondary) = self.secondary.as_mut() {
-                    for v in old_values {
-                        secondary.remove(&v, key);
+        {
+            let mut write = self.write.lock();
+            match (record, delete_key) {
+                (Some(record), _) => {
+                    let key = self.extract_key(&record)?;
+                    // Fallible work (index-maintenance lookups can hit I/O
+                    // errors) happens before the WAL append: a failed insert
+                    // must not leave a logged record behind for recovery to
+                    // resurrect.
+                    self.maintain_secondary_for_upsert(&mut write, &key, Some(&record))?;
+                    if let Some(durable) = self.durable.as_ref() {
+                        durable.log_insert(&key, &record)?;
                     }
+                    write.pk_index.insert(&key);
+                    write.memtable.insert(key, record);
+                    self.stats.lock().records_ingested += 1;
                 }
+                (None, Some(key)) => {
+                    self.maintain_secondary_for_upsert(&mut write, &key, None)?;
+                    if let Some(durable) = self.durable.as_ref() {
+                        durable.log_delete(&key)?;
+                    }
+                    write.memtable.delete(key);
+                    self.stats.lock().deletes += 1;
+                }
+                (None, None) => unreachable!("apply needs a record or a key"),
+            }
+            if write.memtable.approx_bytes() >= self.config.memtable_budget {
+                self.seal_locked(&mut write)?;
             }
         }
-        if let (Some(secondary), Some(record)) = (self.secondary.as_mut(), new_record) {
-            for v in index_path.evaluate(record) {
-                secondary.insert(v, key);
-            }
+        // Synchronous mode: do the flush (and any retries of earlier failed
+        // inline work) on the calling thread, outside the write lock.
+        if !self.config.background && self.sched.sealed_count() > 0 {
+            self.process_pending()?;
         }
         Ok(())
     }
 
-    fn maybe_flush(&mut self) -> Result<()> {
-        if self.memtable.approx_bytes() >= self.config.memtable_budget {
-            self.flush()?;
-        }
-        Ok(())
-    }
-
-    /// Flush the in-memory component to disk (no-op when it is empty).
-    pub fn flush(&mut self) -> Result<()> {
-        if self.memtable.is_empty() {
+    /// Seal the active memtable: rotate the WAL so the sealed records are
+    /// confined to closed segments, publish the sealed memtable in the tree,
+    /// and signal the scheduler. No-op when the memtable is empty.
+    fn seal_locked(&self, write: &mut WriteState) -> Result<()> {
+        if write.memtable.is_empty() {
             return Ok(());
         }
+        let wal_segment = match self.durable.as_ref() {
+            Some(durable) => Some(durable.rotate_wal()?),
+            None => None,
+        };
+        let bytes = write.memtable.approx_bytes();
+        let entries = write.memtable.drain_sorted();
+        let sealed = Arc::new(SealedMemtable {
+            entries,
+            wal_segment,
+            bytes,
+        });
+        {
+            let mut tree = self.tree.write();
+            let mut next = (**tree).clone();
+            next.sealed.push(sealed);
+            *tree = Arc::new(next);
+        }
+        self.sched.note_sealed();
+        Ok(())
+    }
+
+    /// Flush every queued sealed memtable, oldest first, running the merge
+    /// policy after each flush. Runs on the worker thread in background mode
+    /// and inline on the calling thread otherwise.
+    fn process_pending(&self) -> Result<()> {
+        loop {
+            let next = self.tree.read().sealed.first().cloned();
+            let Some(sealed) = next else { return Ok(()) };
+            self.flush_sealed(&sealed)?;
+        }
+    }
+
+    /// Flush one sealed memtable into an on-disk component.
+    fn flush_sealed(&self, sealed: &Arc<SealedMemtable>) -> Result<()> {
         let started = Instant::now();
-        let entries = self.memtable.drain_sorted();
+        let mut maint = self.maint.lock();
+        // Another thread may have flushed it while we waited for the lock.
+        let Some(current) = self.tree.read().sealed.first().cloned() else {
+            return Ok(());
+        };
+        if !Arc::ptr_eq(&current, sealed) {
+            return Ok(());
+        }
         // Tuple compactor: infer the schema from the flushed records (§2.2).
-        for (_, record) in &entries {
+        for (_, record) in &sealed.entries {
             if let Some(record) = record {
-                self.schema_builder.observe(record);
+                maint.schema_builder.observe(record);
             }
         }
-        let schema = self.schema_builder.schema().clone();
-        let config = self.component_config();
-        let component = Component::write(
+        let schema = maint.schema_builder.schema().clone();
+        let component = Arc::new(Component::write(
             &self.cache,
-            &config,
-            schema,
-            &entries,
-            self.next_component_id,
-        )?;
-        self.next_component_id += 1;
-        self.components.push(component);
+            &self.component_config(),
+            schema.clone(),
+            &sealed.entries,
+            maint.next_component_id,
+        )?);
+        maint.next_component_id += 1;
         // Durable flush: sync pages, commit the manifest recording the new
-        // component (and the schema snapshot), then truncate the WAL.
-        if self.durable.is_some() {
-            let data = self.manifest_data();
-            if let Some(durable) = self.durable.as_mut() {
-                durable.commit_flush(data)?;
-            }
+        // component (and the schema snapshot), then drop the WAL segments
+        // covering the sealed records.
+        if let Some(durable) = self.durable.as_ref() {
+            let mut components = self.tree.read().components.clone();
+            components.push(component.clone());
+            let data = self.manifest_data(&maint, &schema, &components);
+            let segment = sealed
+                .wal_segment
+                .expect("durable sealed memtable records its WAL segment");
+            durable.commit_flush(data, segment)?;
         }
-        self.stats.flushes += 1;
-        self.stats.flush_time += started.elapsed();
-        self.maybe_merge()
+        {
+            let mut tree = self.tree.write();
+            let mut next = (**tree).clone();
+            let pos = next
+                .sealed
+                .iter()
+                .position(|s| Arc::ptr_eq(s, sealed))
+                .expect("sealed memtable vanished while flushing");
+            next.sealed.remove(pos);
+            next.components.push(component);
+            *tree = Arc::new(next);
+        }
+        self.sched.note_flushed();
+        {
+            let mut stats = self.stats.lock();
+            stats.flushes += 1;
+            stats.flush_time += started.elapsed();
+        }
+        self.maybe_merge_locked(&mut maint)
     }
 
-    fn component_config(&self) -> ComponentConfig {
-        ComponentConfig {
-            layout: self.config.layout,
-            amax: self.config.amax,
-            compress_pages: self.config.compress_pages,
+    fn manifest_data(
+        &self,
+        maint: &MaintState,
+        schema: &Schema,
+        components: &[Arc<Component>],
+    ) -> ManifestData {
+        ManifestData {
+            version: 0, // assigned by the manifest store at commit
+            config: self.config.to_persisted(),
+            next_component_id: maint.next_component_id,
+            schema: schema.clone(),
+            components: components.iter().map(|c| c.describe()).collect(),
         }
     }
 
-    fn maybe_merge(&mut self) -> Result<()> {
+    fn maybe_merge_locked(&self, maint: &mut MaintState) -> Result<()> {
         // Sizes newest-first for the policy.
-        let sizes: Vec<u64> = self
-            .components
-            .iter()
-            .rev()
-            .map(|c| c.meta().stored_bytes)
-            .collect();
+        let sizes: Vec<u64> = {
+            let tree = self.tree.read();
+            tree.components
+                .iter()
+                .rev()
+                .map(|c| c.meta().stored_bytes)
+                .collect()
+        };
         match self.config.policy.decide(&sizes) {
             MergeDecision::None => Ok(()),
             MergeDecision::Merge(newest_first) => {
-                // Translate newest-first indexes into positions in
-                // `self.components` (which is oldest-first).
-                let n = self.components.len();
+                // Translate newest-first indexes into positions in the
+                // oldest-first component list.
+                let n = sizes.len();
                 let mut positions: Vec<usize> = newest_first.iter().map(|i| n - 1 - i).collect();
                 positions.sort_unstable();
-                self.merge_components(&positions)
+                self.merge_components_locked(maint, &positions)
             }
         }
     }
 
     /// Merge the components at the given (oldest-first) positions.
-    fn merge_components(&mut self, positions: &[usize]) -> Result<()> {
+    fn merge_components_locked(&self, maint: &mut MaintState, positions: &[usize]) -> Result<()> {
         if positions.len() < 2 {
             return Ok(());
         }
         let started = Instant::now();
+        let components = self.tree.read().components.clone();
+        let inputs: Vec<Arc<Component>> =
+            positions.iter().map(|&p| components[p].clone()).collect();
         let includes_oldest = positions.first() == Some(&0);
         // Reconcile newest-first so the most recent version of each key wins.
         let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
-        for &pos in positions.iter().rev() {
-            let component = &self.components[pos];
+        for component in inputs.iter().rev() {
             for entry in component.scan(None)? {
                 let (key, doc) = entry?;
                 merged.entry(OrderedValue(key)).or_insert(doc);
@@ -586,147 +882,142 @@ impl LsmDataset {
             .map(|(k, v)| (k.0, v))
             .collect();
 
-        let schema = self.schema_builder.schema().clone();
-        let config = self.component_config();
-        let new_component = Component::write(
+        let schema = maint.schema_builder.schema().clone();
+        let new_component = Arc::new(Component::write(
             &self.cache,
-            &config,
-            schema,
+            &self.component_config(),
+            schema.clone(),
             &entries,
-            self.next_component_id,
-        )?;
-        self.next_component_id += 1;
+            maint.next_component_id,
+        )?);
+        maint.next_component_id += 1;
 
-        // Remove the merged components (back to front to keep positions
-        // valid) and insert the new one at the first position.
-        let first = positions[0];
-        let mut freed_pages: Vec<storage::PageId> = Vec::new();
+        // Build the post-merge component list: inputs out, output in at the
+        // first merged position.
+        let mut new_components = components.clone();
         for &pos in positions.iter().rev() {
-            let old = self.components.remove(pos);
-            freed_pages.extend_from_slice(&old.meta().pages);
+            new_components.remove(pos);
         }
-        self.components.insert(first, new_component);
+        new_components.insert(positions[0], new_component);
         // Durable merge: the manifest swap makes the merged component
         // visible; the inputs' pages are freed only after the swap commits,
         // so a crash before the commit leaves the old components intact.
-        if self.durable.is_some() {
-            let data = self.manifest_data();
-            if let Some(durable) = self.durable.as_mut() {
-                durable.commit_merge(data)?;
-            }
+        if let Some(durable) = self.durable.as_ref() {
+            let data = self.manifest_data(maint, &schema, &new_components);
+            durable.commit_merge(data)?;
         }
-        self.cache.store().free_pages(&freed_pages);
-        self.stats.merges += 1;
-        self.stats.merge_time += started.elapsed();
+        {
+            let mut tree = self.tree.write();
+            let mut next = (**tree).clone();
+            next.components = new_components;
+            *tree = Arc::new(next);
+        }
+        // Retire the inputs: their pages are freed when the last snapshot
+        // holding them drops (Component::retire), never under a live reader.
+        for input in &inputs {
+            input.retire();
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.merges += 1;
+            stats.merge_time += started.elapsed();
+        }
         Ok(())
     }
 
-    /// Force-flush and merge everything down to a single component (used at
-    /// the end of ingestion so query experiments run against a settled tree).
-    pub fn compact_fully(&mut self) -> Result<()> {
-        self.flush()?;
-        while self.components.len() > 1 {
-            let positions: Vec<usize> = (0..self.components.len()).collect();
-            self.merge_components(&positions)?;
-        }
-        Ok(())
-    }
-
-    /// Point lookup: newest version of `key`, reconciling the memtable and
-    /// every component (newest first). `None` when the key does not exist or
-    /// was deleted.
-    pub fn lookup(&self, key: &Value, projection: Option<&[Path]>) -> Result<Option<Value>> {
-        if let Some(entry) = self.memtable.get(key) {
+    /// Point lookup while already holding the write lock (secondary-index
+    /// maintenance on the ingest path).
+    fn lookup_locked(
+        &self,
+        write: &WriteState,
+        key: &Value,
+        projection: Option<&[Path]>,
+    ) -> Result<Option<Value>> {
+        if let Some(entry) = write.memtable.get(key) {
             return Ok(entry.cloned());
         }
-        for component in self.components.iter().rev() {
-            if let Some(entry) = component.lookup(key, projection)? {
-                return Ok(entry);
-            }
+        Snapshot {
+            active: Vec::new(),
+            tree: self.tree.read().clone(),
         }
-        Ok(None)
+        .lookup(key, projection)
     }
 
-    /// Batched point lookups for the (sorted) keys produced by a secondary
-    /// index probe (§4.6).
-    pub fn lookup_sorted_keys(
+    /// Secondary-index maintenance: fetch the old record (if the key may
+    /// exist) to remove its stale entry, then add the new entry.
+    fn maintain_secondary_for_upsert(
         &self,
-        keys: &mut [Value],
-        projection: Option<&[Path]>,
-    ) -> Result<Vec<Value>> {
-        keys.sort_by(docmodel::total_cmp);
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys.iter() {
-            if let Some(doc) = self.lookup(key, projection)? {
-                out.push(doc);
+        write: &mut WriteState,
+        key: &Value,
+        new_record: Option<&Value>,
+    ) -> Result<()> {
+        let Some(index_path) = self.config.secondary_index_on.clone() else {
+            return Ok(());
+        };
+        let may_exist = if self.config.primary_key_index {
+            write.pk_index.contains(key)
+        } else {
+            true
+        };
+        if may_exist {
+            self.stats.lock().maintenance_lookups += 1;
+            if let Some(old) = self.lookup_locked(write, key, None)? {
+                let old_values: Vec<Value> =
+                    index_path.evaluate(&old).into_iter().cloned().collect();
+                if let Some(secondary) = write.secondary.as_mut() {
+                    for v in old_values {
+                        secondary.remove(&v, key);
+                    }
+                }
             }
         }
-        Ok(out)
+        if let (Some(secondary), Some(record)) = (write.secondary.as_mut(), new_record) {
+            for v in index_path.evaluate(record) {
+                secondary.insert(v, key);
+            }
+        }
+        Ok(())
     }
 
-    /// Scan the dataset, reconciling duplicates and dropping anti-matter.
-    /// Only the projected paths are assembled from columnar components.
-    pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
+    /// Rebuild the in-memory indexes (primary-key filter and the optional
+    /// secondary index) from the recovered components and memtable.
+    fn rebuild_indexes(&self) -> Result<()> {
+        let index_path = self.config.secondary_index_on.clone();
+        if !self.config.primary_key_index && index_path.is_none() {
+            return Ok(());
+        }
+        let mut write = self.write.lock();
+        // Reconcile newest-first so each key contributes its live version.
         let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
-        for (key, doc) in self.memtable.iter() {
+        for (key, doc) in write.memtable.iter() {
             merged
                 .entry(OrderedValue(key.clone()))
                 .or_insert_with(|| doc.cloned());
         }
-        for component in self.components.iter().rev() {
-            for entry in component.scan(projection)? {
+        let projection: Vec<Path> = index_path.iter().cloned().collect();
+        let tree = self.tree.read().clone();
+        for component in tree.components.iter().rev() {
+            for entry in component.scan(Some(&projection))? {
                 let (key, doc) = entry?;
                 merged.entry(OrderedValue(key)).or_insert(doc);
             }
         }
-        Ok(merged.into_values().flatten().collect())
-    }
-
-    /// Number of live records (COUNT(*)): only primary keys are read, which
-    /// for AMAX means Page 0 alone.
-    pub fn count(&self) -> Result<usize> {
-        let mut merged: BTreeMap<OrderedValue, bool> = BTreeMap::new();
-        for (key, doc) in self.memtable.iter() {
-            merged
-                .entry(OrderedValue(key.clone()))
-                .or_insert(doc.is_some());
-        }
-        for component in self.components.iter().rev() {
-            for entry in component.scan(Some(&[]))? {
-                let (key, doc) = entry?;
-                merged.entry(OrderedValue(key)).or_insert(doc.is_some());
+        for (key, doc) in &merged {
+            if self.config.primary_key_index {
+                // Every key ever written may exist on disk, so the filter
+                // includes deleted keys too (it only answers "may exist").
+                write.pk_index.insert(&key.0);
+            }
+            if let (Some(path), Some(doc)) = (index_path.as_ref(), doc.as_ref()) {
+                let values: Vec<Value> = path.evaluate(doc).into_iter().cloned().collect();
+                if let Some(secondary) = write.secondary.as_mut() {
+                    for value in values {
+                        secondary.insert(&value, &key.0);
+                    }
+                }
             }
         }
-        Ok(merged.values().filter(|live| **live).count())
-    }
-
-    /// Answer a range query on the secondary index: probe the index, sort the
-    /// resulting primary keys, and perform batched point lookups.
-    pub fn secondary_range(
-        &self,
-        lo: &Value,
-        hi: &Value,
-        projection: Option<&[Path]>,
-    ) -> Result<Vec<Value>> {
-        let secondary = self
-            .secondary
-            .as_ref()
-            .ok_or_else(|| crate::LsmError::new("dataset has no secondary index"))?;
-        let mut keys = secondary.range(lo, hi);
-        self.lookup_sorted_keys(&mut keys, projection)
-    }
-
-    /// Direct access to the on-disk components (used by the query engine).
-    pub fn components(&self) -> &[Component] {
-        &self.components
-    }
-
-    /// Entries still in the in-memory component (used by the query engine).
-    pub fn memtable_entries(&self) -> Vec<(Value, Option<Value>)> {
-        self.memtable
-            .iter()
-            .map(|(k, v)| (k.clone(), v.cloned()))
-            .collect()
+        Ok(())
     }
 }
 
@@ -754,7 +1045,7 @@ mod tests {
     #[test]
     fn ingest_flush_merge_scan_all_layouts() {
         for layout in LayoutKind::ALL {
-            let mut ds = LsmDataset::new(tiny_config(layout));
+            let ds = LsmDataset::new(tiny_config(layout));
             for i in 0..500 {
                 ds.insert(sample_record(i)).unwrap();
             }
@@ -774,7 +1065,7 @@ mod tests {
     #[test]
     fn updates_and_deletes_reconcile() {
         for layout in [LayoutKind::Vb, LayoutKind::Amax] {
-            let mut ds = LsmDataset::new(tiny_config(layout));
+            let ds = LsmDataset::new(tiny_config(layout));
             for i in 0..200 {
                 ds.insert(sample_record(i)).unwrap();
             }
@@ -802,7 +1093,7 @@ mod tests {
 
     #[test]
     fn projection_scans_only_requested_fields() {
-        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
+        let ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
         for i in 0..100 {
             ds.insert(sample_record(i)).unwrap();
         }
@@ -816,7 +1107,7 @@ mod tests {
     #[test]
     fn secondary_index_range_matches_full_scan_filter() {
         let config = tiny_config(LayoutKind::Apax).with_secondary_index(Path::parse("timestamp"));
-        let mut ds = LsmDataset::new(config);
+        let ds = LsmDataset::new(config);
         for i in 0..300 {
             ds.insert(sample_record(i)).unwrap();
         }
@@ -845,17 +1136,17 @@ mod tests {
 
     #[test]
     fn schema_grows_across_flushes_and_is_a_superset() {
-        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
+        let ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
         for i in 0..50 {
             ds.insert(doc!({"id": i, "a": 1})).unwrap();
         }
         ds.flush().unwrap();
-        let cols_before = schema::columns_of(ds.schema()).len();
+        let cols_before = schema::columns_of(&ds.schema()).len();
         for i in 50..100 {
             ds.insert(doc!({"id": i, "a": "heterogeneous now", "b": {"c": 2.5}})).unwrap();
         }
         ds.flush().unwrap();
-        let cols_after = schema::columns_of(ds.schema()).len();
+        let cols_after = schema::columns_of(&ds.schema()).len();
         assert!(cols_after > cols_before);
         // Old and new records both survive scans despite the schema change.
         assert_eq!(ds.count().unwrap(), 100);
@@ -865,14 +1156,14 @@ mod tests {
 
     #[test]
     fn missing_key_is_an_error() {
-        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Vb));
+        let ds = LsmDataset::new(tiny_config(LayoutKind::Vb));
         assert!(ds.insert(doc!({"no_key": 1})).is_err());
         assert!(ds.insert(doc!({"id": null})).is_err());
     }
 
     #[test]
     fn stored_bytes_accounting() {
-        let mut ds = LsmDataset::new(tiny_config(LayoutKind::Apax));
+        let ds = LsmDataset::new(tiny_config(LayoutKind::Apax));
         for i in 0..200 {
             ds.insert(sample_record(i)).unwrap();
         }
@@ -880,5 +1171,45 @@ mod tests {
         assert!(ds.primary_stored_bytes() > 0);
         assert!(ds.total_stored_bytes() >= ds.primary_stored_bytes());
         assert!(ds.io_stats().pages_written > 0);
+    }
+
+    #[test]
+    fn background_mode_reaches_the_same_state() {
+        for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+            let sync_ds = LsmDataset::new(tiny_config(layout));
+            let bg_ds = LsmDataset::new(tiny_config(layout).with_background(true));
+            for ds in [&sync_ds, &bg_ds] {
+                for i in 0..300 {
+                    ds.insert(sample_record(i)).unwrap();
+                }
+                for i in [5i64, 100] {
+                    ds.delete(Value::Int(i)).unwrap();
+                }
+                ds.flush().unwrap();
+            }
+            assert_eq!(sync_ds.scan(None).unwrap(), bg_ds.scan(None).unwrap(), "{layout:?}");
+            assert!(bg_ds.stats().flushes > 1, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let ds = LsmDataset::new(tiny_config(LayoutKind::Amax));
+        for i in 0..100 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        let snapshot = ds.snapshot();
+        assert_eq!(snapshot.count().unwrap(), 100);
+        for i in 100..200 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.delete(Value::Int(0)).unwrap();
+        ds.compact_fully().unwrap();
+        // The snapshot still sees exactly the first 100 records, even though
+        // the dataset has flushed, merged and retired components since.
+        assert_eq!(snapshot.count().unwrap(), 100);
+        assert!(snapshot.lookup(&Value::Int(0), None).unwrap().is_some());
+        assert!(snapshot.lookup(&Value::Int(150), None).unwrap().is_none());
+        assert_eq!(ds.count().unwrap(), 199);
     }
 }

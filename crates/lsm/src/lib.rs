@@ -21,7 +21,40 @@
 //! * [`dataset`] — [`LsmDataset`]: one dataset partition tying everything
 //!   together: insert/upsert/delete, flush with schema inference, merges,
 //!   reconciled scans with projection push-down, point lookups, and
-//!   secondary-index range queries answered by sorted batched lookups (§4.6).
+//!   secondary-index range queries answered by sorted batched lookups (§4.6);
+//! * [`snapshot`] — [`Snapshot`]: consistent point-in-time read views;
+//! * [`scheduler`] — background flush/merge coordination and backpressure.
+//!
+//! ## Concurrency: snapshots, sealing, and background workers
+//!
+//! The paper's LSM lifecycle assumes flushes and merges run as background
+//! jobs while ingestion and queries proceed (§2.1, §6.3). The dataset is
+//! built around that assumption:
+//!
+//! * **Atomically-swapped tree.** The on-disk components and the sealed
+//!   (flush-pending) memtables live in an immutable
+//!   [`snapshot::TreeState`] behind an `RwLock<Arc<_>>`. Mutators build a
+//!   new `TreeState` and swap the `Arc`; readers clone the `Arc` and never
+//!   wait on a flush or merge.
+//! * **Snapshots.** [`LsmDataset::snapshot`] freezes the active memtable
+//!   (a brief write-lock hold) and pairs it with the current tree. Every
+//!   read — point lookup, scan, COUNT(*), the whole query engine — runs
+//!   against such a snapshot and reconciles newest-first: active memtable,
+//!   sealed memtables, then components. Merges *retire* their inputs rather
+//!   than freeing them, so a snapshot taken before a merge keeps reading the
+//!   old components until it drops (`Component::retire` in `storage`).
+//! * **Sealing.** When the active memtable exceeds its budget it is sealed:
+//!   drained into an immutable run, pushed into the tree, and (for durable
+//!   datasets) the WAL is rotated so the sealed records are confined to
+//!   closed segments. Ingestion continues into a fresh memtable immediately.
+//! * **Background worker.** With [`DatasetConfig::background`], one worker
+//!   thread per dataset flushes sealed memtables oldest-first and runs the
+//!   tiering policy's merges after each flush — the fair FCFS scheduling of
+//!   the paper's setup (§6.3). Backpressure bounds the sealed queue
+//!   ([`DatasetConfig::max_sealed_memtables`]); `flush()` drains the queue;
+//!   worker errors are parked and surfaced on the next insert or flush.
+//!   Without `background`, sealing is followed by an inline flush on the
+//!   inserting thread — the original synchronous behaviour.
 //!
 //! ## Durability
 //!
@@ -31,14 +64,16 @@
 //! [`dataset::LsmDataset::reopen`]) is backed by a directory managed by the
 //! `persist` crate and survives restarts:
 //!
-//! * inserts and deletes are appended to a CRC-framed **write-ahead log**
-//!   before they are applied to the memtable, so every acknowledged
-//!   mutation is recoverable;
+//! * inserts and deletes are appended to a CRC-framed, *segmented*
+//!   **write-ahead log** before they are applied to the memtable, so every
+//!   acknowledged mutation is recoverable; sealing rotates the log so
+//!   background flushes can release exactly the covered segments;
 //! * a **flush** writes the component into the dataset's page file, commits
 //!   a new **manifest** version (component lineage plus the inferred-schema
-//!   snapshot the tuple compactor produced, §2.2), and only then truncates
-//!   the WAL;
-//! * a **merge** commits the manifest swap *before* freeing the input
+//!   snapshot the tuple compactor produced, §2.2), and only then removes the
+//!   WAL segments covering the flushed records — all while concurrent
+//!   writers keep appending to the active segment;
+//! * a **merge** commits the manifest swap *before* retiring the input
 //!   components' pages, so no crash window can lose data (§4.5.3's merge
 //!   piggy-backing, extended with recovery semantics);
 //! * **recovery** (`open`/`reopen`) reloads components from the manifest,
@@ -46,18 +81,22 @@
 //!
 //! The full protocol, its crash windows and the injected
 //! [`persist::CrashPoint`]s used by the recovery tests are documented in the
-//! `persist` crate.
+//! `persist` crate. The crash points also fire from background workers, so
+//! the recovery tests can kill a dataset under concurrent load.
 
 pub mod dataset;
 pub mod index;
 pub mod memtable;
 pub mod policy;
+pub(crate) mod scheduler;
+pub mod snapshot;
 
 pub use dataset::{DatasetConfig, IngestStats, LsmDataset};
 pub use index::{PrimaryKeyIndex, SecondaryIndex};
 pub use memtable::Memtable;
 pub use persist::CrashPoint;
 pub use policy::{MergeDecision, TieringPolicy};
+pub use snapshot::Snapshot;
 
 /// Error type shared by the LSM layer.
 pub type LsmError = encoding::DecodeError;

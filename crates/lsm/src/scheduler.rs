@@ -1,0 +1,199 @@
+//! Background flush/merge scheduling and ingest backpressure.
+//!
+//! The dataset's mutable tree state is published as an immutable,
+//! atomically-swapped [`TreeState`](crate::snapshot) snapshot; the
+//! [`Scheduler`] is the small piece of shared control state that coordinates
+//! *who* advances that tree:
+//!
+//! * the **writer** seals the active memtable when it exceeds its budget and
+//!   signals the scheduler ([`Scheduler::note_sealed`]);
+//! * the **worker thread** (one per dataset, when
+//!   [`DatasetConfig::background`](crate::DatasetConfig) is set) wakes up,
+//!   flushes sealed memtables oldest-first and runs the tiering policy's
+//!   merges after each flush — the fair FCFS order of the paper's setup
+//!   (§6.3) falls out of the single worker processing one job at a time;
+//! * **backpressure**: when `max_sealed_memtables` sealed memtables are
+//!   already waiting, [`Scheduler::admit`] blocks the writer until a flush
+//!   retires one, bounding memory instead of letting ingest outrun the disk;
+//! * **draining**: an explicit `flush()` signals the worker and waits until
+//!   no sealed memtable remains and the worker is idle.
+//!
+//! A failure on the worker thread (I/O error, injected crash point) is
+//! parked in the scheduler: the next `admit`/`drain` surfaces it to the
+//! caller, exactly where a synchronous flush would have returned it.
+//! `drain` *consumes* the failure so the caller can retry (recovery tests
+//! re-run a flush after an injected crash).
+
+use std::sync::{Condvar, Mutex};
+
+use crate::LsmError;
+
+/// Shared writer/worker control state.
+#[derive(Default)]
+struct Ctrl {
+    /// Sealed memtables awaiting flush.
+    sealed_count: usize,
+    /// Work has been signalled and not yet picked up.
+    pending: bool,
+    /// The worker is currently processing.
+    busy: bool,
+    /// The dataset is shutting down; the worker must exit.
+    shutdown: bool,
+    /// A background flush/merge failed; surfaced on the next admit/drain.
+    failed: Option<LsmError>,
+}
+
+/// Coordination between the ingest path and the background worker.
+pub(crate) struct Scheduler {
+    ctrl: Mutex<Ctrl>,
+    /// Worker waits here for work.
+    work_cv: Condvar,
+    /// Writers (backpressure) and drainers wait here for progress.
+    done_cv: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Scheduler {
+        Scheduler {
+            ctrl: Mutex::new(Ctrl::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Backpressure gate, called by writers *before* taking the write lock:
+    /// blocks while `max_sealed` sealed memtables are already queued.
+    /// Surfaces (without consuming) a parked background failure.
+    pub(crate) fn admit(&self, max_sealed: usize) -> Result<(), LsmError> {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        loop {
+            if let Some(err) = &ctrl.failed {
+                return Err(err.clone());
+            }
+            if ctrl.sealed_count < max_sealed.max(1) {
+                return Ok(());
+            }
+            ctrl = self.done_cv.wait(ctrl).unwrap();
+        }
+    }
+
+    /// A memtable was sealed: account for it and wake the worker.
+    pub(crate) fn note_sealed(&self) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.sealed_count += 1;
+        ctrl.pending = true;
+        self.work_cv.notify_one();
+    }
+
+    /// A sealed memtable was flushed: release backpressure waiters.
+    pub(crate) fn note_flushed(&self) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.sealed_count = ctrl.sealed_count.saturating_sub(1);
+        self.done_cv.notify_all();
+    }
+
+    /// Sealed memtables currently queued.
+    pub(crate) fn sealed_count(&self) -> usize {
+        self.ctrl.lock().unwrap().sealed_count
+    }
+
+    /// Signal the worker and wait until every sealed memtable is flushed and
+    /// the worker is idle. Consumes and returns a parked failure, so a
+    /// subsequent drain retries the work.
+    pub(crate) fn drain(&self) -> Result<(), LsmError> {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.pending = true;
+        self.work_cv.notify_one();
+        loop {
+            if let Some(err) = ctrl.failed.take() {
+                return Err(err);
+            }
+            if ctrl.sealed_count == 0 && !ctrl.busy && !ctrl.pending {
+                return Ok(());
+            }
+            ctrl = self.done_cv.wait(ctrl).unwrap();
+        }
+    }
+
+    /// Ask the worker to exit (idempotent); wakes it if it is waiting.
+    pub(crate) fn shutdown(&self) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.shutdown = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Worker side: block until work is signalled. Returns `false` when the
+    /// scheduler is shutting down.
+    pub(crate) fn next_work(&self) -> bool {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        loop {
+            if ctrl.shutdown {
+                return false;
+            }
+            if ctrl.pending {
+                ctrl.pending = false;
+                ctrl.busy = true;
+                return true;
+            }
+            ctrl = self.work_cv.wait(ctrl).unwrap();
+        }
+    }
+
+    /// Worker side: report the outcome of one processing round.
+    pub(crate) fn work_done(&self, result: Result<(), LsmError>) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.busy = false;
+        if let Err(err) = result {
+            ctrl.failed = Some(err);
+        }
+        self.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admit_blocks_until_flush_and_surfaces_failures() {
+        let sched = Arc::new(Scheduler::new());
+        sched.note_sealed();
+        sched.note_sealed();
+        let t = {
+            let sched = sched.clone();
+            std::thread::spawn(move || sched.admit(2))
+        };
+        // Unblock the writer by "flushing" one sealed memtable.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sched.note_flushed();
+        t.join().unwrap().unwrap();
+
+        sched.work_done(Err(LsmError::new("boom")));
+        assert!(sched.admit(2).is_err(), "parked failure must surface");
+        assert!(sched.drain().is_err(), "drain consumes the failure");
+        // After drain consumed it, admit passes again (one slot free).
+        sched.note_flushed();
+        sched.admit(2).unwrap();
+    }
+
+    #[test]
+    fn drain_waits_for_idle_worker() {
+        let sched = Arc::new(Scheduler::new());
+        sched.note_sealed();
+        let worker = {
+            let sched = sched.clone();
+            std::thread::spawn(move || {
+                while sched.next_work() {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    sched.note_flushed();
+                    sched.work_done(Ok(()));
+                }
+            })
+        };
+        sched.drain().unwrap();
+        assert_eq!(sched.sealed_count(), 0);
+        sched.shutdown();
+        worker.join().unwrap();
+    }
+}

@@ -1,0 +1,176 @@
+//! Consistent point-in-time read views.
+//!
+//! The dataset publishes its LSM tree as an immutable [`TreeState`] behind
+//! an atomically-swapped `Arc`: sealed (flush-pending) memtables plus the
+//! stack of on-disk components. A [`Snapshot`] pairs one such tree with a
+//! frozen copy of the active memtable, giving readers — point lookups,
+//! scans, and the whole query engine — a view that is internally consistent
+//! no matter how many writers, flushes and merges run concurrently:
+//!
+//! * flushes move records from a sealed memtable into a component, but a
+//!   snapshot taken earlier still holds the sealed memtable's `Arc`;
+//! * merges retire their input components *after* the manifest commit, and
+//!   the pages are freed only when the last snapshot releases its handles
+//!   (`Component::retire` in the storage crate);
+//! * the reconciliation order inside a snapshot is always newest-first:
+//!   active memtable, then sealed memtables (newest first), then components
+//!   (newest first) — the most recent version of each key wins and
+//!   anti-matter hides older versions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use docmodel::cmp::OrderedValue;
+use docmodel::{total_cmp, Path, Value};
+use storage::component::{Component, ComponentReader};
+
+use crate::Result;
+
+/// A memtable sealed for flushing: an immutable, key-sorted run of entries
+/// plus the id of the newest WAL segment containing its records.
+pub struct SealedMemtable {
+    /// Entries in key order (`None` = anti-matter).
+    pub(crate) entries: Vec<(Value, Option<Value>)>,
+    /// Newest WAL segment covering these entries (durable datasets only).
+    pub(crate) wal_segment: Option<u64>,
+    /// Approximate heap footprint, for accounting.
+    pub(crate) bytes: usize,
+}
+
+impl SealedMemtable {
+    fn find(&self, key: &Value) -> Option<&Option<Value>> {
+        self.entries
+            .binary_search_by(|(k, _)| total_cmp(k, key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// The immutable, atomically-swapped part of a dataset: everything except
+/// the active memtable. Cloning is shallow (`Arc` bumps).
+#[derive(Default, Clone)]
+pub struct TreeState {
+    /// Sealed memtables awaiting flush, oldest first.
+    pub(crate) sealed: Vec<Arc<SealedMemtable>>,
+    /// On-disk components, oldest first.
+    pub(crate) components: Vec<Arc<Component>>,
+}
+
+/// A consistent point-in-time view of one dataset.
+pub struct Snapshot {
+    /// Frozen copy of the active memtable, in key order.
+    pub(crate) active: Vec<(Value, Option<Value>)>,
+    /// The published tree at snapshot time.
+    pub(crate) tree: Arc<TreeState>,
+}
+
+impl Snapshot {
+    /// Point lookup: newest version of `key`. `None` when the key does not
+    /// exist or was deleted at snapshot time.
+    pub fn lookup(&self, key: &Value, projection: Option<&[Path]>) -> Result<Option<Value>> {
+        if let Ok(i) = self.active.binary_search_by(|(k, _)| total_cmp(k, key)) {
+            return Ok(self.active[i].1.clone());
+        }
+        for sealed in self.tree.sealed.iter().rev() {
+            if let Some(entry) = sealed.find(key) {
+                return Ok(entry.clone());
+            }
+        }
+        for component in self.tree.components.iter().rev() {
+            if let Some(entry) = component.lookup(key, projection)? {
+                return Ok(entry);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Scan the snapshot, reconciling duplicates and dropping anti-matter.
+    /// Only the projected paths are assembled from columnar components.
+    pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
+        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
+        for (key, doc) in &self.active {
+            merged
+                .entry(OrderedValue(key.clone()))
+                .or_insert_with(|| doc.clone());
+        }
+        for sealed in self.tree.sealed.iter().rev() {
+            for (key, doc) in &sealed.entries {
+                merged
+                    .entry(OrderedValue(key.clone()))
+                    .or_insert_with(|| doc.clone());
+            }
+        }
+        for component in self.tree.components.iter().rev() {
+            for entry in component.scan(projection)? {
+                let (key, doc) = entry?;
+                merged.entry(OrderedValue(key)).or_insert(doc);
+            }
+        }
+        Ok(merged.into_values().flatten().collect())
+    }
+
+    /// Number of live records (COUNT(*)): only primary keys are read, which
+    /// for AMAX means Page 0 alone.
+    pub fn count(&self) -> Result<usize> {
+        let mut merged: BTreeMap<OrderedValue, bool> = BTreeMap::new();
+        for (key, doc) in &self.active {
+            merged
+                .entry(OrderedValue(key.clone()))
+                .or_insert(doc.is_some());
+        }
+        for sealed in self.tree.sealed.iter().rev() {
+            for (key, doc) in &sealed.entries {
+                merged
+                    .entry(OrderedValue(key.clone()))
+                    .or_insert(doc.is_some());
+            }
+        }
+        for component in self.tree.components.iter().rev() {
+            for entry in component.scan(Some(&[]))? {
+                let (key, doc) = entry?;
+                merged.entry(OrderedValue(key)).or_insert(doc.is_some());
+            }
+        }
+        Ok(merged.values().filter(|live| **live).count())
+    }
+
+    /// Batched point lookups for the (sorted) keys produced by a secondary
+    /// index probe (§4.6).
+    pub fn lookup_sorted_keys(
+        &self,
+        keys: &mut [Value],
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<Value>> {
+        keys.sort_by(docmodel::total_cmp);
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys.iter() {
+            if let Some(doc) = self.lookup(key, projection)? {
+                out.push(doc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The on-disk components visible to this snapshot, oldest first.
+    pub fn components(&self) -> &[Arc<Component>] {
+        &self.tree.components
+    }
+
+    /// Approximate heap bytes held by sealed memtables at snapshot time
+    /// (what backpressure bounds).
+    pub fn sealed_bytes(&self) -> usize {
+        self.tree.sealed.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Records (and anti-matter) still in memory at snapshot time: the
+    /// frozen active memtable plus every sealed memtable.
+    pub fn in_memory_entries(&self) -> usize {
+        self.active.len()
+            + self
+                .tree
+                .sealed
+                .iter()
+                .map(|s| s.entries.len())
+                .sum::<usize>()
+    }
+}

@@ -1,0 +1,283 @@
+//! Concurrency stress tests: N writer threads and M reader threads against
+//! one dataset with background flush/merge workers.
+//!
+//! The invariants checked:
+//!
+//! * every acknowledged record (insert returned `Ok` before a snapshot was
+//!   taken) is readable from that snapshot;
+//! * snapshots are internally consistent (scan length equals COUNT(*), keys
+//!   come back sorted and unique) and *stable* — re-reading a snapshot after
+//!   more flushes/merges returns the same answer;
+//! * the final state equals a single-threaded oracle run of the same
+//!   operations (writers own disjoint key ranges, so any interleaving must
+//!   converge to the same reconciled state);
+//! * backpressure bounds the sealed-memtable queue instead of letting
+//!   ingestion outrun the flush workers.
+
+use std::sync::Mutex;
+
+use docmodel::{doc, total_cmp, Value};
+use lsm::{DatasetConfig, LsmDataset};
+use storage::LayoutKind;
+
+const WRITERS: usize = 4;
+/// Unoptimized builds run a reduced workload so the tier-1 `cargo test`
+/// stays fast; CI additionally runs this suite in `--release` at full scale.
+#[cfg(debug_assertions)]
+const RECORDS_PER_WRITER: i64 = 60;
+#[cfg(not(debug_assertions))]
+const RECORDS_PER_WRITER: i64 = 300;
+#[cfg(debug_assertions)]
+const READER_ROUNDS: usize = 5;
+#[cfg(not(debug_assertions))]
+const READER_ROUNDS: usize = 20;
+/// Writers use disjoint key ranges: writer `w` owns `w*STRIDE ..`.
+const STRIDE: i64 = 1_000_000;
+
+fn bg_config(layout: LayoutKind) -> DatasetConfig {
+    DatasetConfig::new("concurrency", layout)
+        .with_memtable_budget(8 * 1024)
+        .with_page_size(4 * 1024)
+        .with_background(true)
+        .with_max_sealed(2)
+}
+
+fn record(key: i64, body: &str) -> Value {
+    doc!({
+        "id": key,
+        "body": (body.to_string()),
+        "num": (key % 977),
+        "nested": {"tag": (format!("t{}", key % 13))}
+    })
+}
+
+/// The deterministic per-writer script: insert every key, update every third
+/// key, delete every tenth. Returns the ops in program order.
+enum Op {
+    Insert(i64, String),
+    Delete(i64),
+}
+
+fn writer_script(writer: usize) -> Vec<Op> {
+    let base = writer as i64 * STRIDE;
+    let mut ops = Vec::new();
+    for i in 0..RECORDS_PER_WRITER {
+        ops.push(Op::Insert(base + i, format!("v1 of {i}")));
+    }
+    for i in (0..RECORDS_PER_WRITER).step_by(3) {
+        ops.push(Op::Insert(base + i, format!("v2 of {i}")));
+    }
+    for i in (0..RECORDS_PER_WRITER).step_by(10) {
+        ops.push(Op::Delete(base + i));
+    }
+    ops
+}
+
+fn apply_script(ds: &LsmDataset, writer: usize) {
+    for op in writer_script(writer) {
+        match op {
+            Op::Insert(key, body) => ds.insert(record(key, &body)).unwrap(),
+            Op::Delete(key) => ds.delete(Value::Int(key)).unwrap(),
+        }
+    }
+}
+
+/// Single-threaded oracle of the final state for `WRITERS` writers.
+fn oracle() -> LsmDataset {
+    let ds = LsmDataset::new(
+        DatasetConfig::new("oracle", LayoutKind::Amax)
+            .with_memtable_budget(8 * 1024)
+            .with_page_size(4 * 1024),
+    );
+    for w in 0..WRITERS {
+        apply_script(&ds, w);
+    }
+    ds.flush().unwrap();
+    ds
+}
+
+#[test]
+fn concurrent_writers_converge_to_the_oracle_state() {
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let ds = LsmDataset::new(bg_config(layout));
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let ds = &ds;
+                scope.spawn(move || apply_script(ds, w));
+            }
+        });
+        ds.flush().unwrap();
+
+        let expected = oracle().scan(None).unwrap();
+        let got = ds.scan(None).unwrap();
+        assert_eq!(got.len(), expected.len(), "{layout:?}");
+        assert_eq!(got, expected, "{layout:?}: concurrent run must equal the oracle");
+        assert!(
+            ds.stats().flushes > 1,
+            "{layout:?}: background flushes must have happened"
+        );
+    }
+}
+
+#[test]
+fn acknowledged_records_are_visible_to_readers() {
+    let ds = LsmDataset::new(bg_config(LayoutKind::Amax));
+    // Keys are pushed here *after* their insert was acknowledged.
+    let acked: Mutex<Vec<i64>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let ds = &ds;
+            let acked = &acked;
+            scope.spawn(move || {
+                let base = w as i64 * STRIDE;
+                for i in 0..RECORDS_PER_WRITER {
+                    let key = base + i;
+                    ds.insert(record(key, "ack-test")).unwrap();
+                    acked.lock().unwrap().push(key);
+                }
+            });
+        }
+        // Readers: everything acknowledged before the snapshot must be in it.
+        for _ in 0..2 {
+            let ds = &ds;
+            let acked = &acked;
+            scope.spawn(move || {
+                for _ in 0..READER_ROUNDS {
+                    let visible_before: Vec<i64> = acked.lock().unwrap().clone();
+                    let snapshot = ds.snapshot();
+                    for &key in &visible_before {
+                        assert!(
+                            snapshot.lookup(&Value::Int(key), None).unwrap().is_some(),
+                            "acknowledged key {key} missing from snapshot"
+                        );
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    ds.flush().unwrap();
+    assert_eq!(ds.count().unwrap(), WRITERS * RECORDS_PER_WRITER as usize);
+}
+
+#[test]
+fn snapshots_are_internally_consistent_and_stable_under_churn() {
+    let ds = LsmDataset::new(bg_config(LayoutKind::Amax));
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let ds = &ds;
+            scope.spawn(move || apply_script(ds, w));
+        }
+        for _ in 0..2 {
+            let ds = &ds;
+            scope.spawn(move || {
+                for _ in 0..READER_ROUNDS {
+                    let snapshot = ds.snapshot();
+                    let count = snapshot.count().unwrap();
+                    let docs = snapshot.scan(None).unwrap();
+                    // Scan and COUNT(*) agree on the same snapshot.
+                    assert_eq!(docs.len(), count);
+                    // Keys are sorted and unique (reconciliation worked).
+                    for pair in docs.windows(2) {
+                        let a = pair[0].get_field("id").unwrap();
+                        let b = pair[1].get_field("id").unwrap();
+                        assert_eq!(total_cmp(a, b), std::cmp::Ordering::Less);
+                    }
+                    // Stability: the same snapshot answers the same later,
+                    // despite flushes/merges retiring components meanwhile.
+                    assert_eq!(snapshot.count().unwrap(), count);
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    ds.flush().unwrap();
+    let expected = oracle().scan(None).unwrap();
+    assert_eq!(ds.scan(None).unwrap(), expected);
+}
+
+#[test]
+fn a_snapshot_survives_full_compaction() {
+    let n = RECORDS_PER_WRITER; // scale with the profile
+    let ds = LsmDataset::new(bg_config(LayoutKind::Amax));
+    for i in 0..n {
+        ds.insert(record(i, "before")).unwrap();
+    }
+    ds.flush().unwrap();
+    let snapshot = ds.snapshot();
+    let before = snapshot.scan(None).unwrap();
+
+    // Churn: more data, deletes, then compact everything to one component.
+    for i in n..2 * n {
+        ds.insert(record(i, "after")).unwrap();
+    }
+    for i in 0..n / 4 {
+        ds.delete(Value::Int(i)).unwrap();
+    }
+    ds.compact_fully().unwrap();
+    assert_eq!(ds.component_count(), 1);
+
+    // The old snapshot still reads the retired components' pages.
+    assert_eq!(snapshot.scan(None).unwrap(), before);
+    assert_eq!(snapshot.count().unwrap(), n as usize);
+    assert_eq!(ds.count().unwrap(), (2 * n - n / 4) as usize);
+}
+
+#[test]
+fn backpressure_bounds_the_sealed_queue() {
+    let max_sealed = 2;
+    let ds = LsmDataset::new(
+        bg_config(LayoutKind::Vb).with_max_sealed(max_sealed),
+    );
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let ds = &ds;
+            scope.spawn(move || {
+                let base = w as i64 * STRIDE;
+                for i in 0..RECORDS_PER_WRITER {
+                    ds.insert(record(base + i, "backpressure")).unwrap();
+                }
+            });
+        }
+        let ds = &ds;
+        scope.spawn(move || {
+            for _ in 0..READER_ROUNDS * 2 {
+                // Each writer can overshoot the gate by at most one seal.
+                assert!(
+                    ds.sealed_count() <= max_sealed + WRITERS,
+                    "sealed queue exceeded the backpressure bound"
+                );
+                std::thread::yield_now();
+            }
+        });
+    });
+    ds.flush().unwrap();
+    assert_eq!(ds.count().unwrap(), WRITERS * RECORDS_PER_WRITER as usize);
+    assert!(ds.stats().flushes > 1);
+}
+
+#[test]
+fn durable_concurrent_ingest_recovers_after_restart() {
+    let dir = std::env::temp_dir()
+        .join(format!("lsm-concurrency-tests-{}", std::process::id()))
+        .join("durable-restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let ds = LsmDataset::open(&dir, bg_config(LayoutKind::Amax)).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let ds = &ds;
+                scope.spawn(move || apply_script(ds, w));
+            }
+        });
+        ds.flush().unwrap();
+    }
+    let ds = LsmDataset::reopen(&dir).unwrap();
+    let expected = oracle().scan(None).unwrap();
+    assert_eq!(
+        ds.scan(None).unwrap(),
+        expected,
+        "recovered state must equal the oracle"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property tests for the tiering merge policy.
+//!
+//! For arbitrary component-size sequences (newest first) the policy must:
+//!
+//! * only ever schedule a merge of a contiguous **newest-first prefix** of
+//!   at least two components (that is what the flush/merge pipeline and the
+//!   manifest swap assume);
+//! * respect `max_components`: more components than the cap always schedules
+//!   a merge;
+//! * **converge** under repeated application (merge the chosen prefix into
+//!   one component, ask again): the tree settles to at most `max_components`
+//!   components in a bounded number of steps — no livelock where a merge
+//!   output immediately re-triggers forever.
+
+use lsm::{MergeDecision, TieringPolicy};
+use proptest::prelude::*;
+
+/// Apply one merge decision to a newest-first size list: the merged prefix
+/// is replaced by a single component holding the sum (exactly what
+/// `merge_components` produces, modulo reconciliation shrinking it).
+fn apply(sizes: &[u64], indexes: &[usize]) -> Vec<u64> {
+    let merged: u64 = indexes.iter().map(|&i| sizes[i]).sum();
+    let mut next = vec![merged];
+    next.extend_from_slice(&sizes[indexes.len()..]);
+    next
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn scheduled_merges_are_newest_first_prefixes(
+        sizes in prop::collection::vec(0u64..4_000_000, 0..12),
+        ratio in 1.05f64..4.0,
+        max in 2usize..8,
+    ) {
+        let policy = TieringPolicy { size_ratio: ratio, max_components: max };
+        match policy.decide(&sizes) {
+            MergeDecision::None => {}
+            MergeDecision::Merge(indexes) => {
+                prop_assert!(indexes.len() >= 2, "a merge needs at least two inputs");
+                prop_assert!(indexes.len() <= sizes.len());
+                let expected: Vec<usize> = (0..indexes.len()).collect();
+                prop_assert_eq!(
+                    indexes, expected,
+                    "tiering must pick a contiguous newest-first prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn component_cap_always_triggers_a_merge(
+        sizes in prop::collection::vec(0u64..4_000_000, 0..12),
+        max in 2usize..6,
+    ) {
+        // A huge ratio disables the size rule, isolating the count rule.
+        let policy = TieringPolicy { size_ratio: 1e12, max_components: max };
+        let decision = policy.decide(&sizes);
+        if sizes.len() > max {
+            prop_assert_ne!(decision, MergeDecision::None, "cap exceeded but no merge");
+        } else {
+            prop_assert_eq!(decision, MergeDecision::None);
+        }
+    }
+
+    #[test]
+    fn repeated_application_converges_without_livelock(
+        sizes in prop::collection::vec(0u64..4_000_000, 0..12),
+        ratio in 1.05f64..4.0,
+        max in 2usize..8,
+    ) {
+        let policy = TieringPolicy { size_ratio: ratio, max_components: max };
+        let mut current = sizes.clone();
+        let mut steps = 0usize;
+        loop {
+            match policy.decide(&current) {
+                MergeDecision::None => break,
+                MergeDecision::Merge(indexes) => {
+                    let next = apply(&current, &indexes);
+                    prop_assert!(
+                        next.len() < current.len(),
+                        "every merge must shrink the tree (no livelock)"
+                    );
+                    current = next;
+                    steps += 1;
+                    prop_assert!(
+                        steps <= sizes.len(),
+                        "convergence must take at most one merge per initial component"
+                    );
+                }
+            }
+        }
+        prop_assert!(
+            current.len() <= max,
+            "a settled tree respects max_components ({} > {max})",
+            current.len()
+        );
+        // Convergence is stable: asking again schedules nothing.
+        prop_assert_eq!(policy.decide(&current), MergeDecision::None);
+    }
+
+    #[test]
+    fn flush_then_merge_cycle_stays_bounded(
+        flushes in prop::collection::vec(1u64..200_000, 1..40),
+        ratio in 1.05f64..2.0,
+        max in 2usize..6,
+    ) {
+        // Simulate the real lifecycle: each flush prepends a new (newest)
+        // component, then the policy is applied to quiescence — exactly what
+        // the scheduler does after every flush. The tree must never grow
+        // beyond max_components + 1 at decision time.
+        let policy = TieringPolicy { size_ratio: ratio, max_components: max };
+        let mut current: Vec<u64> = Vec::new();
+        for flushed in flushes {
+            current.insert(0, flushed);
+            prop_assert!(current.len() <= max + 1, "tree grew unboundedly");
+            while let MergeDecision::Merge(indexes) = policy.decide(&current) {
+                current = apply(&current, &indexes);
+            }
+        }
+    }
+}

@@ -5,6 +5,12 @@
 //! the interesting windows), reopens the directory, and asserts that exactly
 //! the acknowledged inserts and deletes are visible — no lost records, no
 //! resurrected deletes, no duplicates.
+//!
+//! The `crash_under_load_*` tests arm the same crash points while background
+//! flush/merge workers and a writer thread are active, then reopen and
+//! verify that exactly the acknowledged prefix survives.
+
+use std::sync::Mutex;
 
 use docmodel::{doc, Value};
 use lsm::{CrashPoint, DatasetConfig, LsmDataset};
@@ -129,7 +135,7 @@ fn kill_after_component_write_before_manifest_commit() {
         assert_workload_recovered(&ds);
 
         // The recovered dataset keeps working: flush it for real this time.
-        let mut ds = ds;
+        let ds = ds;
         ds.flush().unwrap();
         assert!(ds.manifest_version() > 0);
         assert_eq!(ds.wal_bytes(), 0);
@@ -193,7 +199,7 @@ fn kill_during_merge_before_manifest_commit_keeps_inputs() {
         assert!(ds.lookup(&Value::Int(N + 39), None).unwrap().is_some());
 
         // And a rerun of the merge completes.
-        let mut ds = ds;
+        let ds = ds;
         ds.compact_fully().unwrap();
         assert_eq!(ds.component_count(), 1, "{layout:?}");
         assert_eq!(ds.count().unwrap(), (N - 3 + 40) as usize);
@@ -230,7 +236,7 @@ fn repeated_restarts_and_mixed_batches_converge() {
     let dir = temp_dir("repeated-restarts");
     // Session 1: a first batch, flushed.
     {
-        let mut ds = LsmDataset::open(&dir, tiny_config(LayoutKind::Amax)).unwrap();
+        let ds = LsmDataset::open(&dir, tiny_config(LayoutKind::Amax)).unwrap();
         for i in 0..60 {
             ds.insert(sample_record(i)).unwrap();
         }
@@ -238,7 +244,7 @@ fn repeated_restarts_and_mixed_batches_converge() {
     }
     // Session 2: updates and deletes, left unflushed in the WAL.
     {
-        let mut ds = LsmDataset::reopen(&dir).unwrap();
+        let ds = LsmDataset::reopen(&dir).unwrap();
         assert_eq!(ds.count().unwrap(), 60);
         for i in 0..10 {
             let mut updated = sample_record(i);
@@ -250,7 +256,7 @@ fn repeated_restarts_and_mixed_batches_converge() {
     }
     // Session 3: heterogeneous records widening the schema, then a flush.
     {
-        let mut ds = LsmDataset::reopen(&dir).unwrap();
+        let ds = LsmDataset::reopen(&dir).unwrap();
         assert_eq!(ds.count().unwrap(), 59);
         let doc = ds.lookup(&Value::Int(4), None).unwrap().unwrap();
         assert_eq!(doc.get_field("text"), Some(&Value::from("second session")));
@@ -280,7 +286,7 @@ fn secondary_index_is_rebuilt_on_recovery() {
             .with_secondary_index(docmodel::Path::parse("timestamp"))
     };
     {
-        let mut ds = LsmDataset::open(&dir, config()).unwrap();
+        let ds = LsmDataset::open(&dir, config()).unwrap();
         for i in 0..150 {
             ds.insert(sample_record(i)).unwrap();
         }
@@ -315,7 +321,7 @@ fn reopen_without_manifest_is_an_error_but_open_works() {
     let dir = temp_dir("no-manifest");
     assert!(LsmDataset::reopen(&dir).is_err(), "nothing there yet");
     {
-        let mut ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+        let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
         ds.insert(sample_record(1)).unwrap();
         // No flush: still no manifest, only a WAL.
     }
@@ -328,7 +334,7 @@ fn reopen_without_manifest_is_an_error_but_open_works() {
 fn torn_wal_tail_loses_only_the_unacknowledged_record() {
     let dir = temp_dir("torn-tail");
     {
-        let mut ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+        let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
         for i in 0..20 {
             ds.insert(sample_record(i)).unwrap();
         }
@@ -360,4 +366,174 @@ fn durable_and_in_memory_datasets_agree() {
     drop(dur);
     let dur = LsmDataset::reopen(&dir).unwrap();
     assert_eq!(dur.scan(None).unwrap(), mem_docs);
+}
+
+// ---------------------------------------------------------------------------
+// Crash points under concurrent load (background workers + writer thread).
+// ---------------------------------------------------------------------------
+
+/// Unoptimized builds ingest less so the tier-1 `cargo test` stays fast; CI
+/// additionally runs this suite in `--release` at full scale.
+#[cfg(debug_assertions)]
+const LOAD: i64 = 400;
+#[cfg(not(debug_assertions))]
+const LOAD: i64 = 2_000;
+
+/// Background config with a tiny budget so flushes and merges fire while the
+/// writer is still running.
+fn bg_config(layout: LayoutKind) -> DatasetConfig {
+    tiny_config(layout)
+        .with_background(true)
+        .with_max_sealed(2)
+}
+
+/// Drive a writer thread (recording every acknowledged insert) and a reader
+/// thread against a dataset whose durability layer has `point` armed. The
+/// injected failure fires on the background worker; the writer observes it
+/// through the scheduler on a later insert and stops. Returns the
+/// acknowledged keys.
+fn crash_under_load(dir: &std::path::Path, layout: LayoutKind, point: CrashPoint) -> Vec<i64> {
+    let ds = LsmDataset::open(dir, bg_config(layout)).unwrap();
+    ds.set_crash_point(point);
+    let acked: Mutex<Vec<i64>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let writer = {
+            let ds = &ds;
+            let acked = &acked;
+            scope.spawn(move || {
+                for i in 0..LOAD {
+                    match ds.insert(sample_record(i)) {
+                        Ok(()) => acked.lock().unwrap().push(i),
+                        // The parked background failure surfaced: stop, like
+                        // a client whose writes start erroring out.
+                        Err(err) => {
+                            assert!(
+                                err.message.contains("injected crash"),
+                                "unexpected failure: {err}"
+                            );
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+        // A concurrent reader keeps taking snapshots while the crash fires.
+        {
+            let ds = &ds;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let snapshot = ds.snapshot();
+                    let count = snapshot.count().unwrap();
+                    assert_eq!(snapshot.scan(None).unwrap().len(), count);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    // The final drain may surface the parked failure — that is the "crash".
+    let _ = ds.flush();
+    drop(ds); // kill: the dataset is abandoned mid-protocol
+    acked.into_inner().unwrap()
+}
+
+#[test]
+fn crash_under_load_preserves_the_acknowledged_prefix() {
+    for (name, point) in [
+        ("flush-pre-manifest", CrashPoint::AfterFlushComponentWrite),
+        ("flush-pre-truncate", CrashPoint::AfterFlushManifestCommit),
+        ("merge-pre-commit", CrashPoint::BeforeMergeManifestCommit),
+    ] {
+        for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+            let dir = temp_dir(&format!("under-load-{name}-{}", layout.name()));
+            let acked = crash_under_load(&dir, layout, point);
+            assert!(!acked.is_empty(), "{name}/{layout:?}: some inserts must be acknowledged");
+
+            let ds = LsmDataset::open(&dir, tiny_config(layout)).unwrap();
+            // Exactly the acknowledged prefix survives: every acknowledged
+            // insert is visible, and nothing beyond it.
+            assert_eq!(
+                ds.count().unwrap(),
+                acked.len(),
+                "{name}/{layout:?}: exactly the acknowledged records survive"
+            );
+            for &i in &acked {
+                assert!(
+                    ds.lookup(&Value::Int(i), None).unwrap().is_some(),
+                    "{name}/{layout:?}: acknowledged key {i} lost"
+                );
+            }
+            // And the recovered dataset keeps working.
+            ds.insert(sample_record(1_000_000)).unwrap();
+            ds.flush().unwrap();
+            assert_eq!(ds.count().unwrap(), acked.len() + 1);
+        }
+    }
+}
+
+#[test]
+fn background_flush_error_surfaces_on_explicit_flush() {
+    let dir = temp_dir("bg-error-on-flush");
+    let ds = LsmDataset::open(&dir, bg_config(LayoutKind::Amax)).unwrap();
+    for i in 0..40 {
+        ds.insert(sample_record(i)).unwrap();
+    }
+    ds.flush().unwrap();
+    let version = ds.manifest_version();
+
+    ds.set_crash_point(CrashPoint::AfterFlushComponentWrite);
+    for i in 40..80 {
+        ds.insert(sample_record(i)).unwrap();
+    }
+    let err = ds.flush().expect_err("the injected worker crash must surface");
+    assert!(err.message.contains("injected crash"), "{err}");
+    assert_eq!(ds.manifest_version(), version, "aborted flush must not commit");
+
+    // The crash point is consumed: a retry drains cleanly and nothing is lost.
+    ds.flush().unwrap();
+    assert_eq!(ds.count().unwrap(), 80);
+    assert!(ds.manifest_version() > version);
+    drop(ds);
+    let ds = LsmDataset::reopen(&dir).unwrap();
+    assert_eq!(ds.count().unwrap(), 80);
+}
+
+#[test]
+fn crash_under_load_with_deletes_keeps_them_deleted() {
+    let dir = temp_dir("under-load-deletes");
+    let acked_deletes: Mutex<Vec<i64>> = Mutex::new(Vec::new());
+    {
+        let ds = LsmDataset::open(&dir, bg_config(LayoutKind::Vb)).unwrap();
+        for i in 0..LOAD / 2 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.set_crash_point(CrashPoint::AfterFlushManifestCommit);
+        std::thread::scope(|scope| {
+            let ds = &ds;
+            let acked_deletes = &acked_deletes;
+            scope.spawn(move || {
+                for i in (0..LOAD / 2).step_by(7) {
+                    match ds.delete(Value::Int(i)) {
+                        Ok(()) => acked_deletes.lock().unwrap().push(i),
+                        Err(_) => break,
+                    }
+                }
+            });
+            scope.spawn(move || {
+                for i in LOAD / 2..LOAD {
+                    if ds.insert(sample_record(i)).is_err() {
+                        break;
+                    }
+                }
+            });
+        });
+        let _ = ds.flush();
+    }
+    let ds = LsmDataset::open(&dir, tiny_config(LayoutKind::Vb)).unwrap();
+    for i in acked_deletes.into_inner().unwrap() {
+        assert!(
+            ds.lookup(&Value::Int(i), None).unwrap().is_none(),
+            "acknowledged delete of {i} resurrected"
+        );
+    }
 }

@@ -6,9 +6,10 @@
 //!
 //! ```text
 //! <dataset>/
-//!   pages.dat   one file of page-aligned slots (storage::FileBackend)
-//!   wal.log     CRC-framed insert/delete records (wal::Wal)
-//!   MANIFEST    versioned, CRC-guarded root: config + schema + components
+//!   pages.dat        one file of page-aligned slots (storage::FileBackend)
+//!   wal.log          CRC-framed insert/delete records (segment 0)
+//!   wal-NNNNNN.log   later WAL segments (created by rotation, see below)
+//!   MANIFEST         versioned, CRC-guarded root: config + schema + components
 //! ```
 //!
 //! ## The protocol, mapped onto the LSM lifecycle
@@ -20,39 +21,58 @@
 //! * **Ingest** — every insert/upsert/delete is appended to the WAL *before*
 //!   it is applied to the memtable. The memtable is the only volatile state;
 //!   the WAL is its durable twin.
-//! * **Flush** — the memtable is written as a new component into the page
-//!   file, the page file is synced, and a new manifest version is committed
-//!   recording the component (with the inferred schema snapshot the tuple
-//!   compactor produced for it, §2.2). Only after the manifest commit is the
-//!   WAL truncated: a crash anywhere in between replays the still-present
-//!   WAL records over the (possibly already committed) component, which is
-//!   idempotent because replay reapplies the same keys.
+//! * **Seal** — when the memtable fills it is sealed for flushing and the WAL
+//!   is *rotated* ([`DurableStore::rotate_wal`]): the sealed memtable's
+//!   records are confined to segments up to the rotated id while new inserts
+//!   append to a fresh segment. Sealing is what lets the flush run on a
+//!   background worker while ingestion continues.
+//! * **Flush** — the sealed memtable is written as a new component into the
+//!   page file, the page file is synced, and a new manifest version is
+//!   committed recording the component (with the inferred schema snapshot the
+//!   tuple compactor produced for it, §2.2). Only after the manifest commit
+//!   are the WAL segments covering the flushed records removed: a crash
+//!   anywhere in between replays the still-present segments over the
+//!   (possibly already committed) component, which is idempotent because
+//!   replay reapplies the same keys.
 //! * **Merge** — the merged component is written and synced, then a manifest
 //!   version is committed that swaps the input components for the output;
-//!   only *after* that commit are the input pages freed. A crash before the
-//!   commit leaves the old manifest pointing at the old, still-intact
-//!   components (the merged pages are orphaned, never referenced).
+//!   only *after* that commit are the input pages freed (and only once no
+//!   concurrent reader still holds the inputs — see `Component::retire` in
+//!   the storage crate). A crash before the commit leaves the old manifest
+//!   pointing at the old, still-intact components.
 //! * **Recovery** — [`DurableStore::open`] loads the manifest, reopens every
-//!   listed component against the page file, and replays the WAL into the
-//!   memtable. The WAL's torn tail (an unacknowledged partial frame) is
-//!   detected by CRC and dropped.
+//!   listed component against the page file, and replays every remaining WAL
+//!   segment (oldest first) into the memtable. A torn tail in the newest
+//!   segment (an unacknowledged partial frame) is detected by CRC and
+//!   dropped.
 //!
 //! Orphaned pages (from crashes between component write and manifest commit)
 //! leak space until a future page-file compaction; they are never visible to
 //! readers because visibility is defined solely by the manifest.
+//!
+//! ## Concurrency
+//!
+//! [`DurableStore`] is internally synchronised and is shared as an
+//! `Arc<DurableStore>` between the ingest path (WAL appends) and background
+//! flush/merge workers (manifest commits + segment removal). The WAL, the
+//! manifest store and the armed crash point each sit behind their own small
+//! mutex, so a worker committing a manifest never blocks a writer appending
+//! to the WAL.
 //!
 //! ## Crash points
 //!
 //! [`CrashPoint`] injects failures at the protocol's interesting boundaries
 //! (after component write, after manifest commit / before WAL truncation,
 //! before a merge's manifest commit) so recovery tests can exercise each
-//! window deterministically.
+//! window deterministically — including while background workers and writer
+//! threads are active.
 
 pub mod manifest;
 pub mod wal;
 
 use std::path::{Path, PathBuf};
 
+use parking_lot::Mutex;
 use storage::PageStore;
 
 pub use manifest::{ManifestData, ManifestStore, PersistedConfig};
@@ -66,7 +86,7 @@ pub type Result<T> = std::result::Result<T, PersistError>;
 
 /// File name of the page file within a dataset directory.
 pub const PAGE_FILE_NAME: &str = "pages.dat";
-/// File name of the write-ahead log within a dataset directory.
+/// File name of the first write-ahead log segment within a dataset directory.
 pub const WAL_FILE_NAME: &str = "wal.log";
 
 /// Injected failure points for recovery tests. Each fires once (the
@@ -87,15 +107,21 @@ pub enum CrashPoint {
     BeforeMergeManifestCommit,
 }
 
+struct WalState {
+    wal: Wal,
+    appends_since_sync: u64,
+}
+
 /// The durable state of one dataset directory: page file, WAL and manifest,
-/// plus the commit protocol tying them together.
+/// plus the commit protocol tying them together. All methods take `&self`;
+/// the struct is designed to be shared via `Arc` between the writer and
+/// background flush/merge workers.
 pub struct DurableStore {
     dir: PathBuf,
     store: PageStore,
-    wal: Wal,
-    manifest: ManifestStore,
-    crash_point: Option<CrashPoint>,
-    wal_appends_since_sync: u64,
+    wal: Mutex<WalState>,
+    manifest: Mutex<ManifestStore>,
+    crash_point: Mutex<Option<CrashPoint>>,
 }
 
 /// What [`DurableStore::open`] recovered from the directory.
@@ -122,15 +148,17 @@ impl DurableStore {
             }
         }
         let store = PageStore::file_backed(&dir.join(PAGE_FILE_NAME), page_size)?;
-        let (wal, wal_records) = Wal::open(&dir.join(WAL_FILE_NAME))?;
+        let (wal, wal_records) = Wal::open(dir)?;
         Ok((
             DurableStore {
                 dir: dir.to_path_buf(),
                 store,
-                wal,
-                manifest,
-                crash_point: None,
-                wal_appends_since_sync: 0,
+                wal: Mutex::new(WalState {
+                    wal,
+                    appends_since_sync: 0,
+                }),
+                manifest: Mutex::new(manifest),
+                crash_point: Mutex::new(None),
             },
             Recovered {
                 manifest: manifest_data,
@@ -151,22 +179,23 @@ impl DurableStore {
 
     /// Version of the last committed manifest (0 before the first commit).
     pub fn manifest_version(&self) -> u64 {
-        self.manifest.version()
+        self.manifest.lock().version()
     }
 
-    /// Bytes currently in the WAL.
+    /// Bytes currently in the WAL (across every segment).
     pub fn wal_bytes(&self) -> u64 {
-        self.wal.len_bytes()
+        self.wal.lock().wal.len_bytes()
     }
 
     /// Arm a crash point (used by recovery tests).
-    pub fn set_crash_point(&mut self, point: CrashPoint) {
-        self.crash_point = Some(point);
+    pub fn set_crash_point(&self, point: CrashPoint) {
+        *self.crash_point.lock() = Some(point);
     }
 
-    fn trip(&mut self, point: CrashPoint) -> Result<()> {
-        if self.crash_point == Some(point) {
-            self.crash_point = None;
+    fn trip(&self, point: CrashPoint) -> Result<()> {
+        let mut armed = self.crash_point.lock();
+        if *armed == Some(point) {
+            *armed = None;
             return Err(PersistError::new(format!(
                 "injected crash at {point:?} (recovery test)"
             )));
@@ -176,56 +205,74 @@ impl DurableStore {
 
     /// Log one acknowledged mutation. The record reaches the OS immediately;
     /// call [`DurableStore::sync_wal`] to force it to the device.
-    pub fn log(&mut self, record: &WalRecord) -> Result<()> {
-        self.wal.append(record)?;
-        self.wal_appends_since_sync += 1;
+    pub fn log(&self, record: &WalRecord) -> Result<()> {
+        let mut state = self.wal.lock();
+        state.wal.append(record)?;
+        state.appends_since_sync += 1;
         Ok(())
     }
 
     /// Log an insert without materialising a [`WalRecord`].
-    pub fn log_insert(&mut self, key: &docmodel::Value, record: &docmodel::Value) -> Result<()> {
-        self.wal.append_insert(key, record)?;
-        self.wal_appends_since_sync += 1;
+    pub fn log_insert(&self, key: &docmodel::Value, record: &docmodel::Value) -> Result<()> {
+        let mut state = self.wal.lock();
+        state.wal.append_insert(key, record)?;
+        state.appends_since_sync += 1;
         Ok(())
     }
 
     /// Log a delete without materialising a [`WalRecord`].
-    pub fn log_delete(&mut self, key: &docmodel::Value) -> Result<()> {
-        self.wal.append_delete(key)?;
-        self.wal_appends_since_sync += 1;
+    pub fn log_delete(&self, key: &docmodel::Value) -> Result<()> {
+        let mut state = self.wal.lock();
+        state.wal.append_delete(key)?;
+        state.appends_since_sync += 1;
         Ok(())
     }
 
     /// Fsync the WAL (group-commit point for callers that need device-level
     /// durability of every acknowledged record).
-    pub fn sync_wal(&mut self) -> Result<()> {
-        if self.wal_appends_since_sync > 0 {
-            self.wal.sync()?;
-            self.wal_appends_since_sync = 0;
+    pub fn sync_wal(&self) -> Result<()> {
+        let mut state = self.wal.lock();
+        if state.appends_since_sync > 0 {
+            state.wal.sync()?;
+            state.appends_since_sync = 0;
         }
         Ok(())
     }
 
-    /// Commit a flush: the new component's pages are already in the page
-    /// store. Syncs pages, commits the manifest, then truncates the WAL — in
-    /// that order, so every crash window is recoverable.
-    pub fn commit_flush(&mut self, data: ManifestData) -> Result<u64> {
+    /// Seal the active WAL segment (called while the memtable it covers is
+    /// sealed for flushing). Returns the sealed segment id to later pass to
+    /// [`DurableStore::commit_flush`].
+    pub fn rotate_wal(&self) -> Result<u64> {
+        let mut state = self.wal.lock();
+        let id = state.wal.rotate()?;
+        state.appends_since_sync = 0;
+        Ok(id)
+    }
+
+    /// Commit a flush of records confined to WAL segments `<=
+    /// through_segment` (the id returned by [`DurableStore::rotate_wal`] when
+    /// the flushed memtable was sealed). The new component's pages are
+    /// already in the page store. Syncs pages, commits the manifest, then
+    /// removes the covered WAL segments — in that order, so every crash
+    /// window is recoverable. Concurrent appends to the active segment are
+    /// unaffected.
+    pub fn commit_flush(&self, data: ManifestData, through_segment: u64) -> Result<u64> {
         self.store.sync()?;
         self.trip(CrashPoint::AfterFlushComponentWrite)?;
-        let version = self.manifest.commit(data)?;
+        let version = self.manifest.lock().commit(data)?;
         self.trip(CrashPoint::AfterFlushManifestCommit)?;
-        self.wal.truncate()?;
-        self.wal_appends_since_sync = 0;
+        self.wal.lock().wal.remove_through(through_segment)?;
         Ok(version)
     }
 
     /// Commit a merge: the merged component's pages are already in the page
     /// store; the manifest swap makes it visible. The caller frees the input
-    /// components' pages only after this returns.
-    pub fn commit_merge(&mut self, data: ManifestData) -> Result<u64> {
+    /// components' pages only after this returns (and only once no reader
+    /// still holds them).
+    pub fn commit_merge(&self, data: ManifestData) -> Result<u64> {
         self.store.sync()?;
         self.trip(CrashPoint::BeforeMergeManifestCommit)?;
-        self.manifest.commit(data)
+        self.manifest.lock().commit(data)
     }
 }
 
@@ -271,7 +318,7 @@ mod tests {
     fn open_log_reopen_replays() {
         let dir = temp_dir("replay");
         {
-            let (mut ds, recovered) = DurableStore::open(&dir, 4096).unwrap();
+            let (ds, recovered) = DurableStore::open(&dir, 4096).unwrap();
             assert!(recovered.manifest.is_none());
             assert!(recovered.wal_records.is_empty());
             ds.log(&WalRecord::Insert {
@@ -288,26 +335,42 @@ mod tests {
     }
 
     #[test]
-    fn commit_flush_truncates_wal_and_bumps_version() {
+    fn commit_flush_removes_covered_segments_and_bumps_version() {
         let dir = temp_dir("flush");
-        let (mut ds, _) = DurableStore::open(&dir, 4096).unwrap();
+        let (ds, _) = DurableStore::open(&dir, 4096).unwrap();
         ds.log(&WalRecord::Insert {
             key: Value::Int(1),
             record: doc!({"id": 1}),
         })
         .unwrap();
-        let v = ds.commit_flush(empty_manifest(4096)).unwrap();
+        let seg = ds.rotate_wal().unwrap();
+        // A record appended after the rotation lives in the next segment and
+        // must survive the flush commit.
+        ds.log(&WalRecord::Insert {
+            key: Value::Int(2),
+            record: doc!({"id": 2}),
+        })
+        .unwrap();
+        let v = ds.commit_flush(empty_manifest(4096), seg).unwrap();
         assert_eq!(v, 1);
-        assert_eq!(ds.wal_bytes(), 0);
+        assert!(ds.wal_bytes() > 0, "the post-rotation record remains");
         assert_eq!(ds.manifest_version(), 1);
+        drop(ds);
+        let (_, recovered) = DurableStore::open(&dir, 4096).unwrap();
+        assert_eq!(recovered.wal_records.len(), 1);
+        assert!(matches!(
+            &recovered.wal_records[0],
+            WalRecord::Insert { key: Value::Int(2), .. }
+        ));
     }
 
     #[test]
     fn mismatched_page_size_is_rejected() {
         let dir = temp_dir("pagesize");
         {
-            let (mut ds, _) = DurableStore::open(&dir, 4096).unwrap();
-            ds.commit_flush(empty_manifest(4096)).unwrap();
+            let (ds, _) = DurableStore::open(&dir, 4096).unwrap();
+            let seg = ds.rotate_wal().unwrap();
+            ds.commit_flush(empty_manifest(4096), seg).unwrap();
         }
         let err = DurableStore::open(&dir, 8192).err().unwrap();
         assert!(err.message.contains("page size"), "{err}");
@@ -316,27 +379,28 @@ mod tests {
     #[test]
     fn crash_points_fire_once_at_their_boundary() {
         let dir = temp_dir("crashpoints");
-        let (mut ds, _) = DurableStore::open(&dir, 4096).unwrap();
+        let (ds, _) = DurableStore::open(&dir, 4096).unwrap();
         ds.log(&WalRecord::Insert {
             key: Value::Int(1),
             record: doc!({"id": 1}),
         })
         .unwrap();
+        let seg = ds.rotate_wal().unwrap();
 
         // Before the manifest commit: version unchanged, WAL intact.
         ds.set_crash_point(CrashPoint::AfterFlushComponentWrite);
-        assert!(ds.commit_flush(empty_manifest(4096)).is_err());
+        assert!(ds.commit_flush(empty_manifest(4096), seg).is_err());
         assert_eq!(ds.manifest_version(), 0);
         assert!(ds.wal_bytes() > 0);
 
         // After the manifest commit: version bumped, WAL still intact.
         ds.set_crash_point(CrashPoint::AfterFlushManifestCommit);
-        assert!(ds.commit_flush(empty_manifest(4096)).is_err());
+        assert!(ds.commit_flush(empty_manifest(4096), seg).is_err());
         assert_eq!(ds.manifest_version(), 1);
         assert!(ds.wal_bytes() > 0);
 
         // The injection is consumed: the next commit succeeds.
-        assert_eq!(ds.commit_flush(empty_manifest(4096)).unwrap(), 2);
+        assert_eq!(ds.commit_flush(empty_manifest(4096), seg).unwrap(), 2);
         assert_eq!(ds.wal_bytes(), 0);
 
         // Merge crash point blocks the manifest swap.
@@ -344,5 +408,36 @@ mod tests {
         assert!(ds.commit_merge(empty_manifest(4096)).is_err());
         assert_eq!(ds.manifest_version(), 2);
         assert_eq!(ds.commit_merge(empty_manifest(4096)).unwrap(), 3);
+    }
+
+    #[test]
+    fn concurrent_appends_and_commits_share_the_store() {
+        let dir = temp_dir("concurrent");
+        let (ds, _) = DurableStore::open(&dir, 4096).unwrap();
+        let ds = std::sync::Arc::new(ds);
+        let writer = {
+            let ds = ds.clone();
+            std::thread::spawn(move || {
+                for i in 0..200i64 {
+                    ds.log(&WalRecord::Insert {
+                        key: Value::Int(i),
+                        record: doc!({"id": i}),
+                    })
+                    .unwrap();
+                }
+            })
+        };
+        // Interleave rotations + commits with the appends.
+        for _ in 0..5 {
+            let seg = ds.rotate_wal().unwrap();
+            ds.commit_flush(empty_manifest(4096), seg).unwrap();
+        }
+        writer.join().unwrap();
+        drop(ds);
+        // Whatever survived the removals replays cleanly.
+        let (_, recovered) = DurableStore::open(&dir, 4096).unwrap();
+        for r in &recovered.wal_records {
+            assert!(matches!(r, WalRecord::Insert { .. }));
+        }
     }
 }

@@ -1,11 +1,24 @@
-//! The write-ahead log.
+//! The segmented write-ahead log.
 //!
-//! Every acknowledged mutation (insert/upsert or delete) is appended to an
-//! append-only log file *before* it is applied to the in-memory component.
-//! On restart the log is replayed into a fresh memtable, restoring exactly
-//! the acknowledged records that had not yet been flushed. After a flush
-//! commits its manifest, the whole log is truncated: its records are now
-//! covered by an on-disk component.
+//! Every acknowledged mutation (insert/upsert or delete) is appended to the
+//! log *before* it is applied to the in-memory component. On restart the log
+//! is replayed into a fresh memtable, restoring exactly the acknowledged
+//! records that had not yet been flushed.
+//!
+//! ## Segments
+//!
+//! The log is a sequence of *segments*, one file each. Appends go to the
+//! *active* segment; when the dataset seals its memtable for a background
+//! flush it calls [`Wal::rotate`], which closes the active segment and opens
+//! a fresh one. The sealed memtable's records are thereby confined to
+//! segments up to the rotated id, so once the flush's manifest commits, those
+//! segments — and only those — can be deleted with [`Wal::remove_through`]
+//! while concurrent writers keep appending to the new active segment. This is
+//! what makes "the WAL is truncated only after the flush manifest commits"
+//! compatible with flushes running on background worker threads.
+//!
+//! Segment 0 is named `wal.log` (the pre-segmentation file name, so existing
+//! dataset directories keep working); later segments are `wal-NNNNNN.log`.
 //!
 //! ## Frame format
 //!
@@ -22,14 +35,14 @@
 //!
 //! ## Torn writes
 //!
-//! A crash can leave a partial frame at the tail. Replay stops at the first
-//! frame whose length or CRC does not check out, *truncates the file back to
-//! the last good frame boundary*, and reports the records read so far —
-//! everything before a corrupt frame was acknowledged and must survive;
-//! everything from the torn frame on was never acknowledged.
+//! A crash can leave a partial frame at the tail of a segment. Replay stops
+//! at the first frame whose length or CRC does not check out, *truncates the
+//! segment back to the last good frame boundary*, and reports the records
+//! read so far — everything before a corrupt frame was acknowledged and must
+//! survive; everything from the torn frame on was never acknowledged.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use docmodel::Value;
@@ -101,62 +114,143 @@ fn encode_delete(key: &Value) -> Vec<u8> {
     payload
 }
 
-/// An open write-ahead log.
-pub struct Wal {
+/// File name of segment `id` within the dataset directory. Segment 0 keeps
+/// the historical single-file name so pre-segmentation directories recover.
+pub fn segment_file_name(id: u64) -> String {
+    if id == 0 {
+        "wal.log".to_string()
+    } else {
+        format!("wal-{id:06}.log")
+    }
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    if name == "wal.log" {
+        return Some(0);
+    }
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// A sealed, append-closed segment awaiting removal after a flush commit.
+#[derive(Debug)]
+struct SealedSegment {
+    id: u64,
     path: PathBuf,
-    file: File,
-    /// Bytes of valid frames currently in the file.
     len: u64,
 }
 
+/// The segmented write-ahead log of one dataset directory.
+pub struct Wal {
+    dir: PathBuf,
+    /// Sealed segments, oldest first.
+    sealed: Vec<SealedSegment>,
+    active_id: u64,
+    active_path: PathBuf,
+    active_file: File,
+    active_len: u64,
+}
+
+/// Parse the valid frame prefix of one segment's bytes. Returns the decoded
+/// records and the byte offset of the last good frame boundary.
+fn parse_frames(bytes: &[u8], records: &mut Vec<WalRecord>) -> usize {
+    let mut pos = 0usize;
+    let mut good_end = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let expected_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break; // torn tail: frame body missing
+        };
+        if crc32(payload) != expected_crc {
+            break; // torn or corrupt frame
+        }
+        let Ok(record) = WalRecord::decode(payload) else {
+            break; // CRC passed but the payload does not parse: stop here
+        };
+        records.push(record);
+        pos += 8 + len;
+        good_end = pos;
+    }
+    good_end
+}
+
 impl Wal {
-    /// Open (or create) the log at `path` and replay its valid prefix.
-    /// Returns the log positioned for appending and the replayed records.
-    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>)> {
-        let mut file = OpenOptions::new()
+    /// Open (or create) the log in `dir` and replay the valid prefix of every
+    /// segment, oldest first. Returns the log positioned for appending to the
+    /// newest segment and the replayed records.
+    pub fn open(dir: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+        let mut ids: Vec<u64> = Vec::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| PersistError::new(format!("list WAL dir {}: {e}", dir.display())))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| PersistError::new(format!("list WAL dir: {e}")))?;
+            if let Some(id) = entry.file_name().to_str().and_then(parse_segment_id) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut sealed = Vec::new();
+        let mut heal: Option<(PathBuf, u64)> = None;
+        for (i, &id) in ids.iter().enumerate() {
+            let path = dir.join(segment_file_name(id));
+            let bytes = std::fs::read(&path)
+                .map_err(|e| PersistError::new(format!("read WAL {}: {e}", path.display())))?;
+            let good_end = parse_frames(&bytes, &mut records);
+            if good_end < bytes.len() && i + 1 < ids.len() {
+                // A torn frame is only expected at the tail of the *newest*
+                // segment (a crash mid-append). Mid-log corruption means the
+                // acknowledged history is damaged — refuse to guess.
+                return Err(PersistError::new(format!(
+                    "WAL segment {} is corrupt before the newest segment",
+                    path.display()
+                )));
+            }
+            if i + 1 < ids.len() {
+                sealed.push(SealedSegment {
+                    id,
+                    path,
+                    len: good_end as u64,
+                });
+            } else {
+                heal = Some((path, good_end as u64));
+            }
+        }
+
+        let active_id = ids.last().copied().unwrap_or(0);
+        let active_path = dir.join(segment_file_name(active_id));
+        let active_file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)
-            .map_err(|e| PersistError::new(format!("open WAL {}: {e}", path.display())))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
-            .map_err(|e| PersistError::new(format!("read WAL {}: {e}", path.display())))?;
-
-        let mut records = Vec::new();
-        let mut pos = 0usize;
-        let mut good_end = 0usize;
-        while bytes.len() - pos >= 8 {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let expected_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-            let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
-                break; // torn tail: frame body missing
-            };
-            if crc32(payload) != expected_crc {
-                break; // torn or corrupt frame
-            }
-            let Ok(record) = WalRecord::decode(payload) else {
-                break; // CRC passed but the payload does not parse: stop here
-            };
-            records.push(record);
-            pos += 8 + len;
-            good_end = pos;
-        }
-
-        if good_end < bytes.len() {
-            // Drop the torn tail so appends continue from a clean boundary.
-            file.set_len(good_end as u64)
-                .map_err(|e| PersistError::new(format!("truncate torn WAL tail: {e}")))?;
-        }
-        file.seek(SeekFrom::Start(good_end as u64))
+            .open(&active_path)
+            .map_err(|e| {
+                PersistError::new(format!("open WAL {}: {e}", active_path.display()))
+            })?;
+        let active_len = heal.as_ref().map(|(_, len)| *len).unwrap_or(0);
+        // Drop any torn tail so appends continue from a clean boundary.
+        active_file
+            .set_len(active_len)
+            .map_err(|e| PersistError::new(format!("truncate torn WAL tail: {e}")))?;
+        let mut active_file = active_file;
+        active_file
+            .seek(SeekFrom::Start(active_len))
             .map_err(|e| PersistError::new(format!("seek WAL: {e}")))?;
 
         Ok((
             Wal {
-                path: path.to_path_buf(),
-                file,
-                len: good_end as u64,
+                dir: dir.to_path_buf(),
+                sealed,
+                active_id,
+                active_path,
+                active_file,
+                active_len,
             },
             records,
         ))
@@ -184,41 +278,107 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| PersistError::new(format!("append to WAL {}: {e}", self.path.display())))?;
-        self.len += frame.len() as u64;
+        self.active_file.write_all(&frame).map_err(|e| {
+            PersistError::new(format!(
+                "append to WAL {}: {e}",
+                self.active_path.display()
+            ))
+        })?;
+        self.active_len += frame.len() as u64;
         Ok(())
     }
 
-    /// Force appended records to the device.
+    /// Force appended records to the device (sealed segments were synced when
+    /// they were rotated out).
     pub fn sync(&self) -> Result<()> {
-        self.file
-            .sync_data()
-            .map_err(|e| PersistError::new(format!("sync WAL {}: {e}", self.path.display())))
+        self.active_file.sync_data().map_err(|e| {
+            PersistError::new(format!("sync WAL {}: {e}", self.active_path.display()))
+        })
     }
 
-    /// Drop every record (called once a flush's manifest has committed: the
-    /// logged records are now covered by an on-disk component).
+    /// Seal the active segment and open a fresh one. Returns the sealed
+    /// segment's id: every record appended so far lives in segments with ids
+    /// `<=` the returned id, so the caller may [`Wal::remove_through`] that
+    /// id once the records are covered by a committed manifest.
+    pub fn rotate(&mut self) -> Result<u64> {
+        self.sync()?;
+        let new_id = self.active_id + 1;
+        let new_path = self.dir.join(segment_file_name(new_id));
+        let new_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&new_path)
+            .map_err(|e| PersistError::new(format!("open WAL {}: {e}", new_path.display())))?;
+        let sealed_id = self.active_id;
+        self.sealed.push(SealedSegment {
+            id: sealed_id,
+            path: std::mem::replace(&mut self.active_path, new_path),
+            len: self.active_len,
+        });
+        self.active_file = new_file;
+        self.active_id = new_id;
+        self.active_len = 0;
+        Ok(sealed_id)
+    }
+
+    /// Delete every sealed segment with id `<= through` (their records are
+    /// now covered by a committed manifest). The active segment is never
+    /// touched — concurrent appends proceed unhindered.
+    pub fn remove_through(&mut self, through: u64) -> Result<()> {
+        let mut keep = Vec::new();
+        for seg in self.sealed.drain(..) {
+            if seg.id <= through {
+                std::fs::remove_file(&seg.path).map_err(|e| {
+                    PersistError::new(format!(
+                        "remove WAL segment {}: {e}",
+                        seg.path.display()
+                    ))
+                })?;
+            } else {
+                keep.push(seg);
+            }
+        }
+        self.sealed = keep;
+        Ok(())
+    }
+
+    /// Drop every record: all sealed segments are deleted and the active
+    /// segment is truncated. The flush commit path uses [`Wal::rotate`] +
+    /// [`Wal::remove_through`] (in both synchronous and background modes);
+    /// this is the blunt instrument for tools and tests that reset a log
+    /// wholesale.
     pub fn truncate(&mut self) -> Result<()> {
-        self.file
+        self.remove_through(u64::MAX)?;
+        self.active_file
             .set_len(0)
             .map_err(|e| PersistError::new(format!("truncate WAL: {e}")))?;
-        self.file
+        self.active_file
             .seek(SeekFrom::Start(0))
             .map_err(|e| PersistError::new(format!("seek WAL: {e}")))?;
-        self.len = 0;
+        self.active_len = 0;
         self.sync()
     }
 
-    /// Bytes of valid frames currently in the log.
+    /// Bytes of valid frames across every segment.
     pub fn len_bytes(&self) -> u64 {
-        self.len
+        self.active_len + self.sealed.iter().map(|s| s.len).sum::<u64>()
     }
 
-    /// `true` when the log holds no records.
+    /// `true` when no segment holds a record.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len_bytes() == 0
+    }
+
+    /// Id of the segment currently receiving appends.
+    pub fn active_segment(&self) -> u64 {
+        self.active_id
+    }
+
+    /// Number of sealed segments awaiting removal.
+    pub fn sealed_segment_count(&self) -> usize {
+        self.sealed.len()
     }
 }
 
@@ -227,12 +387,13 @@ mod tests {
     use super::*;
     use docmodel::doc;
 
-    fn temp_wal(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("persist-wal-tests-{}", std::process::id()));
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("persist-wal-tests-{}", std::process::id()))
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(name);
-        let _ = std::fs::remove_file(&path);
-        path
+        dir
     }
 
     fn sample_records() -> Vec<WalRecord> {
@@ -251,85 +412,148 @@ mod tests {
 
     #[test]
     fn append_replay_roundtrip() {
-        let path = temp_wal("roundtrip.wal");
+        let dir = temp_dir("roundtrip");
         let records = sample_records();
         {
-            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            let (mut wal, replayed) = Wal::open(&dir).unwrap();
             assert!(replayed.is_empty());
             for r in &records {
                 wal.append(r).unwrap();
             }
             wal.sync().unwrap();
         }
-        let (wal, replayed) = Wal::open(&path).unwrap();
+        let (wal, replayed) = Wal::open(&dir).unwrap();
         assert_eq!(replayed, records);
         assert!(!wal.is_empty());
     }
 
     #[test]
     fn truncate_empties_the_log() {
-        let path = temp_wal("truncate.wal");
-        let (mut wal, _) = Wal::open(&path).unwrap();
+        let dir = temp_dir("truncate");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
         for r in &sample_records() {
             wal.append(r).unwrap();
         }
         wal.truncate().unwrap();
         assert!(wal.is_empty());
         drop(wal);
-        let (_, replayed) = Wal::open(&path).unwrap();
+        let (_, replayed) = Wal::open(&dir).unwrap();
         assert!(replayed.is_empty());
     }
 
     #[test]
     fn torn_tail_is_dropped_and_healed() {
-        let path = temp_wal("torn.wal");
+        let dir = temp_dir("torn");
         let records = sample_records();
         {
-            let (mut wal, _) = Wal::open(&path).unwrap();
+            let (mut wal, _) = Wal::open(&dir).unwrap();
             for r in &records {
                 wal.append(r).unwrap();
             }
         }
         // Simulate a crash mid-write: chop the last frame in half.
+        let path = dir.join(segment_file_name(0));
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
 
-        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        let (mut wal, replayed) = Wal::open(&dir).unwrap();
         assert_eq!(replayed, records[..2].to_vec(), "torn frame must be dropped");
         // The file healed: appending after the torn tail yields a clean log.
         wal.append(&records[2]).unwrap();
         drop(wal);
-        let (_, replayed) = Wal::open(&path).unwrap();
+        let (_, replayed) = Wal::open(&dir).unwrap();
         assert_eq!(replayed, records);
     }
 
     #[test]
     fn corrupt_frame_stops_replay() {
-        let path = temp_wal("corrupt.wal");
+        let dir = temp_dir("corrupt");
         let records = sample_records();
         {
-            let (mut wal, _) = Wal::open(&path).unwrap();
+            let (mut wal, _) = Wal::open(&dir).unwrap();
             for r in &records {
                 wal.append(r).unwrap();
             }
         }
         // Flip a byte inside the second frame's payload.
+        let path = dir.join(segment_file_name(0));
         let mut bytes = std::fs::read(&path).unwrap();
-        let first_frame_len =
-            8 + u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let first_frame_len = 8 + u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
         bytes[first_frame_len + 10] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
 
-        let (_, replayed) = Wal::open(&path).unwrap();
+        let (_, replayed) = Wal::open(&dir).unwrap();
         assert_eq!(replayed, records[..1].to_vec());
     }
 
     #[test]
     fn empty_and_tiny_files_replay_cleanly() {
-        let path = temp_wal("tiny.wal");
-        std::fs::write(&path, [1, 2, 3]).unwrap(); // shorter than a header
-        let (wal, replayed) = Wal::open(&path).unwrap();
+        let dir = temp_dir("tiny");
+        std::fs::write(dir.join(segment_file_name(0)), [1, 2, 3]).unwrap(); // shorter than a header
+        let (wal, replayed) = Wal::open(&dir).unwrap();
         assert!(replayed.is_empty());
         assert!(wal.is_empty());
+    }
+
+    #[test]
+    fn rotation_segments_and_selective_removal() {
+        let dir = temp_dir("rotate");
+        let records = sample_records();
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(&records[0]).unwrap();
+        let seg0 = wal.rotate().unwrap();
+        assert_eq!(seg0, 0);
+        wal.append(&records[1]).unwrap();
+        let seg1 = wal.rotate().unwrap();
+        assert_eq!(seg1, 1);
+        wal.append(&records[2]).unwrap();
+        assert_eq!(wal.sealed_segment_count(), 2);
+        assert_eq!(wal.active_segment(), 2);
+
+        // Removing through segment 0 keeps segment 1 and the active tail.
+        wal.remove_through(seg0).unwrap();
+        assert_eq!(wal.sealed_segment_count(), 1);
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir).unwrap();
+        assert_eq!(replayed, records[1..].to_vec());
+    }
+
+    #[test]
+    fn replay_spans_segments_in_order() {
+        let dir = temp_dir("spans");
+        let records = sample_records();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+                wal.rotate().unwrap();
+            }
+        }
+        let (wal, replayed) = Wal::open(&dir).unwrap();
+        assert_eq!(replayed, records);
+        // Reopen keeps the sealed segments removable.
+        let mut wal = wal;
+        wal.remove_through(1).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir).unwrap();
+        assert_eq!(replayed, records[2..].to_vec());
+    }
+
+    #[test]
+    fn torn_tail_only_affects_newest_segment() {
+        let dir = temp_dir("torn-newest");
+        let records = sample_records();
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(&records[0]).unwrap();
+            wal.rotate().unwrap();
+            wal.append(&records[1]).unwrap();
+            wal.append(&records[2]).unwrap();
+        }
+        let path = dir.join(segment_file_name(1));
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (_, replayed) = Wal::open(&dir).unwrap();
+        assert_eq!(replayed, records[..2].to_vec());
     }
 }

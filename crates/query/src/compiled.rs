@@ -16,14 +16,15 @@ use std::collections::BTreeMap;
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
-use lsm::LsmDataset;
+use lsm::Snapshot;
 
 use crate::interp::{finalize, AggState};
 use crate::plan::{Query, QueryRow};
 use crate::Result;
 
-/// Execute a query with the compiled (fused) engine.
-pub fn run_compiled(dataset: &LsmDataset, query: &Query) -> Result<Vec<QueryRow>> {
+/// Execute a query with the compiled (fused) engine against a consistent
+/// point-in-time snapshot.
+pub fn run_compiled(snapshot: &Snapshot, query: &Query) -> Result<Vec<QueryRow>> {
     // Fast path for SELECT COUNT(*): only the primary keys are needed, which
     // for AMAX means reading Page 0 of each mega leaf.
     if query.filter.is_none()
@@ -31,7 +32,7 @@ pub fn run_compiled(dataset: &LsmDataset, query: &Query) -> Result<Vec<QueryRow>
         && query.group_by.is_none()
         && matches!(query.agg, crate::plan::Aggregate::Count)
     {
-        let count = dataset.count()?;
+        let count = snapshot.count()?;
         return Ok(vec![QueryRow {
             group: None,
             agg: Value::Int(count as i64),
@@ -39,7 +40,7 @@ pub fn run_compiled(dataset: &LsmDataset, query: &Query) -> Result<Vec<QueryRow>
     }
 
     let projection = query.projection_paths();
-    let docs = dataset.scan(Some(&projection))?;
+    let docs = snapshot.scan(Some(&projection))?;
     aggregate_docs(docs.iter(), query)
 }
 
@@ -119,7 +120,7 @@ mod tests {
     use storage::LayoutKind;
 
     fn build_dataset(layout: LayoutKind) -> LsmDataset {
-        let mut ds = LsmDataset::new(
+        let ds = LsmDataset::new(
             DatasetConfig::new("gamers", layout)
                 .with_memtable_budget(16 * 1024)
                 .with_page_size(8 * 1024),
@@ -146,8 +147,8 @@ mod tests {
         for layout in LayoutKind::ALL {
             let ds = build_dataset(layout);
             let q = Query::count_star();
-            let compiled = run_compiled(&ds, &q).unwrap();
-            let interpreted = run_interpreted(&ds, &q).unwrap();
+            let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
+            let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
             assert_eq!(compiled, interpreted, "{layout:?}");
             assert_eq!(compiled[0].agg, Value::Int(400));
         }
@@ -160,8 +161,8 @@ mod tests {
             path: Path::parse("duration"),
             value: Value::Int(600),
         });
-        let compiled = run_compiled(&ds, &q).unwrap();
-        let interpreted = run_interpreted(&ds, &q).unwrap();
+        let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
+        let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
         assert_eq!(compiled, interpreted);
         let expected = (0..400i64).filter(|i| i % 900 >= 600).count() as i64;
         assert_eq!(compiled[0].agg, Value::Int(expected));
@@ -176,8 +177,8 @@ mod tests {
                 .with_unnest(Path::parse("games"))
                 .group_by_element(Path::parse("title"))
                 .top_k(3);
-            let compiled = run_compiled(&ds, &q).unwrap();
-            let interpreted = run_interpreted(&ds, &q).unwrap();
+            let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
+            let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
             assert_eq!(compiled, interpreted, "{layout:?}");
             assert_eq!(compiled.len(), 3);
             // 400 records x 2 games each spread over 7 titles.
@@ -193,8 +194,8 @@ mod tests {
             .group_by(Path::parse("caller"))
             .aggregate(Aggregate::Max(Path::parse("duration")))
             .top_k(10);
-        let compiled = run_compiled(&ds, &q).unwrap();
-        let interpreted = run_interpreted(&ds, &q).unwrap();
+        let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
+        let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
         assert_eq!(compiled, interpreted);
         assert_eq!(compiled.len(), 10);
         // Aggregates are sorted descending.
@@ -216,8 +217,8 @@ mod tests {
             .group_by(Path::parse("caller"))
             .aggregate(Aggregate::MaxLength(Path::parse("text")))
             .top_k(5);
-        let compiled = run_compiled(&ds, &q).unwrap();
-        let interpreted = run_interpreted(&ds, &q).unwrap();
+        let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
+        let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
         assert_eq!(compiled, interpreted);
         assert_eq!(compiled.len(), 5);
         assert!(compiled[0].agg.as_int().unwrap() > 0);
@@ -225,7 +226,7 @@ mod tests {
 
     #[test]
     fn secondary_index_path_matches_scan_filter() {
-        let mut ds = LsmDataset::new(
+        let ds = LsmDataset::new(
             DatasetConfig::new("tweets", LayoutKind::Amax)
                 .with_memtable_budget(16 * 1024)
                 .with_page_size(8 * 1024)

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
-use lsm::LsmDataset;
+use lsm::Snapshot;
 
 use crate::plan::{Aggregate, Query, QueryRow};
 use crate::Result;
@@ -119,11 +119,12 @@ fn resolve<'a>(row: &'a Value, on_element: bool, path: &Path, unnested: bool) ->
     }
 }
 
-/// Execute a query with the interpreted engine.
-pub fn run_interpreted(dataset: &LsmDataset, query: &Query) -> Result<Vec<QueryRow>> {
+/// Execute a query with the interpreted engine against a consistent
+/// point-in-time snapshot.
+pub fn run_interpreted(snapshot: &Snapshot, query: &Query) -> Result<Vec<QueryRow>> {
     // SCAN: assemble the projected columns into row-major records.
     let projection = query.projection_paths();
-    let mut batch = dataset.scan(Some(&projection))?;
+    let mut batch = snapshot.scan(Some(&projection))?;
 
     // Build the operator pipeline (dynamic dispatch per operator).
     let mut pipeline: Vec<Box<dyn Operator>> = Vec::new();

@@ -27,6 +27,18 @@
 //! Group-by (the pipeline breaker) is executed by the engine itself in both
 //! modes, exactly as in the paper where code generation stops at the first
 //! pipeline breaker.
+//!
+//! ## Snapshots and sharded execution
+//!
+//! Both engines execute against an [`lsm::Snapshot`] — a consistent
+//! point-in-time view that concurrent ingestion, flushes and merges cannot
+//! disturb. [`run`] takes a snapshot implicitly; [`run_snapshot`] lets a
+//! caller reuse one snapshot across several queries. [`run_sharded`]
+//! fans a query out over the snapshots of N hash-partitioned shards (one
+//! thread each), then merges the per-shard partial aggregates — counts sum,
+//! max/min combine — before the global order-by/limit is applied. Because
+//! shards partition by primary key, every group's partial aggregates are
+//! disjoint record sets and the merged result equals a single-shard run.
 
 pub mod compiled;
 pub mod interp;
@@ -36,19 +48,126 @@ pub use compiled::run_compiled;
 pub use interp::run_interpreted;
 pub use plan::{Aggregate, ExecMode, Predicate, Query, QueryRow};
 
+use std::collections::BTreeMap;
+
+use docmodel::cmp::OrderedValue;
 use docmodel::Value;
-use lsm::LsmDataset;
+use lsm::{LsmDataset, Snapshot};
 
 /// Error type for query execution.
 pub type QueryError = encoding::DecodeError;
 /// Result alias.
 pub type Result<T> = std::result::Result<T, QueryError>;
 
-/// Run a query in the given execution mode.
+/// Run a query in the given execution mode against a fresh snapshot of the
+/// dataset.
 pub fn run(dataset: &LsmDataset, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
+    run_snapshot(&dataset.snapshot(), query, mode)
+}
+
+/// Run a query in the given execution mode against an existing snapshot.
+pub fn run_snapshot(snapshot: &Snapshot, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
     match mode {
-        ExecMode::Interpreted => run_interpreted(dataset, query),
-        ExecMode::Compiled => run_compiled(dataset, query),
+        ExecMode::Interpreted => run_interpreted(snapshot, query),
+        ExecMode::Compiled => run_compiled(snapshot, query),
+    }
+}
+
+/// Fan a query out over the snapshots of several hash-partitioned shards
+/// (one thread per shard) and merge the partial aggregates into the final
+/// result. The shards must partition records by primary key (no key on two
+/// shards), which makes every aggregate in the plan mergeable.
+pub fn run_sharded(
+    snapshots: &[Snapshot],
+    query: &Query,
+    mode: ExecMode,
+) -> Result<Vec<QueryRow>> {
+    if snapshots.is_empty() {
+        return Ok(Vec::new());
+    }
+    if snapshots.len() == 1 {
+        return run_snapshot(&snapshots[0], query, mode);
+    }
+    // Per-shard partial plan: same filter/unnest/group/aggregate, but no
+    // ordering or limit — a shard-local top-k could drop a group that wins
+    // globally.
+    let mut partial = query.clone();
+    partial.order_desc_by_agg = false;
+    partial.limit = None;
+
+    let partials: Vec<Result<Vec<QueryRow>>> = std::thread::scope(|scope| {
+        let partial = &partial;
+        let handles: Vec<_> = snapshots
+            .iter()
+            .map(|snapshot| scope.spawn(move || run_snapshot(snapshot, partial, mode)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sharded query thread panicked"))
+            .collect()
+    });
+
+    let mut groups: BTreeMap<Option<OrderedValue>, Value> = BTreeMap::new();
+    for rows in partials {
+        for row in rows? {
+            let key = row.group.map(OrderedValue);
+            match groups.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(row.agg);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let merged = combine_agg(&query.agg, slot.get(), &row.agg);
+                    *slot.get_mut() = merged;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<QueryRow> = groups
+        .into_iter()
+        .map(|(k, agg)| QueryRow {
+            group: k.map(|k| k.0),
+            agg,
+        })
+        .collect();
+    if query.order_desc_by_agg {
+        rows.sort_by(|a, b| docmodel::total_cmp(&b.agg, &a.agg));
+    }
+    if let Some(k) = query.limit {
+        rows.truncate(k);
+    }
+    Ok(rows)
+}
+
+/// Merge two partial aggregate values for the same group. Counts sum;
+/// max-style aggregates keep the larger value, min the smaller. `Null`
+/// (an aggregate that saw no input on one shard) never beats a real value.
+fn combine_agg(agg: &Aggregate, a: &Value, b: &Value) -> Value {
+    match agg {
+        Aggregate::Count | Aggregate::CountNonNull(_) => {
+            Value::Int(a.as_int().unwrap_or(0) + b.as_int().unwrap_or(0))
+        }
+        Aggregate::Max(_) | Aggregate::MaxLength(_) => match (a.is_null(), b.is_null()) {
+            (true, _) => b.clone(),
+            (_, true) => a.clone(),
+            _ => {
+                if docmodel::total_cmp(a, b) == std::cmp::Ordering::Less {
+                    b.clone()
+                } else {
+                    a.clone()
+                }
+            }
+        },
+        Aggregate::Min(_) => match (a.is_null(), b.is_null()) {
+            (true, _) => b.clone(),
+            (_, true) => a.clone(),
+            _ => {
+                if docmodel::total_cmp(a, b) == std::cmp::Ordering::Greater {
+                    b.clone()
+                } else {
+                    a.clone()
+                }
+            }
+        },
     }
 }
 
@@ -64,4 +183,94 @@ pub fn run_with_secondary_index(
     let projection = query.projection_paths();
     let docs = dataset.secondary_range(lo, hi, Some(&projection))?;
     compiled::aggregate_docs(docs.iter(), query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::{doc, Path};
+    use lsm::{DatasetConfig, LsmDataset};
+    use storage::LayoutKind;
+
+    fn shard_datasets(n: usize) -> Vec<LsmDataset> {
+        let shards: Vec<LsmDataset> = (0..n)
+            .map(|i| {
+                LsmDataset::new(
+                    DatasetConfig::new(format!("shard-{i}"), LayoutKind::Amax)
+                        .with_memtable_budget(16 * 1024)
+                        .with_page_size(8 * 1024),
+                )
+            })
+            .collect();
+        for i in 0..400i64 {
+            let shard = &shards[(i as usize) % n];
+            shard
+                .insert(doc!({
+                    "id": i,
+                    "grp": (format!("g{}", i % 7)),
+                    "score": (i % 100),
+                }))
+                .unwrap();
+        }
+        for shard in &shards {
+            shard.flush().unwrap();
+        }
+        shards
+    }
+
+    fn reference_dataset() -> LsmDataset {
+        let ds = LsmDataset::new(
+            DatasetConfig::new("all", LayoutKind::Amax)
+                .with_memtable_budget(16 * 1024)
+                .with_page_size(8 * 1024),
+        );
+        for i in 0..400i64 {
+            ds.insert(doc!({
+                "id": i,
+                "grp": (format!("g{}", i % 7)),
+                "score": (i % 100),
+            }))
+            .unwrap();
+        }
+        ds.flush().unwrap();
+        ds
+    }
+
+    #[test]
+    fn sharded_execution_matches_single_shard() {
+        let shards = shard_datasets(4);
+        let reference = reference_dataset();
+        let queries = [Query::count_star(),
+            Query::count_star().group_by(Path::parse("grp")),
+            Query::count_star()
+                .group_by(Path::parse("grp"))
+                .aggregate(Aggregate::Max(Path::parse("score")))
+                .top_k(3),
+            Query::count_star()
+                .group_by(Path::parse("grp"))
+                .aggregate(Aggregate::Min(Path::parse("score"))),
+            Query::count_star().with_filter(Predicate::GreaterEq {
+                path: Path::parse("score"),
+                value: Value::Int(50),
+            })];
+        for (i, q) in queries.iter().enumerate() {
+            for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+                let snapshots: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
+                let sharded = run_sharded(&snapshots, q, mode).unwrap();
+                let single = run(&reference, q, mode).unwrap();
+                assert_eq!(sharded, single, "query {i} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_shard_cases() {
+        assert!(run_sharded(&[], &Query::count_star(), ExecMode::Compiled)
+            .unwrap()
+            .is_empty());
+        let shards = shard_datasets(1);
+        let snapshots: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
+        let rows = run_sharded(&snapshots, &Query::count_star(), ExecMode::Compiled).unwrap();
+        assert_eq!(rows[0].agg, Value::Int(400));
+    }
 }

@@ -182,6 +182,12 @@ pub struct ComponentDescriptor {
 }
 
 /// An immutable on-disk component.
+///
+/// Components are shared as `Arc<Component>` between the LSM tree and any
+/// number of concurrent read snapshots. When a merge replaces a component it
+/// calls [`Component::retire`]; the pages are then freed when the *last*
+/// handle drops, so a snapshot taken before the merge can keep reading the
+/// old component safely.
 pub struct Component {
     meta: ComponentMeta,
     schema: Schema,
@@ -190,6 +196,15 @@ pub struct Component {
     leaves: Vec<LeafRef>,
     config: ComponentConfig,
     cache: BufferCache,
+    free_on_drop: std::sync::atomic::AtomicBool,
+}
+
+impl Drop for Component {
+    fn drop(&mut self) {
+        if *self.free_on_drop.get_mut() {
+            self.cache.store().free_pages(&self.meta.pages);
+        }
+    }
 }
 
 /// Read-side interface shared by every layout (used by the LSM tree and the
@@ -304,7 +319,19 @@ impl Component {
             leaves,
             config: config.clone(),
             cache: cache.clone(),
+            free_on_drop: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Mark the component's pages for release when the last handle drops.
+    ///
+    /// Called by a merge after its manifest commit has made the merged
+    /// output visible: the inputs are no longer referenced by the tree, but
+    /// concurrent snapshots may still read them, so the actual
+    /// `free_pages` happens in [`Drop`] — once nobody can observe it.
+    pub fn retire(&self) {
+        self.free_on_drop
+            .store(true, std::sync::atomic::Ordering::Release);
     }
 
     /// Describe the component for persistence in a manifest.
@@ -371,6 +398,7 @@ impl Component {
             leaves,
             config,
             cache: cache.clone(),
+            free_on_drop: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -796,6 +824,51 @@ mod tests {
                 assert_eq!(doc.get_field("tags").unwrap().as_array().unwrap().len(), 2);
             }
         }
+    }
+
+    #[test]
+    fn component_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Component>();
+    }
+
+    #[test]
+    fn retired_component_frees_pages_only_on_last_drop() {
+        let entries = records(100);
+        let schema = schema_for(&entries);
+        let cache = small_cache();
+        let config = ComponentConfig::new(LayoutKind::Amax);
+        let comp = std::sync::Arc::new(
+            Component::write(&cache, &config, schema, &entries, 1).unwrap(),
+        );
+        let pages = comp.meta().pages.clone();
+        let snapshot_handle = comp.clone();
+
+        // Retire + drop the tree's handle: a concurrent snapshot still holds
+        // the component, so the pages must remain readable.
+        comp.retire();
+        drop(comp);
+        assert!(!cache.store().read_page(pages[0]).is_empty());
+        let scanned: Vec<Entry> = snapshot_handle.scan(None).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(scanned.len(), 100);
+
+        // The last handle drops: now the pages are released.
+        drop(snapshot_handle);
+        for &page in &pages {
+            assert!(cache.store().read_page(page).is_empty(), "page {page}");
+        }
+    }
+
+    #[test]
+    fn unretired_component_keeps_pages_on_drop() {
+        let entries = records(50);
+        let schema = schema_for(&entries);
+        let cache = small_cache();
+        let config = ComponentConfig::new(LayoutKind::Vb);
+        let comp = Component::write(&cache, &config, schema, &entries, 1).unwrap();
+        let pages = comp.meta().pages.clone();
+        drop(comp);
+        assert!(!cache.store().read_page(pages[0]).is_empty());
     }
 
     #[test]

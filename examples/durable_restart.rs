@@ -30,7 +30,7 @@ fn main() {
     // --- Session 1: ingest, flush some, leave the tail in the WAL ---------
     println!("session 1: ingesting into {}", dir.display());
     {
-        let mut ds = LsmDataset::open(&dir, config()).expect("open dataset directory");
+        let ds = LsmDataset::open(&dir, config()).expect("open dataset directory");
         for i in 0..2_000i64 {
             ds.insert(doc!({
                 "id": i,
@@ -90,7 +90,7 @@ fn main() {
 
     // The schema inferred before the crash survived too.
     assert!(ds.schema().describe().contains("reading"));
-    println!("  inferred schema intact ({} columns)", schema::columns_of(ds.schema()).len());
+    println!("  inferred schema intact ({} columns)", schema::columns_of(&ds.schema()).len());
 
     let _ = std::fs::remove_dir_all(&dir);
     println!("done: every acknowledged write survived the restart");

@@ -25,7 +25,7 @@ fn main() {
     let base_ts = 1_450_000_000_000i64;
 
     for layout in [LayoutKind::Vb, LayoutKind::Apax, LayoutKind::Amax] {
-        let mut dataset = LsmDataset::new(
+        let dataset = LsmDataset::new(
             DatasetConfig::new("tweet_2", layout)
                 .with_memtable_budget(256 * 1024)
                 .with_page_size(32 * 1024)

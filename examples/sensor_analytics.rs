@@ -33,7 +33,7 @@ fn main() {
         "layout", "size (KiB)", "interp (ms)", "compiled (ms)", "pages read"
     );
     for layout in LayoutKind::ALL {
-        let mut dataset = LsmDataset::new(
+        let dataset = LsmDataset::new(
             DatasetConfig::new("sensors", layout)
                 .with_memtable_budget(512 * 1024)
                 .with_page_size(32 * 1024),
@@ -68,7 +68,7 @@ fn main() {
     println!("\n(the hottest sensor of the run is sensor_id {:?})",
         run(
             &{
-                let mut d = LsmDataset::new(DatasetConfig::new("sensors", LayoutKind::Amax));
+                let d = LsmDataset::new(DatasetConfig::new("sensors", LayoutKind::Amax));
                 for doc in docs.clone() {
                     d.insert(doc).unwrap();
                 }

@@ -17,7 +17,7 @@ fn build(kind: DatasetKind, layout: LayoutKind, records: usize, secondary: bool)
     if secondary {
         config = config.with_secondary_index(Path::parse("timestamp"));
     }
-    let mut dataset = LsmDataset::new(config);
+    let dataset = LsmDataset::new(config);
     for doc in docs {
         dataset.insert(doc).unwrap();
     }
@@ -57,7 +57,7 @@ fn update_intensive_workload_stays_consistent() {
     let records = 800;
     let spec = DatasetSpec::new(DatasetKind::Tweet2, records);
     for layout in LayoutKind::ALL {
-        let mut dataset = build(DatasetKind::Tweet2, layout, records, true);
+        let dataset = build(DatasetKind::Tweet2, layout, records, true);
         for doc in generate_updates(&spec, 0.5) {
             dataset.insert(doc).unwrap();
         }
@@ -176,4 +176,104 @@ fn facade_end_to_end_with_json_feed() {
     assert_eq!(rows.len(), 3);
     assert_eq!(rows[0].agg, Value::Int(499 * 3));
     assert!(store.stored_bytes("events").unwrap() > 0);
+}
+
+#[test]
+fn sharded_end_to_end_with_reopen() {
+    // Ingest across shards with background workers, answer a fan-out query,
+    // reopen the whole sharded dataset from disk, and re-verify.
+    let dir = std::env::temp_dir()
+        .join(format!("e2e-sharded-{}", std::process::id()))
+        .join("store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let records = 600usize;
+    let docs = generate(&DatasetSpec::new(DatasetKind::Cell, records));
+
+    let expected_groups = {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "reference",
+                DatasetOptions::new(Layout::Amax)
+                    .key("id")
+                    .memtable_budget(64 * 1024)
+                    .page_size(16 * 1024),
+            )
+            .unwrap();
+        store.ingest_all("reference", docs.clone()).unwrap();
+        store.flush("reference").unwrap();
+        store
+            .query(
+                "reference",
+                &Query::count_star()
+                    .group_by(Path::parse("caller"))
+                    .aggregate(Aggregate::Max(Path::parse("duration")))
+                    .top_k(5),
+                ExecMode::Compiled,
+            )
+            .unwrap()
+    };
+
+    {
+        let mut store = Datastore::new();
+        store
+            .open_dataset(
+                "calls",
+                &dir,
+                DatasetOptions::new(Layout::Amax)
+                    .key("id")
+                    .memtable_budget(64 * 1024)
+                    .page_size(16 * 1024)
+                    .shards(4)
+                    .background(true),
+            )
+            .unwrap();
+        // Parallel ingest: partitioned by primary key, one thread per shard.
+        assert_eq!(store.ingest_parallel("calls", docs).unwrap(), records);
+        store.flush("calls").unwrap();
+
+        let sharded = store.dataset("calls").unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        for shard in sharded.shards() {
+            assert!(shard.count().unwrap() > 0, "every shard owns records");
+        }
+
+        // Fan-out COUNT(*) and grouped top-k agree with the reference.
+        let count = store
+            .query("calls", &Query::count_star(), ExecMode::Compiled)
+            .unwrap();
+        assert_eq!(count[0].agg, Value::Int(records as i64));
+        let groups = store
+            .query(
+                "calls",
+                &Query::count_star()
+                    .group_by(Path::parse("caller"))
+                    .aggregate(Aggregate::Max(Path::parse("duration")))
+                    .top_k(5),
+                ExecMode::Compiled,
+            )
+            .unwrap();
+        assert_eq!(groups, expected_groups);
+        // Dropped here: every shard must recover from its own directory.
+    }
+
+    let mut store = Datastore::new();
+    store.reopen_dataset("calls", &dir).unwrap();
+    assert_eq!(store.dataset("calls").unwrap().shard_count(), 4);
+    let count = store
+        .query("calls", &Query::count_star(), ExecMode::Compiled)
+        .unwrap();
+    assert_eq!(count[0].agg, Value::Int(records as i64));
+    let groups = store
+        .query(
+            "calls",
+            &Query::count_star()
+                .group_by(Path::parse("caller"))
+                .aggregate(Aggregate::Max(Path::parse("duration")))
+                .top_k(5),
+            ExecMode::Compiled,
+        )
+        .unwrap();
+    assert_eq!(groups, expected_groups, "reopened shards must answer identically");
+    let _ = std::fs::remove_dir_all(&dir);
 }
