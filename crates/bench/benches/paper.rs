@@ -10,9 +10,9 @@ use bench::{build_dataset, default_records, queries_for};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use datagen::{generate, DatasetKind, DatasetSpec};
-use docmodel::{Path, Value};
+use docmodel::Path;
 use lsm::{DatasetConfig, LsmDataset};
-use query::{run, run_with_secondary_index, ExecMode, Query};
+use query::{Aggregate, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
 use storage::LayoutKind;
 
 const BENCH_SCALE: f64 = 0.25;
@@ -66,8 +66,9 @@ fn bench_queries(c: &mut Criterion) {
         for layout in LayoutKind::ALL {
             let (dataset, _) = build_dataset(kind, layout, records, false);
             for (name, query) in queries_for(kind) {
+                let engine = QueryEngine::new(ExecMode::Compiled);
                 group.bench_function(BenchmarkId::new(name, layout.name()), |b| {
-                    b.iter(|| run(&dataset, &query, ExecMode::Compiled).unwrap())
+                    b.iter(|| engine.execute(&dataset, &query).unwrap())
                 });
             }
         }
@@ -79,14 +80,11 @@ fn bench_queries(c: &mut Criterion) {
 fn bench_codegen(c: &mut Criterion) {
     let kind = DatasetKind::Sensors;
     let records = scaled_records(kind);
-    let q2 = {
-        use query::Aggregate;
-        Query::count_star()
-            .with_unnest(Path::parse("readings"))
-            .group_by(Path::parse("sensor_id"))
-            .aggregate_element(Aggregate::Max(Path::parse("temp")))
-            .top_k(10)
-    };
+    let q2 = Query::new()
+        .with_unnest("readings")
+        .group_by("sensor_id")
+        .aggregate_element(Aggregate::Max(Path::parse("temp")))
+        .top_k(10);
     let mut group = c.benchmark_group("fig10_codegen_sensors_q2");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(1));
@@ -94,10 +92,12 @@ fn bench_codegen(c: &mut Criterion) {
     for layout in LayoutKind::ALL {
         let (dataset, _) = build_dataset(kind, layout, records, false);
         group.bench_function(BenchmarkId::new("interpreted", layout.name()), |b| {
-            b.iter(|| run(&dataset, &q2, ExecMode::Interpreted).unwrap())
+            let engine = QueryEngine::new(ExecMode::Interpreted);
+            b.iter(|| engine.execute(&dataset, &q2).unwrap())
         });
         group.bench_function(BenchmarkId::new("compiled", layout.name()), |b| {
-            b.iter(|| run(&dataset, &q2, ExecMode::Compiled).unwrap())
+            let engine = QueryEngine::new(ExecMode::Compiled);
+            b.iter(|| engine.execute(&dataset, &q2).unwrap())
         });
     }
     group.finish();
@@ -116,19 +116,16 @@ fn bench_secondary_index(c: &mut Criterion) {
         let (dataset, _) = build_dataset(kind, layout, records, true);
         for selectivity in [0.001, 1.0] {
             let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;
+            // The planner routes the range filter through the timestamp index.
+            let q = Query::count_star().with_filter(Expr::between(
+                "timestamp",
+                base_ts,
+                base_ts + span - 1,
+            ));
+            let engine = QueryEngine::new(ExecMode::Compiled);
             group.bench_function(
                 BenchmarkId::new(format!("sel_{selectivity}pct"), layout.name()),
-                |b| {
-                    b.iter(|| {
-                        run_with_secondary_index(
-                            &dataset,
-                            &Value::Int(base_ts),
-                            &Value::Int(base_ts + span - 1),
-                            &Query::count_star(),
-                        )
-                        .unwrap()
-                    })
-                },
+                |b| b.iter(|| engine.execute(&dataset, &q).unwrap()),
             );
         }
     }
@@ -146,13 +143,13 @@ fn bench_column_count(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     for layout in [LayoutKind::Apax, LayoutKind::Amax] {
         let (dataset, _) = build_dataset(kind, layout, records, false);
+        let engine = QueryEngine::new(ExecMode::Compiled);
         for n in [1usize, 3, 5] {
             group.bench_function(BenchmarkId::new(format!("{n}_columns"), layout.name()), |b| {
                 b.iter(|| {
                     for col in &columns[..n] {
-                        let mut q = Query::count_star();
-                        q.agg = query::Aggregate::CountNonNull(Path::parse(col));
-                        run(&dataset, &q, ExecMode::Compiled).unwrap();
+                        let q = Query::select([Aggregate::CountNonNull(Path::parse(col))]);
+                        engine.execute(&dataset, &q).unwrap();
                     }
                 })
             });
@@ -245,6 +242,44 @@ fn bench_durability(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The query-API experiment: a multi-aggregate plan with projection
+/// pushdown on vs off over the redesigned planner.
+fn bench_query_api(c: &mut Criterion) {
+    let kind = DatasetKind::Tweet1;
+    let records = scaled_records(kind);
+    let q = Query::select([
+        Aggregate::Count,
+        Aggregate::Max(Path::parse("retweet_count")),
+        Aggregate::Avg(Path::parse("favorite_count")),
+    ])
+    .with_filter(Expr::and([
+        Expr::ge("retweet_count", 1),
+        Expr::exists("entities"),
+    ]))
+    .group_by("user.name")
+    .top_k(10);
+    let mut group = c.benchmark_group("query_api_pushdown_tweet1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+        let (dataset, _) = build_dataset(kind, layout, records, false);
+        for (label, options) in [
+            ("pushdown_on", PlannerOptions::default()),
+            (
+                "pushdown_off",
+                PlannerOptions { projection_pushdown: false, ..Default::default() },
+            ),
+        ] {
+            let engine = QueryEngine::with_options(ExecMode::Compiled, options);
+            group.bench_function(BenchmarkId::new(label, layout.name()), |b| {
+                b.iter(|| engine.execute(&dataset, &q).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ingestion,
@@ -252,6 +287,7 @@ criterion_group!(
     bench_codegen,
     bench_secondary_index,
     bench_column_count,
+    bench_query_api,
     bench_flush_write,
     bench_durability
 );

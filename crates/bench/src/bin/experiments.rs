@@ -94,6 +94,12 @@ fn main() {
             &run_concurrency_comparison(DatasetKind::Cell, records, shards),
         );
     }
+    if wanted("query_api") {
+        print_matrix(
+            "Query API: projection pushdown on vs off over the planner (tweet_1)",
+            &run_query_api_comparison(scale),
+        );
+    }
     if wanted("durability") {
         let records = (3_000_f64 * scale).max(200.0) as usize;
         print_matrix(

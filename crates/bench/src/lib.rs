@@ -19,10 +19,15 @@
 use std::time::{Duration, Instant};
 
 use datagen::{generate, generate_updates, summarize, DatasetKind, DatasetSpec};
-use docmodel::{Path, Value};
+use docmodel::Path;
 use lsm::{DatasetConfig, LsmDataset};
-use query::{run, run_with_secondary_index, Aggregate, ExecMode, Predicate, Query};
+use query::{Aggregate, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
 use storage::LayoutKind;
+
+/// Run a query on one dataset in the given mode (default planner options).
+pub fn run_query(dataset: &LsmDataset, query: &Query, mode: ExecMode) -> Vec<query::QueryRow> {
+    QueryEngine::new(mode).execute(dataset, query).expect("query")
+}
 
 /// Default record counts per dataset (scaled from the paper's 17M–1.43B).
 pub fn default_records(kind: DatasetKind) -> usize {
@@ -118,7 +123,7 @@ pub fn run_durability_comparison(kind: DatasetKind, records: usize) -> Vec<Measu
 /// Acknowledged-ingest group-commit cadence of the concurrency experiment:
 /// the WAL is fsynced every this many records, as a durable service
 /// acknowledging client batches would.
-const CONCURRENCY_GROUP_COMMIT: usize = 64;
+pub const CONCURRENCY_GROUP_COMMIT: usize = 64;
 
 /// Concurrency experiment: the same durable, group-committed, insert-only
 /// workload (WAL fsync every [`CONCURRENCY_GROUP_COMMIT`] records) ingested
@@ -132,13 +137,16 @@ const CONCURRENCY_GROUP_COMMIT: usize = 64;
 ///   worker's encode/compress/fsync work overlaps with ingestion and with
 ///   the writer's group-commit waits;
 /// * **sharded xN**: N hash partitions, one writer thread and one
-///   background worker per shard, partitioned with
-///   `ShardedDataset::shard_index_for` — N independent WAL/flush streams
-///   whose I/O waits overlap each other even on a single core.
+///   background worker per shard — N independent WAL/flush streams whose
+///   I/O waits overlap each other even on a single core.
 ///
-/// Reported as wall time and throughput. The background gain is bounded by
-/// the overlap between the writer's fsync waits and the worker's flush work
-/// on one core, and grows with core count; sharding adds scaling on top.
+/// All three modes ingest through the facade's group-commit batching API
+/// ([`docstore::Datastore::ingest_batch`] with a
+/// [`CONCURRENCY_GROUP_COMMIT`]-record sync cadence) instead of hand-rolled
+/// per-K-records `sync()` loops. Reported as wall time and throughput. The
+/// background gain is bounded by the overlap between the writer's fsync
+/// waits and the worker's flush work on one core, and grows with core
+/// count; sharding adds scaling on top.
 pub fn run_concurrency_comparison(
     kind: DatasetKind,
     records: usize,
@@ -170,87 +178,39 @@ pub fn run_concurrency_comparison(
             unit: "krec/s",
         });
     };
-    fn ingest_group_committed(dataset: &LsmDataset, batch: Vec<docmodel::Value>) {
-        for (i, doc) in batch.into_iter().enumerate() {
-            dataset.insert(doc).expect("ingest");
-            if (i + 1) % CONCURRENCY_GROUP_COMMIT == 0 {
-                dataset.sync().expect("group commit");
-            }
-        }
-    }
 
-    // Blocking baseline: flush/merge latency is ingest latency.
-    {
-        let dataset = LsmDataset::open(
-            dir.join("blocking"),
-            DatasetConfig::new("blocking", layout)
-                .with_key_field(kind.key_field())
-                .with_memtable_budget(budget)
-                .with_page_size(32 * 1024),
-        )
-        .expect("open blocking dataset");
-        let started = Instant::now();
-        ingest_group_committed(&dataset, docs.clone());
-        dataset.flush().expect("flush");
-        report("blocking", started.elapsed());
-    }
-
-    // Background worker: the writer keeps inserting while flushes run.
-    {
-        let dataset = LsmDataset::open(
-            dir.join("background"),
-            DatasetConfig::new("background", layout)
-                .with_key_field(kind.key_field())
-                .with_memtable_budget(budget)
-                .with_page_size(32 * 1024)
-                .with_background(true)
-                .with_max_sealed(8),
-        )
-        .expect("open background dataset");
-        let started = Instant::now();
-        ingest_group_committed(&dataset, docs.clone());
-        dataset.flush().expect("flush");
-        report("background", started.elapsed());
-    }
-
-    // Sharded parallel ingest: N writers + N workers.
-    {
+    // (mode label, shard count, background workers on/off).
+    let modes = [
+        ("blocking".to_string(), 1usize, false),
+        ("background".to_string(), 1, true),
+        (format!("sharded x{shards}"), shards, true),
+    ];
+    for (label, n_shards, background) in modes {
         let mut store = Datastore::new();
         store
             .open_dataset(
-                "sharded",
-                dir.join("sharded"),
+                &label,
+                dir.join(&label),
                 DatasetOptions::new(layout)
                     .key(kind.key_field())
                     .memtable_budget(budget)
                     .page_size(32 * 1024)
-                    .shards(shards)
-                    .background(true),
+                    .shards(n_shards)
+                    .background(background)
+                    .max_sealed(8),
             )
-            .expect("open sharded dataset");
-        let sharded = store.dataset("sharded").expect("dataset");
-        let mut partitions: Vec<Vec<docmodel::Value>> =
-            (0..shards).map(|_| Vec::new()).collect();
-        for doc in docs.clone() {
-            let key = doc
-                .get_field(kind.key_field())
-                .expect("record has its key field")
-                .clone();
-            partitions[sharded.shard_index_for(&key)].push(doc);
-        }
+            .expect("open dataset");
         let started = Instant::now();
-        std::thread::scope(|scope| {
-            for (batch, shard) in partitions.into_iter().zip(sharded.shards()) {
-                scope.spawn(move || ingest_group_committed(shard, batch));
-            }
-        });
-        sharded.flush().expect("flush");
-        report(&format!("sharded x{shards}"), started.elapsed());
+        store
+            .ingest_batch(&label, docs.clone(), CONCURRENCY_GROUP_COMMIT)
+            .expect("group-committed ingest");
+        store.flush(&label).expect("flush");
+        report(&label, started.elapsed());
 
         let count = store
-            .query("sharded", &Query::count_star(), query::ExecMode::Compiled)
+            .query(&label, &Query::count_star(), ExecMode::Compiled)
             .expect("fan-out count");
-        assert_eq!(count[0].agg, docmodel::Value::Int(records as i64));
+        assert_eq!(count[0].agg(), &docmodel::Value::Int(records as i64));
     }
     let _ = std::fs::remove_dir_all(&dir);
     out
@@ -443,45 +403,41 @@ pub fn queries_for(kind: DatasetKind) -> Vec<(&'static str, Query)> {
             ("Q1", Query::count_star()),
             (
                 "Q2",
-                Query::count_star()
-                    .group_by(Path::parse("caller"))
-                    .aggregate(Aggregate::Max(Path::parse("duration")))
+                Query::select([Aggregate::Max(Path::parse("duration"))])
+                    .group_by("caller")
                     .top_k(10),
             ),
             (
                 "Q3",
-                Query::count_star().with_filter(Predicate::GreaterEq {
-                    path: Path::parse("duration"),
-                    value: Value::Int(600),
-                }),
+                Query::count_star().with_filter(Expr::ge("duration", 600)),
             ),
         ],
         DatasetKind::Sensors => vec![
             ("Q1", Query::count_star()),
             (
                 "Q2",
-                Query::count_star()
-                    .with_unnest(Path::parse("readings"))
+                Query::new()
+                    .with_unnest("readings")
                     .aggregate_element(Aggregate::Max(Path::parse("temp"))),
             ),
             (
                 "Q3",
-                Query::count_star()
-                    .with_unnest(Path::parse("readings"))
-                    .group_by(Path::parse("sensor_id"))
+                Query::new()
+                    .with_unnest("readings")
+                    .group_by("sensor_id")
                     .aggregate_element(Aggregate::Max(Path::parse("temp")))
                     .top_k(10),
             ),
             (
                 "Q4",
-                Query::count_star()
-                    .with_filter(Predicate::Range {
-                        path: Path::parse("report_time"),
-                        lo: Value::Int(1_556_400_000_000),
-                        hi: Value::Int(1_556_400_000_000 + 24 * 60 * 60 * 1000),
-                    })
-                    .with_unnest(Path::parse("readings"))
-                    .group_by(Path::parse("sensor_id"))
+                Query::new()
+                    .with_filter(Expr::between(
+                        "report_time",
+                        1_556_400_000_000i64,
+                        1_556_400_000_000i64 + 24 * 60 * 60 * 1000,
+                    ))
+                    .with_unnest("readings")
+                    .group_by("sensor_id")
                     .aggregate_element(Aggregate::Max(Path::parse("temp")))
                     .top_k(10),
             ),
@@ -490,19 +446,15 @@ pub fn queries_for(kind: DatasetKind) -> Vec<(&'static str, Query)> {
             ("Q1", Query::count_star()),
             (
                 "Q2",
-                Query::count_star()
-                    .group_by(Path::parse("user.name"))
-                    .aggregate(Aggregate::MaxLength(Path::parse("text")))
+                Query::select([Aggregate::MaxLength(Path::parse("text"))])
+                    .group_by("user.name")
                     .top_k(10),
             ),
             (
                 "Q3",
                 Query::count_star()
-                    .with_filter(Predicate::Contains {
-                        path: Path::parse("entities.hashtags[*].text"),
-                        value: Value::from("jobs"),
-                    })
-                    .group_by(Path::parse("user.name"))
+                    .with_filter(Expr::contains("entities.hashtags[*].text", "jobs"))
+                    .group_by("user.name")
                     .top_k(10),
             ),
         ],
@@ -511,29 +463,22 @@ pub fn queries_for(kind: DatasetKind) -> Vec<(&'static str, Query)> {
             (
                 "Q2",
                 Query::count_star()
-                    .with_unnest(Path::parse(
-                        "static_data.fullrecord_metadata.category_info.subjects.subject",
-                    ))
-                    .group_by_element(Path::parse("value"))
+                    .with_unnest("static_data.fullrecord_metadata.category_info.subjects.subject")
+                    .group_by_element("value")
                     .top_k(10),
             ),
             (
                 "Q3",
                 Query::count_star()
-                    .with_unnest(Path::parse(
-                        "static_data.fullrecord_metadata.addresses.address_name",
-                    ))
-                    .group_by_element(Path::parse("address_spec.country"))
+                    .with_unnest("static_data.fullrecord_metadata.addresses.address_name")
+                    .group_by_element("address_spec.country")
                     .top_k(10),
             ),
             (
                 "Q4",
                 Query::count_star()
-                    .with_unnest(Path::parse(
-                        "static_data.fullrecord_metadata.addresses.address_name",
-                    ))
-                    .group_by_element(Path::parse("address_spec.country"))
-                    .aggregate(Aggregate::Count)
+                    .with_unnest("static_data.fullrecord_metadata.addresses.address_name")
+                    .group_by_element("address_spec.country")
                     .top_k(10),
             ),
         ],
@@ -546,10 +491,11 @@ pub fn queries_for(kind: DatasetKind) -> Vec<(&'static str, Query)> {
 pub fn fig14_queries(kind: DatasetKind, scale: f64) -> Vec<Measurement> {
     let records = ((default_records(kind) as f64) * scale).max(100.0) as usize;
     let mut out = Vec::new();
+    let engine = QueryEngine::new(ExecMode::Compiled);
     for layout in LayoutKind::ALL {
         let (dataset, _) = build_dataset(kind, layout, records, false);
         for (name, q) in queries_for(kind) {
-            let (_, ms) = time(|| run(&dataset, &q, ExecMode::Compiled).expect("query"));
+            let (_, ms) = time(|| engine.execute(&dataset, &q).expect("query"));
             out.push(Measurement::new(name, layout.name(), ms, "ms"));
         }
     }
@@ -566,19 +512,19 @@ pub fn fig10_codegen(scale: f64) -> Vec<Measurement> {
     let kind = DatasetKind::Sensors;
     let records = ((default_records(kind) as f64) * scale).max(100.0) as usize;
     let q1 = Query::count_star();
-    let q2 = Query::count_star()
-        .with_unnest(Path::parse("readings"))
-        .group_by(Path::parse("sensor_id"))
+    let q2 = Query::new()
+        .with_unnest("readings")
+        .group_by("sensor_id")
         .aggregate_element(Aggregate::Max(Path::parse("temp")))
         .top_k(10);
     let mut out = Vec::new();
     for layout in LayoutKind::ALL {
         let (dataset, _) = build_dataset(kind, layout, records, false);
-        let (_, ms) = time(|| run(&dataset, &q1, ExecMode::Compiled).unwrap());
+        let (_, ms) = time(|| run_query(&dataset, &q1, ExecMode::Compiled));
         out.push(Measurement::new("Q1 COUNT(*)", layout.name(), ms, "ms"));
-        let (_, ms) = time(|| run(&dataset, &q2, ExecMode::Interpreted).unwrap());
+        let (_, ms) = time(|| run_query(&dataset, &q2, ExecMode::Interpreted));
         out.push(Measurement::new("Q2 (Interpreted)", layout.name(), ms, "ms"));
-        let (_, ms) = time(|| run(&dataset, &q2, ExecMode::Compiled).unwrap());
+        let (_, ms) = time(|| run_query(&dataset, &q2, ExecMode::Compiled));
         out.push(Measurement::new("Q2 (CodeGen)", layout.name(), ms, "ms"));
     }
     out
@@ -589,31 +535,40 @@ pub fn fig10_codegen(scale: f64) -> Vec<Measurement> {
 // ---------------------------------------------------------------------------
 
 /// Range COUNT queries on the timestamp index at different selectivities,
-/// plus the full-scan alternative, per layout.
+/// plus the full-scan alternative, per layout. The *same* logical query is
+/// executed both ways: the planner routes the range filter through the
+/// index, and an engine with index routing disabled scans.
 pub fn fig15_secondary(scale: f64) -> Vec<Measurement> {
     let kind = DatasetKind::Tweet2;
     let records = ((default_records(kind) as f64) * scale).max(200.0) as usize;
     let base_ts = 1_450_000_000_000i64;
     let selectivities = [0.001, 0.01, 0.1, 1.0, 10.0];
+    let probe = QueryEngine::new(ExecMode::Compiled);
+    let scan = QueryEngine::with_options(
+        ExecMode::Compiled,
+        PlannerOptions { use_secondary_index: false, ..Default::default() },
+    );
     let mut out = Vec::new();
     for layout in LayoutKind::ALL {
         let (dataset, _) = build_dataset(kind, layout, records, true);
         for sel in selectivities {
             let span = ((records as f64) * sel / 100.0).max(1.0) as i64;
-            let lo = Value::Int(base_ts);
-            let hi = Value::Int(base_ts + span - 1);
-            let q = Query::count_star();
-            let (_, ms) = time(|| run_with_secondary_index(&dataset, &lo, &hi, &q).unwrap());
+            let q = Query::count_star().with_filter(Expr::between(
+                "timestamp",
+                base_ts,
+                base_ts + span - 1,
+            ));
+            let (_, ms) = time(|| probe.execute(&dataset, &q).unwrap());
             out.push(Measurement::new(format!("{sel}% (index)"), layout.name(), ms, "ms"));
         }
-        // Scan-based equivalent of the 10% query.
+        // Scan-based execution of the 10% query (index routing disabled).
         let span = ((records as f64) * 0.1).max(1.0) as i64;
-        let q = Query::count_star().with_filter(Predicate::Range {
-            path: Path::parse("timestamp"),
-            lo: Value::Int(base_ts),
-            hi: Value::Int(base_ts + span - 1),
-        });
-        let (_, ms) = time(|| run(&dataset, &q, ExecMode::Compiled).unwrap());
+        let q = Query::count_star().with_filter(Expr::between(
+            "timestamp",
+            base_ts,
+            base_ts + span - 1,
+        ));
+        let (_, ms) = time(|| scan.execute(&dataset, &q).unwrap());
         out.push(Measurement::new("10% (scan)", layout.name(), ms, "ms"));
     }
     out
@@ -640,22 +595,20 @@ pub fn fig16_column_count(scale: f64) -> Vec<Measurement> {
         "entities.hashtags[*].text",
         "coordinates[*]",
     ];
+    let engine = QueryEngine::new(ExecMode::Compiled);
     let mut out = Vec::new();
     for layout in [LayoutKind::Apax, LayoutKind::Amax] {
         let (dataset, _) = build_dataset(kind, layout, records, true);
         for n in 1..=columns.len() {
-            // A query counting non-null values of the n-th column, with the
-            // first n columns projected (the paper picks n random columns; we
-            // use a fixed prefix so runs are comparable).
-            let mut q = Query::count_star();
-            q.agg = Aggregate::CountNonNull(Path::parse(columns[n - 1]));
-            // Force all n columns into the projection through the filter-free
-            // trick: count each of them once.
+            // Count the non-null values of the first n columns, one query
+            // each (the paper picks n random columns; we use a fixed prefix
+            // so runs are comparable). A multi-aggregate query could read
+            // all n in one pass; one query per column keeps the per-column
+            // page counts of the figure.
             let (_, ms) = time(|| {
                 for col in &columns[..n] {
-                    let mut qn = Query::count_star();
-                    qn.agg = Aggregate::CountNonNull(Path::parse(col));
-                    run(&dataset, &qn, ExecMode::Compiled).unwrap();
+                    let qn = Query::select([Aggregate::CountNonNull(Path::parse(col))]);
+                    engine.execute(&dataset, &qn).unwrap();
                 }
             });
             out.push(Measurement::new(
@@ -665,23 +618,76 @@ pub fn fig16_column_count(scale: f64) -> Vec<Measurement> {
                 "ms",
             ));
         }
-        // Index-based variant at 1% selectivity reading all ten columns.
+        // Index-based variant at 1% selectivity reading all ten columns: the
+        // range filter on the indexed timestamp routes through the index.
         let base_ts = 1_450_000_000_000i64;
         let span = ((records as f64) * 0.01).max(1.0) as i64;
         let (_, ms) = time(|| {
             for col in &columns {
-                let mut qn = Query::count_star();
-                qn.agg = Aggregate::CountNonNull(Path::parse(col));
-                run_with_secondary_index(
-                    &dataset,
-                    &Value::Int(base_ts),
-                    &Value::Int(base_ts + span - 1),
-                    &qn,
-                )
-                .unwrap();
+                let qn = Query::select([Aggregate::CountNonNull(Path::parse(col))])
+                    .with_filter(Expr::between("timestamp", base_ts, base_ts + span - 1));
+                engine.execute(&dataset, &qn).unwrap();
             }
         });
         out.push(Measurement::new("10 columns (index, 1%)", layout.name(), ms, "ms"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Query-API experiment: projection pushdown over the new planner.
+// ---------------------------------------------------------------------------
+
+/// Compositional-query experiment over the redesigned planner: a
+/// multi-aggregate query (`SELECT user.name, COUNT(*), MAX(retweet_count),
+/// AVG(favorite_count) WHERE retweet_count >= k AND EXISTS(entities)`)
+/// executed with projection pushdown **on** (the planner derives the touched
+/// columns from the expression tree) vs **off** (full-record assembly), in
+/// both execution modes, per columnar layout. The gap is what §5 of the
+/// paper attributes to reading only the referenced columns' megapages.
+pub fn run_query_api_comparison(scale: f64) -> Vec<Measurement> {
+    let kind = DatasetKind::Tweet1;
+    let records = ((default_records(kind) as f64) * scale).max(200.0) as usize;
+    let q = Query::select([
+        Aggregate::Count,
+        Aggregate::Max(Path::parse("retweet_count")),
+        Aggregate::Avg(Path::parse("favorite_count")),
+    ])
+    .with_filter(Expr::and([
+        Expr::ge("retweet_count", 1),
+        Expr::exists("entities"),
+    ]))
+    .group_by("user.name")
+    .top_k(10);
+
+    let engines = [
+        ("pushdown on", PlannerOptions::default()),
+        (
+            "pushdown off",
+            PlannerOptions { projection_pushdown: false, ..Default::default() },
+        ),
+    ];
+    let mut out = Vec::new();
+    for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+        let (dataset, _) = build_dataset(kind, layout, records, false);
+        let mut reference: Option<Vec<query::QueryRow>> = None;
+        for (row, options) in engines {
+            for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+                let engine = QueryEngine::with_options(mode, options);
+                let (rows, ms) = time(|| engine.execute(&dataset, &q).unwrap());
+                // Pushdown must never change the answer.
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(expected) => assert_eq!(expected, &rows, "{row} {mode:?}"),
+                }
+                let column = format!(
+                    "{} ({})",
+                    layout.name(),
+                    if mode == ExecMode::Compiled { "codegen" } else { "interp" }
+                );
+                out.push(Measurement::new(row, column, ms, "ms"));
+            }
+        }
     }
     out
 }
@@ -760,6 +766,15 @@ mod tests {
         assert_eq!(cell.len(), 3 * LayoutKind::ALL.len());
         assert!(!fig15_secondary(0.05).is_empty());
         assert!(!ablation_compression(0.05).is_empty());
+    }
+
+    #[test]
+    fn query_api_comparison_runs_and_validates_pushdown() {
+        let rows = run_query_api_comparison(0.1);
+        // 2 planner settings x 2 engines x 2 layouts.
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|m| m.row == "pushdown on"));
+        assert!(rows.iter().any(|m| m.row == "pushdown off"));
     }
 
     #[test]

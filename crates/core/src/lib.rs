@@ -2,51 +2,119 @@
 //!
 //! A small, user-facing API over the whole stack: create a [`Datastore`],
 //! declare datasets with a storage layout, feed them JSON documents, and run
-//! analytical queries in either execution mode. This is the surface a
-//! downstream user of the reproduction would program against; the examples
-//! in the repository root use nothing else.
+//! compositional analytical queries. This is the surface a downstream user
+//! of the reproduction would program against; the examples in the repository
+//! root use nothing else.
 //!
 //! Every dataset is a [`ShardedDataset`]: one or more [`LsmDataset`]
 //! partitions, hash-partitioned by primary key. With `shards(1)` (the
 //! default) it behaves exactly like a single LSM dataset; with more shards,
 //! ingestion can run in parallel across partitions
-//! ([`Datastore::ingest_parallel`]) and queries fan out over per-shard
-//! snapshots and merge partial aggregates ([`query::run_sharded`]).
-//! Combined with [`DatasetOptions::background`] (background flush/merge
-//! workers per shard), this is the facade's path to multi-core ingest.
+//! ([`Datastore::ingest_parallel`], or [`Datastore::ingest_batch`] for
+//! group-committed durable ingest) and queries fan out over the shards with
+//! exact partial-aggregate merging. Query execution goes through
+//! [`query::QueryEngine`]: the planner picks the access path — full scan,
+//! key-only scan, or a secondary-index range probe when the filter implies a
+//! range on the indexed path — and [`Datastore::explain`] shows the chosen
+//! plan.
 //!
 //! ```
 //! use docstore::{Datastore, DatasetOptions, Layout};
-//! use query::{ExecMode, Query};
+//! use query::{Aggregate, ExecMode, Expr, Query};
 //!
 //! let mut store = Datastore::new();
 //! store
 //!     .create_dataset("gamers", DatasetOptions::new(Layout::Amax).key("id"))
 //!     .unwrap();
 //! store
-//!     .ingest_json("gamers", r#"{"id": 1, "name": {"first": "Ann"}, "games": [{"title": "NBA"}]}"#)
+//!     .ingest_json("gamers", r#"
+//!         {"id": 1, "name": {"first": "Ann"}, "score": 62, "games": [{"title": "NBA"}]}
+//!         {"id": 2, "name": {"first": "Bo"}, "score": 38}
+//!     "#)
 //!     .unwrap();
 //! store.flush("gamers").unwrap();
-//! let rows = store
-//!     .query("gamers", &Query::count_star(), ExecMode::Compiled)
-//!     .unwrap();
-//! assert_eq!(rows[0].agg, docstore::Value::Int(1));
+//!
+//! // SELECT name.first, COUNT(*), MAX(score), AVG(score) WHERE score >= 50 ...
+//! let q = Query::select([
+//!         Aggregate::Count,
+//!         Aggregate::Max(docstore::Path::parse("score")),
+//!         Aggregate::Avg(docstore::Path::parse("score")),
+//!     ])
+//!     .with_filter(Expr::ge("score", 50))
+//!     .group_by("name.first");
+//! let rows = store.query("gamers", &q, ExecMode::Compiled).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].aggs[0], docstore::Value::Int(1));
+//! assert!(store.explain("gamers", &q).unwrap().contains("full scan"));
 //! ```
 
 use std::collections::HashMap;
+use std::fmt;
 
 use docmodel::parse_json;
 use lsm::{DatasetConfig, IngestStats, LsmDataset, Snapshot};
-use query::{ExecMode, Query, QueryRow};
+use query::{ExecMode, Query, QueryEngine, QueryRow};
 use storage::pagestore::IoStats;
 
 pub use docmodel::{doc, Path, Value};
 pub use lsm::TieringPolicy;
+pub use query::{Aggregate, Expr};
 pub use storage::LayoutKind as Layout;
 
-/// Error type of the facade.
-pub type Error = encoding::DecodeError;
-/// Result alias.
+/// Error type of the facade: storage-engine failures, query-layer failures
+/// (plan validation vs. decode, see [`query::Error`]), and facade-level API
+/// misuse are kept apart so callers can react differently.
+#[derive(Debug)]
+pub enum Error {
+    /// The storage engine (LSM, persistence, page decode) failed.
+    Store(lsm::LsmError),
+    /// The query layer rejected the plan or failed executing it.
+    Query(query::Error),
+    /// The facade was misused: unknown dataset, duplicate name, invalid
+    /// JSON, missing primary key, ...
+    Api(String),
+}
+
+impl Error {
+    /// A facade-level API-misuse error.
+    pub fn api(msg: impl Into<String>) -> Error {
+        Error::Api(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Store(e) => write!(f, "storage error: {e}"),
+            Error::Query(e) => write!(f, "{e}"),
+            Error::Api(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Store(e) => Some(e),
+            Error::Query(e) => Some(e),
+            Error::Api(_) => None,
+        }
+    }
+}
+
+impl From<lsm::LsmError> for Error {
+    fn from(e: lsm::LsmError) -> Error {
+        Error::Store(e)
+    }
+}
+
+impl From<query::Error> for Error {
+    fn from(e: query::Error) -> Error {
+        Error::Query(e)
+    }
+}
+
+/// Result alias of the facade.
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Options for creating a dataset.
@@ -68,6 +136,9 @@ pub struct DatasetOptions {
     pub shards: usize,
     /// Run flushes/merges on a background worker per shard.
     pub background: bool,
+    /// With `background`: how many sealed memtables may queue per shard
+    /// before ingestion is backpressured.
+    pub max_sealed: usize,
 }
 
 impl DatasetOptions {
@@ -82,6 +153,7 @@ impl DatasetOptions {
             compress_pages: true,
             shards: 1,
             background: false,
+            max_sealed: 2,
         }
     }
 
@@ -121,12 +193,19 @@ impl DatasetOptions {
         self
     }
 
+    /// Bound the per-shard sealed-memtable queue (ingest backpressure).
+    pub fn max_sealed(mut self, n: usize) -> Self {
+        self.max_sealed = n.max(1);
+        self
+    }
+
     fn to_config(&self, name: &str) -> DatasetConfig {
         let mut config = DatasetConfig::new(name, self.layout)
             .with_key_field(self.key_field.clone())
             .with_memtable_budget(self.memtable_budget)
             .with_page_size(self.page_size)
-            .with_background(self.background);
+            .with_background(self.background)
+            .with_max_sealed(self.max_sealed);
         config.compress_pages = self.compress_pages;
         if let Some(p) = &self.secondary_index {
             config = config.with_secondary_index(p.clone());
@@ -192,49 +271,73 @@ impl ShardedDataset {
             .filter(|v| v.is_atomic() && !v.is_null())
             .cloned()
             .ok_or_else(|| {
-                Error::new(format!(
+                Error::api(format!(
                     "record lacks an atomic primary key field '{}'",
                     self.key_field
                 ))
             })
     }
 
+    /// Partition a batch of documents by owning shard.
+    fn partition(&self, docs: Vec<Value>) -> Result<Vec<Vec<Value>>> {
+        let mut partitions: Vec<Vec<Value>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for doc in docs {
+            let key = self.extract_key(&doc)?;
+            partitions[self.shard_index_for(&key)].push(doc);
+        }
+        Ok(partitions)
+    }
+
     /// Insert one record into the shard owning its key.
     pub fn insert(&self, record: Value) -> Result<()> {
         let key = self.extract_key(&record)?;
-        self.shard_for(&key).insert(record)
+        Ok(self.shard_for(&key).insert(record)?)
     }
 
     /// Insert a batch, partitioning it by shard and ingesting every
     /// partition on its own thread. With background workers enabled this is
     /// the fully parallel ingest path: N writer threads, N flush workers.
     pub fn ingest_parallel(&self, docs: Vec<Value>) -> Result<usize> {
+        self.ingest_batch(docs, 0)
+    }
+
+    /// Group-committed batch ingest: partition the batch by shard, ingest
+    /// every partition on its own thread, and — when `sync_every > 0` —
+    /// fsync the shard's WAL after every `sync_every` records, plus once at
+    /// the end of the batch. This is how a durable service acknowledges
+    /// client batches without hand-rolling per-K-records `sync()` loops;
+    /// for in-memory datasets the syncs are no-ops.
+    pub fn ingest_batch(&self, docs: Vec<Value>, sync_every: usize) -> Result<usize> {
+        fn ingest_one(
+            shard: &LsmDataset,
+            batch: Vec<Value>,
+            sync_every: usize,
+        ) -> lsm::Result<()> {
+            for (i, doc) in batch.into_iter().enumerate() {
+                shard.insert(doc)?;
+                if sync_every > 0 && (i + 1) % sync_every == 0 {
+                    shard.sync()?;
+                }
+            }
+            if sync_every > 0 {
+                shard.sync()?;
+            }
+            Ok(())
+        }
+
         if self.shards.len() == 1 {
             let n = docs.len();
-            for doc in docs {
-                self.shards[0].insert(doc)?;
-            }
+            ingest_one(&self.shards[0], docs, sync_every)?;
             return Ok(n);
         }
-        let mut partitions: Vec<Vec<Value>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        let mut n = 0usize;
-        for doc in docs {
-            let key = self.extract_key(&doc)?;
-            partitions[self.shard_index_for(&key)].push(doc);
-            n += 1;
-        }
-        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+        let partitions = self.partition(docs)?;
+        let n = partitions.iter().map(Vec::len).sum();
+        let results: Vec<lsm::Result<()>> = std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .into_iter()
                 .zip(self.shards.iter())
-                .map(|(batch, shard)| {
-                    scope.spawn(move || {
-                        for doc in batch {
-                            shard.insert(doc)?;
-                        }
-                        Ok(())
-                    })
-                })
+                .map(|(batch, shard)| scope.spawn(move || ingest_one(shard, batch, sync_every)))
                 .collect();
             handles
                 .into_iter()
@@ -249,12 +352,12 @@ impl ShardedDataset {
 
     /// Delete the record with the given key.
     pub fn delete(&self, key: Value) -> Result<()> {
-        self.shard_for(&key).delete(key)
+        Ok(self.shard_for(&key).delete(key)?)
     }
 
     /// Point lookup by primary key.
     pub fn get(&self, key: &Value) -> Result<Option<Value>> {
-        self.shard_for(key).lookup(key, None)
+        Ok(self.shard_for(key).lookup(key, None)?)
     }
 
     /// Consistent per-shard snapshots for fan-out query execution.
@@ -262,10 +365,18 @@ impl ShardedDataset {
         self.shards.iter().map(LsmDataset::snapshot).collect()
     }
 
-    /// Run a query: fan out over per-shard snapshots (one thread each) and
-    /// merge the partial aggregates.
+    /// Run a query: the planner picks the access path (scan, key-only scan,
+    /// or secondary-index range probe), fans it out over the shards (one
+    /// thread each) and merges the partial aggregates exactly.
     pub fn query(&self, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
-        query::run_sharded(&self.snapshots(), query, mode)
+        let refs: Vec<&LsmDataset> = self.shards.iter().collect();
+        Ok(QueryEngine::new(mode).execute(&refs[..], query)?)
+    }
+
+    /// Render the physical plan a query would execute with (`EXPLAIN`).
+    pub fn explain(&self, query: &Query) -> Result<String> {
+        let refs: Vec<&LsmDataset> = self.shards.iter().collect();
+        Ok(QueryEngine::new(ExecMode::Compiled).explain(&refs[..], query)?)
     }
 
     /// Flush every shard (drains background workers).
@@ -354,7 +465,7 @@ impl Datastore {
     /// Create a dataset. Fails if the name is taken.
     pub fn create_dataset(&mut self, name: &str, options: DatasetOptions) -> Result<()> {
         if self.datasets.contains_key(name) {
-            return Err(Error::new(format!("dataset '{name}' already exists")));
+            return Err(Error::api(format!("dataset '{name}' already exists")));
         }
         let shards: Vec<LsmDataset> = (0..options.shards)
             .map(|i| {
@@ -384,7 +495,7 @@ impl Datastore {
         options: DatasetOptions,
     ) -> Result<()> {
         if self.datasets.contains_key(name) {
-            return Err(Error::new(format!("dataset '{name}' already exists")));
+            return Err(Error::api(format!("dataset '{name}' already exists")));
         }
         let dir = dir.as_ref();
         let mut shards = Vec::with_capacity(options.shards);
@@ -415,7 +526,7 @@ impl Datastore {
         dir: impl AsRef<std::path::Path>,
     ) -> Result<()> {
         if self.datasets.contains_key(name) {
-            return Err(Error::new(format!("dataset '{name}' already exists")));
+            return Err(Error::api(format!("dataset '{name}' already exists")));
         }
         let dir = dir.as_ref();
         let mut shard_dirs: Vec<std::path::PathBuf> = Vec::new();
@@ -470,14 +581,14 @@ impl Datastore {
     pub fn dataset(&self, name: &str) -> Result<&ShardedDataset> {
         self.datasets
             .get(name)
-            .ok_or_else(|| Error::new(format!("unknown dataset '{name}'")))
+            .ok_or_else(|| Error::api(format!("unknown dataset '{name}'")))
     }
 
     /// Mutably borrow a dataset.
     pub fn dataset_mut(&mut self, name: &str) -> Result<&mut ShardedDataset> {
         self.datasets
             .get_mut(name)
-            .ok_or_else(|| Error::new(format!("unknown dataset '{name}'")))
+            .ok_or_else(|| Error::api(format!("unknown dataset '{name}'")))
     }
 
     /// Names of all datasets.
@@ -495,7 +606,7 @@ impl Datastore {
     /// Parse and insert one JSON document (or a whitespace-separated stream).
     pub fn ingest_json(&self, dataset: &str, json: &str) -> Result<usize> {
         let docs = docmodel::parse_json_stream(json)
-            .map_err(|e| Error::new(format!("invalid JSON: {e}")))?;
+            .map_err(|e| Error::api(format!("invalid JSON: {e}")))?;
         let n = docs.len();
         let ds = self.dataset(dataset)?;
         for doc in docs {
@@ -520,6 +631,18 @@ impl Datastore {
         self.dataset(dataset)?.ingest_parallel(docs)
     }
 
+    /// Group-committed batch ingest: one writer thread per shard, WAL fsync
+    /// every `sync_every` records (and once at the end). See
+    /// [`ShardedDataset::ingest_batch`].
+    pub fn ingest_batch(
+        &self,
+        dataset: &str,
+        docs: Vec<Value>,
+        sync_every: usize,
+    ) -> Result<usize> {
+        self.dataset(dataset)?.ingest_batch(docs, sync_every)
+    }
+
     /// Delete a record by key.
     pub fn delete(&self, dataset: &str, key: Value) -> Result<()> {
         self.dataset(dataset)?.delete(key)
@@ -535,9 +658,16 @@ impl Datastore {
         self.dataset(dataset)?.compact()
     }
 
-    /// Run a query (fan-out over shards, partial-aggregate merge).
+    /// Run a query (planner-routed access path, fan-out over shards,
+    /// partial-aggregate merge).
     pub fn query(&self, dataset: &str, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
         self.dataset(dataset)?.query(query, mode)
+    }
+
+    /// Render the physical plan a query would execute with (`EXPLAIN`): the
+    /// chosen access path and the pushed-down projection.
+    pub fn explain(&self, dataset: &str, query: &Query) -> Result<String> {
+        self.dataset(dataset)?.explain(query)
     }
 
     /// Point lookup by primary key.
@@ -547,7 +677,7 @@ impl Datastore {
 
     /// Parse a single JSON document into a [`Value`] (re-export convenience).
     pub fn parse(json: &str) -> Result<Value> {
-        parse_json(json).map_err(|e| Error::new(format!("invalid JSON: {e}")))
+        parse_json(json).map_err(|e| Error::api(format!("invalid JSON: {e}")))
     }
 
     /// Ingestion statistics of a dataset (summed over shards).
@@ -574,7 +704,6 @@ impl Datastore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use query::Aggregate;
 
     #[test]
     fn end_to_end_facade_roundtrip() {
@@ -603,19 +732,22 @@ mod tests {
         let count = store
             .query("tweets", &Query::count_star(), ExecMode::Compiled)
             .unwrap();
-        assert_eq!(count[0].agg, Value::Int(200));
+        assert_eq!(count[0].agg(), &Value::Int(200));
 
         let top = store
             .query(
                 "tweets",
-                &Query::count_star()
-                    .group_by(Path::parse("user.name"))
-                    .aggregate(Aggregate::Max(Path::parse("likes")))
-                    .top_k(3),
+                &Query::select([
+                    Aggregate::Max(Path::parse("likes")),
+                    Aggregate::Avg(Path::parse("likes")),
+                ])
+                .group_by("user.name")
+                .top_k(3),
                 ExecMode::Interpreted,
             )
             .unwrap();
         assert_eq!(top.len(), 3);
+        assert_eq!(top[0].aggs.len(), 2);
 
         let rec = store.get("tweets", &Value::Int(42)).unwrap().unwrap();
         assert_eq!(rec.get_field("likes"), Some(&Value::Int(2)));
@@ -663,18 +795,27 @@ mod tests {
         }
         assert_eq!(sharded.count().unwrap(), 500);
 
-        // Fan-out queries agree with the unsharded reference.
+        // Fan-out queries agree with the unsharded reference, including the
+        // mergeable AVG partials.
         for q in [
             Query::count_star(),
-            Query::count_star()
-                .group_by(Path::parse("grp"))
-                .aggregate(Aggregate::Max(Path::parse("score")))
-                .top_k(4),
+            Query::select([
+                Aggregate::Count,
+                Aggregate::Max(Path::parse("score")),
+                Aggregate::Avg(Path::parse("score")),
+            ])
+            .group_by("grp")
+            .top_k(4),
         ] {
             let a = store.query("sharded", &q, ExecMode::Compiled).unwrap();
             let b = store.query("single", &q, ExecMode::Compiled).unwrap();
             assert_eq!(a, b);
         }
+        // The sharded plan advertises the fan-out.
+        let plan = store
+            .explain("sharded", &Query::count_star().group_by("grp"))
+            .unwrap();
+        assert!(plan.contains("shards     : 4"), "{plan}");
 
         // Point operations route to the owning shard.
         assert!(store.get("sharded", &Value::Int(123)).unwrap().is_some());
@@ -716,7 +857,7 @@ mod tests {
         let count = store
             .query("events", &Query::count_star(), ExecMode::Compiled)
             .unwrap();
-        assert_eq!(count[0].agg, Value::Int(2));
+        assert_eq!(count[0].agg(), &Value::Int(2));
         assert!(store.get("events", &Value::Int(2)).unwrap().is_none());
         let recovered = store.get("events", &Value::Int(3)).unwrap().unwrap();
         assert_eq!(recovered.get_field("kind"), Some(&Value::from("unflushed")));
@@ -742,7 +883,8 @@ mod tests {
                 )
                 .unwrap();
             let docs: Vec<Value> = (0..300i64).map(|i| doc!({"id": i, "v": (i * 2)})).collect();
-            store.ingest_parallel("events", docs).unwrap();
+            // Group-committed batch ingest: fsync every 64 records per shard.
+            assert_eq!(store.ingest_batch("events", docs, 64).unwrap(), 300);
             store.flush("events").unwrap();
         }
         let mut store = Datastore::new();
@@ -751,9 +893,70 @@ mod tests {
         let count = store
             .query("events", &Query::count_star(), ExecMode::Compiled)
             .unwrap();
-        assert_eq!(count[0].agg, Value::Int(300));
+        assert_eq!(count[0].agg(), &Value::Int(300));
         let rec = store.get("events", &Value::Int(217)).unwrap().unwrap();
         assert_eq!(rec.get_field("v"), Some(&Value::Int(434)));
+    }
+
+    #[test]
+    fn sharded_index_probe_fans_out_and_matches_scan() {
+        // The planner's index-probe path must work through the sharded
+        // dataset: every shard probes its own timestamp index and the
+        // partials merge to the scan answer.
+        let mut store = Datastore::new();
+        for (name, shards) in [("sharded", 4), ("single", 1)] {
+            store
+                .create_dataset(
+                    name,
+                    DatasetOptions::new(Layout::Amax)
+                        .memtable_budget(16 * 1024)
+                        .page_size(8 * 1024)
+                        .shards(shards)
+                        .secondary_index("ts"),
+                )
+                .unwrap();
+        }
+        let docs: Vec<Value> = (0..400i64)
+            .map(|i| doc!({"id": i, "ts": (1000 + i), "grp": (format!("g{}", i % 5)), "score": (i % 100)}))
+            .collect();
+        store.ingest_parallel("sharded", docs.clone()).unwrap();
+        store.ingest_all("single", docs).unwrap();
+        store.flush("sharded").unwrap();
+        store.flush("single").unwrap();
+
+        let q = Query::select([
+            Aggregate::Count,
+            Aggregate::Max(Path::parse("score")),
+            Aggregate::Avg(Path::parse("score")),
+        ])
+        .with_filter(Expr::between("ts", 1100, 1299))
+        .group_by("grp");
+
+        let plan = store.explain("sharded", &q).unwrap();
+        assert!(plan.contains("secondary-index range probe on `ts`"), "{plan}");
+        assert!(plan.contains("shards     : 4"), "{plan}");
+
+        for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+            let sharded = store.query("sharded", &q, mode).unwrap();
+            let single = store.query("single", &q, mode).unwrap();
+            assert_eq!(sharded, single, "{mode:?}");
+            assert_eq!(sharded.iter().map(|r| r.aggs[0].as_int().unwrap()).sum::<i64>(), 200);
+        }
+    }
+
+    #[test]
+    fn query_errors_keep_their_kind_through_the_facade() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset("d", DatasetOptions::new(Layout::Amax).page_size(8 * 1024))
+            .unwrap();
+        // Plan validation error.
+        let err = store.query("d", &Query::new(), ExecMode::Compiled).unwrap_err();
+        assert!(matches!(err, Error::Query(query::Error::InvalidPlan(_))), "{err:?}");
+        // Facade-level error.
+        let err = store.query("nope", &Query::count_star(), ExecMode::Compiled).unwrap_err();
+        assert!(matches!(err, Error::Api(_)), "{err:?}");
+        assert!(err.to_string().contains("unknown dataset"));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! * a **maintenance lock** serialises flushes and merges (the fair FCFS
 //!   scheduling of the paper's setup) and owns the schema builder and
 //!   component id counter;
-//! * the [`Scheduler`](crate::scheduler) coordinates the optional background
+//! * the crate-private `Scheduler` coordinates the optional background
 //!   worker and applies ingest backpressure when sealed memtables pile up.
 
 use std::collections::BTreeMap;
@@ -637,13 +637,29 @@ impl LsmDataset {
         hi: &Value,
         projection: Option<&[Path]>,
     ) -> Result<Vec<Value>> {
+        self.secondary_range_bounds(
+            std::ops::Bound::Included(lo),
+            std::ops::Bound::Included(hi),
+            projection,
+        )
+    }
+
+    /// Like [`LsmDataset::secondary_range`], but with arbitrary (open or
+    /// exclusive) endpoints — the probe the query planner derives from a
+    /// filter expression that implies a range on the indexed path.
+    pub fn secondary_range_bounds(
+        &self,
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<Value>> {
         let mut keys = {
             let write = self.core.write.lock();
             let secondary = write
                 .secondary
                 .as_ref()
                 .ok_or_else(|| crate::LsmError::new("dataset has no secondary index"))?;
-            secondary.range(lo, hi)
+            secondary.range_bounds(lo, hi)
         };
         self.lookup_sorted_keys(&mut keys, projection)
     }

@@ -18,6 +18,7 @@
 //! is approximated.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
 use docmodel::cmp::OrderedValue;
 use docmodel::Value;
@@ -107,11 +108,38 @@ impl SecondaryIndex {
     /// value order. The caller sorts them by primary key before performing
     /// batched point lookups (§4.6).
     pub fn range(&self, lo: &Value, hi: &Value) -> Vec<Value> {
-        let mut out = Vec::new();
-        for (_, keys) in self
-            .entries
-            .range(OrderedValue(lo.clone())..=OrderedValue(hi.clone()))
+        self.range_bounds(Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// Like [`SecondaryIndex::range`], but with arbitrary (possibly open or
+    /// exclusive) endpoints — what the query planner's index-probe path
+    /// derives from a filter expression (`score > 50`, `score < 10`, ...).
+    /// An empty range (lower bound above the upper bound) yields no keys.
+    pub fn range_bounds(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<Value> {
+        // BTreeMap::range panics on inverted ranges; an empty probe is the
+        // correct answer for a filter that can never match.
+        if let (
+            Bound::Included(l) | Bound::Excluded(l),
+            Bound::Included(h) | Bound::Excluded(h),
+        ) = (&lo, &hi)
         {
+            match docmodel::total_cmp(l, h) {
+                std::cmp::Ordering::Greater => return Vec::new(),
+                std::cmp::Ordering::Equal
+                    if matches!(lo, Bound::Excluded(_)) || matches!(hi, Bound::Excluded(_)) =>
+                {
+                    return Vec::new()
+                }
+                _ => {}
+            }
+        }
+        let as_key = |b: Bound<&Value>| match b {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(v) => Bound::Included(OrderedValue(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(OrderedValue(v.clone())),
+        };
+        let mut out = Vec::new();
+        for (_, keys) in self.entries.range((as_key(lo), as_key(hi))) {
             out.extend(keys.iter().map(|k| k.0.clone()));
         }
         out
@@ -174,6 +202,33 @@ mod tests {
         assert_eq!(keys.len(), 9);
         assert_eq!(idx.len(), 100);
         assert!(idx.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn range_bounds_support_open_and_exclusive_endpoints() {
+        let mut idx = SecondaryIndex::new();
+        for i in 0..10i64 {
+            idx.insert(&Value::Int(i), &Value::Int(100 + i));
+        }
+        let keys = idx.range_bounds(Bound::Excluded(&Value::Int(3)), Bound::Unbounded);
+        assert_eq!(keys.len(), 6);
+        assert_eq!(keys[0], Value::Int(104));
+        let keys = idx.range_bounds(Bound::Unbounded, Bound::Excluded(&Value::Int(3)));
+        assert_eq!(keys.len(), 3);
+        let keys = idx.range_bounds(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(keys.len(), 10);
+        // Inverted and degenerate ranges yield nothing instead of panicking.
+        assert!(idx
+            .range_bounds(Bound::Included(&Value::Int(8)), Bound::Included(&Value::Int(2)))
+            .is_empty());
+        assert!(idx
+            .range_bounds(Bound::Excluded(&Value::Int(5)), Bound::Included(&Value::Int(5)))
+            .is_empty());
+        assert_eq!(
+            idx.range_bounds(Bound::Included(&Value::Int(5)), Bound::Included(&Value::Int(5)))
+                .len(),
+            1
+        );
     }
 
     #[test]

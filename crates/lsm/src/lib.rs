@@ -23,7 +23,8 @@
 //!   reconciled scans with projection push-down, point lookups, and
 //!   secondary-index range queries answered by sorted batched lookups (§4.6);
 //! * [`snapshot`] — [`Snapshot`]: consistent point-in-time read views;
-//! * [`scheduler`] — background flush/merge coordination and backpressure.
+//! * `scheduler` (crate-private) — background flush/merge coordination and
+//!   backpressure.
 //!
 //! ## Concurrency: snapshots, sealing, and background workers
 //!

@@ -8,59 +8,38 @@
 //! materialisation between operators, and only the pipeline breaker
 //! (group-by) runs in the regular engine.
 //!
-//! In Rust we get the same effect by lowering the plan *once* into a fused
-//! closure pipeline: all paths are cloned out of the plan up front, and the
-//! record loop feeds the aggregation table directly.
-
-use std::collections::BTreeMap;
+//! In Rust we get the same effect by lowering the physical plan *once* into
+//! a fused closure pipeline: all paths are cloned out of the plan up front,
+//! and the record loop feeds the aggregation table directly. The engine
+//! executes the same [`PhysicalPlan`] as the interpreted mode and emits the
+//! same mergeable per-group partials — only the per-tuple execution model
+//! differs, exactly the contrast §5 of the paper measures.
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
-use lsm::Snapshot;
 
-use crate::interp::{finalize, AggState};
-use crate::plan::{Query, QueryRow};
-use crate::Result;
+use crate::physical::{new_states, GroupPartials, PhysicalPlan};
 
-/// Execute a query with the compiled (fused) engine against a consistent
-/// point-in-time snapshot.
-pub fn run_compiled(snapshot: &Snapshot, query: &Query) -> Result<Vec<QueryRow>> {
-    // Fast path for SELECT COUNT(*): only the primary keys are needed, which
-    // for AMAX means reading Page 0 of each mega leaf.
-    if query.filter.is_none()
-        && query.unnest.is_none()
-        && query.group_by.is_none()
-        && matches!(query.agg, crate::plan::Aggregate::Count)
-    {
-        let count = snapshot.count()?;
-        return Ok(vec![QueryRow {
-            group: None,
-            agg: Value::Int(count as i64),
-        }]);
-    }
-
-    let projection = query.projection_paths();
-    let docs = snapshot.scan(Some(&projection))?;
-    aggregate_docs(docs.iter(), query)
-}
-
-/// The fused per-record loop shared by [`run_compiled`] and the
-/// secondary-index execution path: filter, unnest and aggregate in one pass,
-/// with every path pre-resolved outside the loop.
-pub fn aggregate_docs<'a>(
+/// The fused per-record loop shared by the scan and index-probe access
+/// paths: filter, unnest and aggregate in one pass, with every path
+/// pre-resolved outside the loop.
+pub(crate) fn aggregate_docs<'a>(
     docs: impl Iterator<Item = &'a Value>,
-    query: &Query,
-) -> Result<Vec<QueryRow>> {
+    plan: &PhysicalPlan,
+) -> GroupPartials {
     // "Code generation": resolve all plan parameters once, before the loop.
-    let filter = query.filter.clone();
-    let unnest: Option<Path> = query.unnest.clone();
-    let group_path = query.group_by.clone();
-    let group_on_element = query.group_on_element;
-    let agg_path = query.agg.path().cloned();
-    let agg_on_element = query.agg_on_element;
+    let filter = plan.filter.clone();
+    let unnest: Option<Path> = plan.unnest.clone();
+    let group_path = plan.group_by.clone();
+    let group_on_element = plan.group_on_element;
+    let agg_inputs: Vec<(bool, Option<Path>)> = plan
+        .aggregates
+        .iter()
+        .map(|s| (s.on_element, s.agg.path().cloned()))
+        .collect();
 
-    let mut groups: BTreeMap<Option<OrderedValue>, AggState> = BTreeMap::new();
-    let update = |record: &Value, element: Option<&Value>, groups: &mut BTreeMap<Option<OrderedValue>, AggState>| {
+    let mut groups = GroupPartials::new();
+    let update = |record: &Value, element: Option<&Value>, groups: &mut GroupPartials| {
         let resolve_one = |on_element: bool, path: &Path| -> Option<Value> {
             let base = if on_element { element? } else { record };
             if path.is_empty() {
@@ -76,13 +55,11 @@ pub fn aggregate_docs<'a>(
             },
             None => None,
         };
-        let input = agg_path
-            .as_ref()
-            .and_then(|p| resolve_one(agg_on_element, p));
-        groups
-            .entry(key)
-            .or_insert_with(|| AggState::new(&query.agg))
-            .update(input.as_ref());
+        let states = groups.entry(key).or_insert_with(|| new_states(plan));
+        for (state, (on_element, path)) in states.iter_mut().zip(&agg_inputs) {
+            let input = path.as_ref().and_then(|p| resolve_one(*on_element, p));
+            state.update(input.as_ref());
+        }
     };
 
     for record in docs {
@@ -107,139 +84,5 @@ pub fn aggregate_docs<'a>(
             }
         }
     }
-    finalize(groups, query)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::plan::{Aggregate, Predicate};
-    use crate::run_interpreted;
-    use docmodel::doc;
-    use lsm::{DatasetConfig, LsmDataset};
-    use storage::LayoutKind;
-
-    fn build_dataset(layout: LayoutKind) -> LsmDataset {
-        let ds = LsmDataset::new(
-            DatasetConfig::new("gamers", layout)
-                .with_memtable_budget(16 * 1024)
-                .with_page_size(8 * 1024),
-        );
-        for i in 0..400i64 {
-            ds.insert(doc!({
-                "id": i,
-                "duration": (i % 900),
-                "caller": (format!("caller{}", i % 23)),
-                "games": [
-                    {"title": (format!("game{}", i % 7)), "consoles": ["PC", "PS4"]},
-                    {"title": (format!("game{}", (i + 1) % 7))}
-                ],
-                "text": (format!("text body {i} #jobs and more"))
-            }))
-            .unwrap();
-        }
-        ds.flush().unwrap();
-        ds
-    }
-
-    #[test]
-    fn count_star_matches_between_engines() {
-        for layout in LayoutKind::ALL {
-            let ds = build_dataset(layout);
-            let q = Query::count_star();
-            let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
-            let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
-            assert_eq!(compiled, interpreted, "{layout:?}");
-            assert_eq!(compiled[0].agg, Value::Int(400));
-        }
-    }
-
-    #[test]
-    fn filtered_count_matches_between_engines() {
-        let ds = build_dataset(LayoutKind::Amax);
-        let q = Query::count_star().with_filter(Predicate::GreaterEq {
-            path: Path::parse("duration"),
-            value: Value::Int(600),
-        });
-        let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
-        let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
-        assert_eq!(compiled, interpreted);
-        let expected = (0..400i64).filter(|i| i % 900 >= 600).count() as i64;
-        assert_eq!(compiled[0].agg, Value::Int(expected));
-    }
-
-    #[test]
-    fn group_by_with_unnest_matches_between_engines() {
-        for layout in [LayoutKind::Vb, LayoutKind::Apax, LayoutKind::Amax] {
-            let ds = build_dataset(layout);
-            // SELECT t.title, COUNT(*) FROM ds UNNEST games AS t GROUP BY t.title
-            let q = Query::count_star()
-                .with_unnest(Path::parse("games"))
-                .group_by_element(Path::parse("title"))
-                .top_k(3);
-            let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
-            let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
-            assert_eq!(compiled, interpreted, "{layout:?}");
-            assert_eq!(compiled.len(), 3);
-            // 400 records x 2 games each spread over 7 titles.
-            assert!(compiled[0].agg.as_int().unwrap() > 100);
-        }
-    }
-
-    #[test]
-    fn top_k_group_aggregate_matches() {
-        let ds = build_dataset(LayoutKind::Apax);
-        // Top callers by maximum duration (cell Q2 shape).
-        let q = Query::count_star()
-            .group_by(Path::parse("caller"))
-            .aggregate(Aggregate::Max(Path::parse("duration")))
-            .top_k(10);
-        let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
-        let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
-        assert_eq!(compiled, interpreted);
-        assert_eq!(compiled.len(), 10);
-        // Aggregates are sorted descending.
-        for pair in compiled.windows(2) {
-            assert!(
-                docmodel::total_cmp(&pair[0].agg, &pair[1].agg) != std::cmp::Ordering::Less
-            );
-        }
-    }
-
-    #[test]
-    fn contains_predicate_and_max_length() {
-        let ds = build_dataset(LayoutKind::Vb);
-        let q = Query::count_star()
-            .with_filter(Predicate::Contains {
-                path: Path::parse("games[*].consoles[*]"),
-                value: Value::from("PC"),
-            })
-            .group_by(Path::parse("caller"))
-            .aggregate(Aggregate::MaxLength(Path::parse("text")))
-            .top_k(5);
-        let compiled = run_compiled(&ds.snapshot(), &q).unwrap();
-        let interpreted = run_interpreted(&ds.snapshot(), &q).unwrap();
-        assert_eq!(compiled, interpreted);
-        assert_eq!(compiled.len(), 5);
-        assert!(compiled[0].agg.as_int().unwrap() > 0);
-    }
-
-    #[test]
-    fn secondary_index_path_matches_scan_filter() {
-        let ds = LsmDataset::new(
-            DatasetConfig::new("tweets", LayoutKind::Amax)
-                .with_memtable_budget(16 * 1024)
-                .with_page_size(8 * 1024)
-                .with_secondary_index(Path::parse("timestamp")),
-        );
-        for i in 0..300i64 {
-            ds.insert(doc!({"id": i, "timestamp": (1000 + i), "likes": (i % 50)}))
-                .unwrap();
-        }
-        ds.flush().unwrap();
-        let q = Query::count_star();
-        let via_index =
-            crate::run_with_secondary_index(&ds, &Value::Int(1100), &Value::Int(1199), &q).unwrap();
-        assert_eq!(via_index[0].agg, Value::Int(100));
-    }
+    groups
 }

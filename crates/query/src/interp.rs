@@ -8,15 +8,15 @@
 //! dynamic dispatch, repeated path resolution against schemaless values and
 //! the intermediate allocations; these are precisely the overheads the
 //! compiled mode removes.
+//!
+//! The engine executes a [`PhysicalPlan`] (the access stage has already
+//! produced the input batch) and emits mergeable per-group aggregate
+//! partials; ordering and limiting happen after partials from every
+//! partition are merged.
 
-use std::collections::BTreeMap;
-
-use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
-use lsm::Snapshot;
 
-use crate::plan::{Aggregate, Query, QueryRow};
-use crate::Result;
+use crate::physical::{new_states, GroupPartials, PhysicalPlan};
 
 /// A batch-at-a-time operator.
 trait Operator {
@@ -24,9 +24,9 @@ trait Operator {
     fn execute(&self, input: Vec<Value>) -> Vec<Value>;
 }
 
-/// Filter operator: keeps rows matching the predicate.
+/// Filter operator: keeps rows matching the predicate expression.
 struct FilterOp {
-    predicate: crate::plan::Predicate,
+    predicate: crate::expr::Expr,
 }
 
 impl Operator for FilterOp {
@@ -98,16 +98,16 @@ impl Operator for ProjectOp {
     }
 }
 
-fn wrapped_path(on_element: bool, path: &Path) -> (bool, Path) {
-    (on_element, path.clone())
-}
-
 fn resolve<'a>(row: &'a Value, on_element: bool, path: &Path, unnested: bool) -> Vec<&'a Value> {
     if !unnested {
         return path.evaluate(row);
     }
     let root = if on_element { "$element" } else { "$record" };
-    match row.get_field("$row").and_then(|r| r.get_field(root)).or_else(|| row.get_field(root)) {
+    match row
+        .get_field("$row")
+        .and_then(|r| r.get_field(root))
+        .or_else(|| row.get_field(root))
+    {
         Some(base) => {
             if path.is_empty() {
                 vec![base]
@@ -119,22 +119,18 @@ fn resolve<'a>(row: &'a Value, on_element: bool, path: &Path, unnested: bool) ->
     }
 }
 
-/// Execute a query with the interpreted engine against a consistent
-/// point-in-time snapshot.
-pub fn run_interpreted(snapshot: &Snapshot, query: &Query) -> Result<Vec<QueryRow>> {
-    // SCAN: assemble the projected columns into row-major records.
-    let projection = query.projection_paths();
-    let mut batch = snapshot.scan(Some(&projection))?;
-
+/// Execute the pipelining part of a physical plan over a materialised input
+/// batch, producing per-group aggregate partials. The per-tuple work —
+/// operator dispatch, path re-resolution, intermediate batches — is the
+/// interpretation overhead the paper measures.
+pub(crate) fn run_batch(mut batch: Vec<Value>, plan: &PhysicalPlan) -> GroupPartials {
     // Build the operator pipeline (dynamic dispatch per operator).
     let mut pipeline: Vec<Box<dyn Operator>> = Vec::new();
-    if let Some(p) = &query.filter {
-        pipeline.push(Box::new(FilterOp {
-            predicate: p.clone(),
-        }));
+    if let Some(p) = &plan.filter {
+        pipeline.push(Box::new(FilterOp { predicate: p.clone() }));
     }
-    let unnested = query.unnest.is_some();
-    if let Some(u) = &query.unnest {
+    let unnested = plan.unnest.is_some();
+    if let Some(u) = &plan.unnest {
         pipeline.push(Box::new(UnnestOp { path: u.clone() }));
     }
     if unnested {
@@ -148,134 +144,36 @@ pub fn run_interpreted(snapshot: &Snapshot, query: &Query) -> Result<Vec<QueryRo
 
     // GROUP BY / aggregate (the pipeline breaker, shared with compiled mode
     // in spirit, but here it re-resolves paths per tuple).
-    let group_key = query
+    let group_key = plan
         .group_by
         .as_ref()
-        .map(|p| wrapped_path(query.group_on_element, p));
-    let agg_input = query
-        .agg
-        .path()
-        .map(|p| wrapped_path(query.agg_on_element, p));
+        .map(|p| (plan.group_on_element, p.clone()));
+    let agg_inputs: Vec<(bool, Option<Path>)> = plan
+        .aggregates
+        .iter()
+        .map(|s| (s.on_element, s.agg.path().cloned()))
+        .collect();
 
-    let mut groups: BTreeMap<Option<OrderedValue>, AggState> = BTreeMap::new();
+    let mut groups = GroupPartials::new();
     for row in &batch {
         let key = group_key.as_ref().and_then(|(on_element, path)| {
             resolve(row, *on_element, path, unnested)
                 .first()
-                .map(|v| OrderedValue((*v).clone()))
+                .map(|v| docmodel::cmp::OrderedValue((*v).clone()))
         });
         if group_key.is_some() && key.is_none() {
             continue; // grouping key absent: the record contributes no group
         }
-        let input = agg_input
-            .as_ref()
-            .and_then(|(on_element, path)| {
-                resolve(row, *on_element, path, unnested).first().copied().cloned()
+        let states = groups.entry(key).or_insert_with(|| new_states(plan));
+        for (state, (on_element, path)) in states.iter_mut().zip(&agg_inputs) {
+            let input = path.as_ref().and_then(|p| {
+                resolve(row, *on_element, p, unnested)
+                    .first()
+                    .copied()
+                    .cloned()
             });
-        groups
-            .entry(key)
-            .or_insert_with(|| AggState::new(&query.agg))
-            .update(input.as_ref());
-    }
-    finalize(groups, query)
-}
-
-/// Shared aggregation state.
-pub(crate) struct AggState {
-    kind: Aggregate,
-    count: u64,
-    best: Option<Value>,
-}
-
-impl AggState {
-    pub(crate) fn new(kind: &Aggregate) -> AggState {
-        AggState {
-            kind: kind.clone(),
-            count: 0,
-            best: None,
+            state.update(input.as_ref());
         }
     }
-
-    pub(crate) fn update(&mut self, input: Option<&Value>) {
-        match &self.kind {
-            Aggregate::Count => self.count += 1,
-            Aggregate::CountNonNull(_) => {
-                if input.is_some() {
-                    self.count += 1;
-                }
-            }
-            Aggregate::Max(_) => {
-                if let Some(v) = input {
-                    if self
-                        .best
-                        .as_ref()
-                        .map(|b| docmodel::total_cmp(v, b) == std::cmp::Ordering::Greater)
-                        .unwrap_or(true)
-                    {
-                        self.best = Some(v.clone());
-                    }
-                }
-            }
-            Aggregate::Min(_) => {
-                if let Some(v) = input {
-                    if self
-                        .best
-                        .as_ref()
-                        .map(|b| docmodel::total_cmp(v, b) == std::cmp::Ordering::Less)
-                        .unwrap_or(true)
-                    {
-                        self.best = Some(v.clone());
-                    }
-                }
-            }
-            Aggregate::MaxLength(_) => {
-                if let Some(Value::String(s)) = input {
-                    let len = s.chars().count() as i64;
-                    if self
-                        .best
-                        .as_ref()
-                        .and_then(Value::as_int)
-                        .map(|b| len > b)
-                        .unwrap_or(true)
-                    {
-                        self.best = Some(Value::Int(len));
-                    }
-                }
-            }
-        }
-    }
-
-    pub(crate) fn finish(self) -> Value {
-        match self.kind {
-            Aggregate::Count | Aggregate::CountNonNull(_) => Value::Int(self.count as i64),
-            _ => self.best.unwrap_or(Value::Null),
-        }
-    }
-}
-
-/// Turn grouped aggregation state into ordered, limited output rows.
-pub(crate) fn finalize(
-    groups: BTreeMap<Option<OrderedValue>, AggState>,
-    query: &Query,
-) -> Result<Vec<QueryRow>> {
-    let mut rows: Vec<QueryRow> = groups
-        .into_iter()
-        .map(|(k, state)| QueryRow {
-            group: k.map(|k| k.0),
-            agg: state.finish(),
-        })
-        .collect();
-    if query.group_by.is_none() && rows.is_empty() {
-        rows.push(QueryRow {
-            group: None,
-            agg: AggState::new(&query.agg).finish(),
-        });
-    }
-    if query.order_desc_by_agg {
-        rows.sort_by(|a, b| docmodel::total_cmp(&b.agg, &a.agg));
-    }
-    if let Some(k) = query.limit {
-        rows.truncate(k);
-    }
-    Ok(rows)
+    groups
 }

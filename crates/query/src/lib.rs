@@ -1,22 +1,34 @@
-//! # query — analytical queries over LSM datasets, interpreted and compiled
+//! # query — compositional analytical queries over LSM datasets
 //!
-//! The paper's evaluation runs a small family of analytical queries
-//! (COUNT(*), filtered counts, grouped aggregates over possibly-unnested
-//! arrays, top-k by aggregate) against datasets stored in the four layouts,
-//! and §5 shows that the *execution model* matters as much as the layout:
-//! AsterixDB's interpreted, batch-at-a-time engine re-materialises tuples
-//! between operators and re-assembles nested values, wiping out much of the
-//! columnar I/O win, while generating code for the pipelining part of the
-//! plan (Truffle in the paper) recovers it.
+//! The paper's evaluation runs a family of analytical queries (COUNT(*),
+//! filtered counts, grouped aggregates over possibly-unnested arrays, top-k
+//! by aggregate) against datasets stored in the four layouts, and §5 shows
+//! that the *execution model* matters as much as the layout. This crate
+//! reproduces that contrast behind a compositional query API:
 //!
-//! This crate reproduces that contrast with two execution modes over the same
-//! logical plan ([`Query`]):
+//! * [`Query`] — the logical plan: a predicate [`Expr`] tree
+//!   (`AND`/`OR`/`NOT` over comparisons, `EXISTS`, `CONTAINS`, `LENGTH`), an
+//!   optional `UNNEST`, an optional group key, and **any number of
+//!   aggregates** per query ([`Aggregate`], including `SUM`/`AVG` with
+//!   mergeable `(sum, count)` partials);
+//! * [`physical`] — the planner: validates the logical plan, derives the
+//!   pushed-down projection from the expression tree, and picks the access
+//!   path — full scan, key-only scan for `COUNT(*)`, or a secondary-index
+//!   range probe when the filter implies a range on the indexed path.
+//!   [`Query::explain`] renders the chosen [`physical::PhysicalPlan`];
+//! * [`QueryEngine`] — the single execution entry point:
+//!   [`QueryEngine::execute`] accepts any [`QueryTarget`] (a snapshot, a
+//!   dataset, per-shard snapshots, or sharded datasets) and routes the same
+//!   physical plan through the right access path, fanning out one thread per
+//!   shard and merging per-group partial aggregates exactly.
 //!
-//! * [`interp::run_interpreted`] — a classic operator pipeline
+//! Two execution modes run every plan ([`ExecMode`]):
+//!
+//! * [`ExecMode::Interpreted`] — a classic operator pipeline
 //!   (scan → filter → unnest → project → group) where every operator is a
 //!   boxed trait object that materialises its full output batch before the
 //!   next operator runs;
-//! * [`compiled::run_compiled`] — the "code generation" mode: the plan is
+//! * [`ExecMode::Compiled`] — the "code generation" mode: the plan is
 //!   lowered once into a fused, monomorphised pipeline with pre-resolved
 //!   field accessors, and the data is processed in a single pass with no
 //!   intermediate materialisation. Rust closure fusion stands in for the
@@ -28,172 +40,450 @@
 //! modes, exactly as in the paper where code generation stops at the first
 //! pipeline breaker.
 //!
+//! ```
+//! use docmodel::{doc, Path};
+//! use lsm::{DatasetConfig, LsmDataset};
+//! use query::{Aggregate, ExecMode, Expr, Query, QueryEngine};
+//! use storage::LayoutKind;
+//!
+//! let ds = LsmDataset::new(DatasetConfig::new("scores", LayoutKind::Amax));
+//! for i in 0..100i64 {
+//!     ds.insert(doc!({"id": i, "grp": (format!("g{}", i % 3)), "score": (i % 10)})).unwrap();
+//! }
+//! ds.flush().unwrap();
+//!
+//! // SELECT grp, COUNT(*), MAX(score), AVG(score) WHERE score >= 5 GROUP BY grp
+//! let q = Query::select([
+//!         Aggregate::Count,
+//!         Aggregate::Max(Path::parse("score")),
+//!         Aggregate::Avg(Path::parse("score")),
+//!     ])
+//!     .with_filter(Expr::ge("score", 5))
+//!     .group_by("grp");
+//! let rows = QueryEngine::new(ExecMode::Compiled).execute(&ds, &q).unwrap();
+//! assert_eq!(rows.len(), 3);
+//! assert_eq!(rows[0].aggs.len(), 3);
+//! ```
+//!
 //! ## Snapshots and sharded execution
 //!
-//! Both engines execute against an [`lsm::Snapshot`] — a consistent
-//! point-in-time view that concurrent ingestion, flushes and merges cannot
-//! disturb. [`run`] takes a snapshot implicitly; [`run_snapshot`] lets a
-//! caller reuse one snapshot across several queries. [`run_sharded`]
-//! fans a query out over the snapshots of N hash-partitioned shards (one
-//! thread each), then merges the per-shard partial aggregates — counts sum,
-//! max/min combine — before the global order-by/limit is applied. Because
-//! shards partition by primary key, every group's partial aggregates are
-//! disjoint record sets and the merged result equals a single-shard run.
+//! Both engines execute against [`lsm::Snapshot`]s — consistent
+//! point-in-time views that concurrent ingestion, flushes and merges cannot
+//! disturb. A sharded target fans the plan out over the partitions (one
+//! thread each) and merges the per-shard **partial aggregates** — counts
+//! sum, max/min combine, `SUM`/`AVG` carry exact `(sum, count)` partials —
+//! before the global order-by/limit is applied. Because shards partition by
+//! primary key, every group's partials come from disjoint record sets and
+//! the merged result equals a single-dataset run. Index-probe plans fan out
+//! the same way: each shard probes its own secondary index and contributes
+//! partials.
 
 pub mod compiled;
+pub mod expr;
 pub mod interp;
+pub mod physical;
 pub mod plan;
 
-pub use compiled::run_compiled;
-pub use interp::run_interpreted;
-pub use plan::{Aggregate, ExecMode, Predicate, Query, QueryRow};
+pub use expr::{CmpOp, Expr};
+pub use physical::{AccessPath, PhysicalPlan, PlanContext, PlannerOptions};
+pub use plan::{AggSpec, Aggregate, ExecMode, Query, QueryRow};
 
-use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Bound;
 
-use docmodel::cmp::OrderedValue;
 use docmodel::Value;
 use lsm::{LsmDataset, Snapshot};
 
-/// Error type for query execution.
-pub type QueryError = encoding::DecodeError;
-/// Result alias.
-pub type Result<T> = std::result::Result<T, QueryError>;
+use physical::{finalize, key_count_partials, merge_partials, GroupPartials};
 
-/// Run a query in the given execution mode against a fresh snapshot of the
-/// dataset.
-pub fn run(dataset: &LsmDataset, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
-    run_snapshot(&dataset.snapshot(), query, mode)
+/// Error type of the query layer: plan validation failures are separated
+/// from storage/decode failures, so callers can tell a malformed query from
+/// a broken dataset.
+#[derive(Debug)]
+pub enum Error {
+    /// The logical plan failed the planner's validation.
+    InvalidPlan(String),
+    /// The storage layer failed while reading (page decode, I/O, missing
+    /// index).
+    Storage(encoding::DecodeError),
 }
 
-/// Run a query in the given execution mode against an existing snapshot.
-pub fn run_snapshot(snapshot: &Snapshot, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
-    match mode {
-        ExecMode::Interpreted => run_interpreted(snapshot, query),
-        ExecMode::Compiled => run_compiled(snapshot, query),
+impl Error {
+    /// A plan-validation error.
+    pub fn invalid_plan(msg: impl Into<String>) -> Error {
+        Error::InvalidPlan(msg.into())
     }
 }
 
-/// Fan a query out over the snapshots of several hash-partitioned shards
-/// (one thread per shard) and merge the partial aggregates into the final
-/// result. The shards must partition records by primary key (no key on two
-/// shards), which makes every aggregate in the plan mergeable.
-pub fn run_sharded(
-    snapshots: &[Snapshot],
-    query: &Query,
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPlan(msg) => write!(f, "invalid query plan: {msg}"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::InvalidPlan(_) => None,
+            Error::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<encoding::DecodeError> for Error {
+    fn from(e: encoding::DecodeError) -> Error {
+        Error::Storage(e)
+    }
+}
+
+/// Result alias of the query layer.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// What a query executes against: one consistent snapshot, one dataset
+/// (enabling index probes), or the partitions of a sharded dataset.
+///
+/// Constructed implicitly via `From` — pass `&snapshot`, `&dataset`,
+/// `&snapshots[..]` or `&shards[..]` straight to [`QueryEngine::execute`].
+pub enum QueryTarget<'a> {
+    /// A single consistent snapshot. Index probes are unavailable (a
+    /// snapshot carries no secondary index), so plans fall back to scans.
+    Snapshot(&'a Snapshot),
+    /// A single dataset: snapshots are taken as needed and the dataset's
+    /// secondary index is available to the planner.
+    Dataset(&'a LsmDataset),
+    /// Per-shard snapshots of a hash-partitioned dataset (scan-only).
+    Snapshots(&'a [Snapshot]),
+    /// The partitions of a hash-partitioned dataset; every access path,
+    /// including index probes, fans out with partial-aggregate merging.
+    Shards(&'a [&'a LsmDataset]),
+}
+
+impl<'a> From<&'a Snapshot> for QueryTarget<'a> {
+    fn from(s: &'a Snapshot) -> Self {
+        QueryTarget::Snapshot(s)
+    }
+}
+impl<'a> From<&'a LsmDataset> for QueryTarget<'a> {
+    fn from(d: &'a LsmDataset) -> Self {
+        QueryTarget::Dataset(d)
+    }
+}
+impl<'a> From<&'a [Snapshot]> for QueryTarget<'a> {
+    fn from(s: &'a [Snapshot]) -> Self {
+        QueryTarget::Snapshots(s)
+    }
+}
+impl<'a> From<&'a [&'a LsmDataset]> for QueryTarget<'a> {
+    fn from(s: &'a [&'a LsmDataset]) -> Self {
+        QueryTarget::Shards(s)
+    }
+}
+
+impl QueryTarget<'_> {
+    fn plan_context(&self) -> PlanContext {
+        match self {
+            QueryTarget::Snapshot(_) | QueryTarget::Snapshots(_) => PlanContext::scan_only(),
+            QueryTarget::Dataset(d) => PlanContext::for_dataset(d),
+            QueryTarget::Shards(shards) => PlanContext::for_shards(shards),
+        }
+    }
+}
+
+/// The execution entry point: plans a [`Query`] for its target and runs the
+/// physical plan in the configured [`ExecMode`], routing between full scans,
+/// key-only scans, secondary-index range probes and sharded fan-out.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine {
     mode: ExecMode,
-) -> Result<Vec<QueryRow>> {
-    if snapshots.is_empty() {
-        return Ok(Vec::new());
-    }
-    if snapshots.len() == 1 {
-        return run_snapshot(&snapshots[0], query, mode);
-    }
-    // Per-shard partial plan: same filter/unnest/group/aggregate, but no
-    // ordering or limit — a shard-local top-k could drop a group that wins
-    // globally.
-    let mut partial = query.clone();
-    partial.order_desc_by_agg = false;
-    partial.limit = None;
-
-    let partials: Vec<Result<Vec<QueryRow>>> = std::thread::scope(|scope| {
-        let partial = &partial;
-        let handles: Vec<_> = snapshots
-            .iter()
-            .map(|snapshot| scope.spawn(move || run_snapshot(snapshot, partial, mode)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sharded query thread panicked"))
-            .collect()
-    });
-
-    let mut groups: BTreeMap<Option<OrderedValue>, Value> = BTreeMap::new();
-    for rows in partials {
-        for row in rows? {
-            let key = row.group.map(OrderedValue);
-            match groups.entry(key) {
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(row.agg);
-                }
-                std::collections::btree_map::Entry::Occupied(mut slot) => {
-                    let merged = combine_agg(&query.agg, slot.get(), &row.agg);
-                    *slot.get_mut() = merged;
-                }
-            }
-        }
-    }
-    let mut rows: Vec<QueryRow> = groups
-        .into_iter()
-        .map(|(k, agg)| QueryRow {
-            group: k.map(|k| k.0),
-            agg,
-        })
-        .collect();
-    if query.order_desc_by_agg {
-        rows.sort_by(|a, b| docmodel::total_cmp(&b.agg, &a.agg));
-    }
-    if let Some(k) = query.limit {
-        rows.truncate(k);
-    }
-    Ok(rows)
+    options: PlannerOptions,
 }
 
-/// Merge two partial aggregate values for the same group. Counts sum;
-/// max-style aggregates keep the larger value, min the smaller. `Null`
-/// (an aggregate that saw no input on one shard) never beats a real value.
-fn combine_agg(agg: &Aggregate, a: &Value, b: &Value) -> Value {
-    match agg {
-        Aggregate::Count | Aggregate::CountNonNull(_) => {
-            Value::Int(a.as_int().unwrap_or(0) + b.as_int().unwrap_or(0))
+impl QueryEngine {
+    /// An engine with default planner options (all optimisations on).
+    pub fn new(mode: ExecMode) -> QueryEngine {
+        QueryEngine { mode, options: PlannerOptions::default() }
+    }
+
+    /// An engine with explicit planner options (the benchmarks flip
+    /// projection pushdown and index routing off to measure them).
+    pub fn with_options(mode: ExecMode, options: PlannerOptions) -> QueryEngine {
+        QueryEngine { mode, options }
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Plan and execute a query against any [`QueryTarget`].
+    pub fn execute<'a>(
+        &self,
+        target: impl Into<QueryTarget<'a>>,
+        query: &Query,
+    ) -> Result<Vec<QueryRow>> {
+        let target = target.into();
+        let plan = physical::plan(query, &target.plan_context(), &self.options)?;
+        // An empty shard list has no partitions to aggregate over — return
+        // no rows rather than a default global aggregate.
+        if matches!(&target, QueryTarget::Snapshots([]) | QueryTarget::Shards([])) {
+            return Ok(Vec::new());
         }
-        Aggregate::Max(_) | Aggregate::MaxLength(_) => match (a.is_null(), b.is_null()) {
-            (true, _) => b.clone(),
-            (_, true) => a.clone(),
-            _ => {
-                if docmodel::total_cmp(a, b) == std::cmp::Ordering::Less {
-                    b.clone()
-                } else {
-                    a.clone()
-                }
+        let partials = match target {
+            QueryTarget::Snapshot(snapshot) => self.partials_for_snapshot(snapshot, &plan)?,
+            QueryTarget::Dataset(dataset) => self.partials_for_dataset(dataset, &plan)?,
+            QueryTarget::Snapshots(snapshots) => {
+                self.fan_out(snapshots, &plan, |engine, snapshot, plan| {
+                    engine.partials_for_snapshot(snapshot, plan)
+                })?
             }
-        },
-        Aggregate::Min(_) => match (a.is_null(), b.is_null()) {
-            (true, _) => b.clone(),
-            (_, true) => a.clone(),
-            _ => {
-                if docmodel::total_cmp(a, b) == std::cmp::Ordering::Greater {
-                    b.clone()
-                } else {
-                    a.clone()
-                }
+            QueryTarget::Shards(shards) => {
+                self.fan_out(shards, &plan, |engine, dataset, plan| {
+                    engine.partials_for_dataset(dataset, plan)
+                })?
             }
-        },
+        };
+        Ok(finalize(partials, &plan))
+    }
+
+    /// Plan a query for the target and render the physical plan (`EXPLAIN`):
+    /// the chosen access path, the pushed-down projection, and the operator
+    /// chain.
+    pub fn explain<'a>(
+        &self,
+        target: impl Into<QueryTarget<'a>>,
+        query: &Query,
+    ) -> Result<String> {
+        let target = target.into();
+        physical::plan(query, &target.plan_context(), &self.options).map(|p| p.describe())
+    }
+
+    /// Fan a plan out over several partitions, one thread each, and merge
+    /// the per-partition group partials.
+    fn fan_out<T: Sync>(
+        &self,
+        parts: &[T],
+        plan: &PhysicalPlan,
+        run: impl Fn(&QueryEngine, &T, &PhysicalPlan) -> Result<GroupPartials> + Send + Sync,
+    ) -> Result<GroupPartials> {
+        if parts.is_empty() {
+            return Ok(GroupPartials::new());
+        }
+        if parts.len() == 1 {
+            return run(self, &parts[0], plan);
+        }
+        let results: Vec<Result<GroupPartials>> = std::thread::scope(|scope| {
+            let run = &run;
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| scope.spawn(move || run(self, part, plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sharded query thread panicked"))
+                .collect()
+        });
+        let mut merged = GroupPartials::new();
+        for partial in results {
+            merge_partials(&mut merged, partial?);
+        }
+        Ok(merged)
+    }
+
+    /// Execute the plan's access path against a dataset (index probes
+    /// included) and aggregate in the configured mode.
+    fn partials_for_dataset(
+        &self,
+        dataset: &LsmDataset,
+        plan: &PhysicalPlan,
+    ) -> Result<GroupPartials> {
+        match &plan.access {
+            AccessPath::IndexRange { lo, hi, .. } => {
+                let docs = dataset.secondary_range_bounds(
+                    as_bound_ref(lo),
+                    as_bound_ref(hi),
+                    plan.projection.as_deref(),
+                )?;
+                Ok(self.aggregate(docs, plan))
+            }
+            _ => self.partials_for_snapshot(&dataset.snapshot(), plan),
+        }
+    }
+
+    /// Execute a scan-shaped access path against a snapshot and aggregate in
+    /// the configured mode.
+    fn partials_for_snapshot(
+        &self,
+        snapshot: &Snapshot,
+        plan: &PhysicalPlan,
+    ) -> Result<GroupPartials> {
+        match &plan.access {
+            AccessPath::KeyOnlyScan => Ok(key_count_partials(snapshot.count()?, plan)),
+            AccessPath::FullScan => {
+                let docs = snapshot.scan(plan.projection.as_deref())?;
+                Ok(self.aggregate(docs, plan))
+            }
+            AccessPath::IndexRange { .. } => Err(Error::invalid_plan(
+                "an index-probe plan needs a dataset target, not a bare snapshot",
+            )),
+        }
+    }
+
+    /// The mode-specific aggregation over an acquired batch: the fused
+    /// single-pass loop or the materialising operator pipeline.
+    fn aggregate(&self, docs: Vec<Value>, plan: &PhysicalPlan) -> GroupPartials {
+        match self.mode {
+            ExecMode::Compiled => compiled::aggregate_docs(docs.iter(), plan),
+            ExecMode::Interpreted => interp::run_batch(docs, plan),
+        }
     }
 }
 
-/// Answer a range query through the dataset's secondary index and aggregate
-/// the qualifying records with the query's aggregate/group-by. Used by the
-/// secondary-index experiments (Figures 15 and 16).
-pub fn run_with_secondary_index(
-    dataset: &LsmDataset,
-    lo: &Value,
-    hi: &Value,
-    query: &Query,
-) -> Result<Vec<QueryRow>> {
-    let projection = query.projection_paths();
-    let docs = dataset.secondary_range(lo, hi, Some(&projection))?;
-    compiled::aggregate_docs(docs.iter(), query)
+fn as_bound_ref(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use docmodel::{doc, Path};
-    use lsm::{DatasetConfig, LsmDataset};
+    use lsm::DatasetConfig;
     use storage::LayoutKind;
 
-    fn shard_datasets(n: usize) -> Vec<LsmDataset> {
-        let shards: Vec<LsmDataset> = (0..n)
+    fn sample_doc(i: i64) -> Value {
+        doc!({
+            "id": i,
+            "grp": (format!("g{}", i % 7)),
+            "score": (i % 100),
+            "duration": (i % 900),
+            "caller": (format!("caller{}", i % 23)),
+            "games": [
+                {"title": (format!("game{}", i % 7)), "consoles": ["PC", "PS4"]},
+                {"title": (format!("game{}", (i + 1) % 7))}
+            ],
+            "text": (format!("text body {i} #jobs and more"))
+        })
+    }
+
+    fn build_dataset(layout: LayoutKind) -> LsmDataset {
+        let ds = LsmDataset::new(
+            DatasetConfig::new("gamers", layout)
+                .with_memtable_budget(16 * 1024)
+                .with_page_size(8 * 1024),
+        );
+        for i in 0..400i64 {
+            ds.insert(sample_doc(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        ds
+    }
+
+    fn both_modes(ds: &LsmDataset, q: &Query) -> Vec<QueryRow> {
+        let compiled = QueryEngine::new(ExecMode::Compiled).execute(ds, q).unwrap();
+        let interpreted = QueryEngine::new(ExecMode::Interpreted).execute(ds, q).unwrap();
+        assert_eq!(compiled, interpreted, "engines disagree on {q:?}");
+        compiled
+    }
+
+    #[test]
+    fn count_star_matches_between_engines() {
+        for layout in LayoutKind::ALL {
+            let ds = build_dataset(layout);
+            let rows = both_modes(&ds, &Query::count_star());
+            assert_eq!(rows[0].agg(), &Value::Int(400), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn filtered_count_matches_between_engines() {
+        let ds = build_dataset(LayoutKind::Amax);
+        let q = Query::count_star().with_filter(Expr::ge("duration", 600));
+        let rows = both_modes(&ds, &q);
+        let expected = (0..400i64).filter(|i| i % 900 >= 600).count() as i64;
+        assert_eq!(rows[0].agg(), &Value::Int(expected));
+    }
+
+    #[test]
+    fn group_by_with_unnest_matches_between_engines() {
+        for layout in [LayoutKind::Vb, LayoutKind::Apax, LayoutKind::Amax] {
+            let ds = build_dataset(layout);
+            // SELECT t.title, COUNT(*) FROM ds UNNEST games AS t GROUP BY t.title
+            let q = Query::count_star()
+                .with_unnest("games")
+                .group_by_element("title")
+                .top_k(3);
+            let rows = both_modes(&ds, &q);
+            assert_eq!(rows.len(), 3, "{layout:?}");
+            // 400 records x 2 games each spread over 7 titles.
+            assert!(rows[0].agg().as_int().unwrap() > 100);
+        }
+    }
+
+    #[test]
+    fn multi_aggregate_queries_return_one_value_per_aggregate() {
+        let ds = build_dataset(LayoutKind::Amax);
+        let q = Query::select([
+            Aggregate::Count,
+            Aggregate::Max(Path::parse("score")),
+            Aggregate::Avg(Path::parse("score")),
+            Aggregate::Sum(Path::parse("score")),
+        ])
+        .with_filter(Expr::and([Expr::ge("score", 50), Expr::exists("games")]))
+        .group_by("grp")
+        .top_k(3);
+        let rows = both_modes(&ds, &q);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.aggs.len(), 4);
+            let count = row.aggs[0].as_int().unwrap();
+            let max = row.aggs[1].as_int().unwrap();
+            let avg = match row.aggs[2] {
+                Value::Double(d) => d,
+                ref other => panic!("AVG must be a double, got {other:?}"),
+            };
+            let sum = row.aggs[3].as_int().unwrap();
+            assert!(count > 0 && max >= 50 && avg >= 50.0);
+            assert_eq!(sum as f64, avg * count as f64);
+        }
+    }
+
+    #[test]
+    fn contains_filter_and_max_length() {
+        let ds = build_dataset(LayoutKind::Vb);
+        let q = Query::select([Aggregate::MaxLength(Path::parse("text"))])
+            .with_filter(Expr::contains("games[*].consoles[*]", "PC"))
+            .group_by("caller")
+            .top_k(5);
+        let rows = both_modes(&ds, &q);
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].agg().as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn complex_boolean_filters_match_a_scan_oracle() {
+        let ds = build_dataset(LayoutKind::Apax);
+        let filter = Expr::and([
+            Expr::or([Expr::lt("score", 20), Expr::ge("score", 80)]),
+            Expr::not(Expr::eq("grp", "g3")),
+            Expr::length("text", CmpOp::Gt, 5),
+        ]);
+        let rows = both_modes(&ds, &Query::count_star().with_filter(filter.clone()));
+        let oracle = (0..400i64)
+            .map(sample_doc)
+            .filter(|d| filter.matches(d))
+            .count() as i64;
+        assert_eq!(rows[0].agg(), &Value::Int(oracle));
+    }
+
+    #[test]
+    fn sharded_execution_matches_single_dataset() {
+        let shards: Vec<LsmDataset> = (0..4)
             .map(|i| {
                 LsmDataset::new(
                     DatasetConfig::new(format!("shard-{i}"), LayoutKind::Amax)
@@ -202,75 +492,129 @@ mod tests {
                 )
             })
             .collect();
-        for i in 0..400i64 {
-            let shard = &shards[(i as usize) % n];
-            shard
-                .insert(doc!({
-                    "id": i,
-                    "grp": (format!("g{}", i % 7)),
-                    "score": (i % 100),
-                }))
-                .unwrap();
-        }
-        for shard in &shards {
-            shard.flush().unwrap();
-        }
-        shards
-    }
-
-    fn reference_dataset() -> LsmDataset {
-        let ds = LsmDataset::new(
+        let reference = LsmDataset::new(
             DatasetConfig::new("all", LayoutKind::Amax)
                 .with_memtable_budget(16 * 1024)
                 .with_page_size(8 * 1024),
         );
         for i in 0..400i64 {
-            ds.insert(doc!({
-                "id": i,
-                "grp": (format!("g{}", i % 7)),
-                "score": (i % 100),
-            }))
-            .unwrap();
+            shards[(i as usize) % 4].insert(sample_doc(i)).unwrap();
+            reference.insert(sample_doc(i)).unwrap();
         }
-        ds.flush().unwrap();
-        ds
-    }
+        for shard in &shards {
+            shard.flush().unwrap();
+        }
+        reference.flush().unwrap();
 
-    #[test]
-    fn sharded_execution_matches_single_shard() {
-        let shards = shard_datasets(4);
-        let reference = reference_dataset();
-        let queries = [Query::count_star(),
-            Query::count_star().group_by(Path::parse("grp")),
-            Query::count_star()
-                .group_by(Path::parse("grp"))
-                .aggregate(Aggregate::Max(Path::parse("score")))
+        let queries = [
+            Query::count_star(),
+            Query::count_star().group_by("grp"),
+            Query::select([Aggregate::Max(Path::parse("score"))])
+                .group_by("grp")
                 .top_k(3),
-            Query::count_star()
-                .group_by(Path::parse("grp"))
-                .aggregate(Aggregate::Min(Path::parse("score"))),
-            Query::count_star().with_filter(Predicate::GreaterEq {
-                path: Path::parse("score"),
-                value: Value::Int(50),
-            })];
+            Query::select([
+                Aggregate::Count,
+                Aggregate::Avg(Path::parse("score")),
+                Aggregate::Min(Path::parse("score")),
+            ])
+            .group_by("grp"),
+            Query::count_star().with_filter(Expr::ge("score", 50)),
+        ];
+        let refs: Vec<&LsmDataset> = shards.iter().collect();
         for (i, q) in queries.iter().enumerate() {
             for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
-                let snapshots: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
-                let sharded = run_sharded(&snapshots, q, mode).unwrap();
-                let single = run(&reference, q, mode).unwrap();
+                let engine = QueryEngine::new(mode);
+                let sharded = engine.execute(&refs[..], q).unwrap();
+                let single = engine.execute(&reference, q).unwrap();
                 assert_eq!(sharded, single, "query {i} ({mode:?})");
+                // Snapshot-based fan-out agrees too.
+                let snapshots: Vec<Snapshot> = shards.iter().map(LsmDataset::snapshot).collect();
+                let via_snapshots = engine.execute(&snapshots[..], q).unwrap();
+                assert_eq!(via_snapshots, single, "query {i} ({mode:?}, snapshots)");
             }
         }
     }
 
     #[test]
     fn empty_and_single_shard_cases() {
-        assert!(run_sharded(&[], &Query::count_star(), ExecMode::Compiled)
-            .unwrap()
-            .is_empty());
-        let shards = shard_datasets(1);
-        let snapshots: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
-        let rows = run_sharded(&snapshots, &Query::count_star(), ExecMode::Compiled).unwrap();
-        assert_eq!(rows[0].agg, Value::Int(400));
+        let engine = QueryEngine::new(ExecMode::Compiled);
+        let none: [&LsmDataset; 0] = [];
+        assert!(engine.execute(&none[..], &Query::count_star()).unwrap().is_empty());
+        let ds = build_dataset(LayoutKind::Amax);
+        let one = [&ds];
+        let rows = engine.execute(&one[..], &Query::count_star()).unwrap();
+        assert_eq!(rows[0].agg(), &Value::Int(400));
+    }
+
+    #[test]
+    fn index_probe_plans_route_and_agree_with_scans() {
+        let ds = LsmDataset::new(
+            DatasetConfig::new("tweets", LayoutKind::Amax)
+                .with_memtable_budget(16 * 1024)
+                .with_page_size(8 * 1024)
+                .with_secondary_index(Path::parse("timestamp")),
+        );
+        for i in 0..300i64 {
+            ds.insert(doc!({"id": i, "timestamp": (1000 + i), "likes": (i % 50)}))
+                .unwrap();
+        }
+        ds.flush().unwrap();
+        let q = Query::count_star().with_filter(Expr::between("timestamp", 1100, 1199));
+        let engine = QueryEngine::new(ExecMode::Compiled);
+        let plan_text = engine.explain(&ds, &q).unwrap();
+        assert!(
+            plan_text.contains("secondary-index range probe on `timestamp`"),
+            "{plan_text}"
+        );
+        let via_index = engine.execute(&ds, &q).unwrap();
+        assert_eq!(via_index[0].agg(), &Value::Int(100));
+        // The same query with routing disabled scans and agrees.
+        let scan_engine = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions { use_secondary_index: false, ..Default::default() },
+        );
+        assert!(scan_engine.explain(&ds, &q).unwrap().contains("full scan"));
+        assert_eq!(scan_engine.execute(&ds, &q).unwrap(), via_index);
+        // A snapshot target cannot probe: it plans a scan and still agrees.
+        let snapshot = ds.snapshot();
+        assert_eq!(engine.execute(&snapshot, &q).unwrap(), via_index);
+    }
+
+    #[test]
+    fn index_probes_on_array_paths_stay_sound() {
+        // Existential semantics on a multi-valued indexed path: the record
+        // {"ts": [100, 200]} matches `ts[*] BETWEEN 120 AND 180` with two
+        // different witnesses. The planner must not intersect the conjuncts'
+        // bounds into [120, 180] (which contains neither indexed value) —
+        // the probe has to return a superset of the scan result.
+        let ds = LsmDataset::new(
+            DatasetConfig::new("multi", LayoutKind::Amax)
+                .with_page_size(8 * 1024)
+                .with_secondary_index(Path::parse("ts[*]")),
+        );
+        ds.insert(doc!({"id": 1, "ts": [100, 200]})).unwrap();
+        ds.insert(doc!({"id": 2, "ts": [150]})).unwrap();
+        ds.insert(doc!({"id": 3, "ts": [10, 20]})).unwrap();
+        ds.flush().unwrap();
+        let q = Query::count_star().with_filter(Expr::between("ts[*]", 120, 180));
+        let engine = QueryEngine::new(ExecMode::Compiled);
+        assert!(engine.explain(&ds, &q).unwrap().contains("range probe on `ts[*]`"));
+        let via_index = engine.execute(&ds, &q).unwrap();
+        let scan_engine = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions { use_secondary_index: false, ..Default::default() },
+        );
+        let via_scan = scan_engine.execute(&ds, &q).unwrap();
+        assert_eq!(via_index, via_scan);
+        assert_eq!(via_index[0].agg(), &Value::Int(2), "records 1 and 2 match");
+    }
+
+    #[test]
+    fn invalid_plans_surface_as_invalid_plan_errors() {
+        let ds = build_dataset(LayoutKind::Amax);
+        let engine = QueryEngine::new(ExecMode::Compiled);
+        let err = engine.execute(&ds, &Query::new()).unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)), "{err}");
+        assert!(err.to_string().contains("invalid query plan"));
     }
 }

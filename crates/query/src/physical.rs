@@ -1,0 +1,707 @@
+//! The physical plan: what the planner lowers a logical [`Query`] to.
+//!
+//! Planning does three things, mirroring what AsterixDB's compiler does for
+//! the paper's SQL++ queries:
+//!
+//! * **validation** — an empty select list, an element-scoped input without
+//!   an `UNNEST`, or an out-of-range `ORDER BY` index are
+//!   [`Error::InvalidPlan`](crate::Error)s, caught before any I/O happens;
+//! * **projection pushdown** — the set of record-rooted paths the query
+//!   touches is derived from the filter expression tree and the
+//!   group/aggregate inputs, so columnar components assemble only those
+//!   columns (§5 of the paper);
+//! * **access-path selection** — `COUNT(*)`-only queries read primary keys
+//!   alone ([`AccessPath::KeyOnlyScan`], Page 0 for AMAX); when the dataset
+//!   has a secondary index and the filter *implies* a range on the indexed
+//!   path ([`crate::Expr::implied_bounds`]), the plan probes the index and
+//!   re-applies the filter as a residual ([`AccessPath::IndexRange`]);
+//!   otherwise it scans ([`AccessPath::FullScan`]).
+//!
+//! The same physical plan is executed by both engines (interpreted operator
+//! pipeline and fused/compiled loop) and, for sharded datasets, by the
+//! per-shard fan-out: execution produces **mergeable partial aggregates**
+//! (the crate-private `AggState`) per group, which are merged across shards
+//! before finalisation — `AVG` carries `(sum, count)`, so the merged result
+//! is exactly the single-dataset result.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use docmodel::cmp::OrderedValue;
+use docmodel::{total_cmp, Path, Value};
+use lsm::LsmDataset;
+
+use crate::expr::Expr;
+use crate::plan::{AggSpec, Aggregate, Query, QueryRow};
+use crate::{Error, Result};
+
+/// What the planner knows about the execution target.
+#[derive(Debug, Clone, Default)]
+pub struct PlanContext {
+    /// Path covered by a secondary index on every target partition, if any.
+    pub secondary_index_on: Option<Path>,
+    /// Number of partitions the plan will fan out over (1 = unsharded).
+    pub shards: usize,
+}
+
+impl PlanContext {
+    /// A context with no index and a single partition — what a bare
+    /// [`lsm::Snapshot`] offers.
+    pub fn scan_only() -> PlanContext {
+        PlanContext { secondary_index_on: None, shards: 1 }
+    }
+
+    /// The context of one dataset: its configured secondary index, one
+    /// partition.
+    pub fn for_dataset(dataset: &LsmDataset) -> PlanContext {
+        PlanContext {
+            secondary_index_on: dataset.config().secondary_index_on.clone(),
+            shards: 1,
+        }
+    }
+
+    /// The context of a sharded dataset. The index is usable only when every
+    /// shard maintains it on the same path.
+    pub fn for_shards(shards: &[&LsmDataset]) -> PlanContext {
+        let index = shards
+            .first()
+            .and_then(|s| s.config().secondary_index_on.clone())
+            .filter(|path| {
+                shards
+                    .iter()
+                    .all(|s| s.config().secondary_index_on.as_ref() == Some(path))
+            });
+        PlanContext { secondary_index_on: index, shards: shards.len().max(1) }
+    }
+}
+
+/// Planner knobs. Defaults enable every optimisation; the benchmarks flip
+/// them off to measure what each one buys.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerOptions {
+    /// Push the derived projection down to the storage layer. Off, every
+    /// column is assembled (the "read everything" baseline).
+    pub projection_pushdown: bool,
+    /// Route range-implying filters through the secondary index when one
+    /// covers the filtered path. Off, such queries scan.
+    pub use_secondary_index: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions { projection_pushdown: true, use_secondary_index: true }
+    }
+}
+
+/// How the plan acquires its input records.
+#[derive(Debug, Clone)]
+pub enum AccessPath {
+    /// Scan the snapshot, assembling the pushed-down projection.
+    FullScan,
+    /// Read primary keys only — the `COUNT(*)` fast path (Page 0 for AMAX).
+    KeyOnlyScan,
+    /// Probe the secondary index over `[lo, hi]` and batch-lookup the
+    /// qualifying records; the full filter still runs as a residual.
+    IndexRange {
+        /// The indexed path being probed.
+        path: Path,
+        /// Lower bound of the probe.
+        lo: Bound<Value>,
+        /// Upper bound of the probe.
+        hi: Bound<Value>,
+    },
+}
+
+/// A lowered, executable plan. Produced by [`plan`]; render it with
+/// [`PhysicalPlan::describe`].
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// How input records are acquired.
+    pub access: AccessPath,
+    /// Pushed-down projection; `None` assembles full records (pushdown off).
+    pub projection: Option<Vec<Path>>,
+    /// Residual filter applied to every acquired record.
+    pub filter: Option<Expr>,
+    /// Array path to unnest, if any.
+    pub unnest: Option<Path>,
+    /// Grouping key path, if any.
+    pub group_by: Option<Path>,
+    /// Whether the grouping key is evaluated on the unnested element.
+    pub group_on_element: bool,
+    /// The select list.
+    pub aggregates: Vec<AggSpec>,
+    /// Sort groups descending by this aggregate index.
+    pub order_desc_by_agg: Option<usize>,
+    /// Row cap applied after sorting.
+    pub limit: Option<usize>,
+    /// Number of partitions the plan fans out over (for `describe`).
+    pub shards: usize,
+}
+
+/// Lower a logical query to a physical plan for the given target context.
+pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Result<PhysicalPlan> {
+    if query.aggregates.is_empty() {
+        return Err(Error::invalid_plan(
+            "the select list is empty: add at least one aggregate",
+        ));
+    }
+    if query.unnest.is_none() {
+        if query.group_on_element && query.group_by.is_some() {
+            return Err(Error::invalid_plan(
+                "GROUP BY on the unnested element requires an UNNEST clause",
+            ));
+        }
+        if let Some(spec) = query.aggregates.iter().find(|s| s.on_element) {
+            return Err(Error::invalid_plan(format!(
+                "aggregate {} reads the unnested element but the query has no UNNEST clause",
+                spec.agg.describe()
+            )));
+        }
+    }
+    if let Some(i) = query.order_desc_by_agg {
+        if i >= query.aggregates.len() {
+            return Err(Error::invalid_plan(format!(
+                "ORDER BY references aggregate #{i} but the select list has {}",
+                query.aggregates.len()
+            )));
+        }
+    }
+
+    let count_only = query.filter.is_none()
+        && query.unnest.is_none()
+        && query.group_by.is_none()
+        && query
+            .aggregates
+            .iter()
+            .all(|s| matches!(s.agg, Aggregate::Count));
+
+    let access = if count_only {
+        AccessPath::KeyOnlyScan
+    } else {
+        index_probe_for(query, ctx, options).unwrap_or(AccessPath::FullScan)
+    };
+
+    let projection = options
+        .projection_pushdown
+        .then(|| query.projection_paths());
+
+    Ok(PhysicalPlan {
+        access,
+        projection,
+        filter: query.filter.clone(),
+        unnest: query.unnest.clone(),
+        group_by: query.group_by.clone(),
+        group_on_element: query.group_on_element,
+        aggregates: query.aggregates.clone(),
+        order_desc_by_agg: query.order_desc_by_agg,
+        limit: query.limit,
+        shards: ctx.shards.max(1),
+    })
+}
+
+/// The index-probe access path, when the context has an index, routing is
+/// enabled, and the filter implies a (at least one-sided) range on the
+/// indexed path.
+fn index_probe_for(
+    query: &Query,
+    ctx: &PlanContext,
+    options: &PlannerOptions,
+) -> Option<AccessPath> {
+    if !options.use_secondary_index {
+        return None;
+    }
+    let indexed = ctx.secondary_index_on.as_ref()?;
+    let (lo, hi) = query.filter.as_ref()?.implied_bounds(indexed)?;
+    if matches!((&lo, &hi), (Bound::Unbounded, Bound::Unbounded)) {
+        return None;
+    }
+    Some(AccessPath::IndexRange { path: indexed.clone(), lo, hi })
+}
+
+impl AccessPath {
+    /// One-line rendering for `EXPLAIN`.
+    pub fn describe(&self) -> String {
+        match self {
+            AccessPath::FullScan => "full scan".to_string(),
+            AccessPath::KeyOnlyScan => "key-only scan (COUNT(*) fast path)".to_string(),
+            AccessPath::IndexRange { path, lo, hi } => {
+                format!(
+                    "secondary-index range probe on `{path}` over {}",
+                    render_range(lo, hi)
+                )
+            }
+        }
+    }
+}
+
+fn render_range(lo: &Bound<Value>, hi: &Bound<Value>) -> String {
+    let lo = match lo {
+        Bound::Unbounded => "(-inf".to_string(),
+        Bound::Included(v) => format!("[{v}"),
+        Bound::Excluded(v) => format!("({v}"),
+    };
+    let hi = match hi {
+        Bound::Unbounded => "+inf)".to_string(),
+        Bound::Included(v) => format!("{v}]"),
+        Bound::Excluded(v) => format!("{v})"),
+    };
+    format!("{lo}, {hi}")
+}
+
+impl PhysicalPlan {
+    /// Render the plan as a multi-line `EXPLAIN` string.
+    pub fn describe(&self) -> String {
+        let select: Vec<String> = self.aggregates.iter().map(|s| s.agg.describe()).collect();
+        let mut out = String::new();
+        out.push_str(&format!("SELECT {}\n", select.join(", ")));
+        out.push_str(&format!("  access     : {}\n", self.access.describe()));
+        match &self.projection {
+            Some(paths) if paths.is_empty() => {
+                out.push_str("  projection : (keys only)\n");
+            }
+            Some(paths) => {
+                let rendered: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+                out.push_str(&format!("  projection : {}\n", rendered.join(", ")));
+            }
+            None => out.push_str("  projection : * (pushdown disabled)\n"),
+        }
+        match &self.filter {
+            Some(f) => out.push_str(&format!("  filter     : {f}\n")),
+            None => out.push_str("  filter     : -\n"),
+        }
+        match &self.unnest {
+            Some(u) => out.push_str(&format!("  unnest     : {u}\n")),
+            None => out.push_str("  unnest     : -\n"),
+        }
+        match &self.group_by {
+            Some(g) => out.push_str(&format!(
+                "  group by   : {g}{}\n",
+                if self.group_on_element { " (on element)" } else { "" }
+            )),
+            None => out.push_str("  group by   : - (global aggregate)\n"),
+        }
+        match (self.order_desc_by_agg, self.limit) {
+            (Some(i), Some(k)) => out.push_str(&format!(
+                "  order/limit: {} DESC LIMIT {k}\n",
+                self.aggregates[i].agg.describe()
+            )),
+            (Some(i), None) => out.push_str(&format!(
+                "  order/limit: {} DESC\n",
+                self.aggregates[i].agg.describe()
+            )),
+            (None, Some(k)) => out.push_str(&format!("  order/limit: LIMIT {k}\n")),
+            (None, None) => out.push_str("  order/limit: -\n"),
+        }
+        if self.shards > 1 {
+            out.push_str(&format!(
+                "  shards     : {} (per-shard partial aggregates, exact merge)\n",
+                self.shards
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mergeable aggregate partials.
+// ---------------------------------------------------------------------------
+
+/// Running state of one aggregate over one group. Partials are *mergeable*:
+/// combining the states of disjoint record sets gives exactly the state of
+/// their union, which is what makes sharded fan-out exact (AVG carries
+/// `(sum, count)`, not the finished mean).
+#[derive(Debug, Clone)]
+pub(crate) enum AggState {
+    /// `COUNT(*)`.
+    Count(u64),
+    /// `COUNT(path)`.
+    CountNonNull(u64),
+    /// `MAX(path)`.
+    Max(Option<Value>),
+    /// `MIN(path)`.
+    Min(Option<Value>),
+    /// `SUM(path)`: exact integer sum plus a double accumulator.
+    Sum {
+        int_sum: i64,
+        double_sum: f64,
+        saw_double: bool,
+        any: bool,
+    },
+    /// `AVG(path)`: the classic mergeable pair.
+    Avg { sum: f64, count: u64 },
+    /// `MAX(LENGTH(path))`.
+    MaxLength(Option<i64>),
+}
+
+impl AggState {
+    pub(crate) fn new(agg: &Aggregate) -> AggState {
+        match agg {
+            Aggregate::Count => AggState::Count(0),
+            Aggregate::CountNonNull(_) => AggState::CountNonNull(0),
+            Aggregate::Max(_) => AggState::Max(None),
+            Aggregate::Min(_) => AggState::Min(None),
+            Aggregate::Sum(_) => AggState::Sum {
+                int_sum: 0,
+                double_sum: 0.0,
+                saw_double: false,
+                any: false,
+            },
+            Aggregate::Avg(_) => AggState::Avg { sum: 0.0, count: 0 },
+            Aggregate::MaxLength(_) => AggState::MaxLength(None),
+        }
+    }
+
+    /// Fold one input value (the aggregate's resolved path value, `None`
+    /// when the path is missing on this record/element).
+    pub(crate) fn update(&mut self, input: Option<&Value>) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::CountNonNull(n) => {
+                if input.is_some() {
+                    *n += 1;
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(v) = input {
+                    if best
+                        .as_ref()
+                        .map(|b| total_cmp(v, b) == std::cmp::Ordering::Greater)
+                        .unwrap_or(true)
+                    {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(v) = input {
+                    if best
+                        .as_ref()
+                        .map(|b| total_cmp(v, b) == std::cmp::Ordering::Less)
+                        .unwrap_or(true)
+                    {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Sum { int_sum, double_sum, saw_double, any } => match input {
+                Some(Value::Int(i)) => {
+                    sum_add_int(int_sum, double_sum, saw_double, *i);
+                    *any = true;
+                }
+                Some(Value::Double(d)) => {
+                    *double_sum += d;
+                    *saw_double = true;
+                    *any = true;
+                }
+                _ => {}
+            },
+            AggState::Avg { sum, count } => {
+                if let Some(x) = input.and_then(Value::as_f64) {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            AggState::MaxLength(best) => {
+                if let Some(Value::String(s)) = input {
+                    let len = s.chars().count() as i64;
+                    if best.map(|b| len > b).unwrap_or(true) {
+                        *best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge another partial of the same aggregate (from a disjoint record
+    /// set, e.g. another shard) into this one.
+    pub(crate) fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::CountNonNull(a), AggState::CountNonNull(b)) => *a += b,
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref()
+                        .map(|x| total_cmp(&v, x) == std::cmp::Ordering::Greater)
+                        .unwrap_or(true)
+                    {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref()
+                        .map(|x| total_cmp(&v, x) == std::cmp::Ordering::Less)
+                        .unwrap_or(true)
+                    {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (
+                AggState::Sum { int_sum, double_sum, saw_double, any },
+                AggState::Sum {
+                    int_sum: i2,
+                    double_sum: d2,
+                    saw_double: s2,
+                    any: a2,
+                },
+            ) => {
+                sum_add_int(int_sum, double_sum, saw_double, i2);
+                *double_sum += d2;
+                *saw_double |= s2;
+                *any |= a2;
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (AggState::MaxLength(a), AggState::MaxLength(b)) => {
+                if let Some(v) = b {
+                    if a.map(|x| v > x).unwrap_or(true) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            // Partials of the same plan position always share a variant.
+            _ => unreachable!("merging partials of different aggregates"),
+        }
+    }
+
+    /// Finish the aggregate: turn the partial into its output value.
+    pub(crate) fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) | AggState::CountNonNull(n) => Value::Int(*n as i64),
+            AggState::Max(best) | AggState::Min(best) => {
+                best.clone().unwrap_or(Value::Null)
+            }
+            AggState::Sum { int_sum, double_sum, saw_double, any } => {
+                if !any {
+                    Value::Null
+                } else if *saw_double {
+                    Value::Double(*int_sum as f64 + double_sum)
+                } else {
+                    Value::Int(*int_sum)
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *count as f64)
+                }
+            }
+            AggState::MaxLength(best) => best.map(Value::Int).unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Add an integer to a `SUM` partial: exact while the running integer sum
+/// fits an `i64`, widening to the double accumulator on overflow instead of
+/// wrapping.
+fn sum_add_int(int_sum: &mut i64, double_sum: &mut f64, saw_double: &mut bool, v: i64) {
+    match int_sum.checked_add(v) {
+        Some(s) => *int_sum = s,
+        None => {
+            *double_sum += *int_sum as f64 + v as f64;
+            *int_sum = 0;
+            *saw_double = true;
+        }
+    }
+}
+
+/// Per-group partial aggregate states, keyed by group value — what one
+/// execution (one shard, one engine pass) produces.
+pub(crate) type GroupPartials = BTreeMap<Option<OrderedValue>, Vec<AggState>>;
+
+/// Fresh per-aggregate states for a new group.
+pub(crate) fn new_states(plan: &PhysicalPlan) -> Vec<AggState> {
+    plan.aggregates.iter().map(|s| AggState::new(&s.agg)).collect()
+}
+
+/// Partials for the key-only `COUNT(*)` fast path: one global group whose
+/// `Count` states all equal `n`.
+pub(crate) fn key_count_partials(n: usize, plan: &PhysicalPlan) -> GroupPartials {
+    let mut groups = GroupPartials::new();
+    let states = plan
+        .aggregates
+        .iter()
+        .map(|_| AggState::Count(n as u64))
+        .collect();
+    groups.insert(None, states);
+    groups
+}
+
+/// Merge the partials of one execution into the accumulator (group-wise,
+/// aggregate-wise).
+pub(crate) fn merge_partials(into: &mut GroupPartials, from: GroupPartials) {
+    for (key, states) in from {
+        match into.entry(key) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(states);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                for (acc, s) in slot.get_mut().iter_mut().zip(states) {
+                    acc.merge(s);
+                }
+            }
+        }
+    }
+}
+
+/// Turn merged partials into ordered, limited output rows.
+pub(crate) fn finalize(groups: GroupPartials, plan: &PhysicalPlan) -> Vec<QueryRow> {
+    let mut rows: Vec<QueryRow> = groups
+        .into_iter()
+        .map(|(key, states)| QueryRow {
+            group: key.map(|k| k.0),
+            aggs: states.iter().map(AggState::finish).collect(),
+        })
+        .collect();
+    if plan.group_by.is_none() && rows.is_empty() {
+        rows.push(QueryRow {
+            group: None,
+            aggs: new_states(plan).iter().map(AggState::finish).collect(),
+        });
+    }
+    if let Some(i) = plan.order_desc_by_agg {
+        rows.sort_by(|a, b| total_cmp(&b.aggs[i], &a.aggs[i]));
+    }
+    if let Some(k) = plan.limit {
+        rows.truncate(k);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn planner_validates_the_select_list() {
+        let ctx = PlanContext::scan_only();
+        let opts = PlannerOptions::default();
+        assert!(matches!(
+            plan(&Query::new(), &ctx, &opts),
+            Err(Error::InvalidPlan(_))
+        ));
+        let q = Query::new().aggregate_element(Aggregate::Max(Path::parse("x")));
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+        let q = Query::count_star().group_by_element(Path::parse("x"));
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+        let q = Query::count_star().order_desc_by(3);
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn count_star_plans_a_key_only_scan() {
+        let p = plan(
+            &Query::count_star(),
+            &PlanContext::scan_only(),
+            &PlannerOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(p.access, AccessPath::KeyOnlyScan));
+        assert_eq!(p.projection.as_deref(), Some(&[][..]));
+        assert!(p.describe().contains("key-only scan"));
+    }
+
+    #[test]
+    fn range_filters_route_through_a_covering_index() {
+        let ctx = PlanContext {
+            secondary_index_on: Some(Path::parse("score")),
+            shards: 1,
+        };
+        let q = Query::count_star()
+            .with_filter(Expr::and([Expr::ge("score", 50), Expr::exists("tags")]));
+        let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::IndexRange { .. }));
+        let text = p.describe();
+        assert!(text.contains("secondary-index range probe on `score`"), "{text}");
+        assert!(text.contains("[50, +inf)"), "{text}");
+        // Routing disabled → scan.
+        let p = plan(
+            &q,
+            &ctx,
+            &PlannerOptions { use_secondary_index: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(matches!(p.access, AccessPath::FullScan));
+        // Filter on a different path → scan.
+        let q = Query::count_star().with_filter(Expr::ge("other", 1));
+        let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::FullScan));
+    }
+
+    #[test]
+    fn pushdown_off_projects_everything() {
+        let q = Query::count_star().with_filter(Expr::ge("score", 1));
+        let p = plan(
+            &q,
+            &PlanContext::scan_only(),
+            &PlannerOptions { projection_pushdown: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(p.projection.is_none());
+        assert!(p.describe().contains("pushdown disabled"));
+    }
+
+    #[test]
+    fn avg_partials_merge_exactly() {
+        let agg = Aggregate::Avg(Path::parse("x"));
+        // Shard A: one value 0. Shard B: three values 100.
+        let mut a = AggState::new(&agg);
+        a.update(Some(&Value::Int(0)));
+        let mut b = AggState::new(&agg);
+        for _ in 0..3 {
+            b.update(Some(&Value::Int(100)));
+        }
+        a.merge(b);
+        // avg-of-avgs would be 50; the mergeable partial gives the true 75.
+        assert_eq!(a.finish(), Value::Double(75.0));
+        // Merging an empty partial is the identity.
+        a.merge(AggState::new(&agg));
+        assert_eq!(a.finish(), Value::Double(75.0));
+        // An all-empty AVG finishes as NULL.
+        assert_eq!(AggState::new(&agg).finish(), Value::Null);
+    }
+
+    #[test]
+    fn sum_partials_keep_integers_exact() {
+        let agg = Aggregate::Sum(Path::parse("x"));
+        let mut a = AggState::new(&agg);
+        a.update(Some(&Value::Int(7)));
+        a.update(Some(&Value::from("ignored")));
+        let mut b = AggState::new(&agg);
+        b.update(Some(&Value::Int(5)));
+        a.merge(b);
+        assert_eq!(a.finish(), Value::Int(12));
+        // A double anywhere widens the sum.
+        a.update(Some(&Value::Double(0.5)));
+        assert_eq!(a.finish(), Value::Double(12.5));
+        assert_eq!(AggState::new(&agg).finish(), Value::Null);
+    }
+
+    #[test]
+    fn sum_overflow_widens_to_double_instead_of_wrapping() {
+        let agg = Aggregate::Sum(Path::parse("x"));
+        let mut a = AggState::new(&agg);
+        a.update(Some(&Value::Int(i64::MAX)));
+        a.update(Some(&Value::Int(1)));
+        match a.finish() {
+            Value::Double(d) => assert!(d > i64::MAX as f64 * 0.99, "{d}"),
+            other => panic!("overflowing SUM must widen, got {other:?}"),
+        }
+        // Same through a merge of two near-max partials.
+        let mut b = AggState::new(&agg);
+        b.update(Some(&Value::Int(i64::MAX)));
+        let mut c = AggState::new(&agg);
+        c.update(Some(&Value::Int(i64::MAX)));
+        b.merge(c);
+        match b.finish() {
+            Value::Double(d) => assert!(d > i64::MAX as f64, "{d}"),
+            other => panic!("overflowing merge must widen, got {other:?}"),
+        }
+    }
+}

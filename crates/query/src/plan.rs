@@ -1,22 +1,29 @@
 //! The logical query plan.
 //!
-//! The evaluation's queries (Appendix A of the paper) all fit one shape:
+//! [`Query`] captures a compositional SELECT shape as data:
 //!
 //! ```sql
-//! SELECT   g, AGG(x)
+//! SELECT   [g,] AGG1(x1), AGG2(x2), ...
 //! FROM     dataset d [UNNEST d.p AS e]
-//! [WHERE   predicate]
+//! [WHERE   expression]
 //! [GROUP BY g]
-//! [ORDER BY AGG(x) DESC LIMIT k]
+//! [ORDER BY AGGi DESC LIMIT k]
 //! ```
 //!
-//! [`Query`] captures exactly that shape as data, which keeps the two
-//! execution engines comparable: they run the *same* plan, only the execution
-//! model differs. A SQL++ parser is out of scope for the reproduction (the
-//! substitution is documented in DESIGN.md); the builder API mirrors the
-//! paper's queries one-to-one and the benchmark harness constructs them.
+//! The filter is an arbitrary [`Expr`] tree, the select list holds any
+//! number of aggregates ([`AggSpec`]), and group/aggregate inputs may be
+//! evaluated either on the record or on the unnested element. The logical
+//! plan says nothing about *how* the query runs: the planner in
+//! [`crate::physical`] lowers it to a physical plan that picks the access
+//! path (scan, key-only scan, or secondary-index range probe), derives the
+//! pushed-down projection, and routes sharded execution. A SQL++ parser is
+//! out of scope for the reproduction (see DESIGN.md); the builder API
+//! mirrors the paper's queries one-to-one and the benchmark harness
+//! constructs plans directly.
 
 use docmodel::{Path, Value};
+
+use crate::expr::Expr;
 
 /// Which execution engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,65 +32,6 @@ pub enum ExecMode {
     Interpreted,
     /// Fused, pre-resolved single-pass pipeline ("code generation").
     Compiled,
-}
-
-/// A filter predicate over a record (or over an unnested element when
-/// `on_element` is set).
-#[derive(Debug, Clone)]
-pub enum Predicate {
-    /// `lo <= path <= hi` (numeric or string range).
-    Range {
-        /// Path to the tested value.
-        path: Path,
-        /// Inclusive lower bound.
-        lo: Value,
-        /// Inclusive upper bound.
-        hi: Value,
-    },
-    /// `path >= value`.
-    GreaterEq {
-        /// Path to the tested value.
-        path: Path,
-        /// Inclusive lower bound.
-        value: Value,
-    },
-    /// `SOME x IN path SATISFIES x = value` (array containment, used by the
-    /// hashtag query).
-    Contains {
-        /// Path to the array (or repeated value).
-        path: Path,
-        /// Value at least one element must equal.
-        value: Value,
-    },
-}
-
-impl Predicate {
-    /// Evaluate the predicate against a document.
-    pub fn matches(&self, doc: &Value) -> bool {
-        match self {
-            Predicate::Range { path, lo, hi } => path.evaluate(doc).iter().any(|v| {
-                docmodel::total_cmp(v, lo) != std::cmp::Ordering::Less
-                    && docmodel::total_cmp(v, hi) != std::cmp::Ordering::Greater
-            }),
-            Predicate::GreaterEq { path, value } => path
-                .evaluate(doc)
-                .iter()
-                .any(|v| docmodel::total_cmp(v, value) != std::cmp::Ordering::Less),
-            Predicate::Contains { path, value } => path
-                .evaluate(doc)
-                .iter()
-                .any(|v| docmodel::total_cmp(v, value) == std::cmp::Ordering::Equal),
-        }
-    }
-
-    /// The record-rooted path the predicate reads.
-    pub fn path(&self) -> &Path {
-        match self {
-            Predicate::Range { path, .. }
-            | Predicate::GreaterEq { path, .. }
-            | Predicate::Contains { path, .. } => path,
-        }
-    }
 }
 
 /// The aggregate computed per group (or over the whole input).
@@ -97,6 +45,13 @@ pub enum Aggregate {
     Max(Path),
     /// `MIN(path)`.
     Min(Path),
+    /// `SUM(path)` — numeric sum; integer inputs stay exact `Int`s while
+    /// the running sum fits an `i64`, any double input (or an integer
+    /// overflow) widens the result to `Double`.
+    Sum(Path),
+    /// `AVG(path)` — numeric mean, carried as a mergeable `(sum, count)`
+    /// partial so sharded fan-out stays exact.
+    Avg(Path),
     /// `MAX(LENGTH(path))` — used by the "longest tweet" query.
     MaxLength(Path),
 }
@@ -109,17 +64,45 @@ impl Aggregate {
             Aggregate::CountNonNull(p)
             | Aggregate::Max(p)
             | Aggregate::Min(p)
+            | Aggregate::Sum(p)
+            | Aggregate::Avg(p)
             | Aggregate::MaxLength(p) => Some(p),
+        }
+    }
+
+    /// SQL-like rendering for `EXPLAIN` output.
+    pub fn describe(&self) -> String {
+        match self {
+            Aggregate::Count => "COUNT(*)".to_string(),
+            Aggregate::CountNonNull(p) => format!("COUNT({p})"),
+            Aggregate::Max(p) => format!("MAX({p})"),
+            Aggregate::Min(p) => format!("MIN({p})"),
+            Aggregate::Sum(p) => format!("SUM({p})"),
+            Aggregate::Avg(p) => format!("AVG({p})"),
+            Aggregate::MaxLength(p) => format!("MAX(LENGTH({p}))"),
         }
     }
 }
 
-/// A logical query plan.
+/// One aggregate of the select list, together with the scope its input is
+/// evaluated in.
 #[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub agg: Aggregate,
+    /// `true` when the input path is evaluated on the unnested element
+    /// rather than the record.
+    pub on_element: bool,
+}
+
+/// A logical query plan. Build one with [`Query::select`] /
+/// [`Query::count_star`] and the builder methods, then hand it to a
+/// [`crate::QueryEngine`].
+#[derive(Debug, Clone, Default)]
 pub struct Query {
-    /// Optional filter, evaluated on records.
-    pub filter: Option<Predicate>,
-    /// Optional array path to unnest; group/aggregate paths flagged
+    /// Optional filter expression, evaluated on records (before unnesting).
+    pub filter: Option<Expr>,
+    /// Optional array path to unnest; group/aggregate inputs flagged
     /// `on_element` are then evaluated on each unnested element.
     pub unnest: Option<Path>,
     /// Optional grouping key path.
@@ -127,91 +110,116 @@ pub struct Query {
     /// Whether the grouping key is evaluated on the unnested element (`true`)
     /// or on the record (`false`).
     pub group_on_element: bool,
-    /// The aggregate.
-    pub agg: Aggregate,
-    /// Whether the aggregate input is evaluated on the unnested element.
-    pub agg_on_element: bool,
-    /// Sort groups by the aggregate, descending (the paper's top-k queries).
-    pub order_desc_by_agg: bool,
+    /// The select list: one or more aggregates. The planner rejects an empty
+    /// list.
+    pub aggregates: Vec<AggSpec>,
+    /// Sort groups descending by the aggregate at this index (the paper's
+    /// top-k queries order by their single aggregate).
+    pub order_desc_by_agg: Option<usize>,
     /// Keep only the first `k` groups after sorting.
     pub limit: Option<usize>,
 }
 
 impl Query {
-    /// `SELECT COUNT(*) FROM dataset`.
-    pub fn count_star() -> Query {
+    /// An empty query with no aggregates yet; add them with
+    /// [`Query::aggregate`] / [`Query::aggregate_element`].
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// `SELECT AGG1, AGG2, ... FROM dataset`, all evaluated on records.
+    pub fn select(aggs: impl IntoIterator<Item = Aggregate>) -> Query {
         Query {
-            filter: None,
-            unnest: None,
-            group_by: None,
-            group_on_element: false,
-            agg: Aggregate::Count,
-            agg_on_element: false,
-            order_desc_by_agg: false,
-            limit: None,
+            aggregates: aggs
+                .into_iter()
+                .map(|agg| AggSpec { agg, on_element: false })
+                .collect(),
+            ..Query::default()
         }
     }
 
-    /// Builder: set the filter.
-    pub fn with_filter(mut self, p: Predicate) -> Query {
-        self.filter = Some(p);
+    /// `SELECT COUNT(*) FROM dataset`.
+    pub fn count_star() -> Query {
+        Query::select([Aggregate::Count])
+    }
+
+    /// Builder: set the filter expression.
+    pub fn with_filter(mut self, expr: Expr) -> Query {
+        self.filter = Some(expr);
         self
     }
 
     /// Builder: unnest an array path.
-    pub fn with_unnest(mut self, p: Path) -> Query {
-        self.unnest = Some(p);
+    pub fn with_unnest(mut self, p: impl Into<Path>) -> Query {
+        self.unnest = Some(p.into());
         self
     }
 
     /// Builder: group by a record-rooted path.
-    pub fn group_by(mut self, p: Path) -> Query {
-        self.group_by = Some(p);
+    pub fn group_by(mut self, p: impl Into<Path>) -> Query {
+        self.group_by = Some(p.into());
         self.group_on_element = false;
         self
     }
 
     /// Builder: group by a path evaluated on the unnested element (pass the
     /// empty path to group by the element itself).
-    pub fn group_by_element(mut self, p: Path) -> Query {
-        self.group_by = Some(p);
+    pub fn group_by_element(mut self, p: impl Into<Path>) -> Query {
+        self.group_by = Some(p.into());
         self.group_on_element = true;
         self
     }
 
-    /// Builder: set the aggregate (evaluated on records).
+    /// Builder: append an aggregate evaluated on records.
     pub fn aggregate(mut self, agg: Aggregate) -> Query {
-        self.agg = agg;
-        self.agg_on_element = false;
+        self.aggregates.push(AggSpec { agg, on_element: false });
         self
     }
 
-    /// Builder: set the aggregate, evaluated on the unnested element.
+    /// Builder: append an aggregate whose input is evaluated on the unnested
+    /// element.
     pub fn aggregate_element(mut self, agg: Aggregate) -> Query {
-        self.agg = agg;
-        self.agg_on_element = true;
+        self.aggregates.push(AggSpec { agg, on_element: true });
         self
     }
 
-    /// Builder: order by the aggregate descending and keep the top `k`.
-    pub fn top_k(mut self, k: usize) -> Query {
-        self.order_desc_by_agg = true;
+    /// Builder: order descending by the aggregate at `index` in the select
+    /// list.
+    pub fn order_desc_by(mut self, index: usize) -> Query {
+        self.order_desc_by_agg = Some(index);
+        self
+    }
+
+    /// Builder: cap the number of output rows.
+    pub fn with_limit(mut self, k: usize) -> Query {
         self.limit = Some(k);
         self
     }
 
-    /// The record-rooted paths this query needs — the projection pushed down
-    /// to the storage layer (so AMAX reads only these columns' megapages).
+    /// Builder: order by the first aggregate descending (unless an explicit
+    /// order was set) and keep the top `k` groups.
+    pub fn top_k(mut self, k: usize) -> Query {
+        if self.order_desc_by_agg.is_none() {
+            self.order_desc_by_agg = Some(0);
+        }
+        self.limit = Some(k);
+        self
+    }
+
+    /// The record-rooted paths this query needs — the projection the planner
+    /// pushes down to the storage layer (so AMAX reads only these columns'
+    /// megapages). Derived from the filter expression tree, the unnest path,
+    /// and every group/aggregate input.
     pub fn projection_paths(&self) -> Vec<Path> {
         let mut paths = Vec::new();
+        if let Some(f) = &self.filter {
+            f.collect_paths(&mut paths);
+        }
         let mut add = |p: &Path| {
             if !paths.contains(p) {
                 paths.push(p.clone());
             }
         };
-        if let Some(f) = &self.filter {
-            add(f.path());
-        }
         if let Some(u) = &self.unnest {
             add(u);
         }
@@ -224,16 +232,31 @@ impl Query {
                 add(g);
             }
         }
-        if let Some(a) = self.agg.path() {
-            if self.agg_on_element {
-                if let Some(u) = &self.unnest {
-                    add(&join_paths(u, a));
+        for spec in &self.aggregates {
+            if let Some(a) = spec.agg.path() {
+                if spec.on_element {
+                    if let Some(u) = &self.unnest {
+                        add(&join_paths(u, a));
+                    }
+                } else {
+                    add(a);
                 }
-            } else {
-                add(a);
             }
         }
         paths
+    }
+
+    /// Plan this query against `ctx` and render the resulting physical plan
+    /// — the chosen access path, the pushed-down projection, and the
+    /// operator chain.
+    ///
+    /// Plans with **default** [`crate::PlannerOptions`]; for the plan a
+    /// specifically-configured engine would execute (pushdown or index
+    /// routing disabled), use [`crate::QueryEngine::explain`], which uses
+    /// the engine's own options.
+    pub fn explain(&self, ctx: &crate::physical::PlanContext) -> crate::Result<String> {
+        crate::physical::plan(self, ctx, &crate::physical::PlannerOptions::default())
+            .map(|p| p.describe())
     }
 }
 
@@ -251,69 +274,70 @@ pub fn join_paths(unnest: &Path, relative: &Path) -> Path {
     joined
 }
 
-/// One output row: the group key (absent for global aggregates) and the
-/// aggregate value.
+/// One output row: the group key (absent for global aggregates) and one
+/// value per aggregate of the select list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRow {
     /// Group key, `None` for a global aggregate.
     pub group: Option<Value>,
-    /// Aggregate value.
-    pub agg: Value,
+    /// Aggregate values, in select-list order.
+    pub aggs: Vec<Value>,
+}
+
+impl QueryRow {
+    /// The first aggregate value — the whole row for single-aggregate
+    /// queries, which most of the paper's workload is.
+    pub fn agg(&self) -> &Value {
+        &self.aggs[0]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use docmodel::doc;
-
-    #[test]
-    fn predicates_evaluate_against_documents() {
-        let doc = doc!({"age": 30, "tags": ["jobs", "rust"], "d": 599});
-        assert!(Predicate::GreaterEq {
-            path: Path::parse("age"),
-            value: Value::Int(30)
-        }
-        .matches(&doc));
-        assert!(!Predicate::GreaterEq {
-            path: Path::parse("d"),
-            value: Value::Int(600)
-        }
-        .matches(&doc));
-        assert!(Predicate::Range {
-            path: Path::parse("age"),
-            lo: Value::Int(20),
-            hi: Value::Int(40)
-        }
-        .matches(&doc));
-        assert!(Predicate::Contains {
-            path: Path::parse("tags[*]"),
-            value: Value::from("jobs")
-        }
-        .matches(&doc));
-        assert!(!Predicate::Contains {
-            path: Path::parse("tags[*]"),
-            value: Value::from("none")
-        }
-        .matches(&doc));
-    }
+    use crate::expr::Expr;
 
     #[test]
     fn projection_paths_cover_all_referenced_columns() {
         let q = Query::count_star()
-            .with_filter(Predicate::GreaterEq {
-                path: Path::parse("duration"),
-                value: Value::Int(600),
-            })
-            .with_unnest(Path::parse("readings"))
-            .group_by(Path::parse("sensor_id"))
+            .with_filter(Expr::and([
+                Expr::ge("duration", 600),
+                Expr::exists("caller"),
+            ]))
+            .with_unnest("readings")
+            .group_by("sensor_id")
             .aggregate_element(Aggregate::Max(Path::parse("temp")))
+            .aggregate_element(Aggregate::Avg(Path::parse("temp")))
             .top_k(10);
         let paths: Vec<String> = q.projection_paths().iter().map(|p| p.to_string()).collect();
         assert!(paths.contains(&"duration".to_string()));
+        assert!(paths.contains(&"caller".to_string()));
         assert!(paths.contains(&"readings".to_string()));
         assert!(paths.contains(&"sensor_id".to_string()));
         assert!(paths.contains(&"readings[*].temp".to_string()));
+        // Deduplicated: temp appears once despite two aggregates reading it.
+        assert_eq!(paths.iter().filter(|p| p.contains("temp")).count(), 1);
         assert_eq!(q.limit, Some(10));
+        assert_eq!(q.order_desc_by_agg, Some(0));
+    }
+
+    #[test]
+    fn select_builds_multi_aggregate_plans() {
+        let q = Query::select([
+            Aggregate::Count,
+            Aggregate::Max(Path::parse("score")),
+            Aggregate::Avg(Path::parse("score")),
+        ])
+        .group_by("grp")
+        .order_desc_by(1)
+        .with_limit(3);
+        assert_eq!(q.aggregates.len(), 3);
+        assert_eq!(q.order_desc_by_agg, Some(1));
+        assert_eq!(q.limit, Some(3));
+        // top_k respects an explicit order.
+        let q = q.top_k(5);
+        assert_eq!(q.order_desc_by_agg, Some(1));
+        assert_eq!(q.limit, Some(5));
     }
 
     #[test]
@@ -322,5 +346,15 @@ mod tests {
         assert_eq!(joined.to_string(), "games[*].consoles[*]");
         let identity = join_paths(&Path::parse("games"), &Path::root());
         assert_eq!(identity.to_string(), "games[*]");
+    }
+
+    #[test]
+    fn aggregate_describe_renders_sql() {
+        assert_eq!(Aggregate::Count.describe(), "COUNT(*)");
+        assert_eq!(Aggregate::Avg(Path::parse("x")).describe(), "AVG(x)");
+        assert_eq!(
+            Aggregate::MaxLength(Path::parse("text")).describe(),
+            "MAX(LENGTH(text))"
+        );
     }
 }

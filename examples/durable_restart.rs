@@ -13,9 +13,9 @@
 //! the manifest, unflushed ones from WAL replay.
 
 use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
-use lsm_columnar::query::{ExecMode, Query};
+use lsm_columnar::query::{ExecMode, Query, QueryEngine};
 use lsm_columnar::storage::LayoutKind;
-use lsm_columnar::{doc, Path, Value};
+use lsm_columnar::{doc, Value};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("durable-restart-example-{}", std::process::id()));
@@ -77,15 +77,12 @@ fn main() {
     assert_eq!(late.get_field("late"), Some(&Value::Bool(true)));
 
     // Queries run against the recovered dataset as if nothing happened.
-    let per_sensor = query::run(
-        &ds,
-        &Query::count_star().group_by(Path::parse("sensor")).top_k(3),
-        ExecMode::Compiled,
-    )
-    .expect("query");
+    let per_sensor = QueryEngine::new(ExecMode::Compiled)
+        .execute(&ds, &Query::count_star().group_by("sensor").top_k(3))
+        .expect("query");
     println!("  top sensors by record count:");
     for row in per_sensor {
-        println!("    sensor {:?}: {:?} records", row.group, row.agg);
+        println!("    sensor {:?}: {:?} records", row.group, row.agg());
     }
 
     // The schema inferred before the crash survived too.

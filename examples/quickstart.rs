@@ -5,7 +5,7 @@
 //! ```
 
 use lsm_columnar::docstore::{Datastore, DatasetOptions, Layout};
-use lsm_columnar::query::{Aggregate, ExecMode, Query};
+use lsm_columnar::query::{Aggregate, ExecMode, Expr, Query};
 use lsm_columnar::{Path, Value};
 
 fn main() {
@@ -36,38 +36,35 @@ fn main() {
     let count = store
         .query("gamers", &Query::count_star(), ExecMode::Compiled)
         .unwrap();
-    println!("COUNT(*) = {}", count[0].agg);
+    println!("COUNT(*) = {}", count[0].agg());
 
     // The paper's Figure 11 query: titles of owned games with their counts.
     let per_title = store
         .query(
             "gamers",
             &Query::count_star()
-                .with_unnest(Path::parse("games"))
-                .group_by_element(Path::parse("title"))
+                .with_unnest("games")
+                .group_by_element("title")
                 .top_k(10),
             ExecMode::Compiled,
         )
         .unwrap();
     println!("\ngames per title:");
     for row in &per_title {
-        println!("  {:>6} -> {}", row.group.clone().unwrap_or(Value::Null), row.agg);
+        println!("  {:>6} -> {}", row.group.clone().unwrap_or(Value::Null), row.agg());
     }
 
     // Point lookup by primary key.
     let rec = store.get("gamers", &Value::Int(2)).unwrap().unwrap();
     println!("\nrecord 2: {rec}");
 
-    // Aggregate over a nested path.
-    let longest = store
-        .query(
-            "gamers",
-            &Query::count_star()
-                .group_by(Path::parse("name.last"))
-                .aggregate(Aggregate::Count)
-                .top_k(3),
-            ExecMode::Interpreted,
-        )
-        .unwrap();
-    println!("\nrecords per last name: {longest:?}");
+    // A compositional multi-aggregate query: per last name, how many
+    // records and how many games, for gamers that own any game at all.
+    let q = Query::select([Aggregate::Count, Aggregate::CountNonNull(Path::parse("games"))])
+        .with_filter(Expr::exists("games"))
+        .group_by("name.last")
+        .top_k(3);
+    println!("\nplan:\n{}", store.explain("gamers", &q).unwrap());
+    let per_name = store.query("gamers", &q, ExecMode::Interpreted).unwrap();
+    println!("records / games per last name: {per_name:?}");
 }

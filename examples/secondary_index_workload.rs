@@ -13,9 +13,9 @@ use std::time::Instant;
 
 use lsm_columnar::datagen::{generate, generate_updates, DatasetKind, DatasetSpec};
 use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
-use lsm_columnar::query::{run, run_with_secondary_index, ExecMode, Predicate, Query};
+use lsm_columnar::query::{ExecMode, Expr, PlannerOptions, Query, QueryEngine};
 use lsm_columnar::storage::LayoutKind;
-use lsm_columnar::{Path, Value};
+use lsm_columnar::Path;
 
 fn main() {
     let records = 3_000;
@@ -53,29 +53,34 @@ fn main() {
             dataset.total_stored_bytes() as f64 / 1024.0
         );
 
+        // The same logical query runs both ways: the planner routes the
+        // range filter through the timestamp index, and an engine with index
+        // routing disabled falls back to a scan.
+        let probe = QueryEngine::new(ExecMode::Compiled);
+        let scan = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions { use_secondary_index: false, ..Default::default() },
+        );
         for selectivity in [0.01, 0.1, 1.0] {
             let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;
-            let lo = Value::Int(base_ts);
-            let hi = Value::Int(base_ts + span - 1);
+            let query = Query::count_star().with_filter(Expr::between(
+                "timestamp",
+                base_ts,
+                base_ts + span - 1,
+            ));
 
             let started = Instant::now();
-            let via_index =
-                run_with_secondary_index(&dataset, &lo, &hi, &Query::count_star()).unwrap();
+            let via_index = probe.execute(&dataset, &query).unwrap();
             let index_ms = started.elapsed().as_secs_f64() * 1000.0;
 
-            let scan_query = Query::count_star().with_filter(Predicate::Range {
-                path: Path::parse("timestamp"),
-                lo: lo.clone(),
-                hi: hi.clone(),
-            });
             let started = Instant::now();
-            let via_scan = run(&dataset, &scan_query, ExecMode::Compiled).unwrap();
+            let via_scan = scan.execute(&dataset, &query).unwrap();
             let scan_ms = started.elapsed().as_secs_f64() * 1000.0;
 
-            assert_eq!(via_index[0].agg, via_scan[0].agg, "index and scan must agree");
+            assert_eq!(via_index[0].agg(), via_scan[0].agg(), "index and scan must agree");
             println!(
                 "  selectivity {selectivity:>5}%: count={:<6} index {index_ms:>7.2} ms | scan {scan_ms:>7.2} ms",
-                via_index[0].agg
+                via_index[0].agg()
             );
         }
     }

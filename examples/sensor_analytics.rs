@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use lsm_columnar::datagen::{generate, DatasetKind, DatasetSpec};
 use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
-use lsm_columnar::query::{run, Aggregate, ExecMode, Query};
+use lsm_columnar::query::{Aggregate, ExecMode, Query, QueryEngine};
 use lsm_columnar::storage::LayoutKind;
 use lsm_columnar::Path;
 
@@ -22,9 +22,9 @@ fn main() {
     println!("generated {records} sensor reports");
 
     // Q3 of the sensors suite: top-10 sensors by maximum reading.
-    let top_sensors = Query::count_star()
-        .with_unnest(Path::parse("readings"))
-        .group_by(Path::parse("sensor_id"))
+    let top_sensors = Query::new()
+        .with_unnest("readings")
+        .group_by("sensor_id")
         .aggregate_element(Aggregate::Max(Path::parse("temp")))
         .top_k(10);
 
@@ -45,12 +45,16 @@ fn main() {
         let size_kib = dataset.primary_stored_bytes() as f64 / 1024.0;
 
         let started = Instant::now();
-        let interp = run(&dataset, &top_sensors, ExecMode::Interpreted).unwrap();
+        let interp = QueryEngine::new(ExecMode::Interpreted)
+            .execute(&dataset, &top_sensors)
+            .unwrap();
         let interp_ms = started.elapsed().as_secs_f64() * 1000.0;
 
         dataset.cache().store().reset_stats();
         let started = Instant::now();
-        let compiled = run(&dataset, &top_sensors, ExecMode::Compiled).unwrap();
+        let compiled = QueryEngine::new(ExecMode::Compiled)
+            .execute(&dataset, &top_sensors)
+            .unwrap();
         let compiled_ms = started.elapsed().as_secs_f64() * 1000.0;
         let pages = dataset.io_stats().pages_read;
 
@@ -66,20 +70,20 @@ fn main() {
     }
 
     println!("\n(the hottest sensor of the run is sensor_id {:?})",
-        run(
-            &{
-                let d = LsmDataset::new(DatasetConfig::new("sensors", LayoutKind::Amax));
-                for doc in docs.clone() {
-                    d.insert(doc).unwrap();
-                }
-                d.flush().unwrap();
-                d
-            },
-            &top_sensors,
-            ExecMode::Compiled
-        )
-        .unwrap()
-        .first()
-        .and_then(|r| r.group.clone())
+        QueryEngine::new(ExecMode::Compiled)
+            .execute(
+                &{
+                    let d = LsmDataset::new(DatasetConfig::new("sensors", LayoutKind::Amax));
+                    for doc in docs.clone() {
+                        d.insert(doc).unwrap();
+                    }
+                    d.flush().unwrap();
+                    d
+                },
+                &top_sensors,
+            )
+            .unwrap()
+            .first()
+            .and_then(|r| r.group.clone())
     );
 }

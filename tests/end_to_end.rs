@@ -5,9 +5,13 @@
 use lsm_columnar::datagen::{generate, generate_updates, DatasetKind, DatasetSpec};
 use lsm_columnar::docstore::{Datastore, DatasetOptions, Layout};
 use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
-use lsm_columnar::query::{run, run_with_secondary_index, Aggregate, ExecMode, Predicate, Query};
+use lsm_columnar::query::{Aggregate, ExecMode, Expr, Query, QueryEngine};
 use lsm_columnar::storage::LayoutKind;
-use lsm_columnar::{Path, Value};
+use lsm_columnar::{doc, Path, Value};
+
+fn run(dataset: &LsmDataset, query: &Query, mode: ExecMode) -> Vec<lsm_columnar::query::QueryRow> {
+    QueryEngine::new(mode).execute(dataset, query).unwrap()
+}
 
 fn build(kind: DatasetKind, layout: LayoutKind, records: usize, secondary: bool) -> LsmDataset {
     let docs = generate(&DatasetSpec::new(kind, records));
@@ -37,11 +41,11 @@ fn all_layouts_agree_on_every_paper_query() {
             .map(|layout| build(kind, layout, records, false))
             .collect();
         for (name, query) in bench::queries_for(kind) {
-            let expected = run(&reference, &query, ExecMode::Compiled).unwrap();
-            let interpreted = run(&reference, &query, ExecMode::Interpreted).unwrap();
+            let expected = run(&reference, &query, ExecMode::Compiled);
+            let interpreted = run(&reference, &query, ExecMode::Interpreted);
             assert_eq!(expected, interpreted, "{kind:?} {name} interpreted vs compiled");
             for other in &others {
-                let got = run(other, &query, ExecMode::Compiled).unwrap();
+                let got = run(other, &query, ExecMode::Compiled);
                 assert_eq!(
                     expected, got,
                     "{kind:?} {name}: {:?} disagrees with Open",
@@ -71,23 +75,27 @@ fn update_intensive_workload_stays_consistent() {
         let doc = dataset.lookup(&Value::Int(100), None).unwrap().unwrap();
         assert_eq!(doc.get_field("id"), Some(&Value::Int(100)));
 
-        // Secondary-index answers match scan-based answers after updates.
+        // Secondary-index answers match scan-based answers after updates:
+        // the same logical query is planner-routed through the index and
+        // force-scanned with index routing disabled.
         let base_ts = 1_450_000_000_000i64;
-        let lo = Value::Int(base_ts);
-        let hi = Value::Int(base_ts + 200);
-        let via_index =
-            run_with_secondary_index(&dataset, &lo, &hi, &Query::count_star()).unwrap();
-        let via_scan = run(
-            &dataset,
-            &Query::count_star().with_filter(Predicate::Range {
-                path: Path::parse("timestamp"),
-                lo: lo.clone(),
-                hi: hi.clone(),
-            }),
+        let q = Query::count_star()
+            .with_filter(Expr::between("timestamp", base_ts, base_ts + 200));
+        let probe = QueryEngine::new(ExecMode::Compiled);
+        assert!(probe
+            .explain(&dataset, &q)
+            .unwrap()
+            .contains("secondary-index range probe"));
+        let via_index = probe.execute(&dataset, &q).unwrap();
+        let scan = QueryEngine::with_options(
             ExecMode::Compiled,
-        )
-        .unwrap();
-        assert_eq!(via_index[0].agg, via_scan[0].agg, "{layout:?}");
+            lsm_columnar::query::PlannerOptions {
+                use_secondary_index: false,
+                ..Default::default()
+            },
+        );
+        let via_scan = scan.execute(&dataset, &q).unwrap();
+        assert_eq!(via_index[0].agg(), via_scan[0].agg(), "{layout:?}");
     }
 }
 
@@ -99,14 +107,14 @@ fn amax_count_star_reads_far_fewer_pages_than_row_scan() {
 
     amax.cache().clear();
     amax.cache().store().reset_stats();
-    let count = run(&amax, &Query::count_star(), ExecMode::Compiled).unwrap();
-    assert_eq!(count[0].agg, Value::Int(records as i64));
+    let count = run(&amax, &Query::count_star(), ExecMode::Compiled);
+    assert_eq!(count[0].agg(), &Value::Int(records as i64));
     let amax_pages = amax.io_stats().pages_read;
 
     open.cache().clear();
     open.cache().store().reset_stats();
-    let count = run(&open, &Query::count_star(), ExecMode::Compiled).unwrap();
-    assert_eq!(count[0].agg, Value::Int(records as i64));
+    let count = run(&open, &Query::count_star(), ExecMode::Compiled);
+    assert_eq!(count[0].agg(), &Value::Int(records as i64));
     let open_pages = open.io_stats().pages_read;
 
     assert!(
@@ -166,15 +174,14 @@ fn facade_end_to_end_with_json_feed() {
     let rows = store
         .query(
             "events",
-            &Query::count_star()
-                .group_by(Path::parse("kind"))
-                .aggregate(Aggregate::Max(Path::parse("payload.n")))
+            &Query::select([Aggregate::Max(Path::parse("payload.n"))])
+                .group_by("kind")
                 .top_k(3),
             ExecMode::Compiled,
         )
         .unwrap();
     assert_eq!(rows.len(), 3);
-    assert_eq!(rows[0].agg, Value::Int(499 * 3));
+    assert_eq!(rows[0].agg(), &Value::Int(499 * 3));
     assert!(store.stored_bytes("events").unwrap() > 0);
 }
 
@@ -205,9 +212,8 @@ fn sharded_end_to_end_with_reopen() {
         store
             .query(
                 "reference",
-                &Query::count_star()
-                    .group_by(Path::parse("caller"))
-                    .aggregate(Aggregate::Max(Path::parse("duration")))
+                &Query::select([Aggregate::Max(Path::parse("duration"))])
+                    .group_by("caller")
                     .top_k(5),
                 ExecMode::Compiled,
             )
@@ -242,13 +248,12 @@ fn sharded_end_to_end_with_reopen() {
         let count = store
             .query("calls", &Query::count_star(), ExecMode::Compiled)
             .unwrap();
-        assert_eq!(count[0].agg, Value::Int(records as i64));
+        assert_eq!(count[0].agg(), &Value::Int(records as i64));
         let groups = store
             .query(
                 "calls",
-                &Query::count_star()
-                    .group_by(Path::parse("caller"))
-                    .aggregate(Aggregate::Max(Path::parse("duration")))
+                &Query::select([Aggregate::Max(Path::parse("duration"))])
+                    .group_by("caller")
                     .top_k(5),
                 ExecMode::Compiled,
             )
@@ -263,17 +268,104 @@ fn sharded_end_to_end_with_reopen() {
     let count = store
         .query("calls", &Query::count_star(), ExecMode::Compiled)
         .unwrap();
-    assert_eq!(count[0].agg, Value::Int(records as i64));
+    assert_eq!(count[0].agg(), &Value::Int(records as i64));
     let groups = store
         .query(
             "calls",
-            &Query::count_star()
-                .group_by(Path::parse("caller"))
-                .aggregate(Aggregate::Max(Path::parse("duration")))
+            &Query::select([Aggregate::Max(Path::parse("duration"))])
+                .group_by("caller")
                 .top_k(5),
             ExecMode::Compiled,
         )
         .unwrap();
     assert_eq!(groups, expected_groups, "reopened shards must answer identically");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compositional_query_agrees_across_all_execution_paths() {
+    // The acceptance query of the API redesign: filter
+    // `And(Ge(score, 50), Exists(tags))`, group-by, and aggregates
+    // `[COUNT(*), MAX(score), AVG(score)]` must return identical rows via
+    // interpreted, compiled, sharded(4) and index-probe execution.
+    let docs: Vec<Value> = (0..600i64)
+        .map(|i| {
+            let mut d = doc!({
+                "id": i,
+                "grp": (format!("g{}", i % 6)),
+                "score": (i % 120),
+            });
+            if i % 3 != 0 {
+                d.set_field("tags", doc!([(format!("t{}", i % 4))]));
+            }
+            d
+        })
+        .collect();
+
+    let config = |name: &str| {
+        DatasetConfig::new(name, LayoutKind::Amax)
+            .with_memtable_budget(32 * 1024)
+            .with_page_size(8 * 1024)
+    };
+    let reference = LsmDataset::new(config("reference"));
+    let indexed = LsmDataset::new(config("indexed").with_secondary_index(Path::parse("score")));
+    let shards: Vec<LsmDataset> = (0..4)
+        .map(|i| LsmDataset::new(config(&format!("shard-{i}"))))
+        .collect();
+    for (i, d) in docs.iter().enumerate() {
+        reference.insert(d.clone()).unwrap();
+        indexed.insert(d.clone()).unwrap();
+        shards[i % 4].insert(d.clone()).unwrap();
+    }
+    reference.flush().unwrap();
+    indexed.flush().unwrap();
+    for s in &shards {
+        s.flush().unwrap();
+    }
+
+    let q = Query::select([
+        Aggregate::Count,
+        Aggregate::Max(Path::parse("score")),
+        Aggregate::Avg(Path::parse("score")),
+    ])
+    .with_filter(Expr::and([Expr::ge("score", 50), Expr::exists("tags")]))
+    .group_by("grp");
+
+    let interpreted = QueryEngine::new(ExecMode::Interpreted)
+        .execute(&reference, &q)
+        .unwrap();
+    let compiled = QueryEngine::new(ExecMode::Compiled)
+        .execute(&reference, &q)
+        .unwrap();
+    let shard_refs: Vec<&LsmDataset> = shards.iter().collect();
+    let sharded = QueryEngine::new(ExecMode::Compiled)
+        .execute(&shard_refs[..], &q)
+        .unwrap();
+    let via_index = QueryEngine::new(ExecMode::Compiled)
+        .execute(&indexed, &q)
+        .unwrap();
+
+    assert_eq!(interpreted, compiled);
+    assert_eq!(compiled, sharded);
+    assert_eq!(compiled, via_index);
+    // Groups g0 and g3 hold only multiples of 3, which never carry tags.
+    assert_eq!(compiled.len(), 4);
+    for row in &compiled {
+        assert_eq!(row.aggs.len(), 3);
+        assert!(row.aggs[1].as_int().unwrap() >= 50);
+    }
+
+    // explain() shows the chosen access path and the pushed-down projection.
+    let scan_plan = q
+        .explain(&lsm_columnar::query::PlanContext::for_dataset(&reference))
+        .unwrap();
+    assert!(scan_plan.contains("full scan"), "{scan_plan}");
+    assert!(scan_plan.contains("score, tags, grp"), "{scan_plan}");
+    let index_plan = q
+        .explain(&lsm_columnar::query::PlanContext::for_dataset(&indexed))
+        .unwrap();
+    assert!(
+        index_plan.contains("secondary-index range probe on `score` over [50, +inf)"),
+        "{index_plan}"
+    );
 }
