@@ -1,0 +1,26 @@
+use docmodel::{doc, Path};
+use lsm::{DatasetConfig, LsmDataset};
+use query::{ExecMode, Expr, PlannerOptions, Query, QueryEngine};
+use storage::LayoutKind;
+
+#[test]
+fn multi_valued_probe_does_not_double_count() {
+    let ds = LsmDataset::new(
+        DatasetConfig::new("multi", LayoutKind::Amax)
+            .with_page_size(8 * 1024)
+            .with_secondary_index(Path::parse("ts[*]")),
+    );
+    // Both indexed values of this one record fall inside the probe range.
+    ds.insert(doc!({"id": 1, "ts": [150, 160]})).unwrap();
+    ds.flush().unwrap();
+    let q = Query::count_star().with_filter(Expr::ge("ts[*]", 120));
+    let engine = QueryEngine::new(ExecMode::Compiled);
+    println!("{}", engine.explain(&ds, &q).unwrap());
+    let via_index = engine.execute(&ds, &q).unwrap();
+    let scan_engine = QueryEngine::with_options(
+        ExecMode::Compiled,
+        PlannerOptions { use_secondary_index: false, ..Default::default() },
+    );
+    let via_scan = scan_engine.execute(&ds, &q).unwrap();
+    assert_eq!(via_index, via_scan, "index probe disagrees with scan");
+}
