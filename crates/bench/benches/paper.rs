@@ -116,7 +116,8 @@ fn bench_secondary_index(c: &mut Criterion) {
         let (dataset, _) = build_dataset(kind, layout, records, true);
         for selectivity in [0.001, 1.0] {
             let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;
-            // The planner routes the range filter through the timestamp index.
+            // The cost-based planner routes the range filter through the
+            // timestamp index or a zone-map-pruned scan, per its estimate.
             let q = Query::count_star().with_filter(Expr::between(
                 "timestamp",
                 base_ts,
@@ -127,6 +128,48 @@ fn bench_secondary_index(c: &mut Criterion) {
                 BenchmarkId::new(format!("sel_{selectivity}pct"), layout.name()),
                 |b| b.iter(|| engine.execute(&dataset, &q).unwrap()),
             );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 15 crossover: the same range query forced through the index,
+/// forced to scan, and left to the cost-based Auto policy, at both
+/// selectivity extremes. Auto should track the better of the forced pair.
+fn bench_fig15_crossover(c: &mut Criterion) {
+    use query::AccessPathChoice;
+
+    let kind = DatasetKind::Tweet2;
+    let records = scaled_records(kind);
+    let base_ts = 1_450_000_000_000i64;
+    let mut group = c.benchmark_group("fig15_crossover_tweet2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let (dataset, _) = build_dataset(kind, layout, records, true);
+        dataset.compact_fully().unwrap();
+        for selectivity in [0.001, 10.0] {
+            let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;
+            let q = Query::count_star().with_filter(Expr::between(
+                "timestamp",
+                base_ts,
+                base_ts + span - 1,
+            ));
+            for (label, choice) in [
+                ("force_index", AccessPathChoice::ForceIndex),
+                ("force_scan", AccessPathChoice::ForceScan),
+                ("auto", AccessPathChoice::Auto),
+            ] {
+                let engine = QueryEngine::with_options(
+                    ExecMode::Compiled,
+                    PlannerOptions::with_access_path(choice),
+                );
+                group.bench_function(
+                    BenchmarkId::new(format!("sel_{selectivity}pct_{label}"), layout.name()),
+                    |b| b.iter(|| engine.execute(&dataset, &q).unwrap()),
+                );
+            }
         }
     }
     group.finish();
@@ -286,6 +329,7 @@ criterion_group!(
     bench_queries,
     bench_codegen,
     bench_secondary_index,
+    bench_fig15_crossover,
     bench_column_count,
     bench_query_api,
     bench_flush_write,

@@ -3,11 +3,15 @@
 //! ```text
 //! cargo run --release -p bench --bin experiments            # everything, default scale
 //! cargo run --release -p bench --bin experiments -- --scale 0.5 --only fig12,fig14
+//! cargo run --release -p bench --bin experiments -- --only fig15 --smoke
 //! ```
 //!
 //! Output is a set of aligned matrices, one per table/figure, with the same
 //! rows and columns the paper reports. See EXPERIMENTS.md for the comparison
-//! against the paper's numbers.
+//! against the paper's numbers. `--smoke` caps the scale at 0.05 so CI can
+//! exercise a sweep end-to-end in seconds. The `fig15` selection
+//! additionally runs the scan-vs-index crossover sweep (ForceIndex vs
+//! ForceScan vs the cost-based Auto) and writes it to `BENCH_fig15.json`.
 
 use bench::*;
 use datagen::DatasetKind;
@@ -16,6 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut only: Option<Vec<String>> = None;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,8 +41,15 @@ fn main() {
                 );
                 i += 2;
             }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
             other => panic!("unknown argument {other}"),
         }
+    }
+    if smoke {
+        scale = scale.min(0.05);
     }
     let wanted = |name: &str| only.as_ref().map(|o| o.iter().any(|x| x == name)).unwrap_or(true);
 
@@ -77,6 +89,16 @@ fn main() {
             "Figure 15: secondary-index range queries (tweet_2)",
             &fig15_secondary(scale),
         );
+        let crossover = fig15_crossover(scale);
+        print_matrix(
+            "Figure 15 crossover: index vs scan vs cost-based Auto (tweet_2)",
+            &crossover,
+        );
+        let out = std::path::Path::new("BENCH_fig15.json");
+        match write_measurements_json(out, "fig15_crossover", scale, &crossover) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
     }
     if wanted("fig16") {
         print_matrix(

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use datagen::{generate, generate_updates, summarize, DatasetKind, DatasetSpec};
 use docmodel::Path;
 use lsm::{DatasetConfig, LsmDataset};
-use query::{Aggregate, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
+use query::{AccessPathChoice, Aggregate, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
 use storage::LayoutKind;
 
 /// Run a query on one dataset in the given mode (default planner options).
@@ -543,10 +543,13 @@ pub fn fig15_secondary(scale: f64) -> Vec<Measurement> {
     let records = ((default_records(kind) as f64) * scale).max(200.0) as usize;
     let base_ts = 1_450_000_000_000i64;
     let selectivities = [0.001, 0.01, 0.1, 1.0, 10.0];
-    let probe = QueryEngine::new(ExecMode::Compiled);
+    let probe = QueryEngine::with_options(
+        ExecMode::Compiled,
+        PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+    );
     let scan = QueryEngine::with_options(
         ExecMode::Compiled,
-        PlannerOptions { use_secondary_index: false, ..Default::default() },
+        PlannerOptions::with_access_path(AccessPathChoice::ForceScan),
     );
     let mut out = Vec::new();
     for layout in LayoutKind::ALL {
@@ -572,6 +575,104 @@ pub fn fig15_secondary(scale: f64) -> Vec<Measurement> {
         out.push(Measurement::new("10% (scan)", layout.name(), ms, "ms"));
     }
     out
+}
+
+/// Figure 15 crossover sweep: the same range-`COUNT` query at several
+/// selectivities, executed three ways — forced through the secondary index,
+/// forced to a (zone-map-pruned) scan, and with the cost-based `Auto`
+/// policy — per layout. Every cell is also a differential check: the three
+/// policies must return identical counts. `Auto`'s choice per selectivity
+/// is recorded as `auto picks index` rows (1 = probe, 0 = scan), so the
+/// crossover is visible in the emitted `BENCH_fig15.json`.
+pub fn fig15_crossover(scale: f64) -> Vec<Measurement> {
+    let kind = DatasetKind::Tweet2;
+    let records = ((default_records(kind) as f64) * scale).max(200.0) as usize;
+    let base_ts = 1_450_000_000_000i64;
+    let selectivities = [0.001, 0.01, 0.1, 1.0, 10.0];
+    let engines = [
+        ("index", AccessPathChoice::ForceIndex),
+        ("scan", AccessPathChoice::ForceScan),
+        ("auto", AccessPathChoice::Auto),
+    ];
+    let mut out = Vec::new();
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let (dataset, _) = build_dataset(kind, layout, records, true);
+        // Settle the tree so per-component statistics describe one merged
+        // component (the steady state the paper measures).
+        dataset.compact_fully().expect("compact");
+        for sel in selectivities {
+            let span = ((records as f64) * sel / 100.0).max(1.0) as i64;
+            let q = Query::count_star().with_filter(Expr::between(
+                "timestamp",
+                base_ts,
+                base_ts + span - 1,
+            ));
+            let mut reference: Option<Vec<query::QueryRow>> = None;
+            for (label, choice) in engines {
+                let engine = QueryEngine::with_options(
+                    ExecMode::Compiled,
+                    PlannerOptions::with_access_path(choice),
+                );
+                let (rows, ms) = time(|| engine.execute(&dataset, &q).unwrap());
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(expected) => {
+                        assert_eq!(expected, &rows, "{label} diverged at {sel}% ({layout:?})")
+                    }
+                }
+                out.push(Measurement::new(
+                    format!("{sel}% ({label})"),
+                    layout.name(),
+                    ms,
+                    "ms",
+                ));
+            }
+            let auto = QueryEngine::new(ExecMode::Compiled);
+            let picked_index = auto
+                .explain(&dataset, &q)
+                .unwrap()
+                .contains("secondary-index range probe");
+            out.push(Measurement::new(
+                format!("{sel}% (auto picks index)"),
+                layout.name(),
+                if picked_index { 1.0 } else { 0.0 },
+                "bool",
+            ));
+        }
+    }
+    out
+}
+
+/// Serialize measurements as a small JSON document (hand-rolled: the
+/// container has no serde) so perf sweeps leave a machine-readable trail.
+pub fn write_measurements_json(
+    path: &std::path::Path,
+    figure: &str,
+    scale: f64,
+    rows: &[Measurement],
+) -> std::io::Result<()> {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"figure\": \"{}\", \"scale\": {scale}, \"measurements\": [",
+        escape(figure)
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"row\": \"{}\", \"column\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}",
+            escape(&m.row),
+            escape(&m.column),
+            if m.value.is_finite() { m.value } else { -1.0 },
+            escape(m.unit)
+        ));
+    }
+    out.push_str("\n]}\n");
+    std::fs::write(path, out)
 }
 
 // ---------------------------------------------------------------------------
@@ -766,6 +867,59 @@ mod tests {
         assert_eq!(cell.len(), 3 * LayoutKind::ALL.len());
         assert!(!fig15_secondary(0.05).is_empty());
         assert!(!ablation_compression(0.05).is_empty());
+    }
+
+    #[test]
+    fn fig15_crossover_sweeps_and_agrees_across_policies() {
+        // The sweep itself asserts index == scan == auto per cell; here we
+        // additionally check the crossover shape is recorded: Auto must pick
+        // the probe somewhere and the scan somewhere (tweet_2's timestamp is
+        // dense and unique, so 0.001% is a handful of records and 10% is
+        // hundreds), and at the extremes it must side with the winner.
+        let rows = fig15_crossover(0.25);
+        // 2 layouts x 5 selectivities x (3 timings + 1 choice).
+        assert_eq!(rows.len(), 2 * 5 * 4);
+        let choices: Vec<&Measurement> = rows
+            .iter()
+            .filter(|m| m.row.contains("auto picks index"))
+            .collect();
+        assert_eq!(choices.len(), 10);
+        for layout in ["VB", "AMAX"] {
+            let lowest = choices
+                .iter()
+                .find(|m| m.row.starts_with("0.001%") && m.column == layout)
+                .unwrap();
+            let highest = choices
+                .iter()
+                .find(|m| m.row.starts_with("10%") && m.column == layout)
+                .unwrap();
+            // At 10% a scan always wins (matches outnumber leaves).
+            assert_eq!(highest.value, 0.0, "{layout}: auto must scan at 10%");
+            // At 0.001% the probe wins wherever lookups are cheaper than a
+            // leaf-wide scan; VB components have many single-page leaves, so
+            // the crossover must be visible there.
+            if layout == "VB" {
+                assert_eq!(lowest.value, 1.0, "{layout}: auto must probe at 0.001%");
+            }
+        }
+    }
+
+    #[test]
+    fn measurements_json_is_well_formed_enough() {
+        let rows = vec![
+            Measurement::new("0.1% (auto)", "VB", 1.25, "ms"),
+            Measurement::new("quote\"row", "AMAX", 0.0, "bool"),
+        ];
+        let path = std::env::temp_dir().join(format!(
+            "bench-json-test-{}.json",
+            std::process::id()
+        ));
+        write_measurements_json(&path, "fig15", 0.25, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"figure\": \"fig15\""), "{text}");
+        assert!(text.contains("\"value\": 1.25"), "{text}");
+        assert!(text.contains("quote\\\"row"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -365,18 +365,41 @@ impl ShardedDataset {
         self.shards.iter().map(LsmDataset::snapshot).collect()
     }
 
-    /// Run a query: the planner picks the access path (scan, key-only scan,
-    /// or secondary-index range probe), fans it out over the shards (one
-    /// thread each) and merges the partial aggregates exactly.
+    /// Run a query: the planner makes its cost-based access-path choice
+    /// (scan, key-only scan, or secondary-index range probe, using the
+    /// per-component statistics), fans it out over the shards (one thread
+    /// each) and merges the partial aggregates exactly.
     pub fn query(&self, query: &Query, mode: ExecMode) -> Result<Vec<QueryRow>> {
-        let refs: Vec<&LsmDataset> = self.shards.iter().collect();
-        Ok(QueryEngine::new(mode).execute(&refs[..], query)?)
+        self.query_with_options(query, mode, query::PlannerOptions::default())
     }
 
-    /// Render the physical plan a query would execute with (`EXPLAIN`).
-    pub fn explain(&self, query: &Query) -> Result<String> {
+    /// Like [`ShardedDataset::query`], with explicit planner options (e.g.
+    /// [`query::AccessPathChoice::ForceScan`] to bypass the cost model, or
+    /// zone-map pruning disabled for differential testing).
+    pub fn query_with_options(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+        options: query::PlannerOptions,
+    ) -> Result<Vec<QueryRow>> {
         let refs: Vec<&LsmDataset> = self.shards.iter().collect();
-        Ok(QueryEngine::new(ExecMode::Compiled).explain(&refs[..], query)?)
+        Ok(QueryEngine::with_options(mode, options).execute(&refs[..], query)?)
+    }
+
+    /// Render the physical plan a query would execute with (`EXPLAIN`):
+    /// access path, cost estimate, pushed-down projection.
+    pub fn explain(&self, query: &Query) -> Result<String> {
+        self.explain_with_options(query, query::PlannerOptions::default())
+    }
+
+    /// Like [`ShardedDataset::explain`], with explicit planner options.
+    pub fn explain_with_options(
+        &self,
+        query: &Query,
+        options: query::PlannerOptions,
+    ) -> Result<String> {
+        let refs: Vec<&LsmDataset> = self.shards.iter().collect();
+        Ok(QueryEngine::with_options(ExecMode::Compiled, options).explain(&refs[..], query)?)
     }
 
     /// Flush every shard (drains background workers).
@@ -932,14 +955,37 @@ mod tests {
         .with_filter(Expr::between("ts", 1100, 1299))
         .group_by("grp");
 
-        let plan = store.explain("sharded", &q).unwrap();
+        // Forced through the index, the plan probes and fans out; the
+        // default (cost-based) plan shows its estimate either way.
+        let force_index =
+            query::PlannerOptions::with_access_path(query::AccessPathChoice::ForceIndex);
+        let plan = store
+            .dataset("sharded")
+            .unwrap()
+            .explain_with_options(&q, force_index)
+            .unwrap();
         assert!(plan.contains("secondary-index range probe on `ts`"), "{plan}");
         assert!(plan.contains("shards     : 4"), "{plan}");
+        let plan = store.explain("sharded", &q).unwrap();
+        assert!(plan.contains("selectivity"), "{plan}");
 
         for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
-            let sharded = store.query("sharded", &q, mode).unwrap();
             let single = store.query("single", &q, mode).unwrap();
-            assert_eq!(sharded, single, "{mode:?}");
+            // Every access-path policy agrees, sharded or not.
+            for choice in [
+                query::AccessPathChoice::Auto,
+                query::AccessPathChoice::ForceIndex,
+                query::AccessPathChoice::ForceScan,
+            ] {
+                let options = query::PlannerOptions::with_access_path(choice);
+                let sharded = store
+                    .dataset("sharded")
+                    .unwrap()
+                    .query_with_options(&q, mode, options)
+                    .unwrap();
+                assert_eq!(sharded, single, "{mode:?} {choice:?}");
+            }
+            let sharded = store.query("sharded", &q, mode).unwrap();
             assert_eq!(sharded.iter().map(|r| r.aggs[0].as_int().unwrap()).sum::<i64>(), 200);
         }
     }

@@ -490,6 +490,13 @@ impl LsmDataset {
         self.core.tree.read().components.len()
     }
 
+    /// Shared handles to the current on-disk components, oldest first — the
+    /// planner's window onto per-component statistics without the cost of a
+    /// full snapshot (no memtable clone, no write-lock acquisition).
+    pub fn components(&self) -> Vec<Arc<Component>> {
+        self.core.tree.read().components.clone()
+    }
+
     /// Number of sealed memtables currently queued for flushing.
     pub fn sealed_count(&self) -> usize {
         self.core.tree.read().sealed.len()

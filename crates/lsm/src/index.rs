@@ -104,9 +104,8 @@ impl SecondaryIndex {
         }
     }
 
-    /// All primary keys whose indexed value falls in `[lo, hi]`, in indexed
-    /// value order. The caller sorts them by primary key before performing
-    /// batched point lookups (§4.6).
+    /// All primary keys with *some* indexed value in `[lo, hi]`, each key
+    /// once, in primary-key order, ready for batched point lookups (§4.6).
     pub fn range(&self, lo: &Value, hi: &Value) -> Vec<Value> {
         self.range_bounds(Bound::Included(lo), Bound::Included(hi))
     }
@@ -115,6 +114,10 @@ impl SecondaryIndex {
     /// exclusive) endpoints — what the query planner's index-probe path
     /// derives from a filter expression (`score > 50`, `score < 10`, ...).
     /// An empty range (lower bound above the upper bound) yields no keys.
+    ///
+    /// Keys are **deduplicated**: a multi-valued indexed path (`ts[*]`) maps
+    /// several values to the same primary key, and a record with two values
+    /// inside the probe range must still be returned (and counted) once.
     pub fn range_bounds(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<Value> {
         // BTreeMap::range panics on inverted ranges; an empty probe is the
         // correct answer for a filter that can never match.
@@ -138,11 +141,11 @@ impl SecondaryIndex {
             Bound::Included(v) => Bound::Included(OrderedValue(v.clone())),
             Bound::Excluded(v) => Bound::Excluded(OrderedValue(v.clone())),
         };
-        let mut out = Vec::new();
+        let mut out: BTreeSet<&OrderedValue> = BTreeSet::new();
         for (_, keys) in self.entries.range((as_key(lo), as_key(hi))) {
-            out.extend(keys.iter().map(|k| k.0.clone()));
+            out.extend(keys.iter());
         }
-        out
+        out.into_iter().map(|k| k.0.clone()).collect()
     }
 
     /// Number of (value, key) entries.

@@ -87,6 +87,28 @@ impl Snapshot {
     /// Scan the snapshot, reconciling duplicates and dropping anti-matter.
     /// Only the projected paths are assembled from columnar components.
     pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
+        self.scan_pruned(projection, &[])
+    }
+
+    /// Like [`Snapshot::scan`], but skipping the components whose position
+    /// (oldest-first, matching [`Snapshot::components`]) is flagged in
+    /// `skip`. Missing trailing flags mean "do not skip".
+    ///
+    /// This is the zone-map pruning entry point: the query planner flags a
+    /// component when its column statistics prove **no record in it can
+    /// match the filter**. Skipping is nevertheless only sound when it
+    /// cannot resurrect an older, shadowed version of one of the skipped
+    /// component's keys (or drop one of its anti-matter entries): the caller
+    /// must flag a component only if, additionally, its key range is
+    /// disjoint from every *older* component's key range — see
+    /// `query::physical::prune_flags`, the single implementation of that
+    /// rule. Memtables are newer than every component and are always
+    /// scanned, so they never constrain pruning.
+    pub fn scan_pruned(
+        &self,
+        projection: Option<&[Path]>,
+        skip: &[bool],
+    ) -> Result<Vec<Value>> {
         let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
         for (key, doc) in &self.active {
             merged
@@ -100,7 +122,10 @@ impl Snapshot {
                     .or_insert_with(|| doc.clone());
             }
         }
-        for component in self.tree.components.iter().rev() {
+        for (i, component) in self.tree.components.iter().enumerate().rev() {
+            if skip.get(i).copied().unwrap_or(false) {
+                continue;
+            }
             for entry in component.scan(projection)? {
                 let (key, doc) = entry?;
                 merged.entry(OrderedValue(key)).or_insert(doc);

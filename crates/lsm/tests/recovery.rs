@@ -14,7 +14,7 @@ use std::sync::Mutex;
 
 use docmodel::{doc, Value};
 use lsm::{CrashPoint, DatasetConfig, LsmDataset};
-use storage::LayoutKind;
+use storage::{ComponentReader, LayoutKind};
 
 fn temp_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir()
@@ -314,6 +314,137 @@ fn secondary_index_is_rebuilt_on_recovery() {
         .secondary_range(&Value::Int(5_000_000), &Value::Int(5_000_004), None)
         .unwrap();
     assert_eq!(moved.len(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Per-component statistics across restarts (the planner's zone maps).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn component_stats_survive_restart_and_planner_choices_are_identical() {
+    use query::{AccessPathChoice, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
+
+    let dir = temp_dir("stats-roundtrip");
+    let config = || {
+        tiny_config(LayoutKind::Amax)
+            .with_secondary_index(docmodel::Path::parse("timestamp"))
+    };
+    // A range that hits a strict subset of the workload's timestamps, so
+    // both pruning and the estimate have something to decide.
+    let filter = Expr::between("timestamp", 1_000_030i64, 1_000_059i64);
+    let query = Query::count_star().with_filter(filter.clone());
+    let engine = QueryEngine::new(ExecMode::Compiled);
+
+    let (stats_before, pruned_before, explain_before, rows_before);
+    {
+        let mut ds = LsmDataset::open(&dir, config()).unwrap();
+        apply_workload(&mut ds);
+        ds.flush().unwrap();
+        assert!(ds.stats().flushes > 1, "the tiny budget must flush repeatedly");
+        assert!(ds.component_count() >= 1);
+
+        let snapshot = ds.snapshot();
+        stats_before = snapshot
+            .components()
+            .iter()
+            .map(|c| {
+                let stats = c.stats().expect("freshly written components carry stats");
+                (c.meta().id, (**stats).clone())
+            })
+            .collect::<Vec<_>>();
+        // Every component's stats must actually see the indexed column.
+        for (id, stats) in &stats_before {
+            assert!(stats.column("timestamp").is_some(), "component {id}");
+            assert!(stats.live_records > 0, "component {id}");
+        }
+        pruned_before = query::physical::prunable_component_ids(&snapshot, &filter);
+        explain_before = engine.explain(&ds, &query).unwrap();
+        rows_before = engine.execute(&ds, &query).unwrap();
+    }
+
+    // Reopen: statistics come back from the manifest, and the planner makes
+    // the exact same decisions — same access path, same estimates, same
+    // prune set, same answer.
+    let ds = LsmDataset::reopen(&dir).unwrap();
+    let snapshot = ds.snapshot();
+    let stats_after: Vec<_> = snapshot
+        .components()
+        .iter()
+        .map(|c| {
+            let stats = c.stats().expect("stats must survive the manifest round-trip");
+            (c.meta().id, (**stats).clone())
+        })
+        .collect();
+    assert_eq!(stats_before, stats_after, "per-component stats changed across restart");
+    assert_eq!(
+        query::physical::prunable_component_ids(&snapshot, &filter),
+        pruned_before,
+        "the zone maps must prune the same components after the restart"
+    );
+    assert_eq!(
+        engine.explain(&ds, &query).unwrap(),
+        explain_before,
+        "the planner must make the same access-path choice (and estimates)"
+    );
+    assert_eq!(engine.execute(&ds, &query).unwrap(), rows_before);
+    // And every forced path still agrees on the recovered dataset.
+    for choice in [AccessPathChoice::ForceIndex, AccessPathChoice::ForceScan] {
+        let forced = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions::with_access_path(choice),
+        );
+        assert_eq!(forced.execute(&ds, &query).unwrap(), rows_before, "{choice:?}");
+    }
+}
+
+#[test]
+fn aborted_flush_between_component_write_and_manifest_commit_leaves_no_stale_stats() {
+    use query::{ExecMode, Expr, Query, QueryEngine};
+
+    let dir = temp_dir("stats-stale");
+    {
+        let mut ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Amax)).unwrap();
+        apply_workload(&mut ds);
+        // The crash fires after the component (and its stats) hit the page
+        // file but before the manifest commit that would publish them.
+        ds.set_crash_point(CrashPoint::AfterFlushComponentWrite);
+        let err = ds.flush().expect_err("injected crash must surface");
+        assert!(err.message.contains("injected crash"), "{err}");
+    }
+    let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Amax)).unwrap();
+    // The aborted flush is invisible: no component, hence no statistics for
+    // the planner to consume — stale zone maps can never skip live data.
+    assert_eq!(ds.component_count(), 0);
+    let snapshot = ds.snapshot();
+    assert!(snapshot.components().is_empty());
+    let filter = Expr::between("timestamp", 1_000_000i64, 1_000_010i64);
+    assert!(
+        query::physical::prunable_component_ids(&snapshot, &filter).is_empty(),
+        "nothing to prune on a component-less dataset"
+    );
+    // The WAL-recovered records answer the query exactly.
+    let engine = QueryEngine::new(ExecMode::Compiled);
+    let rows = engine
+        .execute(&ds, &Query::count_star().with_filter(filter.clone()))
+        .unwrap();
+    let expected = (0..N).filter(|i| (0..=10).contains(i) && ![3, 7].contains(i)).count() as i64;
+    assert_eq!(rows[0].agg(), &docmodel::Value::Int(expected));
+
+    // A real flush then publishes fresh statistics and changes nothing.
+    ds.flush().unwrap();
+    assert!(ds.component_count() >= 1);
+    let snapshot = ds.snapshot();
+    for c in snapshot.components() {
+        assert!(c.stats().is_some(), "a committed flush publishes stats");
+    }
+    assert_eq!(
+        engine
+            .execute(&ds, &Query::count_star().with_filter(filter))
+            .unwrap()[0]
+            .agg(),
+        &docmodel::Value::Int(expected)
+    );
+    assert_workload_recovered(&ds);
 }
 
 #[test]

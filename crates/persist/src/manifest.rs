@@ -16,6 +16,16 @@
 //! the rename leaves the new manifest fully in place. The version counter
 //! increases with every commit, and the body is CRC-guarded so a damaged
 //! manifest is rejected rather than half-loaded.
+//!
+//! ## Format versioning
+//!
+//! The magic bytes carry the format generation. `LSMMAN02` (current) appends
+//! the per-component column statistics ([`storage::ComponentStats`]) that
+//! the query planner's zone maps and cost model consume; `LSMMAN01`
+//! manifests (written before statistics existed) are still read — their
+//! components simply reopen with no statistics, which disables zone-map
+//! pruning for them and makes the planner fall back to conservative
+//! estimates. Commits always write the current format.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -26,12 +36,15 @@ use encoding::crc::crc32;
 use encoding::{plain, varint};
 use schema::{serial, Schema};
 use storage::component::{ComponentDescriptor, LeafDescriptor};
+use storage::stats::{ColumnStats, ComponentStats};
 use storage::{LayoutKind, PageId, RowFormat};
 
 use crate::{PersistError, Result};
 
-/// Magic bytes opening every manifest file.
-const MAGIC: &[u8; 8] = b"LSMMAN01";
+/// Magic bytes opening every current-format manifest file.
+const MAGIC: &[u8; 8] = b"LSMMAN02";
+/// Previous format: no per-component statistics. Still readable.
+const MAGIC_V1: &[u8; 8] = b"LSMMAN01";
 
 /// The durable subset of the dataset configuration. Enough to reconstruct a
 /// working `DatasetConfig` on [`reopen`](crate::DurableStore), so a dataset
@@ -151,11 +164,58 @@ fn encode_body(data: &ManifestData) -> Vec<u8> {
             write_value(&mut out, &leaf.max_key);
             varint::write_u64(&mut out, leaf.record_count as u64);
         }
+        write_stats(&mut out, comp.stats.as_ref());
     }
     out
 }
 
-fn decode_body(buf: &[u8]) -> Result<ManifestData> {
+/// Serialize one component's statistics (format v2).
+fn write_stats(out: &mut Vec<u8>, stats: Option<&ComponentStats>) {
+    let Some(stats) = stats else {
+        write_bool(out, false);
+        return;
+    };
+    write_bool(out, true);
+    varint::write_u64(out, stats.live_records);
+    varint::write_u64(out, stats.columns.len() as u64);
+    for (path, col) in &stats.columns {
+        plain::write_str(out, path);
+        varint::write_u64(out, col.rows);
+        varint::write_u64(out, col.values);
+        match (&col.min, &col.max) {
+            (Some(min), Some(max)) => {
+                write_bool(out, true);
+                write_value(out, min);
+                write_value(out, max);
+            }
+            _ => write_bool(out, false),
+        }
+    }
+}
+
+/// Deserialize one component's statistics (format v2).
+fn read_stats(buf: &[u8], pos: &mut usize) -> Result<Option<ComponentStats>> {
+    if !read_bool(buf, pos)? {
+        return Ok(None);
+    }
+    let live_records = varint::read_u64(buf, pos)?;
+    let column_count = varint::read_u64(buf, pos)? as usize;
+    let mut columns = std::collections::BTreeMap::new();
+    for _ in 0..column_count {
+        let path = plain::read_str(buf, pos)?.to_string();
+        let rows = varint::read_u64(buf, pos)?;
+        let values = varint::read_u64(buf, pos)?;
+        let (min, max) = if read_bool(buf, pos)? {
+            (Some(read_value(buf, pos)?), Some(read_value(buf, pos)?))
+        } else {
+            (None, None)
+        };
+        columns.insert(path, ColumnStats { rows, values, min, max });
+    }
+    Ok(Some(ComponentStats { live_records, columns }))
+}
+
+fn decode_body(buf: &[u8], with_stats: bool) -> Result<ManifestData> {
     let pos = &mut 0usize;
     let version = varint::read_u64(buf, pos)?;
 
@@ -212,6 +272,7 @@ fn decode_body(buf: &[u8]) -> Result<ManifestData> {
                 record_count,
             });
         }
+        let stats = if with_stats { read_stats(buf, pos)? } else { None };
         components.push(ComponentDescriptor {
             id,
             layout,
@@ -219,6 +280,7 @@ fn decode_body(buf: &[u8]) -> Result<ManifestData> {
             stored_bytes,
             pages,
             leaves,
+            stats,
         });
     }
 
@@ -303,9 +365,11 @@ impl ManifestStore {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(PersistError::new("manifest too short"));
         }
-        if &bytes[..MAGIC.len()] != MAGIC {
-            return Err(PersistError::new("manifest magic mismatch"));
-        }
+        let with_stats = match &bytes[..MAGIC.len()] {
+            m if m == MAGIC => true,
+            m if m == MAGIC_V1 => false,
+            _ => return Err(PersistError::new("manifest magic mismatch")),
+        };
         let crc_end = MAGIC.len() + 4;
         let expected_crc = u32::from_le_bytes(bytes[MAGIC.len()..crc_end].try_into().unwrap());
         let body = &bytes[crc_end..];
@@ -314,7 +378,7 @@ impl ManifestStore {
                 "manifest failed its CRC check — corrupt manifest",
             ));
         }
-        decode_body(body).map(Some)
+        decode_body(body, with_stats).map(Some)
     }
 
     /// The version of the most recently loaded or committed manifest.
@@ -406,8 +470,27 @@ mod tests {
                     max_key: Value::Int(122),
                     record_count: 123,
                 }],
+                stats: Some(sample_stats()),
             }],
         }
+    }
+
+    fn sample_stats() -> ComponentStats {
+        let mut columns = std::collections::BTreeMap::new();
+        columns.insert(
+            "timestamp".to_string(),
+            ColumnStats {
+                rows: 123,
+                values: 123,
+                min: Some(Value::Int(1_000)),
+                max: Some(Value::Int(1_122)),
+            },
+        );
+        columns.insert(
+            "tags[*]".to_string(),
+            ColumnStats { rows: 17, values: 40, min: None, max: None },
+        );
+        ComponentStats { live_records: 123, columns }
     }
 
     #[test]
@@ -428,6 +511,57 @@ mod tests {
         assert_eq!(loaded.next_component_id, 7);
         assert_eq!(loaded.schema, data.schema);
         assert_eq!(loaded.components, data.components);
+    }
+
+    #[test]
+    fn stats_roundtrip_and_absent_stats_stay_absent() {
+        let dir = temp_dir("stats-roundtrip");
+        let (mut store, _) = ManifestStore::open(&dir).unwrap();
+        let mut data = sample_data();
+        data.components.push(ComponentDescriptor {
+            id: 4,
+            layout: LayoutKind::Vb,
+            record_count: 10,
+            stored_bytes: 99,
+            pages: vec![7],
+            leaves: Vec::new(),
+            stats: None, // e.g. carried over from a pre-stats manifest
+        });
+        store.commit(data.clone()).unwrap();
+        let (_, loaded) = ManifestStore::open(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(loaded.components[0].stats, Some(sample_stats()));
+        assert_eq!(loaded.components[1].stats, None);
+    }
+
+    #[test]
+    fn v1_manifests_without_stats_are_still_readable() {
+        // Re-encode a manifest in the old format: v1 magic, no stats blocks.
+        let dir = temp_dir("v1-compat");
+        let mut data = sample_data();
+        data.version = 1;
+        // encode_body minus the stats: rewrite with stats = None, then drop
+        // the trailing `false` has-stats flag each component appends in v2
+        // (the sample data has exactly one component, encoded last).
+        let mut stripped = data.clone();
+        for c in &mut stripped.components {
+            c.stats = None;
+        }
+        let mut body = super::encode_body(&stripped);
+        assert_eq!(body.last(), Some(&0u8));
+        body.pop();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"LSMMAN01");
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        std::fs::write(dir.join(ManifestStore::FILE_NAME), &bytes).unwrap();
+
+        let (store, loaded) = ManifestStore::open(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(store.version(), 1);
+        assert_eq!(loaded.components.len(), 1);
+        assert_eq!(loaded.components[0].stats, None, "v1 has no stats");
+        assert_eq!(loaded.config, data.config);
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //!   aggregates** per query ([`Aggregate`], including `SUM`/`AVG` with
 //!   mergeable `(sum, count)` partials);
 //! * [`physical`] — the planner: validates the logical plan, derives the
-//!   pushed-down projection from the expression tree, and picks the access
-//!   path — full scan, key-only scan for `COUNT(*)`, or a secondary-index
-//!   range probe when the filter implies a range on the indexed path.
-//!   [`Query::explain`] renders the chosen [`physical::PhysicalPlan`];
+//!   pushed-down projection from the expression tree, and makes a
+//!   **cost-based** access-path choice — full scan, key-only scan for
+//!   `COUNT(*)`, or a secondary-index range probe — by estimating matching
+//!   records from each component's column statistics (the fig. 15
+//!   scan-vs-probe crossover; [`AccessPathChoice`] forces either path).
+//!   Scans additionally **zone-map-prune**: a component whose statistics
+//!   prove no record can match the filter is skipped without reading a
+//!   single page. [`Query::explain`] renders the chosen
+//!   [`physical::PhysicalPlan`] including the estimate;
 //! * [`QueryEngine`] — the single execution entry point:
 //!   [`QueryEngine::execute`] accepts any [`QueryTarget`] (a snapshot, a
 //!   dataset, per-shard snapshots, or sharded datasets) and routes the same
@@ -85,7 +90,10 @@ pub mod physical;
 pub mod plan;
 
 pub use expr::{CmpOp, Expr};
-pub use physical::{AccessPath, PhysicalPlan, PlanContext, PlannerOptions};
+pub use physical::{
+    AccessEstimate, AccessPath, AccessPathChoice, ComponentPlanInfo, PhysicalPlan, PlanContext,
+    PlannerOptions,
+};
 pub use plan::{AggSpec, Aggregate, ExecMode, Query, QueryRow};
 
 use std::fmt;
@@ -185,7 +193,8 @@ impl<'a> From<&'a [&'a LsmDataset]> for QueryTarget<'a> {
 impl QueryTarget<'_> {
     fn plan_context(&self) -> PlanContext {
         match self {
-            QueryTarget::Snapshot(_) | QueryTarget::Snapshots(_) => PlanContext::scan_only(),
+            QueryTarget::Snapshot(s) => PlanContext::for_snapshot(s),
+            QueryTarget::Snapshots(s) => PlanContext::for_snapshots(s),
             QueryTarget::Dataset(d) => PlanContext::for_dataset(d),
             QueryTarget::Shards(shards) => PlanContext::for_shards(shards),
         }
@@ -322,7 +331,22 @@ impl QueryEngine {
         match &plan.access {
             AccessPath::KeyOnlyScan => Ok(key_count_partials(snapshot.count()?, plan)),
             AccessPath::FullScan => {
-                let docs = snapshot.scan(plan.projection.as_deref())?;
+                // Zone-map pruning: skip components whose statistics prove
+                // no record can match. The flags come from the execution
+                // snapshot's own components, so planning-time staleness can
+                // never skip the wrong component.
+                let docs = match &plan.filter {
+                    Some(filter) if plan.zone_map_pruning => {
+                        let infos: Vec<ComponentPlanInfo> = snapshot
+                            .components()
+                            .iter()
+                            .map(|c| ComponentPlanInfo::of(c))
+                            .collect();
+                        let skip = physical::prune_flags(&infos, filter);
+                        snapshot.scan_pruned(plan.projection.as_deref(), &skip)?
+                    }
+                    _ => snapshot.scan(plan.projection.as_deref())?,
+                };
                 Ok(self.aggregate(docs, plan))
             }
             AccessPath::IndexRange { .. } => Err(Error::invalid_plan(
@@ -560,21 +584,32 @@ mod tests {
         }
         ds.flush().unwrap();
         let q = Query::count_star().with_filter(Expr::between("timestamp", 1100, 1199));
-        let engine = QueryEngine::new(ExecMode::Compiled);
+        let engine = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+        );
         let plan_text = engine.explain(&ds, &q).unwrap();
         assert!(
             plan_text.contains("secondary-index range probe on `timestamp`"),
             "{plan_text}"
         );
+        assert!(plan_text.contains("selectivity"), "{plan_text}");
         let via_index = engine.execute(&ds, &q).unwrap();
         assert_eq!(via_index[0].agg(), &Value::Int(100));
-        // The same query with routing disabled scans and agrees.
+        // The same query forced to scan agrees.
         let scan_engine = QueryEngine::with_options(
             ExecMode::Compiled,
-            PlannerOptions { use_secondary_index: false, ..Default::default() },
+            PlannerOptions::with_access_path(AccessPathChoice::ForceScan),
         );
         assert!(scan_engine.explain(&ds, &q).unwrap().contains("full scan"));
         assert_eq!(scan_engine.execute(&ds, &q).unwrap(), via_index);
+        // The cost-based default agrees whichever path it picks, and its
+        // explain names the path and the estimate.
+        let auto = QueryEngine::new(ExecMode::Compiled);
+        assert_eq!(auto.execute(&ds, &q).unwrap(), via_index);
+        let text = auto.explain(&ds, &q).unwrap();
+        assert!(text.contains("estimate"), "{text}");
+        assert!(text.contains("[auto]"), "{text}");
         // A snapshot target cannot probe: it plans a scan and still agrees.
         let snapshot = ds.snapshot();
         assert_eq!(engine.execute(&snapshot, &q).unwrap(), via_index);
@@ -597,12 +632,15 @@ mod tests {
         ds.insert(doc!({"id": 3, "ts": [10, 20]})).unwrap();
         ds.flush().unwrap();
         let q = Query::count_star().with_filter(Expr::between("ts[*]", 120, 180));
-        let engine = QueryEngine::new(ExecMode::Compiled);
+        let engine = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+        );
         assert!(engine.explain(&ds, &q).unwrap().contains("range probe on `ts[*]`"));
         let via_index = engine.execute(&ds, &q).unwrap();
         let scan_engine = QueryEngine::with_options(
             ExecMode::Compiled,
-            PlannerOptions { use_secondary_index: false, ..Default::default() },
+            PlannerOptions::with_access_path(AccessPathChoice::ForceScan),
         );
         let via_scan = scan_engine.execute(&ds, &q).unwrap();
         assert_eq!(via_index, via_scan);

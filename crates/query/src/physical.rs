@@ -1,6 +1,6 @@
 //! The physical plan: what the planner lowers a logical [`Query`] to.
 //!
-//! Planning does three things, mirroring what AsterixDB's compiler does for
+//! Planning does four things, mirroring what AsterixDB's compiler does for
 //! the paper's SQL++ queries:
 //!
 //! * **validation** — an empty select list, an element-scoped input without
@@ -10,12 +10,42 @@
 //!   touches is derived from the filter expression tree and the
 //!   group/aggregate inputs, so columnar components assemble only those
 //!   columns (§5 of the paper);
-//! * **access-path selection** — `COUNT(*)`-only queries read primary keys
-//!   alone ([`AccessPath::KeyOnlyScan`], Page 0 for AMAX); when the dataset
-//!   has a secondary index and the filter *implies* a range on the indexed
-//!   path ([`crate::Expr::implied_bounds`]), the plan probes the index and
-//!   re-applies the filter as a residual ([`AccessPath::IndexRange`]);
-//!   otherwise it scans ([`AccessPath::FullScan`]).
+//! * **cost-based access-path selection** — `COUNT(*)`-only queries read
+//!   primary keys alone ([`AccessPath::KeyOnlyScan`], Page 0 for AMAX); when
+//!   the target has a secondary index and the filter *implies* a range on
+//!   the indexed path ([`crate::Expr::implied_bounds`]), the planner
+//!   *estimates* whether probing the index beats scanning (see the cost
+//!   model below) and picks accordingly; [`AccessPathChoice::ForceIndex`] /
+//!   [`AccessPathChoice::ForceScan`] override the estimate;
+//! * **zone-map pruning** — components whose per-column statistics
+//!   ([`storage::stats::ComponentStats`], collected at flush/merge time and
+//!   persisted in the manifest) prove that *no record in the component can
+//!   match the filter* are skipped entirely: the scan never reads one of
+//!   their pages. See [`prune_flags`] for the statistics test and the
+//!   reconciliation-safety rule.
+//!
+//! ## The cost model
+//!
+//! Both alternatives are priced in **pages touched**, the currency of the
+//! paper's evaluation (its speedups are I/O reductions):
+//!
+//! * a scan costs the pages of every component the zone maps could not
+//!   prune (projection narrows what is decoded, but relative ranking is
+//!   unaffected);
+//! * an index probe costs `estimated matching records × pages per lookup`,
+//!   where a lookup may touch one leaf in every component (`Σ ceil(pages /
+//!   leaves)`). Matching records are estimated per component by
+//!   interpolating the probe range against the component's `[min, max]` and
+//!   row counts — uniform within bounds, exact zero when disjoint,
+//!   conservative (every row) when a column has no usable bounds.
+//!
+//! The crossover this reproduces is Figure 15: probes win at low
+//! selectivity, scans win past roughly "one match per leaf". In-memory
+//! records (active + sealed memtables) cost no pages on either path and are
+//! excluded; components without statistics (recovered from a pre-stats
+//! manifest) price as "every record matches", which safely biases toward
+//! the scan. The chosen path and the estimate behind it are rendered by
+//! [`PhysicalPlan::describe`] (`EXPLAIN`).
 //!
 //! The same physical plan is executed by both engines (interpreted operator
 //! pipeline and fused/compiled loop) and, for sharded datasets, by the
@@ -26,14 +56,54 @@
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{total_cmp, Path, Value};
-use lsm::LsmDataset;
+use lsm::{LsmDataset, Snapshot};
+use storage::component::{Component, ComponentReader};
+use storage::stats::ComponentStats;
 
 use crate::expr::Expr;
 use crate::plan::{AggSpec, Aggregate, Query, QueryRow};
 use crate::{Error, Result};
+
+/// What the planner knows about one on-disk component of the target: the
+/// cardinalities and statistics the cost model and the zone maps consume.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentPlanInfo {
+    /// Component id (for reporting which components were pruned).
+    pub id: u64,
+    /// Entries in the component (records plus anti-matter).
+    pub records: u64,
+    /// Physical pages the component occupies.
+    pub pages: u64,
+    /// Leaves (row/APAX pages, AMAX mega leaf nodes).
+    pub leaves: u64,
+    /// Smallest key (absent for an empty component).
+    pub min_key: Option<Value>,
+    /// Largest key (absent for an empty component).
+    pub max_key: Option<Value>,
+    /// Column statistics collected when the component was written. `None`
+    /// for components recovered from a pre-stats manifest.
+    pub stats: Option<Arc<ComponentStats>>,
+}
+
+impl ComponentPlanInfo {
+    /// Extract the planning view of one component.
+    pub fn of(component: &Component) -> ComponentPlanInfo {
+        let meta = component.meta();
+        ComponentPlanInfo {
+            id: meta.id,
+            records: meta.record_count as u64,
+            pages: meta.pages.len() as u64,
+            leaves: component.leaf_count() as u64,
+            min_key: meta.min_key.clone(),
+            max_key: meta.max_key.clone(),
+            stats: component.stats().cloned(),
+        }
+    }
+}
 
 /// What the planner knows about the execution target.
 #[derive(Debug, Clone, Default)]
@@ -42,26 +112,66 @@ pub struct PlanContext {
     pub secondary_index_on: Option<Path>,
     /// Number of partitions the plan will fan out over (1 = unsharded).
     pub shards: usize,
+    /// The target's on-disk components (across every partition), oldest
+    /// first per partition. Feeds the cost model; empty for synthetic
+    /// contexts, which makes the planner treat the target as memtable-only.
+    /// In-memory records are deliberately absent: they cost no pages on
+    /// either access path, so the cost model never consults them (the
+    /// memtable-aware CPU term is a ROADMAP open edge).
+    pub components: Vec<ComponentPlanInfo>,
 }
 
 impl PlanContext {
-    /// A context with no index and a single partition — what a bare
-    /// [`lsm::Snapshot`] offers.
+    /// A context with no index, no statistics and a single partition.
     pub fn scan_only() -> PlanContext {
-        PlanContext { secondary_index_on: None, shards: 1 }
+        PlanContext::default()
+    }
+
+    /// The context of one consistent snapshot: no secondary index (a bare
+    /// snapshot cannot probe), but full component statistics.
+    pub fn for_snapshot(snapshot: &Snapshot) -> PlanContext {
+        PlanContext {
+            secondary_index_on: None,
+            shards: 1,
+            components: snapshot
+                .components()
+                .iter()
+                .map(|c| ComponentPlanInfo::of(c))
+                .collect(),
+        }
+    }
+
+    /// The context of several per-shard snapshots (scan-only fan-out).
+    pub fn for_snapshots(snapshots: &[Snapshot]) -> PlanContext {
+        let mut ctx = PlanContext {
+            shards: snapshots.len().max(1),
+            ..PlanContext::default()
+        };
+        for snapshot in snapshots {
+            ctx.components.extend(
+                snapshot.components().iter().map(|c| ComponentPlanInfo::of(c)),
+            );
+        }
+        ctx
     }
 
     /// The context of one dataset: its configured secondary index, one
-    /// partition.
+    /// partition, and the current components' statistics.
     pub fn for_dataset(dataset: &LsmDataset) -> PlanContext {
         PlanContext {
             secondary_index_on: dataset.config().secondary_index_on.clone(),
             shards: 1,
+            components: dataset
+                .components()
+                .iter()
+                .map(|c| ComponentPlanInfo::of(c))
+                .collect(),
         }
     }
 
     /// The context of a sharded dataset. The index is usable only when every
-    /// shard maintains it on the same path.
+    /// shard maintains it on the same path; statistics aggregate over all
+    /// shards.
     pub fn for_shards(shards: &[&LsmDataset]) -> PlanContext {
         let index = shards
             .first()
@@ -71,25 +181,73 @@ impl PlanContext {
                     .iter()
                     .all(|s| s.config().secondary_index_on.as_ref() == Some(path))
             });
-        PlanContext { secondary_index_on: index, shards: shards.len().max(1) }
+        let mut ctx = PlanContext {
+            secondary_index_on: index,
+            shards: shards.len().max(1),
+            ..PlanContext::default()
+        };
+        for shard in shards {
+            ctx.components
+                .extend(shard.components().iter().map(|c| ComponentPlanInfo::of(c)));
+        }
+        ctx
     }
 }
 
-/// Planner knobs. Defaults enable every optimisation; the benchmarks flip
-/// them off to measure what each one buys.
+/// How the planner picks between a secondary-index probe and a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPathChoice {
+    /// Cost-based: estimate matching records from the component statistics
+    /// and pick whichever path touches fewer pages (the fig. 15 crossover).
+    #[default]
+    Auto,
+    /// Always probe the secondary index when the target has one and the
+    /// filter implies a range on the indexed path (PR 3's fixed routing).
+    ForceIndex,
+    /// Never probe; range filters execute as (zone-map-pruned) scans.
+    ForceScan,
+}
+
+impl AccessPathChoice {
+    fn label(self) -> &'static str {
+        match self {
+            AccessPathChoice::Auto => "auto",
+            AccessPathChoice::ForceIndex => "forced index",
+            AccessPathChoice::ForceScan => "forced scan",
+        }
+    }
+}
+
+/// Planner knobs. Defaults enable every optimisation; the benchmarks and the
+/// differential tests flip them to measure (and cross-check) what each one
+/// buys.
 #[derive(Debug, Clone, Copy)]
 pub struct PlannerOptions {
     /// Push the derived projection down to the storage layer. Off, every
     /// column is assembled (the "read everything" baseline).
     pub projection_pushdown: bool,
-    /// Route range-implying filters through the secondary index when one
-    /// covers the filtered path. Off, such queries scan.
-    pub use_secondary_index: bool,
+    /// Scan-vs-index-probe policy (cost-based by default).
+    pub access_path: AccessPathChoice,
+    /// Skip components whose statistics prove no record can match the
+    /// filter. Off, every component is scanned (the pruning oracle of the
+    /// differential tests).
+    pub zone_map_pruning: bool,
 }
 
 impl Default for PlannerOptions {
     fn default() -> Self {
-        PlannerOptions { projection_pushdown: true, use_secondary_index: true }
+        PlannerOptions {
+            projection_pushdown: true,
+            access_path: AccessPathChoice::Auto,
+            zone_map_pruning: true,
+        }
+    }
+}
+
+impl PlannerOptions {
+    /// Default options with the given access-path policy.
+    pub fn with_access_path(choice: AccessPathChoice) -> PlannerOptions {
+        PlannerOptions { access_path: choice, ..Default::default() }
     }
 }
 
@@ -112,12 +270,63 @@ pub enum AccessPath {
     },
 }
 
+/// The planner's page-cost estimate behind an access-path decision,
+/// rendered by `EXPLAIN`. All numbers are estimates from the per-component
+/// statistics; they never affect the answer, only the chosen path.
+#[derive(Debug, Clone)]
+pub struct AccessEstimate {
+    /// Estimated records matching the filter's implied range on the
+    /// estimation path (disk components only).
+    pub est_matching_records: f64,
+    /// Live records across the target's components.
+    pub disk_records: u64,
+    /// `est_matching_records / disk_records` (0 when the target is empty).
+    pub est_selectivity: f64,
+    /// Pages a scan would touch after zone-map pruning.
+    pub scan_pages: u64,
+    /// Pages an index probe would touch (`None` when probing is impossible:
+    /// no index, or no implied range on the indexed path).
+    pub probe_pages: Option<f64>,
+    /// Components the zone maps expect to prune (planning-time estimate).
+    pub pruned_components: usize,
+    /// Total components across the target.
+    pub total_components: usize,
+    /// The access-path policy that produced the decision.
+    pub choice: AccessPathChoice,
+}
+
+impl AccessEstimate {
+    /// One-line rendering for `EXPLAIN`.
+    pub fn describe(&self) -> String {
+        let probe = match self.probe_pages {
+            Some(p) => format!("probe ~{:.0} pages", p),
+            None => "probe impossible".to_string(),
+        };
+        format!(
+            "selectivity ~{:.2}% (~{:.0} of {} records), scan ~{} pages ({}/{} components zone-map pruned), {} [{}]",
+            self.est_selectivity * 100.0,
+            self.est_matching_records,
+            self.disk_records,
+            self.scan_pages,
+            self.pruned_components,
+            self.total_components,
+            probe,
+            self.choice.label(),
+        )
+    }
+}
+
 /// A lowered, executable plan. Produced by [`plan`]; render it with
 /// [`PhysicalPlan::describe`].
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
     /// How input records are acquired.
     pub access: AccessPath,
+    /// The cost estimate behind the access choice (`None` for filterless
+    /// plans, where there is nothing to estimate).
+    pub estimate: Option<AccessEstimate>,
+    /// Whether execution may zone-map-prune components ([`prune_flags`]).
+    pub zone_map_pruning: bool,
     /// Pushed-down projection; `None` assembles full records (pushdown off).
     pub projection: Option<Vec<Path>>,
     /// Residual filter applied to every acquired record.
@@ -175,10 +384,30 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
             .iter()
             .all(|s| matches!(s.agg, Aggregate::Count));
 
+    let probe = probe_candidate(query, ctx);
+    let projected_columns = options
+        .projection_pushdown
+        .then(|| query.projection_paths().len());
+    let estimate = query
+        .filter
+        .as_ref()
+        .filter(|_| !count_only)
+        .map(|filter| estimate_access(filter, ctx, probe.as_ref(), options, projected_columns));
+
     let access = if count_only {
         AccessPath::KeyOnlyScan
     } else {
-        index_probe_for(query, ctx, options).unwrap_or(AccessPath::FullScan)
+        let take_probe = match options.access_path {
+            AccessPathChoice::ForceScan => false,
+            AccessPathChoice::ForceIndex => probe.is_some(),
+            AccessPathChoice::Auto => probe.is_some() && auto_prefers_probe(estimate.as_ref()),
+        };
+        if take_probe {
+            let (path, lo, hi) = probe.expect("probe candidate checked above");
+            AccessPath::IndexRange { path, lo, hi }
+        } else {
+            AccessPath::FullScan
+        }
     };
 
     let projection = options
@@ -187,6 +416,8 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
 
     Ok(PhysicalPlan {
         access,
+        estimate,
+        zone_map_pruning: options.zone_map_pruning,
         projection,
         filter: query.filter.clone(),
         unnest: query.unnest.clone(),
@@ -199,23 +430,312 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
     })
 }
 
-/// The index-probe access path, when the context has an index, routing is
-/// enabled, and the filter implies a (at least one-sided) range on the
-/// indexed path.
-fn index_probe_for(
+/// The probe the index-range access path would execute, when the context has
+/// an index and the filter implies a (at least one-sided) range on the
+/// indexed path. Whether it is *taken* is the access-path policy's call.
+fn probe_candidate(
     query: &Query,
     ctx: &PlanContext,
-    options: &PlannerOptions,
-) -> Option<AccessPath> {
-    if !options.use_secondary_index {
-        return None;
-    }
+) -> Option<(Path, Bound<Value>, Bound<Value>)> {
     let indexed = ctx.secondary_index_on.as_ref()?;
     let (lo, hi) = query.filter.as_ref()?.implied_bounds(indexed)?;
     if matches!((&lo, &hi), (Bound::Unbounded, Bound::Unbounded)) {
         return None;
     }
-    Some(AccessPath::IndexRange { path: indexed.clone(), lo, hi })
+    Some((indexed.clone(), lo, hi))
+}
+
+/// The cost-based decision: probe when its page estimate undercuts the
+/// (zone-map-pruned) scan's. A fully-pruned scan (0 pages) always wins —
+/// it reads nothing at all.
+fn auto_prefers_probe(estimate: Option<&AccessEstimate>) -> bool {
+    match estimate {
+        Some(est) => match est.probe_pages {
+            Some(probe) => est.scan_pages > 0 && probe < est.scan_pages as f64,
+            None => false,
+        },
+        // No filter to estimate with (cannot happen for a probe candidate,
+        // which requires a filter) — scan.
+        None => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning and the cost model.
+// ---------------------------------------------------------------------------
+
+/// Every path on which `filter` implies a value range — the zone-map test
+/// set. Each entry `(p, lo, hi)` satisfies: a record matching `filter` has
+/// *some* value at `p` inside `(lo, hi)` (see [`Expr::implied_bounds`]).
+fn implied_ranges(filter: &Expr) -> Vec<(Path, Bound<Value>, Bound<Value>)> {
+    let mut paths = Vec::new();
+    filter.collect_paths(&mut paths);
+    paths
+        .into_iter()
+        .filter_map(|p| {
+            filter
+                .implied_bounds(&p)
+                .map(|(lo, hi)| (p, lo, hi))
+        })
+        .collect()
+}
+
+/// `true` when `[min, max]` cannot intersect the range `(lo, hi)`.
+fn bounds_disjoint(
+    min: &Value,
+    max: &Value,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+) -> bool {
+    use std::cmp::Ordering::{Greater, Less};
+    let above = match hi {
+        Bound::Included(h) => total_cmp(h, min) == Less,
+        Bound::Excluded(h) => total_cmp(h, min) != Greater,
+        Bound::Unbounded => false,
+    };
+    let below = match lo {
+        Bound::Included(l) => total_cmp(l, max) == Greater,
+        Bound::Excluded(l) => total_cmp(l, max) != Less,
+        Bound::Unbounded => false,
+    };
+    above || below
+}
+
+/// `true` when the component's statistics prove that no record in it can
+/// match a filter with the given implied ranges: some range's path is
+/// either absent from the component altogether (no record addresses any
+/// value there — the existential filter cannot hold) or carries bounds
+/// disjoint from the range.
+fn stats_prove_no_match(
+    stats: &ComponentStats,
+    ranges: &[(Path, Bound<Value>, Bound<Value>)],
+) -> bool {
+    ranges.iter().any(|(path, lo, hi)| {
+        match stats.column(&path.to_string()) {
+            None => true,
+            Some(col) if col.values == 0 => true,
+            Some(col) => match (&col.min, &col.max) {
+                (Some(min), Some(max)) => bounds_disjoint(min, max, lo, hi),
+                _ => false,
+            },
+        }
+    })
+}
+
+/// `true` when the two components cannot share a key (one of them is empty,
+/// or their key ranges are disjoint).
+fn key_ranges_disjoint(a: &ComponentPlanInfo, b: &ComponentPlanInfo) -> bool {
+    match (&a.min_key, &a.max_key, &b.min_key, &b.max_key) {
+        (Some(a_min), Some(a_max), Some(b_min), Some(b_max)) => {
+            total_cmp(a_max, b_min) == std::cmp::Ordering::Less
+                || total_cmp(b_max, a_min) == std::cmp::Ordering::Less
+        }
+        _ => true,
+    }
+}
+
+/// Zone-map pruning decision for each component (aligned with `infos`,
+/// oldest first): `true` = the scan may skip it.
+///
+/// Two conditions must hold:
+///
+/// 1. **No match** — the component's statistics prove no record in it can
+///    satisfy the filter: some implied range's path is absent from the
+///    component, or carries `[min, max]` bounds disjoint from the range
+///    (components without statistics are never pruned).
+/// 2. **Reconciliation safety** — the component's key range is disjoint
+///    from every *older* component's. Scans reconcile newest-first, so
+///    skipping a component whose keys also live in an older component would
+///    resurrect the older (shadowed) versions — or drop the skipped
+///    component's anti-matter — and change the answer. Memtables are newer
+///    than every component and always scanned, so they never constrain
+///    this rule.
+pub fn prune_flags(
+    infos: &[ComponentPlanInfo],
+    filter: &Expr,
+) -> Vec<bool> {
+    let ranges = implied_ranges(filter);
+    let mut flags = vec![false; infos.len()];
+    if ranges.is_empty() {
+        return flags;
+    }
+    for i in 0..infos.len() {
+        let Some(stats) = infos[i].stats.as_deref() else {
+            continue;
+        };
+        if !stats_prove_no_match(stats, &ranges) {
+            continue;
+        }
+        flags[i] = infos[..i]
+            .iter()
+            .all(|older| key_ranges_disjoint(older, &infos[i]));
+    }
+    flags
+}
+
+/// The components of `snapshot` that a filtered scan would zone-map-prune,
+/// by component id. Exposed so tests (and `EXPLAIN`-style tooling) can
+/// observe pruning decisions directly — e.g. that they are identical before
+/// and after a restart.
+pub fn prunable_component_ids(snapshot: &Snapshot, filter: &Expr) -> Vec<u64> {
+    let infos: Vec<ComponentPlanInfo> = snapshot
+        .components()
+        .iter()
+        .map(|c| ComponentPlanInfo::of(c))
+        .collect();
+    prune_flags(&infos, filter)
+        .into_iter()
+        .zip(&infos)
+        .filter_map(|(skip, info)| skip.then_some(info.id))
+        .collect()
+}
+
+/// Estimated records of one component matching `(lo, hi)` on `path`:
+/// 0 when provably disjoint or absent, a uniform interpolation against the
+/// component's `[min, max]` for numeric bounds, and the conservative "every
+/// row with the path" otherwise.
+fn estimate_component_matches(
+    stats: &ComponentStats,
+    path: &Path,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+) -> f64 {
+    let Some(col) = stats.column(&path.to_string()) else {
+        return 0.0;
+    };
+    let rows = col.rows as f64;
+    let (Some(min), Some(max)) = (&col.min, &col.max) else {
+        return rows;
+    };
+    if bounds_disjoint(min, max, lo, hi) {
+        return 0.0;
+    }
+    let (Some(min_f), Some(max_f)) = (numeric(min), numeric(max)) else {
+        return rows;
+    };
+    let lo_f = match lo {
+        Bound::Included(v) | Bound::Excluded(v) => numeric(v).unwrap_or(min_f),
+        Bound::Unbounded => min_f,
+    }
+    .max(min_f);
+    let hi_f = match hi {
+        Bound::Included(v) | Bound::Excluded(v) => numeric(v).unwrap_or(max_f),
+        Bound::Unbounded => max_f,
+    }
+    .min(max_f);
+    if hi_f < lo_f {
+        return 0.0;
+    }
+    // Uniform-distribution interpolation. The +1 terms give integer point
+    // ranges (`x = c`) the natural `rows / distinct-ish` estimate instead
+    // of zero width; for doubles they are a harmless nudge.
+    let fraction = ((hi_f - lo_f + 1.0) / (max_f - min_f + 1.0)).clamp(0.0, 1.0);
+    (rows * fraction).max(1.0)
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Double(d) => Some(*d),
+        _ => None,
+    }
+}
+
+/// Build the access estimate for a filtered plan: zone-map-pruned scan
+/// pages vs. probe pages, plus the selectivity display numbers. Estimation
+/// uses the probe path when one exists, otherwise the filter's first
+/// implied range. `projected_columns` is the pushed-down projection width
+/// (`None` = every column is assembled), which scales the per-lookup cost:
+/// a point lookup decodes one leaf's *projected* columns, so for a mega
+/// leaf (AMAX) it touches roughly `leaf pages × projected / total columns`.
+fn estimate_access(
+    filter: &Expr,
+    ctx: &PlanContext,
+    probe: Option<&(Path, Bound<Value>, Bound<Value>)>,
+    options: &PlannerOptions,
+    projected_columns: Option<usize>,
+) -> AccessEstimate {
+    let flags = if options.zone_map_pruning {
+        prune_flags(&ctx.components, filter)
+    } else {
+        vec![false; ctx.components.len()]
+    };
+    // The fraction of a component's data pages the projection touches —
+    // applied identically to both sides of the comparison.
+    let column_fraction = |c: &ComponentPlanInfo| match (projected_columns, c.stats.as_deref()) {
+        (Some(projected), Some(stats)) => {
+            (projected as f64 / stats.columns.len().max(1) as f64).min(1.0)
+        }
+        _ => 1.0,
+    };
+    let scan_pages: u64 = ctx
+        .components
+        .iter()
+        .zip(&flags)
+        .filter(|(_, skip)| !**skip)
+        .map(|(c, _)| {
+            // At least one page per leaf is always read (keys / page 0).
+            let floor = c.leaves.min(c.pages) as f64;
+            (c.pages as f64 * column_fraction(c)).max(floor).round() as u64
+        })
+        .sum();
+    let pruned = flags.iter().filter(|f| **f).count();
+    let disk_records: u64 = ctx
+        .components
+        .iter()
+        .map(|c| c.stats.as_deref().map(|s| s.live_records).unwrap_or(c.records))
+        .sum();
+
+    // The range driving the record estimate: the probe's, else the filter's
+    // first implied range (for display), else "everything matches".
+    let ranges;
+    let est_range = match probe {
+        Some(r) => Some(r),
+        None => {
+            ranges = implied_ranges(filter);
+            ranges.first()
+        }
+    };
+    let est_matching: f64 = match est_range {
+        Some((path, lo, hi)) => ctx
+            .components
+            .iter()
+            .map(|c| match c.stats.as_deref() {
+                Some(stats) => estimate_component_matches(stats, path, lo, hi),
+                // No statistics: price as "every record matches", which
+                // safely biases the decision toward the scan.
+                None => c.records as f64,
+            })
+            .sum(),
+        None => disk_records as f64,
+    };
+
+    // One index lookup may touch one leaf in every component, decoding only
+    // the projected columns of that leaf (at least one page: the key page).
+    let pages_per_lookup: f64 = ctx
+        .components
+        .iter()
+        .map(|c| {
+            let leaf_pages = c.pages as f64 / c.leaves.max(1) as f64;
+            (leaf_pages * column_fraction(c)).max(1.0)
+        })
+        .sum();
+    let probe_pages = probe.map(|_| est_matching * pages_per_lookup);
+
+    AccessEstimate {
+        est_matching_records: est_matching,
+        disk_records,
+        est_selectivity: if disk_records == 0 {
+            0.0
+        } else {
+            (est_matching / disk_records as f64).clamp(0.0, 1.0)
+        },
+        scan_pages,
+        probe_pages,
+        pruned_components: pruned,
+        total_components: ctx.components.len(),
+        choice: options.access_path,
+    }
 }
 
 impl AccessPath {
@@ -255,6 +775,9 @@ impl PhysicalPlan {
         let mut out = String::new();
         out.push_str(&format!("SELECT {}\n", select.join(", ")));
         out.push_str(&format!("  access     : {}\n", self.access.describe()));
+        if let Some(est) = &self.estimate {
+            out.push_str(&format!("  estimate   : {}\n", est.describe()));
+        }
         match &self.projection {
             Some(paths) if paths.is_empty() => {
                 out.push_str("  projection : (keys only)\n");
@@ -607,31 +1130,142 @@ mod tests {
         assert!(p.describe().contains("key-only scan"));
     }
 
-    #[test]
-    fn range_filters_route_through_a_covering_index() {
-        let ctx = PlanContext {
+    /// A synthetic component: keys `key_range`, one `score` column uniform
+    /// over `score_range`.
+    fn comp(
+        id: u64,
+        records: u64,
+        pages: u64,
+        leaves: u64,
+        key_range: (i64, i64),
+        score_range: (i64, i64),
+    ) -> ComponentPlanInfo {
+        let mut columns = std::collections::BTreeMap::new();
+        columns.insert(
+            "score".to_string(),
+            storage::stats::ColumnStats {
+                rows: records,
+                values: records,
+                min: Some(Value::Int(score_range.0)),
+                max: Some(Value::Int(score_range.1)),
+            },
+        );
+        ComponentPlanInfo {
+            id,
+            records,
+            pages,
+            leaves,
+            min_key: Some(Value::Int(key_range.0)),
+            max_key: Some(Value::Int(key_range.1)),
+            stats: Some(Arc::new(ComponentStats {
+                live_records: records,
+                columns,
+            })),
+        }
+    }
+
+    fn indexed_ctx(components: Vec<ComponentPlanInfo>) -> PlanContext {
+        PlanContext {
             secondary_index_on: Some(Path::parse("score")),
             shards: 1,
-        };
+            components,
+        }
+    }
+
+    #[test]
+    fn range_filters_route_through_a_covering_index() {
+        let ctx = indexed_ctx(vec![comp(0, 1_000, 100, 10, (0, 999), (0, 999))]);
+        // A tight range: the cost model must pick the probe on its own.
         let q = Query::count_star()
-            .with_filter(Expr::and([Expr::ge("score", 50), Expr::exists("tags")]));
+            .with_filter(Expr::and([Expr::between("score", 50, 52), Expr::exists("tags")]));
         let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
         assert!(matches!(p.access, AccessPath::IndexRange { .. }));
         let text = p.describe();
         assert!(text.contains("secondary-index range probe on `score`"), "{text}");
-        assert!(text.contains("[50, +inf)"), "{text}");
-        // Routing disabled → scan.
+        assert!(text.contains("[50, 52]"), "{text}");
+        assert!(text.contains("estimate"), "{text}");
+        // ForceScan overrides the cost model.
         let p = plan(
             &q,
             &ctx,
-            &PlannerOptions { use_secondary_index: false, ..Default::default() },
+            &PlannerOptions::with_access_path(AccessPathChoice::ForceScan),
         )
         .unwrap();
         assert!(matches!(p.access, AccessPath::FullScan));
-        // Filter on a different path → scan.
+        // Filter on a different path → scan, even forced.
         let q = Query::count_star().with_filter(Expr::ge("other", 1));
-        let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
+        let p = plan(
+            &q,
+            &ctx,
+            &PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+        )
+        .unwrap();
         assert!(matches!(p.access, AccessPath::FullScan));
+    }
+
+    #[test]
+    fn auto_crosses_over_from_probe_to_scan_with_selectivity() {
+        let ctx = indexed_ctx(vec![comp(0, 1_000, 100, 10, (0, 999), (0, 999))]);
+        // ~3 of 1000 records → ~30 probe pages < 100 scan pages → probe.
+        let tight = Query::count_star().with_filter(Expr::between("score", 10, 12));
+        let p = plan(&tight, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::IndexRange { .. }), "{:?}", p.access);
+        // ~500 records → ~5000 probe pages > 100 scan pages → scan.
+        let wide = Query::count_star().with_filter(Expr::ge("score", 500));
+        let p = plan(&wide, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::FullScan), "{:?}", p.access);
+        let est = p.estimate.as_ref().unwrap();
+        assert!(est.est_selectivity > 0.4 && est.est_selectivity < 0.6, "{est:?}");
+        // ForceIndex still probes at the same selectivity.
+        let p = plan(
+            &wide,
+            &ctx,
+            &PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+        )
+        .unwrap();
+        assert!(matches!(p.access, AccessPath::IndexRange { .. }));
+    }
+
+    #[test]
+    fn fully_pruned_scans_beat_any_probe() {
+        // Every component is disjoint from the filter: the zone maps prune
+        // them all, the scan costs zero pages, and Auto must scan.
+        let ctx = indexed_ctx(vec![
+            comp(0, 500, 50, 5, (0, 499), (0, 99)),
+            comp(1, 500, 50, 5, (500, 999), (100, 199)),
+        ]);
+        let q = Query::count_star().with_filter(Expr::between("score", 5_000, 5_010));
+        let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::FullScan), "{:?}", p.access);
+        let est = p.estimate.as_ref().unwrap();
+        assert_eq!(est.scan_pages, 0);
+        assert_eq!(est.pruned_components, 2);
+        assert!(p.describe().contains("2/2 components zone-map pruned"));
+    }
+
+    #[test]
+    fn prune_flags_respect_stats_and_older_key_overlap() {
+        let filter = Expr::between("score", 0, 99);
+        // Component 1 is score-disjoint and key-disjoint from the older
+        // component 0 → prunable. Component 2 is score-disjoint but shares
+        // keys with component 0 (it may shadow older versions) → kept.
+        let infos = vec![
+            comp(0, 100, 10, 2, (0, 99), (0, 99)),
+            comp(1, 100, 10, 2, (100, 199), (500, 599)),
+            comp(2, 100, 10, 2, (50, 149), (500, 599)),
+        ];
+        assert_eq!(prune_flags(&infos, &filter), vec![false, true, false]);
+        // A missing column prunes outright (no record addresses the path);
+        // the key-overlap rule still protects component 2.
+        let absent = Expr::ge("nonexistent", 1);
+        assert_eq!(prune_flags(&infos, &absent), vec![true, true, false]);
+        // No implied range (pure EXISTS) → nothing prunable.
+        let exists = Expr::exists("score");
+        assert_eq!(prune_flags(&infos, &exists), vec![false, false, false]);
+        // Components without stats are never pruned.
+        let mut bare = comp(3, 10, 1, 1, (1_000, 1_010), (500, 599));
+        bare.stats = None;
+        assert_eq!(prune_flags(&[bare], &filter), vec![false]);
     }
 
     #[test]

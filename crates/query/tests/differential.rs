@@ -5,115 +5,18 @@
 //! disjoint partitions, and against an indexed dataset where the planner may
 //! route through the secondary index — must all return identical rows. This
 //! is the safety net under the planner: whatever access path it picks, the
-//! answer may not change.
+//! answer may not change. (Its sibling `planner_cost.rs` attacks the same
+//! invariant from the access-path side: ForceIndex vs ForceScan vs Auto and
+//! zone-map pruning on vs off.)
+
+mod support;
 
 use proptest::prelude::*;
 
-use docmodel::{Path, Value};
-use lsm::{DatasetConfig, LsmDataset};
-use query::{Aggregate, CmpOp, ExecMode, Expr, PlanContext, Query, QueryEngine};
-use storage::LayoutKind;
+use lsm::LsmDataset;
+use query::{ExecMode, PlanContext, Query, QueryEngine};
 
-fn cmp_op() -> BoxedStrategy<CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-    .boxed()
-}
-
-/// A leaf predicate over the generated document shape: `score` (int, may be
-/// missing), `grp` (string), `tags` (string array, may be missing).
-fn leaf_expr() -> BoxedStrategy<Expr> {
-    prop_oneof![
-        (cmp_op(), 0i64..100).prop_map(|(op, v)| Expr::Cmp {
-            op,
-            path: Path::parse("score"),
-            value: Value::Int(v),
-        }),
-        (0usize..5).prop_map(|g| Expr::eq("grp", format!("g{g}"))),
-        (0usize..4).prop_map(|t| Expr::contains("tags[*]", format!("t{t}"))),
-        prop_oneof![
-            Just(Expr::exists("score")),
-            Just(Expr::exists("tags")),
-            Just(Expr::exists("missing")),
-        ],
-        (cmp_op(), 0i64..4).prop_map(|(op, n)| Expr::length("tags", op, n)),
-    ]
-    .boxed()
-}
-
-/// Boolean combinations of leaves, up to depth 3.
-fn arb_expr() -> BoxedStrategy<Expr> {
-    leaf_expr().prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and([a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or([a, b])),
-            inner.prop_map(Expr::not),
-        ]
-    })
-}
-
-fn arb_aggregate() -> BoxedStrategy<Aggregate> {
-    prop_oneof![
-        Just(Aggregate::Count),
-        Just(Aggregate::CountNonNull(Path::parse("tags"))),
-        Just(Aggregate::Max(Path::parse("score"))),
-        Just(Aggregate::Min(Path::parse("score"))),
-        Just(Aggregate::Sum(Path::parse("score"))),
-        Just(Aggregate::Avg(Path::parse("score"))),
-        Just(Aggregate::MaxLength(Path::parse("grp"))),
-    ]
-    .boxed()
-}
-
-/// One generated document body: optional score, group, optional tags.
-fn arb_doc_body() -> BoxedStrategy<(Option<i64>, usize, Option<Vec<usize>>)> {
-    (
-        prop_oneof![Just(None), (0i64..100).prop_map(Some)],
-        0usize..5,
-        // Tags are either missing or non-empty: an *empty* array only
-        // survives columnar reassembly when some other record in the same
-        // component materialised the `tags[*]` column, so `EXISTS(tags)` on
-        // empty arrays is schema-dependent — a storage-layer property, not
-        // an engine-equivalence one (see the shredder docs).
-        prop_oneof![
-            Just(None),
-            prop::collection::vec(0usize..4, 1..3).prop_map(Some)
-        ],
-    )
-        .boxed()
-}
-
-fn build_doc(id: i64, body: &(Option<i64>, usize, Option<Vec<usize>>)) -> Value {
-    let (score, grp, tags) = body;
-    let mut doc = Value::empty_object();
-    doc.set_field("id", Value::Int(id));
-    doc.set_field("grp", Value::from(format!("g{grp}")));
-    if let Some(s) = score {
-        doc.set_field("score", Value::Int(*s));
-    }
-    if let Some(tags) = tags {
-        doc.set_field(
-            "tags",
-            Value::Array(tags.iter().map(|t| Value::from(format!("t{t}"))).collect()),
-        );
-    }
-    doc
-}
-
-fn dataset(name: &str, indexed: bool) -> LsmDataset {
-    let mut config = DatasetConfig::new(name, LayoutKind::Amax)
-        .with_memtable_budget(64 * 1024)
-        .with_page_size(8 * 1024);
-    if indexed {
-        config = config.with_secondary_index(Path::parse("score"));
-    }
-    LsmDataset::new(config)
-}
+use support::{arb_aggregate, arb_doc_body, arb_expr, build_doc, dataset};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -167,7 +70,8 @@ proptest! {
         }
 
         // The indexed dataset may plan a secondary-index probe (whenever the
-        // filter implies a range on `score`) — the answer must not change.
+        // filter implies a range on `score` and the cost model favours it) —
+        // the answer must not change.
         let via_index = QueryEngine::new(ExecMode::Compiled)
             .execute(&indexed, &query)
             .unwrap();

@@ -1,0 +1,233 @@
+//! Differential test fleet for statistics-driven planning.
+//!
+//! The cost-based access-path choice and zone-map pruning are pure
+//! *performance* decisions — they may never change an answer. This suite
+//! locks that in from three directions:
+//!
+//! * a property test running random documents × range-heavy filters ×
+//!   aggregate lists through every `AccessPathChoice` with pruning on and
+//!   off, against a pruning-disabled ForceScan oracle — before and after a
+//!   merge reshuffles the components;
+//! * the multi-valued probe regression folded in from PR 3's one-off
+//!   `dup_probe_test.rs` (a record with two indexed values inside the probe
+//!   range must be counted once);
+//! * I/O-level assertions that a component whose statistics are disjoint
+//!   from the filter range is skipped without reading a single page, and
+//!   that the cost model's `EXPLAIN` output picks the right path at both
+//!   selectivity extremes (the fig. 15 crossover).
+
+mod support;
+
+use proptest::prelude::*;
+
+use docmodel::{doc, Path, Value};
+use lsm::{DatasetConfig, LsmDataset};
+use query::{
+    AccessPathChoice, ExecMode, Expr, PlannerOptions, Query, QueryEngine,
+};
+use storage::LayoutKind;
+
+use support::{
+    arb_aggregate, arb_doc_body, build_doc, dataset, dataset_indexed_on, range_heavy_expr,
+};
+
+/// Engines for every (access-path, pruning) combination under test.
+fn engine(mode: ExecMode, choice: AccessPathChoice, pruning: bool) -> QueryEngine {
+    QueryEngine::with_options(
+        mode,
+        PlannerOptions {
+            access_path: choice,
+            zone_map_pruning: pruning,
+            ..Default::default()
+        },
+    )
+}
+
+// ForceIndex == ForceScan == Auto, pruned == unpruned — over random
+// documents, range filters and aggregate lists, with updates spread over
+// several flushes (overlapping components) and again after a full merge
+// reshuffles them.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn access_paths_and_pruning_never_change_answers(
+        bodies in prop::collection::vec(arb_doc_body(), 24..56),
+        update_bodies in prop::collection::vec(arb_doc_body(), 0..12),
+        filter in range_heavy_expr(),
+        aggs in prop::collection::vec(arb_aggregate(), 1..3),
+        group in prop_oneof![Just(false), Just(true)],
+    ) {
+        let ds = dataset("planner-cost", true);
+        // First batch, sealed into its own component.
+        let half = bodies.len() / 2;
+        for (i, body) in bodies[..half].iter().enumerate() {
+            ds.insert(build_doc(i as i64, body)).unwrap();
+        }
+        ds.flush().unwrap();
+        // Updates to existing keys: the next component's key range overlaps
+        // the first one's, which must disable pruning where skipping could
+        // resurrect the old versions.
+        for (i, body) in update_bodies.iter().enumerate() {
+            ds.insert(build_doc((i % half.max(1)) as i64, body)).unwrap();
+        }
+        // Second batch on top.
+        for (i, body) in bodies[half..].iter().enumerate() {
+            ds.insert(build_doc((half + i) as i64, body)).unwrap();
+        }
+        ds.flush().unwrap();
+
+        let mut query = Query::select(aggs).with_filter(filter);
+        if group {
+            query = query.group_by("grp");
+        }
+
+        let check = |label: &str| {
+            let oracle = engine(ExecMode::Compiled, AccessPathChoice::ForceScan, false)
+                .execute(&ds, &query)
+                .unwrap();
+            for choice in [
+                AccessPathChoice::Auto,
+                AccessPathChoice::ForceIndex,
+                AccessPathChoice::ForceScan,
+            ] {
+                for pruning in [true, false] {
+                    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+                        let rows = engine(mode, choice, pruning)
+                            .execute(&ds, &query)
+                            .unwrap();
+                        prop_assert_eq!(
+                            &oracle, &rows,
+                            "{}: {:?}/pruning={}/{:?} diverged on {:?}",
+                            label, choice, pruning, mode, query
+                        );
+                    }
+                }
+            }
+            // Planning stays total and the estimate is always rendered.
+            let text = engine(ExecMode::Compiled, AccessPathChoice::Auto, true)
+                .explain(&ds, &query)
+                .unwrap();
+            prop_assert!(text.contains("estimate"), "{}", text);
+        };
+
+        check("multi-component");
+        // A merge rewrites the components (and their statistics) — nothing
+        // may change.
+        ds.compact_fully().unwrap();
+        check("post-merge");
+    }
+}
+
+/// Folded in from PR 3's `dup_probe_test.rs`: both indexed values of one
+/// record fall inside the probe range; the probe must count the record
+/// once. (The fix deduplicates keys in `SecondaryIndex::range_bounds`.)
+#[test]
+fn multi_valued_probe_does_not_double_count() {
+    let ds = dataset_indexed_on("multi", "ts[*]");
+    ds.insert(doc!({"id": 1, "ts": [150, 160]})).unwrap();
+    ds.flush().unwrap();
+    let q = Query::count_star().with_filter(Expr::ge("ts[*]", 120));
+    let via_index = engine(ExecMode::Compiled, AccessPathChoice::ForceIndex, true)
+        .execute(&ds, &q)
+        .unwrap();
+    let via_scan = engine(ExecMode::Compiled, AccessPathChoice::ForceScan, true)
+        .execute(&ds, &q)
+        .unwrap();
+    assert_eq!(via_index, via_scan, "index probe disagrees with scan");
+    assert_eq!(via_index[0].agg(), &Value::Int(1), "one record, one count");
+}
+
+/// A component whose statistics are disjoint from the filter's implied
+/// range is never read: zero pages when every component is disjoint, and
+/// only the matching component's pages otherwise. The pruning-disabled
+/// oracle returns the same rows while reading strictly more.
+#[test]
+fn zone_map_pruning_reads_zero_pages_for_disjoint_components() {
+    let ds = LsmDataset::new(
+        DatasetConfig::new("zonemap", LayoutKind::Amax)
+            .with_memtable_budget(usize::MAX)
+            .with_page_size(4 * 1024),
+    );
+    // Two components with disjoint keys and disjoint score ranges.
+    for i in 0..100i64 {
+        ds.insert(doc!({"id": i, "score": i, "grp": (format!("g{}", i % 5))}))
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    for i in 100..200i64 {
+        ds.insert(doc!({"id": i, "score": (1_000 + i), "grp": (format!("g{}", i % 5))}))
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    assert_eq!(ds.component_count(), 2);
+
+    let pruned = engine(ExecMode::Compiled, AccessPathChoice::ForceScan, true);
+    let unpruned = engine(ExecMode::Compiled, AccessPathChoice::ForceScan, false);
+    let pages_read = |engine: &QueryEngine, q: &Query| {
+        ds.cache().clear();
+        ds.cache().store().reset_stats();
+        let rows = engine.execute(&ds, q).unwrap();
+        (rows, ds.io_stats().pages_read)
+    };
+
+    // Disjoint from *every* component: the filtered scan reads nothing.
+    let nothing = Query::count_star().with_filter(Expr::between("score", 5_000, 6_000));
+    let (rows, pages) = pages_read(&pruned, &nothing);
+    assert_eq!(rows[0].agg(), &Value::Int(0));
+    assert_eq!(pages, 0, "a fully-pruned scan must not read any page");
+    let (oracle_rows, oracle_pages) = pages_read(&unpruned, &nothing);
+    assert_eq!(rows, oracle_rows, "pruning changed an answer");
+    assert!(oracle_pages > 0, "the oracle scans for real");
+
+    // Disjoint from one component: only the other one is read.
+    let second_only = Query::count_star().with_filter(Expr::ge("score", 1_000));
+    let (rows, pages) = pages_read(&pruned, &second_only);
+    assert_eq!(rows[0].agg(), &Value::Int(100));
+    let (oracle_rows, oracle_pages) = pages_read(&unpruned, &second_only);
+    assert_eq!(rows, oracle_rows);
+    assert!(
+        pages < oracle_pages,
+        "pruned scan ({pages} pages) must read less than the oracle ({oracle_pages})"
+    );
+
+    // A path no record has: statistics prove absence, zero pages again.
+    let absent = Query::count_star().with_filter(Expr::ge("no_such_field", 1));
+    let (rows, pages) = pages_read(&pruned, &absent);
+    assert_eq!(rows[0].agg(), &Value::Int(0));
+    assert_eq!(pages, 0, "absence pruning must not read any page");
+}
+
+/// The cost model picks the probe at high selectivity (few matches) and the
+/// scan at low selectivity (many matches) — the fig. 15 crossover — and
+/// `EXPLAIN` shows the estimate it decided on.
+#[test]
+fn auto_picks_probe_and_scan_at_the_selectivity_extremes() {
+    // Many leaves per component (small AMAX mega leaves) so a point lookup
+    // is genuinely cheaper than a scan.
+    let mut config = DatasetConfig::new("crossover", LayoutKind::Amax)
+        .with_memtable_budget(usize::MAX)
+        .with_page_size(4 * 1024)
+        .with_secondary_index(Path::parse("score"));
+    config.amax.record_limit = 64;
+    let ds = LsmDataset::new(config);
+    for i in 0..600i64 {
+        ds.insert(doc!({"id": i, "score": i, "grp": (format!("g{}", i % 7))}))
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    ds.compact_fully().unwrap();
+
+    let auto = engine(ExecMode::Compiled, AccessPathChoice::Auto, true);
+    let tight = Query::count_star().with_filter(Expr::between("score", 300, 302));
+    let text = auto.explain(&ds, &tight).unwrap();
+    assert!(text.contains("secondary-index range probe"), "{text}");
+    assert!(text.contains("selectivity"), "{text}");
+    assert!(text.contains("[auto]"), "{text}");
+    assert_eq!(auto.execute(&ds, &tight).unwrap()[0].agg(), &Value::Int(3));
+
+    let wide = Query::count_star().with_filter(Expr::ge("score", 10));
+    let text = auto.explain(&ds, &wide).unwrap();
+    assert!(text.contains("full scan"), "{text}");
+    assert_eq!(auto.execute(&ds, &wide).unwrap()[0].agg(), &Value::Int(590));
+}

@@ -31,6 +31,7 @@ use crate::apax;
 use crate::pagestore::{BufferCache, PageId};
 use crate::rowformat::RowFormat;
 use crate::rowpage;
+use crate::stats::{ComponentStats, StatsBuilder};
 use crate::Result;
 
 /// The four storage layouts of the evaluation.
@@ -179,6 +180,9 @@ pub struct ComponentDescriptor {
     pub pages: Vec<PageId>,
     /// The component's leaves, in key order.
     pub leaves: Vec<LeafDescriptor>,
+    /// Per-column statistics collected when the component was written.
+    /// `None` only for components recovered from a pre-stats manifest.
+    pub stats: Option<ComponentStats>,
 }
 
 /// An immutable on-disk component.
@@ -194,6 +198,7 @@ pub struct Component {
     specs: HashMap<ColumnId, ColumnSpec>,
     key_spec: Option<ColumnSpec>,
     leaves: Vec<LeafRef>,
+    stats: Option<Arc<ComponentStats>>,
     config: ComponentConfig,
     cache: BufferCache,
     free_on_drop: std::sync::atomic::AtomicBool,
@@ -302,6 +307,14 @@ impl Component {
         let specs: HashMap<ColumnId, ColumnSpec> =
             columns_of(&schema).into_iter().map(|s| (s.id, s)).collect();
         let key_spec = specs.values().find(|s| s.is_key).cloned();
+        // Column statistics (zone maps + planner cardinalities) over the
+        // live records, collected in the same pass that seals the component.
+        let mut stats = StatsBuilder::new();
+        for (_, doc) in entries {
+            if let Some(doc) = doc {
+                stats.observe(doc);
+            }
+        }
         let meta = ComponentMeta {
             id,
             layout: config.layout,
@@ -317,6 +330,7 @@ impl Component {
             specs,
             key_spec,
             leaves,
+            stats: Some(Arc::new(stats.finish())),
             config: config.clone(),
             cache: cache.clone(),
             free_on_drop: std::sync::atomic::AtomicBool::new(false),
@@ -342,6 +356,7 @@ impl Component {
             record_count: self.meta.record_count,
             stored_bytes: self.meta.stored_bytes,
             pages: self.meta.pages.clone(),
+            stats: self.stats.as_deref().cloned(),
             leaves: self
                 .leaves
                 .iter()
@@ -368,6 +383,7 @@ impl Component {
         let specs: HashMap<ColumnId, ColumnSpec> =
             columns_of(&schema).into_iter().map(|s| (s.id, s)).collect();
         let key_spec = specs.values().find(|s| s.is_key).cloned();
+        let stats = desc.stats.map(Arc::new);
         let leaves: Vec<LeafRef> = desc
             .leaves
             .into_iter()
@@ -396,6 +412,7 @@ impl Component {
             specs,
             key_spec,
             leaves,
+            stats,
             config,
             cache: cache.clone(),
             free_on_drop: std::sync::atomic::AtomicBool::new(false),
@@ -405,6 +422,14 @@ impl Component {
     /// Number of leaves (pages for row/APAX, mega leaf nodes for AMAX).
     pub fn leaf_count(&self) -> usize {
         self.leaves.len()
+    }
+
+    /// Per-column statistics collected when the component was written (zone
+    /// maps + planner cardinalities). `None` only for components recovered
+    /// from a pre-stats manifest — such components are never zone-map pruned
+    /// and the planner falls back to conservative estimates.
+    pub fn stats(&self) -> Option<&Arc<ComponentStats>> {
+        self.stats.as_ref()
     }
 
     /// Resolve a projection (list of paths) into the set of column ids to

@@ -25,7 +25,11 @@
 //!   smallest under an `empty-page-tolerance`;
 //! * [`component`] — immutable sorted runs ("on-disk components") in any of
 //!   the four layouts behind one [`component::ComponentReader`] interface:
-//!   full scans with projection, ranged scans, and point lookups.
+//!   full scans with projection, ranged scans, and point lookups;
+//! * [`stats`] — per-component column statistics (value counts and min/max
+//!   zone maps) collected at flush/merge time, persisted in the manifest,
+//!   and consumed by the query planner for zone-map pruning and the
+//!   cost-based scan-vs-index-probe decision.
 
 pub mod amax;
 pub mod apax;
@@ -34,9 +38,11 @@ pub mod component;
 pub mod pagestore;
 pub mod rowformat;
 pub mod rowpage;
+pub mod stats;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
 pub use component::{ComponentDescriptor, ComponentReader, LayoutKind, LeafDescriptor};
+pub use stats::{ColumnStats, ComponentStats};
 pub use pagestore::{BufferCache, IoStats, PageId, PageStore, PAGE_SIZE_DEFAULT};
 pub use rowformat::RowFormat;
 

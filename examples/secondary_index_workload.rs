@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use lsm_columnar::datagen::{generate, generate_updates, DatasetKind, DatasetSpec};
 use lsm_columnar::lsm::{DatasetConfig, LsmDataset};
-use lsm_columnar::query::{ExecMode, Expr, PlannerOptions, Query, QueryEngine};
+use lsm_columnar::query::{AccessPathChoice, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
 use lsm_columnar::storage::LayoutKind;
 use lsm_columnar::Path;
 
@@ -53,13 +53,16 @@ fn main() {
             dataset.total_stored_bytes() as f64 / 1024.0
         );
 
-        // The same logical query runs both ways: the planner routes the
-        // range filter through the timestamp index, and an engine with index
-        // routing disabled falls back to a scan.
-        let probe = QueryEngine::new(ExecMode::Compiled);
+        // The same logical query runs both ways: one engine forced through
+        // the timestamp index, one forced to scan. (The default engine
+        // would pick between them with its cost model.)
+        let probe = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+        );
         let scan = QueryEngine::with_options(
             ExecMode::Compiled,
-            PlannerOptions { use_secondary_index: false, ..Default::default() },
+            PlannerOptions::with_access_path(AccessPathChoice::ForceScan),
         );
         for selectivity in [0.01, 0.1, 1.0] {
             let span = ((records as f64) * selectivity / 100.0).max(1.0) as i64;

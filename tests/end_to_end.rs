@@ -81,7 +81,12 @@ fn update_intensive_workload_stays_consistent() {
         let base_ts = 1_450_000_000_000i64;
         let q = Query::count_star()
             .with_filter(Expr::between("timestamp", base_ts, base_ts + 200));
-        let probe = QueryEngine::new(ExecMode::Compiled);
+        let probe = QueryEngine::with_options(
+            ExecMode::Compiled,
+            lsm_columnar::query::PlannerOptions::with_access_path(
+                lsm_columnar::query::AccessPathChoice::ForceIndex,
+            ),
+        );
         assert!(probe
             .explain(&dataset, &q)
             .unwrap()
@@ -89,13 +94,15 @@ fn update_intensive_workload_stays_consistent() {
         let via_index = probe.execute(&dataset, &q).unwrap();
         let scan = QueryEngine::with_options(
             ExecMode::Compiled,
-            lsm_columnar::query::PlannerOptions {
-                use_secondary_index: false,
-                ..Default::default()
-            },
+            lsm_columnar::query::PlannerOptions::with_access_path(
+                lsm_columnar::query::AccessPathChoice::ForceScan,
+            ),
         );
         let via_scan = scan.execute(&dataset, &q).unwrap();
         assert_eq!(via_index[0].agg(), via_scan[0].agg(), "{layout:?}");
+        // The cost-based default picks one of the two and must agree.
+        let auto = QueryEngine::new(ExecMode::Compiled).execute(&dataset, &q).unwrap();
+        assert_eq!(auto[0].agg(), via_scan[0].agg(), "{layout:?}");
     }
 }
 
@@ -361,11 +368,23 @@ fn compositional_query_agrees_across_all_execution_paths() {
         .unwrap();
     assert!(scan_plan.contains("full scan"), "{scan_plan}");
     assert!(scan_plan.contains("score, tags, grp"), "{scan_plan}");
+    // `score >= 50` matches about half the records: the cost model keeps
+    // the scan and says so with its estimate; forcing the index shows the
+    // probe plan it decided against.
     let index_plan = q
         .explain(&lsm_columnar::query::PlanContext::for_dataset(&indexed))
         .unwrap();
+    assert!(index_plan.contains("selectivity"), "{index_plan}");
+    let forced_plan = QueryEngine::with_options(
+        ExecMode::Compiled,
+        lsm_columnar::query::PlannerOptions::with_access_path(
+            lsm_columnar::query::AccessPathChoice::ForceIndex,
+        ),
+    )
+    .explain(&indexed, &q)
+    .unwrap();
     assert!(
-        index_plan.contains("secondary-index range probe on `score` over [50, +inf)"),
-        "{index_plan}"
+        forced_plan.contains("secondary-index range probe on `score` over [50, +inf)"),
+        "{forced_plan}"
     );
 }
