@@ -201,6 +201,49 @@ fn bench_column_count(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw-column SELECT with ORDER BY key LIMIT k: the streaming pipeline
+/// terminates after the k-th match, so the limited query should beat the
+/// full projection by a wide margin (it reads a handful of leaves instead
+/// of every page). The unlimited run is the baseline.
+fn bench_select_limit(c: &mut Criterion) {
+    let kind = DatasetKind::Tweet1;
+    let records = scaled_records(kind);
+    let select = Query::select_paths(["text", "retweet_count"])
+        .with_filter(Expr::ge("retweet_count", 1))
+        .order_by_key();
+    let mut group = c.benchmark_group("select_limit_tweet1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    let docs = generate(&DatasetSpec::new(kind, records));
+    for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+        // Small pages and AMAX mega leaves (as in the `--only streaming`
+        // experiment): at the default record_limit a component is one mega
+        // leaf and a limited scan has no tail of leaves to skip.
+        let mut config = DatasetConfig::new("bench", layout)
+            .with_key_field(kind.key_field())
+            .with_memtable_budget(128 * 1024)
+            .with_page_size(8 * 1024);
+        config.amax.record_limit = 64;
+        let dataset = LsmDataset::new(config);
+        for doc in docs.clone() {
+            dataset.insert(doc).unwrap();
+        }
+        dataset.flush().unwrap();
+        let engine = QueryEngine::new(ExecMode::Compiled);
+        for (label, query) in [
+            ("full", select.clone()),
+            ("limit_10", select.clone().with_limit(10)),
+            ("limit_1", select.clone().with_limit(1)),
+        ] {
+            group.bench_function(BenchmarkId::new(label, layout.name()), |b| {
+                b.iter(|| engine.execute(&dataset, &query).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Figure 12a is a storage-size measurement rather than a timing; the bench
 /// measures the flush (component write) path that produces those sizes.
 fn bench_flush_write(c: &mut Criterion) {
@@ -331,6 +374,7 @@ criterion_group!(
     bench_secondary_index,
     bench_fig15_crossover,
     bench_column_count,
+    bench_select_limit,
     bench_query_api,
     bench_flush_write,
     bench_durability

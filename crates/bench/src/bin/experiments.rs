@@ -116,6 +116,12 @@ fn main() {
             &run_concurrency_comparison(DatasetKind::Cell, records, shards),
         );
     }
+    if wanted("streaming") {
+        print_matrix(
+            "Streaming execution: materialised batch vs cursor pipeline (tweet_1)",
+            &run_streaming_comparison(scale),
+        );
+    }
     if wanted("query_api") {
         print_matrix(
             "Query API: projection pushdown on vs off over the planner (tweet_1)",

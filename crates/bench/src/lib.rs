@@ -794,6 +794,117 @@ pub fn run_query_api_comparison(scale: f64) -> Vec<Measurement> {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming execution: materialised vs cursor-based scans.
+// ---------------------------------------------------------------------------
+
+/// Streaming-execution experiment: the same tweet_1 queries run through the
+/// materialised batch oracle (`query::oracle` — the seed's
+/// "scan into a Vec, then process" model) and the streaming engine (the
+/// pull-based cursor pipeline), per columnar layout. Reported per mode:
+///
+/// * **wall time** for a filtered multi-aggregate query;
+/// * **peak live rows** — the peak-RSS proxy: the largest record batch ever
+///   resident. The oracle's is the whole reconciled dataset; the streaming
+///   engine's is the merge cursor's high-water mark (at most one decoded
+///   leaf per component), read off `ScanCursor::peak_buffered`;
+/// * **`SELECT ... ORDER BY key LIMIT 10` pages** — pages the limited
+///   streaming scan reads vs the full scan (early termination), plus a
+///   cross-check that both modes agree on every answer.
+pub fn run_streaming_comparison(scale: f64) -> Vec<Measurement> {
+    let kind = DatasetKind::Tweet1;
+    let records = ((default_records(kind) as f64) * scale).max(200.0) as usize;
+    let agg_query = Query::select([
+        Aggregate::Count,
+        Aggregate::Max(Path::parse("retweet_count")),
+        Aggregate::Avg(Path::parse("favorite_count")),
+    ])
+    .with_filter(Expr::ge("retweet_count", 1))
+    .group_by("user.name")
+    .top_k(10);
+    let select_limited = Query::select_paths(["text", "retweet_count"])
+        .with_filter(Expr::ge("retweet_count", 1))
+        .order_by_key()
+        .with_limit(10);
+    let select_full = Query::select_paths(["text", "retweet_count"])
+        .with_filter(Expr::ge("retweet_count", 1))
+        .order_by_key();
+
+    let engine = QueryEngine::new(ExecMode::Compiled);
+    let mut out = Vec::new();
+    for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+        // Smaller pages and AMAX mega leaves than `build_dataset`'s
+        // defaults: the point of the experiment is early termination, which
+        // needs components with a *tail* of leaves to skip.
+        let docs = generate(&DatasetSpec::new(kind, records));
+        let mut config = DatasetConfig::new(kind.name(), layout)
+            .with_key_field(kind.key_field())
+            .with_memtable_budget(128 * 1024)
+            .with_page_size(8 * 1024);
+        config.amax.record_limit = 64;
+        let dataset = LsmDataset::new(config);
+        for doc in docs {
+            dataset.insert(doc).expect("ingest");
+        }
+        dataset.flush().expect("flush");
+        let snapshot = dataset.snapshot();
+
+        // Wall time: batch oracle vs streaming engine, same answer required.
+        let (batch_rows, batch_ms) =
+            time(|| query::oracle::execute_batch(&snapshot, &agg_query).expect("oracle"));
+        let (stream_rows, stream_ms) =
+            time(|| engine.execute(&snapshot, &agg_query).expect("streaming"));
+        assert_eq!(batch_rows, stream_rows, "streaming diverged from the batch oracle");
+        out.push(Measurement::new("materialized wall", layout.name(), batch_ms, "ms"));
+        out.push(Measurement::new("streaming wall", layout.name(), stream_ms, "ms"));
+
+        // Peak live rows: whole dataset vs the cursor's high-water mark.
+        let materialized_peak = snapshot.scan(None).expect("scan").len();
+        let mut cursor = snapshot.cursor(None).expect("cursor");
+        let mut streamed = 0usize;
+        for entry in cursor.by_ref() {
+            entry.expect("entry");
+            streamed += 1;
+        }
+        assert_eq!(streamed, materialized_peak, "cursor row count");
+        out.push(Measurement::new(
+            "materialized peak rows",
+            layout.name(),
+            materialized_peak as f64,
+            "rows",
+        ));
+        out.push(Measurement::new(
+            "streaming peak rows",
+            layout.name(),
+            cursor.peak_buffered() as f64,
+            "rows",
+        ));
+
+        // LIMIT pushdown: pages read by the limited vs the full select.
+        let pages_for = |q: &Query| {
+            dataset.cache().clear();
+            dataset.cache().store().reset_stats();
+            let rows = engine.execute(&dataset, q).expect("select");
+            (rows, dataset.io_stats().pages_read)
+        };
+        let (full_rows, full_pages) = pages_for(&select_full);
+        let (limited_rows, limited_pages) = pages_for(&select_limited);
+        assert_eq!(
+            &full_rows[..limited_rows.len()],
+            &limited_rows[..],
+            "LIMIT must return the first matches"
+        );
+        out.push(Measurement::new("select full pages", layout.name(), full_pages as f64, "pages"));
+        out.push(Measurement::new(
+            "select limit10 pages",
+            layout.name(),
+            limited_pages as f64,
+            "pages",
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Ablations called out in DESIGN.md.
 // ---------------------------------------------------------------------------
 
@@ -929,6 +1040,32 @@ mod tests {
         assert_eq!(rows.len(), 8);
         assert!(rows.iter().any(|m| m.row == "pushdown on"));
         assert!(rows.iter().any(|m| m.row == "pushdown off"));
+    }
+
+    #[test]
+    fn streaming_comparison_bounds_memory_and_pages() {
+        let rows = run_streaming_comparison(0.25);
+        // 2 layouts x 6 measurements.
+        assert_eq!(rows.len(), 12);
+        let get = |row: &str, col: &str| {
+            rows.iter()
+                .find(|m| m.row == row && m.column == col)
+                .map(|m| m.value)
+                .unwrap_or_else(|| panic!("missing {row}/{col}"))
+        };
+        for layout in ["APAX", "AMAX"] {
+            // The streaming peak is a small fraction of the materialised one
+            // (one leaf per component vs the whole dataset).
+            assert!(
+                get("streaming peak rows", layout) < get("materialized peak rows", layout),
+                "{layout}: streaming must hold fewer rows than materialisation"
+            );
+            // LIMIT 10 must read strictly fewer pages than the full select.
+            assert!(
+                get("select limit10 pages", layout) < get("select full pages", layout),
+                "{layout}: LIMIT must terminate the scan early"
+            );
+        }
     }
 
     #[test]

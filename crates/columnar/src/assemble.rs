@@ -14,6 +14,20 @@
 //!   nesting depth is a delimiter: equal means "this array ends here",
 //!   smaller means an enclosing array ends at the same point (the subsumed
 //!   delimiter is consumed by that enclosing array's loop).
+//!
+//! ## Caveat: empty arrays need a materialised item column
+//!
+//! The "array present but empty" definition level lives on the array's
+//! *item* column. A record whose array was only ever seen empty produces no
+//! item column at all (the schema has no item node to shred into), so
+//! reassembly cannot distinguish the empty array from an absent field: the
+//! empty array survives **only when some record in the same component
+//! materialised the column**. Downstream, `EXISTS` on an always-empty array
+//! path is therefore schema-dependent — a storage-layout property, not an
+//! engine bug. The targeted regression lives in
+//! `storage::component::tests::empty_array_reassembly_is_schema_dependent`;
+//! the query differential suites avoid generating always-empty arrays for
+//! the same reason.
 
 use std::collections::HashMap;
 

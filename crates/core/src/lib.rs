@@ -18,6 +18,16 @@
 //! range on the indexed path — and [`Datastore::explain`] shows the chosen
 //! plan.
 //!
+//! Execution **streams**: scans pull the LSM merge cursor one record at a
+//! time (memory bounded by one decoded leaf per component, not the
+//! dataset), so `LIMIT`ed queries stop reading early. Two result shapes are
+//! available — aggregate rows, and raw-column projections
+//! ([`query::Query::select_paths`]: one key-ordered row per matching
+//! record) — plus a cursor API for callers that want to iterate records
+//! themselves: [`Datastore::scan_cursor`] / [`ShardedDataset::cursor`]
+//! yield `(key, record)` pairs in global key order by k-way-merging the
+//! per-shard snapshot streams.
+//!
 //! ```
 //! use docstore::{Datastore, DatasetOptions, Layout};
 //! use query::{Aggregate, ExecMode, Expr, Query};
@@ -365,6 +375,22 @@ impl ShardedDataset {
         self.shards.iter().map(LsmDataset::snapshot).collect()
     }
 
+    /// A streaming cursor over the whole dataset: live `(key, record)`
+    /// pairs in global key order, built by k-way-merging every shard's
+    /// snapshot cursor (shards partition by key, so the merge is exact).
+    /// Memory stays bounded by one decoded leaf per component per shard —
+    /// never the dataset — and dropping the cursor early leaves unread
+    /// leaves unread. Only the projected paths are assembled from columnar
+    /// components (`None` = full records).
+    pub fn cursor(&self, projection: Option<&[Path]>) -> Result<DocCursor> {
+        let mut cursors = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            cursors.push(shard.snapshot().cursor(projection)?);
+        }
+        let heads = cursors.iter().map(|_| None).collect();
+        Ok(DocCursor { cursors, heads })
+    }
+
     /// Run a query: the planner makes its cost-based access-path choice
     /// (scan, key-only scan, or secondary-index range probe, using the
     /// per-component statistics), fans it out over the shards (one thread
@@ -470,6 +496,61 @@ impl ShardedDataset {
             .map(LsmDataset::schema)
             .max_by_key(schema::Schema::column_count)
             .expect("a dataset has at least one shard")
+    }
+}
+
+/// A streaming, key-ordered scan over a (possibly sharded) dataset: the
+/// per-shard snapshot cursors, k-way merged by primary key. Fully owned —
+/// the underlying snapshots pin their components, so flushes and merges
+/// racing the iteration never disturb it. See [`ShardedDataset::cursor`].
+pub struct DocCursor {
+    cursors: Vec<lsm::ScanCursor>,
+    heads: Vec<Option<(Value, Value)>>,
+}
+
+impl DocCursor {
+    /// High-water mark of entries decoded and buffered across every shard's
+    /// cursor so far — the streaming scan's peak memory, in records.
+    pub fn peak_buffered(&self) -> usize {
+        self.cursors.iter().map(lsm::ScanCursor::peak_buffered).sum()
+    }
+
+    fn fill_heads(&mut self) -> Result<()> {
+        for (cursor, head) in self.cursors.iter_mut().zip(self.heads.iter_mut()) {
+            if head.is_none() {
+                if let Some(entry) = cursor.next() {
+                    *head = Some(entry?);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for DocCursor {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Err(e) = self.fill_heads() {
+            return Some(Err(e));
+        }
+        // Shards partition by key: the smallest head is globally next and
+        // unique, so plain min-selection merges the streams exactly.
+        let mut best: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            let Some((key, _)) = head else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let (best_key, _) = self.heads[b].as_ref().expect("head filled");
+                    if docmodel::total_cmp(key, best_key) == std::cmp::Ordering::Less {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let best = best?;
+        Some(Ok(self.heads[best].take().expect("best head present")))
     }
 }
 
@@ -696,6 +777,18 @@ impl Datastore {
     /// Point lookup by primary key.
     pub fn get(&self, dataset: &str, key: &Value) -> Result<Option<Value>> {
         self.dataset(dataset)?.get(key)
+    }
+
+    /// A streaming cursor over a dataset's live records in key order (see
+    /// [`ShardedDataset::cursor`]): bounded memory, early drop reads no
+    /// further pages. The cursor owns consistent snapshots, so concurrent
+    /// ingestion never disturbs an in-flight iteration.
+    pub fn scan_cursor(
+        &self,
+        dataset: &str,
+        projection: Option<&[Path]>,
+    ) -> Result<DocCursor> {
+        self.dataset(dataset)?.cursor(projection)
     }
 
     /// Parse a single JSON document into a [`Value`] (re-export convenience).
@@ -988,6 +1081,64 @@ mod tests {
             let sharded = store.query("sharded", &q, mode).unwrap();
             assert_eq!(sharded.iter().map(|r| r.aggs[0].as_int().unwrap()).sum::<i64>(), 200);
         }
+    }
+
+    #[test]
+    fn raw_select_and_cursor_stream_through_the_facade() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "events",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(3),
+            )
+            .unwrap();
+        let docs: Vec<Value> = (0..200i64)
+            .map(|i| doc!({"id": i, "kind": (format!("k{}", i % 4)), "size": (i % 50)}))
+            .collect();
+        store.ingest_parallel("events", docs).unwrap();
+        store.flush("events").unwrap();
+
+        // Raw-column SELECT with ORDER BY key LIMIT: rows come back in
+        // global key order across the three shards.
+        let q = Query::select_paths(["kind", "size"])
+            .with_filter(Expr::ge("size", 10))
+            .order_by_key()
+            .with_limit(5);
+        let rows = store.query("events", &q, ExecMode::Compiled).unwrap();
+        assert_eq!(rows.len(), 5);
+        let keys: Vec<i64> = rows.iter().map(|r| r.group.as_ref().unwrap().as_int().unwrap()).collect();
+        assert_eq!(keys, vec![10, 11, 12, 13, 14]);
+        assert_eq!(rows[0].aggs.len(), 2);
+        let plan = store.explain("events", &q).unwrap();
+        assert!(plan.contains("SELECT kind, size"), "{plan}");
+        assert!(plan.contains("key ASC LIMIT 5"), "{plan}");
+        assert!(plan.contains("key-ordered row streams"), "{plan}");
+
+        // The streaming cursor merges the per-shard streams in key order
+        // and supports early drop.
+        let mut cursor = store.scan_cursor("events", None).unwrap();
+        let mut seen = Vec::new();
+        for entry in cursor.by_ref().take(10) {
+            let (key, doc) = entry.unwrap();
+            assert_eq!(doc.get_field("id"), Some(&key));
+            seen.push(key.as_int().unwrap());
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<i64>>());
+        drop(cursor);
+        // Projection-aware: only the requested column is assembled.
+        let projection = [Path::parse("size")];
+        let (key, doc) = store
+            .scan_cursor("events", Some(&projection))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        assert_eq!(key, Value::Int(0));
+        assert!(doc.get_field("size").is_some());
+        assert!(doc.get_field("kind").is_none(), "unprojected column absent");
     }
 
     #[test]

@@ -37,11 +37,9 @@
 //! * the crate-private `Scheduler` coordinates the optional background
 //!   worker and applies ingest backpressure when sealed memtables pile up.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
 use parking_lot::{Mutex, RwLock};
 use persist::{CrashPoint, DurableStore, ManifestData, ManifestStore, PersistedConfig, WalRecord};
@@ -55,7 +53,7 @@ use crate::index::{PrimaryKeyIndex, SecondaryIndex};
 use crate::memtable::Memtable;
 use crate::policy::{MergeDecision, TieringPolicy};
 use crate::scheduler::Scheduler;
-use crate::snapshot::{SealedMemtable, Snapshot, TreeState};
+use crate::snapshot::{EntryMergeCursor, SealedMemtable, Snapshot, TreeState};
 use crate::Result;
 
 /// Configuration of one dataset partition.
@@ -542,7 +540,23 @@ impl LsmDataset {
             .collect();
         let tree = self.core.tree.read().clone();
         drop(write);
-        Snapshot { active, tree }
+        Snapshot { active: Arc::new(active), tree }
+    }
+
+    /// Records (and anti-matter) currently in memory: the active memtable
+    /// plus every sealed memtable. Feeds the planner's memtable-aware CPU
+    /// cost term.
+    pub fn in_memory_entries(&self) -> usize {
+        let active = self.core.write.lock().memtable.len();
+        active
+            + self
+                .core
+                .tree
+                .read()
+                .sealed
+                .iter()
+                .map(|s| s.entries.len())
+                .sum::<usize>()
     }
 
     /// Insert (or upsert) a record. For durable datasets the record is
@@ -608,7 +622,7 @@ impl LsmDataset {
             self.core.tree.read().clone()
         };
         Snapshot {
-            active: Vec::new(),
+            active: Arc::new(Vec::new()),
             tree,
         }
         .lookup(key, projection)
@@ -660,6 +674,22 @@ impl LsmDataset {
         hi: std::ops::Bound<&Value>,
         projection: Option<&[Path]>,
     ) -> Result<Vec<Value>> {
+        Ok(self
+            .secondary_range_entries(lo, hi, projection)?
+            .into_iter()
+            .map(|(_, doc)| doc)
+            .collect())
+    }
+
+    /// Like [`LsmDataset::secondary_range_bounds`], but keeping each record
+    /// paired with its primary key, in key order — what the query layer's
+    /// key-ordered projection output consumes.
+    pub fn secondary_range_entries(
+        &self,
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<(Value, Value)>> {
         let mut keys = {
             let write = self.core.write.lock();
             let secondary = write
@@ -668,7 +698,7 @@ impl LsmDataset {
                 .ok_or_else(|| crate::LsmError::new("dataset has no secondary index"))?;
             secondary.range_bounds(lo, hi)
         };
-        self.lookup_sorted_keys(&mut keys, projection)
+        self.snapshot().lookup_sorted_entries(&mut keys, projection)
     }
 }
 
@@ -887,23 +917,18 @@ impl DatasetCore {
         let inputs: Vec<Arc<Component>> =
             positions.iter().map(|&p| components[p].clone()).collect();
         let includes_oldest = positions.first() == Some(&0);
-        // Reconcile newest-first so the most recent version of each key wins.
-        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
-        for component in inputs.iter().rev() {
-            for entry in component.scan(None)? {
-                let (key, doc) = entry?;
-                merged.entry(OrderedValue(key)).or_insert(doc);
+        // Reconcile through the streaming k-way merge cursor: entries arrive
+        // in key order with the newest version of each key winning, holding
+        // one decoded leaf per input in memory instead of the whole inputs.
+        let mut entries: Vec<Entry> = Vec::new();
+        for entry in EntryMergeCursor::over_components(&inputs, None) {
+            let (key, doc) = entry?;
+            // Anti-matter annihilates older records; it can itself be
+            // dropped once the merge includes the oldest component.
+            if doc.is_some() || !includes_oldest {
+                entries.push((key, doc));
             }
         }
-        let entries: Vec<Entry> = merged
-            .into_iter()
-            .filter(|(_, doc)| {
-                // Anti-matter annihilates older records; it can itself be
-                // dropped once the merge includes the oldest component.
-                doc.is_some() || !includes_oldest
-            })
-            .map(|(k, v)| (k.0, v))
-            .collect();
 
         let schema = maint.schema_builder.schema().clone();
         let new_component = Arc::new(Component::write(
@@ -960,7 +985,7 @@ impl DatasetCore {
             return Ok(entry.cloned());
         }
         Snapshot {
-            active: Vec::new(),
+            active: Arc::new(Vec::new()),
             tree: self.tree.read().clone(),
         }
         .lookup(key, projection)
@@ -1010,32 +1035,32 @@ impl DatasetCore {
             return Ok(());
         }
         let mut write = self.write.lock();
-        // Reconcile newest-first so each key contributes its live version.
-        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
-        for (key, doc) in write.memtable.iter() {
-            merged
-                .entry(OrderedValue(key.clone()))
-                .or_insert_with(|| doc.cloned());
-        }
+        // Reconcile newest-first through the streaming merge cursor so each
+        // key contributes exactly its live version.
+        let memtable_entries: Vec<Entry> = write
+            .memtable
+            .iter()
+            .map(|(k, v)| (k.clone(), v.cloned()))
+            .collect();
         let projection: Vec<Path> = index_path.iter().cloned().collect();
         let tree = self.tree.read().clone();
-        for component in tree.components.iter().rev() {
-            for entry in component.scan(Some(&projection))? {
-                let (key, doc) = entry?;
-                merged.entry(OrderedValue(key)).or_insert(doc);
-            }
-        }
-        for (key, doc) in &merged {
+        let cursor = EntryMergeCursor::over_memtable_and_components(
+            memtable_entries,
+            &tree.components,
+            Some(&projection),
+        );
+        for entry in cursor {
+            let (key, doc) = entry?;
             if self.config.primary_key_index {
                 // Every key ever written may exist on disk, so the filter
                 // includes deleted keys too (it only answers "may exist").
-                write.pk_index.insert(&key.0);
+                write.pk_index.insert(&key);
             }
             if let (Some(path), Some(doc)) = (index_path.as_ref(), doc.as_ref()) {
                 let values: Vec<Value> = path.evaluate(doc).into_iter().cloned().collect();
                 if let Some(secondary) = write.secondary.as_mut() {
                     for value in values {
-                        secondary.insert(&value, &key.0);
+                        secondary.insert(&value, &key);
                     }
                 }
             }

@@ -22,7 +22,13 @@
 //!   together: insert/upsert/delete, flush with schema inference, merges,
 //!   reconciled scans with projection push-down, point lookups, and
 //!   secondary-index range queries answered by sorted batched lookups (§4.6);
-//! * [`snapshot`] — [`Snapshot`]: consistent point-in-time read views;
+//! * [`snapshot`] — [`Snapshot`]: consistent point-in-time read views, and
+//!   the streaming read path: [`Snapshot::cursor`] builds a k-way
+//!   merge-reconcile cursor ([`ScanCursor`]) over memtables and component
+//!   cursors — records in key order, newest version wins, anti-matter
+//!   annihilates, at most one decoded leaf per component in memory — and
+//!   [`EntryMergeCursor`] is the same machinery with anti-matter preserved,
+//!   driving merges and index rebuilds (see the module's cursor protocol);
 //! * `scheduler` (crate-private) — background flush/merge coordination and
 //!   backpressure.
 //!
@@ -97,7 +103,7 @@ pub use index::{PrimaryKeyIndex, SecondaryIndex};
 pub use memtable::Memtable;
 pub use persist::CrashPoint;
 pub use policy::{MergeDecision, TieringPolicy};
-pub use snapshot::Snapshot;
+pub use snapshot::{EntryMergeCursor, ScanCursor, Snapshot};
 
 /// Error type shared by the LSM layer.
 pub type LsmError = encoding::DecodeError;

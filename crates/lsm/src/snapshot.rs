@@ -1,4 +1,4 @@
-//! Consistent point-in-time read views.
+//! Consistent point-in-time read views and their streaming cursors.
 //!
 //! The dataset publishes its LSM tree as an immutable [`TreeState`] behind
 //! an atomically-swapped `Arc`: sealed (flush-pending) memtables plus the
@@ -16,13 +16,33 @@
 //!   active memtable, then sealed memtables (newest first), then components
 //!   (newest first) — the most recent version of each key wins and
 //!   anti-matter hides older versions.
+//!
+//! ## The cursor protocol
+//!
+//! Scans are *pull-based*. [`Snapshot::cursor`] builds a k-way
+//! merge-reconcile cursor ([`ScanCursor`]) over all sources of the snapshot:
+//! every source is key-sorted (memtables by construction, components by the
+//! storage cursor protocol), so the merge yields records in global key order
+//! while holding **at most one decoded leaf per component** in memory —
+//! O(components × leaf) instead of O(dataset). Reconciliation happens on the
+//! fly: when several sources head the same key, the newest source's version
+//! wins and the older heads are discarded; anti-matter annihilates the key
+//! without emitting it. Dropping the cursor early (a `LIMIT`, a
+//! short-circuiting consumer) leaves every unread leaf unread, which the
+//! `IoStats` counters make observable.
+//!
+//! The same machinery, with anti-matter *preserved*, drives the dataset's
+//! merges and index rebuilds ([`EntryMergeCursor`]): a merge is exactly a
+//! newest-first reconciling union of component cursors.
+//!
+//! Cursors are fully owned (`Arc`s into the snapshot's sources), so they can
+//! outlive the `&Snapshot` borrow they were created from — the facade hands
+//! them out as streaming query results.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use docmodel::cmp::OrderedValue;
 use docmodel::{total_cmp, Path, Value};
-use storage::component::{Component, ComponentReader};
+use storage::component::{Component, ComponentCursor, ComponentReader, Entry};
 
 use crate::Result;
 
@@ -56,10 +76,12 @@ pub struct TreeState {
     pub(crate) components: Vec<Arc<Component>>,
 }
 
-/// A consistent point-in-time view of one dataset.
+/// A consistent point-in-time view of one dataset. Cloning is shallow: the
+/// active memtable copy and the tree are both behind `Arc`s.
+#[derive(Clone)]
 pub struct Snapshot {
     /// Frozen copy of the active memtable, in key order.
-    pub(crate) active: Vec<(Value, Option<Value>)>,
+    pub(crate) active: Arc<Vec<(Value, Option<Value>)>>,
     /// The published tree at snapshot time.
     pub(crate) tree: Arc<TreeState>,
 }
@@ -84,13 +106,15 @@ impl Snapshot {
         Ok(None)
     }
 
-    /// Scan the snapshot, reconciling duplicates and dropping anti-matter.
-    /// Only the projected paths are assembled from columnar components.
-    pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
-        self.scan_pruned(projection, &[])
+    /// A streaming merge-reconcile cursor over the whole snapshot: live
+    /// records in key order, duplicates reconciled newest-first, anti-matter
+    /// dropped. Only the projected paths are assembled from columnar
+    /// components. See the module-level cursor protocol.
+    pub fn cursor(&self, projection: Option<&[Path]>) -> Result<ScanCursor> {
+        self.cursor_pruned(projection, &[])
     }
 
-    /// Like [`Snapshot::scan`], but skipping the components whose position
+    /// Like [`Snapshot::cursor`], but skipping the components whose position
     /// (oldest-first, matching [`Snapshot::components`]) is flagged in
     /// `skip`. Missing trailing flags mean "do not skip".
     ///
@@ -104,59 +128,65 @@ impl Snapshot {
     /// `query::physical::prune_flags`, the single implementation of that
     /// rule. Memtables are newer than every component and are always
     /// scanned, so they never constrain pruning.
-    pub fn scan_pruned(
+    pub fn cursor_pruned(
         &self,
         projection: Option<&[Path]>,
         skip: &[bool],
-    ) -> Result<Vec<Value>> {
-        let mut merged: BTreeMap<OrderedValue, Option<Value>> = BTreeMap::new();
-        for (key, doc) in &self.active {
-            merged
-                .entry(OrderedValue(key.clone()))
-                .or_insert_with(|| doc.clone());
-        }
+    ) -> Result<ScanCursor> {
+        Ok(ScanCursor {
+            inner: self.entry_cursor(projection, skip),
+        })
+    }
+
+    /// The underlying entry-level merge cursor (anti-matter included).
+    fn entry_cursor(&self, projection: Option<&[Path]>, skip: &[bool]) -> EntryMergeCursor {
+        // Sources newest-first: active memtable, sealed memtables (newest
+        // first), components (newest first, minus the pruned ones).
+        let mut sources = Vec::with_capacity(1 + self.tree.sealed.len() + self.tree.components.len());
+        sources.push(MergeSource::mem(self.active.clone()));
         for sealed in self.tree.sealed.iter().rev() {
-            for (key, doc) in &sealed.entries {
-                merged
-                    .entry(OrderedValue(key.clone()))
-                    .or_insert_with(|| doc.clone());
-            }
+            sources.push(MergeSource::sealed(sealed.clone()));
         }
         for (i, component) in self.tree.components.iter().enumerate().rev() {
             if skip.get(i).copied().unwrap_or(false) {
                 continue;
             }
-            for entry in component.scan(projection)? {
-                let (key, doc) = entry?;
-                merged.entry(OrderedValue(key)).or_insert(doc);
-            }
+            sources.push(MergeSource::disk(component.cursor(projection)));
         }
-        Ok(merged.into_values().flatten().collect())
+        EntryMergeCursor::new(sources)
     }
 
-    /// Number of live records (COUNT(*)): only primary keys are read, which
-    /// for AMAX means Page 0 alone.
+    /// Scan the snapshot into a materialised batch, reconciling duplicates
+    /// and dropping anti-matter. A convenience over [`Snapshot::cursor`] for
+    /// callers that want the whole result anyway (tests, small datasets);
+    /// the query engines stream instead.
+    pub fn scan(&self, projection: Option<&[Path]>) -> Result<Vec<Value>> {
+        self.scan_pruned(projection, &[])
+    }
+
+    /// Materialising variant of [`Snapshot::cursor_pruned`].
+    pub fn scan_pruned(
+        &self,
+        projection: Option<&[Path]>,
+        skip: &[bool],
+    ) -> Result<Vec<Value>> {
+        let mut out = Vec::new();
+        for entry in self.cursor_pruned(projection, skip)? {
+            out.push(entry?.1);
+        }
+        Ok(out)
+    }
+
+    /// Number of live records (COUNT(*)): streams the key-only cursor, so
+    /// only primary keys are read (Page 0 alone for AMAX) and memory stays
+    /// bounded by one leaf per component.
     pub fn count(&self) -> Result<usize> {
-        let mut merged: BTreeMap<OrderedValue, bool> = BTreeMap::new();
-        for (key, doc) in &self.active {
-            merged
-                .entry(OrderedValue(key.clone()))
-                .or_insert(doc.is_some());
+        let mut n = 0;
+        for entry in self.cursor(Some(&[]))? {
+            entry?;
+            n += 1;
         }
-        for sealed in self.tree.sealed.iter().rev() {
-            for (key, doc) in &sealed.entries {
-                merged
-                    .entry(OrderedValue(key.clone()))
-                    .or_insert(doc.is_some());
-            }
-        }
-        for component in self.tree.components.iter().rev() {
-            for entry in component.scan(Some(&[]))? {
-                let (key, doc) = entry?;
-                merged.entry(OrderedValue(key)).or_insert(doc.is_some());
-            }
-        }
-        Ok(merged.values().filter(|live| **live).count())
+        Ok(n)
     }
 
     /// Batched point lookups for the (sorted) keys produced by a secondary
@@ -166,11 +196,26 @@ impl Snapshot {
         keys: &mut [Value],
         projection: Option<&[Path]>,
     ) -> Result<Vec<Value>> {
+        Ok(self
+            .lookup_sorted_entries(keys, projection)?
+            .into_iter()
+            .map(|(_, doc)| doc)
+            .collect())
+    }
+
+    /// Like [`Snapshot::lookup_sorted_keys`], but keeping each record paired
+    /// with its primary key — what the query layer's key-ordered projection
+    /// output needs.
+    pub fn lookup_sorted_entries(
+        &self,
+        keys: &mut [Value],
+        projection: Option<&[Path]>,
+    ) -> Result<Vec<(Value, Value)>> {
         keys.sort_by(docmodel::total_cmp);
         let mut out = Vec::with_capacity(keys.len());
         for key in keys.iter() {
             if let Some(doc) = self.lookup(key, projection)? {
-                out.push(doc);
+                out.push((key.clone(), doc));
             }
         }
         Ok(out)
@@ -197,5 +242,232 @@ impl Snapshot {
                 .iter()
                 .map(|s| s.entries.len())
                 .sum::<usize>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The k-way merge-reconcile cursors.
+// ---------------------------------------------------------------------------
+
+/// One input of the merge: a key-sorted run of entries, either shared
+/// in-memory slices (memtables) or a streaming component cursor.
+enum SourceKind {
+    /// Active memtable (frozen copy) or a sealed memtable's entries.
+    Mem {
+        entries: MemEntries,
+        pos: usize,
+    },
+    /// A streaming on-disk component cursor (one leaf resident at a time).
+    Disk(ComponentCursor),
+}
+
+/// The two shared in-memory entry runs a source can hold an `Arc` into.
+enum MemEntries {
+    Active(Arc<Vec<Entry>>),
+    Sealed(Arc<SealedMemtable>),
+}
+
+impl MemEntries {
+    fn get(&self, pos: usize) -> Option<&Entry> {
+        match self {
+            MemEntries::Active(entries) => entries.get(pos),
+            MemEntries::Sealed(sealed) => sealed.entries.get(pos),
+        }
+    }
+}
+
+/// One merge input together with its buffered head entry.
+struct MergeSource {
+    kind: SourceKind,
+    /// The source's next entry, pulled but not yet consumed by the merge.
+    head: Option<Entry>,
+    /// Set once the source returned `None` (avoids re-polling).
+    exhausted: bool,
+}
+
+impl MergeSource {
+    fn mem(entries: Arc<Vec<Entry>>) -> MergeSource {
+        MergeSource {
+            kind: SourceKind::Mem { entries: MemEntries::Active(entries), pos: 0 },
+            head: None,
+            exhausted: false,
+        }
+    }
+
+    fn sealed(sealed: Arc<SealedMemtable>) -> MergeSource {
+        MergeSource {
+            kind: SourceKind::Mem { entries: MemEntries::Sealed(sealed), pos: 0 },
+            head: None,
+            exhausted: false,
+        }
+    }
+
+    fn disk(cursor: ComponentCursor) -> MergeSource {
+        MergeSource { kind: SourceKind::Disk(cursor), head: None, exhausted: false }
+    }
+
+    /// Ensure `head` holds the source's next entry (or mark it exhausted).
+    fn fill(&mut self) -> Result<()> {
+        if self.head.is_some() || self.exhausted {
+            return Ok(());
+        }
+        match &mut self.kind {
+            SourceKind::Mem { entries, pos } => match entries.get(*pos) {
+                Some(entry) => {
+                    self.head = Some(entry.clone());
+                    *pos += 1;
+                }
+                None => self.exhausted = true,
+            },
+            SourceKind::Disk(cursor) => match cursor.next() {
+                Some(entry) => self.head = Some(entry?),
+                None => self.exhausted = true,
+            },
+        }
+        Ok(())
+    }
+
+    /// Entries currently decoded and resident for this source: the leaf
+    /// buffer plus the held head entry (disk sources only — memtable
+    /// sources share the snapshot's memory).
+    fn buffered(&self) -> usize {
+        match &self.kind {
+            SourceKind::Mem { .. } => 0,
+            SourceKind::Disk(cursor) => cursor.buffered() + usize::from(self.head.is_some()),
+        }
+    }
+}
+
+/// A k-way, newest-first merge-reconcile cursor over key-sorted entry runs.
+///
+/// Yields one [`Entry`] per distinct key, in ascending key order: the
+/// version from the **newest** source holding the key (sources are ordered
+/// newest-first at construction). Anti-matter entries are yielded as
+/// `(key, None)` — callers that want live records only use [`ScanCursor`];
+/// the dataset's merge keeps the anti-matter to write it into the merged
+/// component.
+pub struct EntryMergeCursor {
+    /// Sources in newest-first order; index = reconciliation priority.
+    sources: Vec<MergeSource>,
+    /// High-water mark of entries buffered across all sources (the peak-RSS
+    /// proxy reported by the streaming benchmarks).
+    peak_buffered: usize,
+}
+
+impl EntryMergeCursor {
+    fn new(sources: Vec<MergeSource>) -> EntryMergeCursor {
+        EntryMergeCursor { sources, peak_buffered: 0 }
+    }
+
+    /// A merge cursor over on-disk components only (`components` given
+    /// oldest-first, as stored in the tree), anti-matter preserved — the
+    /// dataset's merge input.
+    pub fn over_components(
+        components: &[Arc<Component>],
+        projection: Option<&[Path]>,
+    ) -> EntryMergeCursor {
+        EntryMergeCursor::new(
+            components
+                .iter()
+                .rev()
+                .map(|c| MergeSource::disk(c.cursor(projection)))
+                .collect(),
+        )
+    }
+
+    /// Like [`EntryMergeCursor::over_components`], with an additional
+    /// in-memory key-sorted run that is newer than every component (the
+    /// recovered memtable during index rebuilds).
+    pub fn over_memtable_and_components(
+        memtable_entries: Vec<Entry>,
+        components: &[Arc<Component>],
+        projection: Option<&[Path]>,
+    ) -> EntryMergeCursor {
+        let mut sources = vec![MergeSource::mem(Arc::new(memtable_entries))];
+        for component in components.iter().rev() {
+            sources.push(MergeSource::disk(component.cursor(projection)));
+        }
+        EntryMergeCursor::new(sources)
+    }
+
+    /// High-water mark of entries decoded and buffered across all disk
+    /// sources so far — at most one leaf per component, the memory bound of
+    /// the streaming scan (used as the peak-RSS proxy in benchmarks).
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    fn advance(&mut self) -> Result<Option<Entry>> {
+        // Fill every head, then account the buffered high-water mark.
+        for source in &mut self.sources {
+            source.fill()?;
+        }
+        let buffered: usize = self.sources.iter().map(MergeSource::buffered).sum();
+        self.peak_buffered = self.peak_buffered.max(buffered);
+
+        // The smallest head key wins; among equal keys, the newest source
+        // (lowest index) provides the surviving version.
+        let mut best: Option<usize> = None;
+        for (i, source) in self.sources.iter().enumerate() {
+            let Some((key, _)) = &source.head else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let (best_key, _) = self.sources[b].head.as_ref().expect("head filled");
+                    if total_cmp(key, best_key) == std::cmp::Ordering::Less {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(best) = best else { return Ok(None) };
+        let entry = self.sources[best].head.take().expect("best head filled");
+        // Discard the shadowed versions of the same key in older sources.
+        for source in &mut self.sources[best + 1..] {
+            if let Some((key, _)) = &source.head {
+                if total_cmp(key, &entry.0) == std::cmp::Ordering::Equal {
+                    source.head = None;
+                }
+            }
+        }
+        Ok(Some(entry))
+    }
+}
+
+impl Iterator for EntryMergeCursor {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.advance().transpose()
+    }
+}
+
+/// The snapshot-level streaming scan: live `(key, record)` pairs in key
+/// order, anti-matter dropped. Created by [`Snapshot::cursor`] /
+/// [`Snapshot::cursor_pruned`]; fully owned, so it may outlive the snapshot
+/// borrow it came from.
+pub struct ScanCursor {
+    inner: EntryMergeCursor,
+}
+
+impl ScanCursor {
+    /// High-water mark of entries decoded and buffered across all disk
+    /// sources so far (see [`EntryMergeCursor::peak_buffered`]).
+    pub fn peak_buffered(&self) -> usize {
+        self.inner.peak_buffered()
+    }
+}
+
+impl Iterator for ScanCursor {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.inner.next()? {
+                Ok((key, Some(doc))) => return Some(Ok((key, doc))),
+                Ok((_, None)) => continue, // anti-matter: key is deleted
+                Err(e) => return Some(Err(e)),
+            }
+        }
     }
 }

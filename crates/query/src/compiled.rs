@@ -10,23 +10,28 @@
 //!
 //! In Rust we get the same effect by lowering the physical plan *once* into
 //! a fused closure pipeline: all paths are cloned out of the plan up front,
-//! and the record loop feeds the aggregation table directly. The engine
-//! executes the same [`PhysicalPlan`] as the interpreted mode and emits the
-//! same mergeable per-group partials — only the per-tuple execution model
-//! differs, exactly the contrast §5 of the paper measures.
+//! and the record loop feeds the aggregation table directly. The loop
+//! **pulls** from the access stage's streaming cursor — one record in
+//! flight, one decoded leaf per component resident — so the contrast with
+//! [`crate::interp`] is purely the per-tuple execution model, exactly what
+//! §5 of the paper measures. (Projection plans have no pipeline breaker
+//! and no per-tuple interpretation contrast; both modes share one
+//! projection loop in the engine crate root.)
 
 use docmodel::cmp::OrderedValue;
 use docmodel::{Path, Value};
 
 use crate::physical::{new_states, GroupPartials, PhysicalPlan};
+use crate::Result;
 
 /// The fused per-record loop shared by the scan and index-probe access
 /// paths: filter, unnest and aggregate in one pass, with every path
-/// pre-resolved outside the loop.
-pub(crate) fn aggregate_docs<'a>(
-    docs: impl Iterator<Item = &'a Value>,
+/// pre-resolved outside the loop. Pulls the stream record by record; no
+/// batch is ever materialised.
+pub(crate) fn aggregate_stream(
+    docs: impl Iterator<Item = Result<Value>>,
     plan: &PhysicalPlan,
-) -> GroupPartials {
+) -> Result<GroupPartials> {
     // "Code generation": resolve all plan parameters once, before the loop.
     let filter = plan.filter.clone();
     let unnest: Option<Path> = plan.unnest.clone();
@@ -63,26 +68,28 @@ pub(crate) fn aggregate_docs<'a>(
     };
 
     for record in docs {
+        let record = record?;
         if let Some(f) = &filter {
-            if !f.matches(record) {
+            if !f.matches(&record) {
                 continue;
             }
         }
         match &unnest {
-            None => update(record, None, &mut groups),
+            None => update(&record, None, &mut groups),
             Some(path) => {
-                for value in path.evaluate(record) {
+                for value in path.evaluate(&record) {
                     match value {
                         Value::Array(elems) => {
                             for element in elems {
-                                update(record, Some(element), &mut groups);
+                                update(&record, Some(element), &mut groups);
                             }
                         }
-                        other => update(record, Some(other), &mut groups),
+                        other => update(&record, Some(other), &mut groups),
                     }
                 }
             }
         }
     }
-    groups
+    Ok(groups)
 }
+

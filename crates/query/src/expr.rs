@@ -55,6 +55,18 @@ impl CmpOp {
         }
     }
 
+    /// The operator satisfied by exactly the orderings this one rejects, or
+    /// `None` for `Eq` (the algebra has no `Ne`).
+    pub fn negated(self) -> Option<CmpOp> {
+        match self {
+            CmpOp::Eq => None,
+            CmpOp::Lt => Some(CmpOp::Ge),
+            CmpOp::Le => Some(CmpOp::Gt),
+            CmpOp::Gt => Some(CmpOp::Le),
+            CmpOp::Ge => Some(CmpOp::Lt),
+        }
+    }
+
     /// The SQL rendering used by `EXPLAIN` output.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -192,6 +204,98 @@ impl Expr {
             Expr::Length { path, op, len } => path.evaluate(doc).iter().any(|v| {
                 value_length(v).is_some_and(|l| op.matches(l.cmp(len)))
             }),
+        }
+    }
+
+    /// Planner-side simplification: an **equivalent** expression (same
+    /// [`Expr::matches`] verdict on every document) that is flatter and
+    /// pushes negations inward, so the planner's static analyses
+    /// ([`Expr::implied_bounds`], zone maps) see through boolean noise:
+    ///
+    /// * **constant folding** — nested `AND`s/`OR`s are flattened, `TRUE`
+    ///   (the empty conjunction) disappears from conjunctions and
+    ///   annihilates disjunctions, dually for `FALSE`; single-child
+    ///   `AND`/`OR` unwrap;
+    /// * **double negation** — `NOT NOT e` → `e` (this is what lets a
+    ///   `NOT NOT BETWEEN` drive an index probe);
+    /// * **De Morgan push-in** — `NOT (a AND b)` → `NOT a OR NOT b` and
+    ///   dually, recursively;
+    /// * **comparison negation** — on a *single-valued* path (no `[*]`
+    ///   step), `NOT (p < c)` → `p >= c OR NOT EXISTS(p)`. The
+    ///   `NOT EXISTS` disjunct is required for equivalence: comparisons are
+    ///   existential, so a record *missing* `p` satisfies the negation but
+    ///   not the flipped comparison. On multi-valued paths the negation of
+    ///   "some element satisfies" is "every element fails", which the
+    ///   algebra cannot express — the `NOT` stays put. `NOT (p = c)` also
+    ///   stays (no `Ne` operator).
+    ///
+    /// The planner simplifies every filter before access-path selection and
+    /// stores the simplified tree in the physical plan, so `EXPLAIN` shows
+    /// it and the residual filter evaluates the simpler form.
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::And(children) => {
+                let mut out = Vec::new();
+                for child in children {
+                    match child.simplify() {
+                        Expr::And(grand) => out.extend(grand), // flatten; TRUE vanishes
+                        Expr::Or(grand) if grand.is_empty() => return Expr::Or(Vec::new()),
+                        other => out.push(other),
+                    }
+                }
+                if out.len() == 1 {
+                    out.pop().expect("one child")
+                } else {
+                    Expr::And(out)
+                }
+            }
+            Expr::Or(children) => {
+                let mut out = Vec::new();
+                for child in children {
+                    match child.simplify() {
+                        Expr::Or(grand) => out.extend(grand), // flatten; FALSE vanishes
+                        Expr::And(grand) if grand.is_empty() => return Expr::And(Vec::new()),
+                        other => out.push(other),
+                    }
+                }
+                if out.len() == 1 {
+                    out.pop().expect("one child")
+                } else {
+                    Expr::Or(out)
+                }
+            }
+            Expr::Not(inner) => Expr::simplify_negation(inner),
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// Simplify `NOT inner`, pushing the negation as deep as soundness
+    /// allows (see [`Expr::simplify`]).
+    fn simplify_negation(inner: &Expr) -> Expr {
+        match inner {
+            Expr::Not(doubly) => doubly.simplify(),
+            Expr::And(children) => {
+                Expr::Or(children.iter().map(Expr::simplify_negation).collect()).simplify()
+            }
+            Expr::Or(children) => {
+                Expr::And(children.iter().map(Expr::simplify_negation).collect()).simplify()
+            }
+            Expr::Cmp { op, path, value } if path.repeated_depth() == 0 => {
+                match op.negated() {
+                    // ¬(∃v∈p: v op c) on a single-valued path: either the
+                    // one value fails the comparison, or there is no value.
+                    Some(negated) => Expr::Or(vec![
+                        Expr::Cmp {
+                            op: negated,
+                            path: path.clone(),
+                            value: value.clone(),
+                        },
+                        Expr::Not(Box::new(Expr::Exists(path.clone()))),
+                    ]),
+                    None => Expr::Not(Box::new(inner.simplify())),
+                }
+            }
+            other => Expr::Not(Box::new(other.simplify())),
         }
     }
 
@@ -529,6 +633,96 @@ mod tests {
         assert!(e.implied_bounds(&p).is_none());
         // Negation is conservatively unbounded.
         assert!(Expr::not(Expr::eq("score", 5)).implied_bounds(&p).is_none());
+    }
+
+    #[test]
+    fn simplify_folds_constants_and_flattens() {
+        // Nested AND flattens, the empty AND (TRUE) disappears.
+        let e = Expr::and([
+            Expr::and([Expr::ge("a", 1), Expr::and([])]),
+            Expr::lt("a", 9),
+        ]);
+        assert_eq!(e.simplify().to_string(), "(a >= 1 AND a < 9)");
+        // FALSE annihilates a conjunction; TRUE annihilates a disjunction.
+        let e = Expr::and([Expr::ge("a", 1), Expr::or([])]);
+        assert!(matches!(e.simplify(), Expr::Or(v) if v.is_empty()));
+        let e = Expr::or([Expr::ge("a", 1), Expr::and([])]);
+        assert!(matches!(e.simplify(), Expr::And(v) if v.is_empty()));
+        // Single-child wrappers unwrap.
+        assert_eq!(Expr::and([Expr::ge("a", 1)]).simplify().to_string(), "a >= 1");
+    }
+
+    #[test]
+    fn simplify_eliminates_double_negation_enabling_bounds() {
+        let e = Expr::not(Expr::not(Expr::between("score", 10, 20)));
+        let s = e.simplify();
+        let p = Path::parse("score");
+        let (lo, hi) = s.implied_bounds(&p).expect("double negation must expose bounds");
+        assert_eq!(lo, Bound::Included(Value::Int(10)));
+        assert_eq!(hi, Bound::Included(Value::Int(20)));
+        assert!(e.implied_bounds(&p).is_none(), "unsimplified NOT is opaque");
+    }
+
+    #[test]
+    fn simplify_pushes_not_through_de_morgan_and_comparisons() {
+        // NOT (a < 5 AND EXISTS(t)) → (a >= 5 OR NOT EXISTS(a)) OR NOT EXISTS(t).
+        let e = Expr::not(Expr::and([Expr::lt("a", 5), Expr::exists("t")]));
+        let s = e.simplify();
+        let text = s.to_string();
+        assert!(text.contains("a >= 5"), "{text}");
+        assert!(text.contains("NOT EXISTS(t)"), "{text}");
+        assert!(!text.contains("NOT a"), "{text}");
+        // The NOT EXISTS guard is what keeps missing paths equivalent.
+        assert!(text.contains("NOT EXISTS(a)"), "{text}");
+    }
+
+    #[test]
+    fn simplify_preserves_matches_on_tricky_records() {
+        let records = [
+            doc!({"a": 3, "t": 1}),
+            doc!({"a": 7}),
+            doc!({"t": 1}),                // `a` missing
+            doc!({"a": [1, 9]}),           // `a` unexpectedly multi-valued
+            doc!({}),
+        ];
+        let exprs = [
+            Expr::not(Expr::lt("a", 5)),
+            Expr::not(Expr::not(Expr::ge("a", 5))),
+            Expr::not(Expr::and([Expr::lt("a", 5), Expr::exists("t")])),
+            Expr::not(Expr::or([Expr::eq("a", 3), Expr::gt("a", 6)])),
+            Expr::not(Expr::contains("a", 9)),
+            Expr::not(Expr::Cmp {
+                op: CmpOp::Lt,
+                path: Path::parse("a[*]"),
+                value: Value::Int(5),
+            }),
+            Expr::and([Expr::or([]), Expr::ge("a", 1)]),
+            Expr::or([Expr::and([]), Expr::ge("a", 1)]),
+        ];
+        for e in &exprs {
+            let s = e.simplify();
+            for rec in &records {
+                assert_eq!(
+                    e.matches(rec),
+                    s.matches(rec),
+                    "simplification changed `{e}` → `{s}` on {rec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_keeps_multi_valued_negations_opaque() {
+        // ¬(some ts[*] < 5) is "every element ≥ 5" — not expressible, so the
+        // NOT must stay (pushing it in would change answers).
+        let e = Expr::not(Expr::Cmp {
+            op: CmpOp::Lt,
+            path: Path::parse("ts[*]"),
+            value: Value::Int(5),
+        });
+        assert!(matches!(e.simplify(), Expr::Not(_)));
+        // NOT (p = c) has no Ne to flip to.
+        assert!(matches!(Expr::not(Expr::eq("a", 1)).simplify(), Expr::Not(_)));
     }
 
     #[test]

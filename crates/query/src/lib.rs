@@ -27,19 +27,28 @@
 //!   physical plan through the right access path, fanning out one thread per
 //!   shard and merging per-group partial aggregates exactly.
 //!
+//! Execution **streams** end to end: the access stage is the LSM snapshot's
+//! k-way merge-reconcile cursor (one decoded leaf per component in memory,
+//! never the dataset) and every operator pulls one record at a time, so a
+//! limited query stops reading as soon as its answer is complete. Besides
+//! aggregates, the plan supports **raw-column `SELECT`**
+//! ([`Query::select_paths`]): one key-ordered row per matching record, with
+//! `ORDER BY key LIMIT k` terminating after the k-th match without
+//! scanning the tail. The seed's materialise-then-process model survives
+//! only as the differential-testing [`oracle`].
+//!
 //! Two execution modes run every plan ([`ExecMode`]):
 //!
 //! * [`ExecMode::Interpreted`] — a classic operator pipeline
 //!   (scan → filter → unnest → project → group) where every operator is a
-//!   boxed trait object that materialises its full output batch before the
-//!   next operator runs;
+//!   boxed trait object pulling rows through dynamic dispatch, re-resolving
+//!   paths per tuple;
 //! * [`ExecMode::Compiled`] — the "code generation" mode: the plan is
 //!   lowered once into a fused, monomorphised pipeline with pre-resolved
-//!   field accessors, and the data is processed in a single pass with no
-//!   intermediate materialisation. Rust closure fusion stands in for the
-//!   Truffle AST + JIT of the paper (see DESIGN.md §2); the property being
-//!   measured — per-tuple interpretation overhead vs. specialised code — is
-//!   the same.
+//!   field accessors, and the data is processed in a single pass. Rust
+//!   closure fusion stands in for the Truffle AST + JIT of the paper (see
+//!   DESIGN.md §2); the property being measured — per-tuple interpretation
+//!   overhead vs. specialised code — is the same.
 //!
 //! Group-by (the pipeline breaker) is executed by the engine itself in both
 //! modes, exactly as in the paper where code generation stops at the first
@@ -86,6 +95,7 @@
 pub mod compiled;
 pub mod expr;
 pub mod interp;
+pub mod oracle;
 pub mod physical;
 pub mod plan;
 
@@ -240,21 +250,24 @@ impl QueryEngine {
         if matches!(&target, QueryTarget::Snapshots([]) | QueryTarget::Shards([])) {
             return Ok(Vec::new());
         }
-        let partials = match target {
-            QueryTarget::Snapshot(snapshot) => self.partials_for_snapshot(snapshot, &plan)?,
-            QueryTarget::Dataset(dataset) => self.partials_for_dataset(dataset, &plan)?,
+        let output = match target {
+            QueryTarget::Snapshot(snapshot) => self.output_for_snapshot(snapshot, &plan)?,
+            QueryTarget::Dataset(dataset) => self.output_for_dataset(dataset, &plan)?,
             QueryTarget::Snapshots(snapshots) => {
                 self.fan_out(snapshots, &plan, |engine, snapshot, plan| {
-                    engine.partials_for_snapshot(snapshot, plan)
+                    engine.output_for_snapshot(snapshot, plan)
                 })?
             }
             QueryTarget::Shards(shards) => {
                 self.fan_out(shards, &plan, |engine, dataset, plan| {
-                    engine.partials_for_dataset(dataset, plan)
+                    engine.output_for_dataset(dataset, plan)
                 })?
             }
         };
-        Ok(finalize(partials, &plan))
+        Ok(match output {
+            ExecOutput::Groups(partials) => finalize(partials, &plan),
+            ExecOutput::Rows(rows) => rows,
+        })
     }
 
     /// Plan a query for the target and render the physical plan (`EXPLAIN`):
@@ -270,20 +283,23 @@ impl QueryEngine {
     }
 
     /// Fan a plan out over several partitions, one thread each, and merge
-    /// the per-partition group partials.
+    /// the per-partition outputs: group partials merge group-wise, and
+    /// projection plans k-way-merge the per-shard key-ordered row streams
+    /// (each already capped at the plan's limit) instead of concatenating
+    /// batches.
     fn fan_out<T: Sync>(
         &self,
         parts: &[T],
         plan: &PhysicalPlan,
-        run: impl Fn(&QueryEngine, &T, &PhysicalPlan) -> Result<GroupPartials> + Send + Sync,
-    ) -> Result<GroupPartials> {
+        run: impl Fn(&QueryEngine, &T, &PhysicalPlan) -> Result<ExecOutput> + Send + Sync,
+    ) -> Result<ExecOutput> {
         if parts.is_empty() {
-            return Ok(GroupPartials::new());
+            return Ok(ExecOutput::empty(plan));
         }
         if parts.len() == 1 {
             return run(self, &parts[0], plan);
         }
-        let results: Vec<Result<GroupPartials>> = std::thread::scope(|scope| {
+        let results: Vec<Result<ExecOutput>> = std::thread::scope(|scope| {
             let run = &run;
             let handles: Vec<_> = parts
                 .iter()
@@ -294,60 +310,91 @@ impl QueryEngine {
                 .map(|h| h.join().expect("sharded query thread panicked"))
                 .collect()
         });
-        let mut merged = GroupPartials::new();
-        for partial in results {
-            merge_partials(&mut merged, partial?);
+        if plan.is_projection() {
+            let mut streams = Vec::with_capacity(results.len());
+            for result in results {
+                match result? {
+                    ExecOutput::Rows(rows) => streams.push(rows),
+                    ExecOutput::Groups(_) => unreachable!("projection plans emit rows"),
+                }
+            }
+            Ok(ExecOutput::Rows(merge_row_streams(streams, plan.limit)))
+        } else {
+            let mut merged = GroupPartials::new();
+            for result in results {
+                match result? {
+                    ExecOutput::Groups(partials) => merge_partials(&mut merged, partials),
+                    ExecOutput::Rows(_) => unreachable!("aggregate plans emit partials"),
+                }
+            }
+            Ok(ExecOutput::Groups(merged))
         }
-        Ok(merged)
     }
 
     /// Execute the plan's access path against a dataset (index probes
-    /// included) and aggregate in the configured mode.
-    fn partials_for_dataset(
+    /// included) in the configured mode.
+    fn output_for_dataset(
         &self,
         dataset: &LsmDataset,
         plan: &PhysicalPlan,
-    ) -> Result<GroupPartials> {
+    ) -> Result<ExecOutput> {
         match &plan.access {
             AccessPath::IndexRange { lo, hi, .. } => {
-                let docs = dataset.secondary_range_bounds(
+                // The probe's sorted batched lookups yield key-ordered
+                // (key, record) pairs — only the estimated matches are ever
+                // materialised, never the component.
+                let entries = dataset.secondary_range_entries(
                     as_bound_ref(lo),
                     as_bound_ref(hi),
                     plan.projection.as_deref(),
                 )?;
-                Ok(self.aggregate(docs, plan))
+                if plan.is_projection() {
+                    self.select_rows(entries.into_iter().map(Ok), plan)
+                } else {
+                    self.aggregate(entries.into_iter().map(|(_, doc)| Ok(doc)), plan)
+                }
             }
-            _ => self.partials_for_snapshot(&dataset.snapshot(), plan),
+            _ => self.output_for_snapshot(&dataset.snapshot(), plan),
         }
     }
 
-    /// Execute a scan-shaped access path against a snapshot and aggregate in
-    /// the configured mode.
-    fn partials_for_snapshot(
+    /// Execute a scan-shaped access path against a snapshot in the
+    /// configured mode, streaming the snapshot's merge-reconcile cursor.
+    fn output_for_snapshot(
         &self,
         snapshot: &Snapshot,
         plan: &PhysicalPlan,
-    ) -> Result<GroupPartials> {
+    ) -> Result<ExecOutput> {
         match &plan.access {
-            AccessPath::KeyOnlyScan => Ok(key_count_partials(snapshot.count()?, plan)),
+            AccessPath::KeyOnlyScan => Ok(ExecOutput::Groups(key_count_partials(
+                snapshot.count()?,
+                plan,
+            ))),
             AccessPath::FullScan => {
                 // Zone-map pruning: skip components whose statistics prove
                 // no record can match. The flags come from the execution
                 // snapshot's own components, so planning-time staleness can
                 // never skip the wrong component.
-                let docs = match &plan.filter {
+                let skip: Vec<bool> = match &plan.filter {
                     Some(filter) if plan.zone_map_pruning => {
                         let infos: Vec<ComponentPlanInfo> = snapshot
                             .components()
                             .iter()
                             .map(|c| ComponentPlanInfo::of(c))
                             .collect();
-                        let skip = physical::prune_flags(&infos, filter);
-                        snapshot.scan_pruned(plan.projection.as_deref(), &skip)?
+                        physical::prune_flags(&infos, filter)
                     }
-                    _ => snapshot.scan(plan.projection.as_deref())?,
+                    _ => Vec::new(),
                 };
-                Ok(self.aggregate(docs, plan))
+                let cursor = snapshot.cursor_pruned(plan.projection.as_deref(), &skip)?;
+                if plan.is_projection() {
+                    self.select_rows(cursor.map(|e| e.map_err(Error::from)), plan)
+                } else {
+                    self.aggregate(
+                        cursor.map(|e| e.map(|(_, doc)| doc).map_err(Error::from)),
+                        plan,
+                    )
+                }
             }
             AccessPath::IndexRange { .. } => Err(Error::invalid_plan(
                 "an index-probe plan needs a dataset target, not a bare snapshot",
@@ -355,14 +402,114 @@ impl QueryEngine {
         }
     }
 
-    /// The mode-specific aggregation over an acquired batch: the fused
-    /// single-pass loop or the materialising operator pipeline.
-    fn aggregate(&self, docs: Vec<Value>, plan: &PhysicalPlan) -> GroupPartials {
-        match self.mode {
-            ExecMode::Compiled => compiled::aggregate_docs(docs.iter(), plan),
-            ExecMode::Interpreted => interp::run_batch(docs, plan),
+    /// The mode-specific streaming aggregation: the fused single-pass loop
+    /// or the boxed operator pipeline, both pulling one record at a time.
+    fn aggregate(
+        &self,
+        docs: impl Iterator<Item = Result<Value>>,
+        plan: &PhysicalPlan,
+    ) -> Result<ExecOutput> {
+        let partials = match self.mode {
+            ExecMode::Compiled => compiled::aggregate_stream(docs, plan)?,
+            ExecMode::Interpreted => interp::run_stream(docs, plan)?,
+        };
+        Ok(ExecOutput::Groups(partials))
+    }
+
+    /// The streaming projection: key-ordered rows out, the input stream
+    /// dropped at the plan's limit (`ORDER BY key LIMIT k` never reads the
+    /// tail). Projection plans have no pipeline breaker and no per-tuple
+    /// interpretation contrast — filter evaluation and path projection are
+    /// identical either way — so both modes share this loop.
+    fn select_rows(
+        &self,
+        entries: impl Iterator<Item = Result<(Value, Value)>>,
+        plan: &PhysicalPlan,
+    ) -> Result<ExecOutput> {
+        let paths = plan
+            .select_paths
+            .as_deref()
+            .expect("select_rows requires a projection plan");
+        let limit = plan.limit.unwrap_or(usize::MAX);
+        let mut rows = Vec::new();
+        if limit == 0 {
+            return Ok(ExecOutput::Rows(rows));
+        }
+        for entry in entries {
+            let (key, doc) = entry?;
+            if let Some(f) = &plan.filter {
+                if !f.matches(&doc) {
+                    continue;
+                }
+            }
+            let values: Vec<Value> = paths
+                .iter()
+                .map(|p| {
+                    p.evaluate(&doc)
+                        .first()
+                        .map(|v| (*v).clone())
+                        .unwrap_or(Value::Null)
+                })
+                .collect();
+            rows.push(QueryRow { group: Some(key), aggs: values });
+            // Check *after* pushing so the k-th match is the last entry
+            // ever pulled — pulling once more could decode the next leaf.
+            if rows.len() >= limit {
+                break;
+            }
+        }
+        Ok(ExecOutput::Rows(rows))
+    }
+}
+
+/// What one partition's execution produces: mergeable group partials
+/// (aggregate plans) or key-ordered output rows (projection plans).
+enum ExecOutput {
+    Groups(GroupPartials),
+    Rows(Vec<QueryRow>),
+}
+
+impl ExecOutput {
+    fn empty(plan: &PhysicalPlan) -> ExecOutput {
+        if plan.is_projection() {
+            ExecOutput::Rows(Vec::new())
+        } else {
+            ExecOutput::Groups(GroupPartials::new())
         }
     }
+}
+
+/// K-way merge of per-shard key-ordered row streams into one key-ordered
+/// result, stopping at `limit`. Shards partition by primary key, so the
+/// merged stream has no duplicates and equals the single-dataset order.
+fn merge_row_streams(streams: Vec<Vec<QueryRow>>, limit: Option<usize>) -> Vec<QueryRow> {
+    let limit = limit.unwrap_or(usize::MAX);
+    let mut iters: Vec<std::vec::IntoIter<QueryRow>> =
+        streams.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<QueryRow>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::new();
+    while out.len() < limit {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some(row) = head else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let best_key = heads[b].as_ref().and_then(|r| r.group.as_ref());
+                    let key = row.group.as_ref();
+                    if let (Some(key), Some(best_key)) = (key, best_key) {
+                        if docmodel::total_cmp(key, best_key) == std::cmp::Ordering::Less {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(best) = best else { break };
+        out.push(heads[best].take().expect("best head present"));
+        heads[best] = iters[best].next();
+    }
+    out
 }
 
 fn as_bound_ref(b: &Bound<Value>) -> Bound<&Value> {
@@ -645,6 +792,103 @@ mod tests {
         let via_scan = scan_engine.execute(&ds, &q).unwrap();
         assert_eq!(via_index, via_scan);
         assert_eq!(via_index[0].agg(), &Value::Int(2), "records 1 and 2 match");
+    }
+
+    #[test]
+    fn raw_select_returns_key_ordered_rows_in_both_modes() {
+        let ds = build_dataset(LayoutKind::Amax);
+        let q = Query::select_paths(["caller", "score"])
+            .with_filter(Expr::ge("score", 90))
+            .order_by_key();
+        let rows = both_modes(&ds, &q);
+        let expected: Vec<i64> = (0..400i64).filter(|i| i % 100 >= 90).collect();
+        assert_eq!(rows.len(), expected.len());
+        for (row, want_id) in rows.iter().zip(&expected) {
+            assert_eq!(row.group, Some(Value::Int(*want_id)), "key order");
+            assert_eq!(row.aggs.len(), 2);
+            assert!(matches!(row.aggs[0], Value::String(_)), "{:?}", row.aggs);
+            assert!(row.aggs[1].as_int().unwrap() >= 90);
+        }
+        // A missing path projects as Null.
+        let q = Query::select_paths(["nonexistent"]).with_limit(3);
+        let rows = both_modes(&ds, &q);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.aggs == vec![Value::Null]));
+    }
+
+    #[test]
+    fn raw_select_limit_agrees_across_engines_and_shards() {
+        let shards: Vec<LsmDataset> = (0..4)
+            .map(|i| {
+                LsmDataset::new(
+                    DatasetConfig::new(format!("sel-shard-{i}"), LayoutKind::Amax)
+                        .with_memtable_budget(16 * 1024)
+                        .with_page_size(8 * 1024),
+                )
+            })
+            .collect();
+        let single = LsmDataset::new(
+            DatasetConfig::new("sel-single", LayoutKind::Amax)
+                .with_memtable_budget(16 * 1024)
+                .with_page_size(8 * 1024),
+        );
+        for i in 0..300i64 {
+            let doc = sample_doc(i);
+            shards[(i as usize) % 4].insert(doc.clone()).unwrap();
+            single.insert(doc).unwrap();
+        }
+        for ds in shards.iter().chain(std::iter::once(&single)) {
+            ds.flush().unwrap();
+        }
+        let refs: Vec<&LsmDataset> = shards.iter().collect();
+        for limit in [1usize, 7, 50, 1000] {
+            let q = Query::select_paths(["score"])
+                .with_filter(Expr::ge("score", 30))
+                .order_by_key()
+                .with_limit(limit);
+            let reference = QueryEngine::new(ExecMode::Compiled).execute(&single, &q).unwrap();
+            for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+                let engine = QueryEngine::new(mode);
+                assert_eq!(engine.execute(&single, &q).unwrap(), reference, "{mode:?}");
+                // The sharded fan-out merges per-shard key-ordered streams;
+                // keys partition by shard, so the merge equals the single run.
+                let sharded = engine.execute(&refs[..], &q).unwrap();
+                assert_eq!(sharded, reference, "sharded {mode:?} limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_select_through_an_index_probe_matches_the_scan() {
+        let ds = LsmDataset::new(
+            DatasetConfig::new("sel-idx", LayoutKind::Amax)
+                .with_memtable_budget(16 * 1024)
+                .with_page_size(8 * 1024)
+                .with_secondary_index(Path::parse("timestamp")),
+        );
+        for i in 0..300i64 {
+            ds.insert(doc!({"id": i, "timestamp": (1000 + i), "likes": (i % 50)}))
+                .unwrap();
+        }
+        ds.flush().unwrap();
+        let q = Query::select_paths(["likes"])
+            .with_filter(Expr::between("timestamp", 1100, 1159))
+            .order_by_key()
+            .with_limit(10);
+        let probe = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions::with_access_path(AccessPathChoice::ForceIndex),
+        );
+        let scan = QueryEngine::with_options(
+            ExecMode::Compiled,
+            PlannerOptions::with_access_path(AccessPathChoice::ForceScan),
+        );
+        assert!(probe.explain(&ds, &q).unwrap().contains("range probe"), "probe routes");
+        let via_probe = probe.execute(&ds, &q).unwrap();
+        let via_scan = scan.execute(&ds, &q).unwrap();
+        assert_eq!(via_probe, via_scan);
+        assert_eq!(via_probe.len(), 10);
+        assert_eq!(via_probe[0].group, Some(Value::Int(100)));
     }
 
     #[test]

@@ -47,12 +47,38 @@
 //! the scan. The chosen path and the estimate behind it are rendered by
 //! [`PhysicalPlan::describe`] (`EXPLAIN`).
 //!
-//! The same physical plan is executed by both engines (interpreted operator
-//! pipeline and fused/compiled loop) and, for sharded datasets, by the
-//! per-shard fan-out: execution produces **mergeable partial aggregates**
-//! (the crate-private `AggState`) per group, which are merged across shards
-//! before finalisation — `AVG` carries `(sum, count)`, so the merged result
-//! is exactly the single-dataset result.
+//! ## The streaming operator pipeline
+//!
+//! Execution is **pull-based** end to end. The access stage opens a cursor —
+//! the snapshot's k-way merge-reconcile cursor (`lsm::ScanCursor`, one
+//! decoded leaf per component resident at a time) for scans, or the sorted
+//! batched lookups of an index probe — and the pipelining operators
+//! (filter → unnest → project → aggregate-or-emit) consume it one record at
+//! a time. No operator materialises its input: memory is bounded by one
+//! storage leaf per component plus the aggregation table (or, for
+//! projection queries, the emitted rows). Both engines drive the same
+//! pipeline shape — [`crate::interp`] as boxed operator objects with
+//! per-tuple dynamic dispatch, [`crate::compiled`] as one fused,
+//! pre-resolved loop — which is exactly the §5 contrast, now without the
+//! O(dataset) staging batch.
+//!
+//! Two plan shapes exist:
+//!
+//! * **aggregate plans** produce mergeable per-group partials (the
+//!   crate-private `AggState`), merged across shards before finalisation —
+//!   `AVG` carries `(sum, count)`, so the merged result is exactly the
+//!   single-dataset result;
+//! * **projection plans** ([`crate::Query::select_paths`]) emit one
+//!   key-ordered row per matching record. `LIMIT` is pushed *into* the
+//!   pipeline: the cursor stops after the k-th match (`ORDER BY key LIMIT
+//!   k` never decodes the tail leaves), and sharded fan-out k-way-merges
+//!   the per-shard key-ordered row streams instead of concatenating
+//!   batches.
+//!
+//! Filters are [`crate::Expr::simplify`]-ed before planning: constant
+//! folding and `NOT` push-in run first, so access-path selection and the
+//! zone maps see through `NOT NOT` and nested boolean noise, and `EXPLAIN`
+//! shows the simplified tree.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -115,10 +141,14 @@ pub struct PlanContext {
     /// The target's on-disk components (across every partition), oldest
     /// first per partition. Feeds the cost model; empty for synthetic
     /// contexts, which makes the planner treat the target as memtable-only.
-    /// In-memory records are deliberately absent: they cost no pages on
-    /// either access path, so the cost model never consults them (the
-    /// memtable-aware CPU term is a ROADMAP open edge).
     pub components: Vec<ComponentPlanInfo>,
+    /// Records (and anti-matter) in memory across the target's partitions —
+    /// active plus sealed memtables. They cost no *pages* on either access
+    /// path, but a scan must CPU-filter every one of them while a probe
+    /// touches only the matching ones; the cost model charges them at
+    /// [`MEM_RECORD_PAGE_EQUIV`] page-equivalents each, which sharpens the
+    /// Auto choice when much of the data still sits in memtables.
+    pub in_memory_records: u64,
 }
 
 impl PlanContext {
@@ -138,6 +168,7 @@ impl PlanContext {
                 .iter()
                 .map(|c| ComponentPlanInfo::of(c))
                 .collect(),
+            in_memory_records: snapshot.in_memory_entries() as u64,
         }
     }
 
@@ -151,6 +182,7 @@ impl PlanContext {
             ctx.components.extend(
                 snapshot.components().iter().map(|c| ComponentPlanInfo::of(c)),
             );
+            ctx.in_memory_records += snapshot.in_memory_entries() as u64;
         }
         ctx
     }
@@ -166,6 +198,7 @@ impl PlanContext {
                 .iter()
                 .map(|c| ComponentPlanInfo::of(c))
                 .collect(),
+            in_memory_records: dataset.in_memory_entries() as u64,
         }
     }
 
@@ -189,10 +222,18 @@ impl PlanContext {
         for shard in shards {
             ctx.components
                 .extend(shard.components().iter().map(|c| ComponentPlanInfo::of(c)));
+            ctx.in_memory_records += shard.in_memory_entries() as u64;
         }
         ctx
     }
 }
+
+/// CPU cost of filtering one in-memory record, in page-equivalents: the
+/// currency that lets the cost model weigh memtable records (which cost no
+/// I/O) against pages touched. Decoding and filtering ~64 in-memory records
+/// is charged like reading one page — deliberately coarse; it only needs to
+/// break ties near the fig. 15 crossover when data still sits in memtables.
+pub const MEM_RECORD_PAGE_EQUIV: f64 = 1.0 / 64.0;
 
 /// How the planner picks between a secondary-index probe and a scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -287,6 +328,15 @@ pub struct AccessEstimate {
     /// Pages an index probe would touch (`None` when probing is impossible:
     /// no index, or no implied range on the indexed path).
     pub probe_pages: Option<f64>,
+    /// In-memory records (active + sealed memtables) across the target.
+    pub in_memory_records: u64,
+    /// Total scan cost in page-equivalents: `scan_pages` plus the CPU term
+    /// for filtering every in-memory record
+    /// ([`MEM_RECORD_PAGE_EQUIV`] each).
+    pub scan_cost: f64,
+    /// Total probe cost in page-equivalents: `probe_pages` plus the CPU
+    /// term for the estimated in-memory matches.
+    pub probe_cost: Option<f64>,
     /// Components the zone maps expect to prune (planning-time estimate).
     pub pruned_components: usize,
     /// Total components across the target.
@@ -302,8 +352,21 @@ impl AccessEstimate {
             Some(p) => format!("probe ~{:.0} pages", p),
             None => "probe impossible".to_string(),
         };
+        let memtable = if self.in_memory_records > 0 {
+            format!(
+                ", memtable {} rec (cost scan ~{:.1} vs probe ~{})",
+                self.in_memory_records,
+                self.scan_cost,
+                match self.probe_cost {
+                    Some(c) => format!("{c:.1}"),
+                    None => "-".to_string(),
+                },
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "selectivity ~{:.2}% (~{:.0} of {} records), scan ~{} pages ({}/{} components zone-map pruned), {} [{}]",
+            "selectivity ~{:.2}% (~{:.0} of {} records), scan ~{} pages ({}/{} components zone-map pruned), {}{} [{}]",
             self.est_selectivity * 100.0,
             self.est_matching_records,
             self.disk_records,
@@ -311,6 +374,7 @@ impl AccessEstimate {
             self.pruned_components,
             self.total_components,
             probe,
+            memtable,
             self.choice.label(),
         )
     }
@@ -329,7 +393,9 @@ pub struct PhysicalPlan {
     pub zone_map_pruning: bool,
     /// Pushed-down projection; `None` assembles full records (pushdown off).
     pub projection: Option<Vec<Path>>,
-    /// Residual filter applied to every acquired record.
+    /// Residual filter applied to every acquired record — the
+    /// [`Expr::simplify`]-ed form of the query's filter (a filter that
+    /// folded to `TRUE` is dropped entirely).
     pub filter: Option<Expr>,
     /// Array path to unnest, if any.
     pub unnest: Option<Path>,
@@ -337,46 +403,97 @@ pub struct PhysicalPlan {
     pub group_by: Option<Path>,
     /// Whether the grouping key is evaluated on the unnested element.
     pub group_on_element: bool,
-    /// The select list.
+    /// The select list (empty for projection plans).
     pub aggregates: Vec<AggSpec>,
+    /// Raw-column projection plan: emit one key-ordered row per matching
+    /// record with these paths' values (`None` = aggregate plan).
+    pub select_paths: Option<Vec<Path>>,
     /// Sort groups descending by this aggregate index.
     pub order_desc_by_agg: Option<usize>,
-    /// Row cap applied after sorting.
+    /// Projection rows are ordered by primary key ascending (free on the
+    /// key-ordered merge cursor; with `limit`, execution terminates early).
+    pub order_by_key: bool,
+    /// Row cap. For aggregate plans it truncates the sorted groups; for
+    /// projection plans it is pushed into the pipeline — per-partition scans
+    /// stop at the k-th match.
     pub limit: Option<usize>,
     /// Number of partitions the plan fans out over (for `describe`).
     pub shards: usize,
 }
 
+impl PhysicalPlan {
+    /// `true` for raw-column projection plans (one row per record), `false`
+    /// for aggregate plans.
+    pub fn is_projection(&self) -> bool {
+        self.select_paths.is_some()
+    }
+}
+
 /// Lower a logical query to a physical plan for the given target context.
 pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Result<PhysicalPlan> {
-    if query.aggregates.is_empty() {
-        return Err(Error::invalid_plan(
-            "the select list is empty: add at least one aggregate",
-        ));
-    }
-    if query.unnest.is_none() {
-        if query.group_on_element && query.group_by.is_some() {
+    let is_projection = !query.select_paths.is_empty();
+    if is_projection {
+        if !query.aggregates.is_empty() {
             return Err(Error::invalid_plan(
-                "GROUP BY on the unnested element requires an UNNEST clause",
+                "a query selects either aggregates or raw column paths, not both",
             ));
         }
-        if let Some(spec) = query.aggregates.iter().find(|s| s.on_element) {
-            return Err(Error::invalid_plan(format!(
-                "aggregate {} reads the unnested element but the query has no UNNEST clause",
-                spec.agg.describe()
-            )));
+        if query.unnest.is_some() || query.group_by.is_some() {
+            return Err(Error::invalid_plan(
+                "raw-column SELECT does not support UNNEST or GROUP BY",
+            ));
         }
-    }
-    if let Some(i) = query.order_desc_by_agg {
-        if i >= query.aggregates.len() {
-            return Err(Error::invalid_plan(format!(
-                "ORDER BY references aggregate #{i} but the select list has {}",
-                query.aggregates.len()
-            )));
+        if query.order_desc_by_agg.is_some() {
+            return Err(Error::invalid_plan(
+                "ORDER BY an aggregate needs an aggregate select list; raw-column SELECT orders by key",
+            ));
+        }
+    } else {
+        if query.aggregates.is_empty() {
+            return Err(Error::invalid_plan(
+                "the select list is empty: add at least one aggregate (or raw column paths)",
+            ));
+        }
+        if query.order_by_key {
+            return Err(Error::invalid_plan(
+                "ORDER BY key applies to raw-column SELECT; aggregate queries order by an aggregate",
+            ));
+        }
+        if query.unnest.is_none() {
+            if query.group_on_element && query.group_by.is_some() {
+                return Err(Error::invalid_plan(
+                    "GROUP BY on the unnested element requires an UNNEST clause",
+                ));
+            }
+            if let Some(spec) = query.aggregates.iter().find(|s| s.on_element) {
+                return Err(Error::invalid_plan(format!(
+                    "aggregate {} reads the unnested element but the query has no UNNEST clause",
+                    spec.agg.describe()
+                )));
+            }
+        }
+        if let Some(i) = query.order_desc_by_agg {
+            if i >= query.aggregates.len() {
+                return Err(Error::invalid_plan(format!(
+                    "ORDER BY references aggregate #{i} but the select list has {}",
+                    query.aggregates.len()
+                )));
+            }
         }
     }
 
-    let count_only = query.filter.is_none()
+    // Expression simplification runs before every static analysis: constant
+    // folding, flattening and NOT push-in (Expr::simplify). A filter that
+    // folds to TRUE disappears; the simplified tree is what the access-path
+    // estimate, the zone maps and the residual filter all see.
+    let filter = query
+        .filter
+        .as_ref()
+        .map(Expr::simplify)
+        .filter(|f| !matches!(f, Expr::And(children) if children.is_empty()));
+
+    let count_only = !is_projection
+        && filter.is_none()
         && query.unnest.is_none()
         && query.group_by.is_none()
         && query
@@ -384,12 +501,11 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
             .iter()
             .all(|s| matches!(s.agg, Aggregate::Count));
 
-    let probe = probe_candidate(query, ctx);
+    let probe = probe_candidate(filter.as_ref(), ctx);
     let projected_columns = options
         .projection_pushdown
         .then(|| query.projection_paths().len());
-    let estimate = query
-        .filter
+    let estimate = filter
         .as_ref()
         .filter(|_| !count_only)
         .map(|filter| estimate_access(filter, ctx, probe.as_ref(), options, projected_columns));
@@ -419,39 +535,43 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
         estimate,
         zone_map_pruning: options.zone_map_pruning,
         projection,
-        filter: query.filter.clone(),
+        filter,
         unnest: query.unnest.clone(),
         group_by: query.group_by.clone(),
         group_on_element: query.group_on_element,
         aggregates: query.aggregates.clone(),
+        select_paths: is_projection.then(|| query.select_paths.clone()),
         order_desc_by_agg: query.order_desc_by_agg,
+        order_by_key: query.order_by_key,
         limit: query.limit,
         shards: ctx.shards.max(1),
     })
 }
 
 /// The probe the index-range access path would execute, when the context has
-/// an index and the filter implies a (at least one-sided) range on the
-/// indexed path. Whether it is *taken* is the access-path policy's call.
+/// an index and the (simplified) filter implies a (at least one-sided) range
+/// on the indexed path. Whether it is *taken* is the access-path policy's
+/// call.
 fn probe_candidate(
-    query: &Query,
+    filter: Option<&Expr>,
     ctx: &PlanContext,
 ) -> Option<(Path, Bound<Value>, Bound<Value>)> {
     let indexed = ctx.secondary_index_on.as_ref()?;
-    let (lo, hi) = query.filter.as_ref()?.implied_bounds(indexed)?;
+    let (lo, hi) = filter?.implied_bounds(indexed)?;
     if matches!((&lo, &hi), (Bound::Unbounded, Bound::Unbounded)) {
         return None;
     }
     Some((indexed.clone(), lo, hi))
 }
 
-/// The cost-based decision: probe when its page estimate undercuts the
-/// (zone-map-pruned) scan's. A fully-pruned scan (0 pages) always wins —
-/// it reads nothing at all.
+/// The cost-based decision: probe when its total estimate (pages plus the
+/// memtable CPU term) undercuts the (zone-map-pruned) scan's. A fully
+/// pruned scan over an empty memtable costs zero and always wins — it
+/// touches nothing at all; ties also go to the scan.
 fn auto_prefers_probe(estimate: Option<&AccessEstimate>) -> bool {
     match estimate {
-        Some(est) => match est.probe_pages {
-            Some(probe) => est.scan_pages > 0 && probe < est.scan_pages as f64,
+        Some(est) => match est.probe_cost {
+            Some(probe) => probe < est.scan_cost,
             None => false,
         },
         // No filter to estimate with (cannot happen for a probe candidate,
@@ -722,16 +842,33 @@ fn estimate_access(
         .sum();
     let probe_pages = probe.map(|_| est_matching * pages_per_lookup);
 
+    // The memtable-aware CPU term: a scan filters every in-memory record, a
+    // probe touches only the estimated matching ones. In-memory selectivity
+    // is assumed equal to the disk estimate; with no disk records to
+    // estimate from, every in-memory record is assumed to match, which
+    // safely biases toward the scan.
+    let est_selectivity = if disk_records == 0 {
+        0.0
+    } else {
+        (est_matching / disk_records as f64).clamp(0.0, 1.0)
+    };
+    let mem_records = ctx.in_memory_records as f64;
+    let mem_fraction = if disk_records == 0 { 1.0 } else { est_selectivity };
+    let scan_cost = scan_pages as f64 + mem_records * MEM_RECORD_PAGE_EQUIV;
+    // Disk-side matches are already priced in pages (`pages_per_lookup`);
+    // the CPU term covers only the in-memory matches a probe touches.
+    let probe_cost = probe_pages
+        .map(|pages| pages + mem_records * mem_fraction * MEM_RECORD_PAGE_EQUIV);
+
     AccessEstimate {
         est_matching_records: est_matching,
         disk_records,
-        est_selectivity: if disk_records == 0 {
-            0.0
-        } else {
-            (est_matching / disk_records as f64).clamp(0.0, 1.0)
-        },
+        est_selectivity,
         scan_pages,
         probe_pages,
+        in_memory_records: ctx.in_memory_records,
+        scan_cost,
+        probe_cost,
         pruned_components: pruned,
         total_components: ctx.components.len(),
         choice: options.access_path,
@@ -771,7 +908,10 @@ fn render_range(lo: &Bound<Value>, hi: &Bound<Value>) -> String {
 impl PhysicalPlan {
     /// Render the plan as a multi-line `EXPLAIN` string.
     pub fn describe(&self) -> String {
-        let select: Vec<String> = self.aggregates.iter().map(|s| s.agg.describe()).collect();
+        let select: Vec<String> = match &self.select_paths {
+            Some(paths) => paths.iter().map(|p| p.to_string()).collect(),
+            None => self.aggregates.iter().map(|s| s.agg.describe()).collect(),
+        };
         let mut out = String::new();
         out.push_str(&format!("SELECT {}\n", select.join(", ")));
         out.push_str(&format!("  access     : {}\n", self.access.describe()));
@@ -804,6 +944,12 @@ impl PhysicalPlan {
             None => out.push_str("  group by   : - (global aggregate)\n"),
         }
         match (self.order_desc_by_agg, self.limit) {
+            _ if self.order_by_key => match self.limit {
+                Some(k) => out.push_str(&format!(
+                    "  order/limit: key ASC LIMIT {k} (streaming early termination)\n"
+                )),
+                None => out.push_str("  order/limit: key ASC\n"),
+            },
             (Some(i), Some(k)) => out.push_str(&format!(
                 "  order/limit: {} DESC LIMIT {k}\n",
                 self.aggregates[i].agg.describe()
@@ -816,10 +962,17 @@ impl PhysicalPlan {
             (None, None) => out.push_str("  order/limit: -\n"),
         }
         if self.shards > 1 {
-            out.push_str(&format!(
-                "  shards     : {} (per-shard partial aggregates, exact merge)\n",
-                self.shards
-            ));
+            if self.is_projection() {
+                out.push_str(&format!(
+                    "  shards     : {} (per-shard key-ordered row streams, k-way merge)\n",
+                    self.shards
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  shards     : {} (per-shard partial aggregates, exact merge)\n",
+                    self.shards
+                ));
+            }
         }
         out
     }
@@ -1118,6 +1271,90 @@ mod tests {
     }
 
     #[test]
+    fn projection_plans_validate_and_render() {
+        let ctx = PlanContext::scan_only();
+        let opts = PlannerOptions::default();
+        // Raw select: one row per record, key-ordered, limited.
+        let q = Query::select_paths(["user.name", "score"])
+            .with_filter(Expr::ge("score", 10))
+            .order_by_key()
+            .with_limit(5);
+        let p = plan(&q, &ctx, &opts).unwrap();
+        assert!(p.is_projection());
+        assert!(matches!(p.access, AccessPath::FullScan));
+        let text = p.describe();
+        assert!(text.contains("SELECT user.name, score"), "{text}");
+        assert!(text.contains("key ASC LIMIT 5"), "{text}");
+        assert!(text.contains("streaming early termination"), "{text}");
+        // The pushed-down projection covers the select paths and the filter.
+        let projection = p.projection.as_deref().unwrap();
+        assert!(projection.contains(&Path::parse("user.name")));
+        assert!(projection.contains(&Path::parse("score")));
+
+        // Mixing forms, or decorating the wrong form, is invalid.
+        let mixed = Query::select([Aggregate::Count]);
+        let mixed = Query { select_paths: vec![Path::parse("a")], ..mixed };
+        assert!(matches!(plan(&mixed, &ctx, &opts), Err(Error::InvalidPlan(_))));
+        let q = Query::select_paths(["a"]).with_unnest("tags");
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+        let q = Query::select_paths(["a"]).group_by("g");
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+        let q = Query::select_paths(["a"]).order_desc_by(0);
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+        let q = Query::count_star().order_by_key();
+        assert!(matches!(plan(&q, &ctx, &opts), Err(Error::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn planner_simplifies_filters_before_access_selection() {
+        // NOT NOT BETWEEN is opaque unsimplified; the planner must see
+        // through it and route the probe (ROADMAP PR 3 leftover).
+        let ctx = indexed_ctx(vec![comp(0, 1_000, 100, 10, (0, 999), (0, 999))]);
+        let q = Query::count_star()
+            .with_filter(Expr::not(Expr::not(Expr::between("score", 50, 52))));
+        let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::IndexRange { .. }), "{:?}", p.access);
+        let text = p.describe();
+        assert!(!text.contains("NOT NOT"), "explain shows the simplified tree: {text}");
+        assert!(text.contains("(score >= 50 AND score <= 52)"), "{text}");
+        // A filter that folds to TRUE disappears: COUNT(*) takes the
+        // key-only fast path.
+        let q = Query::count_star().with_filter(Expr::and([]));
+        let p = plan(&q, &ctx, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::KeyOnlyScan));
+        assert!(p.filter.is_none());
+    }
+
+    #[test]
+    fn memtable_cpu_term_sharpens_the_auto_choice() {
+        // Page costs alone say "scan" (probe ~120 pages vs scan ~100); a
+        // large memtable the scan would have to chew through flips the
+        // decision to the probe, whose CPU term only covers the matches.
+        let q = Query::count_star().with_filter(Expr::between("score", 50, 61));
+        let flushed = indexed_ctx(vec![comp(0, 1_000, 100, 10, (0, 999), (0, 999))]);
+        let p = plan(&q, &flushed, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::FullScan), "{:?}", p.access);
+
+        let mut with_memtable = indexed_ctx(vec![comp(0, 1_000, 100, 10, (0, 999), (0, 999))]);
+        with_memtable.in_memory_records = 4_000;
+        let p = plan(&q, &with_memtable, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::IndexRange { .. }), "{:?}", p.access);
+        let est = p.estimate.as_ref().unwrap();
+        assert_eq!(est.in_memory_records, 4_000);
+        assert!(est.scan_cost > est.scan_pages as f64, "CPU term applied");
+        assert!(est.probe_cost.unwrap() < est.scan_cost, "{est:?}");
+        assert!(p.describe().contains("memtable 4000 rec"), "{}", p.describe());
+
+        // An empty memtable leaves the page-only decision intact, and a
+        // fully-pruned scan over an empty memtable still beats any probe.
+        let pruned = indexed_ctx(vec![comp(0, 500, 50, 5, (0, 499), (0, 99))]);
+        let q_far = Query::count_star().with_filter(Expr::between("score", 5_000, 5_010));
+        let p = plan(&q_far, &pruned, &PlannerOptions::default()).unwrap();
+        assert!(matches!(p.access, AccessPath::FullScan));
+        assert_eq!(p.estimate.as_ref().unwrap().scan_cost, 0.0);
+    }
+
+    #[test]
     fn count_star_plans_a_key_only_scan() {
         let p = plan(
             &Query::count_star(),
@@ -1169,6 +1406,7 @@ mod tests {
             secondary_index_on: Some(Path::parse("score")),
             shards: 1,
             components,
+            in_memory_records: 0,
         }
     }
 

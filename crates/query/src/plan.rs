@@ -1,6 +1,6 @@
 //! The logical query plan.
 //!
-//! [`Query`] captures a compositional SELECT shape as data:
+//! [`Query`] captures a compositional SELECT shape as data. Aggregate form:
 //!
 //! ```sql
 //! SELECT   [g,] AGG1(x1), AGG2(x2), ...
@@ -9,6 +9,21 @@
 //! [GROUP BY g]
 //! [ORDER BY AGGi DESC LIMIT k]
 //! ```
+//!
+//! and the raw-column (non-aggregate) projection form
+//! ([`Query::select_paths`]):
+//!
+//! ```sql
+//! SELECT   p1, p2, ...
+//! FROM     dataset d
+//! [WHERE   expression]
+//! [ORDER BY key [LIMIT k]]
+//! ```
+//!
+//! which emits **one row per matching record** — the row's `group` is the
+//! record's primary key, its values are the projected paths. Because
+//! execution streams the key-ordered merge cursor, `ORDER BY key LIMIT k`
+//! stops after the k-th match without scanning the tail.
 //!
 //! The filter is an arbitrary [`Expr`] tree, the select list holds any
 //! number of aggregates ([`AggSpec`]), and group/aggregate inputs may be
@@ -110,13 +125,21 @@ pub struct Query {
     /// Whether the grouping key is evaluated on the unnested element (`true`)
     /// or on the record (`false`).
     pub group_on_element: bool,
-    /// The select list: one or more aggregates. The planner rejects an empty
-    /// list.
+    /// The select list: one or more aggregates. Mutually exclusive with
+    /// `select_paths`; the planner rejects a query with neither (or both).
     pub aggregates: Vec<AggSpec>,
+    /// Raw-column projection: emit one row per matching record, projecting
+    /// these paths (`group` = primary key). Mutually exclusive with
+    /// `aggregates`, `unnest` and `group_by`.
+    pub select_paths: Vec<Path>,
     /// Sort groups descending by the aggregate at this index (the paper's
     /// top-k queries order by their single aggregate).
     pub order_desc_by_agg: Option<usize>,
-    /// Keep only the first `k` groups after sorting.
+    /// Order projection rows by primary key ascending. Free on the streaming
+    /// scan (the merge cursor is key-ordered), and with `limit` it makes
+    /// execution stop after the k-th match. Projection queries only.
+    pub order_by_key: bool,
+    /// Keep only the first `k` groups (or projection rows) after sorting.
     pub limit: Option<usize>,
 }
 
@@ -141,6 +164,18 @@ impl Query {
     /// `SELECT COUNT(*) FROM dataset`.
     pub fn count_star() -> Query {
         Query::select([Aggregate::Count])
+    }
+
+    /// `SELECT p1, p2, ... FROM dataset` — the raw-column projection form:
+    /// one output row per matching record, `group` = the record's primary
+    /// key, `aggs` = the projected paths' values (`Null` where a path is
+    /// missing). Combine with [`Query::with_filter`],
+    /// [`Query::order_by_key`] and [`Query::with_limit`].
+    pub fn select_paths(paths: impl IntoIterator<Item = impl Into<Path>>) -> Query {
+        Query {
+            select_paths: paths.into_iter().map(Into::into).collect(),
+            ..Query::default()
+        }
     }
 
     /// Builder: set the filter expression.
@@ -190,6 +225,14 @@ impl Query {
         self
     }
 
+    /// Builder: order projection rows by primary key ascending. With
+    /// [`Query::with_limit`], the streaming scan terminates after the k-th
+    /// matching record (`ORDER BY key LIMIT k` never reads the tail).
+    pub fn order_by_key(mut self) -> Query {
+        self.order_by_key = true;
+        self
+    }
+
     /// Builder: cap the number of output rows.
     pub fn with_limit(mut self, k: usize) -> Query {
         self.limit = Some(k);
@@ -220,6 +263,9 @@ impl Query {
                 paths.push(p.clone());
             }
         };
+        for p in &self.select_paths {
+            add(p);
+        }
         if let Some(u) = &self.unnest {
             add(u);
         }
@@ -275,12 +321,16 @@ pub fn join_paths(unnest: &Path, relative: &Path) -> Path {
 }
 
 /// One output row: the group key (absent for global aggregates) and one
-/// value per aggregate of the select list.
+/// value per aggregate of the select list. For raw-column projection queries
+/// ([`Query::select_paths`]) a row is one matching record: `group` holds the
+/// record's primary key and `aggs` the projected paths' values, in
+/// select-list order (`Null` where a path is missing on the record).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRow {
-    /// Group key, `None` for a global aggregate.
+    /// Group key (`None` for a global aggregate); the record's primary key
+    /// for projection queries.
     pub group: Option<Value>,
-    /// Aggregate values, in select-list order.
+    /// Aggregate — or projected — values, in select-list order.
     pub aggs: Vec<Value>,
 }
 

@@ -198,6 +198,104 @@ fn zone_map_pruning_reads_zero_pages_for_disjoint_components() {
     assert_eq!(pages, 0, "absence pruning must not read any page");
 }
 
+/// The memtable-aware CPU term (ROADMAP PR 4 open edge): in-memory records
+/// cost no pages, but a scan must filter every one of them while a probe
+/// touches only the matches. The estimate must surface them, charge the
+/// scan more than the probe as the memtable grows, and flip a
+/// near-crossover Auto decision to the probe once the memtable is large
+/// enough — all without ever changing an answer.
+#[test]
+fn memtable_records_sharpen_the_auto_choice() {
+    use query::physical::{self, PlanContext};
+
+    let mut config = DatasetConfig::new("memtable-cost", LayoutKind::Amax)
+        .with_memtable_budget(usize::MAX)
+        .with_page_size(4 * 1024)
+        .with_secondary_index(Path::parse("score"));
+    config.amax.record_limit = 64;
+    let ds = LsmDataset::new(config);
+    for i in 0..600i64 {
+        ds.insert(doc!({"id": i, "score": i, "grp": (format!("g{}", i % 7))}))
+            .unwrap();
+    }
+    ds.flush().unwrap();
+    ds.compact_fully().unwrap();
+
+    // Flushed state: no memtable term in the estimate.
+    let q = Query::count_star().with_filter(Expr::between("score", 100, 140));
+    let flushed_ctx = PlanContext::for_dataset(&ds);
+    assert_eq!(flushed_ctx.in_memory_records, 0);
+    let opts = PlannerOptions::default();
+    let flushed = physical::plan(&q, &flushed_ctx, &opts).unwrap();
+    let flushed_est = flushed.estimate.clone().unwrap();
+    assert!(!flushed.describe().contains("memtable"), "{}", flushed.describe());
+
+    // Unflushed records appear in the context and the explain text, and the
+    // CPU term charges the scan more than the probe (the probe only pays
+    // for its matches).
+    for i in 600..1_400i64 {
+        ds.insert(doc!({"id": i, "score": i, "grp": (format!("g{}", i % 7))}))
+            .unwrap();
+    }
+    let mem_ctx = PlanContext::for_dataset(&ds);
+    assert_eq!(mem_ctx.in_memory_records, 800);
+    let with_mem = physical::plan(&q, &mem_ctx, &opts).unwrap();
+    let mem_est = with_mem.estimate.clone().unwrap();
+    assert!(with_mem.describe().contains("memtable 800 rec"), "{}", with_mem.describe());
+    let scan_growth = mem_est.scan_cost - flushed_est.scan_cost;
+    let probe_growth = mem_est.probe_cost.unwrap() - flushed_est.probe_cost.unwrap();
+    assert!(
+        scan_growth > probe_growth && scan_growth > 0.0,
+        "memtable must penalise the scan more: scan +{scan_growth:.2}, probe +{probe_growth:.2}"
+    );
+
+    // Find a width where the page-only model scans but the probe is close,
+    // then grow the (synthetic) memtable until the CPU term flips Auto to
+    // the probe — the crossover sharpening the ROADMAP asks for.
+    let mut flipped = false;
+    for hi in [140i64, 180, 240, 320, 440, 580] {
+        let q = Query::count_star().with_filter(Expr::between("score", 100, hi));
+        let p = physical::plan(&q, &flushed_ctx, &opts).unwrap();
+        if !matches!(p.access, query::AccessPath::FullScan) {
+            continue; // pages already favour the probe; wider, please
+        }
+        let est = p.estimate.unwrap();
+        let Some(probe_cost) = est.probe_cost else { continue };
+        // Memtable records needed to flip, from the cost model's own
+        // terms: the scan pays the CPU charge for every in-memory record,
+        // the probe only for the matching fraction, so the gap closes at
+        // mem * (1 - selectivity) / 64 page-equivalents.
+        let frac = est.est_selectivity;
+        if frac >= 1.0 {
+            continue;
+        }
+        let needed = ((probe_cost - est.scan_cost) * 64.0 / (1.0 - frac)).ceil() as u64 + 64;
+        let mut bumped = flushed_ctx.clone();
+        bumped.in_memory_records = needed;
+        let p = physical::plan(&q, &bumped, &opts).unwrap();
+        if matches!(p.access, query::AccessPath::IndexRange { .. }) {
+            flipped = true;
+            break;
+        }
+    }
+    assert!(flipped, "a large memtable must flip some near-crossover scan to a probe");
+
+    // And the answers agree across every policy with the memtable in play.
+    let expected = engine(ExecMode::Compiled, AccessPathChoice::ForceScan, false)
+        .execute(&ds, &q)
+        .unwrap();
+    for choice in [
+        AccessPathChoice::Auto,
+        AccessPathChoice::ForceIndex,
+        AccessPathChoice::ForceScan,
+    ] {
+        for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+            let rows = engine(mode, choice, true).execute(&ds, &q).unwrap();
+            assert_eq!(expected, rows, "{choice:?}/{mode:?} diverged with a memtable");
+        }
+    }
+}
+
 /// The cost model picks the probe at high selectivity (few matches) and the
 /// scan at low selectivity (many matches) — the fig. 15 crossover — and
 /// `EXPLAIN` shows the estimate it decided on.

@@ -16,6 +16,26 @@
 //! maximum keys kept in [`Component`] play the role of the B+-tree interior
 //! nodes: point lookups and merges locate leaves through them without
 //! touching data pages.
+//!
+//! ## The cursor protocol
+//!
+//! Reads are *pull-based*: a cursor decodes **one leaf at a time** (one row
+//! page, one APAX page, or one AMAX mega leaf) into a small entry buffer and
+//! hands entries out in key order. No page is read — and no column is
+//! assembled (via [`columnar::ColumnCursor`] / [`columnar::Assembler`]) —
+//! before the consumer actually pulls past the previous leaf, so dropping a
+//! cursor early (a `LIMIT`, a short-circuiting merge) leaves the remaining
+//! leaves untouched and unread, which the [`crate::pagestore::IoStats`]
+//! counters make observable. Two front ends share the implementation:
+//!
+//! * [`ComponentScan`] borrows the component (`ComponentReader::scan`) —
+//!   used where the caller already holds the component;
+//! * [`ComponentCursor`] owns an `Arc<Component>` ([`Component::cursor`]) —
+//!   used by the LSM snapshot's merge-reconcile cursor and any caller that
+//!   must outlive a borrow (the facade's streaming scan API).
+//!
+//! Both honour projection push-down: only the resolved columns of the
+//! projected paths are decoded (and, for AMAX, read at all).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -432,6 +452,18 @@ impl Component {
         self.stats.as_ref()
     }
 
+    /// An owning streaming cursor over the component (see the module-level
+    /// cursor protocol): entries in key order, one leaf decoded at a time,
+    /// assembling only the projected paths (`None` = every column,
+    /// `Some(&[])` = keys only). Dropping the cursor early leaves the
+    /// remaining leaves unread.
+    pub fn cursor(self: &Arc<Self>, projection: Option<&[Path]>) -> ComponentCursor {
+        ComponentCursor {
+            state: CursorState::new(self, projection),
+            component: self.clone(),
+        }
+    }
+
     /// Resolve a projection (list of paths) into the set of column ids to
     /// read, always including the primary-key column. `None` means all.
     pub fn projection_columns(&self, projection: Option<&[Path]>) -> Option<Vec<ColumnId>> {
@@ -546,12 +578,9 @@ impl ComponentReader for Component {
     }
 
     fn scan(&self, projection: Option<&[Path]>) -> Result<ComponentScan<'_>> {
-        let columns = self.projection_columns(projection);
         Ok(ComponentScan {
+            state: CursorState::new(self, projection),
             component: self,
-            columns,
-            next_leaf: 0,
-            buffer: VecDeque::new(),
         })
     }
 
@@ -572,35 +601,78 @@ impl ComponentReader for Component {
     }
 }
 
-/// Streaming scan over a component, loading one leaf at a time.
-pub struct ComponentScan<'a> {
-    component: &'a Component,
+/// The shared position of a component cursor: the next leaf to decode and
+/// the entries of the current leaf not yet handed out. One leaf is resident
+/// at a time — the memory bound of the cursor protocol.
+struct CursorState {
     columns: Option<Vec<ColumnId>>,
     next_leaf: usize,
     buffer: VecDeque<Entry>,
+}
+
+impl CursorState {
+    fn new(component: &Component, projection: Option<&[Path]>) -> CursorState {
+        CursorState {
+            columns: component.projection_columns(projection),
+            next_leaf: 0,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    fn next(&mut self, component: &Component) -> Option<Result<Entry>> {
+        loop {
+            if let Some(entry) = self.buffer.pop_front() {
+                return Some(Ok(entry));
+            }
+            if self.next_leaf >= component.leaves.len() {
+                return None;
+            }
+            let leaf = &component.leaves[self.next_leaf];
+            self.next_leaf += 1;
+            match component.assemble_leaf(leaf, self.columns.as_deref()) {
+                Ok(entries) => self.buffer.extend(entries),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Streaming scan over a borrowed component, loading one leaf at a time.
+pub struct ComponentScan<'a> {
+    component: &'a Component,
+    state: CursorState,
 }
 
 impl Iterator for ComponentScan<'_> {
     type Item = Result<Entry>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some(entry) = self.buffer.pop_front() {
-                return Some(Ok(entry));
-            }
-            if self.next_leaf >= self.component.leaves.len() {
-                return None;
-            }
-            let leaf = &self.component.leaves[self.next_leaf];
-            self.next_leaf += 1;
-            match self
-                .component
-                .assemble_leaf(leaf, self.columns.as_deref())
-            {
-                Ok(entries) => self.buffer.extend(entries),
-                Err(e) => return Some(Err(e)),
-            }
-        }
+        self.state.next(self.component)
+    }
+}
+
+/// Streaming scan over a shared component handle. Identical to
+/// [`ComponentScan`] but owning its `Arc<Component>`, so it can be stored in
+/// long-lived pipelines (the LSM snapshot cursor, the facade's streaming
+/// API) without borrowing. Created by [`Component::cursor`].
+pub struct ComponentCursor {
+    component: Arc<Component>,
+    state: CursorState,
+}
+
+impl ComponentCursor {
+    /// Entries decoded from the current leaf but not yet consumed — the
+    /// cursor's live memory footprint, in records. At most one leaf's worth.
+    pub fn buffered(&self) -> usize {
+        self.state.buffer.len()
+    }
+}
+
+impl Iterator for ComponentCursor {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.state.next(&self.component)
     }
 }
 
@@ -1028,6 +1100,97 @@ mod tests {
             assert_eq!(scanned.len(), 200, "{layout:?}");
             assert_eq!(scanned, entries, "{layout:?}");
             assert_eq!(reopened.lookup(&Value::Int(13), None).unwrap(), Some(None));
+        }
+    }
+
+    #[test]
+    fn dropping_a_cursor_early_leaves_later_leaves_unread() {
+        let entries = records(2000);
+        let schema = schema_for(&entries);
+        for layout in LayoutKind::ALL {
+            let cache = small_cache();
+            let mut config = ComponentConfig::new(layout);
+            // AMAX's default record limit packs everything into one mega
+            // leaf; shrink it so the component has several leaves to skip.
+            config.amax.record_limit = 256;
+            let comp = std::sync::Arc::new(
+                Component::write(&cache, &config, schema.clone(), &entries, 1).unwrap(),
+            );
+            assert!(comp.leaf_count() > 1, "{layout:?} needs several leaves");
+
+            cache.clear();
+            cache.store().reset_stats();
+            let full = comp.cursor(None).count();
+            assert_eq!(full, 2000, "{layout:?}");
+            let full_reads = cache.store().stats().pages_read;
+
+            cache.clear();
+            cache.store().reset_stats();
+            let mut cursor = comp.cursor(None);
+            let first = cursor.next().unwrap().unwrap();
+            assert_eq!(first.0, Value::Int(0), "{layout:?}");
+            assert!(cursor.buffered() > 0, "{layout:?}: one leaf resident");
+            drop(cursor);
+            let early_reads = cache.store().stats().pages_read;
+            assert!(
+                early_reads < full_reads,
+                "{layout:?}: early drop read {early_reads} pages, full scan {full_reads}"
+            );
+        }
+    }
+
+    /// The reassembly caveat recorded in the ROADMAP: an **empty array**
+    /// survives columnar reassembly only when some record in the same
+    /// component materialised the array's item column. A lone `{"tags": []}`
+    /// record produces no `tags[*]` column at all (the schema has no item
+    /// node to shred into), so reassembly cannot distinguish "empty array"
+    /// from "absent field" and `EXISTS(tags)` on it is schema-dependent. See
+    /// the note next to the assembly automaton in `columnar::assemble`.
+    #[test]
+    fn empty_array_reassembly_is_schema_dependent() {
+        let schema_of = |entries: &[Entry]| schema_for(entries);
+        for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+            // Alone: no record ever materialised a `tags` element, the
+            // column does not exist, and the empty array is lost.
+            let lone: Vec<Entry> = vec![(
+                Value::Int(0),
+                Some(doc!({"id": 0, "tags": []})),
+            )];
+            let cache = small_cache();
+            let comp = Component::write(
+                &cache,
+                &ComponentConfig::new(layout),
+                schema_of(&lone),
+                &lone,
+                1,
+            )
+            .unwrap();
+            let scanned: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+            let doc = scanned[0].1.as_ref().unwrap();
+            assert_eq!(doc.get_field("tags"), None, "{layout:?}: empty array lost");
+
+            // With a sibling record that materialises `tags[*]`, the item
+            // column exists and the empty array round-trips.
+            let pair: Vec<Entry> = vec![
+                (Value::Int(0), Some(doc!({"id": 0, "tags": []}))),
+                (Value::Int(1), Some(doc!({"id": 1, "tags": ["x"]}))),
+            ];
+            let cache = small_cache();
+            let comp = Component::write(
+                &cache,
+                &ComponentConfig::new(layout),
+                schema_of(&pair),
+                &pair,
+                1,
+            )
+            .unwrap();
+            let scanned: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+            let doc = scanned[0].1.as_ref().unwrap();
+            assert_eq!(
+                doc.get_field("tags"),
+                Some(&Value::Array(Vec::new())),
+                "{layout:?}: empty array preserved once the column exists"
+            );
         }
     }
 
