@@ -122,6 +122,12 @@ fn main() {
             &run_streaming_comparison(scale),
         );
     }
+    if wanted("observability") {
+        print_matrix(
+            "Observability: telemetry on vs off, overhead and amplification gauges (tweet_1)",
+            &run_observability_comparison(scale),
+        );
+    }
     if wanted("query_api") {
         print_matrix(
             "Query API: projection pushdown on vs off over the planner (tweet_1)",

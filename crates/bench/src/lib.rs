@@ -905,6 +905,112 @@ pub fn run_streaming_comparison(scale: f64) -> Vec<Measurement> {
 }
 
 // ---------------------------------------------------------------------------
+// Observability: telemetry overhead and metric trustworthiness.
+// ---------------------------------------------------------------------------
+
+/// Observability experiment: the same tweet_1 ingest + query workload with
+/// the telemetry registry on vs off. Self-asserting on two fronts: the
+/// instrumentation overhead stays inside a generous bound (hot-path cost is
+/// one branch plus a few relaxed atomic adds; events only fire on flush and
+/// merge), and the derived `amp.*` gauges are *exactly* recomputable from
+/// the raw counters in the same snapshot — the contract downstream
+/// consumers (compaction tuning, cache sizing) rely on.
+pub fn run_observability_comparison(scale: f64) -> Vec<Measurement> {
+    let kind = DatasetKind::Tweet1;
+    let records = ((default_records(kind) as f64) * scale).max(300.0) as usize;
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let agg_query = Query::select([
+        Aggregate::Count,
+        Aggregate::Max(Path::parse("retweet_count")),
+        Aggregate::Avg(Path::parse("favorite_count")),
+    ])
+    .with_filter(Expr::ge("retweet_count", 1))
+    .group_by("user.name")
+    .top_k(10);
+    let engine = QueryEngine::new(ExecMode::Compiled);
+
+    let mut out = Vec::new();
+    let mut total = [0.0f64; 2];
+    for (slot, telemetry_on) in [(0usize, true), (1, false)] {
+        let column = if telemetry_on { "telemetry on" } else { "telemetry off" };
+        let mut config = DatasetConfig::new(kind.name(), LayoutKind::Amax)
+            .with_key_field(kind.key_field())
+            .with_memtable_budget(64 * 1024)
+            .with_page_size(8 * 1024)
+            .with_telemetry(telemetry_on);
+        config.amax.record_limit = 64;
+        let dataset = LsmDataset::new(config);
+        let (_, ingest_ms) = time(|| {
+            for doc in docs.clone() {
+                dataset.insert(doc).expect("ingest");
+            }
+            dataset.flush().expect("flush");
+        });
+        let (rows, query_ms) = time(|| {
+            let mut rows = Vec::new();
+            for _ in 0..5 {
+                rows = engine.execute(&dataset, &agg_query).expect("query");
+            }
+            rows
+        });
+        assert!(!rows.is_empty(), "the workload query must return groups");
+        out.push(Measurement::new("ingest wall", column, ingest_ms, "ms"));
+        out.push(Measurement::new("query wall x5", column, query_ms, "ms"));
+        total[slot] = ingest_ms + query_ms;
+
+        let metrics = dataset.metrics();
+        if telemetry_on {
+            // The counters must reflect the workload exactly...
+            assert_eq!(metrics.counter("ingest.records"), records as u64);
+            assert!(metrics.counter("flush.count") >= 1);
+            assert_eq!(
+                metrics.histogram("flush.duration_micros").expect("flush histogram").count,
+                metrics.counter("flush.count")
+            );
+            // ...and every amp gauge recomputes from the raw counters and
+            // gauges of the *same* snapshot, to the bit.
+            let write_amp = metrics.gauge("amp.write").expect("amp.write");
+            let expect = metrics.counter("storage.bytes_written") as f64
+                / metrics.counter("ingest.bytes") as f64;
+            assert!((write_amp - expect).abs() < 1e-9, "amp.write {write_amp} != {expect}");
+            let read_amp = metrics.gauge("amp.read").expect("amp.read");
+            let expect = metrics.counter("storage.bytes_read") as f64
+                / metrics.counter("ingest.bytes") as f64;
+            assert!((read_amp - expect).abs() < 1e-9, "amp.read {read_amp} != {expect}");
+            let space_amp = metrics.gauge("amp.space").expect("amp.space");
+            let expect = metrics.gauge("storage.allocated_bytes").unwrap()
+                / metrics.gauge("lsm.live_stored_bytes").unwrap();
+            assert!((space_amp - expect).abs() < 1e-9, "amp.space {space_amp} != {expect}");
+            out.push(Measurement::new("write amplification", column, write_amp, "x"));
+            out.push(Measurement::new("space amplification", column, space_amp, "x"));
+        } else {
+            assert_eq!(
+                metrics.counter("ingest.records"),
+                0,
+                "disabled telemetry must record nothing"
+            );
+            assert!(dataset.recent_events(16).is_empty());
+        }
+    }
+
+    // The overhead bound: on-wall must stay within 50% of off-wall, with a
+    // floor that absorbs timer noise at smoke scales where both runs finish
+    // in a few milliseconds.
+    let (on, off) = (total[0], total[1]);
+    assert!(
+        on <= off * 1.5 + 50.0,
+        "telemetry overhead out of bounds: on={on:.1}ms off={off:.1}ms"
+    );
+    out.push(Measurement::new(
+        "overhead",
+        "on vs off",
+        if off > 0.0 { (on / off - 1.0) * 100.0 } else { 0.0 },
+        "%",
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Ablations called out in DESIGN.md.
 // ---------------------------------------------------------------------------
 
@@ -1066,6 +1172,29 @@ mod tests {
                 "{layout}: LIMIT must terminate the scan early"
             );
         }
+    }
+
+    #[test]
+    fn observability_comparison_self_asserts_and_reports_both_settings() {
+        // The run itself asserts the overhead bound and the amp-gauge
+        // recomputation; here we check the matrix shape: 2 walls per
+        // setting, 2 amp gauges (telemetry on only), 1 overhead row.
+        let rows = run_observability_comparison(0.1);
+        assert_eq!(rows.len(), 7);
+        for column in ["telemetry on", "telemetry off"] {
+            for row in ["ingest wall", "query wall x5"] {
+                assert!(
+                    rows.iter().any(|m| m.row == row && m.column == column),
+                    "missing {row}/{column}"
+                );
+            }
+        }
+        let amp = rows
+            .iter()
+            .find(|m| m.row == "write amplification")
+            .expect("write amplification row");
+        assert!(amp.value > 0.0);
+        assert!(rows.iter().any(|m| m.row == "overhead"));
     }
 
     #[test]

@@ -65,10 +65,11 @@ use docmodel::parse_json;
 use lsm::{DatasetConfig, IngestStats, LsmDataset, Snapshot};
 use query::{ExecMode, Query, QueryEngine, QueryRow};
 use storage::pagestore::IoStats;
+use telemetry::{Event, MetricsSnapshot};
 
 pub use docmodel::{doc, Path, Value};
-pub use lsm::TieringPolicy;
-pub use query::{Aggregate, Expr};
+pub use lsm::{DatasetHealth, TieringPolicy, WorkerState};
+pub use query::{Aggregate, AnalyzeReport, Expr};
 pub use storage::LayoutKind as Layout;
 
 /// Error type of the facade: storage-engine failures, query-layer failures
@@ -149,6 +150,8 @@ pub struct DatasetOptions {
     /// With `background`: how many sealed memtables may queue per shard
     /// before ingestion is backpressured.
     pub max_sealed: usize,
+    /// Record metrics and lifecycle events per shard (default on).
+    pub telemetry: bool,
 }
 
 impl DatasetOptions {
@@ -164,6 +167,7 @@ impl DatasetOptions {
             shards: 1,
             background: false,
             max_sealed: 2,
+            telemetry: true,
         }
     }
 
@@ -209,13 +213,20 @@ impl DatasetOptions {
         self
     }
 
+    /// Enable or disable per-shard telemetry (metrics + event tracing).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     fn to_config(&self, name: &str) -> DatasetConfig {
         let mut config = DatasetConfig::new(name, self.layout)
             .with_key_field(self.key_field.clone())
             .with_memtable_budget(self.memtable_budget)
             .with_page_size(self.page_size)
             .with_background(self.background)
-            .with_max_sealed(self.max_sealed);
+            .with_max_sealed(self.max_sealed)
+            .with_telemetry(self.telemetry);
         config.compress_pages = self.compress_pages;
         if let Some(p) = &self.secondary_index {
             config = config.with_secondary_index(p.clone());
@@ -426,6 +437,68 @@ impl ShardedDataset {
     ) -> Result<String> {
         let refs: Vec<&LsmDataset> = self.shards.iter().collect();
         Ok(QueryEngine::with_options(ExecMode::Compiled, options).explain(&refs[..], query)?)
+    }
+
+    /// Plan and *execute* a query, returning the plan annotated with actual
+    /// execution counters (`EXPLAIN ANALYZE`): rows pulled, pages read per
+    /// shard, components pruned vs. scanned, the early-termination point,
+    /// and wall time — plus the result rows, identical to
+    /// [`ShardedDataset::query`]'s. Shards run sequentially so each
+    /// shard's I/O delta is exact.
+    pub fn explain_analyze(&self, query: &Query, mode: ExecMode) -> Result<AnalyzeReport> {
+        self.explain_analyze_with_options(query, mode, query::PlannerOptions::default())
+    }
+
+    /// Like [`ShardedDataset::explain_analyze`], with explicit planner
+    /// options.
+    pub fn explain_analyze_with_options(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+        options: query::PlannerOptions,
+    ) -> Result<AnalyzeReport> {
+        let refs: Vec<&LsmDataset> = self.shards.iter().collect();
+        Ok(QueryEngine::with_options(mode, options).explain_analyze(&refs[..], query)?)
+    }
+
+    /// The dataset's base name (shard partitions append `/shard-NNN`).
+    pub fn name(&self) -> String {
+        let full = &self.shards[0].config().name;
+        full.split('/').next().unwrap_or(full).to_string()
+    }
+
+    /// A merged metrics snapshot across every shard: counters and
+    /// histograms add, additive gauges sum, and the derived `amp.*` gauges
+    /// are recomputed over the shard totals. Export with
+    /// [`MetricsSnapshot::to_text`] or [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut shards = self.shards.iter();
+        let mut merged = shards.next().expect("at least one shard").metrics();
+        for shard in shards {
+            merged.merge(&shard.metrics());
+        }
+        merged.dataset = self.name();
+        merged.with_derived_gauges()
+    }
+
+    /// Per-shard health: worker state, last background error, pending
+    /// maintenance depth, backpressure stalls. In shard order.
+    pub fn health(&self) -> Vec<DatasetHealth> {
+        self.shards.iter().map(LsmDataset::health).collect()
+    }
+
+    /// The most recent `n` lifecycle events across every shard, merged by
+    /// timestamp (oldest first); each entry carries its shard index.
+    pub fn recent_events(&self, n: usize) -> Vec<(usize, Event)> {
+        let mut all: Vec<(usize, Event)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            all.extend(shard.recent_events(n).into_iter().map(|e| (i, e)));
+        }
+        all.sort_by_key(|(shard, e)| (e.unix_micros, *shard, e.seq));
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
     }
 
     /// Flush every shard (drains background workers).
@@ -772,6 +845,37 @@ impl Datastore {
     /// chosen access path and the pushed-down projection.
     pub fn explain(&self, dataset: &str, query: &Query) -> Result<String> {
         self.dataset(dataset)?.explain(query)
+    }
+
+    /// Execute a query and return the plan annotated with actual execution
+    /// counters (`EXPLAIN ANALYZE`). See [`ShardedDataset::explain_analyze`].
+    pub fn explain_analyze(
+        &self,
+        dataset: &str,
+        query: &Query,
+        mode: ExecMode,
+    ) -> Result<AnalyzeReport> {
+        self.dataset(dataset)?.explain_analyze(query, mode)
+    }
+
+    /// A dataset's metrics snapshot, merged over its shards. Export as
+    /// aligned text ([`MetricsSnapshot::to_text`]) or JSON
+    /// ([`MetricsSnapshot::to_json`]).
+    pub fn metrics(&self, dataset: &str) -> Result<MetricsSnapshot> {
+        Ok(self.dataset(dataset)?.metrics())
+    }
+
+    /// Health of every dataset in the store: per-shard worker state, last
+    /// background error, and pending maintenance depth, keyed by dataset
+    /// name (sorted).
+    pub fn health(&self) -> Vec<(String, Vec<DatasetHealth>)> {
+        self.dataset_names()
+            .into_iter()
+            .map(|name| {
+                let health = self.datasets[&name].health();
+                (name, health)
+            })
+            .collect()
     }
 
     /// Point lookup by primary key.
@@ -1172,5 +1276,80 @@ mod tests {
         assert!(store.get("d", &Value::Int(1)).unwrap().is_none());
         assert!(store.get("d", &Value::Int(2)).unwrap().is_some());
         assert!(store.query("nope", &Query::count_star(), ExecMode::Compiled).is_err());
+    }
+
+    #[test]
+    fn telemetry_flows_through_the_facade() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "obs",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(3),
+            )
+            .unwrap();
+        let docs: Vec<Value> = (0..300i64)
+            .map(|i| doc!({"id": i, "grp": (format!("g{}", i % 5)), "score": (i % 100)}))
+            .collect();
+        store.ingest_all("obs", docs).unwrap();
+        store.flush("obs").unwrap();
+
+        // Merged metrics: counters sum across shards; the amp gauges are
+        // recomputed over the merged totals (never summed per shard).
+        let metrics = store.metrics("obs").unwrap();
+        assert_eq!(metrics.dataset, "obs");
+        assert_eq!(metrics.shards, 3);
+        assert_eq!(metrics.counter("ingest.records"), 300);
+        assert!(metrics.counter("flush.count") >= 3, "every shard flushed");
+        let write_amp = metrics.gauge("amp.write").unwrap();
+        let expected = metrics.counter("storage.bytes_written") as f64
+            / metrics.counter("ingest.bytes") as f64;
+        assert!((write_amp - expected).abs() < 1e-9, "{write_amp} vs {expected}");
+        assert!(metrics.to_json().contains("\"shards\": 3"));
+
+        // Health: one entry per shard, all idle-inline and error-free.
+        let health = store.health();
+        assert_eq!(health.len(), 1);
+        let (name, shards) = &health[0];
+        assert_eq!(name, "obs");
+        assert_eq!(shards.len(), 3);
+        for h in shards {
+            assert_eq!(h.worker, lsm::WorkerState::Inline);
+            assert!(h.last_error.is_none());
+        }
+
+        // Events: merged across shards, tagged with their shard index.
+        let events = store.dataset("obs").unwrap().recent_events(64);
+        assert!(events.iter().any(|(_, e)| e.kind.label() == "flush_end"));
+        let shard_ids: std::collections::BTreeSet<usize> =
+            events.iter().map(|(i, _)| *i).collect();
+        assert_eq!(shard_ids.len(), 3, "every shard contributed events");
+
+        // EXPLAIN ANALYZE through the facade: same rows as query(), exact
+        // early-termination point for a limited key-ordered select.
+        let q = Query::select_paths(["score"]).order_by_key().with_limit(7);
+        let expected = store.query("obs", &q, ExecMode::Compiled).unwrap();
+        let report = store.explain_analyze("obs", &q, ExecMode::Compiled).unwrap();
+        assert_eq!(report.rows, expected);
+        assert_eq!(report.shards.len(), 3);
+        assert_eq!(report.early_termination(), Some(report.rows_pulled()));
+        assert!(report.rows_pulled() < 300, "LIMIT 7 must not drain 300 records");
+        assert!(report.describe().contains("analyze[shard 1]"), "{}", report.describe());
+
+        // Telemetry off: the dataset still answers, the registry stays dark.
+        store
+            .create_dataset(
+                "dark",
+                DatasetOptions::new(Layout::Vb).page_size(8 * 1024).telemetry(false),
+            )
+            .unwrap();
+        store.ingest("dark", doc!({"id": 1, "v": 2})).unwrap();
+        store.flush("dark").unwrap();
+        let metrics = store.metrics("dark").unwrap();
+        assert_eq!(metrics.counter("ingest.records"), 0);
+        assert!(store.dataset("dark").unwrap().recent_events(16).is_empty());
+        assert_eq!(store.get("dark", &Value::Int(1)).unwrap().unwrap().get_field("v"), Some(&Value::Int(2)));
     }
 }

@@ -48,6 +48,7 @@ use storage::amax::AmaxConfig;
 use storage::component::{Component, ComponentConfig, ComponentReader, Entry};
 use storage::pagestore::{BufferCache, IoStats, PageStore};
 use storage::LayoutKind;
+use telemetry::{Event, EventKind, MetricsSnapshot, Telemetry};
 
 use crate::index::{PrimaryKeyIndex, SecondaryIndex};
 use crate::memtable::Memtable;
@@ -89,6 +90,11 @@ pub struct DatasetConfig {
     /// With `background`: how many sealed memtables may queue before
     /// ingestion is backpressured (blocks until a flush retires one).
     pub max_sealed_memtables: usize,
+    /// Record metrics and lifecycle events in the dataset's [`Telemetry`]
+    /// registry. On by default; the benchmark's observability experiment
+    /// turns it off to measure the instrumentation overhead. Runtime-only,
+    /// not persisted.
+    pub telemetry_enabled: bool,
 }
 
 impl DatasetConfig {
@@ -108,6 +114,7 @@ impl DatasetConfig {
             amax: AmaxConfig::default(),
             background: false,
             max_sealed_memtables: 2,
+            telemetry_enabled: true,
         }
     }
 
@@ -144,6 +151,12 @@ impl DatasetConfig {
     /// Builder-style: bound the sealed-memtable queue (backpressure point).
     pub fn with_max_sealed(mut self, max: usize) -> Self {
         self.max_sealed_memtables = max.max(1);
+        self
+    }
+
+    /// Builder-style: enable or disable the telemetry registry.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry_enabled = enabled;
         self
     }
 
@@ -193,8 +206,42 @@ impl DatasetConfig {
             },
             background: false,
             max_sealed_memtables: 2,
+            telemetry_enabled: true,
         }
     }
+}
+
+/// State of a dataset's flush/merge worker, as reported by
+/// [`LsmDataset::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Synchronous mode: flushes and merges run inline on the writing
+    /// thread; there is no worker to be unhealthy.
+    Inline,
+    /// The background worker is waiting for work.
+    Idle,
+    /// The background worker is processing (or has signalled work pending).
+    Busy,
+    /// A background flush/merge failed; the error is parked and every write
+    /// will surface it until an explicit `flush()` consumes it for retry.
+    Failed,
+}
+
+/// Point-in-time health of one dataset partition (see
+/// [`LsmDataset::health`]).
+#[derive(Debug, Clone)]
+pub struct DatasetHealth {
+    /// Worker state.
+    pub worker: WorkerState,
+    /// Most recent background error, from the parked failure or the
+    /// telemetry event ring.
+    pub last_error: Option<String>,
+    /// Sealed memtables queued for flushing (pending maintenance depth).
+    pub pending_maintenance: usize,
+    /// Ingest stalls caused by backpressure so far.
+    pub stalls: u64,
+    /// Total time writers spent stalled, in microseconds.
+    pub stall_micros: u64,
 }
 
 /// Counters describing ingestion activity.
@@ -255,6 +302,7 @@ struct DatasetCore {
     maint: Mutex<MaintState>,
     stats: Mutex<IngestStats>,
     sched: Scheduler,
+    telemetry: Arc<Telemetry>,
 }
 
 /// One LSM dataset partition. All operations take `&self`; share it across
@@ -294,6 +342,14 @@ impl LsmDataset {
     ) -> LsmDataset {
         let secondary = config.secondary_index_on.as_ref().map(|_| SecondaryIndex::new());
         let schema_builder = SchemaBuilder::new(Some(config.key_field.clone()));
+        let telemetry = Arc::new(if config.telemetry_enabled {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        });
+        if let Some(durable) = durable.as_ref() {
+            durable.set_telemetry(telemetry.clone());
+        }
         let core = Arc::new(DatasetCore {
             config,
             cache,
@@ -310,6 +366,7 @@ impl LsmDataset {
             }),
             stats: Mutex::new(IngestStats::default()),
             sched: Scheduler::new(),
+            telemetry,
         });
         let worker = if core.config.background {
             let worker_core = core.clone();
@@ -333,6 +390,14 @@ impl LsmDataset {
                                     "background flush/merge worker panicked: {msg}"
                                 )))
                             });
+                            if let Err(err) = &result {
+                                // Trace the parked error *before* it becomes
+                                // visible to writers, so health() backed by
+                                // the event ring never lags admit().
+                                worker_core.telemetry.emit(EventKind::WorkerError {
+                                    message: err.to_string(),
+                                });
+                            }
                             worker_core.sched.work_done(result);
                         }
                     })
@@ -386,6 +451,7 @@ impl LsmDataset {
                 components,
             });
         }
+        let replayed_records = recovered.wal_records.len();
         {
             let mut write = core.write.lock();
             for record in recovered.wal_records {
@@ -400,6 +466,12 @@ impl LsmDataset {
             }
         }
         core.rebuild_indexes()?;
+        core.telemetry.emit(EventKind::RecoveryReplay {
+            segments: recovered.wal_segments_replayed,
+            records: replayed_records,
+            torn_tail_healed: recovered.torn_tail_healed,
+            components: core.tree.read().components.len(),
+        });
         Ok(dataset)
     }
 
@@ -478,6 +550,75 @@ impl LsmDataset {
         *self.core.stats.lock()
     }
 
+    /// The dataset's telemetry registry (counters, histograms, event ring).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.core.telemetry
+    }
+
+    /// The most recent `n` lifecycle events, oldest first.
+    pub fn recent_events(&self, n: usize) -> Vec<Event> {
+        self.core.telemetry.recent_events(n)
+    }
+
+    /// A point-in-time metrics snapshot: every registry counter and
+    /// histogram, the sampled I/O counters of the underlying store
+    /// (`storage.*`), current-state gauges (`lsm.*`, `wal.*`), and the
+    /// derived write/read/space amplification gauges (`amp.*`) — the latter
+    /// always recomputable from the raw counters in the same snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.core.telemetry.snapshot(&self.core.config.name);
+        let io = self.io_stats();
+        snap.push_counter("storage.pages_read", io.pages_read);
+        snap.push_counter("storage.pages_written", io.pages_written);
+        snap.push_counter("storage.bytes_read", io.bytes_read);
+        snap.push_counter("storage.bytes_written", io.bytes_written);
+        snap.push_counter("storage.cache_hits", io.cache_hits);
+        snap.push_gauge(
+            "storage.allocated_bytes",
+            self.core.cache.store().allocated_bytes() as f64,
+        );
+        snap.push_gauge("lsm.components", self.component_count() as f64);
+        snap.push_gauge("lsm.live_stored_bytes", self.primary_stored_bytes() as f64);
+        snap.push_gauge("lsm.sealed_queue_depth", self.sealed_count() as f64);
+        snap.push_gauge(
+            "lsm.memtable_bytes",
+            self.core.write.lock().memtable.approx_bytes() as f64,
+        );
+        snap.push_gauge("wal.bytes", self.wal_bytes() as f64);
+        snap.push_gauge("manifest.version", self.manifest_version() as f64);
+        snap.with_derived_gauges()
+    }
+
+    /// Health of the dataset's background machinery, backed by the
+    /// scheduler's non-consuming status and the telemetry event ring: a
+    /// parked worker error shows up here *without* being consumed, so the
+    /// next write still observes it.
+    pub fn health(&self) -> DatasetHealth {
+        let status = self.core.sched.status();
+        let worker = if !self.core.config.background {
+            WorkerState::Inline
+        } else if status.failed.is_some() {
+            WorkerState::Failed
+        } else if status.busy || status.pending {
+            WorkerState::Busy
+        } else {
+            WorkerState::Idle
+        };
+        // Prefer the live parked error; fall back to the event ring so an
+        // error drained by a retry is still reported until it scrolls off.
+        let last_error = status
+            .failed
+            .map(|e| e.to_string())
+            .or_else(|| self.core.telemetry.events.last_error());
+        DatasetHealth {
+            worker,
+            last_error,
+            pending_maintenance: status.sealed_count,
+            stalls: self.core.telemetry.stalls.get(),
+            stall_micros: self.core.telemetry.stall_micros.get(),
+        }
+    }
+
     /// I/O counters of the underlying simulated disk.
     pub fn io_stats(&self) -> IoStats {
         self.core.cache.store().stats()
@@ -532,6 +673,9 @@ impl LsmDataset {
     /// lock is held only long enough to clone the active memtable; flushes
     /// and merges never invalidate a snapshot.
     pub fn snapshot(&self) -> Snapshot {
+        if self.core.telemetry.enabled() {
+            self.core.telemetry.snapshots.incr();
+        }
         let write = self.core.write.lock();
         let active: Vec<(Value, Option<Value>)> = write
             .memtable
@@ -730,7 +874,13 @@ impl DatasetCore {
         if self.config.background {
             // Backpressure gate — taken *before* the write lock so stalled
             // writers never block readers or the worker.
-            self.sched.admit(self.config.max_sealed_memtables)?;
+            let stalled = self.sched.admit(self.config.max_sealed_memtables)?;
+            if let Some(stall) = stalled {
+                if self.telemetry.enabled() {
+                    self.telemetry.stalls.incr();
+                    self.telemetry.stall_micros.add(stall.as_micros() as u64);
+                }
+            }
         }
         {
             let mut write = self.write.lock();
@@ -746,7 +896,13 @@ impl DatasetCore {
                         durable.log_insert(&key, &record)?;
                     }
                     write.pk_index.insert(&key);
+                    let bytes_before = write.memtable.approx_bytes();
                     write.memtable.insert(key, record);
+                    if self.telemetry.enabled() {
+                        self.telemetry.records_ingested.incr();
+                        let grew = write.memtable.approx_bytes().saturating_sub(bytes_before);
+                        self.telemetry.bytes_ingested.add(grew as u64);
+                    }
                     self.stats.lock().records_ingested += 1;
                 }
                 (None, Some(key)) => {
@@ -755,6 +911,9 @@ impl DatasetCore {
                         durable.log_delete(&key)?;
                     }
                     write.memtable.delete(key);
+                    if self.telemetry.enabled() {
+                        self.telemetry.deletes.incr();
+                    }
                     self.stats.lock().deletes += 1;
                 }
                 (None, None) => unreachable!("apply needs a record or a key"),
@@ -821,6 +980,9 @@ impl DatasetCore {
         if !Arc::ptr_eq(&current, sealed) {
             return Ok(());
         }
+        self.telemetry.emit(EventKind::FlushBegin {
+            entries: sealed.entries.len(),
+        });
         // Tuple compactor: infer the schema from the flushed records (§2.2).
         for (_, record) in &sealed.entries {
             if let Some(record) = record {
@@ -836,6 +998,7 @@ impl DatasetCore {
             maint.next_component_id,
         )?);
         maint.next_component_id += 1;
+        let pages_out = component.meta().pages.len() as u64;
         // Durable flush: sync pages, commit the manifest recording the new
         // component (and the schema snapshot), then drop the WAL segments
         // covering the sealed records.
@@ -861,10 +1024,22 @@ impl DatasetCore {
             *tree = Arc::new(next);
         }
         self.sched.note_flushed();
+        let elapsed = started.elapsed();
+        if self.telemetry.enabled() {
+            self.telemetry.flushes.incr();
+            self.telemetry.flush_entries.add(sealed.entries.len() as u64);
+            self.telemetry.flush_pages_out.add(pages_out);
+            self.telemetry.flush_duration.record(elapsed.as_micros() as u64);
+            self.telemetry.emit(EventKind::FlushEnd {
+                entries: sealed.entries.len(),
+                pages_out,
+                micros: elapsed.as_micros() as u64,
+            });
+        }
         {
             let mut stats = self.stats.lock();
             stats.flushes += 1;
-            stats.flush_time += started.elapsed();
+            stats.flush_time += elapsed;
         }
         self.maybe_merge_locked(&mut maint)
     }
@@ -917,6 +1092,11 @@ impl DatasetCore {
         let inputs: Vec<Arc<Component>> =
             positions.iter().map(|&p| components[p].clone()).collect();
         let includes_oldest = positions.first() == Some(&0);
+        let input_ids: Vec<u64> = inputs.iter().map(|c| c.meta().id).collect();
+        let pages_in: u64 = inputs.iter().map(|c| c.meta().pages.len() as u64).sum();
+        self.telemetry.emit(EventKind::MergeBegin {
+            inputs: input_ids.clone(),
+        });
         // Reconcile through the streaming k-way merge cursor: entries arrive
         // in key order with the newest version of each key winning, holding
         // one decoded leaf per input in memory instead of the whole inputs.
@@ -939,6 +1119,7 @@ impl DatasetCore {
             maint.next_component_id,
         )?);
         maint.next_component_id += 1;
+        let pages_out = new_component.meta().pages.len() as u64;
 
         // Build the post-merge component list: inputs out, output in at the
         // first merged position.
@@ -965,10 +1146,23 @@ impl DatasetCore {
         for input in &inputs {
             input.retire();
         }
+        let elapsed = started.elapsed();
+        if self.telemetry.enabled() {
+            self.telemetry.merges.incr();
+            self.telemetry.merge_pages_in.add(pages_in);
+            self.telemetry.merge_pages_out.add(pages_out);
+            self.telemetry.merge_duration.record(elapsed.as_micros() as u64);
+            self.telemetry.emit(EventKind::MergeEnd {
+                inputs: input_ids,
+                pages_in,
+                pages_out,
+                micros: elapsed.as_micros() as u64,
+            });
+        }
         {
             let mut stats = self.stats.lock();
             stats.merges += 1;
-            stats.merge_time += started.elapsed();
+            stats.merge_time += elapsed;
         }
         Ok(())
     }

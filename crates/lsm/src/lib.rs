@@ -98,7 +98,7 @@ pub mod policy;
 pub(crate) mod scheduler;
 pub mod snapshot;
 
-pub use dataset::{DatasetConfig, IngestStats, LsmDataset};
+pub use dataset::{DatasetConfig, DatasetHealth, IngestStats, LsmDataset, WorkerState};
 pub use index::{PrimaryKeyIndex, SecondaryIndex};
 pub use memtable::Memtable;
 pub use persist::CrashPoint;

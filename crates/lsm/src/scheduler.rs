@@ -25,6 +25,7 @@
 //! re-run a flush after an injected crash).
 
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::LsmError;
 
@@ -41,6 +42,19 @@ struct Ctrl {
     shutdown: bool,
     /// A background flush/merge failed; surfaced on the next admit/drain.
     failed: Option<LsmError>,
+}
+
+/// A point-in-time, non-consuming view of the scheduler's control state
+/// (see [`Scheduler::status`]).
+pub(crate) struct SchedulerStatus {
+    /// The worker is currently processing a job.
+    pub(crate) busy: bool,
+    /// Work has been signalled and not yet picked up.
+    pub(crate) pending: bool,
+    /// Sealed memtables awaiting flush.
+    pub(crate) sealed_count: usize,
+    /// A parked background failure (not consumed by reading it here).
+    pub(crate) failed: Option<LsmError>,
 }
 
 /// Coordination between the ingest path and the background worker.
@@ -63,16 +77,20 @@ impl Scheduler {
 
     /// Backpressure gate, called by writers *before* taking the write lock:
     /// blocks while `max_sealed` sealed memtables are already queued.
-    /// Surfaces (without consuming) a parked background failure.
-    pub(crate) fn admit(&self, max_sealed: usize) -> Result<(), LsmError> {
+    /// Surfaces (without consuming) a parked background failure. Returns how
+    /// long the writer stalled, if it had to wait at all — the caller
+    /// records it as backpressure stall time.
+    pub(crate) fn admit(&self, max_sealed: usize) -> Result<Option<Duration>, LsmError> {
         let mut ctrl = self.ctrl.lock().unwrap();
+        let mut stalled_since: Option<Instant> = None;
         loop {
             if let Some(err) = &ctrl.failed {
                 return Err(err.clone());
             }
             if ctrl.sealed_count < max_sealed.max(1) {
-                return Ok(());
+                return Ok(stalled_since.map(|s| s.elapsed()));
             }
+            stalled_since.get_or_insert_with(Instant::now);
             ctrl = self.done_cv.wait(ctrl).unwrap();
         }
     }
@@ -95,6 +113,19 @@ impl Scheduler {
     /// Sealed memtables currently queued.
     pub(crate) fn sealed_count(&self) -> usize {
         self.ctrl.lock().unwrap().sealed_count
+    }
+
+    /// Non-consuming view of the control state for health reporting: the
+    /// parked failure (if any) stays parked, so reading health never races a
+    /// writer out of observing the error.
+    pub(crate) fn status(&self) -> SchedulerStatus {
+        let ctrl = self.ctrl.lock().unwrap();
+        SchedulerStatus {
+            busy: ctrl.busy,
+            pending: ctrl.pending,
+            sealed_count: ctrl.sealed_count,
+            failed: ctrl.failed.clone(),
+        }
     }
 
     /// Signal the worker and wait until every sealed memtable is flushed and
@@ -167,14 +198,20 @@ mod tests {
         // Unblock the writer by "flushing" one sealed memtable.
         std::thread::sleep(std::time::Duration::from_millis(20));
         sched.note_flushed();
-        t.join().unwrap().unwrap();
+        let stalled = t.join().unwrap().unwrap();
+        assert!(stalled.is_some(), "the blocked admit must report its stall");
 
         sched.work_done(Err(LsmError::new("boom")));
+        // status() surfaces the parked failure without consuming it.
+        assert!(sched.status().failed.is_some());
         assert!(sched.admit(2).is_err(), "parked failure must surface");
+        assert!(sched.status().failed.is_some(), "admit must not consume it");
         assert!(sched.drain().is_err(), "drain consumes the failure");
+        assert!(sched.status().failed.is_none());
         // After drain consumed it, admit passes again (one slot free).
         sched.note_flushed();
-        sched.admit(2).unwrap();
+        let stalled = sched.admit(2).unwrap();
+        assert!(stalled.is_none(), "an unblocked admit reports no stall");
     }
 
     #[test]

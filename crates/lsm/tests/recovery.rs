@@ -482,6 +482,74 @@ fn torn_wal_tail_loses_only_the_unacknowledged_record() {
     assert!(ds.lookup(&Value::Int(19), None).unwrap().is_none());
 }
 
+/// Recovery tracing (telemetry): the `RecoveryReplay` event a reopened
+/// dataset emits must match the ground truth of what was on disk — WAL
+/// segments scanned, records replayed, whether a torn tail was truncated,
+/// and components reloaded from the manifest.
+#[test]
+fn recovery_replay_event_matches_ground_truth() {
+    use telemetry::EventKind;
+
+    let dir = temp_dir("replay-event");
+    let replay_of = |ds: &LsmDataset| {
+        ds.recent_events(256)
+            .into_iter()
+            .find_map(|e| match e.kind {
+                EventKind::RecoveryReplay { segments, records, torn_tail_healed, components } => {
+                    Some((segments, records, torn_tail_healed, components))
+                }
+                _ => None,
+            })
+            .expect("every durable open emits a recovery summary")
+    };
+
+    // Kill before any flush: one WAL segment, all 20 records, no components.
+    {
+        let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+        for i in 0..20 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.sync().unwrap();
+    }
+    {
+        let ds = LsmDataset::open(&dir, unflushed_config(LayoutKind::Vb)).unwrap();
+        assert_eq!(replay_of(&ds), (1, 20, false, 0));
+
+        // Flush, then a short unflushed tail: the manifest now carries one
+        // component and only the tail is replayed.
+        ds.flush().unwrap();
+        for i in 20..25 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.sync().unwrap();
+    }
+    {
+        let ds = LsmDataset::reopen(&dir).unwrap();
+        assert_eq!(replay_of(&ds), (1, 5, false, 1));
+    }
+
+    // Tear the last WAL frame in half, as a crash mid-append would: the
+    // summary reports the healed tail and one fewer record. The WAL may
+    // have rotated, so find the newest (active) segment file.
+    let wal_path = {
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let path = e.unwrap().path();
+                let name = path.file_name()?.to_str()?;
+                (name.starts_with("wal") && name.ends_with(".log")).then(|| path.clone())
+            })
+            .collect();
+        segments.sort();
+        segments.pop().expect("an active WAL segment exists")
+    };
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
+    let ds = LsmDataset::reopen(&dir).unwrap();
+    assert_eq!(replay_of(&ds), (1, 4, true, 1));
+    assert_eq!(ds.count().unwrap(), 24, "only the torn record is lost");
+}
+
 #[test]
 fn durable_and_in_memory_datasets_agree() {
     let dir = temp_dir("parity");

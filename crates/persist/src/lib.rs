@@ -71,12 +71,15 @@ pub mod manifest;
 pub mod wal;
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use storage::PageStore;
+use telemetry::{EventKind, Telemetry};
 
 pub use manifest::{ManifestData, ManifestStore, PersistedConfig};
-pub use wal::{Wal, WalRecord};
+pub use wal::{Wal, WalRecord, WalReplay};
 
 /// Error type of the durability layer (shared with the storage stack so
 /// `?` composes across crates).
@@ -122,6 +125,10 @@ pub struct DurableStore {
     wal: Mutex<WalState>,
     manifest: Mutex<ManifestStore>,
     crash_point: Mutex<Option<CrashPoint>>,
+    /// Optional metrics/event sink, attached by the dataset after open
+    /// (the registry is owned by the LSM layer; `OnceLock` keeps the read
+    /// on the append path to one atomic load).
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 /// What [`DurableStore::open`] recovered from the directory.
@@ -130,6 +137,10 @@ pub struct Recovered {
     pub manifest: Option<ManifestData>,
     /// Acknowledged mutations not yet covered by a component, oldest first.
     pub wal_records: Vec<WalRecord>,
+    /// WAL segment files scanned (and replayed) at open.
+    pub wal_segments_replayed: usize,
+    /// Whether a torn tail was truncated off the newest WAL segment.
+    pub torn_tail_healed: bool,
 }
 
 impl DurableStore {
@@ -148,7 +159,7 @@ impl DurableStore {
             }
         }
         let store = PageStore::file_backed(&dir.join(PAGE_FILE_NAME), page_size)?;
-        let (wal, wal_records) = Wal::open(dir)?;
+        let (wal, replay) = Wal::open(dir)?;
         Ok((
             DurableStore {
                 dir: dir.to_path_buf(),
@@ -159,12 +170,30 @@ impl DurableStore {
                 }),
                 manifest: Mutex::new(manifest),
                 crash_point: Mutex::new(None),
+                telemetry: OnceLock::new(),
             },
             Recovered {
                 manifest: manifest_data,
-                wal_records,
+                wal_records: replay.records,
+                wal_segments_replayed: replay.segments_replayed,
+                torn_tail_healed: replay.torn_tail_healed,
             },
         ))
+    }
+
+    /// Attach the dataset's metrics/event registry. WAL append/fsync
+    /// latencies and the seal/remove/manifest lifecycle events flow into it
+    /// from then on. First attachment wins; later calls are no-ops.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    /// The attached registry, if recording is enabled.
+    fn sink(&self) -> Option<&Telemetry> {
+        self.telemetry
+            .get()
+            .map(|t| t.as_ref())
+            .filter(|t| t.enabled())
     }
 
     /// The dataset directory.
@@ -203,38 +232,66 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Record one WAL append in the attached registry (latency + count).
+    fn note_append(&self, started: Option<Instant>) {
+        if let (Some(t), Some(started)) = (self.sink(), started) {
+            t.wal_appends.incr();
+            t.wal_append_latency.record(started.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// `Instant::now()` only when someone will consume the measurement.
+    fn timer(&self) -> Option<Instant> {
+        self.sink().map(|_| Instant::now())
+    }
+
     /// Log one acknowledged mutation. The record reaches the OS immediately;
     /// call [`DurableStore::sync_wal`] to force it to the device.
     pub fn log(&self, record: &WalRecord) -> Result<()> {
+        let started = self.timer();
         let mut state = self.wal.lock();
         state.wal.append(record)?;
         state.appends_since_sync += 1;
+        drop(state);
+        self.note_append(started);
         Ok(())
     }
 
     /// Log an insert without materialising a [`WalRecord`].
     pub fn log_insert(&self, key: &docmodel::Value, record: &docmodel::Value) -> Result<()> {
+        let started = self.timer();
         let mut state = self.wal.lock();
         state.wal.append_insert(key, record)?;
         state.appends_since_sync += 1;
+        drop(state);
+        self.note_append(started);
         Ok(())
     }
 
     /// Log a delete without materialising a [`WalRecord`].
     pub fn log_delete(&self, key: &docmodel::Value) -> Result<()> {
+        let started = self.timer();
         let mut state = self.wal.lock();
         state.wal.append_delete(key)?;
         state.appends_since_sync += 1;
+        drop(state);
+        self.note_append(started);
         Ok(())
     }
 
     /// Fsync the WAL (group-commit point for callers that need device-level
     /// durability of every acknowledged record).
     pub fn sync_wal(&self) -> Result<()> {
+        let started = self.timer();
         let mut state = self.wal.lock();
         if state.appends_since_sync > 0 {
             state.wal.sync()?;
             state.appends_since_sync = 0;
+            drop(state);
+            if let (Some(t), Some(started)) = (self.sink(), started) {
+                t.wal_syncs.incr();
+                t.wal_sync_latency.record(started.elapsed().as_micros() as u64);
+            }
         }
         Ok(())
     }
@@ -246,6 +303,10 @@ impl DurableStore {
         let mut state = self.wal.lock();
         let id = state.wal.rotate()?;
         state.appends_since_sync = 0;
+        drop(state);
+        if let Some(t) = self.sink() {
+            t.emit(EventKind::WalSegmentSealed { segment: id });
+        }
         Ok(id)
     }
 
@@ -260,8 +321,14 @@ impl DurableStore {
         self.store.sync()?;
         self.trip(CrashPoint::AfterFlushComponentWrite)?;
         let version = self.manifest.lock().commit(data)?;
+        if let Some(t) = self.sink() {
+            t.emit(EventKind::ManifestCommit { version });
+        }
         self.trip(CrashPoint::AfterFlushManifestCommit)?;
         self.wal.lock().wal.remove_through(through_segment)?;
+        if let Some(t) = self.sink() {
+            t.emit(EventKind::WalSegmentsRemoved { through: through_segment });
+        }
         Ok(version)
     }
 
@@ -272,7 +339,11 @@ impl DurableStore {
     pub fn commit_merge(&self, data: ManifestData) -> Result<u64> {
         self.store.sync()?;
         self.trip(CrashPoint::BeforeMergeManifestCommit)?;
-        self.manifest.lock().commit(data)
+        let version = self.manifest.lock().commit(data)?;
+        if let Some(t) = self.sink() {
+            t.emit(EventKind::ManifestCommit { version });
+        }
+        Ok(version)
     }
 }
 

@@ -142,6 +142,20 @@ struct SealedSegment {
     len: u64,
 }
 
+/// What [`Wal::open`] found in the directory: the replayed records plus
+/// the recovery summary the telemetry layer reports (how many segment
+/// files were scanned, whether a torn tail had to be truncated).
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Acknowledged records not yet covered by a component, oldest first.
+    pub records: Vec<WalRecord>,
+    /// Segment files scanned (and replayed) at open.
+    pub segments_replayed: usize,
+    /// Whether a torn tail (partial frame from a crash mid-append) was
+    /// truncated off the newest segment.
+    pub torn_tail_healed: bool,
+}
+
 /// The segmented write-ahead log of one dataset directory.
 pub struct Wal {
     dir: PathBuf,
@@ -180,8 +194,8 @@ fn parse_frames(bytes: &[u8], records: &mut Vec<WalRecord>) -> usize {
 impl Wal {
     /// Open (or create) the log in `dir` and replay the valid prefix of every
     /// segment, oldest first. Returns the log positioned for appending to the
-    /// newest segment and the replayed records.
-    pub fn open(dir: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+    /// newest segment and the replay (records + recovery summary).
+    pub fn open(dir: &Path) -> Result<(Wal, WalReplay)> {
         let mut ids: Vec<u64> = Vec::new();
         let entries = std::fs::read_dir(dir)
             .map_err(|e| PersistError::new(format!("list WAL dir {}: {e}", dir.display())))?;
@@ -197,6 +211,7 @@ impl Wal {
         let mut records = Vec::new();
         let mut sealed = Vec::new();
         let mut heal: Option<(PathBuf, u64)> = None;
+        let mut torn_tail_healed = false;
         for (i, &id) in ids.iter().enumerate() {
             let path = dir.join(segment_file_name(id));
             let bytes = std::fs::read(&path)
@@ -218,6 +233,7 @@ impl Wal {
                     len: good_end as u64,
                 });
             } else {
+                torn_tail_healed = good_end < bytes.len();
                 heal = Some((path, good_end as u64));
             }
         }
@@ -252,7 +268,11 @@ impl Wal {
                 active_file,
                 active_len,
             },
-            records,
+            WalReplay {
+                records,
+                segments_replayed: ids.len(),
+                torn_tail_healed,
+            },
         ))
     }
 
@@ -416,14 +436,14 @@ mod tests {
         let records = sample_records();
         {
             let (mut wal, replayed) = Wal::open(&dir).unwrap();
-            assert!(replayed.is_empty());
+            assert!(replayed.records.is_empty());
             for r in &records {
                 wal.append(r).unwrap();
             }
             wal.sync().unwrap();
         }
         let (wal, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records);
+        assert_eq!(replayed.records, records);
         assert!(!wal.is_empty());
     }
 
@@ -438,7 +458,7 @@ mod tests {
         assert!(wal.is_empty());
         drop(wal);
         let (_, replayed) = Wal::open(&dir).unwrap();
-        assert!(replayed.is_empty());
+        assert!(replayed.records.is_empty());
     }
 
     #[test]
@@ -457,12 +477,13 @@ mod tests {
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
 
         let (mut wal, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records[..2].to_vec(), "torn frame must be dropped");
+        assert_eq!(replayed.records, records[..2].to_vec(), "torn frame must be dropped");
+        assert!(replayed.torn_tail_healed, "the chopped frame is a torn tail");
         // The file healed: appending after the torn tail yields a clean log.
         wal.append(&records[2]).unwrap();
         drop(wal);
         let (_, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records);
+        assert_eq!(replayed.records, records);
     }
 
     #[test]
@@ -483,7 +504,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
 
         let (_, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records[..1].to_vec());
+        assert_eq!(replayed.records, records[..1].to_vec());
     }
 
     #[test]
@@ -491,7 +512,7 @@ mod tests {
         let dir = temp_dir("tiny");
         std::fs::write(dir.join(segment_file_name(0)), [1, 2, 3]).unwrap(); // shorter than a header
         let (wal, replayed) = Wal::open(&dir).unwrap();
-        assert!(replayed.is_empty());
+        assert!(replayed.records.is_empty());
         assert!(wal.is_empty());
     }
 
@@ -515,7 +536,7 @@ mod tests {
         assert_eq!(wal.sealed_segment_count(), 1);
         drop(wal);
         let (_, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records[1..].to_vec());
+        assert_eq!(replayed.records, records[1..].to_vec());
     }
 
     #[test]
@@ -530,13 +551,13 @@ mod tests {
             }
         }
         let (wal, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records);
+        assert_eq!(replayed.records, records);
         // Reopen keeps the sealed segments removable.
         let mut wal = wal;
         wal.remove_through(1).unwrap();
         drop(wal);
         let (_, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records[2..].to_vec());
+        assert_eq!(replayed.records, records[2..].to_vec());
     }
 
     #[test]
@@ -554,6 +575,6 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
         let (_, replayed) = Wal::open(&dir).unwrap();
-        assert_eq!(replayed, records[..2].to_vec());
+        assert_eq!(replayed.records, records[..2].to_vec());
     }
 }

@@ -1,0 +1,228 @@
+//! EXPLAIN ANALYZE — actual execution counters alongside the plan.
+//!
+//! [`QueryEngine::explain_analyze`](crate::QueryEngine::explain_analyze)
+//! runs the query for real and returns an [`AnalyzeReport`]: the rendered
+//! physical plan (exactly what [`explain`](crate::QueryEngine::explain)
+//! produces), the query's actual rows, and one [`ShardAnalysis`] per
+//! partition with the counters the plan's *estimates* promise:
+//!
+//! * **rows pulled** — records the operator pipeline actually drew from the
+//!   access stage, counted by a thin wrapper around the streaming cursor
+//!   (`CountingIter`); with `ORDER BY key LIMIT k` this is the
+//!   early-termination point, not the dataset size;
+//! * **pages/bytes read** — deltas of the underlying store's
+//!   [`IoStats`](storage::pagestore::IoStats) around the partition's
+//!   execution. Partitions run *sequentially* under analyze (unlike
+//!   [`execute`](crate::QueryEngine::execute)'s thread-per-shard fan-out)
+//!   so each shard's delta is exact even when shards share one store;
+//! * **components scanned vs. pruned** — how many on-disk components the
+//!   zone maps eliminated without reading a page.
+//!
+//! A key-only `COUNT(*)` never materialises records, so it reports zero
+//! rows pulled and a complete (`exhausted`) stream; its cost shows up in
+//! the page counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::plan::QueryRow;
+
+/// Pull counters shared between the executing pipeline and the probe: how
+/// many records the operators drew from the access stage, and whether they
+/// drained it (a limited query that stops early leaves `exhausted` false).
+#[derive(Default)]
+pub(crate) struct PullStats {
+    pulled: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+/// Wraps the access-stage record stream and counts what flows through it.
+pub(crate) struct CountingIter<I> {
+    inner: I,
+    stats: Arc<PullStats>,
+}
+
+impl<I> CountingIter<I> {
+    pub(crate) fn new(inner: I, stats: Arc<PullStats>) -> CountingIter<I> {
+        CountingIter { inner, stats }
+    }
+}
+
+impl<I: Iterator> Iterator for CountingIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        match self.inner.next() {
+            Some(item) => {
+                self.stats.pulled.fetch_add(1, Ordering::Relaxed);
+                Some(item)
+            }
+            None => {
+                self.stats.exhausted.store(true, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+/// Collection point for one partition's counters while it executes.
+pub(crate) struct ExecProbe {
+    pub(crate) pull: Arc<PullStats>,
+    components_scanned: std::cell::Cell<usize>,
+    components_pruned: std::cell::Cell<usize>,
+}
+
+impl ExecProbe {
+    pub(crate) fn new() -> ExecProbe {
+        ExecProbe {
+            pull: Arc::new(PullStats::default()),
+            components_scanned: std::cell::Cell::new(0),
+            components_pruned: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Record the access path's component accounting.
+    pub(crate) fn set_components(&self, scanned: usize, pruned: usize) {
+        self.components_scanned.set(scanned);
+        self.components_pruned.set(pruned);
+    }
+
+    /// Mark the stream complete for access paths that never route records
+    /// through the counting iterator (key-only counts).
+    pub(crate) fn mark_exhausted(&self) {
+        self.pull.exhausted.store(true, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into the partition's report.
+    pub(crate) fn finish(self, pages_read: u64, bytes_read: u64, rows_out: usize) -> ShardAnalysis {
+        ShardAnalysis {
+            rows_pulled: self.pull.pulled.load(Ordering::Relaxed),
+            exhausted: self.pull.exhausted.load(Ordering::Relaxed),
+            pages_read,
+            bytes_read,
+            components_scanned: self.components_scanned.get(),
+            components_pruned: self.components_pruned.get(),
+            rows_out,
+        }
+    }
+}
+
+/// Actual execution counters of one partition of an analyzed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAnalysis {
+    /// Records the operator pipeline pulled from the access stage.
+    pub rows_pulled: u64,
+    /// Whether the access stream was drained. `false` means the query
+    /// terminated early (`ORDER BY key LIMIT k` found its k rows).
+    pub exhausted: bool,
+    /// Pages read from the partition's store during execution
+    /// ([`IoStats`](storage::pagestore::IoStats) delta).
+    pub pages_read: u64,
+    /// Bytes read from the partition's store during execution.
+    pub bytes_read: u64,
+    /// On-disk components the access path read.
+    pub components_scanned: usize,
+    /// Components skipped by zone-map pruning without any page read.
+    pub components_pruned: usize,
+    /// Rows (projection) or groups (aggregation) this partition produced
+    /// before the cross-shard merge.
+    pub rows_out: usize,
+}
+
+impl ShardAnalysis {
+    /// The early-termination point: how many records had been pulled when
+    /// the query stopped, or `None` when the stream ran to completion.
+    pub fn early_termination(&self) -> Option<u64> {
+        (!self.exhausted).then_some(self.rows_pulled)
+    }
+}
+
+/// What [`QueryEngine::explain_analyze`](crate::QueryEngine::explain_analyze)
+/// returns: the plan as `explain` renders it, the real result rows, and the
+/// per-partition execution counters.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// The rendered physical plan (identical to `explain`'s output).
+    pub plan: String,
+    /// The query's actual result rows.
+    pub rows: Vec<QueryRow>,
+    /// Execution counters, one entry per partition in target order.
+    pub shards: Vec<ShardAnalysis>,
+    /// Wall-clock time of the whole analyzed execution (partitions run
+    /// sequentially, so this is the sum of per-shard work).
+    pub wall: Duration,
+}
+
+impl AnalyzeReport {
+    /// Total records pulled from the access stage across partitions.
+    pub fn rows_pulled(&self) -> u64 {
+        self.shards.iter().map(|s| s.rows_pulled).sum()
+    }
+
+    /// Total pages read across partitions.
+    pub fn pages_read(&self) -> u64 {
+        self.shards.iter().map(|s| s.pages_read).sum()
+    }
+
+    /// Total bytes read across partitions.
+    pub fn bytes_read(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_read).sum()
+    }
+
+    /// Total components the access paths read.
+    pub fn components_scanned(&self) -> usize {
+        self.shards.iter().map(|s| s.components_scanned).sum()
+    }
+
+    /// Total components zone-map pruning eliminated.
+    pub fn components_pruned(&self) -> usize {
+        self.shards.iter().map(|s| s.components_pruned).sum()
+    }
+
+    /// The early-termination point across the whole run: total rows pulled,
+    /// if any partition stopped before draining its stream.
+    pub fn early_termination(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .any(|s| !s.exhausted)
+            .then(|| self.rows_pulled())
+    }
+
+    /// Render the plan with the actual-execution annotations appended —
+    /// the EXPLAIN ANALYZE text.
+    pub fn describe(&self) -> String {
+        let mut out = self.plan.clone();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        let termination = match self.early_termination() {
+            Some(at) => format!("early termination after {at} rows pulled"),
+            None => "stream exhausted".to_string(),
+        };
+        out.push_str(&format!(
+            "analyze: wall {:?}, rows pulled {}, pages read {}, components scanned {} (pruned {}), output rows {}, {}\n",
+            self.wall,
+            self.rows_pulled(),
+            self.pages_read(),
+            self.components_scanned(),
+            self.components_pruned(),
+            self.rows.len(),
+            termination,
+        ));
+        if self.shards.len() > 1 {
+            for (i, s) in self.shards.iter().enumerate() {
+                out.push_str(&format!(
+                    "analyze[shard {i}]: rows pulled {}, pages read {}, components scanned {} (pruned {}), rows out {}{}\n",
+                    s.rows_pulled,
+                    s.pages_read,
+                    s.components_scanned,
+                    s.components_pruned,
+                    s.rows_out,
+                    if s.exhausted { "" } else { ", terminated early" },
+                ));
+            }
+        }
+        out
+    }
+}

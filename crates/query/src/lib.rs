@@ -92,6 +92,7 @@
 //! the same way: each shard probes its own secondary index and contributes
 //! partials.
 
+pub mod analyze;
 pub mod compiled;
 pub mod expr;
 pub mod interp;
@@ -99,6 +100,7 @@ pub mod oracle;
 pub mod physical;
 pub mod plan;
 
+pub use analyze::{AnalyzeReport, ShardAnalysis};
 pub use expr::{CmpOp, Expr};
 pub use physical::{
     AccessEstimate, AccessPath, AccessPathChoice, ComponentPlanInfo, PhysicalPlan, PlanContext,
@@ -108,10 +110,13 @@ pub use plan::{AggSpec, Aggregate, ExecMode, Query, QueryRow};
 
 use std::fmt;
 use std::ops::Bound;
+use std::time::Instant;
 
 use docmodel::Value;
 use lsm::{LsmDataset, Snapshot};
+use storage::pagestore::IoStats;
 
+use analyze::{CountingIter, ExecProbe};
 use physical::{finalize, key_count_partials, merge_partials, GroupPartials};
 
 /// Error type of the query layer: plan validation failures are separated
@@ -251,16 +256,16 @@ impl QueryEngine {
             return Ok(Vec::new());
         }
         let output = match target {
-            QueryTarget::Snapshot(snapshot) => self.output_for_snapshot(snapshot, &plan)?,
-            QueryTarget::Dataset(dataset) => self.output_for_dataset(dataset, &plan)?,
+            QueryTarget::Snapshot(snapshot) => self.output_for_snapshot(snapshot, &plan, None)?,
+            QueryTarget::Dataset(dataset) => self.output_for_dataset(dataset, &plan, None)?,
             QueryTarget::Snapshots(snapshots) => {
                 self.fan_out(snapshots, &plan, |engine, snapshot, plan| {
-                    engine.output_for_snapshot(snapshot, plan)
+                    engine.output_for_snapshot(snapshot, plan, None)
                 })?
             }
             QueryTarget::Shards(shards) => {
                 self.fan_out(shards, &plan, |engine, dataset, plan| {
-                    engine.output_for_dataset(dataset, plan)
+                    engine.output_for_dataset(dataset, plan, None)
                 })?
             }
         };
@@ -280,6 +285,90 @@ impl QueryEngine {
     ) -> Result<String> {
         let target = target.into();
         physical::plan(query, &target.plan_context(), &self.options).map(|p| p.describe())
+    }
+
+    /// Plan the query, *execute it for real*, and return the plan annotated
+    /// with actual execution counters (`EXPLAIN ANALYZE`): rows the pipeline
+    /// pulled from the access stage, pages read (I/O-stats deltas), how many
+    /// components zone maps pruned vs. scanned, the early-termination point
+    /// of limited queries, and wall time — plus the query's result rows, so
+    /// analyzing never costs a second execution.
+    ///
+    /// Partitions run sequentially (not thread-per-shard) so each shard's
+    /// I/O delta is exact even when shards share one page store; the merged
+    /// result rows equal [`QueryEngine::execute`]'s.
+    pub fn explain_analyze<'a>(
+        &self,
+        target: impl Into<QueryTarget<'a>>,
+        query: &Query,
+    ) -> Result<AnalyzeReport> {
+        let target = target.into();
+        let plan = physical::plan(query, &target.plan_context(), &self.options)?;
+        let plan_text = plan.describe();
+        let started = Instant::now();
+        let mut analyses: Vec<ShardAnalysis> = Vec::new();
+        let mut outputs: Vec<ExecOutput> = Vec::new();
+        {
+            let mut run_one = |io: &dyn Fn() -> Option<IoStats>,
+                               exec: &dyn Fn(&ExecProbe) -> Result<ExecOutput>|
+             -> Result<()> {
+                let probe = ExecProbe::new();
+                let before = io();
+                let output = exec(&probe)?;
+                let after = io();
+                let (pages, bytes) = match (before, after) {
+                    (Some(b), Some(a)) => (
+                        a.pages_read.saturating_sub(b.pages_read),
+                        a.bytes_read.saturating_sub(b.bytes_read),
+                    ),
+                    _ => (0, 0),
+                };
+                let rows_out = match &output {
+                    ExecOutput::Rows(rows) => rows.len(),
+                    ExecOutput::Groups(groups) => groups.len(),
+                };
+                analyses.push(probe.finish(pages, bytes, rows_out));
+                outputs.push(output);
+                Ok(())
+            };
+            match &target {
+                QueryTarget::Snapshot(snapshot) => run_one(&|| snapshot_io(snapshot), &|p| {
+                    self.output_for_snapshot(snapshot, &plan, Some(p))
+                })?,
+                QueryTarget::Dataset(dataset) => run_one(&|| Some(dataset.io_stats()), &|p| {
+                    self.output_for_dataset(dataset, &plan, Some(p))
+                })?,
+                QueryTarget::Snapshots(snapshots) => {
+                    for snapshot in *snapshots {
+                        run_one(&|| snapshot_io(snapshot), &|p| {
+                            self.output_for_snapshot(snapshot, &plan, Some(p))
+                        })?;
+                    }
+                }
+                QueryTarget::Shards(shards) => {
+                    for dataset in *shards {
+                        run_one(&|| Some(dataset.io_stats()), &|p| {
+                            self.output_for_dataset(dataset, &plan, Some(p))
+                        })?;
+                    }
+                }
+            }
+        }
+        // An empty shard list has no partitions — no rows, like execute().
+        let rows = if outputs.is_empty() {
+            Vec::new()
+        } else {
+            match merge_exec_outputs(outputs, &plan) {
+                ExecOutput::Groups(partials) => finalize(partials, &plan),
+                ExecOutput::Rows(rows) => rows,
+            }
+        };
+        Ok(AnalyzeReport {
+            plan: plan_text,
+            rows,
+            shards: analyses,
+            wall: started.elapsed(),
+        })
     }
 
     /// Fan a plan out over several partitions, one thread each, and merge
@@ -310,33 +399,18 @@ impl QueryEngine {
                 .map(|h| h.join().expect("sharded query thread panicked"))
                 .collect()
         });
-        if plan.is_projection() {
-            let mut streams = Vec::with_capacity(results.len());
-            for result in results {
-                match result? {
-                    ExecOutput::Rows(rows) => streams.push(rows),
-                    ExecOutput::Groups(_) => unreachable!("projection plans emit rows"),
-                }
-            }
-            Ok(ExecOutput::Rows(merge_row_streams(streams, plan.limit)))
-        } else {
-            let mut merged = GroupPartials::new();
-            for result in results {
-                match result? {
-                    ExecOutput::Groups(partials) => merge_partials(&mut merged, partials),
-                    ExecOutput::Rows(_) => unreachable!("aggregate plans emit partials"),
-                }
-            }
-            Ok(ExecOutput::Groups(merged))
-        }
+        let outputs: Vec<ExecOutput> = results.into_iter().collect::<Result<_>>()?;
+        Ok(merge_exec_outputs(outputs, plan))
     }
 
     /// Execute the plan's access path against a dataset (index probes
-    /// included) in the configured mode.
+    /// included) in the configured mode. When a `probe` is supplied
+    /// (EXPLAIN ANALYZE) the record stream is wrapped to count actual pulls.
     fn output_for_dataset(
         &self,
         dataset: &LsmDataset,
         plan: &PhysicalPlan,
+        probe: Option<&ExecProbe>,
     ) -> Result<ExecOutput> {
         match &plan.access {
             AccessPath::IndexRange { lo, hi, .. } => {
@@ -348,13 +422,23 @@ impl QueryEngine {
                     as_bound_ref(hi),
                     plan.projection.as_deref(),
                 )?;
-                if plan.is_projection() {
+                if let Some(probe) = probe {
+                    // An index probe's point lookups may touch every
+                    // component; zone maps play no part.
+                    probe.set_components(dataset.component_count(), 0);
+                    let stream = CountingIter::new(entries.into_iter().map(Ok), probe.pull.clone());
+                    if plan.is_projection() {
+                        self.select_rows(stream, plan)
+                    } else {
+                        self.aggregate(stream.map(|e| e.map(|(_, doc)| doc)), plan)
+                    }
+                } else if plan.is_projection() {
                     self.select_rows(entries.into_iter().map(Ok), plan)
                 } else {
                     self.aggregate(entries.into_iter().map(|(_, doc)| Ok(doc)), plan)
                 }
             }
-            _ => self.output_for_snapshot(&dataset.snapshot(), plan),
+            _ => self.output_for_snapshot(&dataset.snapshot(), plan, probe),
         }
     }
 
@@ -364,12 +448,19 @@ impl QueryEngine {
         &self,
         snapshot: &Snapshot,
         plan: &PhysicalPlan,
+        probe: Option<&ExecProbe>,
     ) -> Result<ExecOutput> {
         match &plan.access {
-            AccessPath::KeyOnlyScan => Ok(ExecOutput::Groups(key_count_partials(
-                snapshot.count()?,
-                plan,
-            ))),
+            AccessPath::KeyOnlyScan => {
+                if let Some(probe) = probe {
+                    // A key-only count reads key columns from every
+                    // component but never materialises a record: its cost
+                    // is all in the page counters.
+                    probe.set_components(snapshot.components().len(), 0);
+                    probe.mark_exhausted();
+                }
+                Ok(ExecOutput::Groups(key_count_partials(snapshot.count()?, plan)))
+            }
             AccessPath::FullScan => {
                 // Zone-map pruning: skip components whose statistics prove
                 // no record can match. The flags come from the execution
@@ -387,7 +478,20 @@ impl QueryEngine {
                     _ => Vec::new(),
                 };
                 let cursor = snapshot.cursor_pruned(plan.projection.as_deref(), &skip)?;
-                if plan.is_projection() {
+                if let Some(probe) = probe {
+                    let total = snapshot.components().len();
+                    let pruned = skip.iter().filter(|&&s| s).count();
+                    probe.set_components(total - pruned, pruned);
+                    let stream = CountingIter::new(cursor, probe.pull.clone());
+                    if plan.is_projection() {
+                        self.select_rows(stream.map(|e| e.map_err(Error::from)), plan)
+                    } else {
+                        self.aggregate(
+                            stream.map(|e| e.map(|(_, doc)| doc).map_err(Error::from)),
+                            plan,
+                        )
+                    }
+                } else if plan.is_projection() {
                     self.select_rows(cursor.map(|e| e.map_err(Error::from)), plan)
                 } else {
                     self.aggregate(
@@ -477,6 +581,43 @@ impl ExecOutput {
             ExecOutput::Groups(GroupPartials::new())
         }
     }
+}
+
+/// Merge per-partition execution outputs exactly as the sharded fan-out
+/// does: group partials merge group-wise, projection plans k-way-merge
+/// their key-ordered row streams under the plan's limit.
+fn merge_exec_outputs(outputs: Vec<ExecOutput>, plan: &PhysicalPlan) -> ExecOutput {
+    if outputs.len() == 1 {
+        return outputs.into_iter().next().expect("one output");
+    }
+    if plan.is_projection() {
+        let streams = outputs
+            .into_iter()
+            .map(|output| match output {
+                ExecOutput::Rows(rows) => rows,
+                ExecOutput::Groups(_) => unreachable!("projection plans emit rows"),
+            })
+            .collect();
+        ExecOutput::Rows(merge_row_streams(streams, plan.limit))
+    } else {
+        let mut merged = GroupPartials::new();
+        for output in outputs {
+            match output {
+                ExecOutput::Groups(partials) => merge_partials(&mut merged, partials),
+                ExecOutput::Rows(_) => unreachable!("aggregate plans emit partials"),
+            }
+        }
+        ExecOutput::Groups(merged)
+    }
+}
+
+/// I/O counters of the store a bare snapshot reads from, when it has any
+/// on-disk component at all (a memtable-only snapshot does no page I/O).
+fn snapshot_io(snapshot: &Snapshot) -> Option<IoStats> {
+    snapshot
+        .components()
+        .first()
+        .map(|c| c.cache().store().stats())
 }
 
 /// K-way merge of per-shard key-ordered row streams into one key-ordered

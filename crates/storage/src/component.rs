@@ -357,6 +357,14 @@ impl Component {
         })
     }
 
+    /// The buffer cache this component reads through — its store's
+    /// [`IoStats`](crate::pagestore::IoStats) account for every page the
+    /// component touches (EXPLAIN ANALYZE reads deltas from here when it
+    /// only has a snapshot, not a dataset, in hand).
+    pub fn cache(&self) -> &BufferCache {
+        &self.cache
+    }
+
     /// Mark the component's pages for release when the last handle drops.
     ///
     /// Called by a merge after its manifest commit has made the merged

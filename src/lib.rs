@@ -18,5 +18,6 @@ pub use persist;
 pub use query;
 pub use schema;
 pub use storage;
+pub use telemetry;
 
 pub use docmodel::{doc, parse_json, to_json, Path, Value};
