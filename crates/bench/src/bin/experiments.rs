@@ -116,6 +116,18 @@ fn main() {
             &run_concurrency_comparison(DatasetKind::Cell, records, shards),
         );
     }
+    if wanted("compaction") {
+        let rows = run_compaction_comparison(scale);
+        print_matrix(
+            "Compaction: tiered vs leveled vs lazy-leveled, amp + GC packing (tweet_1)",
+            &rows,
+        );
+        let out = std::path::Path::new("BENCH_compaction.json");
+        match write_measurements_json(out, "compaction_strategies", scale, &rows) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
+    }
     if wanted("streaming") {
         print_matrix(
             "Streaming execution: materialised batch vs cursor pipeline (tweet_1)",

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use datagen::{generate, generate_updates, summarize, DatasetKind, DatasetSpec};
 use docmodel::Path;
-use lsm::{DatasetConfig, LsmDataset};
+use lsm::{CompactionSpec, DatasetConfig, LsmDataset};
 use query::{AccessPathChoice, Aggregate, ExecMode, Expr, PlannerOptions, Query, QueryEngine};
 use storage::LayoutKind;
 
@@ -1010,6 +1010,88 @@ pub fn run_observability_comparison(scale: f64) -> Vec<Measurement> {
     out
 }
 
+/// Compaction-strategy sweep: tiered vs leveled vs lazy-leveled under an
+/// update-heavy and an append-only workload (tweet_1, AMAX).
+///
+/// Per strategy × workload the sweep reports ingest wall time, merge count,
+/// and the `amp.write` / `amp.space` gauges from the metrics snapshot (the
+/// telemetry groundwork: every gauge recomputes from raw counters of the
+/// same snapshot). The update-heavy leg additionally drives the page-space
+/// GC: after the churn settles, `reclaim_space` must leave a **fully
+/// packed** page file — zero free slots, every page referenced by a live
+/// component — so the reported space amplification reflects live data, not
+/// freed-slot or orphaned-page leaks.
+pub fn run_compaction_comparison(scale: f64) -> Vec<Measurement> {
+    const UPDATE_ROUNDS: usize = 4;
+    let kind = DatasetKind::Tweet1;
+    let records = ((default_records(kind) as f64) * scale).max(300.0) as usize;
+    let spec = DatasetSpec::new(kind, records);
+    let docs = generate(&spec);
+    let strategies: [(&str, CompactionSpec); 3] = [
+        ("tiered", CompactionSpec::tiered(1.2, 5)),
+        ("leveled", CompactionSpec::leveled()),
+        ("lazy-leveled", CompactionSpec::lazy_leveled()),
+    ];
+
+    let mut out = Vec::new();
+    for workload in ["append-only", "update-heavy"] {
+        for (name, compaction) in &strategies {
+            let config = DatasetConfig::new(kind.name(), LayoutKind::Amax)
+                .with_key_field(kind.key_field())
+                .with_memtable_budget(32 * 1024)
+                .with_page_size(8 * 1024)
+                .with_compaction(*compaction);
+            let dataset = LsmDataset::new(config);
+            let (_, ingest_ms) = time(|| {
+                let rounds = if workload == "update-heavy" { UPDATE_ROUNDS } else { 1 };
+                for _ in 0..rounds {
+                    for doc in docs.clone() {
+                        dataset.insert(doc).expect("ingest");
+                    }
+                    dataset.flush().expect("flush");
+                }
+            });
+            assert_eq!(dataset.count().expect("count"), records, "{name}/{workload}");
+
+            if workload == "update-heavy" {
+                // The GC must leave no dead slots behind: the page file is
+                // exactly the live components, so the amp.space gauge below
+                // measures fragmentation, not leaks.
+                dataset.reclaim_space().expect("reclaim");
+                let store = dataset.cache().store();
+                assert_eq!(
+                    store.free_page_count(),
+                    0,
+                    "{name}: reclaim_space must fully pack the page file"
+                );
+            }
+
+            let metrics = dataset.metrics();
+            let row = |what: &str| format!("{workload}: {what}");
+            out.push(Measurement::new(row("ingest wall"), *name, ingest_ms, "ms"));
+            out.push(Measurement::new(
+                row("merges"),
+                *name,
+                metrics.counter("merge.count") as f64,
+                "x",
+            ));
+            out.push(Measurement::new(
+                row("write amplification"),
+                *name,
+                metrics.gauge("amp.write").expect("amp.write"),
+                "x",
+            ));
+            out.push(Measurement::new(
+                row("space amplification"),
+                *name,
+                metrics.gauge("amp.space").expect("amp.space"),
+                "x",
+            ));
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Ablations called out in DESIGN.md.
 // ---------------------------------------------------------------------------
@@ -1084,6 +1166,9 @@ mod tests {
         assert_eq!(cell.len(), 3 * LayoutKind::ALL.len());
         assert!(!fig15_secondary(0.05).is_empty());
         assert!(!ablation_compression(0.05).is_empty());
+        // 2 workloads x 3 strategies x 4 measurements (self-asserting: count
+        // integrity per cell, fully-packed page file after update-heavy GC).
+        assert_eq!(run_compaction_comparison(0.05).len(), 2 * 3 * 4);
     }
 
     #[test]

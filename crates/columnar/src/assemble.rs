@@ -39,25 +39,29 @@ use crate::cursor::ColumnCursor;
 use crate::{ColumnarError, Result};
 
 /// Assembles records from a set of column cursors.
-pub struct Assembler<'s> {
-    schema: &'s Schema,
+///
+/// The assembler owns a clone of the schema (schemas are cheap: a node table)
+/// so it can be stored inside long-lived streaming cursors — the lazy leaf
+/// buffers of `storage`'s component cursors — without borrowing the component.
+pub struct Assembler {
+    schema: Schema,
     cursors: HashMap<ColumnId, ColumnCursor>,
     /// For every schema node, the included leaf columns in its subtree.
     leaves_under: HashMap<NodeId, Vec<ColumnId>>,
     records_remaining: usize,
 }
 
-impl<'s> Assembler<'s> {
+impl Assembler {
     /// Create an assembler over the given cursors. Only the columns present
     /// in `cursors` are assembled (projection push-down); `record_count` is
     /// the number of records the cursors cover.
-    pub fn new(schema: &'s Schema, cursors: Vec<ColumnCursor>, record_count: usize) -> Self {
+    pub fn new(schema: &Schema, cursors: Vec<ColumnCursor>, record_count: usize) -> Self {
         let cursors: HashMap<ColumnId, ColumnCursor> =
             cursors.into_iter().map(|c| (c.spec().id, c)).collect();
         let mut leaves_under = HashMap::new();
         collect_included_leaves(schema, schema.root(), &cursors, &mut leaves_under);
         Assembler {
-            schema,
+            schema: schema.clone(),
             cursors,
             leaves_under,
             records_remaining: record_count,
@@ -214,7 +218,7 @@ impl<'s> Assembler<'s> {
                 let mut elems = Vec::new();
                 loop {
                     let elem = self.assemble_value(item, level + 1, array_depth + 1)?;
-                    elems.push(elem.unwrap_or_else(|| absent_element_placeholder(self.schema, item)));
+                    elems.push(elem.unwrap_or_else(|| absent_element_placeholder(&self.schema, item)));
                     match self
                         .cursors
                         .get(&repr)

@@ -68,7 +68,9 @@ use storage::pagestore::IoStats;
 use telemetry::{Event, MetricsSnapshot};
 
 pub use docmodel::{doc, Path, Value};
-pub use lsm::{DatasetHealth, TieringPolicy, WorkerState};
+pub use lsm::{
+    CompactionSpec, DatasetHealth, ReclaimReport, TieringPolicy, WorkerPool, WorkerState,
+};
 pub use query::{Aggregate, AnalyzeReport, Expr};
 pub use storage::LayoutKind as Layout;
 
@@ -145,13 +147,15 @@ pub struct DatasetOptions {
     pub compress_pages: bool,
     /// Number of hash partitions (default 1).
     pub shards: usize,
-    /// Run flushes/merges on a background worker per shard.
+    /// Run flushes/merges on the datastore's shared background worker pool.
     pub background: bool,
     /// With `background`: how many sealed memtables may queue per shard
     /// before ingestion is backpressured.
     pub max_sealed: usize,
     /// Record metrics and lifecycle events per shard (default on).
     pub telemetry: bool,
+    /// Compaction strategy and knobs (default: the paper's tiering policy).
+    pub compaction: CompactionSpec,
 }
 
 impl DatasetOptions {
@@ -168,6 +172,7 @@ impl DatasetOptions {
             background: false,
             max_sealed: 2,
             telemetry: true,
+            compaction: CompactionSpec::default(),
         }
     }
 
@@ -201,7 +206,10 @@ impl DatasetOptions {
         self
     }
 
-    /// Run flushes and merges on background workers (one per shard).
+    /// Run flushes and merges in the background. All shards of all
+    /// background datasets in a [`Datastore`] share one [`WorkerPool`]
+    /// (flushes beat merges; FIFO within a priority) instead of spawning a
+    /// thread per shard.
     pub fn background(mut self, on: bool) -> Self {
         self.background = on;
         self
@@ -219,17 +227,27 @@ impl DatasetOptions {
         self
     }
 
-    fn to_config(&self, name: &str) -> DatasetConfig {
+    /// Select the compaction strategy (tiered, leveled, or lazy-leveled).
+    pub fn compaction(mut self, spec: CompactionSpec) -> Self {
+        self.compaction = spec;
+        self
+    }
+
+    fn to_config(&self, name: &str, pool: Option<&lsm::PoolHandle>) -> DatasetConfig {
         let mut config = DatasetConfig::new(name, self.layout)
             .with_key_field(self.key_field.clone())
             .with_memtable_budget(self.memtable_budget)
             .with_page_size(self.page_size)
             .with_background(self.background)
             .with_max_sealed(self.max_sealed)
-            .with_telemetry(self.telemetry);
+            .with_telemetry(self.telemetry)
+            .with_compaction(self.compaction);
         config.compress_pages = self.compress_pages;
         if let Some(p) = &self.secondary_index {
             config = config.with_secondary_index(p.clone());
+        }
+        if let Some(pool) = pool {
+            config = config.with_pool(pool.clone());
         }
         config
     }
@@ -517,6 +535,21 @@ impl ShardedDataset {
         Ok(())
     }
 
+    /// Reclaim dead page-file space on every shard (see
+    /// [`LsmDataset::reclaim_space`]): live pages are packed downward and
+    /// the freed tail of each shard's page file is truncated. Returns the
+    /// shard reports summed.
+    pub fn reclaim_space(&self) -> Result<ReclaimReport> {
+        let mut total = ReclaimReport::default();
+        for shard in &self.shards {
+            let report = shard.reclaim_space()?;
+            total.components_rewritten += report.components_rewritten;
+            total.pages_moved += report.pages_moved;
+            total.pages_reclaimed += report.pages_reclaimed;
+        }
+        Ok(total)
+    }
+
     /// Force acknowledged WAL records to the device on every shard.
     pub fn sync(&self) -> Result<()> {
         for shard in &self.shards {
@@ -542,6 +575,7 @@ impl ShardedDataset {
             total.bytes_read += s.bytes_read;
             total.bytes_written += s.bytes_written;
             total.cache_hits += s.cache_hits;
+            total.records_assembled += s.records_assembled;
         }
         total
     }
@@ -630,7 +664,12 @@ impl Iterator for DocCursor {
 /// A collection of named datasets — the facade over the LSM engine.
 #[derive(Default)]
 pub struct Datastore {
+    // Field order is load-bearing: datasets drop (and quiesce their
+    // background rounds) before the pool joins its worker threads.
     datasets: HashMap<String, ShardedDataset>,
+    /// One background flush/merge worker pool shared by every dataset
+    /// shard with `background(true)`; created lazily on first use.
+    pool: Option<WorkerPool>,
 }
 
 impl Datastore {
@@ -639,11 +678,25 @@ impl Datastore {
         Datastore::default()
     }
 
+    /// The shared worker pool, spawning it on first use: a few threads
+    /// serve every background dataset in the store, instead of one thread
+    /// per shard.
+    fn shared_pool(&mut self) -> &WorkerPool {
+        self.pool.get_or_insert_with(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(2, 8);
+            WorkerPool::new(threads)
+        })
+    }
+
     /// Create a dataset. Fails if the name is taken.
     pub fn create_dataset(&mut self, name: &str, options: DatasetOptions) -> Result<()> {
         if self.datasets.contains_key(name) {
             return Err(Error::api(format!("dataset '{name}' already exists")));
         }
+        let pool = options.background.then(|| self.shared_pool().handle());
         let shards: Vec<LsmDataset> = (0..options.shards)
             .map(|i| {
                 let shard_name = if options.shards == 1 {
@@ -651,7 +704,7 @@ impl Datastore {
                 } else {
                     format!("{name}/shard-{i:03}")
                 };
-                LsmDataset::new(options.to_config(&shard_name))
+                LsmDataset::new(options.to_config(&shard_name, pool.as_ref()))
             })
             .collect();
         self.datasets.insert(
@@ -675,6 +728,7 @@ impl Datastore {
             return Err(Error::api(format!("dataset '{name}' already exists")));
         }
         let dir = dir.as_ref();
+        let pool = options.background.then(|| self.shared_pool().handle());
         let mut shards = Vec::with_capacity(options.shards);
         for i in 0..options.shards {
             let (shard_name, shard_dir) = if options.shards == 1 {
@@ -685,7 +739,10 @@ impl Datastore {
                     dir.join(format!("shard-{i:03}")),
                 )
             };
-            shards.push(LsmDataset::open(shard_dir, options.to_config(&shard_name))?);
+            shards.push(LsmDataset::open(
+                shard_dir,
+                options.to_config(&shard_name, pool.as_ref()),
+            )?);
         }
         self.datasets.insert(
             name.to_string(),

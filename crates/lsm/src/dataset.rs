@@ -37,7 +37,7 @@
 //! * the crate-private `Scheduler` coordinates the optional background
 //!   worker and applies ingest backpressure when sealed memtables pile up.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use docmodel::{Path, Value};
@@ -46,13 +46,14 @@ use persist::{CrashPoint, DurableStore, ManifestData, ManifestStore, PersistedCo
 use schema::{Schema, SchemaBuilder};
 use storage::amax::AmaxConfig;
 use storage::component::{Component, ComponentConfig, ComponentReader, Entry};
-use storage::pagestore::{BufferCache, IoStats, PageStore};
+use storage::pagestore::{BufferCache, IoStats, PageId, PageStore};
 use storage::LayoutKind;
 use telemetry::{Event, EventKind, MetricsSnapshot, Telemetry};
 
 use crate::index::{PrimaryKeyIndex, SecondaryIndex};
 use crate::memtable::Memtable;
-use crate::policy::{MergeDecision, TieringPolicy};
+use crate::policy::CompactionSpec;
+use crate::pool::{PoolHandle, Priority, WorkerPool};
 use crate::scheduler::Scheduler;
 use crate::snapshot::{EntryMergeCursor, SealedMemtable, Snapshot, TreeState};
 use crate::Result;
@@ -72,8 +73,8 @@ pub struct DatasetConfig {
     pub page_size: usize,
     /// Buffer-cache capacity in pages.
     pub cache_pages: usize,
-    /// Merge policy.
-    pub policy: TieringPolicy,
+    /// Compaction strategy and its knobs (persisted in the manifest).
+    pub compaction: CompactionSpec,
     /// Maintain a primary-key index to avoid point lookups for new keys.
     pub primary_key_index: bool,
     /// Maintain a secondary index on this path (e.g. `timestamp`).
@@ -90,6 +91,11 @@ pub struct DatasetConfig {
     /// With `background`: how many sealed memtables may queue before
     /// ingestion is backpressured (blocks until a flush retires one).
     pub max_sealed_memtables: usize,
+    /// With `background`: submit flushes and merges to this **shared**
+    /// worker pool (see [`WorkerPool`]) instead of spawning a private
+    /// single-worker pool. One pool serves any number of datasets/shards
+    /// with flush-before-merge priority. Runtime-only, not persisted.
+    pub pool: Option<PoolHandle>,
     /// Record metrics and lifecycle events in the dataset's [`Telemetry`]
     /// registry. On by default; the benchmark's observability experiment
     /// turns it off to measure the instrumentation overhead. Runtime-only,
@@ -107,13 +113,14 @@ impl DatasetConfig {
             memtable_budget: 4 << 20,
             page_size: 128 * 1024,
             cache_pages: 256,
-            policy: TieringPolicy::default(),
+            compaction: CompactionSpec::default(),
             primary_key_index: true,
             secondary_index_on: None,
             compress_pages: true,
             amax: AmaxConfig::default(),
             background: false,
             max_sealed_memtables: 2,
+            pool: None,
             telemetry_enabled: true,
         }
     }
@@ -142,6 +149,12 @@ impl DatasetConfig {
         self
     }
 
+    /// Builder-style: select the compaction strategy.
+    pub fn with_compaction(mut self, compaction: CompactionSpec) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
     /// Builder-style: run flushes and merges on a background worker.
     pub fn with_background(mut self, background: bool) -> Self {
         self.background = background;
@@ -154,6 +167,13 @@ impl DatasetConfig {
         self
     }
 
+    /// Builder-style: share a [`WorkerPool`] with other datasets (implies
+    /// nothing unless `background` is also set).
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Builder-style: enable or disable the telemetry registry.
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
         self.telemetry_enabled = enabled;
@@ -163,6 +183,49 @@ impl DatasetConfig {
     /// The durable subset of this configuration, as recorded in manifests.
     /// Background-worker knobs are runtime-only and not persisted.
     pub fn to_persisted(&self) -> PersistedConfig {
+        // The tiered knobs and the leveled knobs occupy distinct manifest
+        // fields; the side not selected persists its defaults so the
+        // manifest stays fully populated.
+        let tiered = crate::policy::TieringPolicy::default();
+        let leveled = crate::policy::LeveledPolicy::default();
+        let (kind, size_ratio, max_components, target_size, l0_threshold, ratio) =
+            match self.compaction {
+                CompactionSpec::Tiered {
+                    size_ratio,
+                    max_components,
+                } => (
+                    0u8,
+                    size_ratio,
+                    max_components,
+                    leveled.target_size,
+                    leveled.l0_threshold,
+                    leveled.ratio,
+                ),
+                CompactionSpec::Leveled {
+                    target_size,
+                    l0_threshold,
+                    ratio,
+                } => (
+                    1u8,
+                    tiered.size_ratio,
+                    tiered.max_components,
+                    target_size,
+                    l0_threshold,
+                    ratio,
+                ),
+                CompactionSpec::LazyLeveled {
+                    target_size,
+                    l0_threshold,
+                    ratio,
+                } => (
+                    2u8,
+                    tiered.size_ratio,
+                    tiered.max_components,
+                    target_size,
+                    l0_threshold,
+                    ratio,
+                ),
+            };
         PersistedConfig {
             name: self.name.clone(),
             layout: self.layout,
@@ -175,8 +238,12 @@ impl DatasetConfig {
             compress_pages: self.compress_pages,
             amax_record_limit: self.amax.record_limit as u64,
             amax_empty_page_tolerance: self.amax.empty_page_tolerance,
-            policy_size_ratio: self.policy.size_ratio,
-            policy_max_components: self.policy.max_components as u64,
+            policy_size_ratio: size_ratio,
+            policy_max_components: max_components as u64,
+            compaction_kind: kind,
+            compaction_target_size: target_size,
+            compaction_l0_threshold: l0_threshold as u64,
+            compaction_ratio: ratio,
         }
     }
 
@@ -190,9 +257,23 @@ impl DatasetConfig {
             memtable_budget: persisted.memtable_budget as usize,
             page_size: persisted.page_size as usize,
             cache_pages: persisted.cache_pages as usize,
-            policy: TieringPolicy {
-                size_ratio: persisted.policy_size_ratio,
-                max_components: persisted.policy_max_components as usize,
+            compaction: match persisted.compaction_kind {
+                1 => CompactionSpec::Leveled {
+                    target_size: persisted.compaction_target_size,
+                    l0_threshold: persisted.compaction_l0_threshold as usize,
+                    ratio: persisted.compaction_ratio,
+                },
+                2 => CompactionSpec::LazyLeveled {
+                    target_size: persisted.compaction_target_size,
+                    l0_threshold: persisted.compaction_l0_threshold as usize,
+                    ratio: persisted.compaction_ratio,
+                },
+                // Kind 0 and anything a future format might add: tiered
+                // (every pre-v3 manifest was written under this policy).
+                _ => CompactionSpec::Tiered {
+                    size_ratio: persisted.policy_size_ratio,
+                    max_components: persisted.policy_max_components as usize,
+                },
             },
             primary_key_index: persisted.primary_key_index,
             secondary_index_on: persisted
@@ -206,6 +287,7 @@ impl DatasetConfig {
             },
             background: false,
             max_sealed_memtables: 2,
+            pool: None,
             telemetry_enabled: true,
         }
     }
@@ -277,6 +359,19 @@ impl IngestStats {
     }
 }
 
+/// Outcome of one [`LsmDataset::reclaim_space`] call (summed over its
+/// passes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimReport {
+    /// Components rewritten into lower page slots.
+    pub components_rewritten: usize,
+    /// Pages copied (byte-identically) to lower slots.
+    pub pages_moved: u64,
+    /// Page slots released back to the operating system — the page file
+    /// shrank by this many pages.
+    pub pages_reclaimed: u64,
+}
+
 /// State guarded by the write lock: the active memtable and the in-memory
 /// indexes maintained on the ingest path.
 struct WriteState {
@@ -292,7 +387,7 @@ struct MaintState {
     next_component_id: u64,
 }
 
-/// The shared core of a dataset (everything except the worker handle).
+/// The shared core of a dataset (everything except pool-thread ownership).
 struct DatasetCore {
     config: DatasetConfig,
     cache: BufferCache,
@@ -303,21 +398,37 @@ struct DatasetCore {
     stats: Mutex<IngestStats>,
     sched: Scheduler,
     telemetry: Arc<Telemetry>,
+    /// Where background rounds run (`None` in synchronous mode). Holds no
+    /// threads — pool tasks capture `self_ref`, so a queued task for a
+    /// dropped dataset degenerates to a no-op.
+    pool: Option<PoolHandle>,
+    /// Weak self-reference captured by submitted pool tasks.
+    self_ref: Weak<DatasetCore>,
+    /// Source pages relocated by a GC pass, waiting for the pre-move
+    /// component (possibly pinned by a snapshot) to drop before they can be
+    /// freed. The moved and unmoved slots of a rewritten component are
+    /// *shared* with its replacement, so the old component must not free on
+    /// drop — this registry frees exactly the superseded source slots.
+    deferred_frees: Mutex<Vec<(Weak<Component>, Vec<PageId>)>>,
 }
 
 /// One LSM dataset partition. All operations take `&self`; share it across
 /// threads directly (scoped threads) or behind an `Arc`.
 pub struct LsmDataset {
     core: Arc<DatasetCore>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    /// Background mode without a shared pool spawns this private
+    /// single-worker pool; its thread joins when the dataset drops.
+    _private_pool: Option<WorkerPool>,
 }
 
 impl Drop for LsmDataset {
     fn drop(&mut self) {
+        // Stop background work and wait for in-flight rounds: a pool task
+        // may hold an upgraded core reference, and callers expect the
+        // dataset's directory to be quiescent once drop returns. A private
+        // pool additionally joins its worker thread when the field drops.
         self.core.sched.shutdown();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
+        self.core.sched.wait_idle();
     }
 }
 
@@ -350,7 +461,21 @@ impl LsmDataset {
         if let Some(durable) = durable.as_ref() {
             durable.set_telemetry(telemetry.clone());
         }
-        let core = Arc::new(DatasetCore {
+        // Background rounds need a pool: the shared one from the config if
+        // the caller provided it, otherwise a private single-worker pool —
+        // the old one-thread-per-dataset behaviour, now just a pool of one.
+        let (pool, private_pool) = if config.background {
+            match config.pool.clone() {
+                Some(handle) => (Some(handle), None),
+                None => {
+                    let private = WorkerPool::new(1);
+                    (Some(private.handle()), Some(private))
+                }
+            }
+        } else {
+            (None, None)
+        };
+        let core = Arc::new_cyclic(|self_ref| DatasetCore {
             config,
             cache,
             durable,
@@ -367,46 +492,14 @@ impl LsmDataset {
             stats: Mutex::new(IngestStats::default()),
             sched: Scheduler::new(),
             telemetry,
+            pool,
+            self_ref: self_ref.clone(),
+            deferred_frees: Mutex::new(Vec::new()),
         });
-        let worker = if core.config.background {
-            let worker_core = core.clone();
-            Some(
-                std::thread::Builder::new()
-                    .name(format!("lsm-flush-{}", core.config.name))
-                    .spawn(move || {
-                        while worker_core.sched.next_work() {
-                            // A panic in flush/merge must not strand waiters
-                            // on a dead worker: park it as a failure instead.
-                            let result = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| worker_core.process_pending()),
-                            )
-                            .unwrap_or_else(|panic| {
-                                let msg = panic
-                                    .downcast_ref::<&str>()
-                                    .map(|s| (*s).to_string())
-                                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "opaque panic payload".to_string());
-                                Err(crate::LsmError::new(format!(
-                                    "background flush/merge worker panicked: {msg}"
-                                )))
-                            });
-                            if let Err(err) = &result {
-                                // Trace the parked error *before* it becomes
-                                // visible to writers, so health() backed by
-                                // the event ring never lags admit().
-                                worker_core.telemetry.emit(EventKind::WorkerError {
-                                    message: err.to_string(),
-                                });
-                            }
-                            worker_core.sched.work_done(result);
-                        }
-                    })
-                    .expect("spawn flush/merge worker"),
-            )
-        } else {
-            None
-        };
-        LsmDataset { core, worker }
+        LsmDataset {
+            core,
+            _private_pool: private_pool,
+        }
     }
 
     /// Open a **durable** dataset rooted at the directory `dir`, creating it
@@ -451,6 +544,7 @@ impl LsmDataset {
                 components,
             });
         }
+        core.sweep_orphan_pages()?;
         let replayed_records = recovered.wal_records.len();
         {
             let mut write = core.write.lock();
@@ -573,6 +667,7 @@ impl LsmDataset {
         snap.push_counter("storage.bytes_read", io.bytes_read);
         snap.push_counter("storage.bytes_written", io.bytes_written);
         snap.push_counter("storage.cache_hits", io.cache_hits);
+        snap.push_counter("storage.records_assembled", io.records_assembled);
         snap.push_gauge(
             "storage.allocated_bytes",
             self.core.cache.store().allocated_bytes() as f64,
@@ -733,10 +828,15 @@ impl LsmDataset {
             self.core.seal_locked(&mut write)?;
         }
         if self.core.config.background {
-            self.core.sched.drain()
-        } else {
-            self.core.process_pending()
+            // Queue a round even when nothing was just sealed, so the work
+            // behind a parked failure is re-attempted; then wait for the
+            // dataset to go quiescent. If the shared pool has shut down
+            // underneath us, fall through to inline processing.
+            if self.core.enqueue_background(Priority::Flush) {
+                return self.core.sched.drain();
+            }
         }
+        self.core.process_pending()
     }
 
     /// Force-flush and merge everything down to a single component (used at
@@ -752,6 +852,22 @@ impl LsmDataset {
             let positions: Vec<usize> = (0..n).collect();
             self.core.merge_components_locked(&mut maint, &positions)?;
         }
+    }
+
+    /// Reclaim dead space in the page file. Free-listed slots in the middle
+    /// of the file are plugged by relocating live pages downward
+    /// (byte-identical copies; the manifest is re-committed to the new
+    /// locations) until the dead space forms a contiguous tail, which is
+    /// then truncated. Runs under the maintenance lock, so it serialises
+    /// with flushes and merges but never blocks readers: snapshots taken
+    /// before (or during) a pass keep reading the retired pre-move
+    /// components, whose pages are only freed when the last snapshot drops —
+    /// such held pages are simply not reclaimed this call.
+    ///
+    /// Repeats passes until the file stops shrinking. Emits a
+    /// `space_reclaimed` lifecycle event when anything moved.
+    pub fn reclaim_space(&self) -> Result<ReclaimReport> {
+        self.core.reclaim_space()
     }
 
     /// Point lookup: newest version of `key`, reconciling the memtable and
@@ -871,9 +987,9 @@ impl DatasetCore {
     /// One insert (`record = Some`) or delete (`key = Some`) through the
     /// write lock, with sealing and (synchronous-mode) inline flushing.
     fn apply(&self, record: Option<Value>, delete_key: Option<Value>) -> Result<()> {
-        if self.config.background {
+        if self.config.background && self.pool_is_open() {
             // Backpressure gate — taken *before* the write lock so stalled
-            // writers never block readers or the worker.
+            // writers never block readers or the workers.
             let stalled = self.sched.admit(self.config.max_sealed_memtables)?;
             if let Some(stall) = stalled {
                 if self.telemetry.enabled() {
@@ -922,12 +1038,19 @@ impl DatasetCore {
                 self.seal_locked(&mut write)?;
             }
         }
-        // Synchronous mode: do the flush (and any retries of earlier failed
-        // inline work) on the calling thread, outside the write lock.
-        if !self.config.background && self.sched.sealed_count() > 0 {
+        // Inline processing, outside the write lock: synchronous mode (and
+        // retries of earlier failed inline work), or a background dataset
+        // whose shared pool has shut down underneath it — nothing else
+        // would flush, so the writer does.
+        if self.sched.sealed_count() > 0 && (!self.config.background || !self.pool_is_open()) {
             self.process_pending()?;
         }
         Ok(())
+    }
+
+    /// Whether background rounds can still be queued on the pool.
+    fn pool_is_open(&self) -> bool {
+        self.pool.as_ref().is_some_and(|pool| pool.is_open())
     }
 
     /// Seal the active memtable: rotate the WAL so the sealed records are
@@ -955,18 +1078,102 @@ impl DatasetCore {
             *tree = Arc::new(next);
         }
         self.sched.note_sealed();
+        if self.config.background {
+            self.enqueue_background(Priority::Flush);
+        }
+        Ok(())
+    }
+
+    /// Queue one background round on the worker pool. Returns `false` when
+    /// there is no pool or it has shut down (callers fall back inline).
+    fn enqueue_background(&self, priority: Priority) -> bool {
+        let Some(pool) = self.pool.as_ref() else {
+            return false;
+        };
+        let weak = self.self_ref.clone();
+        // Account before submitting so a fast worker can never report the
+        // round done before it was counted as queued.
+        self.sched.task_enqueued();
+        let accepted = pool.submit(
+            priority,
+            Box::new(move || {
+                if let Some(core) = weak.upgrade() {
+                    core.run_background_round(priority);
+                }
+            }),
+        );
+        if !accepted {
+            self.sched.task_rejected();
+        }
+        accepted
+    }
+
+    /// One pool-executed background round. A *flush* round drains every
+    /// queued sealed memtable oldest-first, queueing one merge round per
+    /// flushed component; a *merge* round asks the compaction strategy
+    /// once. Panics and errors are parked in the scheduler exactly like
+    /// the former dedicated worker thread's.
+    fn run_background_round(&self, priority: Priority) {
+        if !self.sched.begin_work() {
+            return; // shutting down: the round is dropped
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match priority {
+            Priority::Flush => self.background_flush_round(),
+            Priority::Merge => {
+                let mut maint = self.maint.lock();
+                self.maybe_merge_locked(&mut maint)
+            }
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(crate::LsmError::new(format!(
+                "background flush/merge worker panicked: {msg}"
+            )))
+        });
+        if let Err(err) = &result {
+            // Trace the parked error *before* it becomes visible to
+            // writers, so health() backed by the event ring never lags
+            // admit().
+            self.telemetry.emit(EventKind::WorkerError {
+                message: err.to_string(),
+            });
+        }
+        self.sched.work_done(result);
+    }
+
+    /// Background flush round: flush sealed memtables until none remain.
+    /// Merges ride a *lower* pool priority, so queued flushes — which
+    /// release ingest backpressure — run first across every dataset
+    /// sharing the pool.
+    fn background_flush_round(&self) -> Result<()> {
+        while self.flush_next_sealed()? {
+            self.enqueue_background(Priority::Merge);
+        }
         Ok(())
     }
 
     /// Flush every queued sealed memtable, oldest first, running the merge
-    /// policy after each flush. Runs on the worker thread in background mode
-    /// and inline on the calling thread otherwise.
+    /// policy after each flush. The inline path: synchronous mode, and the
+    /// fallback when a shared pool has shut down.
     fn process_pending(&self) -> Result<()> {
-        loop {
-            let next = self.tree.read().sealed.first().cloned();
-            let Some(sealed) = next else { return Ok(()) };
-            self.flush_sealed(&sealed)?;
+        while self.flush_next_sealed()? {
+            let mut maint = self.maint.lock();
+            self.maybe_merge_locked(&mut maint)?;
         }
+        Ok(())
+    }
+
+    /// Flush the oldest sealed memtable, if any. Returns whether there was
+    /// one (racing flushers may mean no actual work was done).
+    fn flush_next_sealed(&self) -> Result<bool> {
+        let next = self.tree.read().sealed.first().cloned();
+        let Some(sealed) = next else { return Ok(false) };
+        self.flush_sealed(&sealed)?;
+        Ok(true)
     }
 
     /// Flush one sealed memtable into an on-disk component.
@@ -1041,7 +1248,7 @@ impl DatasetCore {
             stats.flushes += 1;
             stats.flush_time += elapsed;
         }
-        self.maybe_merge_locked(&mut maint)
+        Ok(())
     }
 
     fn manifest_data(
@@ -1059,6 +1266,195 @@ impl DatasetCore {
         }
     }
 
+    /// Recovery-time page reconciliation: free every allocated page slot no
+    /// live component references. This simultaneously repopulates the file
+    /// backend's free list (which is not persisted across restarts) and
+    /// reclaims pages orphaned by a crash between writing a component's
+    /// pages and committing the manifest that would have referenced them —
+    /// the `persist` crate's documented crash windows.
+    fn sweep_orphan_pages(&self) -> Result<()> {
+        let components = self.tree.read().components.clone();
+        let store = self.cache.store();
+        let page_count = store.page_count();
+        if page_count == 0 {
+            return Ok(());
+        }
+        let referenced: std::collections::HashSet<PageId> = components
+            .iter()
+            .flat_map(|c| c.meta().pages.iter().copied())
+            .collect();
+        let orphans: Vec<PageId> = (0..page_count)
+            .filter(|id| !referenced.contains(id))
+            .collect();
+        if orphans.is_empty() {
+            return Ok(());
+        }
+        self.cache.free_pages(&orphans);
+        let truncated = store.shrink_free_tail()?;
+        self.telemetry.emit(EventKind::OrphanSweep {
+            scanned: page_count,
+            freed: orphans.len() as u64,
+            truncated,
+        });
+        Ok(())
+    }
+
+    /// See [`LsmDataset::reclaim_space`]: run GC passes until the page file
+    /// stops shrinking.
+    fn reclaim_space(&self) -> Result<ReclaimReport> {
+        let mut total = ReclaimReport::default();
+        loop {
+            let before = self.cache.store().page_count();
+            let pass = self.reclaim_pass()?;
+            total.components_rewritten += pass.components_rewritten;
+            total.pages_moved += pass.pages_moved;
+            total.pages_reclaimed += pass.pages_reclaimed;
+            // Keep going only while the file is actually shrinking (a pass
+            // can relocate pages without net progress when snapshots pin
+            // the originals).
+            if pass.pages_reclaimed == 0 || self.cache.store().page_count() >= before {
+                break;
+            }
+        }
+        if total.pages_moved > 0 || total.pages_reclaimed > 0 {
+            self.telemetry.emit(EventKind::SpaceReclaimed {
+                components_rewritten: total.components_rewritten,
+                pages_moved: total.pages_moved,
+                pages_reclaimed: total.pages_reclaimed,
+            });
+        }
+        Ok(total)
+    }
+
+    /// Free the relocated source pages of rewritten components whose
+    /// pre-move handle has since dropped (the snapshot that pinned them is
+    /// gone). Called on every GC pass; a dataset dropped with entries still
+    /// pending leaks nothing durable — the next open's orphan sweep reclaims
+    /// the unreferenced slots.
+    fn sweep_deferred_frees(&self) {
+        let mut pending = self.deferred_frees.lock();
+        let mut freeable: Vec<PageId> = Vec::new();
+        pending.retain(|(component, pages)| {
+            if component.strong_count() == 0 {
+                freeable.extend_from_slice(pages);
+                false
+            } else {
+                true
+            }
+        });
+        drop(pending);
+        if !freeable.is_empty() {
+            self.cache.free_pages(&freeable);
+        }
+    }
+
+    /// One GC pass: relocate live pages sitting above the live watermark
+    /// (total live pages — where the file would end if it were perfectly
+    /// packed) into lower free slots, commit the remapped manifest, and
+    /// truncate the freed tail. Pages only ever move *downward* (a copy that
+    /// would land at a higher slot is discarded), so passes strictly shrink
+    /// the sum of live page ids and the loop terminates packed.
+    fn reclaim_pass(&self) -> Result<ReclaimReport> {
+        let maint = self.maint.lock();
+        self.sweep_deferred_frees();
+        let components = self.tree.read().components.clone();
+        let live: u64 = components
+            .iter()
+            .map(|c| c.meta().pages.len() as u64)
+            .sum();
+        let schema = maint.schema_builder.schema().clone();
+        let component_config = self.component_config();
+        let mut new_components = components.clone();
+        let mut rewritten: Vec<usize> = Vec::new();
+        let mut pages_moved = 0u64;
+        for (i, component) in components.iter().enumerate() {
+            if !component.meta().pages.iter().any(|&p| p >= live) {
+                continue;
+            }
+            // Copy each high page byte-identically (below the component
+            // layer, so compression flags and encodings ride along
+            // untouched) into the lowest free slot. Keep the original
+            // whenever the copy would not actually move the page down.
+            let mut desc = component.describe();
+            let mut remap = std::collections::HashMap::new();
+            let mut sources = Vec::new();
+            for page in &mut desc.pages {
+                if *page < live {
+                    continue;
+                }
+                let raw = self.cache.try_read_page(*page)?;
+                let moved = self.cache.append_page(raw.as_ref().clone());
+                if moved >= *page {
+                    self.cache.free_pages(&[moved]);
+                    continue;
+                }
+                remap.insert(*page, moved);
+                sources.push(*page);
+                *page = moved;
+                pages_moved += 1;
+            }
+            if remap.is_empty() {
+                continue;
+            }
+            for leaf in &mut desc.leaves {
+                if let Some(&moved) = remap.get(&leaf.page) {
+                    leaf.page = moved;
+                }
+                for data_page in &mut leaf.data_pages {
+                    if let Some(&moved) = remap.get(data_page) {
+                        *data_page = moved;
+                    }
+                }
+            }
+            new_components[i] = Arc::new(Component::open(
+                &self.cache,
+                &component_config,
+                schema.clone(),
+                desc,
+            ));
+            // The replacement shares the unmoved slots with the original, so
+            // the original must not free on drop; only the superseded source
+            // slots die, and only once nothing references the original.
+            self.deferred_frees
+                .lock()
+                .push((Arc::downgrade(component), sources));
+            rewritten.push(i);
+        }
+        if rewritten.is_empty() {
+            // Already packed below the watermark: everything above it is
+            // free-listed, so the tail shrink is the whole pass.
+            drop(maint);
+            let pages_reclaimed = self.cache.store().shrink_free_tail()?;
+            return Ok(ReclaimReport {
+                components_rewritten: 0,
+                pages_moved: 0,
+                pages_reclaimed,
+            });
+        }
+        // Same publication protocol as a merge: the manifest swap commits
+        // first, so a crash never loses the dataset — it merely re-orphans
+        // either the copies or the originals, which the next open sweeps.
+        if let Some(durable) = self.durable.as_ref() {
+            let data = self.manifest_data(&maint, &schema, &new_components);
+            durable.commit_merge(data)?;
+        }
+        {
+            let mut tree = self.tree.write();
+            let mut next = (**tree).clone();
+            next.components = new_components;
+            *tree = Arc::new(next);
+        }
+        drop(components);
+        drop(maint);
+        self.sweep_deferred_frees();
+        let pages_reclaimed = self.cache.store().shrink_free_tail()?;
+        Ok(ReclaimReport {
+            components_rewritten: rewritten.len(),
+            pages_moved,
+            pages_reclaimed,
+        })
+    }
+
     fn maybe_merge_locked(&self, maint: &mut MaintState) -> Result<()> {
         // Sizes newest-first for the policy.
         let sizes: Vec<u64> = {
@@ -1069,68 +1465,139 @@ impl DatasetCore {
                 .map(|c| c.meta().stored_bytes)
                 .collect()
         };
-        match self.config.policy.decide(&sizes) {
-            MergeDecision::None => Ok(()),
-            MergeDecision::Merge(newest_first) => {
-                // Translate newest-first indexes into positions in the
-                // oldest-first component list.
-                let n = sizes.len();
-                let mut positions: Vec<usize> = newest_first.iter().map(|i| n - 1 - i).collect();
-                positions.sort_unstable();
-                self.merge_components_locked(maint, &positions)
-            }
+        let jobs = self.config.compaction.strategy().decide_jobs(&sizes);
+        if jobs.is_empty() {
+            return Ok(());
         }
+        // Translate each job's newest-first indexes into positions in the
+        // oldest-first component list.
+        let n = sizes.len();
+        let mut position_jobs: Vec<Vec<usize>> = jobs
+            .iter()
+            .map(|job| {
+                let mut positions: Vec<usize> = job.iter().map(|&i| n - 1 - i).collect();
+                positions.sort_unstable();
+                positions
+            })
+            .collect();
+        position_jobs.sort_by_key(|p| p[0]);
+        self.merge_jobs_locked(maint, &position_jobs)
     }
 
     /// Merge the components at the given (oldest-first) positions.
     fn merge_components_locked(&self, maint: &mut MaintState, positions: &[usize]) -> Result<()> {
-        if positions.len() < 2 {
+        self.merge_jobs_locked(maint, std::slice::from_ref(&positions.to_vec()))
+    }
+
+    /// Run a round of merge jobs. Each job names a contiguous, oldest-first
+    /// range of positions in the component list; jobs are disjoint and
+    /// sorted by first position. Multiple jobs (a leveled strategy's
+    /// independent level-to-level cascades) reconcile and write their output
+    /// components **concurrently** — they touch disjoint inputs and append
+    /// to the page store independently — then a single manifest commit and
+    /// tree swap publishes the whole round atomically.
+    fn merge_jobs_locked(&self, maint: &mut MaintState, jobs: &[Vec<usize>]) -> Result<()> {
+        let jobs: Vec<&[usize]> = jobs
+            .iter()
+            .map(Vec::as_slice)
+            .filter(|j| j.len() >= 2)
+            .collect();
+        if jobs.is_empty() {
             return Ok(());
         }
-        let started = Instant::now();
         let components = self.tree.read().components.clone();
-        let inputs: Vec<Arc<Component>> =
-            positions.iter().map(|&p| components[p].clone()).collect();
-        let includes_oldest = positions.first() == Some(&0);
-        let input_ids: Vec<u64> = inputs.iter().map(|c| c.meta().id).collect();
-        let pages_in: u64 = inputs.iter().map(|c| c.meta().pages.len() as u64).sum();
-        self.telemetry.emit(EventKind::MergeBegin {
-            inputs: input_ids.clone(),
-        });
-        // Reconcile through the streaming k-way merge cursor: entries arrive
-        // in key order with the newest version of each key winning, holding
-        // one decoded leaf per input in memory instead of the whole inputs.
-        let mut entries: Vec<Entry> = Vec::new();
-        for entry in EntryMergeCursor::over_components(&inputs, None) {
-            let (key, doc) = entry?;
-            // Anti-matter annihilates older records; it can itself be
-            // dropped once the merge includes the oldest component.
-            if doc.is_some() || !includes_oldest {
-                entries.push((key, doc));
-            }
-        }
-
         let schema = maint.schema_builder.schema().clone();
-        let new_component = Arc::new(Component::write(
-            &self.cache,
-            &self.component_config(),
-            schema.clone(),
-            &entries,
-            maint.next_component_id,
-        )?);
-        maint.next_component_id += 1;
-        let pages_out = new_component.meta().pages.len() as u64;
+        // Pre-assign output ids so concurrent jobs never race the counter.
+        let first_id = maint.next_component_id;
+        maint.next_component_id += jobs.len() as u64;
 
-        // Build the post-merge component list: inputs out, output in at the
-        // first merged position.
-        let mut new_components = components.clone();
-        for &pos in positions.iter().rev() {
-            new_components.remove(pos);
+        struct JobResult {
+            output: Arc<Component>,
+            inputs: Vec<Arc<Component>>,
+            input_ids: Vec<u64>,
+            pages_in: u64,
+            elapsed: Duration,
         }
-        new_components.insert(positions[0], new_component);
-        // Durable merge: the manifest swap makes the merged component
-        // visible; the inputs' pages are freed only after the swap commits,
-        // so a crash before the commit leaves the old components intact.
+
+        let run_job = |positions: &[usize], id: u64| -> Result<JobResult> {
+            debug_assert!(
+                positions.windows(2).all(|w| w[1] == w[0] + 1),
+                "merge jobs must cover contiguous positions (age order)"
+            );
+            let job_started = Instant::now();
+            let inputs: Vec<Arc<Component>> =
+                positions.iter().map(|&p| components[p].clone()).collect();
+            let includes_oldest = positions.first() == Some(&0);
+            let input_ids: Vec<u64> = inputs.iter().map(|c| c.meta().id).collect();
+            let pages_in: u64 = inputs.iter().map(|c| c.meta().pages.len() as u64).sum();
+            self.telemetry.emit(EventKind::MergeBegin {
+                inputs: input_ids.clone(),
+            });
+            // Reconcile through the streaming k-way merge cursor: entries
+            // arrive in key order with the newest version of each key
+            // winning, holding one decoded leaf per input in memory instead
+            // of the whole inputs.
+            let mut entries: Vec<Entry> = Vec::new();
+            for entry in EntryMergeCursor::over_components(&inputs, None) {
+                let (key, doc) = entry?;
+                // Anti-matter annihilates older records; it can itself be
+                // dropped once the merge includes the oldest component.
+                if doc.is_some() || !includes_oldest {
+                    entries.push((key, doc));
+                }
+            }
+            let output = Arc::new(Component::write(
+                &self.cache,
+                &self.component_config(),
+                schema.clone(),
+                &entries,
+                id,
+            )?);
+            Ok(JobResult {
+                output,
+                inputs,
+                input_ids,
+                pages_in,
+                elapsed: job_started.elapsed(),
+            })
+        };
+
+        let results: Vec<Result<JobResult>> = if jobs.len() == 1 {
+            vec![run_job(jobs[0], first_id)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, job)| {
+                        let run_job = &run_job;
+                        scope.spawn(move || run_job(job, first_id + i as u64))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge job panicked"))
+                    .collect()
+            })
+        };
+        let mut done = Vec::with_capacity(results.len());
+        for result in results {
+            done.push(result?);
+        }
+
+        // Build the post-merge component list: per job (back to front so
+        // earlier positions stay valid), inputs out, output in at the first
+        // merged position.
+        let mut new_components = components.clone();
+        for (positions, result) in jobs.iter().zip(&done).rev() {
+            for &pos in positions.iter().rev() {
+                new_components.remove(pos);
+            }
+            new_components.insert(positions[0], result.output.clone());
+        }
+        // Durable merge: one manifest swap makes every output visible; the
+        // inputs' pages are freed only after the swap commits, so a crash
+        // before the commit leaves the old components intact.
         if let Some(durable) = self.durable.as_ref() {
             let data = self.manifest_data(maint, &schema, &new_components);
             durable.commit_merge(data)?;
@@ -1143,26 +1610,35 @@ impl DatasetCore {
         }
         // Retire the inputs: their pages are freed when the last snapshot
         // holding them drops (Component::retire), never under a live reader.
-        for input in &inputs {
-            input.retire();
+        for result in &done {
+            for input in &result.inputs {
+                input.retire();
+            }
         }
-        let elapsed = started.elapsed();
-        if self.telemetry.enabled() {
-            self.telemetry.merges.incr();
-            self.telemetry.merge_pages_in.add(pages_in);
-            self.telemetry.merge_pages_out.add(pages_out);
-            self.telemetry.merge_duration.record(elapsed.as_micros() as u64);
-            self.telemetry.emit(EventKind::MergeEnd {
-                inputs: input_ids,
-                pages_in,
-                pages_out,
-                micros: elapsed.as_micros() as u64,
-            });
+        let mut round_time = Duration::ZERO;
+        for result in &done {
+            let pages_out = result.output.meta().pages.len() as u64;
+            round_time = round_time.max(result.elapsed);
+            if self.telemetry.enabled() {
+                self.telemetry.merges.incr();
+                self.telemetry.merge_pages_in.add(result.pages_in);
+                self.telemetry.merge_pages_out.add(pages_out);
+                self.telemetry
+                    .merge_duration
+                    .record(result.elapsed.as_micros() as u64);
+                self.telemetry.emit(EventKind::MergeEnd {
+                    inputs: result.input_ids.clone(),
+                    pages_in: result.pages_in,
+                    pages_out,
+                    micros: result.elapsed.as_micros() as u64,
+                });
+            }
         }
         {
             let mut stats = self.stats.lock();
-            stats.merges += 1;
-            stats.merge_time += elapsed;
+            stats.merges += done.len() as u64;
+            // Concurrent jobs overlap; charge the round's wall clock once.
+            stats.merge_time += round_time;
         }
         Ok(())
     }
@@ -1432,6 +1908,75 @@ mod tests {
             assert_eq!(sync_ds.scan(None).unwrap(), bg_ds.scan(None).unwrap(), "{layout:?}");
             assert!(bg_ds.stats().flushes > 1, "{layout:?}");
         }
+    }
+
+    #[test]
+    fn shared_pool_serves_many_datasets() {
+        // Three datasets, one two-worker pool: every dataset's flushes and
+        // merges complete, reach the same state as inline processing, and
+        // dropping the datasets before the pool quiesces them cleanly.
+        let pool = WorkerPool::new(2);
+        let datasets: Vec<LsmDataset> = (0..3)
+            .map(|i| {
+                LsmDataset::new(
+                    DatasetConfig::new(format!("pooled-{i}"), LayoutKind::Amax)
+                        .with_memtable_budget(8 * 1024)
+                        .with_page_size(4 * 1024)
+                        .with_background(true)
+                        .with_pool(pool.handle()),
+                )
+            })
+            .collect();
+        for ds in &datasets {
+            for i in 0..300 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+        }
+        let reference = LsmDataset::new(tiny_config(LayoutKind::Amax));
+        for i in 0..300 {
+            reference.insert(sample_record(i)).unwrap();
+        }
+        reference.flush().unwrap();
+        for ds in &datasets {
+            ds.flush().unwrap();
+            assert!(ds.stats().flushes > 1);
+            assert_eq!(ds.scan(None).unwrap(), reference.scan(None).unwrap());
+            assert_eq!(ds.health().worker, WorkerState::Idle);
+        }
+        drop(datasets);
+        // The pool is still usable by later datasets.
+        let late = LsmDataset::new(
+            tiny_config(LayoutKind::Vb)
+                .with_background(true)
+                .with_pool(pool.handle()),
+        );
+        for i in 0..100 {
+            late.insert(sample_record(i)).unwrap();
+        }
+        late.flush().unwrap();
+        assert_eq!(late.count().unwrap(), 100);
+    }
+
+    #[test]
+    fn dataset_survives_its_shared_pool_shutting_down() {
+        // If the shared pool dies first (discouraged but possible), the
+        // dataset falls back to inline flushing instead of hanging.
+        let pool = WorkerPool::new(1);
+        let ds = LsmDataset::new(
+            tiny_config(LayoutKind::Amax)
+                .with_background(true)
+                .with_pool(pool.handle()),
+        );
+        for i in 0..100 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        drop(pool);
+        for i in 100..200 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        assert_eq!(ds.count().unwrap(), 200);
     }
 
     #[test]

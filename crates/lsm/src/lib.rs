@@ -12,9 +12,10 @@
 //!
 //! * [`memtable`] — the in-memory component (rows, in the VB format's logical
 //!   form), with delete support via anti-matter markers;
-//! * [`policy`] — the tiering merge policy and its size-ratio/trigger knobs
-//!   (the paper uses a tiering policy with ratio 1.2 and a maximum of 5
-//!   mergeable components, §6.3);
+//! * [`policy`] — pluggable compaction: the [`CompactionStrategy`] trait
+//!   with tiered (the paper's policy, ratio 1.2, max 5 components, §6.3),
+//!   leveled, and lazy-leveled implementations, selected per dataset by a
+//!   manifest-persisted [`CompactionSpec`];
 //! * [`index`] — the primary-key index used to cheapen point lookups during
 //!   update-intensive ingestion, and the secondary (e.g. timestamp) index
 //!   whose maintenance cost §6.3.2 measures;
@@ -29,8 +30,11 @@
 //!   annihilates, at most one decoded leaf per component in memory — and
 //!   [`EntryMergeCursor`] is the same machinery with anti-matter preserved,
 //!   driving merges and index rebuilds (see the module's cursor protocol);
-//! * `scheduler` (crate-private) — background flush/merge coordination and
-//!   backpressure.
+//! * [`pool`] — the shared background [`WorkerPool`]: one priority-ordered
+//!   flush/merge worker pool serving every dataset partition that opts into
+//!   background maintenance;
+//! * `scheduler` (crate-private) — per-dataset flush/merge accounting,
+//!   draining and backpressure.
 //!
 //! ## Concurrency: snapshots, sealing, and background workers
 //!
@@ -54,14 +58,21 @@
 //!   drained into an immutable run, pushed into the tree, and (for durable
 //!   datasets) the WAL is rotated so the sealed records are confined to
 //!   closed segments. Ingestion continues into a fresh memtable immediately.
-//! * **Background worker.** With [`DatasetConfig::background`], one worker
-//!   thread per dataset flushes sealed memtables oldest-first and runs the
-//!   tiering policy's merges after each flush — the fair FCFS scheduling of
-//!   the paper's setup (§6.3). Backpressure bounds the sealed queue
-//!   ([`DatasetConfig::max_sealed_memtables`]); `flush()` drains the queue;
-//!   worker errors are parked and surfaced on the next insert or flush.
-//!   Without `background`, sealing is followed by an inline flush on the
-//!   inserting thread — the original synchronous behaviour.
+//! * **Background workers.** With [`DatasetConfig::background`], flushes
+//!   and merges run as tasks on a [`WorkerPool`] — either a **shared** pool
+//!   handed in via [`DatasetConfig::with_pool`] (one pool for all shards of
+//!   a store, the paper's bounded-maintenance setup) or, by default, a
+//!   private single-worker pool (the original one-thread-per-dataset
+//!   behaviour). The pool runs queued flushes before queued merges — a
+//!   flush releases ingest backpressure — and FIFO within a priority, the
+//!   fair FCFS scheduling of the paper's setup (§6.3). Within one dataset,
+//!   a leveled strategy's disjoint merge jobs run concurrently on scoped
+//!   threads and publish as one atomic manifest commit. Backpressure bounds
+//!   the sealed queue ([`DatasetConfig::max_sealed_memtables`]); `flush()`
+//!   drains the dataset's queued rounds; worker errors are parked and
+//!   surfaced on the next insert or flush. Without `background`, sealing is
+//!   followed by an inline flush on the inserting thread — the original
+//!   synchronous behaviour.
 //!
 //! ## Durability
 //!
@@ -95,14 +106,21 @@ pub mod dataset;
 pub mod index;
 pub mod memtable;
 pub mod policy;
+pub mod pool;
 pub(crate) mod scheduler;
 pub mod snapshot;
 
-pub use dataset::{DatasetConfig, DatasetHealth, IngestStats, LsmDataset, WorkerState};
+pub use dataset::{
+    DatasetConfig, DatasetHealth, IngestStats, LsmDataset, ReclaimReport, WorkerState,
+};
+pub use pool::{PoolHandle, WorkerPool};
 pub use index::{PrimaryKeyIndex, SecondaryIndex};
 pub use memtable::Memtable;
 pub use persist::CrashPoint;
-pub use policy::{MergeDecision, TieringPolicy};
+pub use policy::{
+    CompactionSpec, CompactionStrategy, LazyLeveledPolicy, LeveledPolicy, MergeDecision,
+    TieringPolicy,
+};
 pub use snapshot::{EntryMergeCursor, ScanCursor, Snapshot};
 
 /// Error type shared by the LSM layer.

@@ -1,12 +1,39 @@
-//! Merge policies.
+//! Merge policies: pluggable compaction strategies.
 //!
-//! The experiments use AsterixDB's *tiering* merge policy (size ratio 1.2)
-//! with a fair, first-come-first-served scheduler and a maximum of five
-//! mergeable components (§6.3). The policy looks at the on-disk components
-//! from newest to oldest and schedules a merge of a prefix of them when the
-//! total size of the younger components exceeds `size_ratio` times the size
-//! of the oldest component in that prefix, or when the number of components
-//! exceeds the configured maximum.
+//! The paper's experiments use AsterixDB's *tiering* merge policy (size
+//! ratio 1.2) with a fair, first-come-first-served scheduler and a maximum
+//! of five mergeable components (§6.3). That policy survives here as
+//! [`TieringPolicy`], but compaction is now a pluggable subsystem: the
+//! [`CompactionStrategy`] trait decides which on-disk runs merge, and the
+//! serialisable [`CompactionSpec`] selects a strategy per dataset (it
+//! round-trips through the manifest, so a reopened dataset keeps its
+//! strategy).
+//!
+//! Three strategies ship:
+//!
+//! * **tiered** ([`TieringPolicy`]) — write-optimised. Runs accumulate and
+//!   a prefix of the newest runs merges when their cumulative size exceeds
+//!   `size_ratio` × the next older run, or when the run count exceeds
+//!   `max_components`.
+//! * **leveled** ([`LeveledPolicy`]) — read/space-optimised. Runs smaller
+//!   than `target_size` count as L0; once `l0_threshold` of them pile up
+//!   they merge into the next older run. Grown runs ("levels") merge into
+//!   their older neighbour whenever they exceed `ratio` × its size, which
+//!   keeps the run count logarithmic and shadowed versions short-lived.
+//!   Independent level-to-level merges are emitted as *disjoint jobs*
+//!   ([`CompactionStrategy::decide_jobs`]) so they can run concurrently.
+//! * **lazy-leveled** ([`LazyLeveledPolicy`]) — a tiering/leveling hybrid
+//!   ("How to Grow an LSM-tree?", `PAPERS.md`): young runs tier up cheaply
+//!   and merge into the single oldest run (the "level") only when their
+//!   total crosses a fraction of its size, bounding both write amplification
+//!   (few rewrites of the big run) and read amplification (few small runs).
+//!
+//! All strategies see component sizes **newest first** and must return
+//! decisions over *contiguous* index ranges — components are age-ordered,
+//! and merging non-adjacent runs would let an old version of a key leapfrog
+//! a newer one during reconciliation.
+
+use std::sync::Arc;
 
 /// What the policy decided.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,12 +41,32 @@ pub enum MergeDecision {
     /// Nothing to do.
     None,
     /// Merge the components at the given indexes (newest-first ordering of
-    /// the input slice).
+    /// the input slice). Indexes must be contiguous.
     Merge(Vec<usize>),
 }
 
+/// A compaction strategy: given the on-disk run sizes (newest first),
+/// decide what merges to schedule.
+pub trait CompactionStrategy: Send + Sync {
+    /// Decide whether to merge. `sizes` lists component sizes in bytes,
+    /// newest first. A returned [`MergeDecision::Merge`] holds contiguous
+    /// newest-first indexes.
+    fn decide(&self, sizes: &[u64]) -> MergeDecision;
+
+    /// Decide a *set* of merge jobs over disjoint contiguous index ranges
+    /// (newest-first indexes). Jobs touch disjoint components, so the
+    /// dataset may run them concurrently within one merge round. The
+    /// default wraps [`CompactionStrategy::decide`] into at most one job.
+    fn decide_jobs(&self, sizes: &[u64]) -> Vec<Vec<usize>> {
+        match self.decide(sizes) {
+            MergeDecision::None => Vec::new(),
+            MergeDecision::Merge(indexes) => vec![indexes],
+        }
+    }
+}
+
 /// Tiering merge policy with a size ratio and a component-count trigger.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TieringPolicy {
     /// A merge is scheduled when the cumulative size of younger components
     /// exceeds `size_ratio` × the size of the oldest component considered.
@@ -38,10 +85,8 @@ impl Default for TieringPolicy {
     }
 }
 
-impl TieringPolicy {
-    /// Decide whether to merge. `sizes` lists component sizes in bytes,
-    /// newest first.
-    pub fn decide(&self, sizes: &[u64]) -> MergeDecision {
+impl CompactionStrategy for TieringPolicy {
+    fn decide(&self, sizes: &[u64]) -> MergeDecision {
         if sizes.len() < 2 {
             return MergeDecision::None;
         }
@@ -62,6 +107,251 @@ impl TieringPolicy {
             return MergeDecision::Merge((0..sizes.len()).collect());
         }
         MergeDecision::None
+    }
+}
+
+/// Leveled merge policy: fresh flushes ("L0" runs, smaller than
+/// `target_size`) batch-merge into the adjacent older run once
+/// `l0_threshold` accumulate; grown runs cascade into their older neighbour
+/// whenever they exceed `ratio` × its size. (Knob surface follows the
+/// common embedded-LSM convention: `target_size`, `l0_threshold`, `ratio`.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeveledPolicy {
+    /// Runs below this size count as L0 (fresh flush output).
+    pub target_size: u64,
+    /// Number of L0 runs that triggers a merge into the next older run.
+    pub l0_threshold: usize,
+    /// A grown run merges into its older neighbour when it exceeds
+    /// `ratio` × the neighbour's size.
+    pub ratio: f64,
+}
+
+impl Default for LeveledPolicy {
+    fn default() -> Self {
+        LeveledPolicy {
+            target_size: 4 << 20,
+            l0_threshold: 4,
+            ratio: 0.5,
+        }
+    }
+}
+
+impl CompactionStrategy for LeveledPolicy {
+    fn decide(&self, sizes: &[u64]) -> MergeDecision {
+        if sizes.len() < 2 {
+            return MergeDecision::None;
+        }
+        // Count the leading (newest) runs still below target size: L0.
+        let l0 = sizes.iter().take_while(|&&s| s < self.target_size).count();
+        if l0 >= self.l0_threshold {
+            // Merge every L0 run plus the adjacent older run (or all runs
+            // when everything is still L0-sized).
+            let upto = l0.min(sizes.len() - 1);
+            return MergeDecision::Merge((0..=upto).collect());
+        }
+        // Cascade rule: a grown run that exceeds ratio × its older
+        // neighbour merges into it (newest such pair first).
+        for i in 0..sizes.len() - 1 {
+            if sizes[i] >= self.target_size && sizes[i] as f64 > self.ratio * sizes[i + 1] as f64 {
+                return MergeDecision::Merge(vec![i, i + 1]);
+            }
+        }
+        MergeDecision::None
+    }
+
+    fn decide_jobs(&self, sizes: &[u64]) -> Vec<Vec<usize>> {
+        if sizes.len() < 2 {
+            return Vec::new();
+        }
+        let l0 = sizes.iter().take_while(|&&s| s < self.target_size).count();
+        if l0 >= self.l0_threshold {
+            let upto = l0.min(sizes.len() - 1);
+            return vec![(0..=upto).collect()];
+        }
+        // Emit every non-overlapping cascade pair as its own job: the pairs
+        // touch disjoint components, so the dataset can merge them
+        // concurrently.
+        let mut jobs = Vec::new();
+        let mut i = 0;
+        while i + 1 < sizes.len() {
+            if sizes[i] >= self.target_size && sizes[i] as f64 > self.ratio * sizes[i + 1] as f64 {
+                jobs.push(vec![i, i + 1]);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        jobs
+    }
+}
+
+/// Lazy-leveled merge policy: the oldest run is *the level*; every younger
+/// run is a tier. Tiers merge among themselves once `l0_threshold`
+/// accumulate, and fold into the level only when their combined size
+/// crosses `ratio` × the level (and at least `target_size`), so the big run
+/// is rewritten rarely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LazyLeveledPolicy {
+    /// Minimum combined tier size before folding into the level.
+    pub target_size: u64,
+    /// Number of tier runs that triggers a tier-only merge.
+    pub l0_threshold: usize,
+    /// Tiers fold into the level when their total exceeds `ratio` × the
+    /// level's size.
+    pub ratio: f64,
+}
+
+impl Default for LazyLeveledPolicy {
+    fn default() -> Self {
+        LazyLeveledPolicy {
+            target_size: 4 << 20,
+            l0_threshold: 4,
+            ratio: 0.5,
+        }
+    }
+}
+
+impl CompactionStrategy for LazyLeveledPolicy {
+    fn decide(&self, sizes: &[u64]) -> MergeDecision {
+        let n = sizes.len();
+        if n < 2 {
+            return MergeDecision::None;
+        }
+        let level = sizes[n - 1];
+        let tier_total: u64 = sizes[..n - 1].iter().sum();
+        // Fold the tiers into the level once they are a meaningful fraction
+        // of it (and big enough that the rewrite is worth it).
+        if tier_total as f64 > self.ratio * level as f64 && tier_total >= self.target_size {
+            return MergeDecision::Merge((0..n).collect());
+        }
+        // Otherwise tier-merge the young runs among themselves, leaving the
+        // level untouched (the "lazy" part).
+        if n > self.l0_threshold && n > 2 {
+            return MergeDecision::Merge((0..n - 1).collect());
+        }
+        MergeDecision::None
+    }
+}
+
+/// Serialisable selection of a compaction strategy plus its knobs. This is
+/// what [`crate::DatasetConfig`] carries and what the manifest persists, so
+/// a reopened dataset keeps compacting the way it was created.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompactionSpec {
+    /// Write-optimised tiering (the paper's policy; the default).
+    Tiered {
+        /// See [`TieringPolicy::size_ratio`].
+        size_ratio: f64,
+        /// See [`TieringPolicy::max_components`].
+        max_components: usize,
+    },
+    /// Read/space-optimised leveling.
+    Leveled {
+        /// See [`LeveledPolicy::target_size`].
+        target_size: u64,
+        /// See [`LeveledPolicy::l0_threshold`].
+        l0_threshold: usize,
+        /// See [`LeveledPolicy::ratio`].
+        ratio: f64,
+    },
+    /// Tiering/leveling hybrid.
+    LazyLeveled {
+        /// See [`LazyLeveledPolicy::target_size`].
+        target_size: u64,
+        /// See [`LazyLeveledPolicy::l0_threshold`].
+        l0_threshold: usize,
+        /// See [`LazyLeveledPolicy::ratio`].
+        ratio: f64,
+    },
+}
+
+impl Default for CompactionSpec {
+    fn default() -> Self {
+        let p = TieringPolicy::default();
+        CompactionSpec::Tiered {
+            size_ratio: p.size_ratio,
+            max_components: p.max_components,
+        }
+    }
+}
+
+impl CompactionSpec {
+    /// The tiered spec with explicit knobs.
+    pub fn tiered(size_ratio: f64, max_components: usize) -> CompactionSpec {
+        CompactionSpec::Tiered {
+            size_ratio,
+            max_components,
+        }
+    }
+
+    /// The leveled spec with default knobs.
+    pub fn leveled() -> CompactionSpec {
+        let p = LeveledPolicy::default();
+        CompactionSpec::Leveled {
+            target_size: p.target_size,
+            l0_threshold: p.l0_threshold,
+            ratio: p.ratio,
+        }
+    }
+
+    /// The lazy-leveled spec with default knobs.
+    pub fn lazy_leveled() -> CompactionSpec {
+        let p = LazyLeveledPolicy::default();
+        CompactionSpec::LazyLeveled {
+            target_size: p.target_size,
+            l0_threshold: p.l0_threshold,
+            ratio: p.ratio,
+        }
+    }
+
+    /// Parse a strategy by name with default knobs (bench/CLI surface).
+    pub fn from_name(name: &str) -> Option<CompactionSpec> {
+        match name {
+            "tiered" => Some(CompactionSpec::default()),
+            "leveled" => Some(CompactionSpec::leveled()),
+            "lazy-leveled" => Some(CompactionSpec::lazy_leveled()),
+            _ => None,
+        }
+    }
+
+    /// Stable strategy name (metrics labels, bench output, manifests).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompactionSpec::Tiered { .. } => "tiered",
+            CompactionSpec::Leveled { .. } => "leveled",
+            CompactionSpec::LazyLeveled { .. } => "lazy-leveled",
+        }
+    }
+
+    /// Instantiate the strategy this spec describes.
+    pub fn strategy(&self) -> Arc<dyn CompactionStrategy> {
+        match *self {
+            CompactionSpec::Tiered {
+                size_ratio,
+                max_components,
+            } => Arc::new(TieringPolicy {
+                size_ratio,
+                max_components,
+            }),
+            CompactionSpec::Leveled {
+                target_size,
+                l0_threshold,
+                ratio,
+            } => Arc::new(LeveledPolicy {
+                target_size,
+                l0_threshold,
+                ratio,
+            }),
+            CompactionSpec::LazyLeveled {
+                target_size,
+                l0_threshold,
+                ratio,
+            } => Arc::new(LazyLeveledPolicy {
+                target_size,
+                l0_threshold,
+                ratio,
+            }),
+        }
     }
 }
 
@@ -104,5 +394,95 @@ mod tests {
             p.decide(&[1, 10, 100, 1000]),
             MergeDecision::Merge(vec![0, 1, 2, 3])
         );
+    }
+
+    #[test]
+    fn leveled_l0_threshold_merges_fresh_runs_into_next_level() {
+        let p = LeveledPolicy {
+            target_size: 100,
+            l0_threshold: 3,
+            ratio: 0.5,
+        };
+        // Two small runs: below threshold, and the big run is in balance.
+        assert_eq!(p.decide(&[10, 10, 1000]), MergeDecision::None);
+        // Three small runs merge together with the adjacent older run.
+        assert_eq!(
+            p.decide(&[10, 10, 10, 1000]),
+            MergeDecision::Merge(vec![0, 1, 2, 3])
+        );
+        // All runs still L0-sized: merge everything.
+        assert_eq!(p.decide(&[10, 10, 10]), MergeDecision::Merge(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn leveled_cascade_merges_oversized_level_into_neighbour() {
+        let p = LeveledPolicy {
+            target_size: 100,
+            l0_threshold: 4,
+            ratio: 0.5,
+        };
+        // 600 > 0.5 × 1000: the grown run folds into its older neighbour.
+        assert_eq!(p.decide(&[600, 1000]), MergeDecision::Merge(vec![0, 1]));
+        // 400 ≤ 0.5 × 1000: in balance.
+        assert_eq!(p.decide(&[400, 1000]), MergeDecision::None);
+        // The pair must be adjacent (contiguous) even with runs before it.
+        assert_eq!(
+            p.decide(&[10, 600, 1000]),
+            MergeDecision::Merge(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn leveled_decide_jobs_emits_disjoint_cascades() {
+        let p = LeveledPolicy {
+            target_size: 100,
+            l0_threshold: 4,
+            ratio: 0.5,
+        };
+        // Two independent oversized pairs: [0,1] and [2,3].
+        assert_eq!(
+            p.decide_jobs(&[600, 1000, 6000, 10_000]),
+            vec![vec![0, 1], vec![2, 3]]
+        );
+        // Overlap is not allowed: after taking [0,1], index 1 is consumed.
+        assert_eq!(
+            p.decide_jobs(&[900, 1000, 10_000]),
+            vec![vec![0, 1]]
+        );
+    }
+
+    #[test]
+    fn lazy_leveled_tiers_young_runs_then_folds_into_level() {
+        let p = LazyLeveledPolicy {
+            target_size: 50,
+            l0_threshold: 3,
+            ratio: 0.5,
+        };
+        // Two tiers over a big level: below both triggers.
+        assert_eq!(p.decide(&[10, 10, 1000]), MergeDecision::None);
+        // Three tiers: tier-only merge, the level is untouched.
+        assert_eq!(
+            p.decide(&[10, 10, 10, 1000]),
+            MergeDecision::Merge(vec![0, 1, 2])
+        );
+        // Tier total crosses ratio × level (and target_size): fold it all.
+        assert_eq!(
+            p.decide(&[300, 300, 1000]),
+            MergeDecision::Merge(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn spec_roundtrips_names_and_builds_strategies() {
+        for spec in [
+            CompactionSpec::default(),
+            CompactionSpec::leveled(),
+            CompactionSpec::lazy_leveled(),
+        ] {
+            assert_eq!(CompactionSpec::from_name(spec.name()), Some(spec));
+            // The built strategy is callable.
+            let _ = spec.strategy().decide(&[100, 50]);
+        }
+        assert_eq!(CompactionSpec::from_name("nope"), None);
     }
 }

@@ -2,27 +2,28 @@
 //!
 //! The dataset's mutable tree state is published as an immutable,
 //! atomically-swapped [`TreeState`](crate::snapshot) snapshot; the
-//! [`Scheduler`] is the small piece of shared control state that coordinates
-//! *who* advances that tree:
+//! [`Scheduler`] is the small piece of per-dataset shared control state that
+//! coordinates *who* advances that tree:
 //!
-//! * the **writer** seals the active memtable when it exceeds its budget and
-//!   signals the scheduler ([`Scheduler::note_sealed`]);
-//! * the **worker thread** (one per dataset, when
-//!   [`DatasetConfig::background`](crate::DatasetConfig) is set) wakes up,
-//!   flushes sealed memtables oldest-first and runs the tiering policy's
-//!   merges after each flush — the fair FCFS order of the paper's setup
-//!   (§6.3) falls out of the single worker processing one job at a time;
+//! * the **writer** seals the active memtable when it exceeds its budget,
+//!   accounts for it ([`Scheduler::note_sealed`]) and queues a flush round
+//!   on the worker pool (see [`pool`](crate::pool));
+//! * the **pool workers** execute the dataset's queued flush/merge rounds;
+//!   the scheduler counts how many rounds are queued and running
+//!   ([`Scheduler::task_enqueued`] / [`Scheduler::begin_work`] /
+//!   [`Scheduler::work_done`]) so draining and shutdown know when the
+//!   dataset is quiescent;
 //! * **backpressure**: when `max_sealed_memtables` sealed memtables are
 //!   already waiting, [`Scheduler::admit`] blocks the writer until a flush
 //!   retires one, bounding memory instead of letting ingest outrun the disk;
-//! * **draining**: an explicit `flush()` signals the worker and waits until
-//!   no sealed memtable remains and the worker is idle.
+//! * **draining**: an explicit `flush()` queues a round and waits until no
+//!   sealed memtable remains and no round is queued or running.
 //!
-//! A failure on the worker thread (I/O error, injected crash point) is
-//! parked in the scheduler: the next `admit`/`drain` surfaces it to the
-//! caller, exactly where a synchronous flush would have returned it.
-//! `drain` *consumes* the failure so the caller can retry (recovery tests
-//! re-run a flush after an injected crash).
+//! A failure on a pool worker (I/O error, injected crash point) is parked
+//! in the scheduler: the next `admit`/`drain` surfaces it to the caller,
+//! exactly where a synchronous flush would have returned it. `drain`
+//! *consumes* the failure so the caller can retry (recovery tests re-run a
+//! flush after an injected crash).
 
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -34,11 +35,11 @@ use crate::LsmError;
 struct Ctrl {
     /// Sealed memtables awaiting flush.
     sealed_count: usize,
-    /// Work has been signalled and not yet picked up.
-    pending: bool,
-    /// The worker is currently processing.
-    busy: bool,
-    /// The dataset is shutting down; the worker must exit.
+    /// Background rounds submitted to the pool and not yet started.
+    queued: usize,
+    /// Background rounds currently running on pool workers.
+    busy: usize,
+    /// The dataset is shutting down; queued rounds become no-ops.
     shutdown: bool,
     /// A background flush/merge failed; surfaced on the next admit/drain.
     failed: Option<LsmError>,
@@ -47,9 +48,9 @@ struct Ctrl {
 /// A point-in-time, non-consuming view of the scheduler's control state
 /// (see [`Scheduler::status`]).
 pub(crate) struct SchedulerStatus {
-    /// The worker is currently processing a job.
+    /// At least one background round is running on a pool worker.
     pub(crate) busy: bool,
-    /// Work has been signalled and not yet picked up.
+    /// At least one background round is queued and not yet picked up.
     pub(crate) pending: bool,
     /// Sealed memtables awaiting flush.
     pub(crate) sealed_count: usize,
@@ -57,12 +58,10 @@ pub(crate) struct SchedulerStatus {
     pub(crate) failed: Option<LsmError>,
 }
 
-/// Coordination between the ingest path and the background worker.
+/// Coordination between the ingest path and the background worker pool.
 pub(crate) struct Scheduler {
     ctrl: Mutex<Ctrl>,
-    /// Worker waits here for work.
-    work_cv: Condvar,
-    /// Writers (backpressure) and drainers wait here for progress.
+    /// Writers (backpressure), drainers and shutdown wait here for progress.
     done_cv: Condvar,
 }
 
@@ -70,7 +69,6 @@ impl Scheduler {
     pub(crate) fn new() -> Scheduler {
         Scheduler {
             ctrl: Mutex::new(Ctrl::default()),
-            work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         }
     }
@@ -95,12 +93,10 @@ impl Scheduler {
         }
     }
 
-    /// A memtable was sealed: account for it and wake the worker.
+    /// A memtable was sealed: account for it (the caller queues the flush
+    /// round on the pool separately).
     pub(crate) fn note_sealed(&self) {
-        let mut ctrl = self.ctrl.lock().unwrap();
-        ctrl.sealed_count += 1;
-        ctrl.pending = true;
-        self.work_cv.notify_one();
+        self.ctrl.lock().unwrap().sealed_count += 1;
     }
 
     /// A sealed memtable was flushed: release backpressure waiters.
@@ -121,63 +117,83 @@ impl Scheduler {
     pub(crate) fn status(&self) -> SchedulerStatus {
         let ctrl = self.ctrl.lock().unwrap();
         SchedulerStatus {
-            busy: ctrl.busy,
-            pending: ctrl.pending,
+            busy: ctrl.busy > 0,
+            pending: ctrl.queued > 0,
             sealed_count: ctrl.sealed_count,
             failed: ctrl.failed.clone(),
         }
     }
 
-    /// Signal the worker and wait until every sealed memtable is flushed and
-    /// the worker is idle. Consumes and returns a parked failure, so a
+    /// A background round was submitted to the pool. Call *before* the
+    /// submission so a fast worker can never decrement the count first.
+    pub(crate) fn task_enqueued(&self) {
+        self.ctrl.lock().unwrap().queued += 1;
+    }
+
+    /// The pool refused the submission (it has shut down): undo the
+    /// accounting of the matching [`Scheduler::task_enqueued`].
+    pub(crate) fn task_rejected(&self) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.queued = ctrl.queued.saturating_sub(1);
+        self.done_cv.notify_all();
+    }
+
+    /// Worker side: a queued round is starting. Returns `false` (and drops
+    /// the round) when the dataset is shutting down.
+    pub(crate) fn begin_work(&self) -> bool {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.queued = ctrl.queued.saturating_sub(1);
+        if ctrl.shutdown {
+            self.done_cv.notify_all();
+            return false;
+        }
+        ctrl.busy += 1;
+        true
+    }
+
+    /// Worker side: report the outcome of one background round.
+    pub(crate) fn work_done(&self, result: Result<(), LsmError>) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        ctrl.busy = ctrl.busy.saturating_sub(1);
+        if let Err(err) = result {
+            ctrl.failed = Some(err);
+        }
+        self.done_cv.notify_all();
+    }
+
+    /// Wait until every sealed memtable is flushed and no background round
+    /// is queued or running. The caller queues a round first, so parked
+    /// failures are retried. Consumes and returns a parked failure, so a
     /// subsequent drain retries the work.
     pub(crate) fn drain(&self) -> Result<(), LsmError> {
         let mut ctrl = self.ctrl.lock().unwrap();
-        ctrl.pending = true;
-        self.work_cv.notify_one();
         loop {
             if let Some(err) = ctrl.failed.take() {
                 return Err(err);
             }
-            if ctrl.sealed_count == 0 && !ctrl.busy && !ctrl.pending {
+            if ctrl.sealed_count == 0 && ctrl.queued == 0 && ctrl.busy == 0 {
                 return Ok(());
             }
             ctrl = self.done_cv.wait(ctrl).unwrap();
         }
     }
 
-    /// Ask the worker to exit (idempotent); wakes it if it is waiting.
+    /// Mark the dataset as shutting down: queued rounds become no-ops
+    /// (their `begin_work` returns `false`). Idempotent.
     pub(crate) fn shutdown(&self) {
-        let mut ctrl = self.ctrl.lock().unwrap();
-        ctrl.shutdown = true;
-        self.work_cv.notify_all();
-    }
-
-    /// Worker side: block until work is signalled. Returns `false` when the
-    /// scheduler is shutting down.
-    pub(crate) fn next_work(&self) -> bool {
-        let mut ctrl = self.ctrl.lock().unwrap();
-        loop {
-            if ctrl.shutdown {
-                return false;
-            }
-            if ctrl.pending {
-                ctrl.pending = false;
-                ctrl.busy = true;
-                return true;
-            }
-            ctrl = self.work_cv.wait(ctrl).unwrap();
-        }
-    }
-
-    /// Worker side: report the outcome of one processing round.
-    pub(crate) fn work_done(&self, result: Result<(), LsmError>) {
-        let mut ctrl = self.ctrl.lock().unwrap();
-        ctrl.busy = false;
-        if let Err(err) = result {
-            ctrl.failed = Some(err);
-        }
+        self.ctrl.lock().unwrap().shutdown = true;
         self.done_cv.notify_all();
+    }
+
+    /// Wait until no background round is queued or running — the dataset
+    /// quiescence gate `Drop` needs before releasing shared resources.
+    /// Ignores sealed memtables (under shutdown they will never flush) and
+    /// parked failures (nobody is left to retry them).
+    pub(crate) fn wait_idle(&self) {
+        let mut ctrl = self.ctrl.lock().unwrap();
+        while ctrl.queued > 0 || ctrl.busy > 0 {
+            ctrl = self.done_cv.wait(ctrl).unwrap();
+        }
     }
 }
 
@@ -201,6 +217,9 @@ mod tests {
         let stalled = t.join().unwrap().unwrap();
         assert!(stalled.is_some(), "the blocked admit must report its stall");
 
+        // A background round fails: the error parks.
+        sched.task_enqueued();
+        assert!(sched.begin_work());
         sched.work_done(Err(LsmError::new("boom")));
         // status() surfaces the parked failure without consuming it.
         assert!(sched.status().failed.is_some());
@@ -215,22 +234,39 @@ mod tests {
     }
 
     #[test]
-    fn drain_waits_for_idle_worker() {
+    fn drain_waits_for_queued_and_running_rounds() {
         let sched = Arc::new(Scheduler::new());
         sched.note_sealed();
+        sched.task_enqueued();
+        assert!(sched.status().pending);
+        // A simulated pool worker: picks up the round, "flushes", reports.
         let worker = {
             let sched = sched.clone();
             std::thread::spawn(move || {
-                while sched.next_work() {
-                    std::thread::sleep(std::time::Duration::from_millis(5));
-                    sched.note_flushed();
-                    sched.work_done(Ok(()));
-                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                assert!(sched.begin_work());
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                sched.note_flushed();
+                sched.work_done(Ok(()));
             })
         };
         sched.drain().unwrap();
         assert_eq!(sched.sealed_count(), 0);
-        sched.shutdown();
+        assert!(!sched.status().busy);
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_makes_queued_rounds_noops_and_wait_idle_settles() {
+        let sched = Scheduler::new();
+        sched.task_enqueued();
+        sched.task_enqueued();
+        sched.shutdown();
+        // Both queued rounds are dropped by their begin_work.
+        assert!(!sched.begin_work());
+        assert!(!sched.begin_work());
+        sched.wait_idle();
+        assert!(!sched.status().busy);
+        assert!(!sched.status().pending);
     }
 }

@@ -25,11 +25,14 @@
 //! storage cursor protocol), so the merge yields records in global key order
 //! while holding **at most one decoded leaf per component** in memory —
 //! O(components × leaf) instead of O(dataset). Reconciliation happens on the
-//! fly: when several sources head the same key, the newest source's version
-//! wins and the older heads are discarded; anti-matter annihilates the key
-//! without emitting it. Dropping the cursor early (a `LIMIT`, a
-//! short-circuiting consumer) leaves every unread leaf unread, which the
-//! `IoStats` counters make observable.
+//! fly and on **keys alone**: sources expose their next key without
+//! assembling the record; when several sources head the same key, the newest
+//! source's version wins and is the only one assembled — the shadowed
+//! versions are batch-skipped at the column-cursor level (§4.4), never
+//! decoded into documents. Anti-matter annihilates its key without emitting
+//! it. Dropping the cursor early (a `LIMIT`, a short-circuiting consumer)
+//! leaves every unread leaf unread; both effects show up in the `IoStats`
+//! counters (`pages_read`, `records_assembled`).
 //!
 //! The same machinery, with anti-matter *preserved*, drives the dataset's
 //! merges and index rebuilds ([`EntryMergeCursor`]): a merge is exactly a
@@ -276,11 +279,17 @@ impl MemEntries {
     }
 }
 
-/// One merge input together with its buffered head entry.
+/// One merge input together with its buffered head **key**.
+///
+/// The merge reconciles on keys alone: a source's next entry is only
+/// *assembled* ([`MergeSource::take_entry`]) when it wins its key, and
+/// *skipped* ([`MergeSource::skip_entry`]) when a newer source shadows it —
+/// for columnar components the skip advances every column cursor in one
+/// batched step without decoding a single value (§4.4).
 struct MergeSource {
     kind: SourceKind,
-    /// The source's next entry, pulled but not yet consumed by the merge.
-    head: Option<Entry>,
+    /// The key of the source's next entry, peeked but not yet consumed.
+    head_key: Option<Value>,
     /// Set once the source returned `None` (avoids re-polling).
     exhausted: bool,
 }
@@ -289,7 +298,7 @@ impl MergeSource {
     fn mem(entries: Arc<Vec<Entry>>) -> MergeSource {
         MergeSource {
             kind: SourceKind::Mem { entries: MemEntries::Active(entries), pos: 0 },
-            head: None,
+            head_key: None,
             exhausted: false,
         }
     }
@@ -297,43 +306,64 @@ impl MergeSource {
     fn sealed(sealed: Arc<SealedMemtable>) -> MergeSource {
         MergeSource {
             kind: SourceKind::Mem { entries: MemEntries::Sealed(sealed), pos: 0 },
-            head: None,
+            head_key: None,
             exhausted: false,
         }
     }
 
     fn disk(cursor: ComponentCursor) -> MergeSource {
-        MergeSource { kind: SourceKind::Disk(cursor), head: None, exhausted: false }
+        MergeSource { kind: SourceKind::Disk(cursor), head_key: None, exhausted: false }
     }
 
-    /// Ensure `head` holds the source's next entry (or mark it exhausted).
-    fn fill(&mut self) -> Result<()> {
-        if self.head.is_some() || self.exhausted {
+    /// Ensure `head_key` holds the source's next key (or mark it exhausted).
+    /// The entry itself stays unassembled.
+    fn fill_key(&mut self) -> Result<()> {
+        if self.head_key.is_some() || self.exhausted {
             return Ok(());
         }
         match &mut self.kind {
             SourceKind::Mem { entries, pos } => match entries.get(*pos) {
-                Some(entry) => {
-                    self.head = Some(entry.clone());
-                    *pos += 1;
-                }
+                Some((key, _)) => self.head_key = Some(key.clone()),
                 None => self.exhausted = true,
             },
-            SourceKind::Disk(cursor) => match cursor.next() {
-                Some(entry) => self.head = Some(entry?),
+            SourceKind::Disk(cursor) => match cursor.peek_key() {
+                Some(key) => self.head_key = Some(key?),
                 None => self.exhausted = true,
             },
         }
         Ok(())
     }
 
-    /// Entries currently decoded and resident for this source: the leaf
-    /// buffer plus the held head entry (disk sources only — memtable
-    /// sources share the snapshot's memory).
+    /// Consume and assemble the entry whose key is `head_key` (the winner of
+    /// the current merge step).
+    fn take_entry(&mut self) -> Result<Entry> {
+        self.head_key = None;
+        match &mut self.kind {
+            SourceKind::Mem { entries, pos } => {
+                let entry = entries.get(*pos).expect("head key was filled").clone();
+                *pos += 1;
+                Ok(entry)
+            }
+            SourceKind::Disk(cursor) => cursor.next().expect("head key was filled"),
+        }
+    }
+
+    /// Consume the entry whose key is `head_key` without assembling it (a
+    /// shadowed version of a key a newer source already provided).
+    fn skip_entry(&mut self) {
+        self.head_key = None;
+        match &mut self.kind {
+            SourceKind::Mem { pos, .. } => *pos += 1,
+            SourceKind::Disk(cursor) => cursor.skip_entry(),
+        }
+    }
+
+    /// Entries currently decoded and resident for this source (disk sources
+    /// only — memtable sources share the snapshot's memory).
     fn buffered(&self) -> usize {
         match &self.kind {
             SourceKind::Mem { .. } => 0,
-            SourceKind::Disk(cursor) => cursor.buffered() + usize::from(self.head.is_some()),
+            SourceKind::Disk(cursor) => cursor.buffered(),
         }
     }
 }
@@ -398,9 +428,9 @@ impl EntryMergeCursor {
     }
 
     fn advance(&mut self) -> Result<Option<Entry>> {
-        // Fill every head, then account the buffered high-water mark.
+        // Fill every head key, then account the buffered high-water mark.
         for source in &mut self.sources {
-            source.fill()?;
+            source.fill_key()?;
         }
         let buffered: usize = self.sources.iter().map(MergeSource::buffered).sum();
         self.peak_buffered = self.peak_buffered.max(buffered);
@@ -409,11 +439,11 @@ impl EntryMergeCursor {
         // (lowest index) provides the surviving version.
         let mut best: Option<usize> = None;
         for (i, source) in self.sources.iter().enumerate() {
-            let Some((key, _)) = &source.head else { continue };
+            let Some(key) = &source.head_key else { continue };
             match best {
                 None => best = Some(i),
                 Some(b) => {
-                    let (best_key, _) = self.sources[b].head.as_ref().expect("head filled");
+                    let best_key = self.sources[b].head_key.as_ref().expect("head filled");
                     if total_cmp(key, best_key) == std::cmp::Ordering::Less {
                         best = Some(i);
                     }
@@ -421,12 +451,14 @@ impl EntryMergeCursor {
             }
         }
         let Some(best) = best else { return Ok(None) };
-        let entry = self.sources[best].head.take().expect("best head filled");
-        // Discard the shadowed versions of the same key in older sources.
+        // Only the winner is assembled; the shadowed versions of the same key
+        // in older sources are skipped column-cursor-batch-wise, never
+        // decoded into documents (§4.4).
+        let entry = self.sources[best].take_entry()?;
         for source in &mut self.sources[best + 1..] {
-            if let Some((key, _)) = &source.head {
+            if let Some(key) = &source.head_key {
                 if total_cmp(key, &entry.0) == std::cmp::Ordering::Equal {
-                    source.head = None;
+                    source.skip_entry();
                 }
             }
         }

@@ -1,28 +1,60 @@
-//! Property tests for the tiering merge policy.
+//! Property tests for the compaction strategies.
 //!
-//! For arbitrary component-size sequences (newest first) the policy must:
+//! For arbitrary component-size sequences (newest first) every strategy
+//! must:
 //!
-//! * only ever schedule a merge of a contiguous **newest-first prefix** of
-//!   at least two components (that is what the flush/merge pipeline and the
-//!   manifest swap assume);
-//! * respect `max_components`: more components than the cap always schedules
-//!   a merge;
-//! * **converge** under repeated application (merge the chosen prefix into
-//!   one component, ask again): the tree settles to at most `max_components`
-//!   components in a bounded number of steps — no livelock where a merge
-//!   output immediately re-triggers forever.
+//! * only ever schedule merges of **contiguous** index ranges of at least
+//!   two components (that is what the flush/merge pipeline and the manifest
+//!   swap assume — components are age-ordered);
+//! * emit `decide_jobs` rounds whose jobs are pairwise **disjoint** (the
+//!   dataset runs them concurrently);
+//! * **converge** under repeated application (merge the chosen range into
+//!   one component, ask again): the tree settles in a bounded number of
+//!   steps — no livelock where a merge output immediately re-triggers
+//!   forever.
+//!
+//! The tiering policy additionally promises newest-first *prefix* merges
+//! and the `max_components` cap.
 
-use lsm::{MergeDecision, TieringPolicy};
+use lsm::{
+    CompactionStrategy, LazyLeveledPolicy, LeveledPolicy, MergeDecision, TieringPolicy,
+};
 use proptest::prelude::*;
 
-/// Apply one merge decision to a newest-first size list: the merged prefix
-/// is replaced by a single component holding the sum (exactly what
-/// `merge_components` produces, modulo reconciliation shrinking it).
+/// Apply one merge decision to a newest-first size list: the merged
+/// (contiguous) range is replaced by a single component holding the sum
+/// (exactly what `merge_jobs` produces, modulo reconciliation shrinking it).
 fn apply(sizes: &[u64], indexes: &[usize]) -> Vec<u64> {
+    assert!(
+        indexes.windows(2).all(|w| w[1] == w[0] + 1),
+        "merge ranges must be contiguous"
+    );
     let merged: u64 = indexes.iter().map(|&i| sizes[i]).sum();
-    let mut next = vec![merged];
-    next.extend_from_slice(&sizes[indexes.len()..]);
+    let mut next = sizes[..indexes[0]].to_vec();
+    next.push(merged);
+    next.extend_from_slice(&sizes[indexes[0] + indexes.len()..]);
     next
+}
+
+/// Drive a strategy to quiescence, asserting progress at every step.
+fn converge(policy: &dyn CompactionStrategy, sizes: Vec<u64>) -> Vec<u64> {
+    let mut current = sizes.clone();
+    let mut steps = 0usize;
+    while let MergeDecision::Merge(indexes) = policy.decide(&current) {
+        assert!(indexes.len() >= 2, "a merge needs at least two inputs");
+        let next = apply(&current, &indexes);
+        assert!(
+            next.len() < current.len(),
+            "every merge must shrink the tree (no livelock)"
+        );
+        current = next;
+        steps += 1;
+        assert!(
+            steps <= sizes.len(),
+            "convergence must take at most one merge per initial component"
+        );
+    }
+    current
 }
 
 proptest! {
@@ -115,6 +147,79 @@ proptest! {
         for flushed in flushes {
             current.insert(0, flushed);
             prop_assert!(current.len() <= max + 1, "tree grew unboundedly");
+            while let MergeDecision::Merge(indexes) = policy.decide(&current) {
+                current = apply(&current, &indexes);
+            }
+        }
+    }
+
+    #[test]
+    fn leveled_merges_are_contiguous_and_converge(
+        sizes in prop::collection::vec(0u64..4_000_000, 0..12),
+        target in 1_000u64..1_000_000,
+        l0 in 2usize..6,
+        ratio in 0.3f64..0.9,
+    ) {
+        let policy = LeveledPolicy { target_size: target, l0_threshold: l0, ratio };
+        if let MergeDecision::Merge(indexes) = policy.decide(&sizes) {
+            prop_assert!(indexes.len() >= 2);
+            prop_assert!(*indexes.last().unwrap() < sizes.len());
+            prop_assert!(indexes.windows(2).all(|w| w[1] == w[0] + 1), "contiguous");
+        }
+        converge(&policy, sizes);
+    }
+
+    #[test]
+    fn leveled_jobs_are_disjoint_contiguous_ranges(
+        sizes in prop::collection::vec(0u64..4_000_000, 0..12),
+        target in 1_000u64..1_000_000,
+        l0 in 2usize..6,
+        ratio in 0.3f64..0.9,
+    ) {
+        let policy = LeveledPolicy { target_size: target, l0_threshold: l0, ratio };
+        let jobs = policy.decide_jobs(&sizes);
+        let mut seen = std::collections::HashSet::new();
+        for job in &jobs {
+            prop_assert!(job.len() >= 2);
+            prop_assert!(job.windows(2).all(|w| w[1] == w[0] + 1), "contiguous");
+            prop_assert!(*job.last().unwrap() < sizes.len());
+            for &i in job {
+                prop_assert!(seen.insert(i), "jobs must be disjoint (index {i} repeated)");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_leveled_merges_are_contiguous_and_converge(
+        sizes in prop::collection::vec(0u64..4_000_000, 0..12),
+        target in 1_000u64..1_000_000,
+        l0 in 2usize..6,
+        ratio in 0.3f64..0.9,
+    ) {
+        let policy = LazyLeveledPolicy { target_size: target, l0_threshold: l0, ratio };
+        if let MergeDecision::Merge(indexes) = policy.decide(&sizes) {
+            prop_assert!(indexes.len() >= 2);
+            prop_assert!(*indexes.last().unwrap() < sizes.len());
+            prop_assert!(indexes.windows(2).all(|w| w[1] == w[0] + 1), "contiguous");
+        }
+        let settled = converge(&policy, sizes);
+        // A settled tree has fewer tiers than the threshold (the tier rule
+        // would otherwise still fire), so at most `l0` components total.
+        prop_assert!(settled.len() <= l0, "{} tiers settled over threshold {l0}", settled.len());
+    }
+
+    #[test]
+    fn lazy_leveled_flush_cycle_stays_bounded(
+        flushes in prop::collection::vec(1u64..200_000, 1..40),
+        l0 in 2usize..6,
+    ) {
+        // Small target so the fold rule is reachable; the tree must stay
+        // bounded by the tier threshold plus the level.
+        let policy = LazyLeveledPolicy { target_size: 1, l0_threshold: l0, ratio: 0.5 };
+        let mut current: Vec<u64> = Vec::new();
+        for flushed in flushes {
+            current.insert(0, flushed);
+            prop_assert!(current.len() <= l0 + 2, "tree grew unboundedly");
             while let MergeDecision::Merge(indexes) = policy.decide(&current) {
                 current = apply(&current, &indexes);
             }

@@ -550,6 +550,100 @@ fn recovery_replay_event_matches_ground_truth() {
     assert_eq!(ds.count().unwrap(), 24, "only the torn record is lost");
 }
 
+// ---------------------------------------------------------------------------
+// Orphaned-page reclamation at recovery.
+// ---------------------------------------------------------------------------
+
+/// Page slots neither referenced by a live component nor on the free list —
+/// the leak the recovery sweep exists to close.
+fn orphaned_pages(ds: &LsmDataset) -> u64 {
+    let store = ds.cache().store();
+    let live: u64 = ds
+        .components()
+        .iter()
+        .map(|c| c.meta().pages.len() as u64)
+        .sum();
+    store.page_count() - store.free_page_count() - live
+}
+
+fn orphan_sweep_of(ds: &LsmDataset) -> Option<(u64, u64, u64)> {
+    ds.recent_events(256).into_iter().find_map(|e| match e.kind {
+        telemetry::EventKind::OrphanSweep { scanned, freed, truncated } => {
+            Some((scanned, freed, truncated))
+        }
+        _ => None,
+    })
+}
+
+#[test]
+fn crash_after_component_write_orphans_are_swept_at_reopen() {
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let dir = temp_dir(&format!("orphan-flush-{}", layout.name()));
+        {
+            let mut ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            ds.set_crash_point(CrashPoint::AfterFlushComponentWrite);
+            let err = ds.flush().expect_err("injected crash must surface");
+            assert!(err.message.contains("injected crash"), "{err}");
+            // The aborted component's pages are in the file, referenced by
+            // no manifest: orphans.
+            assert!(orphaned_pages(&ds) > 0, "{layout:?}: the crash must orphan pages");
+        }
+        let ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+        assert_eq!(orphaned_pages(&ds), 0, "{layout:?}: reopen must sweep every orphan");
+        let (scanned, freed, _) = orphan_sweep_of(&ds).expect("sweep event emitted");
+        assert!(freed > 0 && scanned >= freed, "{layout:?}");
+        // With no live components at all, the sweep truncates the entire
+        // file rather than just free-listing it.
+        assert_eq!(ds.cache().store().page_count(), 0, "{layout:?}");
+        assert_workload_recovered(&ds);
+
+        // The swept dataset keeps working, reusing the reclaimed space.
+        ds.flush().unwrap();
+        assert_eq!(orphaned_pages(&ds), 0, "{layout:?}");
+        assert_workload_recovered(&ds);
+    }
+}
+
+#[test]
+fn crash_before_merge_commit_orphans_are_swept_at_reopen() {
+    for layout in [LayoutKind::Vb, LayoutKind::Amax] {
+        let dir = temp_dir(&format!("orphan-merge-{}", layout.name()));
+        {
+            let mut ds = LsmDataset::open(&dir, unflushed_config(layout)).unwrap();
+            apply_workload(&mut ds);
+            ds.flush().unwrap();
+            for i in N..N + 40 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+            ds.flush().unwrap();
+            assert!(ds.component_count() >= 2, "{layout:?}");
+            ds.set_crash_point(CrashPoint::BeforeMergeManifestCommit);
+            let err = ds.compact_fully().expect_err("injected crash must surface");
+            assert!(err.message.contains("injected crash"), "{err}");
+            // The merge output was written and synced but never committed.
+            assert!(orphaned_pages(&ds) > 0, "{layout:?}: the aborted merge must orphan pages");
+        }
+        let ds = LsmDataset::reopen(&dir).unwrap();
+        assert_eq!(orphaned_pages(&ds), 0, "{layout:?}: reopen must sweep every orphan");
+        assert!(ds.component_count() >= 2, "{layout:?}: inputs stay live");
+        assert_eq!(ds.count().unwrap(), (N - 3 + 40) as usize, "{layout:?}");
+
+        // The re-run merge reuses the swept slots instead of growing the
+        // file past its pre-crash size.
+        let before = ds.cache().store().page_count();
+        ds.compact_fully().unwrap();
+        ds.reclaim_space().unwrap();
+        assert!(
+            ds.cache().store().page_count() <= before,
+            "{layout:?}: merge + GC must not grow the file ({} -> {})",
+            before,
+            ds.cache().store().page_count()
+        );
+        assert_eq!(ds.count().unwrap(), (N - 3 + 40) as usize);
+    }
+}
+
 #[test]
 fn durable_and_in_memory_datasets_agree() {
     let dir = temp_dir("parity");

@@ -5,8 +5,8 @@
 use std::time::Duration;
 
 use docmodel::{doc, Value};
-use lsm::{CrashPoint, DatasetConfig, LsmDataset, WorkerState};
-use storage::LayoutKind;
+use lsm::{CompactionSpec, CrashPoint, DatasetConfig, LsmDataset, WorkerState};
+use storage::{ComponentReader, LayoutKind};
 use telemetry::EventKind;
 
 fn temp_dir(name: &str) -> std::path::PathBuf {
@@ -263,4 +263,48 @@ fn durable_datasets_emit_wal_and_manifest_events() {
         events.iter().any(|e| e.kind.label() == "manifest_commit"),
         "flush commits a manifest version"
     );
+}
+
+/// §4.4's batched skip, observed end-to-end: during a reconciling scan over
+/// an update-heavy dataset, entries shadowed by a newer component are
+/// skipped at the column-cursor level — every column advances past the
+/// record in one go — and never assembled into documents. The
+/// `records_assembled` counter therefore equals the number of *live*
+/// records, not the (much larger) number of stored entries.
+#[test]
+fn update_heavy_scan_skips_shadowed_entries_without_assembly() {
+    // A compaction spec that never merges: every round's components survive,
+    // so older versions of each key stay on disk and must be skipped.
+    let ds = LsmDataset::new(
+        tiny_config("lazy-skip").with_compaction(CompactionSpec::tiered(100.0, 100)),
+    );
+    for round in 0..3i64 {
+        for i in 0..150 {
+            let mut doc = sample_record(i);
+            doc.set_field("timestamp", Value::Int(round));
+            ds.insert(doc).unwrap();
+        }
+        ds.flush().unwrap();
+    }
+    let total_entries: usize = ds
+        .components()
+        .iter()
+        .map(|c| c.meta().record_count)
+        .sum();
+    assert!(
+        total_entries > 150,
+        "older rounds must survive as shadowed entries ({total_entries})"
+    );
+
+    ds.cache().store().reset_stats();
+    let docs = ds.snapshot().scan(None).unwrap();
+    assert_eq!(docs.len(), 150);
+    let assembled = ds.io_stats().records_assembled;
+    assert_eq!(
+        assembled, 150,
+        "only the winning version of each key is assembled; the \
+         {total_entries} stored entries include shadowed versions that are \
+         batch-skipped"
+    );
+    assert_eq!(ds.metrics().counter("storage.records_assembled"), 150);
 }

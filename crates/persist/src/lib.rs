@@ -47,8 +47,12 @@
 //!   dropped.
 //!
 //! Orphaned pages (from crashes between component write and manifest commit)
-//! leak space until a future page-file compaction; they are never visible to
-//! readers because visibility is defined solely by the manifest.
+//! are never visible to readers, because visibility is defined solely by the
+//! manifest — and they are *reclaimed at the next open*: recovery reconciles
+//! the page file against the union of manifest-referenced pages and frees
+//! every unreferenced slot back onto the backends' free lists, so a crash
+//! costs no space beyond the restart window (the orphan sweep lives in
+//! `LsmDataset::open` in the `lsm` crate).
 //!
 //! ## Concurrency
 //!
@@ -378,6 +382,10 @@ mod tests {
                 amax_empty_page_tolerance: 0.2,
                 policy_size_ratio: 1.2,
                 policy_max_components: 5,
+                compaction_kind: 0,
+                compaction_target_size: 4 << 20,
+                compaction_l0_threshold: 4,
+                compaction_ratio: 0.5,
             },
             next_component_id: 0,
             schema: SchemaBuilder::new(Some("id".to_string())).into_schema(),

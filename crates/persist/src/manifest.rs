@@ -12,20 +12,24 @@
 //! Each commit writes a complete manifest to `MANIFEST.tmp`, syncs it, and
 //! atomically renames it over `MANIFEST`. A crash before the rename leaves
 //! the previous manifest intact (new component pages become unreferenced
-//! orphans in the page file — leaked space, never corruption); a crash after
-//! the rename leaves the new manifest fully in place. The version counter
+//! orphans in the page file — never corruption, and the orphan sweep at the
+//! next open frees them); a crash after the rename leaves the new manifest
+//! fully in place. The version counter
 //! increases with every commit, and the body is CRC-guarded so a damaged
 //! manifest is rejected rather than half-loaded.
 //!
 //! ## Format versioning
 //!
-//! The magic bytes carry the format generation. `LSMMAN02` (current) appends
-//! the per-component column statistics ([`storage::ComponentStats`]) that
-//! the query planner's zone maps and cost model consume; `LSMMAN01`
-//! manifests (written before statistics existed) are still read — their
-//! components simply reopen with no statistics, which disables zone-map
-//! pruning for them and makes the planner fall back to conservative
-//! estimates. Commits always write the current format.
+//! The magic bytes carry the format generation. `LSMMAN03` (current) adds
+//! the compaction-strategy selection and its knobs to the persisted config,
+//! so a reopened dataset keeps compacting the way it was created.
+//! `LSMMAN02` appended the per-component column statistics
+//! ([`storage::ComponentStats`]) that the query planner's zone maps and
+//! cost model consume; `LSMMAN01` manifests predate statistics. Both older
+//! formats are still read: v1/v2 configs decode with the default tiering
+//! strategy, and v1 components reopen with no statistics (which disables
+//! zone-map pruning for them and makes the planner fall back to
+//! conservative estimates). Commits always write the current format.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -42,9 +46,19 @@ use storage::{LayoutKind, PageId, RowFormat};
 use crate::{PersistError, Result};
 
 /// Magic bytes opening every current-format manifest file.
-const MAGIC: &[u8; 8] = b"LSMMAN02";
-/// Previous format: no per-component statistics. Still readable.
+const MAGIC: &[u8; 8] = b"LSMMAN03";
+/// Previous format: no compaction-strategy fields. Still readable.
+const MAGIC_V2: &[u8; 8] = b"LSMMAN02";
+/// Oldest format: additionally, no per-component statistics. Still readable.
 const MAGIC_V1: &[u8; 8] = b"LSMMAN01";
+
+/// Decoded manifest format generation (from the magic bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Format {
+    V1,
+    V2,
+    V3,
+}
 
 /// The durable subset of the dataset configuration. Enough to reconstruct a
 /// working `DatasetConfig` on [`reopen`](crate::DurableStore), so a dataset
@@ -77,6 +91,15 @@ pub struct PersistedConfig {
     pub policy_size_ratio: f64,
     /// Tiering policy: max mergeable components.
     pub policy_max_components: u64,
+    /// Compaction strategy selector: 0 = tiered, 1 = leveled,
+    /// 2 = lazy-leveled (format v3; older manifests decode as 0).
+    pub compaction_kind: u8,
+    /// Leveled/lazy-leveled: target run size in bytes.
+    pub compaction_target_size: u64,
+    /// Leveled/lazy-leveled: L0 run-count trigger.
+    pub compaction_l0_threshold: u64,
+    /// Leveled/lazy-leveled: size ratio between adjacent runs.
+    pub compaction_ratio: f64,
 }
 
 /// Everything one manifest commit records.
@@ -115,7 +138,10 @@ fn read_bool(buf: &[u8], pos: &mut usize) -> Result<bool> {
     Ok(b != 0)
 }
 
-fn encode_body(data: &ManifestData) -> Vec<u8> {
+/// Encode a manifest body in the given format generation. Production
+/// commits always use [`Format::V3`]; the older formats exist so the
+/// compatibility tests can produce genuine old-format bytes.
+fn encode_body(data: &ManifestData, format: Format) -> Vec<u8> {
     let mut out = Vec::new();
     varint::write_u64(&mut out, data.version);
 
@@ -139,6 +165,12 @@ fn encode_body(data: &ManifestData) -> Vec<u8> {
     plain::write_f64(&mut out, c.amax_empty_page_tolerance);
     plain::write_f64(&mut out, c.policy_size_ratio);
     varint::write_u64(&mut out, c.policy_max_components);
+    if format >= Format::V3 {
+        out.push(c.compaction_kind);
+        varint::write_u64(&mut out, c.compaction_target_size);
+        varint::write_u64(&mut out, c.compaction_l0_threshold);
+        plain::write_f64(&mut out, c.compaction_ratio);
+    }
 
     varint::write_u64(&mut out, data.next_component_id);
     serial::write_schema(&data.schema, &mut out);
@@ -164,7 +196,9 @@ fn encode_body(data: &ManifestData) -> Vec<u8> {
             write_value(&mut out, &leaf.max_key);
             varint::write_u64(&mut out, leaf.record_count as u64);
         }
-        write_stats(&mut out, comp.stats.as_ref());
+        if format >= Format::V2 {
+            write_stats(&mut out, comp.stats.as_ref());
+        }
     }
     out
 }
@@ -215,7 +249,7 @@ fn read_stats(buf: &[u8], pos: &mut usize) -> Result<Option<ComponentStats>> {
     Ok(Some(ComponentStats { live_records, columns }))
 }
 
-fn decode_body(buf: &[u8], with_stats: bool) -> Result<ManifestData> {
+fn decode_body(buf: &[u8], format: Format) -> Result<ManifestData> {
     let pos = &mut 0usize;
     let version = varint::read_u64(buf, pos)?;
 
@@ -236,6 +270,19 @@ fn decode_body(buf: &[u8], with_stats: bool) -> Result<ManifestData> {
     let amax_empty_page_tolerance = plain::read_f64(buf, pos)?;
     let policy_size_ratio = plain::read_f64(buf, pos)?;
     let policy_max_components = varint::read_u64(buf, pos)?;
+    // Compaction-strategy fields arrived in v3; older manifests were all
+    // written under the fixed tiering policy.
+    let (compaction_kind, compaction_target_size, compaction_l0_threshold, compaction_ratio) =
+        if format >= Format::V3 {
+            (
+                read_u8(buf, pos)?,
+                varint::read_u64(buf, pos)?,
+                varint::read_u64(buf, pos)?,
+                plain::read_f64(buf, pos)?,
+            )
+        } else {
+            (0, 4 << 20, 4, 0.5)
+        };
 
     let next_component_id = varint::read_u64(buf, pos)?;
     let schema = serial::read_schema(buf, pos)?;
@@ -272,7 +319,11 @@ fn decode_body(buf: &[u8], with_stats: bool) -> Result<ManifestData> {
                 record_count,
             });
         }
-        let stats = if with_stats { read_stats(buf, pos)? } else { None };
+        let stats = if format >= Format::V2 {
+            read_stats(buf, pos)?
+        } else {
+            None
+        };
         components.push(ComponentDescriptor {
             id,
             layout,
@@ -300,6 +351,10 @@ fn decode_body(buf: &[u8], with_stats: bool) -> Result<ManifestData> {
             amax_empty_page_tolerance,
             policy_size_ratio,
             policy_max_components,
+            compaction_kind,
+            compaction_target_size,
+            compaction_l0_threshold,
+            compaction_ratio,
         },
         next_component_id,
         schema,
@@ -365,9 +420,10 @@ impl ManifestStore {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(PersistError::new("manifest too short"));
         }
-        let with_stats = match &bytes[..MAGIC.len()] {
-            m if m == MAGIC => true,
-            m if m == MAGIC_V1 => false,
+        let format = match &bytes[..MAGIC.len()] {
+            m if m == MAGIC => Format::V3,
+            m if m == MAGIC_V2 => Format::V2,
+            m if m == MAGIC_V1 => Format::V1,
             _ => return Err(PersistError::new("manifest magic mismatch")),
         };
         let crc_end = MAGIC.len() + 4;
@@ -378,7 +434,7 @@ impl ManifestStore {
                 "manifest failed its CRC check — corrupt manifest",
             ));
         }
-        decode_body(body, with_stats).map(Some)
+        decode_body(body, format).map(Some)
     }
 
     /// The version of the most recently loaded or committed manifest.
@@ -391,7 +447,7 @@ impl ManifestStore {
     /// is still intact.
     pub fn commit(&mut self, mut data: ManifestData) -> Result<u64> {
         data.version = self.version + 1;
-        let body = encode_body(&data);
+        let body = encode_body(&data, Format::V3);
         let mut bytes = Vec::with_capacity(MAGIC.len() + 4 + body.len());
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&crc32(&body).to_le_bytes());
@@ -454,6 +510,10 @@ mod tests {
                 amax_empty_page_tolerance: 0.2,
                 policy_size_ratio: 1.2,
                 policy_max_components: 5,
+                compaction_kind: 1,
+                compaction_target_size: 8 << 20,
+                compaction_l0_threshold: 3,
+                compaction_ratio: 0.75,
             },
             next_component_id: 7,
             schema: builder.into_schema(),
@@ -534,34 +594,56 @@ mod tests {
         assert_eq!(loaded.components[1].stats, None);
     }
 
-    #[test]
-    fn v1_manifests_without_stats_are_still_readable() {
-        // Re-encode a manifest in the old format: v1 magic, no stats blocks.
-        let dir = temp_dir("v1-compat");
-        let mut data = sample_data();
-        data.version = 1;
-        // encode_body minus the stats: rewrite with stats = None, then drop
-        // the trailing `false` has-stats flag each component appends in v2
-        // (the sample data has exactly one component, encoded last).
-        let mut stripped = data.clone();
-        for c in &mut stripped.components {
-            c.stats = None;
-        }
-        let mut body = super::encode_body(&stripped);
-        assert_eq!(body.last(), Some(&0u8));
-        body.pop();
+    /// The compaction fields an old-format manifest decodes to: the default
+    /// tiering strategy (kind 0) with the leveled knobs at their defaults.
+    fn with_default_compaction(mut config: PersistedConfig) -> PersistedConfig {
+        config.compaction_kind = 0;
+        config.compaction_target_size = 4 << 20;
+        config.compaction_l0_threshold = 4;
+        config.compaction_ratio = 0.5;
+        config
+    }
+
+    fn write_old_format(dir: &Path, magic: &[u8; 8], data: &ManifestData, format: Format) {
+        let body = super::encode_body(data, format);
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(b"LSMMAN01");
+        bytes.extend_from_slice(magic);
         bytes.extend_from_slice(&crc32(&body).to_le_bytes());
         bytes.extend_from_slice(&body);
         std::fs::write(dir.join(ManifestStore::FILE_NAME), &bytes).unwrap();
+    }
+
+    #[test]
+    fn v1_manifests_without_stats_are_still_readable() {
+        // Re-encode a manifest in the oldest format: v1 magic, no stats
+        // blocks, no compaction fields.
+        let dir = temp_dir("v1-compat");
+        let mut data = sample_data();
+        data.version = 1;
+        write_old_format(&dir, b"LSMMAN01", &data, Format::V1);
 
         let (store, loaded) = ManifestStore::open(&dir).unwrap();
         let loaded = loaded.unwrap();
         assert_eq!(store.version(), 1);
         assert_eq!(loaded.components.len(), 1);
         assert_eq!(loaded.components[0].stats, None, "v1 has no stats");
-        assert_eq!(loaded.config, data.config);
+        assert_eq!(loaded.config, with_default_compaction(data.config));
+    }
+
+    #[test]
+    fn v2_manifests_without_compaction_fields_are_still_readable() {
+        // v2 magic: stats blocks present, no compaction-strategy fields —
+        // the config decodes with the default tiering strategy.
+        let dir = temp_dir("v2-compat");
+        let mut data = sample_data();
+        data.version = 1;
+        write_old_format(&dir, b"LSMMAN02", &data, Format::V2);
+
+        let (store, loaded) = ManifestStore::open(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(store.version(), 1);
+        assert_eq!(loaded.components[0].stats, Some(sample_stats()), "v2 keeps stats");
+        assert_eq!(loaded.config, with_default_compaction(data.config));
     }
 
     #[test]

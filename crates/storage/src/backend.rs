@@ -15,7 +15,17 @@
 //!
 //! Backends store *whole pages*: compression, layout encoding and caching
 //! all happen above this interface.
+//!
+//! Both backends keep a **free list**: `free_pages` blanks a slot *and*
+//! records its id so the next `append_page` reuses it instead of growing the
+//! page file. Under update-heavy workloads (where merges retire whole runs of
+//! input pages) this caps the file at roughly the high-water mark of live
+//! data instead of growing monotonically. Reused ids make stale caching a
+//! hazard, so freeing must go through [`crate::pagestore::BufferCache`] (or
+//! [`crate::pagestore::PageStore`]) rather than the backend directly — the
+//! cache evicts the ids before the backend can hand them out again.
 
+use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
@@ -41,27 +51,52 @@ pub trait StorageBackend: Send + Sync {
     /// than `page_size`.
     fn max_payload(&self) -> usize;
 
-    /// Number of pages allocated so far (freed pages keep their slots).
+    /// Number of page slots allocated so far (live pages plus free-listed
+    /// slots awaiting reuse). This is the physical size of the backing
+    /// storage in pages.
     fn page_count(&self) -> u64;
 
-    /// Store `data` in a fresh page and return its id.
+    /// Number of slots currently on the free list (allocated but dead).
+    fn free_page_count(&self) -> u64;
+
+    /// Store `data` in a page and return its id: a slot from the free list
+    /// when one is available, a freshly grown slot otherwise.
     fn append_page(&self, data: Vec<u8>) -> Result<PageId>;
 
-    /// Read a page's payload. Freed pages read back empty.
+    /// Read a page's payload. Freed pages read back empty until their slot
+    /// is reused.
     fn read_page(&self, id: PageId) -> Result<Arc<Vec<u8>>>;
 
     /// Release the contents of the given pages (after an LSM merge deletes
-    /// its input components). Ids stay allocated; reads return empty.
+    /// its input components). The slots go on the free list and may be
+    /// handed out again by a later `append_page`; freeing an id twice is a
+    /// no-op. Callers that cache page contents must evict these ids first.
     fn free_pages(&self, ids: &[PageId]) -> Result<()>;
+
+    /// Give back the contiguous run of *trailing* free slots: while the
+    /// highest allocated slot is on the free list, deallocate it (truncate
+    /// the page file / pop the page vector). Returns how many slots were
+    /// released. Free slots in the middle of the file stay on the free list —
+    /// the space-reclamation pass (`LsmDataset::reclaim_space`) relocates
+    /// live pages downward first so the dead tail grows.
+    fn shrink_free_tail(&self) -> Result<u64>;
 
     /// Flush all written pages to durable storage (no-op in memory).
     fn sync(&self) -> Result<()>;
 }
 
-/// The original in-process backend: a vector of pages under a lock.
+/// The original in-process backend: a vector of pages under a lock, plus a
+/// free list of reusable slot ids.
 pub struct MemoryBackend {
     page_size: usize,
-    pages: Mutex<Vec<Arc<Vec<u8>>>>,
+    state: Mutex<MemoryState>,
+}
+
+struct MemoryState {
+    pages: Vec<Arc<Vec<u8>>>,
+    /// Freed slot ids awaiting reuse; ordered so reuse is deterministic
+    /// (lowest id first).
+    free: BTreeSet<PageId>,
 }
 
 impl MemoryBackend {
@@ -69,7 +104,10 @@ impl MemoryBackend {
     pub fn new(page_size: usize) -> MemoryBackend {
         MemoryBackend {
             page_size,
-            pages: Mutex::new(Vec::new()),
+            state: Mutex::new(MemoryState {
+                pages: Vec::new(),
+                free: BTreeSet::new(),
+            }),
         }
     }
 }
@@ -84,31 +122,55 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn page_count(&self) -> u64 {
-        self.pages.lock().len() as u64
+        self.state.lock().pages.len() as u64
+    }
+
+    fn free_page_count(&self) -> u64 {
+        self.state.lock().free.len() as u64
     }
 
     fn append_page(&self, data: Vec<u8>) -> Result<PageId> {
-        let mut pages = self.pages.lock();
-        pages.push(Arc::new(data));
-        Ok((pages.len() - 1) as PageId)
+        let mut state = self.state.lock();
+        if let Some(id) = state.free.pop_first() {
+            state.pages[id as usize] = Arc::new(data);
+            Ok(id)
+        } else {
+            state.pages.push(Arc::new(data));
+            Ok((state.pages.len() - 1) as PageId)
+        }
     }
 
     fn read_page(&self, id: PageId) -> Result<Arc<Vec<u8>>> {
-        let pages = self.pages.lock();
-        pages
+        let state = self.state.lock();
+        state
+            .pages
             .get(id as usize)
             .cloned()
             .ok_or_else(|| StorageError::new(format!("unknown page id {id}")))
     }
 
     fn free_pages(&self, ids: &[PageId]) -> Result<()> {
-        let mut pages = self.pages.lock();
+        let mut state = self.state.lock();
         for &id in ids {
-            if let Some(slot) = pages.get_mut(id as usize) {
-                *slot = Arc::new(Vec::new());
+            if (id as usize) < state.pages.len() && state.free.insert(id) {
+                state.pages[id as usize] = Arc::new(Vec::new());
             }
         }
         Ok(())
+    }
+
+    fn shrink_free_tail(&self) -> Result<u64> {
+        let mut state = self.state.lock();
+        let mut released = 0u64;
+        while let Some(&last) = state.free.last() {
+            if last as usize + 1 != state.pages.len() {
+                break;
+            }
+            state.free.remove(&last);
+            state.pages.pop();
+            released += 1;
+        }
+        Ok(released)
     }
 
     fn sync(&self) -> Result<()> {
@@ -127,6 +189,11 @@ pub struct FileBackend {
     next_id: AtomicU64,
     /// Serialises slot allocation; reads go through `pread` without it.
     append_lock: Mutex<()>,
+    /// Freed slot ids awaiting reuse. Not persisted: after a restart the
+    /// recovery path (`LsmDataset::open`) re-derives dead slots by
+    /// reconciling the page file against the manifest's component page sets
+    /// and frees them again, which repopulates this list.
+    free: Mutex<BTreeSet<PageId>>,
 }
 
 impl FileBackend {
@@ -160,6 +227,7 @@ impl FileBackend {
             page_size,
             next_id: AtomicU64::new(len / page_size as u64),
             append_lock: Mutex::new(()),
+            free: Mutex::new(BTreeSet::new()),
         })
     }
 }
@@ -181,6 +249,10 @@ impl StorageBackend for FileBackend {
         self.next_id.load(Ordering::SeqCst)
     }
 
+    fn free_page_count(&self) -> u64 {
+        self.free.lock().len() as u64
+    }
+
     fn append_page(&self, data: Vec<u8>) -> Result<PageId> {
         assert!(
             data.len() <= self.max_payload(),
@@ -196,11 +268,17 @@ impl StorageBackend for FileBackend {
         slot.resize(self.page_size, 0);
 
         let _guard = self.append_lock.lock();
-        let id = self.next_id.load(Ordering::SeqCst);
+        // Reuse a freed slot when one exists; grow the file otherwise.
+        let (id, grows) = match self.free.lock().pop_first() {
+            Some(id) => (id, false),
+            None => (self.next_id.load(Ordering::SeqCst), true),
+        };
         self.file
             .write_all_at(&slot, id * self.page_size as u64)
             .map_err(|e| StorageError::new(format!("write page {id}: {e}")))?;
-        self.next_id.store(id + 1, Ordering::SeqCst);
+        if grows {
+            self.next_id.store(id + 1, Ordering::SeqCst);
+        }
         Ok(id)
     }
 
@@ -229,13 +307,16 @@ impl StorageBackend for FileBackend {
     }
 
     fn free_pages(&self, ids: &[PageId]) -> Result<()> {
-        // Rewrite the slot header as an empty payload. The space is not
-        // reclaimed (components are immutable and merges free whole runs;
-        // compaction of the page file itself is future work).
+        // Rewrite the slot header as an empty payload (so the dead bytes can
+        // never be mistaken for a live page after a crash) and put the slot
+        // on the free list for the next append to reuse.
         let mut header = [0u8; SLOT_HEADER];
         header[4..8].copy_from_slice(&crc32(&[]).to_le_bytes());
+        // Taking the append lock keeps a freed slot from being handed back
+        // out (and overwritten) while its blank header is still in flight.
+        let _guard = self.append_lock.lock();
         for &id in ids {
-            if id >= self.page_count() {
+            if id >= self.page_count() || !self.free.lock().insert(id) {
                 continue;
             }
             self.file
@@ -243,6 +324,30 @@ impl StorageBackend for FileBackend {
                 .map_err(|e| StorageError::new(format!("free page {id}: {e}")))?;
         }
         Ok(())
+    }
+
+    fn shrink_free_tail(&self) -> Result<u64> {
+        // The append lock keeps a concurrent append from being handed a slot
+        // this truncation is about to cut off.
+        let _guard = self.append_lock.lock();
+        let mut free = self.free.lock();
+        let mut next = self.next_id.load(Ordering::SeqCst);
+        let mut released = 0u64;
+        while let Some(&last) = free.last() {
+            if last + 1 != next {
+                break;
+            }
+            free.remove(&last);
+            next -= 1;
+            released += 1;
+        }
+        if released > 0 {
+            self.file
+                .set_len(next * self.page_size as u64)
+                .map_err(|e| StorageError::new(format!("truncate page file: {e}")))?;
+            self.next_id.store(next, Ordering::SeqCst);
+        }
+        Ok(released)
     }
 
     fn sync(&self) -> Result<()> {
@@ -323,6 +428,88 @@ mod tests {
         assert_eq!(*backend.read_page(id).unwrap(), Vec::<u8>::new());
         // Freeing unknown ids is a no-op, not an error.
         backend.free_pages(&[55]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_backend_reuses_freed_slots() {
+        let backend = MemoryBackend::new(256);
+        let ids: Vec<_> = (0..4)
+            .map(|i| backend.append_page(vec![i as u8; 8]).unwrap())
+            .collect();
+        backend.free_pages(&[ids[1], ids[2]]).unwrap();
+        assert_eq!(backend.free_page_count(), 2);
+        // Double-free is a no-op.
+        backend.free_pages(&[ids[1]]).unwrap();
+        assert_eq!(backend.free_page_count(), 2);
+        // Reuse lowest id first; the backend does not grow.
+        assert_eq!(backend.append_page(vec![9u8; 8]).unwrap(), ids[1]);
+        assert_eq!(backend.append_page(vec![8u8; 8]).unwrap(), ids[2]);
+        assert_eq!(backend.page_count(), 4);
+        assert_eq!(backend.free_page_count(), 0);
+        assert_eq!(*backend.read_page(ids[1]).unwrap(), vec![9u8; 8]);
+        // Free list drained: the next append grows again.
+        assert_eq!(backend.append_page(vec![7u8; 8]).unwrap(), 4);
+    }
+
+    #[test]
+    fn file_backend_reuses_freed_slots() {
+        let path = temp_path("reuse.pages");
+        let _ = std::fs::remove_file(&path);
+        let backend = FileBackend::open(&path, 128).unwrap();
+        let ids: Vec<_> = (0..3)
+            .map(|i| backend.append_page(vec![i as u8; 32]).unwrap())
+            .collect();
+        backend.free_pages(&[ids[0]]).unwrap();
+        assert_eq!(backend.free_page_count(), 1);
+        let reused = backend.append_page(vec![0xAB; 32]).unwrap();
+        assert_eq!(reused, ids[0], "freed slot is reused");
+        assert_eq!(backend.page_count(), 3, "the file did not grow");
+        assert_eq!(*backend.read_page(reused).unwrap(), vec![0xAB; 32]);
+        // The other pages are untouched.
+        assert_eq!(*backend.read_page(ids[1]).unwrap(), vec![1u8; 32]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_backend_shrinks_its_free_tail() {
+        let backend = MemoryBackend::new(256);
+        let ids: Vec<_> = (0..5)
+            .map(|i| backend.append_page(vec![i as u8; 8]).unwrap())
+            .collect();
+        // A hole below the tail blocks nothing above it from going away.
+        backend.free_pages(&[ids[1], ids[3], ids[4]]).unwrap();
+        assert_eq!(backend.shrink_free_tail().unwrap(), 2);
+        assert_eq!(backend.page_count(), 3);
+        assert_eq!(backend.free_page_count(), 1, "the hole at 1 stays");
+        assert_eq!(*backend.read_page(ids[2]).unwrap(), vec![2u8; 8]);
+        // Nothing left to release.
+        assert_eq!(backend.shrink_free_tail().unwrap(), 0);
+        // The next appends refill the hole, then grow from the new tail.
+        assert_eq!(backend.append_page(vec![9u8; 8]).unwrap(), ids[1]);
+        assert_eq!(backend.append_page(vec![9u8; 8]).unwrap(), 3);
+    }
+
+    #[test]
+    fn file_backend_shrinks_its_free_tail() {
+        let path = temp_path("shrink.pages");
+        let _ = std::fs::remove_file(&path);
+        let backend = FileBackend::open(&path, 128).unwrap();
+        let ids: Vec<_> = (0..4)
+            .map(|i| backend.append_page(vec![i as u8; 32]).unwrap())
+            .collect();
+        backend.free_pages(&[ids[2], ids[3]]).unwrap();
+        assert_eq!(backend.shrink_free_tail().unwrap(), 2);
+        assert_eq!(backend.page_count(), 2);
+        assert_eq!(backend.free_page_count(), 0);
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, 2 * 128, "the page file physically shrank");
+        assert_eq!(*backend.read_page(ids[1]).unwrap(), vec![1u8; 32]);
+        assert!(backend.read_page(ids[3]).is_err(), "truncated slot is gone");
+        // A reopen agrees with the truncated geometry.
+        drop(backend);
+        let backend = FileBackend::open(&path, 128).unwrap();
+        assert_eq!(backend.page_count(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

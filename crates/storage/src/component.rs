@@ -19,14 +19,19 @@
 //!
 //! ## The cursor protocol
 //!
-//! Reads are *pull-based*: a cursor decodes **one leaf at a time** (one row
-//! page, one APAX page, or one AMAX mega leaf) into a small entry buffer and
-//! hands entries out in key order. No page is read — and no column is
-//! assembled (via [`columnar::ColumnCursor`] / [`columnar::Assembler`]) —
-//! before the consumer actually pulls past the previous leaf, so dropping a
-//! cursor early (a `LIMIT`, a short-circuiting merge) leaves the remaining
-//! leaves untouched and unread, which the [`crate::pagestore::IoStats`]
-//! counters make observable. Two front ends share the implementation:
+//! Reads are *pull-based*: a cursor loads **one leaf at a time** (one row
+//! page, one APAX page, or one AMAX mega leaf) and hands entries out in key
+//! order. No page is read before the consumer pulls past the previous leaf,
+//! so dropping a cursor early (a `LIMIT`, a short-circuiting merge) leaves
+//! the remaining leaves untouched and unread. For **columnar** leaves,
+//! record assembly is itself lazy: loading a leaf decodes only the key
+//! column; [`ComponentCursor::peek_key`] exposes the next key without
+//! assembling anything, and [`ComponentCursor::skip_entry`] batch-advances
+//! every column cursor past a record (§4.4's skipping) so entries shadowed
+//! by newer components are never decoded into documents. Both the page reads
+//! and the per-record assembly are observable through the
+//! [`crate::pagestore::IoStats`] counters (`pages_read`,
+//! `records_assembled`). Two front ends share the implementation:
 //!
 //! * [`ComponentScan`] borrows the component (`ComponentReader::scan`) —
 //!   used where the caller already holds the component;
@@ -227,7 +232,9 @@ pub struct Component {
 impl Drop for Component {
     fn drop(&mut self) {
         if *self.free_on_drop.get_mut() {
-            self.cache.store().free_pages(&self.meta.pages);
+            // Free through the cache so cached copies of these ids are
+            // evicted before the store recycles the slots for new pages.
+            self.cache.free_pages(&self.meta.pages);
         }
     }
 }
@@ -505,20 +512,19 @@ impl Component {
         })
     }
 
-    fn assemble_leaf(
+    /// Decode the column chunks of one columnar leaf (APAX page or AMAX mega
+    /// leaf), restricted to `columns` (`None` = all). The key column is
+    /// always included.
+    fn decode_chunks(
         &self,
         leaf: &LeafRef,
         columns: Option<&[ColumnId]>,
-    ) -> Result<Vec<Entry>> {
+    ) -> Result<Vec<columnar::ColumnChunk>> {
         match self.config.layout {
-            LayoutKind::Open | LayoutKind::Vb => {
-                let payload = self.read_payload(leaf.page)?;
-                rowpage::decode_row_page(&payload)
-            }
             LayoutKind::Apax => {
                 let payload = self.read_payload(leaf.page)?;
                 let (_, chunks) = apax::decode_apax_columns(&payload, &self.specs, columns)?;
-                self.assemble_chunks(chunks, leaf.record_count)
+                Ok(chunks)
             }
             LayoutKind::Amax => {
                 let page0 = self.read_payload(leaf.page)?;
@@ -546,7 +552,68 @@ impl Component {
                     })?;
                     chunks.push(chunk);
                 }
+                Ok(chunks)
+            }
+            LayoutKind::Open | LayoutKind::Vb => {
+                Err(DecodeError::new("row layouts have no column chunks"))
+            }
+        }
+    }
+
+    fn assemble_leaf(
+        &self,
+        leaf: &LeafRef,
+        columns: Option<&[ColumnId]>,
+    ) -> Result<Vec<Entry>> {
+        match self.config.layout {
+            LayoutKind::Open | LayoutKind::Vb => {
+                let payload = self.read_payload(leaf.page)?;
+                let entries = rowpage::decode_row_page(&payload)?;
+                self.cache
+                    .store()
+                    .note_records_assembled(entries.len() as u64);
+                Ok(entries)
+            }
+            LayoutKind::Apax | LayoutKind::Amax => {
+                let chunks = self.decode_chunks(leaf, columns)?;
                 self.assemble_chunks(chunks, leaf.record_count)
+            }
+        }
+    }
+
+    /// Load one leaf into a cursor buffer. Row layouts materialise every
+    /// entry (the page decode does that anyway); columnar layouts decode only
+    /// the key column eagerly and defer record assembly, so a reconciling
+    /// merge can batch-skip shadowed entries via
+    /// [`columnar::ColumnCursor::skip_records`] without ever assembling them
+    /// (§4.4).
+    fn load_leaf(&self, leaf: &LeafRef, columns: Option<&[ColumnId]>) -> Result<LeafBuffer> {
+        match self.config.layout {
+            LayoutKind::Open | LayoutKind::Vb => {
+                let payload = self.read_payload(leaf.page)?;
+                let entries = rowpage::decode_row_page(&payload)?;
+                self.cache
+                    .store()
+                    .note_records_assembled(entries.len() as u64);
+                Ok(LeafBuffer::Rows(entries.into()))
+            }
+            LayoutKind::Apax | LayoutKind::Amax => {
+                let chunks = self.decode_chunks(leaf, columns)?;
+                let keys = chunks
+                    .iter()
+                    .find(|c| c.spec.is_key)
+                    .cloned()
+                    .ok_or_else(|| DecodeError::new("component page lacks the key column"))?;
+                let cursors: Vec<ColumnCursor> = chunks
+                    .into_iter()
+                    .map(|c| ColumnCursor::new(Arc::new(c)))
+                    .collect();
+                Ok(LeafBuffer::Lazy(Box::new(LazyLeaf {
+                    keys,
+                    assembler: Assembler::new(&self.schema, cursors, leaf.record_count),
+                    pos: 0,
+                    count: leaf.record_count,
+                })))
             }
         }
     }
@@ -572,6 +639,7 @@ impl Component {
             let is_antimatter = key_chunk.defs[i] == 0;
             out.push((key, if is_antimatter { None } else { Some(doc) }));
         }
+        self.cache.store().note_records_assembled(count as u64);
         Ok(out)
     }
 }
@@ -609,13 +677,48 @@ impl ComponentReader for Component {
     }
 }
 
+/// The resident leaf of a component cursor.
+///
+/// Row layouts hold the decoded entries; columnar layouts hold the decoded
+/// key column plus a positioned [`Assembler`], so the records of the leaf
+/// are assembled (or batch-skipped) one at a time as the consumer pulls.
+enum LeafBuffer {
+    /// Row layouts: the page decode materialises every entry anyway.
+    Rows(VecDeque<Entry>),
+    /// Columnar layouts: keys decoded, record assembly deferred (boxed: the
+    /// assembler plus key chunk dwarf the row variant).
+    Lazy(Box<LazyLeaf>),
+}
+
+/// A columnar leaf whose records have not (all) been assembled yet.
+struct LazyLeaf {
+    /// The decoded key column: one definition level and one value per entry,
+    /// including anti-matter (the key column stores the deleted key at
+    /// definition level 0, §3.2.3).
+    keys: columnar::ColumnChunk,
+    assembler: Assembler,
+    /// Next record position within the leaf.
+    pos: usize,
+    /// Total records in the leaf.
+    count: usize,
+}
+
+impl LeafBuffer {
+    fn remaining(&self) -> usize {
+        match self {
+            LeafBuffer::Rows(buffer) => buffer.len(),
+            LeafBuffer::Lazy(leaf) => leaf.count - leaf.pos,
+        }
+    }
+}
+
 /// The shared position of a component cursor: the next leaf to decode and
-/// the entries of the current leaf not yet handed out. One leaf is resident
-/// at a time — the memory bound of the cursor protocol.
+/// the not-yet-consumed part of the current leaf. One leaf is resident at a
+/// time — the memory bound of the cursor protocol.
 struct CursorState {
     columns: Option<Vec<ColumnId>>,
     next_leaf: usize,
-    buffer: VecDeque<Entry>,
+    leaf: Option<LeafBuffer>,
 }
 
 impl CursorState {
@@ -623,25 +726,89 @@ impl CursorState {
         CursorState {
             columns: component.projection_columns(projection),
             next_leaf: 0,
-            buffer: VecDeque::new(),
+            leaf: None,
         }
     }
 
-    fn next(&mut self, component: &Component) -> Option<Result<Entry>> {
+    /// Make the current leaf buffer hold at least one unconsumed entry,
+    /// loading the next leaf when the current one is drained. `None` = the
+    /// component is exhausted.
+    fn ensure_leaf(&mut self, component: &Component) -> Option<Result<&mut LeafBuffer>> {
         loop {
-            if let Some(entry) = self.buffer.pop_front() {
-                return Some(Ok(entry));
+            if self.leaf.as_ref().is_some_and(|l| l.remaining() > 0) {
+                return Some(Ok(self.leaf.as_mut().expect("leaf checked above")));
             }
             if self.next_leaf >= component.leaves.len() {
+                self.leaf = None;
                 return None;
             }
             let leaf = &component.leaves[self.next_leaf];
             self.next_leaf += 1;
-            match component.assemble_leaf(leaf, self.columns.as_deref()) {
-                Ok(entries) => self.buffer.extend(entries),
+            match component.load_leaf(leaf, self.columns.as_deref()) {
+                Ok(buffer) => self.leaf = Some(buffer),
                 Err(e) => return Some(Err(e)),
             }
         }
+    }
+
+    fn next(&mut self, component: &Component) -> Option<Result<Entry>> {
+        let buffer = match self.ensure_leaf(component)? {
+            Ok(buffer) => buffer,
+            Err(e) => return Some(Err(e)),
+        };
+        match buffer {
+            LeafBuffer::Rows(rows) => rows.pop_front().map(Ok),
+            LeafBuffer::Lazy(leaf) => {
+                let doc = match leaf
+                    .assembler
+                    .next_record()
+                    .unwrap_or_else(|| Err(DecodeError::new("assembler ended early")))
+                {
+                    Ok(doc) => doc,
+                    Err(e) => return Some(Err(e)),
+                };
+                let key = leaf.keys.values.get(leaf.pos);
+                let is_antimatter = leaf.keys.defs[leaf.pos] == 0;
+                leaf.pos += 1;
+                component.cache.store().note_records_assembled(1);
+                Some(Ok((key, if is_antimatter { None } else { Some(doc) })))
+            }
+        }
+    }
+
+    /// The next entry's key, without assembling the record.
+    fn peek_key(&mut self, component: &Component) -> Option<Result<Value>> {
+        let buffer = match self.ensure_leaf(component)? {
+            Ok(buffer) => buffer,
+            Err(e) => return Some(Err(e)),
+        };
+        match buffer {
+            LeafBuffer::Rows(rows) => rows.front().map(|(key, _)| Ok(key.clone())),
+            LeafBuffer::Lazy(leaf) => Some(Ok(leaf.keys.values.get(leaf.pos))),
+        }
+    }
+
+    /// Drop the next entry without assembling it: every column cursor of a
+    /// lazy leaf skips the record's entries in one batched advance
+    /// ([`columnar::ColumnCursor::skip_records`]) — values are never decoded
+    /// into a document. Row layouts just discard the already-decoded entry.
+    fn skip_entry(&mut self, component: &Component) {
+        let Some(Ok(buffer)) = self.ensure_leaf(component) else {
+            return;
+        };
+        match buffer {
+            LeafBuffer::Rows(rows) => {
+                rows.pop_front();
+            }
+            LeafBuffer::Lazy(leaf) => {
+                leaf.assembler.skip_records(1);
+                leaf.pos += 1;
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.leaf.as_ref().map_or(0, LeafBuffer::remaining)
     }
 }
 
@@ -669,10 +836,28 @@ pub struct ComponentCursor {
 }
 
 impl ComponentCursor {
-    /// Entries decoded from the current leaf but not yet consumed — the
+    /// Entries resident from the current leaf but not yet consumed — the
     /// cursor's live memory footprint, in records. At most one leaf's worth.
     pub fn buffered(&self) -> usize {
-        self.state.buffer.len()
+        self.state.buffered()
+    }
+
+    /// The next entry's key without assembling the record (or decoding any
+    /// non-key column value, for columnar layouts). `None` = exhausted.
+    ///
+    /// Repeated calls return the same key until [`Iterator::next`] or
+    /// [`ComponentCursor::skip_entry`] consumes the entry. This is the hook
+    /// the LSM merge-reconcile cursor uses to detect shadowed entries before
+    /// paying for their assembly.
+    pub fn peek_key(&mut self) -> Option<Result<Value>> {
+        self.state.peek_key(&self.component)
+    }
+
+    /// Consume the next entry without assembling it (§4.4's batched skip:
+    /// every column cursor of the leaf advances past the record in one go,
+    /// no value is decoded into a document). No-op when exhausted.
+    pub fn skip_entry(&mut self) {
+        self.state.skip_entry(&self.component)
     }
 }
 
@@ -1198,6 +1383,48 @@ mod tests {
                 doc.get_field("tags"),
                 Some(&Value::Array(Vec::new())),
                 "{layout:?}: empty array preserved once the column exists"
+            );
+        }
+    }
+
+    /// §4.4's batched skip: peeking keys and skipping entries on a columnar
+    /// cursor must not assemble the skipped records — only the pulled ones
+    /// count in [`crate::pagestore::IoStats::records_assembled`].
+    #[test]
+    fn skipping_columnar_entries_avoids_assembly() {
+        let entries = records(1000);
+        let schema = schema_for(&entries);
+        for layout in [LayoutKind::Apax, LayoutKind::Amax] {
+            let cache = small_cache();
+            let mut config = ComponentConfig::new(layout);
+            config.amax.record_limit = 256;
+            let comp = std::sync::Arc::new(
+                Component::write(&cache, &config, schema.clone(), &entries, 1).unwrap(),
+            );
+
+            cache.store().reset_stats();
+            let mut cursor = comp.cursor(None);
+            let mut assembled = 0usize;
+            let mut seen = 0usize;
+            while let Some(key) = cursor.peek_key() {
+                let key = key.unwrap();
+                // Peeking alone assembles nothing.
+                assert_eq!(key, Value::Int(seen as i64), "{layout:?}");
+                if seen.is_multiple_of(2) {
+                    let (k, doc) = cursor.next().unwrap().unwrap();
+                    assert_eq!(k, key, "{layout:?}");
+                    assert!(doc.is_some(), "{layout:?}");
+                    assembled += 1;
+                } else {
+                    cursor.skip_entry();
+                }
+                seen += 1;
+            }
+            assert_eq!(seen, 1000, "{layout:?}");
+            assert_eq!(
+                cache.store().stats().records_assembled,
+                assembled as u64,
+                "{layout:?}: skipped entries must not be assembled"
             );
         }
     }

@@ -50,6 +50,11 @@ pub struct IoStats {
     pub bytes_written: u64,
     /// Reads satisfied by the buffer cache.
     pub cache_hits: u64,
+    /// Records materialised from stored pages (row-page decodes plus
+    /// column-chunk assemblies). Scans that batch-skip shadowed entries
+    /// (§4.4) assemble fewer records than they visit, and this counter is
+    /// how tests observe the difference.
+    pub records_assembled: u64,
 }
 
 /// A store of fixed-size pages: explicit read/write calls, atomic
@@ -67,6 +72,7 @@ struct PageStoreInner {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
+    records_assembled: AtomicU64,
 }
 
 impl PageStore {
@@ -91,6 +97,7 @@ impl PageStore {
                 bytes_read: AtomicU64::new(0),
                 bytes_written: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
+                records_assembled: AtomicU64::new(0),
             }),
         }
     }
@@ -114,12 +121,22 @@ impl PageStore {
         self.inner.backend.max_payload()
     }
 
-    /// Number of pages allocated so far.
+    /// Number of page slots allocated so far (live pages plus free-listed
+    /// slots). This is the physical size of the backing storage in pages:
+    /// with freed-slot reuse it tracks the high-water mark of live data
+    /// rather than growing monotonically.
     pub fn page_count(&self) -> u64 {
         self.inner.backend.page_count()
     }
 
-    /// Total allocated bytes (pages × page size).
+    /// Number of allocated slots currently on the free list (dead space a
+    /// later append will reuse).
+    pub fn free_page_count(&self) -> u64 {
+        self.inner.backend.free_page_count()
+    }
+
+    /// Total allocated bytes (page slots × page size) — the physical
+    /// footprint, including free-listed slots awaiting reuse.
     pub fn allocated_bytes(&self) -> u64 {
         self.page_count() * self.page_size() as u64
     }
@@ -166,13 +183,22 @@ impl PageStore {
     }
 
     /// Drop the contents of the given pages (used when an LSM merge deletes
-    /// its input components). Freed pages keep their ids but release their
-    /// bytes.
+    /// its input components). The slots go on the backend's free list and
+    /// may be reused by a later append. Callers holding a [`BufferCache`]
+    /// over this store must free through [`BufferCache::free_pages`] instead
+    /// so cached copies of the dead ids are evicted before reuse.
     pub fn free_pages(&self, ids: &[PageId]) {
         self.inner
             .backend
             .free_pages(ids)
             .expect("freeing pages failed");
+    }
+
+    /// Release the contiguous run of trailing free slots back to the
+    /// operating system (truncating the page file). Returns how many slots
+    /// went away. See [`StorageBackend::shrink_free_tail`].
+    pub fn shrink_free_tail(&self) -> Result<u64> {
+        self.inner.backend.shrink_free_tail()
     }
 
     /// Flush written pages to durable storage (no-op for memory backends).
@@ -184,6 +210,13 @@ impl PageStore {
         self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account for `n` records materialised from stored pages (called by the
+    /// component readers when they decode a row page or assemble records
+    /// from column chunks).
+    pub fn note_records_assembled(&self, n: u64) {
+        self.inner.records_assembled.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Snapshot of the accounting counters.
     pub fn stats(&self) -> IoStats {
         IoStats {
@@ -192,6 +225,7 @@ impl PageStore {
             bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            records_assembled: self.inner.records_assembled.load(Ordering::Relaxed),
         }
     }
 
@@ -202,6 +236,7 @@ impl PageStore {
         self.inner.bytes_read.store(0, Ordering::Relaxed);
         self.inner.bytes_written.store(0, Ordering::Relaxed);
         self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.records_assembled.store(0, Ordering::Relaxed);
     }
 }
 
@@ -321,6 +356,21 @@ impl BufferCache {
         self.inner.lock().confiscated
     }
 
+    /// Free pages through the cache: evict any cached copies first, then
+    /// release the slots to the store's free list. This is the only safe
+    /// order once slots are reused — freeing at the store level alone would
+    /// leave stale cache entries that shadow whatever page is written into
+    /// the recycled slot next.
+    pub fn free_pages(&self, ids: &[PageId]) {
+        {
+            let mut inner = self.inner.lock();
+            for id in ids {
+                inner.entries.remove(id);
+            }
+        }
+        self.store.free_pages(ids);
+    }
+
     /// Drop every cached page (used between experiment runs to measure cold
     /// reads).
     pub fn clear(&self) {
@@ -409,6 +459,21 @@ mod tests {
         store.reset_stats();
         cache.read_page(ids[3]);
         assert_eq!(store.stats().pages_read, 0);
+    }
+
+    #[test]
+    fn cache_freeing_evicts_before_slot_reuse() {
+        let store = PageStore::with_page_size(256);
+        let cache = BufferCache::new(store.clone(), 4);
+        let id = cache.append_page(vec![1u8; 16]);
+        assert_eq!(cache.read_page(id)[0], 1);
+        cache.free_pages(&[id]);
+        // The slot is recycled for new contents; the cache must not serve
+        // the stale pre-free copy.
+        let reused = cache.append_page(vec![2u8; 16]);
+        assert_eq!(reused, id, "freed slot is reused");
+        assert_eq!(cache.read_page(reused)[0], 2);
+        assert_eq!(store.free_page_count(), 0);
     }
 
     #[test]

@@ -302,6 +302,27 @@ pub enum EventKind {
         /// Components reloaded from the manifest.
         components: usize,
     },
+    /// Recovery reconciled the page file against the manifest and freed
+    /// slots no live component references (crash-orphaned pages, plus the
+    /// free list the file backend does not persist).
+    OrphanSweep {
+        /// Allocated page slots inspected.
+        scanned: u64,
+        /// Slots freed back onto the free list.
+        freed: u64,
+        /// Trailing freed slots truncated off the page file.
+        truncated: u64,
+    },
+    /// A space-reclamation (GC) pass finished: live pages were relocated
+    /// downward and the dead tail of the page file was truncated.
+    SpaceReclaimed {
+        /// Components rewritten into lower slots.
+        components_rewritten: usize,
+        /// Pages copied to lower slots.
+        pages_moved: u64,
+        /// Page slots released (the page file shrank by this many pages).
+        pages_reclaimed: u64,
+    },
     /// A background worker error was parked (writes will observe it).
     WorkerError {
         /// Display form of the parked error.
@@ -321,6 +342,8 @@ impl EventKind {
             EventKind::WalSegmentsRemoved { .. } => "wal_segments_removed",
             EventKind::ManifestCommit { .. } => "manifest_commit",
             EventKind::RecoveryReplay { .. } => "recovery_replay",
+            EventKind::OrphanSweep { .. } => "orphan_sweep",
+            EventKind::SpaceReclaimed { .. } => "space_reclaimed",
             EventKind::WorkerError { .. } => "worker_error",
         }
     }
@@ -349,6 +372,15 @@ impl EventKind {
                 format!(
                     "recovery: {segments} segments, {records} records replayed, \
                      torn tail healed: {torn_tail_healed}, {components} components reloaded"
+                )
+            }
+            EventKind::OrphanSweep { scanned, freed, truncated } => format!(
+                "orphan sweep: {scanned} slots scanned, {freed} freed, {truncated} truncated"
+            ),
+            EventKind::SpaceReclaimed { components_rewritten, pages_moved, pages_reclaimed } => {
+                format!(
+                    "space reclaimed: {components_rewritten} components rewritten, \
+                     {pages_moved} pages moved, {pages_reclaimed} pages released"
                 )
             }
             EventKind::WorkerError { message } => format!("worker error parked: {message}"),
