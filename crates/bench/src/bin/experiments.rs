@@ -146,6 +146,18 @@ fn main() {
             &run_query_api_comparison(scale),
         );
     }
+    if wanted("server") {
+        let rows = run_server_benchmark(scale);
+        print_matrix(
+            "Server: RESP front-end load generator, connections x pipeline depth",
+            &rows,
+        );
+        let out = std::path::Path::new("BENCH_server.json");
+        match write_measurements_json(out, "server_load", scale, &rows) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
+    }
     if wanted("durability") {
         let records = (3_000_f64 * scale).max(200.0) as usize;
         print_matrix(

@@ -1093,6 +1093,124 @@ pub fn run_compaction_comparison(scale: f64) -> Vec<Measurement> {
 }
 
 // ---------------------------------------------------------------------------
+// Network front-end: RESP wire-protocol load generator.
+// ---------------------------------------------------------------------------
+
+/// Requests each load-generator connection issues per grid cell, before
+/// scaling.
+const SERVER_BENCH_REQUESTS: f64 = 4_000.0;
+
+/// Load-generate the RESP server over localhost TCP: a connections ×
+/// pipeline-depth grid ({1, 8} × {1, 16}) at a 70% GET / 30% SET mix over a
+/// preloaded keyspace. Each cell starts a fresh in-memory server, preloads
+/// the keys with group-committed `MSET` batches, then hammers it with one
+/// client thread per connection; per-burst round-trip latency goes into a
+/// shared [`telemetry::Histogram`] and the cell reports throughput plus
+/// p50/p95/p99 (per burst — at depth 1 that is per request).
+///
+/// Self-asserting: every reply is checked (`+OK` for writes, a bulk
+/// document for reads — the keyspace is fully preloaded so misses are
+/// bugs), and the server's own `server.*` counters must agree exactly with
+/// the client-side issue counts.
+pub fn run_server_benchmark(scale: f64) -> Vec<Measurement> {
+    use std::sync::Arc;
+
+    use server::{CommandKind, RespClient, Server, ServerConfig};
+    use telemetry::Histogram;
+
+    let keyspace = ((2_000.0 * scale) as i64).max(200);
+    // A multiple of the deepest pipeline so every burst is full.
+    let requests_per_conn = (((SERVER_BENCH_REQUESTS * scale) as usize).max(320) / 16) * 16;
+    let grid = [(1usize, 1usize), (1, 16), (8, 1), (8, 16)];
+
+    let doc = |key: i64| format!(r#"{{"num": {}, "nested": {{"tag": "t{}"}}}}"#, key % 977, key % 13);
+    let mut out = Vec::new();
+    for (connections, depth) in grid {
+        let handle = Server::start(ServerConfig { shards: 4, ..ServerConfig::default() })
+            .expect("start server");
+
+        // Preload the whole keyspace so every GET hits.
+        let mut admin = RespClient::connect(handle.addr()).expect("connect");
+        for chunk in (0..keyspace).collect::<Vec<_>>().chunks(128) {
+            let pairs: Vec<(String, String)> =
+                chunk.iter().map(|&k| (k.to_string(), doc(k))).collect();
+            let borrowed: Vec<(&str, &str)> =
+                pairs.iter().map(|(k, d)| (k.as_str(), d.as_str())).collect();
+            let reply = admin.mset(&borrowed).expect("preload");
+            assert_eq!(reply.as_integer(), Some(chunk.len() as i64), "preload ack");
+        }
+
+        let latency = Arc::new(Histogram::default());
+        let started = Instant::now();
+        let workers: Vec<_> = (0..connections)
+            .map(|conn| {
+                let addr = handle.addr();
+                let latency = Arc::clone(&latency);
+                std::thread::spawn(move || {
+                    let mut client = RespClient::connect(addr).expect("connect");
+                    let mut sets = 0u64;
+                    let mut gets = 0u64;
+                    let mut burst: Vec<Vec<String>> = Vec::with_capacity(depth);
+                    for i in 0..requests_per_conn {
+                        // Deterministic mix and key choice (Weyl-ish mixing
+                        // so threads don't march in lockstep).
+                        let n = (conn * requests_per_conn + i) as i64;
+                        let key = (n.wrapping_mul(2_654_435_761) as u64 % keyspace as u64) as i64;
+                        if n % 10 < 3 {
+                            sets += 1;
+                            burst.push(vec!["SET".into(), key.to_string(), doc(key)]);
+                        } else {
+                            gets += 1;
+                            burst.push(vec!["GET".into(), key.to_string()]);
+                        }
+                        if burst.len() == depth {
+                            let t = Instant::now();
+                            let replies = client.pipeline(&burst).expect("pipeline");
+                            latency.record(t.elapsed().as_micros() as u64);
+                            for (reply, req) in replies.iter().zip(&burst) {
+                                match req[0].as_str() {
+                                    "SET" => assert_eq!(reply.as_text(), Some("OK"), "{reply:?}"),
+                                    _ => assert!(
+                                        reply.as_text().is_some(),
+                                        "preloaded key missed: {req:?} -> {reply:?}"
+                                    ),
+                                }
+                            }
+                            burst.clear();
+                        }
+                    }
+                    (sets, gets)
+                })
+            })
+            .collect();
+        let mut issued_sets = 0u64;
+        let mut issued_gets = 0u64;
+        for worker in workers {
+            let (sets, gets) = worker.join().expect("load thread");
+            issued_sets += sets;
+            issued_gets += gets;
+        }
+        let elapsed = started.elapsed();
+
+        // The wire-side counters must agree exactly with what we issued.
+        let metrics = handle.metrics();
+        assert_eq!(metrics.requests_for(CommandKind::Set), issued_sets, "SET count");
+        assert_eq!(metrics.requests_for(CommandKind::Get), issued_gets, "GET count");
+
+        let total = (issued_sets + issued_gets) as f64;
+        let snap = latency.snapshot();
+        let row = format!("{connections} conn x {depth} deep");
+        out.push(Measurement::new(&row, "kreq/s", total / elapsed.as_secs_f64() / 1e3, "mixed"));
+        out.push(Measurement::new(&row, "p50_us", snap.quantile(0.50) as f64, "mixed"));
+        out.push(Measurement::new(&row, "p95_us", snap.quantile(0.95) as f64, "mixed"));
+        out.push(Measurement::new(&row, "p99_us", snap.quantile(0.99) as f64, "mixed"));
+        handle.shutdown();
+        handle.join();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Ablations called out in DESIGN.md.
 // ---------------------------------------------------------------------------
 
@@ -1293,6 +1411,25 @@ mod tests {
                 .find(|m| m.row == mode && m.column == "wall")
                 .unwrap_or_else(|| panic!("missing wall measurement for {mode}"));
             assert!(wall.value > 0.0);
+        }
+    }
+
+    #[test]
+    fn server_benchmark_self_asserts_and_reports_the_grid() {
+        // The run itself asserts reply correctness and the exact agreement
+        // between issued and wire-counted requests; here we check the
+        // matrix shape: 4 grid cells x (throughput + 3 percentiles).
+        let rows = run_server_benchmark(0.05);
+        assert_eq!(rows.len(), 4 * 4);
+        for cell in ["1 conn x 1 deep", "1 conn x 16 deep", "8 conn x 1 deep", "8 conn x 16 deep"] {
+            let throughput = rows
+                .iter()
+                .find(|m| m.row == cell && m.column == "kreq/s")
+                .unwrap_or_else(|| panic!("missing throughput for {cell}"));
+            assert!(throughput.value > 0.0);
+            let p50 = rows.iter().find(|m| m.row == cell && m.column == "p50_us").unwrap();
+            let p99 = rows.iter().find(|m| m.row == cell && m.column == "p99_us").unwrap();
+            assert!(p50.value <= p99.value, "{cell}: p50 {} > p99 {}", p50.value, p99.value);
         }
     }
 

@@ -417,7 +417,12 @@ impl ShardedDataset {
             cursors.push(shard.snapshot().cursor(projection)?);
         }
         let heads = cursors.iter().map(|_| None).collect();
-        Ok(DocCursor { cursors, heads })
+        Ok(DocCursor {
+            cursors,
+            heads,
+            projection: projection.map(<[Path]>::to_vec),
+            last_key: None,
+        })
     }
 
     /// Run a query: the planner makes its cost-based access-path choice
@@ -610,9 +615,19 @@ impl ShardedDataset {
 /// per-shard snapshot cursors, k-way merged by primary key. Fully owned —
 /// the underlying snapshots pin their components, so flushes and merges
 /// racing the iteration never disturb it. See [`ShardedDataset::cursor`].
+///
+/// The pinned snapshots keep retired components (and their pages) alive for
+/// as long as the cursor exists; an iteration that pauses for a long time —
+/// a network client draining a `SCAN` in chunks — can call
+/// [`DocCursor::refresh`] between chunks to trade snapshot stability for
+/// bounded staleness.
 pub struct DocCursor {
     cursors: Vec<lsm::ScanCursor>,
     heads: Vec<Option<(Value, Value)>>,
+    /// The projection the cursor was opened with (re-applied on refresh).
+    projection: Option<Vec<Path>>,
+    /// The last key yielded by `next()` — where a refresh resumes from.
+    last_key: Option<Value>,
 }
 
 impl DocCursor {
@@ -620,6 +635,44 @@ impl DocCursor {
     /// cursor so far — the streaming scan's peak memory, in records.
     pub fn peak_buffered(&self) -> usize {
         self.cursors.iter().map(lsm::ScanCursor::peak_buffered).sum()
+    }
+
+    /// Re-pin the cursor on **fresh** per-shard snapshots of `dataset` and
+    /// resume just past the last key already yielded.
+    ///
+    /// A `DocCursor` pins one snapshot per shard for its whole lifetime, so
+    /// components retired by merges while the iteration is paused cannot
+    /// release their pages until the cursor drops. Long chunked streams
+    /// (the RESP server's `SCAN`) call this between chunks: the old
+    /// snapshots are released, new ones are pinned, and the stream resumes
+    /// at the smallest live key greater than the last one delivered.
+    ///
+    /// Semantics change from *snapshot-stable* to *bounded-staleness*: keys
+    /// not yet reached reflect writes that happened since the cursor was
+    /// opened (updates are seen, deleted keys disappear, new keys appear) —
+    /// but the stream stays strictly key-ascending and never repeats or
+    /// skips a live key. The skip to the resume point is key-only: no
+    /// record in the already-delivered prefix is re-assembled.
+    ///
+    /// `dataset` must be the dataset the cursor was opened on (same shard
+    /// count and hash routing); passing another one gives meaningless
+    /// results.
+    pub fn refresh(&mut self, dataset: &ShardedDataset) -> Result<()> {
+        let projection = self.projection.as_deref();
+        let mut cursors = Vec::with_capacity(dataset.shards.len());
+        for shard in &dataset.shards {
+            let mut cursor = shard.snapshot().cursor(projection)?;
+            if let Some(last) = &self.last_key {
+                cursor.skip_to(last)?;
+            }
+            cursors.push(cursor);
+        }
+        // Buffered heads are intentionally discarded: they were never
+        // yielded, and the fresh cursors (skipped just past `last_key`)
+        // re-deliver their keys' newest versions.
+        self.heads = cursors.iter().map(|_| None).collect();
+        self.cursors = cursors;
+        Ok(())
     }
 
     fn fill_heads(&mut self) -> Result<()> {
@@ -657,7 +710,9 @@ impl Iterator for DocCursor {
             }
         }
         let best = best?;
-        Some(Ok(self.heads[best].take().expect("best head present")))
+        let entry = self.heads[best].take().expect("best head present");
+        self.last_key = Some(entry.0.clone());
+        Some(Ok(entry))
     }
 }
 
@@ -1300,6 +1355,57 @@ mod tests {
         assert_eq!(key, Value::Int(0));
         assert!(doc.get_field("size").is_some());
         assert!(doc.get_field("kind").is_none(), "unprojected column absent");
+    }
+
+    #[test]
+    fn cursor_refresh_resumes_past_delivered_prefix_with_fresh_state() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "stream",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(3),
+            )
+            .unwrap();
+        let docs: Vec<Value> = (0..300i64).map(|i| doc!({"id": i, "v": i})).collect();
+        store.ingest_parallel("stream", docs).unwrap();
+        store.flush("stream").unwrap();
+
+        let ds = store.dataset("stream").unwrap();
+        let mut cursor = ds.cursor(None).unwrap();
+        let first: Vec<i64> = cursor
+            .by_ref()
+            .take(100)
+            .map(|e| e.unwrap().0.as_int().unwrap())
+            .collect();
+        assert_eq!(first, (0..100).collect::<Vec<i64>>());
+
+        // Mutate the dataset while the cursor is paused: update a key in the
+        // undelivered region, delete another, append new tail keys, and
+        // compact so the original components are retired.
+        ds.insert(doc!({"id": (150i64), "v": (-1i64)})).unwrap();
+        ds.delete(Value::Int(200)).unwrap();
+        ds.insert(doc!({"id": (300i64), "v": (300i64)})).unwrap();
+        store.compact("stream").unwrap();
+
+        // Without refresh the pinned snapshots would still show the old
+        // state; after refresh the continuation reflects it, resumes
+        // strictly after key 99, and stays ascending and duplicate-free.
+        cursor.refresh(ds).unwrap();
+        let rest: Vec<(i64, i64)> = cursor
+            .map(|e| {
+                let (k, d) = e.unwrap();
+                (k.as_int().unwrap(), d.get_field("v").unwrap().as_int().unwrap())
+            })
+            .collect();
+        let keys: Vec<i64> = rest.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<i64> =
+            (100..=300).filter(|k| *k != 200).collect();
+        assert_eq!(keys, expected);
+        let updated = rest.iter().find(|(k, _)| *k == 150).unwrap();
+        assert_eq!(updated.1, -1, "refresh must surface the post-pause update");
     }
 
     #[test]

@@ -427,6 +427,31 @@ impl EntryMergeCursor {
         self.peak_buffered
     }
 
+    /// Advance every source past all entries with key `<= bound` **without
+    /// assembling them**: only key columns are decoded and each shadowed
+    /// entry is batch-skipped at the column-cursor level, exactly like a
+    /// reconciliation loser (§4.4). After the call, the cursor's next entry
+    /// is the smallest key strictly greater than `bound`.
+    ///
+    /// This is what lets a long-running scan be *re-pinned* on a fresh
+    /// snapshot mid-stream (bounded staleness): rebuild the cursor, then
+    /// `skip_to` the last key already delivered. Cost is proportional to the
+    /// skipped prefix's key columns, not to record assembly.
+    pub fn skip_to(&mut self, bound: &Value) -> Result<()> {
+        for source in &mut self.sources {
+            loop {
+                source.fill_key()?;
+                match &source.head_key {
+                    Some(key) if total_cmp(key, bound) != std::cmp::Ordering::Greater => {
+                        source.skip_entry();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn advance(&mut self) -> Result<Option<Entry>> {
         // Fill every head key, then account the buffered high-water mark.
         for source in &mut self.sources {
@@ -487,6 +512,13 @@ impl ScanCursor {
     /// sources so far (see [`EntryMergeCursor::peak_buffered`]).
     pub fn peak_buffered(&self) -> usize {
         self.inner.peak_buffered()
+    }
+
+    /// Skip (without assembling) every entry with key `<= bound`; the next
+    /// yielded record is the smallest live key strictly greater than
+    /// `bound`. See [`EntryMergeCursor::skip_to`].
+    pub fn skip_to(&mut self, bound: &Value) -> Result<()> {
+        self.inner.skip_to(bound)
     }
 }
 

@@ -1,0 +1,96 @@
+//! The `server` binary: serve a document store over RESP/TCP.
+//!
+//! ```text
+//! server [--addr HOST:PORT] [--dataset NAME] [--layout open|vb|apax|amax]
+//!        [--shards N] [--dir PATH] [--max-conns N] [--background]
+//!        [--sync-every N]
+//! ```
+//!
+//! Without `--dir` the store is in-memory (useful for benchmarks); with it,
+//! the dataset is durable and reopened across restarts. The process runs
+//! until a client sends `SHUTDOWN`, then drains connections, syncs the
+//! store, and exits.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use docstore::Layout;
+use server::{Server, ServerConfig};
+
+fn usage() -> &'static str {
+    "usage: server [--addr HOST:PORT] [--dataset NAME] [--layout open|vb|apax|amax]\n\
+     \x20             [--shards N] [--dir PATH] [--max-conns N] [--background]\n\
+     \x20             [--sync-every N]"
+}
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig { addr: "127.0.0.1:6399".to_string(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--dataset" => config.dataset = value("--dataset")?,
+            "--layout" => {
+                config.layout = match value("--layout")?.to_ascii_lowercase().as_str() {
+                    "open" => Layout::Open,
+                    "vb" => Layout::Vb,
+                    "apax" => Layout::Apax,
+                    "amax" => Layout::Amax,
+                    other => return Err(format!("unknown layout '{other}'")),
+                }
+            }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs an integer".to_string())?
+            }
+            "--dir" => config.durability_dir = Some(PathBuf::from(value("--dir")?)),
+            "--max-conns" => {
+                config.max_connections = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| "--max-conns needs an integer".to_string())?
+            }
+            "--background" => config.background = true,
+            "--sync-every" => {
+                config.sync_every = value("--sync-every")?
+                    .parse()
+                    .map_err(|_| "--sync-every needs an integer".to_string())?
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let durable = config.durability_dir.is_some();
+    let handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on {} ({}); send SHUTDOWN to stop",
+        handle.addr(),
+        if durable { "durable" } else { "in-memory" }
+    );
+    handle.join();
+    println!("drained and synced, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,347 @@
+//! The `QUERY` command's wire encoding: a JSON document describing a
+//! [`query::Query`], parsed with the store's own JSON parser.
+//!
+//! ## Spec grammar
+//!
+//! ```json
+//! {
+//!   "select": [ {"agg": "count"},
+//!               {"agg": "max", "path": "score"},
+//!               {"agg": "avg", "path": "likes", "on_element": true} ],
+//!   "filter": EXPR,
+//!   "unnest": "games",
+//!   "group_by": "user.name",
+//!   "group_by_element": false,
+//!   "order_desc_by": 0,
+//!   "order_by_key": false,
+//!   "limit": 10,
+//!   "mode": "compiled"
+//! }
+//! ```
+//!
+//! `select` is either a list of aggregate objects (`agg` ∈ `count`,
+//! `count_non_null`, `max`, `min`, `sum`, `avg`, `max_length`; all but
+//! `count` take a `path`) or a list of plain path strings — the raw-column
+//! projection form (`SELECT p1, p2 ...`, one row per matching record).
+//! Every other field is optional; `mode` defaults to `compiled`.
+//!
+//! `EXPR` is a predicate tree:
+//!
+//! ```json
+//! {"and": [EXPR, ...]}                          {"or": [EXPR, ...]}
+//! {"not": EXPR}                                 {"exists": "path"}
+//! {"eq|lt|le|gt|ge": {"path": "p", "value": V}}
+//! {"between": {"path": "p", "lo": V, "hi": V}}
+//! {"contains": {"path": "tags", "value": V}}
+//! {"length": {"path": "p", "op": "le", "len": 5}}
+//! ```
+//!
+//! where `V` is any JSON scalar. Parse errors come back as wire error
+//! frames with the offending fragment named.
+
+use docmodel::{Path, Value};
+use query::{Aggregate, CmpOp, ExecMode, Expr, Query};
+
+/// Parse a `QUERY` spec document into a logical plan and execution mode.
+pub fn parse_query_spec(spec: &Value) -> Result<(Query, ExecMode), String> {
+    let fields = spec
+        .as_object()
+        .ok_or_else(|| "query spec must be a JSON object".to_string())?;
+    let mut query = Query::new();
+    let mut mode = ExecMode::Compiled;
+    for (key, value) in fields {
+        match key.as_str() {
+            "select" => parse_select(value, &mut query)?,
+            "filter" => query = query.with_filter(parse_expr(value)?),
+            "unnest" => query = query.with_unnest(path_of(value, "unnest")?),
+            "group_by" => {
+                // group_by_element may have set the flag already; preserve it.
+                let on_element = query.group_on_element;
+                query = query.group_by(path_of(value, "group_by")?);
+                query.group_on_element = on_element;
+            }
+            "group_by_element" => query.group_on_element = bool_of(value, "group_by_element")?,
+            "order_desc_by" => {
+                query = query.order_desc_by(usize_of(value, "order_desc_by")?);
+            }
+            "order_by_key" => {
+                if bool_of(value, "order_by_key")? {
+                    query = query.order_by_key();
+                }
+            }
+            "limit" => query = query.with_limit(usize_of(value, "limit")?),
+            "mode" => {
+                mode = match value.as_str() {
+                    Some("compiled") => ExecMode::Compiled,
+                    Some("interpreted") => ExecMode::Interpreted,
+                    other => {
+                        return Err(format!(
+                            "mode must be \"compiled\" or \"interpreted\", got {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("unknown query spec field '{other}'")),
+        }
+    }
+    Ok((query, mode))
+}
+
+fn parse_select(value: &Value, query: &mut Query) -> Result<(), String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| "select must be an array".to_string())?;
+    if items.is_empty() {
+        return Err("select must not be empty".to_string());
+    }
+    if items.iter().all(|i| i.as_str().is_some()) {
+        // Projection form: plain path strings.
+        query.select_paths = items
+            .iter()
+            .map(|i| Path::parse(i.as_str().expect("checked")))
+            .collect();
+        return Ok(());
+    }
+    for item in items {
+        let fields = item
+            .as_object()
+            .ok_or_else(|| "select entries must all be strings (projection) or all objects (aggregates)".to_string())?;
+        let agg_name = fields
+            .iter()
+            .find(|(k, _)| k == "agg")
+            .and_then(|(_, v)| v.as_str())
+            .ok_or_else(|| "aggregate entry needs an \"agg\" name".to_string())?;
+        let path = fields
+            .iter()
+            .find(|(k, _)| k == "path")
+            .map(|(_, v)| path_of(v, "path"))
+            .transpose()?;
+        let on_element = fields
+            .iter()
+            .find(|(k, _)| k == "on_element")
+            .map(|(_, v)| bool_of(v, "on_element"))
+            .transpose()?
+            .unwrap_or(false);
+        for (key, _) in fields {
+            if !matches!(key.as_str(), "agg" | "path" | "on_element") {
+                return Err(format!("unknown aggregate field '{key}'"));
+            }
+        }
+        let need_path = || {
+            path.clone().ok_or_else(|| format!("aggregate \"{agg_name}\" needs a \"path\""))
+        };
+        let agg = match agg_name {
+            "count" => Aggregate::Count,
+            "count_non_null" => Aggregate::CountNonNull(need_path()?),
+            "max" => Aggregate::Max(need_path()?),
+            "min" => Aggregate::Min(need_path()?),
+            "sum" => Aggregate::Sum(need_path()?),
+            "avg" => Aggregate::Avg(need_path()?),
+            "max_length" => Aggregate::MaxLength(need_path()?),
+            other => return Err(format!("unknown aggregate \"{other}\"")),
+        };
+        if on_element {
+            *query = std::mem::take(query).aggregate_element(agg);
+        } else {
+            *query = std::mem::take(query).aggregate(agg);
+        }
+    }
+    Ok(())
+}
+
+/// Parse one predicate-tree node.
+pub fn parse_expr(value: &Value) -> Result<Expr, String> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| format!("filter node must be an object, got {value}"))?;
+    if fields.len() != 1 {
+        return Err(format!(
+            "filter node must have exactly one operator key, got {} in {value}",
+            fields.len()
+        ));
+    }
+    let (op, body) = &fields[0];
+    match op.as_str() {
+        "and" | "or" => {
+            let items = body
+                .as_array()
+                .ok_or_else(|| format!("\"{op}\" takes an array of filter nodes"))?;
+            let parsed: Result<Vec<Expr>, String> = items.iter().map(parse_expr).collect();
+            let parsed = parsed?;
+            Ok(if op == "and" { Expr::and(parsed) } else { Expr::or(parsed) })
+        }
+        "not" => Ok(Expr::not(parse_expr(body)?)),
+        "exists" => Ok(Expr::exists(path_of(body, "exists")?)),
+        "eq" | "lt" | "le" | "gt" | "ge" => {
+            let (path, cmp_value) = path_value_of(body, op)?;
+            let cmp = match op.as_str() {
+                "eq" => CmpOp::Eq,
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                "gt" => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            Ok(Expr::Cmp { op: cmp, path, value: cmp_value })
+        }
+        "between" => {
+            let path = field_path(body, "path", "between")?;
+            let lo = field_value(body, "lo", "between")?;
+            let hi = field_value(body, "hi", "between")?;
+            Ok(Expr::between(path, lo, hi))
+        }
+        "contains" => {
+            let (path, cmp_value) = path_value_of(body, "contains")?;
+            Ok(Expr::contains(path, cmp_value))
+        }
+        "length" => {
+            let path = field_path(body, "path", "length")?;
+            let len = body
+                .get_field("len")
+                .and_then(Value::as_int)
+                .ok_or_else(|| "\"length\" needs an integer \"len\"".to_string())?;
+            let cmp_name = body
+                .get_field("op")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "\"length\" needs an \"op\"".to_string())?;
+            let cmp = match cmp_name {
+                "eq" => CmpOp::Eq,
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                "gt" => CmpOp::Gt,
+                "ge" => CmpOp::Ge,
+                other => return Err(format!("unknown length op \"{other}\"")),
+            };
+            Ok(Expr::length(path, cmp, len))
+        }
+        other => Err(format!("unknown filter operator \"{other}\"")),
+    }
+}
+
+fn path_of(value: &Value, what: &str) -> Result<Path, String> {
+    value
+        .as_str()
+        .map(Path::parse)
+        .ok_or_else(|| format!("\"{what}\" must be a path string, got {value}"))
+}
+
+fn bool_of(value: &Value, what: &str) -> Result<bool, String> {
+    value
+        .as_bool()
+        .ok_or_else(|| format!("\"{what}\" must be a boolean, got {value}"))
+}
+
+fn usize_of(value: &Value, what: &str) -> Result<usize, String> {
+    value
+        .as_int()
+        .filter(|n| *n >= 0)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("\"{what}\" must be a non-negative integer, got {value}"))
+}
+
+fn field_path(body: &Value, field: &str, op: &str) -> Result<Path, String> {
+    body.get_field(field)
+        .ok_or_else(|| format!("\"{op}\" needs a \"{field}\""))
+        .and_then(|v| path_of(v, field))
+}
+
+fn field_value(body: &Value, field: &str, op: &str) -> Result<Value, String> {
+    body.get_field(field)
+        .cloned()
+        .ok_or_else(|| format!("\"{op}\" needs a \"{field}\""))
+}
+
+fn path_value_of(body: &Value, op: &str) -> Result<(Path, Value), String> {
+    Ok((field_path(body, "path", op)?, field_value(body, "value", op)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docmodel::parse_json;
+
+    fn parse(text: &str) -> Result<(Query, ExecMode), String> {
+        parse_query_spec(&parse_json(text).expect("valid JSON"))
+    }
+
+    #[test]
+    fn aggregate_spec_roundtrips() {
+        let (q, mode) = parse(
+            r#"{"select": [{"agg": "count"}, {"agg": "max", "path": "score"}],
+                "filter": {"and": [{"ge": {"path": "score", "value": 50}},
+                                   {"exists": "user.name"}]},
+                "group_by": "user.name",
+                "order_desc_by": 0,
+                "limit": 3,
+                "mode": "interpreted"}"#,
+        )
+        .unwrap();
+        assert_eq!(mode, ExecMode::Interpreted);
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.group_by, Some(Path::parse("user.name")));
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(q.order_desc_by_agg, Some(0));
+        assert!(q.filter.is_some());
+    }
+
+    #[test]
+    fn projection_spec_roundtrips() {
+        let (q, mode) = parse(
+            r#"{"select": ["name.first", "score"],
+                "filter": {"between": {"path": "score", "lo": 10, "hi": 20}},
+                "order_by_key": true, "limit": 5}"#,
+        )
+        .unwrap();
+        assert_eq!(mode, ExecMode::Compiled);
+        assert_eq!(q.select_paths.len(), 2);
+        assert!(q.order_by_key);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn unnest_and_element_aggregates() {
+        let (q, _) = parse(
+            r#"{"select": [{"agg": "avg", "path": "score", "on_element": true}],
+                "unnest": "games", "group_by": "games", "group_by_element": true}"#,
+        )
+        .unwrap();
+        assert!(q.unnest.is_some());
+        assert!(q.group_on_element);
+        assert!(q.aggregates[0].on_element);
+    }
+
+    #[test]
+    fn every_filter_operator_parses() {
+        for expr in [
+            r#"{"eq": {"path": "a", "value": "x"}}"#,
+            r#"{"lt": {"path": "a", "value": 1}}"#,
+            r#"{"le": {"path": "a", "value": 1.5}}"#,
+            r#"{"gt": {"path": "a", "value": 1}}"#,
+            r#"{"ge": {"path": "a", "value": 1}}"#,
+            r#"{"between": {"path": "a", "lo": 1, "hi": 9}}"#,
+            r#"{"exists": "a.b"}"#,
+            r#"{"contains": {"path": "tags", "value": "x"}}"#,
+            r#"{"length": {"path": "tags", "op": "ge", "len": 2}}"#,
+            r#"{"not": {"exists": "a"}}"#,
+            r#"{"or": [{"exists": "a"}, {"exists": "b"}]}"#,
+        ] {
+            parse_expr(&parse_json(expr).unwrap()).unwrap_or_else(|e| panic!("{expr}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bad_specs_name_the_problem() {
+        for (text, needle) in [
+            (r#"[1]"#, "must be a JSON object"),
+            (r#"{"select": []}"#, "must not be empty"),
+            (r#"{"select": [{"agg": "median", "path": "a"}]}"#, "unknown aggregate"),
+            (r#"{"select": [{"agg": "max"}]}"#, "needs a \"path\""),
+            (r#"{"select": [{"agg": "count"}], "mode": "turbo"}"#, "mode must be"),
+            (r#"{"frobnicate": 1}"#, "unknown query spec field"),
+            (r#"{"select": [{"agg": "count"}], "filter": {"xor": []}}"#, "unknown filter operator"),
+            (r#"{"select": [{"agg": "count"}], "filter": {"eq": {"path": "a"}}}"#, "needs a \"value\""),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+}

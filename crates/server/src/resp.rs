@@ -1,0 +1,488 @@
+//! RESP (REdis Serialization Protocol, v2) framing: an incremental,
+//! allocation-bounded decoder and a frame encoder.
+//!
+//! ## Grammar
+//!
+//! Every frame starts with a one-byte type tag and ends with `\r\n`:
+//!
+//! ```text
+//! frame   = simple | error | integer | bulk | array
+//! simple  = "+" line CRLF                 ; e.g. +OK\r\n
+//! error   = "-" line CRLF                 ; e.g. -ERR unknown command\r\n
+//! integer = ":" [ "-" ] digits CRLF       ; e.g. :1000\r\n
+//! bulk    = "$" length CRLF bytes CRLF    ; e.g. $5\r\nhello\r\n
+//!         | "$-1" CRLF                    ; the null bulk string
+//! array   = "*" count CRLF frame*         ; e.g. *2\r\n$3\r\nfoo\r\n:7\r\n
+//!         | "*-1" CRLF                    ; the null array (decoded as Null)
+//! ```
+//!
+//! Requests are arrays of bulk strings (`SET key value` ⇒
+//! `*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\nvalue\r\n`). As a convenience for
+//! `nc`-style debugging, [`decode_request`] also accepts *inline commands*:
+//! a bare text line is split on whitespace into arguments.
+//!
+//! ## Incremental decoding and robustness
+//!
+//! [`decode`] / [`decode_request`] never consume a partial frame: they
+//! return `Ok(None)` ("feed me more bytes") until a complete frame is
+//! buffered, so torn frames split at arbitrary byte boundaries across reads
+//! are handled by construction (the framing test suite splits every fixture
+//! at every boundary). Malformed input returns a structured
+//! [`ProtocolError`] instead of panicking, and declared bulk/array lengths
+//! are validated against [`Limits`] **before** any buffer is grown — an
+//! adversarial `$9999999999\r\n` header is rejected when its header is
+//! parsed, not after an allocation.
+
+use std::fmt;
+
+/// One decoded RESP frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `+...` simple string.
+    Simple(String),
+    /// `-...` error reply.
+    Error(String),
+    /// `:N` integer.
+    Integer(i64),
+    /// `$N` bulk string (arbitrary bytes).
+    Bulk(Vec<u8>),
+    /// `$-1` null bulk string (also decodes `*-1` null arrays).
+    Null,
+    /// `*N` array of frames.
+    Array(Vec<Frame>),
+}
+
+impl Frame {
+    /// Convenience: a bulk frame from UTF-8 text.
+    pub fn bulk(text: impl Into<String>) -> Frame {
+        Frame::Bulk(text.into().into_bytes())
+    }
+
+    /// Convenience: an `-ERR`-prefixed error frame.
+    pub fn error(msg: impl fmt::Display) -> Frame {
+        Frame::Error(format!("ERR {msg}"))
+    }
+
+    /// The bulk payload as UTF-8 text, if this is a bulk frame.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Frame::Bulk(bytes) => std::str::from_utf8(bytes).ok(),
+            Frame::Simple(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer frame.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Frame::Integer(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array frame.
+    pub fn as_array(&self) -> Option<&[Frame]> {
+        match self {
+            Frame::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The error message, if this is an error frame.
+    pub fn as_error(&self) -> Option<&str> {
+        match self {
+            Frame::Error(msg) => Some(msg),
+            _ => None,
+        }
+    }
+}
+
+/// Why a buffer failed to decode. Protocol errors are not recoverable
+/// mid-stream (framing is lost); the server replies with an error frame and
+/// closes the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A declared bulk-string length exceeds [`Limits::max_bulk_len`].
+    BulkTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// A declared array element count exceeds [`Limits::max_array_len`].
+    ArrayTooLarge {
+        /// The declared element count.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// A `\r\n`-terminated header line exceeds [`Limits::max_line_len`]
+    /// without terminating.
+    LineTooLong,
+    /// Arrays nested deeper than [`Limits::max_depth`].
+    TooDeep,
+    /// Anything else: bad type tag, non-numeric length, missing CRLF, ...
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BulkTooLarge { declared, limit } => {
+                write!(f, "bulk string of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            ProtocolError::ArrayTooLarge { declared, limit } => {
+                write!(f, "array of {declared} elements exceeds the {limit}-element limit")
+            }
+            ProtocolError::LineTooLong => write!(f, "header line too long"),
+            ProtocolError::TooDeep => write!(f, "arrays nested too deeply"),
+            ProtocolError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Decoder hardening knobs. The defaults fit the document-store workload
+/// (documents are kilobytes, pipelines are hundreds of commands).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Largest accepted bulk-string payload, in bytes.
+    pub max_bulk_len: usize,
+    /// Largest accepted array element count.
+    pub max_array_len: usize,
+    /// Longest accepted header line (also caps inline commands).
+    pub max_line_len: usize,
+    /// Deepest accepted array nesting (requests are depth 1).
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_bulk_len: 8 << 20,
+            max_array_len: 1 << 16,
+            max_line_len: 64 << 10,
+            max_depth: 8,
+        }
+    }
+}
+
+/// Decode result: the frame plus the number of bytes it consumed.
+type Decoded<T> = Result<Option<(T, usize)>, ProtocolError>;
+
+/// Find the first CRLF at or after `start`, respecting the line-length cap.
+fn find_crlf(buf: &[u8], start: usize, limits: &Limits) -> Result<Option<usize>, ProtocolError> {
+    let window = &buf[start..];
+    match window.windows(2).position(|w| w == b"\r\n") {
+        Some(i) if i > limits.max_line_len => Err(ProtocolError::LineTooLong),
+        Some(i) => Ok(Some(start + i)),
+        None if window.len() > limits.max_line_len => Err(ProtocolError::LineTooLong),
+        None => Ok(None),
+    }
+}
+
+/// Parse the integer payload of a header line (`:N`, `$N`, `*N`).
+fn parse_len(line: &[u8], what: &str) -> Result<i64, ProtocolError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ProtocolError::Malformed(format!("non-UTF-8 {what} header")))?;
+    text.parse::<i64>()
+        .map_err(|_| ProtocolError::Malformed(format!("non-numeric {what} header '{text}'")))
+}
+
+/// Incrementally decode one frame starting at `buf[pos..]`. Returns
+/// `Ok(None)` when the buffer holds only a prefix of a frame, and
+/// `Ok(Some((frame, next_pos)))` once one is complete.
+pub fn decode(buf: &[u8], pos: usize, limits: &Limits) -> Decoded<Frame> {
+    decode_at_depth(buf, pos, limits, 0)
+}
+
+fn decode_at_depth(buf: &[u8], pos: usize, limits: &Limits, depth: usize) -> Decoded<Frame> {
+    if depth > limits.max_depth {
+        return Err(ProtocolError::TooDeep);
+    }
+    let Some(&tag) = buf.get(pos) else { return Ok(None) };
+    let Some(line_end) = find_crlf(buf, pos + 1, limits)? else { return Ok(None) };
+    let line = &buf[pos + 1..line_end];
+    let after_line = line_end + 2;
+    match tag {
+        b'+' => {
+            let text = std::str::from_utf8(line)
+                .map_err(|_| ProtocolError::Malformed("non-UTF-8 simple string".into()))?;
+            Ok(Some((Frame::Simple(text.to_string()), after_line)))
+        }
+        b'-' => {
+            let text = std::str::from_utf8(line)
+                .map_err(|_| ProtocolError::Malformed("non-UTF-8 error string".into()))?;
+            Ok(Some((Frame::Error(text.to_string()), after_line)))
+        }
+        b':' => Ok(Some((Frame::Integer(parse_len(line, "integer")?), after_line))),
+        b'$' => {
+            let len = parse_len(line, "bulk length")?;
+            if len == -1 {
+                return Ok(Some((Frame::Null, after_line)));
+            }
+            if len < 0 {
+                return Err(ProtocolError::Malformed(format!("negative bulk length {len}")));
+            }
+            let len = len as usize;
+            // Reject before waiting for (or allocating) the payload.
+            if len > limits.max_bulk_len {
+                return Err(ProtocolError::BulkTooLarge { declared: len, limit: limits.max_bulk_len });
+            }
+            let end = after_line + len;
+            if buf.len() < end + 2 {
+                return Ok(None);
+            }
+            if &buf[end..end + 2] != b"\r\n" {
+                return Err(ProtocolError::Malformed("bulk payload not CRLF-terminated".into()));
+            }
+            Ok(Some((Frame::Bulk(buf[after_line..end].to_vec()), end + 2)))
+        }
+        b'*' => {
+            let count = parse_len(line, "array length")?;
+            if count == -1 {
+                return Ok(Some((Frame::Null, after_line)));
+            }
+            if count < 0 {
+                return Err(ProtocolError::Malformed(format!("negative array length {count}")));
+            }
+            let count = count as usize;
+            if count > limits.max_array_len {
+                return Err(ProtocolError::ArrayTooLarge { declared: count, limit: limits.max_array_len });
+            }
+            let mut items = Vec::new();
+            let mut cursor = after_line;
+            for _ in 0..count {
+                match decode_at_depth(buf, cursor, limits, depth + 1)? {
+                    Some((frame, next)) => {
+                        items.push(frame);
+                        cursor = next;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some((Frame::Array(items), cursor)))
+        }
+        other => Err(ProtocolError::Malformed(format!(
+            "unknown frame tag 0x{other:02x} ('{}')",
+            (other as char).escape_default()
+        ))),
+    }
+}
+
+/// Incrementally decode one *request* — an array of bulk strings, or an
+/// inline command line — into its argument list. `Ok(None)` means "feed me
+/// more bytes"; empty inline lines are consumed and reported as empty
+/// argument lists the caller should ignore.
+pub fn decode_request(buf: &[u8], pos: usize, limits: &Limits) -> Decoded<Vec<Vec<u8>>> {
+    let Some(&tag) = buf.get(pos) else { return Ok(None) };
+    if tag == b'*' {
+        return match decode(buf, pos, limits)? {
+            Some((Frame::Array(items), next)) => {
+                let mut args = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Frame::Bulk(bytes) => args.push(bytes),
+                        other => {
+                            return Err(ProtocolError::Malformed(format!(
+                                "request array element must be a bulk string, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Some((args, next)))
+            }
+            Some((Frame::Null, next)) => Ok(Some((Vec::new(), next))),
+            Some(_) => unreachable!("'*' decodes to an array or null"),
+            None => Ok(None),
+        };
+    }
+    // Inline command: one whitespace-separated text line.
+    let Some(line_end) = find_crlf(buf, pos, limits)? else {
+        // Tolerate bare-\n line endings from interactive tools.
+        if let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') {
+            let line = &buf[pos..pos + nl];
+            return Ok(inline_args(line)?.map(|args| (args, pos + nl + 1)));
+        }
+        if buf.len() - pos > limits.max_line_len {
+            return Err(ProtocolError::LineTooLong);
+        }
+        return Ok(None);
+    };
+    let line = &buf[pos..line_end];
+    Ok(inline_args(line)?.map(|args| (args, line_end + 2)))
+}
+
+fn inline_args(line: &[u8]) -> Result<Option<Vec<Vec<u8>>>, ProtocolError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ProtocolError::Malformed("non-UTF-8 inline command".into()))?;
+    Ok(Some(
+        text.split_ascii_whitespace().map(|w| w.as_bytes().to_vec()).collect(),
+    ))
+}
+
+/// Append the wire encoding of `frame` to `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Simple(s) => {
+            out.push(b'+');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Frame::Error(s) => {
+            out.push(b'-');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Frame::Integer(n) => {
+            out.push(b':');
+            out.extend_from_slice(n.to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Frame::Bulk(bytes) => {
+            out.push(b'$');
+            out.extend_from_slice(bytes.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(bytes);
+            out.extend_from_slice(b"\r\n");
+        }
+        Frame::Null => out.extend_from_slice(b"$-1\r\n"),
+        Frame::Array(items) => {
+            out.push(b'*');
+            out.extend_from_slice(items.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            for item in items {
+                encode(item, out);
+            }
+        }
+    }
+}
+
+/// Append the wire encoding of a request (array of bulk strings) to `out`.
+pub fn encode_request<A: AsRef<[u8]>>(args: &[A], out: &mut Vec<u8>) {
+    out.push(b'*');
+    out.extend_from_slice(args.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    for arg in args {
+        let bytes = arg.as_ref();
+        out.push(b'$');
+        out.extend_from_slice(bytes.len().to_string().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(bytes);
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut wire = Vec::new();
+        encode(&frame, &mut wire);
+        let (decoded, used) = decode(&wire, 0, &Limits::default()).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::Simple("OK".into()));
+        roundtrip(Frame::Error("ERR boom".into()));
+        roundtrip(Frame::Integer(-42));
+        roundtrip(Frame::Bulk(b"hello\r\nworld".to_vec()));
+        roundtrip(Frame::Null);
+        roundtrip(Frame::Array(vec![
+            Frame::bulk("GET"),
+            Frame::Integer(7),
+            Frame::Array(vec![Frame::Null]),
+        ]));
+    }
+
+    #[test]
+    fn requests_roundtrip_and_reject_non_bulk_elements() {
+        let mut wire = Vec::new();
+        encode_request(&[b"SET".as_slice(), b"k".as_slice(), b"{}".as_slice()], &mut wire);
+        let (args, used) = decode_request(&wire, 0, &Limits::default()).unwrap().unwrap();
+        assert_eq!(args, vec![b"SET".to_vec(), b"k".to_vec(), b"{}".to_vec()]);
+        assert_eq!(used, wire.len());
+
+        let err = decode_request(b"*1\r\n:5\r\n", 0, &Limits::default()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn inline_commands_split_on_whitespace() {
+        let (args, used) =
+            decode_request(b"PING  hello\r\nrest", 0, &Limits::default()).unwrap().unwrap();
+        assert_eq!(args, vec![b"PING".to_vec(), b"hello".to_vec()]);
+        assert_eq!(used, 13);
+        // Bare-\n line endings work too.
+        let (args, _) = decode_request(b"PING\nmore", 0, &Limits::default()).unwrap().unwrap();
+        assert_eq!(args, vec![b"PING".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_declarations_fail_before_the_payload_arrives() {
+        let limits = Limits { max_bulk_len: 16, ..Limits::default() };
+        // Only the header is buffered: the declared size alone must reject.
+        let err = decode(b"$1000000\r\n", 0, &limits).unwrap_err();
+        assert_eq!(err, ProtocolError::BulkTooLarge { declared: 1_000_000, limit: 16 });
+
+        let limits = Limits { max_array_len: 4, ..Limits::default() };
+        let err = decode(b"*5000\r\n", 0, &limits).unwrap_err();
+        assert_eq!(err, ProtocolError::ArrayTooLarge { declared: 5000, limit: 4 });
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let mut wire = Vec::new();
+        encode(
+            &Frame::Array(vec![Frame::bulk("SCAN"), Frame::bulk("0")]),
+            &mut wire,
+        );
+        for cut in 0..wire.len() {
+            assert_eq!(
+                decode(&wire[..cut], 0, &Limits::default()).unwrap(),
+                None,
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        assert!(decode(&wire, 0, &Limits::default()).unwrap().is_some());
+    }
+
+    #[test]
+    fn malformed_frames_error_instead_of_panicking() {
+        let limits = Limits::default();
+        for case in [
+            b"$abc\r\n".as_slice(),
+            b":12x\r\n",
+            b"$5\r\nhelloXX",
+            b"$-7\r\n",
+            b"*-3\r\n",
+        ] {
+            // Feed enough bytes that the malformed part is visible.
+            let mut padded = case.to_vec();
+            padded.extend_from_slice(b"\r\n\r\n\r\n");
+            assert!(
+                decode(&padded, 0, &limits).is_err(),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(case)
+            );
+        }
+        // Unknown tag.
+        assert!(decode(b"!weird\r\n", 0, &limits).is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let limits = Limits { max_depth: 3, ..Limits::default() };
+        let mut wire = Vec::new();
+        for _ in 0..6 {
+            wire.extend_from_slice(b"*1\r\n");
+        }
+        wire.extend_from_slice(b":1\r\n");
+        assert_eq!(decode(&wire, 0, &limits).unwrap_err(), ProtocolError::TooDeep);
+    }
+}

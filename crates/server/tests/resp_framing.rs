@@ -1,0 +1,186 @@
+//! RESP framing robustness: torn buffers split at every byte boundary,
+//! malformed frames, and oversized declarations — against both the decoder
+//! and a live server socket. None of these may panic, allocate unboundedly,
+//! or leave the server wedged.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use server::resp::{self, Frame, Limits, ProtocolError};
+use server::{RespClient, Server, ServerConfig};
+
+fn test_config() -> ServerConfig {
+    ServerConfig { shards: 2, ..ServerConfig::default() }
+}
+
+/// A pipeline of requests, decoded from a buffer that grows one byte at a
+/// time: every prefix must either yield exactly the complete requests it
+/// contains or ask for more bytes — never an error, never a partial
+/// consume.
+#[test]
+fn torn_pipelines_decode_at_every_byte_boundary() {
+    let mut wire = Vec::new();
+    resp::encode_request(&["SET", "1", r#"{"v": 1}"#], &mut wire);
+    resp::encode_request(&["GET", "1"], &mut wire);
+    resp::encode_request(&["DEL", "1", "2", "3"], &mut wire);
+    let limits = Limits::default();
+
+    // Expected full parse.
+    let mut expected = Vec::new();
+    let mut pos = 0;
+    while let Some((args, next)) = resp::decode_request(&wire, pos, &limits).unwrap() {
+        expected.push(args);
+        pos = next;
+        if pos == wire.len() {
+            break;
+        }
+    }
+    assert_eq!(expected.len(), 3);
+
+    // Feed the wire bytes one at a time, draining complete requests as they
+    // appear; the result must be the same three requests regardless of how
+    // the bytes were torn.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut pos = 0;
+    let mut got = Vec::new();
+    for &byte in &wire {
+        buf.push(byte);
+        while let Some((args, next)) = resp::decode_request(&buf, pos, &limits).unwrap() {
+            got.push(args);
+            pos = next;
+        }
+    }
+    assert_eq!(got, expected);
+}
+
+/// Every strict prefix of a single request is "incomplete", not an error,
+/// and decoding never consumes bytes it didn't use.
+#[test]
+fn every_strict_prefix_is_incomplete() {
+    let mut wire = Vec::new();
+    resp::encode_request(&["MSET", "1", r#"{"a": [1, 2, 3]}"#, "2", "{}"], &mut wire);
+    let limits = Limits::default();
+    for cut in 0..wire.len() {
+        assert_eq!(
+            resp::decode_request(&wire[..cut], 0, &limits).unwrap(),
+            None,
+            "prefix of {cut}/{} bytes must be incomplete",
+            wire.len()
+        );
+    }
+    let (args, used) = resp::decode_request(&wire, 0, &limits).unwrap().unwrap();
+    assert_eq!(args.len(), 5);
+    assert_eq!(used, wire.len());
+}
+
+/// Oversized declared lengths are rejected from the header alone — before
+/// any payload is buffered or allocated.
+#[test]
+fn oversized_declarations_reject_without_buffering() {
+    let limits = Limits { max_bulk_len: 1 << 10, max_array_len: 8, ..Limits::default() };
+    assert_eq!(
+        resp::decode(b"$1073741824\r\n", 0, &limits).unwrap_err(),
+        ProtocolError::BulkTooLarge { declared: 1 << 30, limit: 1 << 10 }
+    );
+    assert_eq!(
+        resp::decode(b"*1000000\r\n", 0, &limits).unwrap_err(),
+        ProtocolError::ArrayTooLarge { declared: 1_000_000, limit: 8 }
+    );
+    // Inside a request array too.
+    assert!(matches!(
+        resp::decode_request(b"*2\r\n$3\r\nGET\r\n$999999999\r\n", 0, &limits).unwrap_err(),
+        ProtocolError::BulkTooLarge { .. }
+    ));
+}
+
+/// A live server fed a request one byte per write still answers correctly.
+#[test]
+fn server_survives_byte_at_a_time_writes() {
+    let handle = Server::start(test_config()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut wire = Vec::new();
+    resp::encode_request(&["SET", "7", r#"{"v": 42}"#], &mut wire);
+    resp::encode_request(&["GET", "7"], &mut wire);
+    for &byte in &wire {
+        stream.write_all(&[byte]).unwrap();
+    }
+
+    let mut client_side = RespClient::connect(handle.addr()).unwrap();
+    // Read both replies off the raw stream.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let limits = Limits::default();
+    let mut frames = Vec::new();
+    while frames.len() < 2 {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed before replying");
+        buf.extend_from_slice(&chunk[..n]);
+        let mut pos = 0;
+        frames.clear();
+        while let Some((frame, next)) = resp::decode(&buf, pos, &limits).unwrap() {
+            frames.push(frame);
+            pos = next;
+            if pos == buf.len() {
+                break;
+            }
+        }
+    }
+    assert_eq!(frames[0], Frame::Simple("OK".into()));
+    let doc = docmodel::parse_json(frames[1].as_text().expect("bulk reply")).unwrap();
+    assert_eq!(doc.get_field("v"), Some(&docmodel::Value::Int(42)));
+    assert_eq!(doc.get_field("id"), Some(&docmodel::Value::Int(7)));
+
+    // And the server is still healthy for other clients.
+    assert_eq!(client_side.ping().unwrap(), Frame::Simple("PONG".into()));
+}
+
+/// Malformed frames get one error frame, then the connection closes — and
+/// the server keeps serving everyone else.
+#[test]
+fn malformed_frames_get_an_error_frame_then_close() {
+    let handle = Server::start(test_config()).unwrap();
+    // Each case must be a *framing* error (bare text lines are valid inline
+    // commands, so they don't qualify — they get a normal error reply).
+    for garbage in [b"*abc\r\n".as_slice(), b"*1\r\n$-7\r\n", b"*1\r\n:12\r\n"] {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(garbage).unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap(); // server closes after the error
+        let (frame, _) = resp::decode(&reply, 0, &Limits::default()).unwrap().unwrap();
+        match frame {
+            Frame::Error(msg) => assert!(msg.starts_with("ERR"), "{msg}"),
+            other => panic!("expected an error frame for {garbage:?}, got {other:?}"),
+        }
+    }
+    let mut client = RespClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.ping().unwrap(), Frame::Simple("PONG".into()));
+}
+
+/// An adversarial bulk header larger than the configured cap is refused
+/// with an error frame as soon as the header arrives — the payload is never
+/// awaited, so memory stays bounded.
+#[test]
+fn oversized_bulk_header_is_refused_over_the_wire() {
+    let config = ServerConfig {
+        limits: Limits { max_bulk_len: 4 << 10, ..Limits::default() },
+        ..test_config()
+    };
+    let handle = Server::start(config).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Header declares 512 MiB; we never send the payload.
+    stream.write_all(b"*3\r\n$3\r\nSET\r\n$1\r\n1\r\n$536870912\r\n").unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap();
+    let (frame, _) = resp::decode(&reply, 0, &Limits::default()).unwrap().unwrap();
+    let msg = frame.as_error().expect("error frame").to_string();
+    assert!(msg.contains("exceeds"), "{msg}");
+
+    // Requests within the limit still work on a fresh connection.
+    let mut client = RespClient::connect(handle.addr()).unwrap();
+    assert_eq!(
+        client.set("1", r#"{"v": 1}"#).unwrap(),
+        Frame::Simple("OK".into())
+    );
+}

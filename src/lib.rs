@@ -17,6 +17,7 @@ pub use lsm;
 pub use persist;
 pub use query;
 pub use schema;
+pub use server;
 pub use storage;
 pub use telemetry;
 
