@@ -128,6 +128,18 @@ fn main() {
             Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
         }
     }
+    if wanted("cache") {
+        let rows = run_cache_comparison(scale);
+        print_matrix(
+            "Decoded-leaf cache: cold vs warm latency, hit rate, budget sweep (tweet_2)",
+            &rows,
+        );
+        let out = std::path::Path::new("BENCH_cache.json");
+        match write_measurements_json(out, "leaf_cache", scale, &rows) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
+    }
     if wanted("streaming") {
         print_matrix(
             "Streaming execution: materialised batch vs cursor pipeline (tweet_1)",

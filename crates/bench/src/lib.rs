@@ -1010,6 +1010,126 @@ pub fn run_observability_comparison(scale: f64) -> Vec<Measurement> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Decoded-leaf cache: cold vs warm latency, hit rate, budget sweep.
+// ---------------------------------------------------------------------------
+
+/// Decoded-leaf cache experiment (tweet_2, AMAX): the same scan and
+/// point-read workloads with and without a budget-backed [`LeafCache`].
+/// Self-asserting on the tentpole's acceptance criteria:
+///
+/// * a warm repeated scan reads **zero pages**, and its cache hits equal
+///   exactly the leaves the cold scan decoded;
+/// * warm cached point reads beat uncached ones by at least 2x;
+/// * across a budget sweep the cache's resident bytes never exceed its
+///   capacity, and the hit rate on a re-scanned hot range is monotone.
+///
+/// [`LeafCache`]: storage::LeafCache
+pub fn run_cache_comparison(scale: f64) -> Vec<Measurement> {
+    use std::sync::Arc;
+    use storage::LeafCache;
+
+    let kind = DatasetKind::Tweet2;
+    let records = ((default_records(kind) as f64) * scale).max(300.0) as usize;
+    let docs = generate(&DatasetSpec::new(kind, records));
+    let keys: Vec<docmodel::Value> = docs
+        .iter()
+        .map(|d| d.get_field(kind.key_field()).expect("key field").clone())
+        .collect();
+    let build = |cache: Option<Arc<LeafCache>>| {
+        let mut config = DatasetConfig::new(kind.name(), LayoutKind::Amax)
+            .with_key_field(kind.key_field())
+            .with_memtable_budget(64 * 1024)
+            .with_page_size(8 * 1024);
+        if let Some(cache) = cache {
+            config = config.with_memory_budget(16 << 20).with_leaf_cache(cache);
+        }
+        config.amax.record_limit = 64;
+        let dataset = LsmDataset::new(config);
+        for doc in docs.clone() {
+            dataset.insert(doc).expect("ingest");
+        }
+        dataset.flush().expect("flush");
+        dataset
+    };
+    let mut out = Vec::new();
+    let engine = QueryEngine::new(ExecMode::Compiled);
+    let scan = Query::count_star().with_filter(Expr::ge("timestamp", 0));
+
+    // Cold vs warm scan through one cache: the warm pass must touch no
+    // page and score a hit on every leaf the cold pass decoded.
+    let cache = Arc::new(LeafCache::new(8 << 20));
+    let cached = build(Some(cache.clone()));
+    cache.clear();
+    let before = cached.io_stats();
+    let (cold_rows, cold_scan) = time(|| engine.execute(&cached, &scan).expect("cold scan"));
+    let mid = cached.io_stats();
+    let (warm_rows, warm_scan) = time(|| engine.execute(&cached, &scan).expect("warm scan"));
+    let after = cached.io_stats();
+    assert_eq!(cold_rows, warm_rows, "the cache must never change answers");
+    let cold_misses = mid.leaf_cache_misses - before.leaf_cache_misses;
+    assert!(cold_misses > 0, "the cold scan must decode leaves");
+    assert_eq!(after.pages_read, mid.pages_read, "a warm re-scan must read zero pages");
+    assert_eq!(
+        after.leaf_cache_hits - mid.leaf_cache_hits,
+        cold_misses,
+        "warm hits must equal the leaves the cold scan decoded"
+    );
+    out.push(Measurement::new("hot-range scan", "cold", cold_scan, "ms"));
+    out.push(Measurement::new("hot-range scan", "warm", warm_scan, "ms"));
+
+    // Point reads: a warm cache vs no cache at all, same keys, same order.
+    // Several rounds amortise timer noise at smoke scales.
+    const ROUNDS: usize = 3;
+    let uncached = build(None);
+    let probe: Vec<&docmodel::Value> = keys.iter().step_by(3).collect();
+    for key in &probe {
+        cached.lookup(key, None).expect("warmup lookup").expect("present");
+    }
+    let point_pass = |dataset: &LsmDataset| {
+        for _ in 0..ROUNDS {
+            for key in &probe {
+                dataset.lookup(key, None).expect("lookup").expect("present");
+            }
+        }
+    };
+    let ((), warm_points) = time(|| point_pass(&cached));
+    let ((), cold_points) = time(|| point_pass(&uncached));
+    let speedup = cold_points / warm_points.max(1e-6);
+    assert!(
+        speedup >= 2.0,
+        "cached point reads must be at least 2x faster: cold {cold_points:.2}ms vs warm {warm_points:.2}ms"
+    );
+    out.push(Measurement::new("point reads", "uncached", cold_points, "ms"));
+    out.push(Measurement::new("point reads", "warm cache", warm_points, "ms"));
+    out.push(Measurement::new("point reads", "speedup", speedup, "x"));
+
+    // Budget sweep: residency must stay bounded at every capacity, and a
+    // re-scan of the same hot range can only raise the hit rate.
+    for budget in [32usize << 10, 256 << 10, 4 << 20] {
+        let cache = Arc::new(LeafCache::new(budget));
+        let dataset = build(Some(cache.clone()));
+        cache.clear();
+        let rate = |s: storage::LeafCacheStats| {
+            s.hits as f64 / (s.hits + s.misses).max(1) as f64
+        };
+        engine.execute(&dataset, &scan).expect("sweep scan");
+        let first = rate(cache.stats());
+        engine.execute(&dataset, &scan).expect("sweep re-scan");
+        let stats = cache.stats();
+        assert!(
+            stats.resident_bytes <= stats.capacity_bytes,
+            "resident bytes must honour the budget: {stats:?}"
+        );
+        let second = rate(stats);
+        assert!(second >= first, "hit rate must be monotone: {first} -> {second}");
+        let label = format!("budget {} KiB", budget >> 10);
+        out.push(Measurement::new(label.clone(), "resident", (stats.resident_bytes >> 10) as f64, "KiB"));
+        out.push(Measurement::new(label, "hit rate", second * 100.0, "%"));
+    }
+    out
+}
+
 /// Compaction-strategy sweep: tiered vs leveled vs lazy-leveled under an
 /// update-heavy and an append-only workload (tweet_1, AMAX).
 ///

@@ -60,6 +60,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use docmodel::parse_json;
 use lsm::{DatasetConfig, IngestStats, LsmDataset, Snapshot};
@@ -73,6 +74,7 @@ pub use lsm::{
 };
 pub use query::{Aggregate, AnalyzeReport, Expr};
 pub use storage::LayoutKind as Layout;
+pub use storage::{LeafCache, LeafCacheStats};
 
 /// Error type of the facade: storage-engine failures, query-layer failures
 /// (plan validation vs. decode, see [`query::Error`]), and facade-level API
@@ -156,6 +158,9 @@ pub struct DatasetOptions {
     pub telemetry: bool,
     /// Compaction strategy and knobs (default: the paper's tiering policy).
     pub compaction: CompactionSpec,
+    /// Process-wide memory budget for the dataset, in bytes (0 = none).
+    /// See [`DatasetOptions::memory_budget`].
+    pub memory_budget: usize,
 }
 
 impl DatasetOptions {
@@ -173,6 +178,7 @@ impl DatasetOptions {
             max_sealed: 2,
             telemetry: true,
             compaction: CompactionSpec::default(),
+            memory_budget: 0,
         }
     }
 
@@ -233,7 +239,29 @@ impl DatasetOptions {
         self
     }
 
-    fn to_config(&self, name: &str, pool: Option<&lsm::PoolHandle>) -> DatasetConfig {
+    /// Put the dataset's memory consumers under one process-wide budget of
+    /// `bytes`: **half** funds a shared decoded-leaf cache (one
+    /// [`LeafCache`] `Arc`'d across every shard — warm leaves are served
+    /// without page reads or re-assembly), a **quarter** funds the page
+    /// buffer caches, and a **quarter** funds the memtables; the page and
+    /// memtable quarters are split evenly across shards, with small floors
+    /// so tiny budgets stay operable. Overrides
+    /// [`memtable_budget`](DatasetOptions::memtable_budget) and the default
+    /// buffer-cache size; the per-shard slice (`bytes / shards`) is
+    /// persisted in durable manifests so
+    /// [`Datastore::reopen_dataset`] restores the same caching behaviour.
+    /// `0` (the default) configures no budget and no leaf cache.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    fn to_config(
+        &self,
+        name: &str,
+        pool: Option<&lsm::PoolHandle>,
+        leaf_cache: Option<&Arc<LeafCache>>,
+    ) -> DatasetConfig {
         let mut config = DatasetConfig::new(name, self.layout)
             .with_key_field(self.key_field.clone())
             .with_memtable_budget(self.memtable_budget)
@@ -243,6 +271,21 @@ impl DatasetOptions {
             .with_telemetry(self.telemetry)
             .with_compaction(self.compaction);
         config.compress_pages = self.compress_pages;
+        if self.memory_budget > 0 {
+            // The budget split documented on `memory_budget`: half the
+            // budget went to the shared leaf cache (built once by the
+            // caller), a quarter each to page caches and memtables, divided
+            // evenly across shards with floors for tiny budgets.
+            let shards = self.shards.max(1);
+            let quarter_per_shard = self.memory_budget / 4 / shards;
+            config = config
+                .with_memory_budget(self.memory_budget / shards)
+                .with_memtable_budget(quarter_per_shard.max(64 << 10))
+                .with_cache_pages((quarter_per_shard / self.page_size.max(1)).max(8));
+        }
+        if let Some(cache) = leaf_cache {
+            config = config.with_leaf_cache(cache.clone());
+        }
         if let Some(p) = &self.secondary_index {
             config = config.with_secondary_index(p.clone());
         }
@@ -251,6 +294,13 @@ impl DatasetOptions {
         }
         config
     }
+}
+
+/// The shared decoded-leaf cache a dataset's options call for: half the
+/// memory budget, one cache `Arc`'d across every shard. `None` when no
+/// budget is configured.
+fn leaf_cache_for(options: &DatasetOptions) -> Option<Arc<LeafCache>> {
+    (options.memory_budget > 0).then(|| Arc::new(LeafCache::new(options.memory_budget / 2)))
 }
 
 /// Stable FNV-1a hash of a primary key's canonical rendering, used to route
@@ -273,12 +323,26 @@ fn key_hash(key: &Value) -> u64 {
 pub struct ShardedDataset {
     key_field: String,
     shards: Vec<LsmDataset>,
+    /// The shared decoded-leaf cache every shard reads through. `None`
+    /// when the dataset has no memory budget configured.
+    leaf_cache: Option<Arc<LeafCache>>,
 }
 
 impl ShardedDataset {
-    fn from_shards(key_field: String, shards: Vec<LsmDataset>) -> ShardedDataset {
+    fn from_shards(
+        key_field: String,
+        shards: Vec<LsmDataset>,
+        leaf_cache: Option<Arc<LeafCache>>,
+    ) -> ShardedDataset {
         assert!(!shards.is_empty(), "a dataset needs at least one shard");
-        ShardedDataset { key_field, shards }
+        ShardedDataset { key_field, shards, leaf_cache }
+    }
+
+    /// The shared decoded-leaf cache, when a memory budget is configured
+    /// (see [`DatasetOptions::memory_budget`]). One cache serves every
+    /// shard; [`LeafCache::stats`] reports its residency and traffic.
+    pub fn leaf_cache(&self) -> Option<&Arc<LeafCache>> {
+        self.leaf_cache.as_ref()
     }
 
     /// Number of hash partitions.
@@ -501,6 +565,15 @@ impl ShardedDataset {
             merged.merge(&shard.metrics());
         }
         merged.dataset = self.name();
+        // Residency gauges describe the one shared cache, so they are
+        // pushed once, after the per-shard merge (which sums gauges);
+        // the per-shard `cache.hits/misses/evictions` counters do add.
+        if let Some(cache) = &self.leaf_cache {
+            let stats = cache.stats();
+            merged.push_gauge("cache.resident_bytes", stats.resident_bytes as f64);
+            merged.push_gauge("cache.resident_leaves", stats.resident_leaves as f64);
+            merged.push_gauge("cache.budget_bytes", stats.capacity_bytes as f64);
+        }
         merged.with_derived_gauges()
     }
 
@@ -581,6 +654,9 @@ impl ShardedDataset {
             total.bytes_written += s.bytes_written;
             total.cache_hits += s.cache_hits;
             total.records_assembled += s.records_assembled;
+            total.leaf_cache_hits += s.leaf_cache_hits;
+            total.leaf_cache_misses += s.leaf_cache_misses;
+            total.leaf_cache_evictions += s.leaf_cache_evictions;
         }
         total
     }
@@ -658,6 +734,15 @@ impl DocCursor {
     /// count and hash routing); passing another one gives meaningless
     /// results.
     pub fn refresh(&mut self, dataset: &ShardedDataset) -> Result<()> {
+        // Release the old pins *before* taking fresh snapshots, not after:
+        // holding them across the re-pin kept every retired component (its
+        // pages and cached decoded leaves) alive through the refresh, and
+        // on an error path the stale pins survived in `self`. Buffered
+        // heads are intentionally discarded with them: they were never
+        // yielded, and the fresh cursors (skipped just past `last_key`)
+        // re-deliver their keys' newest versions.
+        self.cursors.clear();
+        self.heads.clear();
         let projection = self.projection.as_deref();
         let mut cursors = Vec::with_capacity(dataset.shards.len());
         for shard in &dataset.shards {
@@ -667,9 +752,6 @@ impl DocCursor {
             }
             cursors.push(cursor);
         }
-        // Buffered heads are intentionally discarded: they were never
-        // yielded, and the fresh cursors (skipped just past `last_key`)
-        // re-deliver their keys' newest versions.
         self.heads = cursors.iter().map(|_| None).collect();
         self.cursors = cursors;
         Ok(())
@@ -752,6 +834,7 @@ impl Datastore {
             return Err(Error::api(format!("dataset '{name}' already exists")));
         }
         let pool = options.background.then(|| self.shared_pool().handle());
+        let leaf_cache = leaf_cache_for(&options);
         let shards: Vec<LsmDataset> = (0..options.shards)
             .map(|i| {
                 let shard_name = if options.shards == 1 {
@@ -759,12 +842,16 @@ impl Datastore {
                 } else {
                     format!("{name}/shard-{i:03}")
                 };
-                LsmDataset::new(options.to_config(&shard_name, pool.as_ref()))
+                LsmDataset::new(options.to_config(
+                    &shard_name,
+                    pool.as_ref(),
+                    leaf_cache.as_ref(),
+                ))
             })
             .collect();
         self.datasets.insert(
             name.to_string(),
-            ShardedDataset::from_shards(options.key_field.clone(), shards),
+            ShardedDataset::from_shards(options.key_field.clone(), shards, leaf_cache),
         );
         Ok(())
     }
@@ -784,6 +871,7 @@ impl Datastore {
         }
         let dir = dir.as_ref();
         let pool = options.background.then(|| self.shared_pool().handle());
+        let leaf_cache = leaf_cache_for(&options);
         let mut shards = Vec::with_capacity(options.shards);
         for i in 0..options.shards {
             let (shard_name, shard_dir) = if options.shards == 1 {
@@ -796,12 +884,12 @@ impl Datastore {
             };
             shards.push(LsmDataset::open(
                 shard_dir,
-                options.to_config(&shard_name, pool.as_ref()),
+                options.to_config(&shard_name, pool.as_ref(), leaf_cache.as_ref()),
             )?);
         }
         self.datasets.insert(
             name.to_string(),
-            ShardedDataset::from_shards(options.key_field.clone(), shards),
+            ShardedDataset::from_shards(options.key_field.clone(), shards, leaf_cache),
         );
         Ok(())
     }
@@ -844,18 +932,32 @@ impl Datastore {
                 .and_then(|n| n.parse::<u64>().ok())
                 .unwrap_or(u64::MAX)
         });
-        let shards = if shard_dirs.is_empty() {
-            vec![LsmDataset::reopen(dir)?]
+        let dirs = if shard_dirs.is_empty() {
+            vec![dir.to_path_buf()]
         } else {
             shard_dirs
-                .into_iter()
-                .map(LsmDataset::reopen)
-                .collect::<lsm::Result<Vec<_>>>()?
         };
+        // Rebuild the shared leaf cache before any shard opens: the sum of
+        // the persisted per-shard budget slices is the dataset budget, and
+        // half of it funds one cache attached to every shard — the same
+        // split `memory_budget` applied at creation.
+        let mut total_budget = 0usize;
+        for shard_dir in &dirs {
+            total_budget += LsmDataset::peek_persisted_config(shard_dir)?.memory_budget;
+        }
+        let leaf_cache =
+            (total_budget > 0).then(|| Arc::new(LeafCache::new(total_budget / 2)));
+        let shards = dirs
+            .into_iter()
+            .map(|shard_dir| match &leaf_cache {
+                Some(cache) => LsmDataset::reopen_with_leaf_cache(shard_dir, cache.clone()),
+                None => LsmDataset::reopen(shard_dir),
+            })
+            .collect::<lsm::Result<Vec<_>>>()?;
         let key_field = shards[0].config().key_field.clone();
         self.datasets.insert(
             name.to_string(),
-            ShardedDataset::from_shards(key_field, shards),
+            ShardedDataset::from_shards(key_field, shards, leaf_cache),
         );
         Ok(())
     }
@@ -1514,5 +1616,225 @@ mod tests {
         assert_eq!(metrics.counter("ingest.records"), 0);
         assert!(store.dataset("dark").unwrap().recent_events(16).is_empty());
         assert_eq!(store.get("dark", &Value::Int(1)).unwrap().unwrap().get_field("v"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn memory_budget_makes_warm_rescans_free_and_shows_in_explain() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "warm",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(2)
+                    .memory_budget(16 << 20),
+            )
+            .unwrap();
+        let docs: Vec<Value> = (0..400i64)
+            .map(|i| doc!({"id": i, "score": (i % 100), "grp": (format!("g{}", i % 4))}))
+            .collect();
+        store.ingest_all("warm", docs).unwrap();
+        store.flush("warm").unwrap();
+
+        let ds = store.dataset("warm").unwrap();
+        let cache = ds.leaf_cache().expect("budget configures a shared cache");
+        assert_eq!(cache.capacity_bytes(), 8 << 20, "half the budget funds the cache");
+
+        // Cold run: every leaf is a miss and pages are read.
+        let q = Query::count_star().with_filter(Expr::ge("score", 0));
+        let cold = store.explain_analyze("warm", &q, ExecMode::Compiled).unwrap();
+        assert_eq!(cold.rows[0].agg(), &Value::Int(400));
+        assert!(cold.cache_misses() > 0, "{cold:?}");
+        assert_eq!(cold.cache_hits(), 0);
+
+        // Warm re-run: cache hits == leaves touched (the cold misses),
+        // zero misses, zero pages read — the acceptance criterion.
+        let warm = store.explain_analyze("warm", &q, ExecMode::Compiled).unwrap();
+        assert_eq!(warm.rows, cold.rows);
+        assert_eq!(warm.cache_hits(), cold.cache_misses());
+        assert_eq!(warm.cache_misses(), 0);
+        assert_eq!(warm.pages_read(), 0, "{}", warm.describe());
+        assert!(warm.describe().contains("cache hits"), "{}", warm.describe());
+
+        // The planner now sees the resident leaves and discounts the scan.
+        let plan = store.explain("warm", &q).unwrap();
+        assert!(plan.contains("cache discount"), "{plan}");
+
+        // Telemetry: per-shard counters summed, residency gauges pushed
+        // once for the one shared cache.
+        let metrics = ds.metrics();
+        assert_eq!(metrics.counter("cache.hits"), cache.stats().hits);
+        assert_eq!(metrics.counter("cache.misses"), cache.stats().misses);
+        assert_eq!(metrics.gauge("cache.budget_bytes"), Some((8 << 20) as f64));
+        let resident = metrics.gauge("cache.resident_bytes").unwrap();
+        assert!(resident > 0.0 && resident <= (8 << 20) as f64, "{resident}");
+    }
+
+    #[test]
+    fn cursor_refresh_releases_retired_components_promptly() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "churn",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(2)
+                    .memory_budget(16 << 20),
+            )
+            .unwrap();
+        let docs: Vec<Value> = (0..300i64).map(|i| doc!({"id": i, "v": i})).collect();
+        store.ingest_all("churn", docs).unwrap();
+        store.flush("churn").unwrap();
+        let ds = store.dataset("churn").unwrap();
+        let cache = ds.leaf_cache().unwrap().clone();
+
+        // Warm the cache through a full scan, then pause mid-stream with a
+        // second cursor pinning the current components.
+        let full: Vec<i64> = ds
+            .cursor(None)
+            .unwrap()
+            .map(|e| e.unwrap().0.as_int().unwrap())
+            .collect();
+        assert_eq!(full.len(), 300);
+        let mut cursor = ds.cursor(None).unwrap();
+        for _ in 0..50 {
+            cursor.next().unwrap().unwrap();
+        }
+
+        // Retire the pinned components: flush new data and merge down.
+        // (Unpinned intermediates may already invalidate here; the *pinned*
+        // components' leaves must still be resident.)
+        ds.insert(doc!({"id": (300i64), "v": (300i64)})).unwrap();
+        store.compact("churn").unwrap();
+        let before = cache.stats();
+        assert!(
+            before.resident_leaves > 0,
+            "pinned snapshots must keep the retired components' leaves alive: {before:?}"
+        );
+
+        // refresh() drops the old pins *before* re-pinning: the retired
+        // components drop on the spot and invalidate their cached leaves.
+        cursor.refresh(ds).unwrap();
+        assert!(
+            cache.stats().invalidations > before.invalidations,
+            "refresh must release retired components promptly: {:?}",
+            cache.stats()
+        );
+        // The resumed stream is still exact.
+        let rest: Vec<i64> = cursor.map(|e| e.unwrap().0.as_int().unwrap()).collect();
+        assert_eq!(rest, (50..=300).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_cache_and_match_the_oracle() {
+        let mut store = Datastore::new();
+        store
+            .create_dataset(
+                "fleet",
+                DatasetOptions::new(Layout::Amax)
+                    .memtable_budget(16 * 1024)
+                    .page_size(8 * 1024)
+                    .shards(2)
+                    .memory_budget(4 << 20),
+            )
+            .unwrap();
+        let n = 400i64;
+        let docs: Vec<Value> = (0..n).map(|i| doc!({"id": i, "v": (i * 3)})).collect();
+        store.ingest_all("fleet", docs).unwrap();
+        store.flush("fleet").unwrap();
+        let ds = store.dataset("fleet").unwrap();
+        let cache = ds.leaf_cache().unwrap();
+
+        // A fleet of readers: half run key-ordered range scans, half run
+        // point reads, all through the one shared cache. Every result is
+        // checked against the arithmetic oracle.
+        std::thread::scope(|scope| {
+            for t in 0..6u64 {
+                scope.spawn(move || {
+                    if t % 2 == 0 {
+                        for round in 0..3 {
+                            let keys: Vec<i64> = ds
+                                .cursor(None)
+                                .unwrap()
+                                .map(|e| {
+                                    let (k, d) = e.unwrap();
+                                    let (k, v) = (
+                                        k.as_int().unwrap(),
+                                        d.get_field("v").unwrap().as_int().unwrap(),
+                                    );
+                                    assert_eq!(v, k * 3, "round {round}");
+                                    k
+                                })
+                                .collect();
+                            assert_eq!(keys, (0..n).collect::<Vec<i64>>());
+                        }
+                    } else {
+                        for i in 0..200u64 {
+                            let key = ((i * 7919 + t * 31) % n as u64) as i64;
+                            let rec = ds.get(&Value::Int(key)).unwrap().unwrap();
+                            assert_eq!(rec.get_field("v"), Some(&Value::Int(key * 3)));
+                        }
+                    }
+                });
+            }
+        });
+
+        // Residency stays bounded by the budgeted capacity throughout (the
+        // cache never admits past its capacity, so the final state is as
+        // good as a peak: no moment could exceed it).
+        let stats = cache.stats();
+        assert!(stats.resident_bytes <= stats.capacity_bytes, "{stats:?}");
+        assert!(stats.hits > 0, "concurrent readers must share warm leaves");
+
+        // Monotone hit rate on a re-scanned hot range: a second identical
+        // scan can only raise the hit fraction.
+        let rate = |s: LeafCacheStats| s.hits as f64 / (s.hits + s.misses).max(1) as f64;
+        let q = Query::count_star().with_filter(Expr::between("id", 0, 99));
+        ds.query(&q, ExecMode::Compiled).unwrap();
+        let first = rate(cache.stats());
+        ds.query(&q, ExecMode::Compiled).unwrap();
+        let second = rate(cache.stats());
+        assert!(second >= first, "hit rate must be monotone: {first} -> {second}");
+    }
+
+    #[test]
+    fn reopened_sharded_dataset_rebuilds_one_shared_cache() {
+        let dir = std::env::temp_dir()
+            .join(format!("docstore-facade-tests-{}", std::process::id()))
+            .join("durable-budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = Datastore::new();
+            store
+                .open_dataset(
+                    "events",
+                    &dir,
+                    DatasetOptions::new(Layout::Amax)
+                        .page_size(8 * 1024)
+                        .memtable_budget(16 * 1024)
+                        .shards(2)
+                        .memory_budget(16 << 20),
+                )
+                .unwrap();
+            let docs: Vec<Value> = (0..200i64).map(|i| doc!({"id": i, "v": i})).collect();
+            store.ingest_all("events", docs).unwrap();
+            store.flush("events").unwrap();
+        }
+        let mut store = Datastore::new();
+        store.reopen_dataset("events", &dir).unwrap();
+        let ds = store.dataset("events").unwrap();
+        // The per-shard budget slices (8 MiB each) sum back to the dataset
+        // budget; half funds the one rebuilt shared cache.
+        let cache = ds.leaf_cache().expect("persisted budget rebuilds the cache");
+        assert_eq!(cache.capacity_bytes(), 8 << 20);
+        let q = Query::count_star().with_filter(Expr::ge("v", 0));
+        let cold = ds.explain_analyze(&q, ExecMode::Compiled).unwrap();
+        assert_eq!(cold.rows[0].agg(), &Value::Int(200));
+        let warm = ds.explain_analyze(&q, ExecMode::Compiled).unwrap();
+        assert_eq!(warm.pages_read(), 0, "{}", warm.describe());
+        assert_eq!(warm.cache_hits(), cold.cache_misses());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -46,7 +46,8 @@ use persist::{CrashPoint, DurableStore, ManifestData, ManifestStore, PersistedCo
 use schema::{Schema, SchemaBuilder};
 use storage::amax::AmaxConfig;
 use storage::component::{Component, ComponentConfig, ComponentReader, Entry};
-use storage::pagestore::{BufferCache, IoStats, PageId, PageStore};
+use storage::leafcache::LeafCache;
+use storage::pagestore::{BufferCache, IoStats, PageId, PageStore, DEFAULT_CACHE_PAGES};
 use storage::LayoutKind;
 use telemetry::{Event, EventKind, MetricsSnapshot, Telemetry};
 
@@ -101,6 +102,19 @@ pub struct DatasetConfig {
     /// turns it off to measure the instrumentation overhead. Runtime-only,
     /// not persisted.
     pub telemetry_enabled: bool,
+    /// This dataset's slice of the process-wide memory budget, in bytes
+    /// (memtables + sealed queue + page cache + decoded-leaf cache). Persisted
+    /// in the manifest so a reopened dataset keeps its caching behaviour;
+    /// `0` = no budget configured. The facade (`docstore`) derives the
+    /// per-shard knobs from `DatasetOptions::memory_budget`; a standalone
+    /// dataset with a nonzero budget and no [`DatasetConfig::leaf_cache`]
+    /// derives a private leaf cache of half this slice on reopen.
+    pub memory_budget: usize,
+    /// Shared decoded-leaf cache ([`LeafCache`]) to read leaves through. One
+    /// `Arc`'d cache is shared by every shard of a sharded dataset (and could
+    /// be shared by unrelated datasets). Runtime-only, not persisted — the
+    /// opener re-attaches it (or derives one from `memory_budget`).
+    pub leaf_cache: Option<Arc<LeafCache>>,
 }
 
 impl DatasetConfig {
@@ -112,7 +126,7 @@ impl DatasetConfig {
             key_field: "id".to_string(),
             memtable_budget: 4 << 20,
             page_size: 128 * 1024,
-            cache_pages: 256,
+            cache_pages: DEFAULT_CACHE_PAGES,
             compaction: CompactionSpec::default(),
             primary_key_index: true,
             secondary_index_on: None,
@@ -122,6 +136,8 @@ impl DatasetConfig {
             max_sealed_memtables: 2,
             pool: None,
             telemetry_enabled: true,
+            memory_budget: 0,
+            leaf_cache: None,
         }
     }
 
@@ -140,6 +156,12 @@ impl DatasetConfig {
     /// Builder-style: set the page size in bytes.
     pub fn with_page_size(mut self, bytes: usize) -> Self {
         self.page_size = bytes;
+        self
+    }
+
+    /// Builder-style: set the buffer-cache capacity in pages.
+    pub fn with_cache_pages(mut self, pages: usize) -> Self {
+        self.cache_pages = pages;
         self
     }
 
@@ -177,6 +199,19 @@ impl DatasetConfig {
     /// Builder-style: enable or disable the telemetry registry.
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
         self.telemetry_enabled = enabled;
+        self
+    }
+
+    /// Builder-style: record this dataset's memory-budget slice in bytes
+    /// (persisted; see [`DatasetConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder-style: read decoded leaves through a shared [`LeafCache`].
+    pub fn with_leaf_cache(mut self, cache: Arc<LeafCache>) -> Self {
+        self.leaf_cache = Some(cache);
         self
     }
 
@@ -244,6 +279,7 @@ impl DatasetConfig {
             compaction_target_size: target_size,
             compaction_l0_threshold: l0_threshold as u64,
             compaction_ratio: ratio,
+            memory_budget: self.memory_budget as u64,
         }
     }
 
@@ -289,6 +325,8 @@ impl DatasetConfig {
             max_sealed_memtables: 2,
             pool: None,
             telemetry_enabled: true,
+            memory_budget: persisted.memory_budget as usize,
+            leaf_cache: None,
         }
     }
 }
@@ -451,6 +489,13 @@ impl LsmDataset {
         cache: BufferCache,
         durable: Option<Arc<DurableStore>>,
     ) -> LsmDataset {
+        // Attach the shared decoded-leaf cache: every component built over
+        // this buffer cache reads leaves through it, under an origin that
+        // namespaces this dataset's component ids.
+        let cache = match config.leaf_cache.as_ref() {
+            Some(shared) => cache.with_leaf_cache(shared.handle()),
+            None => cache,
+        };
         let secondary = config.secondary_index_on.as_ref().map(|_| SecondaryIndex::new());
         let schema_builder = SchemaBuilder::new(Some(config.key_field.clone()));
         let telemetry = Arc::new(if config.telemetry_enabled {
@@ -569,10 +614,12 @@ impl LsmDataset {
         Ok(dataset)
     }
 
-    /// Reopen a durable dataset from its directory alone: the persisted
-    /// configuration in the manifest is used (a dataset directory is
-    /// self-describing). Fails if the directory has no manifest yet.
-    pub fn reopen(dir: impl AsRef<std::path::Path>) -> Result<LsmDataset> {
+    /// Read the configuration persisted in a durable dataset directory's
+    /// manifest without opening the dataset (no WAL replay, no recovery).
+    /// Lets a multi-shard opener sum the per-shard budget slices and build
+    /// one shared leaf cache before reopening any shard. Fails if the
+    /// directory has no manifest yet.
+    pub fn peek_persisted_config(dir: impl AsRef<std::path::Path>) -> Result<DatasetConfig> {
         let (_, manifest) = ManifestStore::open(dir.as_ref())?;
         let Some(manifest) = manifest else {
             return Err(crate::LsmError::new(format!(
@@ -580,7 +627,33 @@ impl LsmDataset {
                 dir.as_ref().display()
             )));
         };
-        LsmDataset::open(dir, DatasetConfig::from_persisted(&manifest.config))
+        Ok(DatasetConfig::from_persisted(&manifest.config))
+    }
+
+    /// Reopen a durable dataset from its directory alone: the persisted
+    /// configuration in the manifest is used (a dataset directory is
+    /// self-describing). Fails if the directory has no manifest yet.
+    pub fn reopen(dir: impl AsRef<std::path::Path>) -> Result<LsmDataset> {
+        let mut config = LsmDataset::peek_persisted_config(dir.as_ref())?;
+        // A persisted budget with no cache supplied by the caller: derive a
+        // private leaf cache of half the slice — the same split the facade
+        // applies — so the dataset keeps its caching behaviour on reopen.
+        if config.memory_budget > 0 && config.leaf_cache.is_none() {
+            config.leaf_cache = Some(Arc::new(LeafCache::new(config.memory_budget / 2)));
+        }
+        LsmDataset::open(dir, config)
+    }
+
+    /// Reopen like [`LsmDataset::reopen`], but read decoded leaves through
+    /// the given **shared** [`LeafCache`] instead of deriving a private one
+    /// from the persisted budget. The facade uses this to re-attach one
+    /// cache across every shard of a reopened sharded dataset.
+    pub fn reopen_with_leaf_cache(
+        dir: impl AsRef<std::path::Path>,
+        cache: Arc<LeafCache>,
+    ) -> Result<LsmDataset> {
+        let config = LsmDataset::peek_persisted_config(dir.as_ref())?.with_leaf_cache(cache);
+        LsmDataset::open(dir, config)
     }
 
     /// `true` when the dataset is backed by a directory (WAL + manifest).
@@ -668,6 +741,9 @@ impl LsmDataset {
         snap.push_counter("storage.bytes_written", io.bytes_written);
         snap.push_counter("storage.cache_hits", io.cache_hits);
         snap.push_counter("storage.records_assembled", io.records_assembled);
+        snap.push_counter("cache.hits", io.leaf_cache_hits);
+        snap.push_counter("cache.misses", io.leaf_cache_misses);
+        snap.push_counter("cache.evictions", io.leaf_cache_evictions);
         snap.push_gauge(
             "storage.allocated_bytes",
             self.core.cache.store().allocated_bytes() as f64,
@@ -1412,6 +1488,13 @@ impl DatasetCore {
                 schema.clone(),
                 desc,
             ));
+            // The rewritten component keeps its id but relocated its pages.
+            // Its decoded leaves are byte-identical, but the cached state
+            // must not outlive a physical relocation — invalidate eagerly
+            // rather than reasoning about which entries would stay valid.
+            if let Some(handle) = self.cache.leaf_cache() {
+                handle.invalidate_component(component.meta().id);
+            }
             // The replacement shares the unmoved slots with the original, so
             // the original must not free on drop; only the superseded source
             // slots die, and only once nothing references the original.
@@ -1998,5 +2081,106 @@ mod tests {
         assert!(snapshot.lookup(&Value::Int(0), None).unwrap().is_some());
         assert!(snapshot.lookup(&Value::Int(150), None).unwrap().is_none());
         assert_eq!(ds.count().unwrap(), 199);
+    }
+
+    #[test]
+    fn leaf_cached_dataset_serves_warm_scans_without_page_reads() {
+        for layout in LayoutKind::ALL {
+            let leaf_cache = Arc::new(LeafCache::new(16 << 20));
+            let ds = LsmDataset::new(tiny_config(layout).with_leaf_cache(leaf_cache.clone()));
+            for i in 0..300 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+            ds.compact_fully().unwrap();
+
+            ds.cache().clear();
+            ds.cache().store().reset_stats();
+            let cold = ds.scan(None).unwrap();
+            let cold_io = ds.io_stats();
+            assert!(cold_io.pages_read > 0, "{layout:?}");
+            assert_eq!(cold_io.leaf_cache_hits, 0, "{layout:?}");
+            assert!(cold_io.leaf_cache_misses > 0, "{layout:?}");
+
+            // Clear the page cache too: warm reads must be served by the
+            // decoded-leaf cache alone.
+            ds.cache().clear();
+            ds.cache().store().reset_stats();
+            let warm = ds.scan(None).unwrap();
+            assert_eq!(cold, warm, "{layout:?}");
+            let warm_io = ds.io_stats();
+            assert_eq!(warm_io.pages_read, 0, "{layout:?}");
+            assert_eq!(
+                warm_io.leaf_cache_hits,
+                cold_io.leaf_cache_misses,
+                "{layout:?}: every leaf that missed cold must hit warm"
+            );
+            assert_eq!(warm_io.leaf_cache_misses, 0, "{layout:?}");
+            assert!(leaf_cache.resident_bytes() <= leaf_cache.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn merge_retirement_invalidates_decoded_leaves() {
+        let leaf_cache = Arc::new(LeafCache::new(16 << 20));
+        let ds = LsmDataset::new(
+            tiny_config(LayoutKind::Apax).with_leaf_cache(leaf_cache.clone()),
+        );
+        for i in 0..200 {
+            ds.insert(sample_record(i)).unwrap();
+        }
+        ds.flush().unwrap();
+        // Warm the cache over the current components.
+        let _ = ds.scan(None).unwrap();
+        assert!(leaf_cache.resident_leaves() > 0);
+
+        // A full compaction retires every input component; their decoded
+        // leaves must leave the cache with them.
+        ds.compact_fully().unwrap();
+        assert_eq!(ds.component_count(), 1);
+        assert!(leaf_cache.stats().invalidations > 0);
+        // Whatever remains resident belongs to the merged survivor only.
+        let snapshot = ds.snapshot();
+        let live: Vec<u64> = snapshot.components().iter().map(|c| c.meta().id).collect();
+        let cached: usize = live
+            .iter()
+            .map(|&id| snapshot.components()[0].cache().leaf_cache().unwrap().cached_leaf_count(id))
+            .sum();
+        assert_eq!(leaf_cache.resident_leaves(), cached);
+        // And the merged output still reads correctly through the cache.
+        assert_eq!(ds.scan(None).unwrap().len(), 200);
+        assert_eq!(ds.scan(None).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn memory_budget_round_trips_and_reopen_derives_a_leaf_cache() {
+        let dir = std::env::temp_dir()
+            .join(format!("lsm-leafcache-tests-{}", std::process::id()))
+            .join("budget-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let config = tiny_config(LayoutKind::Vb).with_memory_budget(8 << 20);
+        {
+            let ds = LsmDataset::open(&dir, config).unwrap();
+            for i in 0..100 {
+                ds.insert(sample_record(i)).unwrap();
+            }
+            ds.flush().unwrap();
+        }
+        let ds = LsmDataset::reopen(&dir).unwrap();
+        assert_eq!(ds.config().memory_budget, 8 << 20);
+        let leaf_cache = ds.config().leaf_cache.clone().expect(
+            "reopen derives a leaf cache from the persisted budget",
+        );
+        assert_eq!(leaf_cache.capacity_bytes(), 4 << 20);
+        // And it is actually wired through: a re-scan hits.
+        let _ = ds.scan(None).unwrap();
+        ds.cache().clear();
+        ds.cache().store().reset_stats();
+        let _ = ds.scan(None).unwrap();
+        let io = ds.io_stats();
+        assert_eq!(io.pages_read, 0);
+        assert!(io.leaf_cache_hits > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -374,7 +374,7 @@ mod tests {
                 key_field: "id".to_string(),
                 memtable_budget: 1024,
                 page_size,
-                cache_pages: 8,
+                cache_pages: storage::DEFAULT_CACHE_PAGES as u64,
                 primary_key_index: true,
                 secondary_index_on: None,
                 compress_pages: true,
@@ -386,6 +386,7 @@ mod tests {
                 compaction_target_size: 4 << 20,
                 compaction_l0_threshold: 4,
                 compaction_ratio: 0.5,
+                memory_budget: 0,
             },
             next_component_id: 0,
             schema: SchemaBuilder::new(Some("id".to_string())).into_schema(),

@@ -20,16 +20,18 @@
 //!
 //! ## Format versioning
 //!
-//! The magic bytes carry the format generation. `LSMMAN03` (current) adds
-//! the compaction-strategy selection and its knobs to the persisted config,
-//! so a reopened dataset keeps compacting the way it was created.
+//! The magic bytes carry the format generation. `LSMMAN04` (current) adds
+//! the memory-budget knob behind the shared decoded-leaf cache, so a
+//! reopened dataset keeps the caching behaviour it was created with.
+//! `LSMMAN03` added the compaction-strategy selection and its knobs;
 //! `LSMMAN02` appended the per-component column statistics
 //! ([`storage::ComponentStats`]) that the query planner's zone maps and
-//! cost model consume; `LSMMAN01` manifests predate statistics. Both older
-//! formats are still read: v1/v2 configs decode with the default tiering
-//! strategy, and v1 components reopen with no statistics (which disables
-//! zone-map pruning for them and makes the planner fall back to
-//! conservative estimates). Commits always write the current format.
+//! cost model consume; `LSMMAN01` manifests predate statistics. All older
+//! formats are still read: pre-v4 configs decode with no memory budget,
+//! v1/v2 configs additionally decode with the default tiering strategy,
+//! and v1 components reopen with no statistics (which disables zone-map
+//! pruning for them and makes the planner fall back to conservative
+//! estimates). Commits always write the current format.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -46,8 +48,10 @@ use storage::{LayoutKind, PageId, RowFormat};
 use crate::{PersistError, Result};
 
 /// Magic bytes opening every current-format manifest file.
-const MAGIC: &[u8; 8] = b"LSMMAN03";
-/// Previous format: no compaction-strategy fields. Still readable.
+const MAGIC: &[u8; 8] = b"LSMMAN04";
+/// Previous format: no memory-budget field. Still readable.
+const MAGIC_V3: &[u8; 8] = b"LSMMAN03";
+/// Before that: additionally, no compaction-strategy fields. Still readable.
 const MAGIC_V2: &[u8; 8] = b"LSMMAN02";
 /// Oldest format: additionally, no per-component statistics. Still readable.
 const MAGIC_V1: &[u8; 8] = b"LSMMAN01";
@@ -58,6 +62,7 @@ enum Format {
     V1,
     V2,
     V3,
+    V4,
 }
 
 /// The durable subset of the dataset configuration. Enough to reconstruct a
@@ -100,6 +105,10 @@ pub struct PersistedConfig {
     pub compaction_l0_threshold: u64,
     /// Leveled/lazy-leveled: size ratio between adjacent runs.
     pub compaction_ratio: f64,
+    /// Memory budget in bytes for this dataset's share of memtables, sealed
+    /// queue, page cache, and decoded-leaf cache (format v4; 0 = no budget
+    /// configured, older manifests decode as 0).
+    pub memory_budget: u64,
 }
 
 /// Everything one manifest commit records.
@@ -139,7 +148,7 @@ fn read_bool(buf: &[u8], pos: &mut usize) -> Result<bool> {
 }
 
 /// Encode a manifest body in the given format generation. Production
-/// commits always use [`Format::V3`]; the older formats exist so the
+/// commits always use [`Format::V4`]; the older formats exist so the
 /// compatibility tests can produce genuine old-format bytes.
 fn encode_body(data: &ManifestData, format: Format) -> Vec<u8> {
     let mut out = Vec::new();
@@ -170,6 +179,9 @@ fn encode_body(data: &ManifestData, format: Format) -> Vec<u8> {
         varint::write_u64(&mut out, c.compaction_target_size);
         varint::write_u64(&mut out, c.compaction_l0_threshold);
         plain::write_f64(&mut out, c.compaction_ratio);
+    }
+    if format >= Format::V4 {
+        varint::write_u64(&mut out, c.memory_budget);
     }
 
     varint::write_u64(&mut out, data.next_component_id);
@@ -283,6 +295,12 @@ fn decode_body(buf: &[u8], format: Format) -> Result<ManifestData> {
         } else {
             (0, 4 << 20, 4, 0.5)
         };
+    // The memory budget arrived in v4; older manifests ran unbudgeted.
+    let memory_budget = if format >= Format::V4 {
+        varint::read_u64(buf, pos)?
+    } else {
+        0
+    };
 
     let next_component_id = varint::read_u64(buf, pos)?;
     let schema = serial::read_schema(buf, pos)?;
@@ -355,6 +373,7 @@ fn decode_body(buf: &[u8], format: Format) -> Result<ManifestData> {
             compaction_target_size,
             compaction_l0_threshold,
             compaction_ratio,
+            memory_budget,
         },
         next_component_id,
         schema,
@@ -421,7 +440,8 @@ impl ManifestStore {
             return Err(PersistError::new("manifest too short"));
         }
         let format = match &bytes[..MAGIC.len()] {
-            m if m == MAGIC => Format::V3,
+            m if m == MAGIC => Format::V4,
+            m if m == MAGIC_V3 => Format::V3,
             m if m == MAGIC_V2 => Format::V2,
             m if m == MAGIC_V1 => Format::V1,
             _ => return Err(PersistError::new("manifest magic mismatch")),
@@ -447,7 +467,7 @@ impl ManifestStore {
     /// is still intact.
     pub fn commit(&mut self, mut data: ManifestData) -> Result<u64> {
         data.version = self.version + 1;
-        let body = encode_body(&data, Format::V3);
+        let body = encode_body(&data, Format::V4);
         let mut bytes = Vec::with_capacity(MAGIC.len() + 4 + body.len());
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&crc32(&body).to_le_bytes());
@@ -502,7 +522,7 @@ mod tests {
                 key_field: "id".to_string(),
                 memtable_budget: 1 << 20,
                 page_size: 4096,
-                cache_pages: 64,
+                cache_pages: storage::DEFAULT_CACHE_PAGES as u64,
                 primary_key_index: true,
                 secondary_index_on: Some("timestamp".to_string()),
                 compress_pages: true,
@@ -514,6 +534,7 @@ mod tests {
                 compaction_target_size: 8 << 20,
                 compaction_l0_threshold: 3,
                 compaction_ratio: 0.75,
+                memory_budget: 32 << 20,
             },
             next_component_id: 7,
             schema: builder.into_schema(),
@@ -594,13 +615,15 @@ mod tests {
         assert_eq!(loaded.components[1].stats, None);
     }
 
-    /// The compaction fields an old-format manifest decodes to: the default
-    /// tiering strategy (kind 0) with the leveled knobs at their defaults.
+    /// The compaction fields an old-format (pre-v3) manifest decodes to: the
+    /// default tiering strategy (kind 0) with the leveled knobs at their
+    /// defaults — and, as for every pre-v4 format, no memory budget.
     fn with_default_compaction(mut config: PersistedConfig) -> PersistedConfig {
         config.compaction_kind = 0;
         config.compaction_target_size = 4 << 20;
         config.compaction_l0_threshold = 4;
         config.compaction_ratio = 0.5;
+        config.memory_budget = 0;
         config
     }
 
@@ -644,6 +667,24 @@ mod tests {
         assert_eq!(store.version(), 1);
         assert_eq!(loaded.components[0].stats, Some(sample_stats()), "v2 keeps stats");
         assert_eq!(loaded.config, with_default_compaction(data.config));
+    }
+
+    #[test]
+    fn v3_manifests_without_memory_budget_are_still_readable() {
+        // v3 magic: compaction fields present, no memory budget — the config
+        // decodes unbudgeted (0) with everything else intact.
+        let dir = temp_dir("v3-compat");
+        let mut data = sample_data();
+        data.version = 1;
+        write_old_format(&dir, b"LSMMAN03", &data, Format::V3);
+
+        let (store, loaded) = ManifestStore::open(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(store.version(), 1);
+        assert_eq!(loaded.components[0].stats, Some(sample_stats()), "v3 keeps stats");
+        let mut expected = data.config.clone();
+        expected.memory_budget = 0;
+        assert_eq!(loaded.config, expected, "v3 keeps compaction, loses budget");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   execution. Partitions run *sequentially* under analyze (unlike
 //!   [`execute`](crate::QueryEngine::execute)'s thread-per-shard fan-out)
 //!   so each shard's delta is exact even when shards share one store;
+//! * **cache hits/misses** — decoded-leaf cache traffic during execution
+//!   (same [`IoStats`](storage::pagestore::IoStats) deltas); a fully warm
+//!   hot-range re-scan shows hits equal to the leaves touched and a
+//!   pages-read delta of zero;
 //! * **components scanned vs. pruned** — how many on-disk components the
 //!   zone maps eliminated without reading a page.
 //!
@@ -95,12 +99,21 @@ impl ExecProbe {
     }
 
     /// Freeze the counters into the partition's report.
-    pub(crate) fn finish(self, pages_read: u64, bytes_read: u64, rows_out: usize) -> ShardAnalysis {
+    pub(crate) fn finish(
+        self,
+        pages_read: u64,
+        bytes_read: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        rows_out: usize,
+    ) -> ShardAnalysis {
         ShardAnalysis {
             rows_pulled: self.pull.pulled.load(Ordering::Relaxed),
             exhausted: self.pull.exhausted.load(Ordering::Relaxed),
             pages_read,
             bytes_read,
+            cache_hits,
+            cache_misses,
             components_scanned: self.components_scanned.get(),
             components_pruned: self.components_pruned.get(),
             rows_out,
@@ -121,6 +134,12 @@ pub struct ShardAnalysis {
     pub pages_read: u64,
     /// Bytes read from the partition's store during execution.
     pub bytes_read: u64,
+    /// Decoded-leaf cache hits during execution (leaves served without a
+    /// page read; 0 when the store has no leaf cache).
+    pub cache_hits: u64,
+    /// Decoded-leaf cache misses during execution (leaves decoded from
+    /// pages and inserted into the cache).
+    pub cache_misses: u64,
     /// On-disk components the access path read.
     pub components_scanned: usize,
     /// Components skipped by zone-map pruning without any page read.
@@ -170,6 +189,16 @@ impl AnalyzeReport {
         self.shards.iter().map(|s| s.bytes_read).sum()
     }
 
+    /// Total decoded-leaf cache hits across partitions.
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Total decoded-leaf cache misses across partitions.
+    pub fn cache_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_misses).sum()
+    }
+
     /// Total components the access paths read.
     pub fn components_scanned(&self) -> usize {
         self.shards.iter().map(|s| s.components_scanned).sum()
@@ -200,11 +229,23 @@ impl AnalyzeReport {
             Some(at) => format!("early termination after {at} rows pulled"),
             None => "stream exhausted".to_string(),
         };
+        // Cache counters appear only when a decoded-leaf cache took part,
+        // so cacheless stores keep their familiar one-line rendering.
+        let cache = if self.cache_hits() + self.cache_misses() > 0 {
+            format!(
+                ", cache hits {} / misses {}",
+                self.cache_hits(),
+                self.cache_misses(),
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "analyze: wall {:?}, rows pulled {}, pages read {}, components scanned {} (pruned {}), output rows {}, {}\n",
+            "analyze: wall {:?}, rows pulled {}, pages read {}{}, components scanned {} (pruned {}), output rows {}, {}\n",
             self.wall,
             self.rows_pulled(),
             self.pages_read(),
+            cache,
             self.components_scanned(),
             self.components_pruned(),
             self.rows.len(),
@@ -212,10 +253,16 @@ impl AnalyzeReport {
         ));
         if self.shards.len() > 1 {
             for (i, s) in self.shards.iter().enumerate() {
+                let cache = if s.cache_hits + s.cache_misses > 0 {
+                    format!(", cache hits {} / misses {}", s.cache_hits, s.cache_misses)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "analyze[shard {i}]: rows pulled {}, pages read {}, components scanned {} (pruned {}), rows out {}{}\n",
+                    "analyze[shard {i}]: rows pulled {}, pages read {}{}, components scanned {} (pruned {}), rows out {}{}\n",
                     s.rows_pulled,
                     s.pages_read,
+                    cache,
                     s.components_scanned,
                     s.components_pruned,
                     s.rows_out,

@@ -316,18 +316,20 @@ impl QueryEngine {
                 let before = io();
                 let output = exec(&probe)?;
                 let after = io();
-                let (pages, bytes) = match (before, after) {
+                let (pages, bytes, hits, misses) = match (before, after) {
                     (Some(b), Some(a)) => (
                         a.pages_read.saturating_sub(b.pages_read),
                         a.bytes_read.saturating_sub(b.bytes_read),
+                        a.leaf_cache_hits.saturating_sub(b.leaf_cache_hits),
+                        a.leaf_cache_misses.saturating_sub(b.leaf_cache_misses),
                     ),
-                    _ => (0, 0),
+                    _ => (0, 0, 0, 0),
                 };
                 let rows_out = match &output {
                     ExecOutput::Rows(rows) => rows.len(),
                     ExecOutput::Groups(groups) => groups.len(),
                 };
-                analyses.push(probe.finish(pages, bytes, rows_out));
+                analyses.push(probe.finish(pages, bytes, hits, misses, rows_out));
                 outputs.push(output);
                 Ok(())
             };

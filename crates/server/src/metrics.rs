@@ -20,6 +20,12 @@
 //!
 //! Per-command counters exist for exactly the commands the server speaks
 //! (see [`CommandKind`]); unknown commands land in `other`.
+//!
+//! The merged snapshot also carries the storage side's families — among
+//! them the decoded-leaf cache's `cache.hits` / `cache.misses` /
+//! `cache.evictions` counters and the `cache.resident_bytes` /
+//! `cache.budget_bytes` / `cache.resident_leaves` gauges, present when the
+//! served dataset was configured with a memory budget.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

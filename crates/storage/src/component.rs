@@ -53,6 +53,7 @@ use schema::{columns_of, ColumnId, ColumnSpec, Schema};
 
 use crate::amax::{self, AmaxConfig};
 use crate::apax;
+use crate::leafcache::{DecodedLeaf, LeafCacheHandle, LeafPayloadKind};
 use crate::pagestore::{BufferCache, PageId};
 use crate::rowformat::RowFormat;
 use crate::rowpage;
@@ -235,6 +236,12 @@ impl Drop for Component {
             // Free through the cache so cached copies of these ids are
             // evicted before the store recycles the slots for new pages.
             self.cache.free_pages(&self.meta.pages);
+            // The component id is dead for good (ids are never reused), so
+            // its decoded leaves can never be read again — drop them now
+            // rather than letting them squat on the leaf-cache budget.
+            if let Some(handle) = self.cache.leaf_cache() {
+                handle.invalidate_component(self.meta.id);
+            }
         }
     }
 }
@@ -560,23 +567,142 @@ impl Component {
         }
     }
 
-    fn assemble_leaf(
+    /// The shared decoded-leaf cache handle, when the owning dataset
+    /// attached one to this component's buffer cache.
+    fn leaf_cache(&self) -> Option<&LeafCacheHandle> {
+        self.cache.leaf_cache()
+    }
+
+    /// Number of this component's leaves with a decoded copy resident in the
+    /// shared leaf cache (0 when none is attached). Feeds the planner's
+    /// cache-residency discount: a resident leaf costs no page reads.
+    pub fn cached_leaf_count(&self) -> usize {
+        self.leaf_cache()
+            .map_or(0, |handle| handle.cached_leaf_count(self.meta.id))
+    }
+
+    /// Decoded entries of one row-layout leaf, through the decoded-leaf
+    /// cache when one is attached. Row pages ignore projection, so the cache
+    /// key never carries a column set. A hit decodes nothing: no page reads
+    /// and no `records_assembled`.
+    fn row_entries(&self, leaf_idx: usize) -> Result<Arc<Vec<Entry>>> {
+        let Some(handle) = self.leaf_cache() else {
+            let payload = self.read_payload(self.leaves[leaf_idx].page)?;
+            let entries = rowpage::decode_row_page(&payload)?;
+            self.cache
+                .store()
+                .note_records_assembled(entries.len() as u64);
+            return Ok(Arc::new(entries));
+        };
+        if let Some(DecodedLeaf::Rows(entries)) =
+            handle.get(self.meta.id, leaf_idx, LeafPayloadKind::Entries, None)
+        {
+            self.cache.store().note_leaf_cache_hit();
+            return Ok(entries);
+        }
+        self.cache.store().note_leaf_cache_miss();
+        let payload = self.read_payload(self.leaves[leaf_idx].page)?;
+        let entries = Arc::new(rowpage::decode_row_page(&payload)?);
+        self.cache
+            .store()
+            .note_records_assembled(entries.len() as u64);
+        let evicted = handle.insert(
+            self.meta.id,
+            leaf_idx,
+            LeafPayloadKind::Entries,
+            None,
+            DecodedLeaf::Rows(entries.clone()),
+        );
+        self.cache.store().note_leaf_cache_evictions(evicted);
+        Ok(entries)
+    }
+
+    /// Decoded column chunks of one columnar leaf, through the decoded-leaf
+    /// cache when one is attached.
+    fn cached_chunks(
         &self,
-        leaf: &LeafRef,
+        leaf_idx: usize,
         columns: Option<&[ColumnId]>,
-    ) -> Result<Vec<Entry>> {
+    ) -> Result<Arc<Vec<Arc<columnar::ColumnChunk>>>> {
+        let Some(handle) = self.leaf_cache() else {
+            let chunks = self.decode_chunks(&self.leaves[leaf_idx], columns)?;
+            return Ok(Arc::new(chunks.into_iter().map(Arc::new).collect()));
+        };
+        if let Some(DecodedLeaf::Chunks(chunks)) =
+            handle.get(self.meta.id, leaf_idx, LeafPayloadKind::Chunks, columns)
+        {
+            self.cache.store().note_leaf_cache_hit();
+            return Ok(chunks);
+        }
+        self.cache.store().note_leaf_cache_miss();
+        let chunks: Arc<Vec<Arc<columnar::ColumnChunk>>> = Arc::new(
+            self.decode_chunks(&self.leaves[leaf_idx], columns)?
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+        );
+        let evicted = handle.insert(
+            self.meta.id,
+            leaf_idx,
+            LeafPayloadKind::Chunks,
+            columns,
+            DecodedLeaf::Chunks(chunks.clone()),
+        );
+        self.cache.store().note_leaf_cache_evictions(evicted);
+        Ok(chunks)
+    }
+
+    fn assemble_leaf(&self, leaf_idx: usize, columns: Option<&[ColumnId]>) -> Result<Vec<Entry>> {
         match self.config.layout {
             LayoutKind::Open | LayoutKind::Vb => {
-                let payload = self.read_payload(leaf.page)?;
-                let entries = rowpage::decode_row_page(&payload)?;
-                self.cache
-                    .store()
-                    .note_records_assembled(entries.len() as u64);
-                Ok(entries)
+                let entries = self.row_entries(leaf_idx)?;
+                Ok(Arc::try_unwrap(entries).unwrap_or_else(|arc| arc.as_ref().clone()))
             }
             LayoutKind::Apax | LayoutKind::Amax => {
-                let chunks = self.decode_chunks(leaf, columns)?;
-                self.assemble_chunks(chunks, leaf.record_count)
+                let count = self.leaves[leaf_idx].record_count;
+                let Some(handle) = self.leaf_cache() else {
+                    let chunks: Vec<Arc<columnar::ColumnChunk>> = self
+                        .decode_chunks(&self.leaves[leaf_idx], columns)?
+                        .into_iter()
+                        .map(Arc::new)
+                        .collect();
+                    return self.assemble_chunks(&chunks, count);
+                };
+                if let Some(DecodedLeaf::Rows(entries)) =
+                    handle.get(self.meta.id, leaf_idx, LeafPayloadKind::Entries, columns)
+                {
+                    // Assembled hit: the lookup pays neither page reads nor
+                    // the per-record assembly.
+                    self.cache.store().note_leaf_cache_hit();
+                    return Ok(entries.as_ref().clone());
+                }
+                self.cache.store().note_leaf_cache_miss();
+                // A cursor may already have warmed this leaf's chunks; reuse
+                // them silently rather than decoding the pages again.
+                let chunks = match handle.peek(
+                    self.meta.id,
+                    leaf_idx,
+                    LeafPayloadKind::Chunks,
+                    columns,
+                ) {
+                    Some(DecodedLeaf::Chunks(chunks)) => chunks,
+                    _ => Arc::new(
+                        self.decode_chunks(&self.leaves[leaf_idx], columns)?
+                            .into_iter()
+                            .map(Arc::new)
+                            .collect::<Vec<_>>(),
+                    ),
+                };
+                let entries = Arc::new(self.assemble_chunks(&chunks, count)?);
+                let evicted = handle.insert(
+                    self.meta.id,
+                    leaf_idx,
+                    LeafPayloadKind::Entries,
+                    columns,
+                    DecodedLeaf::Rows(entries.clone()),
+                );
+                self.cache.store().note_leaf_cache_evictions(evicted);
+                Ok(entries.as_ref().clone())
             }
         }
     }
@@ -586,48 +712,54 @@ impl Component {
     /// the key column eagerly and defer record assembly, so a reconciling
     /// merge can batch-skip shadowed entries via
     /// [`columnar::ColumnCursor::skip_records`] without ever assembling them
-    /// (§4.4).
-    fn load_leaf(&self, leaf: &LeafRef, columns: Option<&[ColumnId]>) -> Result<LeafBuffer> {
+    /// (§4.4). Both paths read through the decoded-leaf cache when one is
+    /// attached.
+    fn load_leaf(&self, leaf_idx: usize, columns: Option<&[ColumnId]>) -> Result<LeafBuffer> {
         match self.config.layout {
             LayoutKind::Open | LayoutKind::Vb => {
-                let payload = self.read_payload(leaf.page)?;
-                let entries = rowpage::decode_row_page(&payload)?;
-                self.cache
-                    .store()
-                    .note_records_assembled(entries.len() as u64);
+                let entries = self.row_entries(leaf_idx)?;
+                // Uncached datasets hold the only reference, so the unwrap
+                // moves the vector instead of deep-cloning it.
+                let entries =
+                    Arc::try_unwrap(entries).unwrap_or_else(|arc| arc.as_ref().clone());
                 Ok(LeafBuffer::Rows(entries.into()))
             }
             LayoutKind::Apax | LayoutKind::Amax => {
-                let chunks = self.decode_chunks(leaf, columns)?;
+                let count = self.leaves[leaf_idx].record_count;
+                let chunks = self.cached_chunks(leaf_idx, columns)?;
                 let keys = chunks
                     .iter()
                     .find(|c| c.spec.is_key)
                     .cloned()
                     .ok_or_else(|| DecodeError::new("component page lacks the key column"))?;
                 let cursors: Vec<ColumnCursor> = chunks
-                    .into_iter()
-                    .map(|c| ColumnCursor::new(Arc::new(c)))
+                    .iter()
+                    .map(|c| ColumnCursor::new(c.clone()))
                     .collect();
                 Ok(LeafBuffer::Lazy(Box::new(LazyLeaf {
                     keys,
-                    assembler: Assembler::new(&self.schema, cursors, leaf.record_count),
+                    assembler: Assembler::new(&self.schema, cursors, count),
                     pos: 0,
-                    count: leaf.record_count,
+                    count,
                 })))
             }
         }
     }
 
     /// Turn decoded chunks into `(key, record-or-anti-matter)` entries.
-    fn assemble_chunks(&self, chunks: Vec<columnar::ColumnChunk>, count: usize) -> Result<Vec<Entry>> {
+    fn assemble_chunks(
+        &self,
+        chunks: &[Arc<columnar::ColumnChunk>],
+        count: usize,
+    ) -> Result<Vec<Entry>> {
         let key_chunk = chunks
             .iter()
             .find(|c| c.spec.is_key)
             .cloned()
             .ok_or_else(|| DecodeError::new("component page lacks the key column"))?;
         let cursors: Vec<ColumnCursor> = chunks
-            .into_iter()
-            .map(|c| ColumnCursor::new(Arc::new(c)))
+            .iter()
+            .map(|c| ColumnCursor::new(c.clone()))
             .collect();
         let mut assembler = Assembler::new(&self.schema, cursors, count);
         let mut out = Vec::with_capacity(count);
@@ -665,7 +797,7 @@ impl ComponentReader for Component {
             return Ok(None);
         };
         let columns = self.projection_columns(projection);
-        let entries = self.assemble_leaf(&self.leaves[leaf_idx], columns.as_deref())?;
+        let entries = self.assemble_leaf(leaf_idx, columns.as_deref())?;
         // Row pages are sorted, so a binary search would do; columnar pages
         // require the linear scan over decoded keys the paper describes
         // (§4.6). The entries are materialised either way at this point, so a
@@ -694,8 +826,9 @@ enum LeafBuffer {
 struct LazyLeaf {
     /// The decoded key column: one definition level and one value per entry,
     /// including anti-matter (the key column stores the deleted key at
-    /// definition level 0, §3.2.3).
-    keys: columnar::ColumnChunk,
+    /// definition level 0, §3.2.3). `Arc`'d so a leaf-cache hit shares the
+    /// chunk instead of cloning it.
+    keys: Arc<columnar::ColumnChunk>,
     assembler: Assembler,
     /// Next record position within the leaf.
     pos: usize,
@@ -742,9 +875,9 @@ impl CursorState {
                 self.leaf = None;
                 return None;
             }
-            let leaf = &component.leaves[self.next_leaf];
+            let leaf_idx = self.next_leaf;
             self.next_leaf += 1;
-            match component.load_leaf(leaf, self.columns.as_deref()) {
+            match component.load_leaf(leaf_idx, self.columns.as_deref()) {
                 Ok(buffer) => self.leaf = Some(buffer),
                 Err(e) => return Some(Err(e)),
             }
@@ -1458,5 +1591,163 @@ mod tests {
         assert!(comp.projection_columns(None).is_none());
         let empty = comp.projection_columns(Some(&[])).unwrap();
         assert_eq!(empty.len(), 1); // just the key
+    }
+
+    fn leaf_cached_cache() -> (BufferCache, Arc<crate::leafcache::LeafCache>) {
+        let leaf_cache = Arc::new(crate::leafcache::LeafCache::new(8 << 20));
+        let cache = BufferCache::new(PageStore::with_page_size(4096), 64)
+            .with_leaf_cache(leaf_cache.handle());
+        (cache, leaf_cache)
+    }
+
+    #[test]
+    fn warm_rescan_reads_zero_pages_in_every_layout() {
+        let entries = records(300);
+        let schema = schema_for(&entries);
+        for layout in LayoutKind::ALL {
+            let (cache, leaf_cache) = leaf_cached_cache();
+            let config = ComponentConfig::new(layout);
+            let comp = Component::write(&cache, &config, schema.clone(), &entries, 1).unwrap();
+
+            // Cold scan: every leaf misses and is decoded from pages.
+            cache.clear();
+            cache.store().reset_stats();
+            let cold: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+            let cold_stats = cache.store().stats();
+            assert_eq!(cold_stats.leaf_cache_hits, 0, "{layout:?}");
+            assert_eq!(
+                cold_stats.leaf_cache_misses,
+                comp.leaf_count() as u64,
+                "{layout:?}"
+            );
+            assert!(cold_stats.pages_read > 0, "{layout:?}");
+
+            // Warm scan: all leaves hit — zero pages read, zero decodes, and
+            // (for row layouts) zero records assembled.
+            cache.clear(); // page cache cleared: hits must come from the leaf cache
+            cache.store().reset_stats();
+            let warm: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+            assert_eq!(cold, warm, "{layout:?}");
+            let warm_stats = cache.store().stats();
+            assert_eq!(warm_stats.pages_read, 0, "{layout:?}");
+            assert_eq!(
+                warm_stats.leaf_cache_hits,
+                comp.leaf_count() as u64,
+                "{layout:?}"
+            );
+            assert_eq!(warm_stats.leaf_cache_misses, 0, "{layout:?}");
+            assert!(leaf_cache.resident_bytes() > 0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn warm_lookup_skips_pages_and_assembly() {
+        let entries = records(200);
+        let schema = schema_for(&entries);
+        for layout in LayoutKind::ALL {
+            let (cache, _leaf_cache) = leaf_cached_cache();
+            let config = ComponentConfig::new(layout);
+            let comp = Component::write(&cache, &config, schema.clone(), &entries, 1).unwrap();
+
+            cache.clear();
+            cache.store().reset_stats();
+            let cold = comp.lookup(&Value::Int(137), None).unwrap();
+            assert!(cold.as_ref().is_some_and(|doc| doc.is_some()), "{layout:?}");
+
+            cache.clear();
+            cache.store().reset_stats();
+            let warm = comp.lookup(&Value::Int(137), None).unwrap();
+            assert_eq!(cold, warm, "{layout:?}");
+            let stats = cache.store().stats();
+            assert_eq!(stats.pages_read, 0, "{layout:?}");
+            assert_eq!(stats.leaf_cache_misses, 0, "{layout:?}");
+            assert!(stats.leaf_cache_hits >= 1, "{layout:?}");
+            // A hit serves materialised entries: nothing is re-assembled.
+            assert_eq!(stats.records_assembled, 0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn projected_and_full_scans_cache_separately_but_stay_correct() {
+        let entries = records(150);
+        let schema = schema_for(&entries);
+        let (cache, _leaf_cache) = leaf_cached_cache();
+        let config = ComponentConfig::new(LayoutKind::Amax);
+        let comp = Component::write(&cache, &config, schema, &entries, 1).unwrap();
+
+        let path = vec![Path::parse("likes")];
+        let projected: Vec<Entry> =
+            comp.scan(Some(&path)).unwrap().map(|e| e.unwrap()).collect();
+        // The projected chunks must not satisfy a full scan (different key).
+        let full: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(full.len(), projected.len());
+        let full_doc = full[10].1.as_ref().unwrap();
+        assert!(full_doc.get_path_str("user.name").is_some());
+        let projected_doc = projected[10].1.as_ref().unwrap();
+        assert!(projected_doc.get_path_str("user.name").is_none());
+        assert_eq!(projected_doc.get_field("likes"), full_doc.get_field("likes"));
+    }
+
+    #[test]
+    fn retired_component_invalidates_its_decoded_leaves() {
+        let entries = records(120);
+        let schema = schema_for(&entries);
+        let (cache, leaf_cache) = leaf_cached_cache();
+        let config = ComponentConfig::new(LayoutKind::Apax);
+        let comp = std::sync::Arc::new(
+            Component::write(&cache, &config, schema, &entries, 1).unwrap(),
+        );
+        let id = comp.meta().id;
+        let scanned: Vec<Entry> = comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(scanned.len(), 120);
+        let handle = cache.leaf_cache().unwrap();
+        assert!(handle.cached_leaf_count(id) > 0);
+
+        comp.retire();
+        drop(comp);
+        assert_eq!(handle.cached_leaf_count(id), 0);
+        assert!(leaf_cache.stats().invalidations > 0);
+        assert_eq!(leaf_cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn component_churn_never_serves_stale_decoded_leaves() {
+        // Regression for cache coherence under slot reuse: retire + rewrite
+        // components over the same recycled page slots repeatedly, scanning
+        // through the shared leaf cache each round. Stale state from a
+        // retired generation must never leak into the next.
+        let schema = schema_for(&records(40));
+        let (cache, leaf_cache) = leaf_cached_cache();
+        for generation in 0..6u64 {
+            let entries: Vec<Entry> = (0..40)
+                .map(|i| {
+                    (
+                        Value::Int(i),
+                        Some(doc!({
+                            "id": i,
+                            "user": {"name": (format!("gen{generation}")), "verified": true},
+                            "text": (format!("generation {generation} row {i}")),
+                            "likes": (generation as i64),
+                            "tags": ["a", "b"]
+                        })),
+                    )
+                })
+                .collect();
+            let config = ComponentConfig::new(LayoutKind::Vb);
+            let comp = std::sync::Arc::new(
+                Component::write(&cache, &config, schema.clone(), &entries, generation + 1)
+                    .unwrap(),
+            );
+            // Scan twice: the second pass serves from the leaf cache.
+            for _ in 0..2 {
+                let scanned: Vec<Entry> =
+                    comp.scan(None).unwrap().map(|e| e.unwrap()).collect();
+                assert_eq!(scanned, entries, "generation {generation}");
+            }
+            comp.retire();
+        }
+        // Every generation was retired, so nothing may remain resident.
+        assert_eq!(leaf_cache.resident_leaves(), 0);
+        assert!(leaf_cache.stats().invalidations > 0);
     }
 }

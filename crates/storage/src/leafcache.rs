@@ -1,0 +1,607 @@
+//! leafcache — a shared, size-bounded cache of **decoded leaves**.
+//!
+//! The page [`BufferCache`](crate::pagestore::BufferCache) short-circuits
+//! disk reads but still pays the full decode + assembly cost on every leaf
+//! visit. This module caches the *output* of that work so repeated point
+//! reads and hot-range scans skip both the page reads and the decode.
+//!
+//! ## Keying
+//!
+//! Entries are keyed by `(origin, component id, leaf index, payload kind,
+//! projected columns)`:
+//!
+//! * **origin** — a small integer handed out by [`LeafCache::handle`], one
+//!   per dataset/shard attached to the cache. Component ids are only unique
+//!   *within* a dataset (each shard counts from 1), so the origin disambiguates
+//!   shards sharing one cache.
+//! * **component id** — ids are monotonically allocated and *never reused*
+//!   (the allocator is persisted in the manifest), so a key can never alias a
+//!   future component. This is what makes the cache immune to page-id reuse:
+//!   page slots are recycled by the free list, component ids are not.
+//! * **leaf index** — position in the component's leaf directory.
+//! * **payload kind + columns** — the same leaf can be cached as decoded
+//!   column chunks (cursor path) and as fully assembled entries (lookup
+//!   path), and separately per projected column set. See
+//!   [`LeafPayloadKind`].
+//!
+//! ## Eviction and budget accounting
+//!
+//! The cache holds at most `capacity` bytes of *estimated decoded size*
+//! (entries via [`docmodel::Value::approx_size`], chunks via their vector
+//! footprints). Inserts that would exceed the capacity evict the
+//! least-recently-used entries first; a payload larger than the whole
+//! capacity is never inserted at all, so resident bytes are provably
+//! bounded by the configured budget at every instant. Hits refresh recency.
+//!
+//! ## Invalidation protocol
+//!
+//! Two events drop entries eagerly rather than waiting for LRU pressure:
+//!
+//! * **Component retirement** — when a retired component's last pin drops
+//!   (`Component::drop` with `free_on_drop` set, i.e. after a merge or
+//!   dataset clear), its decoded leaves are invalidated right where its
+//!   pages are freed. Until that point snapshot readers may still serve
+//!   (and re-warm) the retired component — that is correct, because the
+//!   id still refers to exactly that immutable content.
+//! * **`reclaim_space` GC** — the copy-down pass rewrites a component's
+//!   pages in place (same id, same logical content, new page slots). The
+//!   decoded bytes are identical, but the dataset invalidates the id anyway
+//!   so cached state never outlives a physical relocation.
+//!
+//! Because ids are never reused, a stale entry can at worst waste budget,
+//! never serve wrong data; the invalidation protocol bounds the waste.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use columnar::{ColumnChunk, ColumnValues};
+use docmodel::Value;
+use schema::ColumnId;
+
+use crate::component::Entry;
+
+/// What shape of decoded payload an entry holds. Part of the cache key: the
+/// cursor path and the lookup path want different representations of the
+/// same leaf, and both may be resident at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeafPayloadKind {
+    /// Fully materialised `(key, record)` entries — row-page decodes, and
+    /// columnar leaves that have been assembled for point lookups.
+    Entries,
+    /// Decoded column chunks with record assembly still deferred — the
+    /// columnar cursor path, which feeds chunks straight into per-column
+    /// cursors.
+    Chunks,
+}
+
+/// A cached decoded leaf. Payloads are `Arc`'d so a hit is a pointer bump,
+/// never a deep copy; column chunks are additionally `Arc`'d per chunk so
+/// they can be handed to `ColumnCursor`s without cloning the vectors.
+#[derive(Clone)]
+pub enum DecodedLeaf {
+    /// See [`LeafPayloadKind::Entries`].
+    Rows(Arc<Vec<Entry>>),
+    /// See [`LeafPayloadKind::Chunks`].
+    Chunks(Arc<Vec<Arc<ColumnChunk>>>),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct LeafKey {
+    origin: u64,
+    component: u64,
+    leaf: usize,
+    kind: LeafPayloadKind,
+    /// Normalised (sorted, deduplicated) projected column set; `None` means
+    /// every column. Different projections decode different chunk sets, so
+    /// they cache separately.
+    columns: Option<Vec<ColumnId>>,
+}
+
+struct CachedLeaf {
+    payload: DecodedLeaf,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<LeafKey, CachedLeaf>,
+    total_bytes: usize,
+    tick: u64,
+}
+
+/// Point-in-time counters and residency of a [`LeafCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LeafCacheStats {
+    /// Leaf loads served from the cache (no page reads, no decode).
+    pub hits: u64,
+    /// Leaf loads that had to decode from the page store.
+    pub misses: u64,
+    /// Entries removed to stay under the byte capacity.
+    pub evictions: u64,
+    /// Entries removed by explicit invalidation (retirement / GC / clear).
+    pub invalidations: u64,
+    /// Estimated decoded bytes currently resident.
+    pub resident_bytes: u64,
+    /// Number of cached leaf payloads currently resident.
+    pub resident_leaves: u64,
+    /// Configured byte capacity.
+    pub capacity_bytes: u64,
+}
+
+/// Shared, size-bounded cache of decoded leaves. One per
+/// `Datastore`/`ShardedDataset`, shared by every shard, snapshot, and
+/// concurrent reader; all methods take `&self` and are thread-safe.
+///
+/// See the [module docs](self) for the keying, eviction, and invalidation
+/// protocol.
+pub struct LeafCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    next_origin: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for LeafCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("LeafCache")
+            .field("capacity_bytes", &stats.capacity_bytes)
+            .field("resident_bytes", &stats.resident_bytes)
+            .field("resident_leaves", &stats.resident_leaves)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LeafCache {
+    /// A cache that holds at most `capacity_bytes` of estimated decoded
+    /// payload.
+    pub fn new(capacity_bytes: usize) -> LeafCache {
+        LeafCache {
+            capacity: capacity_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                total_bytes: 0,
+                tick: 0,
+            }),
+            next_origin: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Register one dataset/shard with the cache, reserving a fresh origin
+    /// id for its component-id namespace.
+    pub fn handle(self: &Arc<LeafCache>) -> LeafCacheHandle {
+        LeafCacheHandle {
+            cache: Arc::clone(self),
+            origin: self.next_origin.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Configured byte capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated decoded bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().total_bytes
+    }
+
+    /// Number of cached leaf payloads currently resident.
+    pub fn resident_leaves(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Snapshot of counters and residency.
+    pub fn stats(&self) -> LeafCacheStats {
+        let (total_bytes, len) = {
+            let inner = self.inner.lock();
+            (inner.total_bytes, inner.entries.len())
+        };
+        LeafCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            resident_bytes: total_bytes as u64,
+            resident_leaves: len as u64,
+            capacity_bytes: self.capacity as u64,
+        }
+    }
+
+    /// Drop every entry (counted as invalidations). Counters survive.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.total_bytes = 0;
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    fn lookup(
+        &self,
+        key: &LeafKey,
+        refresh: bool,
+    ) -> Option<DecodedLeaf> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(key)?;
+        if refresh {
+            entry.last_used = tick;
+        }
+        Some(entry.payload.clone())
+    }
+
+    fn get(
+        &self,
+        origin: u64,
+        component: u64,
+        leaf: usize,
+        kind: LeafPayloadKind,
+        columns: Option<&[ColumnId]>,
+    ) -> Option<DecodedLeaf> {
+        let key = LeafKey {
+            origin,
+            component,
+            leaf,
+            kind,
+            columns: normalise_columns(columns),
+        };
+        let found = self.lookup(&key, true);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn peek(
+        &self,
+        origin: u64,
+        component: u64,
+        leaf: usize,
+        kind: LeafPayloadKind,
+        columns: Option<&[ColumnId]>,
+    ) -> Option<DecodedLeaf> {
+        let key = LeafKey {
+            origin,
+            component,
+            leaf,
+            kind,
+            columns: normalise_columns(columns),
+        };
+        self.lookup(&key, true)
+    }
+
+    fn insert(
+        &self,
+        origin: u64,
+        component: u64,
+        leaf: usize,
+        kind: LeafPayloadKind,
+        columns: Option<&[ColumnId]>,
+        payload: DecodedLeaf,
+    ) -> u64 {
+        let bytes = payload_bytes(&payload);
+        if bytes > self.capacity {
+            // An oversized payload would evict everything and still not
+            // fit; refusing it keeps resident bytes ≤ capacity invariant.
+            return 0;
+        }
+        let key = LeafKey {
+            origin,
+            component,
+            leaf,
+            kind,
+            columns: normalise_columns(columns),
+        };
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.insert(
+            key,
+            CachedLeaf {
+                payload,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+        let mut evicted = 0u64;
+        while inner.total_bytes > self.capacity {
+            // The fresh insert carries the newest tick, so it is never its
+            // own victim.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(e) = inner.entries.remove(&k) {
+                        inner.total_bytes -= e.bytes;
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    fn invalidate(&self, origin: u64, component: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner
+            .entries
+            .retain(|k, _| !(k.origin == origin && k.component == component));
+        let dropped = (before - inner.entries.len()) as u64;
+        inner.total_bytes = inner.entries.values().map(|e| e.bytes).sum();
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    fn cached_leaf_count(&self, origin: u64, component: u64) -> usize {
+        let inner = self.inner.lock();
+        let mut leaves = HashSet::new();
+        for k in inner.entries.keys() {
+            if k.origin == origin && k.component == component {
+                leaves.insert(k.leaf);
+            }
+        }
+        leaves.len()
+    }
+}
+
+/// One dataset's view of a shared [`LeafCache`]: the cache plus the origin
+/// id that namespaces this dataset's component ids. Cheap to clone; rides
+/// along on [`BufferCache`](crate::pagestore::BufferCache) clones.
+#[derive(Clone)]
+pub struct LeafCacheHandle {
+    cache: Arc<LeafCache>,
+    origin: u64,
+}
+
+impl LeafCacheHandle {
+    /// The shared cache behind this handle.
+    pub fn cache(&self) -> &Arc<LeafCache> {
+        &self.cache
+    }
+
+    /// This dataset's origin id.
+    pub fn origin(&self) -> u64 {
+        self.origin
+    }
+
+    /// Fetch a decoded leaf, counting a cache hit or miss.
+    pub fn get(
+        &self,
+        component: u64,
+        leaf: usize,
+        kind: LeafPayloadKind,
+        columns: Option<&[ColumnId]>,
+    ) -> Option<DecodedLeaf> {
+        self.cache.get(self.origin, component, leaf, kind, columns)
+    }
+
+    /// Fetch a decoded leaf without touching the hit/miss counters — used
+    /// when a miss on one payload kind can be served by transcoding another
+    /// resident kind (still refreshes recency).
+    pub fn peek(
+        &self,
+        component: u64,
+        leaf: usize,
+        kind: LeafPayloadKind,
+        columns: Option<&[ColumnId]>,
+    ) -> Option<DecodedLeaf> {
+        self.cache.peek(self.origin, component, leaf, kind, columns)
+    }
+
+    /// Insert a decoded leaf, evicting LRU entries as needed to stay under
+    /// the byte capacity. Returns how many entries were evicted.
+    pub fn insert(
+        &self,
+        component: u64,
+        leaf: usize,
+        kind: LeafPayloadKind,
+        columns: Option<&[ColumnId]>,
+        payload: DecodedLeaf,
+    ) -> u64 {
+        self.cache
+            .insert(self.origin, component, leaf, kind, columns, payload)
+    }
+
+    /// Drop every cached leaf of one component (retirement / GC). Returns
+    /// how many entries were dropped.
+    pub fn invalidate_component(&self, component: u64) -> u64 {
+        self.cache.invalidate(self.origin, component)
+    }
+
+    /// Distinct leaf indices of `component` with at least one resident
+    /// payload — the planner's residency-discount input.
+    pub fn cached_leaf_count(&self, component: u64) -> usize {
+        self.cache.cached_leaf_count(self.origin, component)
+    }
+}
+
+fn normalise_columns(columns: Option<&[ColumnId]>) -> Option<Vec<ColumnId>> {
+    columns.map(|cols| {
+        let mut v = cols.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn entry_bytes(entry: &Entry) -> usize {
+    let (key, doc) = entry;
+    key.approx_size() + doc.as_ref().map_or(0, Value::approx_size) + 16
+}
+
+fn chunk_bytes(chunk: &ColumnChunk) -> usize {
+    let values = match &chunk.values {
+        ColumnValues::Bool(v) => v.len(),
+        ColumnValues::Int(v) => v.len() * 8,
+        ColumnValues::Double(v) => v.len() * 8,
+        ColumnValues::String(v) => v.iter().map(|s| 24 + s.len()).sum(),
+    };
+    64 + chunk.defs.len() * 2 + values
+}
+
+/// Estimated decoded size of a payload — the unit of budget accounting.
+pub fn payload_bytes(payload: &DecodedLeaf) -> usize {
+    match payload {
+        DecodedLeaf::Rows(entries) => 32 + entries.iter().map(entry_bytes).sum::<usize>(),
+        DecodedLeaf::Chunks(chunks) => {
+            32 + chunks.iter().map(|c| chunk_bytes(c)).sum::<usize>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, tag: i64) -> DecodedLeaf {
+        let entries: Vec<Entry> = (0..n)
+            .map(|i| (Value::Int(tag * 1000 + i as i64), Some(Value::Int(i as i64))))
+            .collect();
+        DecodedLeaf::Rows(Arc::new(entries))
+    }
+
+    fn rows_len(leaf: &DecodedLeaf) -> usize {
+        match leaf {
+            DecodedLeaf::Rows(entries) => entries.len(),
+            DecodedLeaf::Chunks(_) => panic!("expected rows"),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = Arc::new(LeafCache::new(1 << 20));
+        let h = cache.handle();
+        assert!(h.get(1, 0, LeafPayloadKind::Entries, None).is_none());
+        h.insert(1, 0, LeafPayloadKind::Entries, None, rows(4, 7));
+        let hit = h.get(1, 0, LeafPayloadKind::Entries, None).expect("hit");
+        assert_eq!(rows_len(&hit), 4);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.resident_leaves, 1);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn payload_kinds_and_projections_cache_separately() {
+        let cache = Arc::new(LeafCache::new(1 << 20));
+        let h = cache.handle();
+        h.insert(1, 0, LeafPayloadKind::Entries, None, rows(1, 1));
+        assert!(h.peek(1, 0, LeafPayloadKind::Chunks, None).is_none());
+        let cols: Vec<ColumnId> = vec![3, 1, 3];
+        let sorted: Vec<ColumnId> = vec![1, 3];
+        h.insert(1, 0, LeafPayloadKind::Entries, Some(&cols), rows(2, 2));
+        // Normalised column sets are order/dup insensitive.
+        let hit = h
+            .peek(1, 0, LeafPayloadKind::Entries, Some(&sorted))
+            .expect("normalised projection hit");
+        assert_eq!(rows_len(&hit), 2);
+        assert!(h.peek(1, 0, LeafPayloadKind::Entries, None).is_some());
+        assert_eq!(cache.resident_leaves(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_resident_bytes_under_capacity() {
+        let one_leaf = payload_bytes(&rows(8, 0));
+        let cache = Arc::new(LeafCache::new(one_leaf * 3 + 1));
+        let h = cache.handle();
+        for leaf in 0..3 {
+            h.insert(1, leaf, LeafPayloadKind::Entries, None, rows(8, leaf as i64));
+        }
+        // Touch leaf 0 so leaf 1 is the LRU victim.
+        assert!(h.get(1, 0, LeafPayloadKind::Entries, None).is_some());
+        let evicted = h.insert(1, 3, LeafPayloadKind::Entries, None, rows(8, 3));
+        assert_eq!(evicted, 1);
+        assert!(h.peek(1, 1, LeafPayloadKind::Entries, None).is_none());
+        assert!(h.peek(1, 0, LeafPayloadKind::Entries, None).is_some());
+        assert!(cache.resident_bytes() <= cache.capacity_bytes());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_payload_is_never_cached() {
+        let cache = Arc::new(LeafCache::new(64));
+        let h = cache.handle();
+        let evicted = h.insert(1, 0, LeafPayloadKind::Entries, None, rows(64, 0));
+        assert_eq!(evicted, 0);
+        assert_eq!(cache.resident_leaves(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn invalidate_component_drops_all_its_leaves_only() {
+        let cache = Arc::new(LeafCache::new(1 << 20));
+        let h = cache.handle();
+        for leaf in 0..4 {
+            h.insert(1, leaf, LeafPayloadKind::Entries, None, rows(2, 1));
+            h.insert(2, leaf, LeafPayloadKind::Entries, None, rows(2, 2));
+        }
+        assert_eq!(h.cached_leaf_count(1), 4);
+        assert_eq!(h.invalidate_component(1), 4);
+        assert_eq!(h.cached_leaf_count(1), 0);
+        assert_eq!(h.cached_leaf_count(2), 4);
+        assert_eq!(cache.stats().invalidations, 4);
+        assert!(h.peek(2, 0, LeafPayloadKind::Entries, None).is_some());
+    }
+
+    #[test]
+    fn origins_namespace_component_ids() {
+        let cache = Arc::new(LeafCache::new(1 << 20));
+        let shard_a = cache.handle();
+        let shard_b = cache.handle();
+        assert_ne!(shard_a.origin(), shard_b.origin());
+        shard_a.insert(1, 0, LeafPayloadKind::Entries, None, rows(3, 10));
+        shard_b.insert(1, 0, LeafPayloadKind::Entries, None, rows(5, 20));
+        assert_eq!(
+            rows_len(&shard_a.peek(1, 0, LeafPayloadKind::Entries, None).unwrap()),
+            3
+        );
+        assert_eq!(
+            rows_len(&shard_b.peek(1, 0, LeafPayloadKind::Entries, None).unwrap()),
+            5
+        );
+        // Invalidating shard A's component 1 leaves shard B's untouched.
+        shard_a.invalidate_component(1);
+        assert!(shard_a.peek(1, 0, LeafPayloadKind::Entries, None).is_none());
+        assert!(shard_b.peek(1, 0, LeafPayloadKind::Entries, None).is_some());
+    }
+
+    #[test]
+    fn clear_counts_invalidations_and_zeroes_residency() {
+        let cache = Arc::new(LeafCache::new(1 << 20));
+        let h = cache.handle();
+        h.insert(1, 0, LeafPayloadKind::Entries, None, rows(2, 0));
+        h.insert(1, 1, LeafPayloadKind::Entries, None, rows(2, 1));
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.resident_leaves(), 0);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`component`] — immutable sorted runs ("on-disk components") in any of
 //!   the four layouts behind one [`component::ComponentReader`] interface:
 //!   full scans with projection, ranged scans, and point lookups;
+//! * [`leafcache`] — a shared, size-bounded cache of *decoded* leaves keyed
+//!   by `(component id, leaf index)`, shared across snapshots and shards,
+//!   that lets hot reads skip both the page reads and the decode/assembly;
 //! * [`stats`] — per-component column statistics (value counts and min/max
 //!   zone maps) collected at flush/merge time, persisted in the manifest,
 //!   and consumed by the query planner for zone-map pruning and the
@@ -35,6 +38,7 @@ pub mod amax;
 pub mod apax;
 pub mod backend;
 pub mod component;
+pub mod leafcache;
 pub mod pagestore;
 pub mod rowformat;
 pub mod rowpage;
@@ -42,8 +46,9 @@ pub mod stats;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
 pub use component::{ComponentDescriptor, ComponentReader, LayoutKind, LeafDescriptor};
+pub use leafcache::{DecodedLeaf, LeafCache, LeafCacheHandle, LeafCacheStats, LeafPayloadKind};
 pub use stats::{ColumnStats, ComponentStats};
-pub use pagestore::{BufferCache, IoStats, PageId, PageStore, PAGE_SIZE_DEFAULT};
+pub use pagestore::{BufferCache, IoStats, PageId, PageStore, DEFAULT_CACHE_PAGES, PAGE_SIZE_DEFAULT};
 pub use rowformat::RowFormat;
 
 /// Error type shared by the storage readers (decode failures, corrupt pages).

@@ -28,11 +28,18 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::backend::{FileBackend, MemoryBackend, StorageBackend};
+use crate::leafcache::LeafCacheHandle;
 use crate::Result;
 
 /// Default on-disk page size: 128 KiB, the value used in the paper's
 /// experiment setup (§6).
 pub const PAGE_SIZE_DEFAULT: usize = 128 * 1024;
+
+/// Default [`BufferCache`] capacity, in pages. One documented default for
+/// every construction site (dataset configs, persisted manifests, test
+/// helpers) so a config round-tripped through the manifest keeps the same
+/// cache size it started with.
+pub const DEFAULT_CACHE_PAGES: usize = 256;
 
 /// Identifier of a page within a [`PageStore`].
 pub type PageId = u64;
@@ -55,6 +62,14 @@ pub struct IoStats {
     /// (§4.4) assemble fewer records than they visit, and this counter is
     /// how tests observe the difference.
     pub records_assembled: u64,
+    /// Leaf loads served by the shared decoded-leaf cache
+    /// ([`crate::leafcache::LeafCache`]) — no page reads, no decode.
+    pub leaf_cache_hits: u64,
+    /// Leaf loads that missed the decoded-leaf cache and decoded from pages.
+    pub leaf_cache_misses: u64,
+    /// Decoded leaves evicted from the leaf cache to stay under its byte
+    /// budget, attributed to the store whose insert forced them out.
+    pub leaf_cache_evictions: u64,
 }
 
 /// A store of fixed-size pages: explicit read/write calls, atomic
@@ -73,6 +88,9 @@ struct PageStoreInner {
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
     records_assembled: AtomicU64,
+    leaf_cache_hits: AtomicU64,
+    leaf_cache_misses: AtomicU64,
+    leaf_cache_evictions: AtomicU64,
 }
 
 impl PageStore {
@@ -98,6 +116,9 @@ impl PageStore {
                 bytes_written: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 records_assembled: AtomicU64::new(0),
+                leaf_cache_hits: AtomicU64::new(0),
+                leaf_cache_misses: AtomicU64::new(0),
+                leaf_cache_evictions: AtomicU64::new(0),
             }),
         }
     }
@@ -217,6 +238,24 @@ impl PageStore {
         self.inner.records_assembled.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Account for one leaf load served by the decoded-leaf cache.
+    pub fn note_leaf_cache_hit(&self) {
+        self.inner.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account for one leaf load that missed the decoded-leaf cache.
+    pub fn note_leaf_cache_miss(&self) {
+        self.inner.leaf_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account for `n` decoded leaves evicted by an insert through this
+    /// store's components.
+    pub fn note_leaf_cache_evictions(&self, n: u64) {
+        if n > 0 {
+            self.inner.leaf_cache_evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the accounting counters.
     pub fn stats(&self) -> IoStats {
         IoStats {
@@ -226,6 +265,9 @@ impl PageStore {
             bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             records_assembled: self.inner.records_assembled.load(Ordering::Relaxed),
+            leaf_cache_hits: self.inner.leaf_cache_hits.load(Ordering::Relaxed),
+            leaf_cache_misses: self.inner.leaf_cache_misses.load(Ordering::Relaxed),
+            leaf_cache_evictions: self.inner.leaf_cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -237,6 +279,9 @@ impl PageStore {
         self.inner.bytes_written.store(0, Ordering::Relaxed);
         self.inner.cache_hits.store(0, Ordering::Relaxed);
         self.inner.records_assembled.store(0, Ordering::Relaxed);
+        self.inner.leaf_cache_hits.store(0, Ordering::Relaxed);
+        self.inner.leaf_cache_misses.store(0, Ordering::Relaxed);
+        self.inner.leaf_cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -258,6 +303,10 @@ impl Default for PageStore {
 pub struct BufferCache {
     store: PageStore,
     inner: Arc<Mutex<CacheInner>>,
+    /// Shared decoded-leaf cache handle, when the owning dataset attached
+    /// one. Rides along on clones so every component built over this cache
+    /// reads through the same leaf cache.
+    leaf: Option<LeafCacheHandle>,
 }
 
 struct CacheInner {
@@ -279,7 +328,20 @@ impl BufferCache {
                 entries: HashMap::new(),
                 tick: 0,
             })),
+            leaf: None,
         }
+    }
+
+    /// Attach a decoded-leaf cache handle: components built over this buffer
+    /// cache will serve leaf loads through it.
+    pub fn with_leaf_cache(mut self, handle: LeafCacheHandle) -> BufferCache {
+        self.leaf = Some(handle);
+        self
+    }
+
+    /// The attached decoded-leaf cache handle, if any.
+    pub fn leaf_cache(&self) -> Option<&LeafCacheHandle> {
+        self.leaf.as_ref()
     }
 
     /// The underlying store.
