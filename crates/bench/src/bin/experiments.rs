@@ -140,6 +140,18 @@ fn main() {
             Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
         }
     }
+    if wanted("pushdown") {
+        let rows = run_pushdown_comparison(scale);
+        print_matrix(
+            "Filter pushdown: selectivity x layout, pushed vs unpushed scans",
+            &rows,
+        );
+        let out = std::path::Path::new("BENCH_pushdown.json");
+        match write_measurements_json(out, "pushdown_selectivity", scale, &rows) {
+            Ok(()) => println!("\nwrote {}", out.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", out.display()),
+        }
+    }
     if wanted("streaming") {
         print_matrix(
             "Streaming execution: materialised batch vs cursor pipeline (tweet_1)",

@@ -571,7 +571,12 @@ impl ShardedDataset {
         if let Some(cache) = &self.leaf_cache {
             let stats = cache.stats();
             merged.push_gauge("cache.resident_bytes", stats.resident_bytes as f64);
-            merged.push_gauge("cache.resident_leaves", stats.resident_leaves as f64);
+            // Residency counts *distinct physical leaves*: a leaf cached as
+            // both entries and chunks must not gauge as two leaves.
+            merged.push_gauge(
+                "cache.resident_leaves",
+                stats.resident_distinct_leaves as f64,
+            );
             merged.push_gauge("cache.budget_bytes", stats.capacity_bytes as f64);
         }
         merged.with_derived_gauges()

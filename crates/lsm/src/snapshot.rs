@@ -38,6 +38,34 @@
 //! merges and index rebuilds ([`EntryMergeCursor`]): a merge is exactly a
 //! newest-first reconciling union of component cursors.
 //!
+//! ## Filter push-down (late materialization)
+//!
+//! [`Snapshot::cursor_pushed`] threads a conjunction of sargable
+//! [`ColumnPredicate`]s down into every source. The contract:
+//!
+//! * The merge evaluates **only the reconciliation winner** of each key.
+//!   Shadowed versions are batch-skipped *before* the winner is tested — a
+//!   stale value must never decide whether a live record survives, and a
+//!   rejected winner must never resurrect the versions it shadowed.
+//! * A rejected winner is consumed without assembly: columnar components
+//!   evaluate the predicates over the **filter columns alone**
+//!   ([`ComponentCursor::pushed_matches`]) and batch-skip rejections like
+//!   reconciliation losers, counted in `IoStats` as
+//!   `records_filtered_pre_assembly`. Memtable rejections cost no I/O and
+//!   are not counted.
+//! * Whole leaves whose persisted zone maps prove no match are skipped
+//!   before any page read (`leaves_skipped`) — but only when the leaf's key
+//!   range is disjoint from every **older** component's key range, so
+//!   hiding it can neither resurrect a shadowed version nor drop an
+//!   anti-matter annihilation.
+//! * Anti-matter always passes the filter: it has no value to test and must
+//!   reach the merge to annihilate ([`ScanCursor`] then drops it).
+//!
+//! Predicates the planner cannot push (disjunctions, repeated paths — the
+//! existential-semantics lesson) stay in the query layer's *residual*
+//! filter, applied after assembly. Merges and index rebuilds never push
+//! filters: they must preserve every surviving version and all anti-matter.
+//!
 //! Cursors are fully owned (`Arc`s into the snapshot's sources), so they can
 //! outlive the `&Snapshot` borrow they were created from — the facade hands
 //! them out as streaming query results.
@@ -45,7 +73,9 @@
 use std::sync::Arc;
 
 use docmodel::{total_cmp, Path, Value};
-use storage::component::{Component, ComponentCursor, ComponentReader, Entry};
+use storage::component::{
+    ColumnPredicate, Component, ComponentCursor, ComponentReader, Entry, ScanFilter,
+};
 
 use crate::Result;
 
@@ -137,12 +167,36 @@ impl Snapshot {
         skip: &[bool],
     ) -> Result<ScanCursor> {
         Ok(ScanCursor {
-            inner: self.entry_cursor(projection, skip),
+            inner: self.entry_cursor(projection, skip, None),
+        })
+    }
+
+    /// Like [`Snapshot::cursor_pruned`], with a pushed-down filter: the
+    /// conjunction of `predicates` is evaluated source-side on each key's
+    /// reconciliation winner (filter columns only on columnar components —
+    /// no assembly for rejections), and component leaves whose zone maps
+    /// prove no match are skipped before any page read. See the
+    /// module-level filter push-down contract. An empty predicate list is
+    /// exactly [`Snapshot::cursor_pruned`].
+    pub fn cursor_pushed(
+        &self,
+        projection: Option<&[Path]>,
+        skip: &[bool],
+        predicates: Arc<Vec<ColumnPredicate>>,
+    ) -> Result<ScanCursor> {
+        let filter = (!predicates.is_empty()).then_some(predicates);
+        Ok(ScanCursor {
+            inner: self.entry_cursor(projection, skip, filter),
         })
     }
 
     /// The underlying entry-level merge cursor (anti-matter included).
-    fn entry_cursor(&self, projection: Option<&[Path]>, skip: &[bool]) -> EntryMergeCursor {
+    fn entry_cursor(
+        &self,
+        projection: Option<&[Path]>,
+        skip: &[bool],
+        filter: Option<Arc<Vec<ColumnPredicate>>>,
+    ) -> EntryMergeCursor {
         // Sources newest-first: active memtable, sealed memtables (newest
         // first), components (newest first, minus the pruned ones).
         let mut sources = Vec::with_capacity(1 + self.tree.sealed.len() + self.tree.components.len());
@@ -150,13 +204,37 @@ impl Snapshot {
         for sealed in self.tree.sealed.iter().rev() {
             sources.push(MergeSource::sealed(sealed.clone()));
         }
+        // Every component's key range, oldest first. Pruned components are
+        // included: a component the *scan* skips entirely still has versions
+        // a newer component's leaf could shadow, so it still constrains which
+        // leaves may be hidden.
+        let ranges: Vec<Option<(Value, Value)>> = if filter.is_some() {
+            self.tree.components.iter().map(|c| c.key_range()).collect()
+        } else {
+            Vec::new()
+        };
         for (i, component) in self.tree.components.iter().enumerate().rev() {
             if skip.get(i).copied().unwrap_or(false) {
                 continue;
             }
-            sources.push(MergeSource::disk(component.cursor(projection)));
+            match &filter {
+                Some(predicates) => {
+                    let older: Vec<(Value, Value)> =
+                        ranges[..i].iter().flatten().cloned().collect();
+                    sources.push(MergeSource::disk(component.cursor_filtered(
+                        projection,
+                        Some(ScanFilter {
+                            predicates: predicates.clone(),
+                            older_key_ranges: Arc::new(older),
+                        }),
+                    )));
+                }
+                None => sources.push(MergeSource::disk(component.cursor(projection))),
+            }
         }
-        EntryMergeCursor::new(sources)
+        let mut cursor = EntryMergeCursor::new(sources);
+        cursor.filter = filter;
+        cursor
     }
 
     /// Scan the snapshot into a materialised batch, reconciling duplicates
@@ -358,6 +436,31 @@ impl MergeSource {
         }
     }
 
+    /// Does the source's next entry (the reconciliation winner of its key)
+    /// pass the pushed-down filter? Memtable entries are evaluated in place
+    /// (anti-matter always passes); disk sources delegate to the component
+    /// cursor, which decodes filter columns only.
+    fn head_passes_filter(&mut self, predicates: &[ColumnPredicate]) -> Result<bool> {
+        match &mut self.kind {
+            SourceKind::Mem { entries, pos } => Ok(match entries.get(*pos) {
+                Some((_, Some(doc))) => predicates.iter().all(|p| p.matches(doc)),
+                _ => true,
+            }),
+            SourceKind::Disk(cursor) => cursor.pushed_matches().unwrap_or(Ok(true)),
+        }
+    }
+
+    /// Consume the entry whose key is `head_key` as a pushed-filter
+    /// rejection. Disk sources count it as `records_filtered_pre_assembly`;
+    /// memtable rejections cost no I/O and are uncounted.
+    fn skip_entry_filtered(&mut self) {
+        self.head_key = None;
+        match &mut self.kind {
+            SourceKind::Mem { pos, .. } => *pos += 1,
+            SourceKind::Disk(cursor) => cursor.skip_entry_filtered(),
+        }
+    }
+
     /// Entries currently decoded and resident for this source (disk sources
     /// only — memtable sources share the snapshot's memory).
     fn buffered(&self) -> usize {
@@ -379,6 +482,10 @@ impl MergeSource {
 pub struct EntryMergeCursor {
     /// Sources in newest-first order; index = reconciliation priority.
     sources: Vec<MergeSource>,
+    /// Pushed-down filter: each key's reconciliation winner must pass this
+    /// conjunction or the merge consumes it unassembled (see the module-level
+    /// filter push-down contract). `None` = yield every winner.
+    filter: Option<Arc<Vec<ColumnPredicate>>>,
     /// High-water mark of entries buffered across all sources (the peak-RSS
     /// proxy reported by the streaming benchmarks).
     peak_buffered: usize,
@@ -386,7 +493,7 @@ pub struct EntryMergeCursor {
 
 impl EntryMergeCursor {
     fn new(sources: Vec<MergeSource>) -> EntryMergeCursor {
-        EntryMergeCursor { sources, peak_buffered: 0 }
+        EntryMergeCursor { sources, filter: None, peak_buffered: 0 }
     }
 
     /// A merge cursor over on-disk components only (`components` given
@@ -453,41 +560,55 @@ impl EntryMergeCursor {
     }
 
     fn advance(&mut self) -> Result<Option<Entry>> {
-        // Fill every head key, then account the buffered high-water mark.
-        for source in &mut self.sources {
-            source.fill_key()?;
-        }
-        let buffered: usize = self.sources.iter().map(MergeSource::buffered).sum();
-        self.peak_buffered = self.peak_buffered.max(buffered);
+        let filter = self.filter.clone();
+        loop {
+            // Fill every head key, then account the buffered high-water mark.
+            for source in &mut self.sources {
+                source.fill_key()?;
+            }
+            let buffered: usize = self.sources.iter().map(MergeSource::buffered).sum();
+            self.peak_buffered = self.peak_buffered.max(buffered);
 
-        // The smallest head key wins; among equal keys, the newest source
-        // (lowest index) provides the surviving version.
-        let mut best: Option<usize> = None;
-        for (i, source) in self.sources.iter().enumerate() {
-            let Some(key) = &source.head_key else { continue };
-            match best {
-                None => best = Some(i),
-                Some(b) => {
-                    let best_key = self.sources[b].head_key.as_ref().expect("head filled");
-                    if total_cmp(key, best_key) == std::cmp::Ordering::Less {
-                        best = Some(i);
+            // The smallest head key wins; among equal keys, the newest source
+            // (lowest index) provides the surviving version.
+            let mut best: Option<usize> = None;
+            for (i, source) in self.sources.iter().enumerate() {
+                let Some(key) = &source.head_key else { continue };
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        let best_key = self.sources[b].head_key.as_ref().expect("head filled");
+                        if total_cmp(key, best_key) == std::cmp::Ordering::Less {
+                            best = Some(i);
+                        }
                     }
                 }
             }
-        }
-        let Some(best) = best else { return Ok(None) };
-        // Only the winner is assembled; the shadowed versions of the same key
-        // in older sources are skipped column-cursor-batch-wise, never
-        // decoded into documents (§4.4).
-        let entry = self.sources[best].take_entry()?;
-        for source in &mut self.sources[best + 1..] {
-            if let Some(key) = &source.head_key {
-                if total_cmp(key, &entry.0) == std::cmp::Ordering::Equal {
-                    source.skip_entry();
+            let Some(best) = best else { return Ok(None) };
+            // The shadowed versions of the winning key in older sources are
+            // skipped column-cursor-batch-wise, never decoded into documents
+            // (§4.4) — *before* the winner is evaluated or assembled, so a
+            // filter-rejected winner can never resurrect them.
+            let best_key = self.sources[best].head_key.clone().expect("head filled");
+            for source in &mut self.sources[best + 1..] {
+                if let Some(key) = &source.head_key {
+                    if total_cmp(key, &best_key) == std::cmp::Ordering::Equal {
+                        source.skip_entry();
+                    }
                 }
             }
+            // Pushed-down filter: only the winner is evaluated (filter
+            // columns alone on columnar components); a rejection is consumed
+            // without assembly and the merge moves on.
+            if let Some(predicates) = &filter {
+                if !self.sources[best].head_passes_filter(predicates)? {
+                    self.sources[best].skip_entry_filtered();
+                    continue;
+                }
+            }
+            // Only the winner is assembled.
+            return Ok(Some(self.sources[best].take_entry()?));
         }
-        Ok(Some(entry))
     }
 }
 

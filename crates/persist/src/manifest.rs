@@ -20,18 +20,22 @@
 //!
 //! ## Format versioning
 //!
-//! The magic bytes carry the format generation. `LSMMAN04` (current) adds
-//! the memory-budget knob behind the shared decoded-leaf cache, so a
-//! reopened dataset keeps the caching behaviour it was created with.
-//! `LSMMAN03` added the compaction-strategy selection and its knobs;
+//! The magic bytes carry the format generation. `LSMMAN05` (current)
+//! appends per-leaf column statistics (zone maps) to every leaf descriptor,
+//! so filter pushdown can skip whole leaves before any page is read.
+//! `LSMMAN04` added the memory-budget knob behind the shared decoded-leaf
+//! cache, so a reopened dataset keeps the caching behaviour it was created
+//! with. `LSMMAN03` added the compaction-strategy selection and its knobs;
 //! `LSMMAN02` appended the per-component column statistics
 //! ([`storage::ComponentStats`]) that the query planner's zone maps and
 //! cost model consume; `LSMMAN01` manifests predate statistics. All older
-//! formats are still read: pre-v4 configs decode with no memory budget,
-//! v1/v2 configs additionally decode with the default tiering strategy,
-//! and v1 components reopen with no statistics (which disables zone-map
-//! pruning for them and makes the planner fall back to conservative
-//! estimates). Commits always write the current format.
+//! formats are still read: pre-v5 leaves reopen without zone maps (those
+//! leaves simply aren't skippable until the next flush/merge rewrites
+//! them), pre-v4 configs decode with no memory budget, v1/v2 configs
+//! additionally decode with the default tiering strategy, and v1
+//! components reopen with no statistics (which disables zone-map pruning
+//! for them and makes the planner fall back to conservative estimates).
+//! Commits always write the current format.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -48,8 +52,10 @@ use storage::{LayoutKind, PageId, RowFormat};
 use crate::{PersistError, Result};
 
 /// Magic bytes opening every current-format manifest file.
-const MAGIC: &[u8; 8] = b"LSMMAN04";
-/// Previous format: no memory-budget field. Still readable.
+const MAGIC: &[u8; 8] = b"LSMMAN05";
+/// Previous format: no per-leaf statistics. Still readable.
+const MAGIC_V4: &[u8; 8] = b"LSMMAN04";
+/// Before that: additionally, no memory-budget field. Still readable.
 const MAGIC_V3: &[u8; 8] = b"LSMMAN03";
 /// Before that: additionally, no compaction-strategy fields. Still readable.
 const MAGIC_V2: &[u8; 8] = b"LSMMAN02";
@@ -63,6 +69,7 @@ enum Format {
     V2,
     V3,
     V4,
+    V5,
 }
 
 /// The durable subset of the dataset configuration. Enough to reconstruct a
@@ -148,7 +155,7 @@ fn read_bool(buf: &[u8], pos: &mut usize) -> Result<bool> {
 }
 
 /// Encode a manifest body in the given format generation. Production
-/// commits always use [`Format::V4`]; the older formats exist so the
+/// commits always use [`Format::V5`]; the older formats exist so the
 /// compatibility tests can produce genuine old-format bytes.
 fn encode_body(data: &ManifestData, format: Format) -> Vec<u8> {
     let mut out = Vec::new();
@@ -207,6 +214,9 @@ fn encode_body(data: &ManifestData, format: Format) -> Vec<u8> {
             write_value(&mut out, &leaf.min_key);
             write_value(&mut out, &leaf.max_key);
             varint::write_u64(&mut out, leaf.record_count as u64);
+            if format >= Format::V5 {
+                write_stats(&mut out, leaf.stats.as_ref());
+            }
         }
         if format >= Format::V2 {
             write_stats(&mut out, comp.stats.as_ref());
@@ -215,7 +225,8 @@ fn encode_body(data: &ManifestData, format: Format) -> Vec<u8> {
     out
 }
 
-/// Serialize one component's statistics (format v2).
+/// Serialize one statistics block — per component (format v2) and, with the
+/// same encoding, per leaf (format v5 zone maps).
 fn write_stats(out: &mut Vec<u8>, stats: Option<&ComponentStats>) {
     let Some(stats) = stats else {
         write_bool(out, false);
@@ -239,7 +250,7 @@ fn write_stats(out: &mut Vec<u8>, stats: Option<&ComponentStats>) {
     }
 }
 
-/// Deserialize one component's statistics (format v2).
+/// Deserialize one statistics block (per component or per leaf).
 fn read_stats(buf: &[u8], pos: &mut usize) -> Result<Option<ComponentStats>> {
     if !read_bool(buf, pos)? {
         return Ok(None);
@@ -329,12 +340,20 @@ fn decode_body(buf: &[u8], format: Format) -> Result<ManifestData> {
             let min_key = read_value(buf, pos)?;
             let max_key = read_value(buf, pos)?;
             let record_count = varint::read_u64(buf, pos)? as usize;
+            // Per-leaf zone maps arrived in v5; older leaves reopen without
+            // them, so they just aren't skippable until rewritten.
+            let stats = if format >= Format::V5 {
+                read_stats(buf, pos)?
+            } else {
+                None
+            };
             leaves.push(LeafDescriptor {
                 page,
                 data_pages,
                 min_key,
                 max_key,
                 record_count,
+                stats,
             });
         }
         let stats = if format >= Format::V2 {
@@ -440,7 +459,8 @@ impl ManifestStore {
             return Err(PersistError::new("manifest too short"));
         }
         let format = match &bytes[..MAGIC.len()] {
-            m if m == MAGIC => Format::V4,
+            m if m == MAGIC => Format::V5,
+            m if m == MAGIC_V4 => Format::V4,
             m if m == MAGIC_V3 => Format::V3,
             m if m == MAGIC_V2 => Format::V2,
             m if m == MAGIC_V1 => Format::V1,
@@ -467,7 +487,7 @@ impl ManifestStore {
     /// is still intact.
     pub fn commit(&mut self, mut data: ManifestData) -> Result<u64> {
         data.version = self.version + 1;
-        let body = encode_body(&data, Format::V4);
+        let body = encode_body(&data, Format::V5);
         let mut bytes = Vec::with_capacity(MAGIC.len() + 4 + body.len());
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&crc32(&body).to_le_bytes());
@@ -550,6 +570,7 @@ mod tests {
                     min_key: Value::Int(0),
                     max_key: Value::Int(122),
                     record_count: 123,
+                    stats: Some(sample_stats()),
                 }],
                 stats: Some(sample_stats()),
             }],
@@ -685,6 +706,45 @@ mod tests {
         let mut expected = data.config.clone();
         expected.memory_budget = 0;
         assert_eq!(loaded.config, expected, "v3 keeps compaction, loses budget");
+    }
+
+    #[test]
+    fn v4_manifests_without_leaf_stats_are_still_readable() {
+        // v4 magic: everything but the per-leaf zone maps — leaves reopen
+        // with no stats, so pushdown simply can't skip them.
+        let dir = temp_dir("v4-compat");
+        let mut data = sample_data();
+        data.version = 1;
+        write_old_format(&dir, b"LSMMAN04", &data, Format::V4);
+
+        let (store, loaded) = ManifestStore::open(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(store.version(), 1);
+        assert_eq!(loaded.config, data.config, "v4 keeps the whole config");
+        assert_eq!(loaded.components[0].stats, Some(sample_stats()), "v4 keeps component stats");
+        assert_eq!(loaded.components[0].leaves[0].stats, None, "v4 has no leaf zone maps");
+    }
+
+    #[test]
+    fn leaf_zone_maps_roundtrip_and_absent_maps_stay_absent() {
+        let dir = temp_dir("leaf-stats-roundtrip");
+        let (mut store, _) = ManifestStore::open(&dir).unwrap();
+        let mut data = sample_data();
+        // A second leaf without zone maps (e.g. reopened from a pre-v5
+        // manifest, then re-committed) must stay without them.
+        data.components[0].leaves.push(LeafDescriptor {
+            page: 9,
+            data_pages: vec![10],
+            min_key: Value::Int(123),
+            max_key: Value::Int(200),
+            record_count: 78,
+            stats: None,
+        });
+        store.commit(data.clone()).unwrap();
+        let (_, loaded) = ManifestStore::open(&dir).unwrap();
+        let leaves = &loaded.unwrap().components[0].leaves;
+        assert_eq!(leaves[0].stats, Some(sample_stats()));
+        assert_eq!(leaves[1].stats, None);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   hot-range re-scan shows hits equal to the leaves touched and a
 //!   pages-read delta of zero;
 //! * **components scanned vs. pruned** — how many on-disk components the
-//!   zone maps eliminated without reading a page.
+//!   zone maps eliminated without reading a page;
+//! * **filtered pre-assembly / leaves skipped** — late-materialization
+//!   counters: reconciliation winners the pushed-down filter rejected
+//!   before record assembly, and whole leaves whose zone maps proved no
+//!   record could match (skipped before any page read). Both are exact
+//!   [`IoStats`](storage::pagestore::IoStats) deltas and appear in the
+//!   rendering only when nonzero.
 //!
 //! A key-only `COUNT(*)` never materialises records, so it reports zero
 //! rows pulled and a complete (`exhausted`) stream; its cost shows up in
@@ -99,12 +105,15 @@ impl ExecProbe {
     }
 
     /// Freeze the counters into the partition's report.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish(
         self,
         pages_read: u64,
         bytes_read: u64,
         cache_hits: u64,
         cache_misses: u64,
+        records_filtered_pre_assembly: u64,
+        leaves_skipped: u64,
         rows_out: usize,
     ) -> ShardAnalysis {
         ShardAnalysis {
@@ -114,6 +123,8 @@ impl ExecProbe {
             bytes_read,
             cache_hits,
             cache_misses,
+            records_filtered_pre_assembly,
+            leaves_skipped,
             components_scanned: self.components_scanned.get(),
             components_pruned: self.components_pruned.get(),
             rows_out,
@@ -140,6 +151,13 @@ pub struct ShardAnalysis {
     /// Decoded-leaf cache misses during execution (leaves decoded from
     /// pages and inserted into the cache).
     pub cache_misses: u64,
+    /// Reconciliation winners the pushed-down filter rejected *before*
+    /// assembly ([`IoStats`](storage::pagestore::IoStats) delta): their
+    /// filter columns were decoded, nothing else.
+    pub records_filtered_pre_assembly: u64,
+    /// Whole leaves the pushed-down filter's zone maps skipped before any
+    /// page read ([`IoStats`](storage::pagestore::IoStats) delta).
+    pub leaves_skipped: u64,
     /// On-disk components the access path read.
     pub components_scanned: usize,
     /// Components skipped by zone-map pruning without any page read.
@@ -199,6 +217,21 @@ impl AnalyzeReport {
         self.shards.iter().map(|s| s.cache_misses).sum()
     }
 
+    /// Total reconciliation winners the pushed-down filter rejected before
+    /// assembly, across partitions.
+    pub fn records_filtered_pre_assembly(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.records_filtered_pre_assembly)
+            .sum()
+    }
+
+    /// Total leaves the pushed-down filter's zone maps skipped before any
+    /// page read, across partitions.
+    pub fn leaves_skipped(&self) -> u64 {
+        self.shards.iter().map(|s| s.leaves_skipped).sum()
+    }
+
     /// Total components the access paths read.
     pub fn components_scanned(&self) -> usize {
         self.shards.iter().map(|s| s.components_scanned).sum()
@@ -240,12 +273,24 @@ impl AnalyzeReport {
         } else {
             String::new()
         };
+        // Likewise the pushdown counters: rendered only when the pushed
+        // filter actually rejected records or skipped leaves.
+        let pushdown = if self.records_filtered_pre_assembly() + self.leaves_skipped() > 0 {
+            format!(
+                ", filtered pre-assembly {}, leaves skipped {}",
+                self.records_filtered_pre_assembly(),
+                self.leaves_skipped(),
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "analyze: wall {:?}, rows pulled {}, pages read {}{}, components scanned {} (pruned {}), output rows {}, {}\n",
+            "analyze: wall {:?}, rows pulled {}, pages read {}{}{}, components scanned {} (pruned {}), output rows {}, {}\n",
             self.wall,
             self.rows_pulled(),
             self.pages_read(),
             cache,
+            pushdown,
             self.components_scanned(),
             self.components_pruned(),
             self.rows.len(),
@@ -258,11 +303,20 @@ impl AnalyzeReport {
                 } else {
                     String::new()
                 };
+                let pushdown = if s.records_filtered_pre_assembly + s.leaves_skipped > 0 {
+                    format!(
+                        ", filtered pre-assembly {}, leaves skipped {}",
+                        s.records_filtered_pre_assembly, s.leaves_skipped,
+                    )
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "analyze[shard {i}]: rows pulled {}, pages read {}{}, components scanned {} (pruned {}), rows out {}{}\n",
+                    "analyze[shard {i}]: rows pulled {}, pages read {}{}{}, components scanned {} (pruned {}), rows out {}{}\n",
                     s.rows_pulled,
                     s.pages_read,
                     cache,
+                    pushdown,
                     s.components_scanned,
                     s.components_pruned,
                     s.rows_out,

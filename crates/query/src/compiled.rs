@@ -33,7 +33,9 @@ pub(crate) fn aggregate_stream(
     plan: &PhysicalPlan,
 ) -> Result<GroupPartials> {
     // "Code generation": resolve all plan parameters once, before the loop.
-    let filter = plan.filter.clone();
+    // The filter here is the residual only — sargable conjuncts were pushed
+    // into the scan (non-scan access paths keep the whole filter residual).
+    let filter = plan.residual.clone();
     let unnest: Option<Path> = plan.unnest.clone();
     let group_path = plan.group_by.clone();
     let group_on_element = plan.group_on_element;

@@ -141,7 +141,10 @@ pub(crate) fn run_stream<'a>(
 ) -> Result<GroupPartials> {
     // Build the operator pipeline (dynamic dispatch per operator per row).
     let mut pipeline: Vec<Box<dyn Operator>> = Vec::new();
-    if let Some(p) = &plan.filter {
+    // The scan already applied the pushed conjuncts; only the residual
+    // needs a filter operator (for non-scan access paths the whole filter
+    // is the residual).
+    if let Some(p) = &plan.residual {
         pipeline.push(Box::new(FilterOp { predicate: p.clone() }));
     }
     let unnested = plan.unnest.is_some();

@@ -110,6 +110,7 @@ pub use plan::{AggSpec, Aggregate, ExecMode, Query, QueryRow};
 
 use std::fmt;
 use std::ops::Bound;
+use std::sync::Arc;
 use std::time::Instant;
 
 use docmodel::Value;
@@ -316,20 +317,23 @@ impl QueryEngine {
                 let before = io();
                 let output = exec(&probe)?;
                 let after = io();
-                let (pages, bytes, hits, misses) = match (before, after) {
+                let (pages, bytes, hits, misses, filtered, skipped) = match (before, after) {
                     (Some(b), Some(a)) => (
                         a.pages_read.saturating_sub(b.pages_read),
                         a.bytes_read.saturating_sub(b.bytes_read),
                         a.leaf_cache_hits.saturating_sub(b.leaf_cache_hits),
                         a.leaf_cache_misses.saturating_sub(b.leaf_cache_misses),
+                        a.records_filtered_pre_assembly
+                            .saturating_sub(b.records_filtered_pre_assembly),
+                        a.leaves_skipped.saturating_sub(b.leaves_skipped),
                     ),
-                    _ => (0, 0, 0, 0),
+                    _ => (0, 0, 0, 0, 0, 0),
                 };
                 let rows_out = match &output {
                     ExecOutput::Rows(rows) => rows.len(),
                     ExecOutput::Groups(groups) => groups.len(),
                 };
-                analyses.push(probe.finish(pages, bytes, hits, misses, rows_out));
+                analyses.push(probe.finish(pages, bytes, hits, misses, filtered, skipped, rows_out));
                 outputs.push(output);
                 Ok(())
             };
@@ -479,7 +483,16 @@ impl QueryEngine {
                     }
                     _ => Vec::new(),
                 };
-                let cursor = snapshot.cursor_pruned(plan.projection.as_deref(), &skip)?;
+                // Late materialization: sargable conjuncts travel into the
+                // scan so columnar components can reject reconciliation
+                // winners from their filter columns alone (and skip whole
+                // leaves via zone maps) before assembling a record. The
+                // engines above evaluate only `plan.residual`.
+                let cursor = snapshot.cursor_pushed(
+                    plan.projection.as_deref(),
+                    &skip,
+                    Arc::new(plan.pushed.clone()),
+                )?;
                 if let Some(probe) = probe {
                     let total = snapshot.components().len();
                     let pruned = skip.iter().filter(|&&s| s).count();
@@ -543,7 +556,10 @@ impl QueryEngine {
         }
         for entry in entries {
             let (key, doc) = entry?;
-            if let Some(f) = &plan.filter {
+            // Only the residual runs here: the sargable conjuncts were
+            // pushed into the scan (or folded into `residual` when
+            // pushdown is disabled / the access path is not a full scan).
+            if let Some(f) = &plan.residual {
                 if !f.matches(&doc) {
                     continue;
                 }

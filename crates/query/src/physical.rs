@@ -87,10 +87,10 @@ use std::sync::Arc;
 use docmodel::cmp::OrderedValue;
 use docmodel::{total_cmp, Path, Value};
 use lsm::{LsmDataset, Snapshot};
-use storage::component::{Component, ComponentReader};
+use storage::component::{ColumnPredicate, Component, ComponentReader};
 use storage::stats::ComponentStats;
 
-use crate::expr::Expr;
+use crate::expr::{CmpOp, Expr};
 use crate::plan::{AggSpec, Aggregate, Query, QueryRow};
 use crate::{Error, Result};
 
@@ -279,6 +279,13 @@ pub struct PlannerOptions {
     /// filter. Off, every component is scanned (the pruning oracle of the
     /// differential tests).
     pub zone_map_pruning: bool,
+    /// Push the filter's sargable conjuncts (comparisons over single-valued
+    /// scalar paths) into the scan: the storage cursor evaluates them on the
+    /// filter columns of each key's reconciliation winner, skips
+    /// non-matching records before assembly, and skips whole leaves whose
+    /// zone maps prove no match. Off, the whole filter runs as the residual
+    /// (the late-materialization baseline of the differential tests).
+    pub filter_pushdown: bool,
 }
 
 impl Default for PlannerOptions {
@@ -287,6 +294,7 @@ impl Default for PlannerOptions {
             projection_pushdown: true,
             access_path: AccessPathChoice::Auto,
             zone_map_pruning: true,
+            filter_pushdown: true,
         }
     }
 }
@@ -415,10 +423,21 @@ pub struct PhysicalPlan {
     pub zone_map_pruning: bool,
     /// Pushed-down projection; `None` assembles full records (pushdown off).
     pub projection: Option<Vec<Path>>,
-    /// Residual filter applied to every acquired record — the
-    /// [`Expr::simplify`]-ed form of the query's filter (a filter that
-    /// folded to `TRUE` is dropped entirely).
+    /// The full (simplified) filter — what the query means. Zone-map
+    /// pruning, the cost estimate and the batch oracle all evaluate this;
+    /// execution applies it as `pushed` (in the scan) plus `residual`
+    /// (after assembly), a filter that folded to `TRUE` is dropped entirely.
     pub filter: Option<Expr>,
+    /// Sargable conjuncts pushed into the scan ([`crate::physical`]'s
+    /// late-materialization path): comparisons over single-valued scalar
+    /// paths, evaluated by the storage cursor on the filter columns alone so
+    /// non-matching records are never assembled. Empty when filter pushdown
+    /// is off or the access path is not a full scan.
+    pub pushed: Vec<ColumnPredicate>,
+    /// The filter remainder execution evaluates on each assembled record:
+    /// `filter` minus the `pushed` conjuncts. `filter ≡ pushed AND residual`
+    /// always holds.
+    pub residual: Option<Expr>,
     /// Array path to unnest, if any.
     pub unnest: Option<Path>,
     /// Grouping key path, if any.
@@ -552,12 +571,24 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
         .projection_pushdown
         .then(|| query.projection_paths());
 
+    // The pushed/residual split applies only to full scans: a key-only scan
+    // has no filter, and an index probe must re-check the *whole* filter on
+    // every looked-up record (the probe range is an over-approximation).
+    let (pushed, residual) =
+        if options.filter_pushdown && matches!(access, AccessPath::FullScan) {
+            split_pushdown(filter.as_ref())
+        } else {
+            (Vec::new(), filter.clone())
+        };
+
     Ok(PhysicalPlan {
         access,
         estimate,
         zone_map_pruning: options.zone_map_pruning,
         projection,
         filter,
+        pushed,
+        residual,
         unnest: query.unnest.clone(),
         group_by: query.group_by.clone(),
         group_on_element: query.group_on_element,
@@ -568,6 +599,52 @@ pub fn plan(query: &Query, ctx: &PlanContext, options: &PlannerOptions) -> Resul
         limit: query.limit,
         shards: ctx.shards.max(1),
     })
+}
+
+/// Split the (simplified) filter into the sargable conjunction pushed into
+/// the scan and the residual evaluated after assembly.
+///
+/// A conjunct is pushable exactly when it is a comparison over a
+/// **single-valued scalar path** (no `[*]` step). Comparisons on repeated
+/// paths stay residual — their existential semantics need the assembled
+/// array (the PR 3 lesson), and leaf zone maps keep `[*]` paths
+/// counts-only. Everything else (disjunctions, negations, `EXISTS`,
+/// `CONTAINS`, `LENGTH`) also stays residual. The split is lossless:
+/// `filter ≡ AND(pushed) AND residual`.
+fn split_pushdown(filter: Option<&Expr>) -> (Vec<ColumnPredicate>, Option<Expr>) {
+    let Some(filter) = filter else {
+        return (Vec::new(), None);
+    };
+    let conjuncts: Vec<&Expr> = match filter {
+        Expr::And(children) => children.iter().collect(),
+        other => vec![other],
+    };
+    let mut pushed = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in conjuncts {
+        match conjunct {
+            Expr::Cmp { op, path, value } if path.repeated_depth() == 0 => {
+                let (lo, hi) = match op {
+                    CmpOp::Eq => (
+                        Bound::Included(value.clone()),
+                        Bound::Included(value.clone()),
+                    ),
+                    CmpOp::Ge => (Bound::Included(value.clone()), Bound::Unbounded),
+                    CmpOp::Gt => (Bound::Excluded(value.clone()), Bound::Unbounded),
+                    CmpOp::Le => (Bound::Unbounded, Bound::Included(value.clone())),
+                    CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(value.clone())),
+                };
+                pushed.push(ColumnPredicate { path: path.clone(), lo, hi });
+            }
+            other => residual.push(other.clone()),
+        }
+    }
+    let residual = match residual.len() {
+        0 => None,
+        1 => residual.pop(),
+        _ => Some(Expr::And(residual)),
+    };
+    (pushed, residual)
 }
 
 /// The probe the index-range access path would execute, when the context has
@@ -968,6 +1045,19 @@ impl PhysicalPlan {
         match &self.filter {
             Some(f) => out.push_str(&format!("  filter     : {f}\n")),
             None => out.push_str("  filter     : -\n"),
+        }
+        if self.filter.is_some() {
+            if self.pushed.is_empty() {
+                out.push_str("  pushed     : - (nothing sargable)\n");
+            } else {
+                let rendered: Vec<String> =
+                    self.pushed.iter().map(|p| p.to_string()).collect();
+                out.push_str(&format!("  pushed     : {}\n", rendered.join(" AND ")));
+            }
+            match &self.residual {
+                Some(r) => out.push_str(&format!("  residual   : {r}\n")),
+                None => out.push_str("  residual   : - (fully pushed)\n"),
+            }
         }
         match &self.unnest {
             Some(u) => out.push_str(&format!("  unnest     : {u}\n")),

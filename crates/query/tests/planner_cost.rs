@@ -31,13 +31,17 @@ use support::{
     arb_aggregate, arb_doc_body, build_doc, dataset, dataset_indexed_on, range_heavy_expr,
 };
 
-/// Engines for every (access-path, pruning) combination under test.
+/// Engines for every (access-path, pruning) combination under test. The
+/// `pruning: false` oracle must *read everything for real*, so it also
+/// turns filter pushdown off — otherwise per-leaf zone maps would let it
+/// skip the same pages component pruning would have.
 fn engine(mode: ExecMode, choice: AccessPathChoice, pruning: bool) -> QueryEngine {
     QueryEngine::with_options(
         mode,
         PlannerOptions {
             access_path: choice,
             zone_map_pruning: pruning,
+            filter_pushdown: pruning,
             ..Default::default()
         },
     )

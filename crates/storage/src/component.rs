@@ -41,9 +41,48 @@
 //!
 //! Both honour projection push-down: only the resolved columns of the
 //! projected paths are decoded (and, for AMAX, read at all).
+//!
+//! ## Filter push-down (late materialization)
+//!
+//! A cursor can additionally carry a [`ScanFilter`]: a conjunction of
+//! [`ColumnPredicate`] ranges over single-valued scalar paths, plus the key
+//! ranges of every *older* component in the same snapshot. The contract:
+//!
+//! * **Only the reconciliation winner is evaluated.** The cursor never
+//!   hides keys from the k-way merge on its own — a non-matching entry can
+//!   still shadow an older version of its key, and dropping it before
+//!   reconciliation would resurrect that stale version. The merge cursor
+//!   (`lsm::snapshot`) picks the winning source per key, batch-skips the
+//!   shadowed losers unevaluated, and only then asks the winner
+//!   [`ComponentCursor::pushed_matches`]; rejected winners are consumed
+//!   with [`ComponentCursor::skip_entry_filtered`], which counts them in
+//!   `IoStats::records_filtered_pre_assembly`.
+//! * **Columnar leaves evaluate on the filter columns alone.** A filtered
+//!   lazy leaf decodes the key column plus the filter columns eagerly; the
+//!   projection columns are not decoded — for AMAX, their pages are not
+//!   even read — until some record of the leaf survives the filter. A leaf
+//!   whose records are all rejected therefore costs zero
+//!   non-filter-column page reads and zero `records_assembled`.
+//! * **Per-leaf zone maps skip whole leaves.** Each leaf carries the same
+//!   [`ComponentStats`] shape the component carries. When a pushed
+//!   predicate proves no record of the leaf can match *and* the leaf's key
+//!   range is disjoint from every older component's key range (so hiding
+//!   it can neither resurrect a shadowed version nor lose an anti-matter
+//!   entry that still annihilates something), the leaf is skipped before
+//!   any page read and counted in `IoStats::leaves_skipped`.
+//! * **Anti-matter always passes the filter** — it must reach the merge to
+//!   annihilate older versions of its key; the snapshot scan drops it
+//!   after reconciliation.
+//!
+//! The query planner decides what is pushable (sargable conjuncts over
+//! non-repeated paths — the existential `[*]` semantics make repeated
+//! paths unsafe to push) and keeps the rest as a *residual* predicate
+//! evaluated on the assembled record.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::ops::Bound;
 use std::sync::Arc;
 
 use columnar::{Assembler, ColumnCursor, ShreddedBatch, Shredder};
@@ -144,6 +183,138 @@ impl ComponentConfig {
 /// One entry of a component: primary key plus record, or anti-matter (`None`).
 pub type Entry = (Value, Option<Value>);
 
+/// One pushed-down range predicate over a single-valued scalar path — the
+/// sargable half of a query filter, in a vocabulary the storage layer can
+/// evaluate without the query crate's expression trees.
+///
+/// Matching is *existential*, exactly like the query layer's comparison
+/// semantics: the predicate holds when **some** value at `path` falls inside
+/// `[lo, hi]` under the document total order; a record without the path
+/// never matches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPredicate {
+    /// The (non-repeated) path the predicate constrains.
+    pub path: Path,
+    /// Lower bound of the accepted range.
+    pub lo: Bound<Value>,
+    /// Upper bound of the accepted range.
+    pub hi: Bound<Value>,
+}
+
+impl ColumnPredicate {
+    /// Does `doc` hold a value at the path inside the range?
+    pub fn matches(&self, doc: &Value) -> bool {
+        self.path.evaluate(doc).iter().any(|v| self.contains(v))
+    }
+
+    /// Is `v` inside `[lo, hi]` under the document total order?
+    pub fn contains(&self, v: &Value) -> bool {
+        let above_lo = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(b) => total_cmp(v, b) != Ordering::Less,
+            Bound::Excluded(b) => total_cmp(v, b) == Ordering::Greater,
+        };
+        let below_hi = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(b) => total_cmp(v, b) != Ordering::Greater,
+            Bound::Excluded(b) => total_cmp(v, b) == Ordering::Less,
+        };
+        above_lo && below_hi
+    }
+
+    /// Do `stats` (a component's or a leaf's zone map) prove that **no**
+    /// record they cover can match? True when the path was never addressed
+    /// by a live record (stats track every observed path, composites
+    /// included, so absence really means absence), or when its `[min, max]`
+    /// bounds are disjoint from the range. Paths without usable bounds
+    /// (multi-valued or composite sightings) are never provably empty.
+    pub fn prove_no_match(&self, stats: &ComponentStats) -> bool {
+        let Some(column) = stats.column(&self.path.to_string()) else {
+            return true;
+        };
+        if column.values == 0 {
+            return true;
+        }
+        let below = column
+            .max
+            .as_ref()
+            .is_some_and(|max| match &self.lo {
+                Bound::Unbounded => false,
+                Bound::Included(b) => total_cmp(max, b) == Ordering::Less,
+                Bound::Excluded(b) => total_cmp(max, b) != Ordering::Greater,
+            });
+        let above = column
+            .min
+            .as_ref()
+            .is_some_and(|min| match &self.hi {
+                Bound::Unbounded => false,
+                Bound::Included(b) => total_cmp(min, b) == Ordering::Greater,
+                Bound::Excluded(b) => total_cmp(min, b) != Ordering::Less,
+            });
+        below || above
+    }
+}
+
+impl std::fmt::Display for ColumnPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let (Bound::Included(a), Bound::Included(b)) = (&self.lo, &self.hi) {
+            if a == b {
+                return write!(f, "{} = {a}", self.path);
+            }
+        }
+        let mut wrote = false;
+        match &self.lo {
+            Bound::Included(v) => {
+                write!(f, "{} >= {v}", self.path)?;
+                wrote = true;
+            }
+            Bound::Excluded(v) => {
+                write!(f, "{} > {v}", self.path)?;
+                wrote = true;
+            }
+            Bound::Unbounded => {}
+        }
+        match &self.hi {
+            Bound::Included(v) => {
+                if wrote {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{} <= {v}", self.path)?;
+                wrote = true;
+            }
+            Bound::Excluded(v) => {
+                if wrote {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{} < {v}", self.path)?;
+                wrote = true;
+            }
+            Bound::Unbounded => {}
+        }
+        if !wrote {
+            write!(f, "{}: any", self.path)?;
+        }
+        Ok(())
+    }
+}
+
+/// A pushed-down scan filter handed to [`Component::cursor_filtered`]: the
+/// sargable conjuncts (all must hold) plus the reconciliation-safety context
+/// for zone-map leaf skipping. See the module-level filter push-down
+/// contract.
+#[derive(Clone)]
+pub struct ScanFilter {
+    /// Conjunction of pushed predicates (shared across every source of one
+    /// snapshot scan).
+    pub predicates: Arc<Vec<ColumnPredicate>>,
+    /// `(min_key, max_key)` of every component **older** than the one being
+    /// scanned — pruned or not. A leaf may only be zone-map-skipped when its
+    /// key range is disjoint from all of them: hiding a leaf whose keys
+    /// overlap an older component could resurrect a shadowed version or
+    /// drop an anti-matter entry that still annihilates something.
+    pub older_key_ranges: Arc<Vec<(Value, Value)>>,
+}
+
 #[derive(Debug, Clone)]
 struct LeafRef {
     /// Page id of the leaf page (row or APAX) or of Page 0 (AMAX).
@@ -153,6 +324,10 @@ struct LeafRef {
     min_key: Value,
     max_key: Value,
     record_count: usize,
+    /// Per-leaf zone map (same shape as the component-level stats), used to
+    /// skip whole leaves under a pushed-down filter. `None` for leaves
+    /// recovered from a pre-V5 manifest — such leaves are never skipped.
+    stats: Option<ComponentStats>,
 }
 
 /// Summary information about a component.
@@ -187,6 +362,10 @@ pub struct LeafDescriptor {
     pub max_key: Value,
     /// Number of entries in the leaf.
     pub record_count: usize,
+    /// Per-leaf zone map over the leaf's live records. `None` for leaves
+    /// recovered from a pre-V5 manifest (they simply are not skippable
+    /// until the next merge rewrites them with stats).
+    pub stats: Option<ComponentStats>,
 }
 
 /// Serializable description of a whole component: everything a manifest must
@@ -408,6 +587,7 @@ impl Component {
                     min_key: leaf.min_key.clone(),
                     max_key: leaf.max_key.clone(),
                     record_count: leaf.record_count,
+                    stats: leaf.stats.clone(),
                 })
                 .collect(),
         }
@@ -435,6 +615,7 @@ impl Component {
                 min_key: leaf.min_key,
                 max_key: leaf.max_key,
                 record_count: leaf.record_count,
+                stats: leaf.stats,
             })
             .collect();
         let meta = ComponentMeta {
@@ -466,6 +647,16 @@ impl Component {
         self.leaves.len()
     }
 
+    /// The component's primary-key range `(min, max)`, from its key-ordered
+    /// leaves. `None` for an empty component. Feeds the reconciliation-safety
+    /// side of leaf skipping: a newer component may hide a leaf only when the
+    /// leaf's key range is disjoint from every older component's range.
+    pub fn key_range(&self) -> Option<(Value, Value)> {
+        let first = self.leaves.first()?;
+        let last = self.leaves.last()?;
+        Some((first.min_key.clone(), last.max_key.clone()))
+    }
+
     /// Per-column statistics collected when the component was written (zone
     /// maps + planner cardinalities). `None` only for components recovered
     /// from a pre-stats manifest — such components are never zone-map pruned
@@ -482,6 +673,22 @@ impl Component {
     pub fn cursor(self: &Arc<Self>, projection: Option<&[Path]>) -> ComponentCursor {
         ComponentCursor {
             state: CursorState::new(self, projection),
+            component: self.clone(),
+        }
+    }
+
+    /// Like [`Component::cursor`], with a pushed-down filter: leaves whose
+    /// zone maps prove no match (and whose key range is reconciliation-safe
+    /// to hide) are skipped before any page read, and
+    /// [`ComponentCursor::pushed_matches`] evaluates the predicates over the
+    /// filter columns alone. See the module-level filter push-down contract.
+    pub fn cursor_filtered(
+        self: &Arc<Self>,
+        projection: Option<&[Path]>,
+        filter: Option<ScanFilter>,
+    ) -> ComponentCursor {
+        ComponentCursor {
+            state: CursorState::new_filtered(self, projection, filter),
             component: self.clone(),
         }
     }
@@ -712,9 +919,16 @@ impl Component {
     /// the key column eagerly and defer record assembly, so a reconciling
     /// merge can batch-skip shadowed entries via
     /// [`columnar::ColumnCursor::skip_records`] without ever assembling them
-    /// (§4.4). Both paths read through the decoded-leaf cache when one is
-    /// attached.
-    fn load_leaf(&self, leaf_idx: usize, columns: Option<&[ColumnId]>) -> Result<LeafBuffer> {
+    /// (§4.4). Under a pushed-down filter, columnar leaves go further: only
+    /// the key + filter columns are decoded now, and the projection columns
+    /// wait for the leaf's first surviving record. Both paths read through
+    /// the decoded-leaf cache when one is attached.
+    fn load_leaf(
+        &self,
+        leaf_idx: usize,
+        columns: Option<&[ColumnId]>,
+        filter: Option<&CursorFilter>,
+    ) -> Result<LeafBuffer> {
         match self.config.layout {
             LayoutKind::Open | LayoutKind::Vb => {
                 let entries = self.row_entries(leaf_idx)?;
@@ -726,6 +940,35 @@ impl Component {
             }
             LayoutKind::Apax | LayoutKind::Amax => {
                 let count = self.leaves[leaf_idx].record_count;
+                if let Some(filter) = filter {
+                    // Late materialization: decode only the key + filter
+                    // columns; the projection assembler is created on the
+                    // leaf's first surviving record (see `CursorState::next`).
+                    let chunks = self.cached_chunks(leaf_idx, Some(&filter.columns))?;
+                    let keys = chunks
+                        .iter()
+                        .find(|c| c.spec.is_key)
+                        .cloned()
+                        .ok_or_else(|| DecodeError::new("component page lacks the key column"))?;
+                    let cursors: Vec<ColumnCursor> = chunks
+                        .iter()
+                        .map(|c| ColumnCursor::new(c.clone()))
+                        .collect();
+                    return Ok(LeafBuffer::Lazy(Box::new(LazyLeaf {
+                        keys,
+                        assembler: None,
+                        filter_eval: Some(FilterEval {
+                            assembler: Assembler::new(&self.schema, cursors, count),
+                            pos: 0,
+                            last: None,
+                        }),
+                        filter_covers_projection: filter.covers_projection,
+                        projection: columns.map(<[ColumnId]>::to_vec),
+                        leaf_idx,
+                        pos: 0,
+                        count,
+                    })));
+                }
                 let chunks = self.cached_chunks(leaf_idx, columns)?;
                 let keys = chunks
                     .iter()
@@ -738,12 +981,36 @@ impl Component {
                     .collect();
                 Ok(LeafBuffer::Lazy(Box::new(LazyLeaf {
                     keys,
-                    assembler: Assembler::new(&self.schema, cursors, count),
+                    assembler: Some(Assembler::new(&self.schema, cursors, count)),
+                    filter_eval: None,
+                    filter_covers_projection: false,
+                    projection: columns.map(<[ColumnId]>::to_vec),
+                    leaf_idx,
                     pos: 0,
                     count,
                 })))
             }
         }
+    }
+
+    /// An [`Assembler`] over the projection columns of one leaf, positioned
+    /// at record `pos` — the deferred half of a filtered columnar load,
+    /// created only once some record of the leaf survives the filter.
+    fn projection_assembler(
+        &self,
+        leaf_idx: usize,
+        columns: Option<&[ColumnId]>,
+        count: usize,
+        pos: usize,
+    ) -> Result<Assembler> {
+        let chunks = self.cached_chunks(leaf_idx, columns)?;
+        let cursors: Vec<ColumnCursor> = chunks
+            .iter()
+            .map(|c| ColumnCursor::new(c.clone()))
+            .collect();
+        let mut assembler = Assembler::new(&self.schema, cursors, count);
+        assembler.skip_records(pos);
+        Ok(assembler)
     }
 
     /// Turn decoded chunks into `(key, record-or-anti-matter)` entries.
@@ -829,11 +1096,45 @@ struct LazyLeaf {
     /// definition level 0, §3.2.3). `Arc`'d so a leaf-cache hit shares the
     /// chunk instead of cloning it.
     keys: Arc<columnar::ColumnChunk>,
-    assembler: Assembler,
+    /// Projection assembler. Filtered cursors leave it `None` until the
+    /// leaf's first surviving record forces the projection chunks to be
+    /// decoded — a leaf whose records are all rejected never reads its
+    /// non-filter-column pages.
+    assembler: Option<Assembler>,
+    /// A second assembler over the filter columns only, evaluating pushed
+    /// predicates without touching the projection columns. Lags behind
+    /// `pos` (filter evaluation is only forced for merge winners) and is
+    /// re-synced by batch-skipping.
+    filter_eval: Option<FilterEval>,
+    /// When the filter columns are exactly the projection columns, a
+    /// surviving record is emitted from the filter evaluator's doc and the
+    /// projection assembler is never created — see
+    /// [`CursorFilter::covers_projection`].
+    filter_covers_projection: bool,
+    /// Projected column set (`None` = all), kept for the deferred
+    /// projection-assembler creation.
+    projection: Option<Vec<ColumnId>>,
+    /// Index of this leaf within the component.
+    leaf_idx: usize,
     /// Next record position within the leaf.
     pos: usize,
     /// Total records in the leaf.
     count: usize,
+}
+
+/// The filter-column evaluator of a filtered lazy leaf.
+struct FilterEval {
+    /// Assembler over the filter columns alone.
+    assembler: Assembler,
+    /// Next record position this assembler will decode (`<= LazyLeaf::pos`).
+    pos: usize,
+    /// The most recent evaluation: `(record position, assembled
+    /// filter-column doc, passed)`. Makes evaluation idempotent (a repeat
+    /// call for the same position returns the cached verdict instead of
+    /// mis-reading the next record), and when the filter columns cover the
+    /// projection, `next` emits the cached doc instead of assembling the
+    /// record a second time.
+    last: Option<(usize, Value, bool)>,
 }
 
 impl LeafBuffer {
@@ -850,22 +1151,67 @@ impl LeafBuffer {
 /// time — the memory bound of the cursor protocol.
 struct CursorState {
     columns: Option<Vec<ColumnId>>,
+    /// Pushed-down filter context; `None` for unfiltered cursors.
+    filter: Option<CursorFilter>,
     next_leaf: usize,
     leaf: Option<LeafBuffer>,
 }
 
+/// A [`ScanFilter`] resolved against one component's schema.
+struct CursorFilter {
+    predicates: Arc<Vec<ColumnPredicate>>,
+    older_key_ranges: Arc<Vec<(Value, Value)>>,
+    /// Columns the predicates read (key column included) — what a filtered
+    /// columnar leaf decodes eagerly.
+    columns: Vec<ColumnId>,
+    /// Whether the filter columns are exactly the projected columns. When
+    /// true, the doc the filter evaluator assembles *is* the projected
+    /// record, so surviving records are emitted from it directly — no
+    /// second assembler, no double decode of shared columns.
+    covers_projection: bool,
+}
+
 impl CursorState {
     fn new(component: &Component, projection: Option<&[Path]>) -> CursorState {
+        CursorState::new_filtered(component, projection, None)
+    }
+
+    fn new_filtered(
+        component: &Component,
+        projection: Option<&[Path]>,
+        filter: Option<ScanFilter>,
+    ) -> CursorState {
+        let columns = component.projection_columns(projection);
+        let filter = filter
+            .filter(|f| !f.predicates.is_empty())
+            .map(|f| {
+                let paths: Vec<Path> = f.predicates.iter().map(|p| p.path.clone()).collect();
+                let filter_columns = component
+                    .projection_columns(Some(&paths))
+                    .unwrap_or_default();
+                CursorFilter {
+                    covers_projection: columns
+                        .as_deref()
+                        .is_some_and(|proj| same_column_set(proj, &filter_columns)),
+                    columns: filter_columns,
+                    predicates: f.predicates,
+                    older_key_ranges: f.older_key_ranges,
+                }
+            });
         CursorState {
-            columns: component.projection_columns(projection),
+            columns,
+            filter,
             next_leaf: 0,
             leaf: None,
         }
     }
 
     /// Make the current leaf buffer hold at least one unconsumed entry,
-    /// loading the next leaf when the current one is drained. `None` = the
-    /// component is exhausted.
+    /// loading the next leaf when the current one is drained. Under a
+    /// pushed-down filter, leaves whose zone maps prove no match — and
+    /// whose key range is disjoint from every older component's, so hiding
+    /// them is reconciliation-safe — are skipped without any page read.
+    /// `None` = the component is exhausted.
     fn ensure_leaf(&mut self, component: &Component) -> Option<Result<&mut LeafBuffer>> {
         loop {
             if self.leaf.as_ref().is_some_and(|l| l.remaining() > 0) {
@@ -877,7 +1223,20 @@ impl CursorState {
             }
             let leaf_idx = self.next_leaf;
             self.next_leaf += 1;
-            match component.load_leaf(leaf_idx, self.columns.as_deref()) {
+            if let Some(filter) = &self.filter {
+                let leaf = &component.leaves[leaf_idx];
+                let provably_empty = leaf
+                    .stats
+                    .as_ref()
+                    .is_some_and(|stats| {
+                        filter.predicates.iter().any(|p| p.prove_no_match(stats))
+                    });
+                if provably_empty && leaf_safe_to_hide(leaf, &filter.older_key_ranges) {
+                    component.cache.store().note_leaves_skipped(1);
+                    continue;
+                }
+            }
+            match component.load_leaf(leaf_idx, self.columns.as_deref(), self.filter.as_ref()) {
                 Ok(buffer) => self.leaf = Some(buffer),
                 Err(e) => return Some(Err(e)),
             }
@@ -892,8 +1251,45 @@ impl CursorState {
         match buffer {
             LeafBuffer::Rows(rows) => rows.pop_front().map(Ok),
             LeafBuffer::Lazy(leaf) => {
+                // Filter covers the projection: the doc the evaluator
+                // assembled for this position is the projected record —
+                // emit it instead of decoding the leaf a second time.
+                if leaf.filter_covers_projection {
+                    let cached = leaf
+                        .filter_eval
+                        .as_mut()
+                        .and_then(|eval| match &eval.last {
+                            Some((pos, _, _)) if *pos == leaf.pos => eval.last.take(),
+                            _ => None,
+                        });
+                    if let Some((_, doc, _)) = cached {
+                        if let Some(assembler) = leaf.assembler.as_mut() {
+                            assembler.skip_records(1);
+                        }
+                        let key = leaf.keys.values.get(leaf.pos);
+                        let is_antimatter = leaf.keys.defs[leaf.pos] == 0;
+                        leaf.pos += 1;
+                        component.cache.store().note_records_assembled(1);
+                        return Some(Ok((key, if is_antimatter { None } else { Some(doc) })));
+                    }
+                }
+                if leaf.assembler.is_none() {
+                    // First surviving record of a filtered leaf: decode the
+                    // projection chunks now and catch up to the cursor.
+                    match component.projection_assembler(
+                        leaf.leaf_idx,
+                        leaf.projection.as_deref(),
+                        leaf.count,
+                        leaf.pos,
+                    ) {
+                        Ok(assembler) => leaf.assembler = Some(assembler),
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
                 let doc = match leaf
                     .assembler
+                    .as_mut()
+                    .expect("assembler created above")
                     .next_record()
                     .unwrap_or_else(|| Err(DecodeError::new("assembler ended early")))
                 {
@@ -905,6 +1301,60 @@ impl CursorState {
                 leaf.pos += 1;
                 component.cache.store().note_records_assembled(1);
                 Some(Ok((key, if is_antimatter { None } else { Some(doc) })))
+            }
+        }
+    }
+
+    /// Does the next entry pass the pushed-down filter? Anti-matter always
+    /// passes (it must reach the merge to annihilate older versions);
+    /// columnar leaves evaluate on the filter columns alone, without
+    /// assembling the record. `None` = exhausted; no filter = always `true`.
+    fn pushed_matches(&mut self, component: &Component) -> Option<Result<bool>> {
+        let predicates = match &self.filter {
+            Some(filter) => filter.predicates.clone(),
+            None => return Some(Ok(true)),
+        };
+        let buffer = match self.ensure_leaf(component)? {
+            Ok(buffer) => buffer,
+            Err(e) => return Some(Err(e)),
+        };
+        match buffer {
+            LeafBuffer::Rows(rows) => {
+                let (_, doc) = rows.front()?;
+                Some(Ok(doc
+                    .as_ref()
+                    .is_none_or(|doc| predicates.iter().all(|p| p.matches(doc)))))
+            }
+            LeafBuffer::Lazy(leaf) => {
+                if leaf.keys.defs[leaf.pos] == 0 {
+                    return Some(Ok(true)); // anti-matter
+                }
+                let Some(eval) = leaf.filter_eval.as_mut() else {
+                    return Some(Ok(true));
+                };
+                if let Some((pos, _, passed)) = &eval.last {
+                    if *pos == leaf.pos {
+                        return Some(Ok(*passed)); // already evaluated
+                    }
+                }
+                if leaf.pos > eval.pos {
+                    // Catch up past records that were reconciliation-skipped
+                    // without ever being evaluated.
+                    eval.assembler.skip_records(leaf.pos - eval.pos);
+                    eval.pos = leaf.pos;
+                }
+                let doc = match eval
+                    .assembler
+                    .next_record()
+                    .unwrap_or_else(|| Err(DecodeError::new("filter assembler ended early")))
+                {
+                    Ok(doc) => doc,
+                    Err(e) => return Some(Err(e)),
+                };
+                eval.pos += 1;
+                let passed = predicates.iter().all(|p| p.matches(&doc));
+                eval.last = Some((leaf.pos, doc, passed));
+                Some(Ok(passed))
             }
         }
     }
@@ -934,7 +1384,9 @@ impl CursorState {
                 rows.pop_front();
             }
             LeafBuffer::Lazy(leaf) => {
-                leaf.assembler.skip_records(1);
+                if let Some(assembler) = leaf.assembler.as_mut() {
+                    assembler.skip_records(1);
+                }
                 leaf.pos += 1;
             }
         }
@@ -992,6 +1444,55 @@ impl ComponentCursor {
     pub fn skip_entry(&mut self) {
         self.state.skip_entry(&self.component)
     }
+
+    /// Does the next entry pass the pushed-down filter ([`ScanFilter`])?
+    /// For columnar leaves only the filter columns are decoded — the record
+    /// is not assembled. Anti-matter always passes (it must reach the merge
+    /// to annihilate). Cursors without a filter always answer `true`;
+    /// `None` = exhausted.
+    ///
+    /// The merge cursor calls this **only for the reconciliation winner** of
+    /// a key, after batch-skipping the shadowed losers — evaluating a loser
+    /// would let a stale value filter (or admit) a live record.
+    pub fn pushed_matches(&mut self) -> Option<Result<bool>> {
+        self.state.pushed_matches(&self.component)
+    }
+
+    /// Consume the next entry as a pushed-filter rejection: exactly
+    /// [`ComponentCursor::skip_entry`], plus the
+    /// `records_filtered_pre_assembly` accounting in
+    /// [`crate::pagestore::IoStats`].
+    pub fn skip_entry_filtered(&mut self) {
+        self.component
+            .cache
+            .store()
+            .note_records_filtered_pre_assembly(1);
+        self.state.skip_entry(&self.component)
+    }
+}
+
+/// Is hiding `leaf` reconciliation-safe? Only when its key range is disjoint
+/// from every older component's key range: otherwise a skipped entry could
+/// shadow (or annihilate) something an older component still yields.
+fn leaf_safe_to_hide(leaf: &LeafRef, older: &[(Value, Value)]) -> bool {
+    older.iter().all(|(lo, hi)| {
+        total_cmp(&leaf.max_key, lo) == Ordering::Less
+            || total_cmp(&leaf.min_key, hi) == Ordering::Greater
+    })
+}
+
+/// Do two (deduplicated, unordered) column lists name the same set?
+/// `projection_columns` preserves path order, so set equality is what
+/// decides whether a filter's doc can stand in for the projection's.
+fn same_column_set(a: &[ColumnId], b: &[ColumnId]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
 }
 
 impl Iterator for ComponentCursor {
@@ -1092,9 +1593,22 @@ fn write_row_leaf(
         min_key: batch.first().unwrap().0.clone(),
         max_key: batch.last().unwrap().0.clone(),
         record_count: batch.len(),
+        stats: Some(leaf_stats(batch)),
     });
     batch.clear();
     Ok(())
+}
+
+/// Per-leaf zone map: the same statistics pass as the component level, over
+/// one leaf's live records.
+fn leaf_stats(entries: &[Entry]) -> ComponentStats {
+    let mut stats = StatsBuilder::new();
+    for (_, doc) in entries {
+        if let Some(doc) = doc {
+            stats.observe(doc);
+        }
+    }
+    stats.finish()
 }
 
 fn shred_entries(schema: &Schema, entries: &[Entry]) -> ShreddedBatch {
@@ -1141,6 +1655,7 @@ fn write_apax_leaves(
         min_key,
         max_key,
         record_count: entries.len(),
+        stats: Some(leaf_stats(entries)),
     });
     Ok(())
 }
@@ -1185,6 +1700,7 @@ fn write_amax_leaf(
         min_key: entries.first().unwrap().0.clone(),
         max_key: entries.last().unwrap().0.clone(),
         record_count: entries.len(),
+        stats: Some(leaf_stats(entries)),
     });
     Ok(())
 }

@@ -24,14 +24,41 @@
 //!   path), and separately per projected column set. See
 //!   [`LeafPayloadKind`].
 //!
-//! ## Eviction and budget accounting
+//! ## Eviction, scan resistance, and budget accounting
 //!
 //! The cache holds at most `capacity` bytes of *estimated decoded size*
 //! (entries via [`docmodel::Value::approx_size`], chunks via their vector
-//! footprints). Inserts that would exceed the capacity evict the
-//! least-recently-used entries first; a payload larger than the whole
-//! capacity is never inserted at all, so resident bytes are provably
-//! bounded by the configured budget at every instant. Hits refresh recency.
+//! footprints). A payload larger than the whole capacity is never inserted
+//! at all, so resident bytes are provably bounded by the configured budget
+//! at every instant.
+//!
+//! Eviction is a **two-segment LRU** (probation/protected), so one-off
+//! scans cannot flush the point-read working set:
+//!
+//! * inserts land in *probation*; a subsequent hit promotes the entry to
+//!   *protected* (re-reference is the admission test);
+//! * eviction removes the probation LRU first and touches the protected
+//!   segment only when probation is empty — a cold full scan, whose leaves
+//!   are each touched exactly once, evicts only its own stream;
+//! * the protected segment is capped at 4/5 of the capacity: promotions
+//!   beyond that demote the protected LRU back to probation, so the cache
+//!   never wedges itself into a state where new entries can't be admitted.
+//!
+//! ## Payload sharing (why Entries and Chunks cache separately)
+//!
+//! The same physical leaf may be resident as decoded [`Chunks`]
+//! (cursor path) and as assembled [`Entries`](LeafPayloadKind::Entries)
+//! (lookup path), and separately per projected column set. These are *not*
+//! shared views of one buffer — each payload owns its own decoded vectors —
+//! so the **budget** deliberately charges each payload its full footprint
+//! (`resident_leaves` / `resident_bytes` count payloads; anything else
+//! would under-report real memory). The **residency gauges** exposed for
+//! telemetry and planner discounts, however, must not double-charge a leaf
+//! for being cached in two shapes: `resident_distinct_leaves` (and the
+//! per-component `cached_leaf_count` the planner reads) deduplicate by
+//! `(origin, component, leaf)`.
+//!
+//! [`Chunks`]: LeafPayloadKind::Chunks
 //!
 //! ## Invalidation protocol
 //!
@@ -104,11 +131,21 @@ struct CachedLeaf {
     payload: DecodedLeaf,
     bytes: usize,
     last_used: u64,
+    /// Segment membership: `false` = probation (inserted, never re-hit),
+    /// `true` = protected (survived at least one re-reference). See the
+    /// module docs' scan-resistance section.
+    protected: bool,
 }
+
+/// Numerator/denominator of the byte-capacity fraction the protected
+/// segment may hold before promotions start demoting its own LRU tail.
+const PROTECTED_SHARE: (usize, usize) = (4, 5);
 
 struct Inner {
     entries: HashMap<LeafKey, CachedLeaf>,
     total_bytes: usize,
+    /// Bytes held by protected-segment entries (`<= total_bytes`).
+    protected_bytes: usize,
     tick: u64,
 }
 
@@ -125,8 +162,15 @@ pub struct LeafCacheStats {
     pub invalidations: u64,
     /// Estimated decoded bytes currently resident.
     pub resident_bytes: u64,
-    /// Number of cached leaf payloads currently resident.
+    /// Number of cached leaf *payloads* currently resident. The same
+    /// physical leaf cached as both entries and chunks (or under two
+    /// projections) counts once per payload — this is the budget-accounting
+    /// view, since each payload holds its own decoded copy.
     pub resident_leaves: u64,
+    /// Number of *distinct physical leaves* with at least one resident
+    /// payload — the residency view for gauges and planner discounts, which
+    /// must not double-charge a leaf for being cached in two shapes.
+    pub resident_distinct_leaves: u64,
     /// Configured byte capacity.
     pub capacity_bytes: u64,
 }
@@ -167,6 +211,7 @@ impl LeafCache {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 total_bytes: 0,
+                protected_bytes: 0,
                 tick: 0,
             }),
             next_origin: AtomicU64::new(0),
@@ -196,16 +241,34 @@ impl LeafCache {
         self.inner.lock().total_bytes
     }
 
-    /// Number of cached leaf payloads currently resident.
+    /// Number of cached leaf payloads currently resident (one physical leaf
+    /// may account for several — see [`LeafCacheStats::resident_leaves`]).
     pub fn resident_leaves(&self) -> usize {
         self.inner.lock().entries.len()
     }
 
+    /// Number of distinct physical leaves with at least one resident
+    /// payload — the deduplicated residency gauge.
+    pub fn resident_distinct_leaves(&self) -> usize {
+        let inner = self.inner.lock();
+        let distinct: HashSet<(u64, u64, usize)> = inner
+            .entries
+            .keys()
+            .map(|k| (k.origin, k.component, k.leaf))
+            .collect();
+        distinct.len()
+    }
+
     /// Snapshot of counters and residency.
     pub fn stats(&self) -> LeafCacheStats {
-        let (total_bytes, len) = {
+        let (total_bytes, len, distinct) = {
             let inner = self.inner.lock();
-            (inner.total_bytes, inner.entries.len())
+            let distinct: HashSet<(u64, u64, usize)> = inner
+                .entries
+                .keys()
+                .map(|k| (k.origin, k.component, k.leaf))
+                .collect();
+            (inner.total_bytes, inner.entries.len(), distinct.len())
         };
         LeafCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -214,6 +277,7 @@ impl LeafCache {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             resident_bytes: total_bytes as u64,
             resident_leaves: len as u64,
+            resident_distinct_leaves: distinct as u64,
             capacity_bytes: self.capacity as u64,
         }
     }
@@ -224,6 +288,7 @@ impl LeafCache {
         let dropped = inner.entries.len() as u64;
         inner.entries.clear();
         inner.total_bytes = 0;
+        inner.protected_bytes = 0;
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }
 
@@ -236,10 +301,43 @@ impl LeafCache {
         inner.tick += 1;
         let tick = inner.tick;
         let entry = inner.entries.get_mut(key)?;
+        let payload = entry.payload.clone();
         if refresh {
             entry.last_used = tick;
+            // A re-reference promotes the entry out of probation: it has
+            // proven it is part of a working set, not a one-off scan.
+            if !entry.protected {
+                entry.protected = true;
+                let bytes = entry.bytes;
+                inner.protected_bytes += bytes;
+                self.demote_over_share(&mut inner);
+            }
         }
-        Some(entry.payload.clone())
+        Some(payload)
+    }
+
+    /// Demote protected-LRU entries back to probation until the protected
+    /// segment fits its share of the capacity. The just-promoted entry
+    /// carries the newest tick, so it is never its own demotion victim.
+    fn demote_over_share(&self, inner: &mut Inner) {
+        let share = self.capacity * PROTECTED_SHARE.0 / PROTECTED_SHARE.1;
+        while inner.protected_bytes > share {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.protected)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(e) = inner.entries.get_mut(&k) {
+                        e.protected = false;
+                        inner.protected_bytes -= e.bytes;
+                    }
+                }
+                None => break,
+            }
+        }
     }
 
     fn get(
@@ -311,28 +409,47 @@ impl LeafCache {
         let tick = inner.tick;
         if let Some(old) = inner.entries.insert(
             key,
+            // New entries start on probation: a payload has to be re-hit
+            // before it may displace the protected working set.
             CachedLeaf {
                 payload,
                 bytes,
                 last_used: tick,
+                protected: false,
             },
         ) {
             inner.total_bytes -= old.bytes;
+            if old.protected {
+                inner.protected_bytes -= old.bytes;
+            }
         }
         inner.total_bytes += bytes;
         let mut evicted = 0u64;
         while inner.total_bytes > self.capacity {
-            // The fresh insert carries the newest tick, so it is never its
-            // own victim.
+            // Probation first: a one-off scan then only ever evicts its own
+            // stream. The protected segment is touched only when probation
+            // is empty. The fresh insert carries the newest tick, so it is
+            // never its own victim while older probation entries exist.
             let victim = inner
                 .entries
                 .iter()
+                .filter(|(_, e)| !e.protected)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
+                .map(|(k, _)| k.clone())
+                .or_else(|| {
+                    inner
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                });
             match victim {
                 Some(k) => {
                     if let Some(e) = inner.entries.remove(&k) {
                         inner.total_bytes -= e.bytes;
+                        if e.protected {
+                            inner.protected_bytes -= e.bytes;
+                        }
                         evicted += 1;
                     }
                 }
@@ -353,6 +470,12 @@ impl LeafCache {
             .retain(|k, _| !(k.origin == origin && k.component == component));
         let dropped = (before - inner.entries.len()) as u64;
         inner.total_bytes = inner.entries.values().map(|e| e.bytes).sum();
+        inner.protected_bytes = inner
+            .entries
+            .values()
+            .filter(|e| e.protected)
+            .map(|e| e.bytes)
+            .sum();
         if dropped > 0 {
             self.invalidations.fetch_add(dropped, Ordering::Relaxed);
         }
@@ -591,6 +714,69 @@ mod tests {
         shard_a.invalidate_component(1);
         assert!(shard_a.peek(1, 0, LeafPayloadKind::Entries, None).is_none());
         assert!(shard_b.peek(1, 0, LeafPayloadKind::Entries, None).is_some());
+    }
+
+    #[test]
+    fn hot_set_survives_a_full_cold_scan() {
+        // A cache big enough for ~8 leaves, a hot set of 4, and a cold scan
+        // of 64 distinct leaves (component 2) streaming through once.
+        let one_leaf = payload_bytes(&rows(8, 0));
+        let cache = Arc::new(LeafCache::new(one_leaf * 8 + 1));
+        let h = cache.handle();
+        for leaf in 0..4 {
+            h.insert(1, leaf, LeafPayloadKind::Entries, None, rows(8, leaf as i64));
+            // Promote to protected: the hot set has been re-referenced.
+            assert!(h.get(1, leaf, LeafPayloadKind::Entries, None).is_some());
+        }
+        for leaf in 0..64 {
+            // Each scan leaf is touched once — inserted, never re-hit.
+            h.insert(2, leaf, LeafPayloadKind::Entries, None, rows(8, leaf as i64));
+        }
+        // The scan churned through probation only; every hot leaf is still
+        // resident, so the hot-key hit rate survives the scan intact.
+        for leaf in 0..4 {
+            assert!(
+                h.peek(1, leaf, LeafPayloadKind::Entries, None).is_some(),
+                "hot leaf {leaf} was evicted by a one-off scan"
+            );
+        }
+        assert!(cache.resident_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn promotion_cap_demotes_instead_of_wedging() {
+        // Promote more than 4/5 of the capacity: the cache must keep
+        // admitting and keep every promotion path working (demoted entries
+        // stay resident, just evictable again).
+        let one_leaf = payload_bytes(&rows(8, 0));
+        let cache = Arc::new(LeafCache::new(one_leaf * 5 + 1));
+        let h = cache.handle();
+        for leaf in 0..5 {
+            h.insert(1, leaf, LeafPayloadKind::Entries, None, rows(8, leaf as i64));
+            assert!(h.get(1, leaf, LeafPayloadKind::Entries, None).is_some());
+        }
+        assert_eq!(cache.resident_leaves(), 5);
+        // A new insert still finds an evictable victim.
+        h.insert(1, 9, LeafPayloadKind::Entries, None, rows(8, 9));
+        assert!(h.peek(1, 9, LeafPayloadKind::Entries, None).is_some());
+        assert!(cache.resident_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn distinct_leaf_gauge_deduplicates_payload_kinds() {
+        let cache = Arc::new(LeafCache::new(1 << 20));
+        let h = cache.handle();
+        // One physical leaf, two shapes + one extra projection.
+        h.insert(1, 0, LeafPayloadKind::Entries, None, rows(2, 1));
+        h.insert(1, 0, LeafPayloadKind::Chunks, None, rows(2, 1));
+        h.insert(1, 0, LeafPayloadKind::Entries, Some(&[1]), rows(2, 1));
+        // A second physical leaf.
+        h.insert(1, 1, LeafPayloadKind::Entries, None, rows(2, 2));
+        // Budget view counts payloads; residency view counts leaves.
+        assert_eq!(cache.resident_leaves(), 4);
+        assert_eq!(cache.resident_distinct_leaves(), 2);
+        assert_eq!(cache.stats().resident_distinct_leaves, 2);
+        assert_eq!(cache.stats().resident_leaves, 4);
     }
 
     #[test]

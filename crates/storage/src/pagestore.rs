@@ -70,6 +70,14 @@ pub struct IoStats {
     /// Decoded leaves evicted from the leaf cache to stay under its byte
     /// budget, attributed to the store whose insert forced them out.
     pub leaf_cache_evictions: u64,
+    /// Reconciliation-winning records rejected by a pushed-down filter
+    /// **before** record assembly: only the filter columns were decoded and
+    /// the entry was batch-skipped, so none of these appear in
+    /// `records_assembled`.
+    pub records_filtered_pre_assembly: u64,
+    /// Whole leaves skipped by per-leaf zone maps under a pushed-down
+    /// filter — no page reads, no decode, not even the key column.
+    pub leaves_skipped: u64,
 }
 
 /// A store of fixed-size pages: explicit read/write calls, atomic
@@ -91,6 +99,8 @@ struct PageStoreInner {
     leaf_cache_hits: AtomicU64,
     leaf_cache_misses: AtomicU64,
     leaf_cache_evictions: AtomicU64,
+    records_filtered_pre_assembly: AtomicU64,
+    leaves_skipped: AtomicU64,
 }
 
 impl PageStore {
@@ -119,6 +129,8 @@ impl PageStore {
                 leaf_cache_hits: AtomicU64::new(0),
                 leaf_cache_misses: AtomicU64::new(0),
                 leaf_cache_evictions: AtomicU64::new(0),
+                records_filtered_pre_assembly: AtomicU64::new(0),
+                leaves_skipped: AtomicU64::new(0),
             }),
         }
     }
@@ -256,6 +268,23 @@ impl PageStore {
         }
     }
 
+    /// Account for `n` reconciliation winners rejected by a pushed-down
+    /// filter before assembly (only filter columns decoded).
+    pub fn note_records_filtered_pre_assembly(&self, n: u64) {
+        if n > 0 {
+            self.inner
+                .records_filtered_pre_assembly
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Account for `n` leaves skipped wholesale by per-leaf zone maps.
+    pub fn note_leaves_skipped(&self, n: u64) {
+        if n > 0 {
+            self.inner.leaves_skipped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the accounting counters.
     pub fn stats(&self) -> IoStats {
         IoStats {
@@ -268,6 +297,11 @@ impl PageStore {
             leaf_cache_hits: self.inner.leaf_cache_hits.load(Ordering::Relaxed),
             leaf_cache_misses: self.inner.leaf_cache_misses.load(Ordering::Relaxed),
             leaf_cache_evictions: self.inner.leaf_cache_evictions.load(Ordering::Relaxed),
+            records_filtered_pre_assembly: self
+                .inner
+                .records_filtered_pre_assembly
+                .load(Ordering::Relaxed),
+            leaves_skipped: self.inner.leaves_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -282,6 +316,10 @@ impl PageStore {
         self.inner.leaf_cache_hits.store(0, Ordering::Relaxed);
         self.inner.leaf_cache_misses.store(0, Ordering::Relaxed);
         self.inner.leaf_cache_evictions.store(0, Ordering::Relaxed);
+        self.inner
+            .records_filtered_pre_assembly
+            .store(0, Ordering::Relaxed);
+        self.inner.leaves_skipped.store(0, Ordering::Relaxed);
     }
 }
 
